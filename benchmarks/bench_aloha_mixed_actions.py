@@ -1,0 +1,54 @@
+"""Experiment E14 (extension): ALOHA — mixed actions, independence by physics.
+
+Neither clause of Lemma 4.3 applies (the transmit action is mixed, the
+clear-channel condition is not past-based), yet Definition 4.1 holds
+because the stations' coins are independent — and Theorem 6.2's
+expectation identity is exact.  Swept over station count and
+persistence; the closed form is mu(clear @ tx | tx) = (1 - q)^(n-1).
+"""
+
+from fractions import Fraction
+
+from conftest import emit
+
+from repro import (
+    achieved_probability,
+    check_theorem_6_2,
+    is_local_state_independent,
+    lemma_4_3_applies,
+)
+from repro.analysis.sweep import format_table, sweep
+from repro.apps.aloha import build_aloha, channel_clear_for, transmit_action
+
+ME = "station-0"
+
+
+def aloha_row(n, q):
+    system = build_aloha(n=n, persistence=q)
+    phi = channel_clear_for(ME, n)
+    action = transmit_action(0)
+    check = check_theorem_6_2(system, ME, action, phi)
+    applies, _ = lemma_4_3_applies(system, phi, ME, action)
+    return {
+        "mu(clear|tx)": achieved_probability(system, ME, phi, action),
+        "closed form": (1 - Fraction(q)) ** (n - 1),
+        "lemma-4.3 applies": applies,
+        "independent": is_local_state_independent(system, phi, ME, action),
+        "thm-6.2 exact": check.applicable and check.conclusion,
+    }
+
+
+def test_aloha_sweep(benchmark):
+    grid = {"n": [2, 3, 4], "q": ["1/10", "1/4", "1/2"]}
+    rows = benchmark(sweep, grid, aloha_row)
+    emit(
+        format_table(
+            rows,
+            title="E14: ALOHA — (1-q)^(n-1), independence without Lemma 4.3",
+        )
+    )
+    for row in rows:
+        assert row["mu(clear|tx)"] == row["closed form"]
+        assert not row["lemma-4.3 applies"]
+        assert row["independent"]
+        assert row["thm-6.2 exact"]

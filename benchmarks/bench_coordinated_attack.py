@@ -1,0 +1,65 @@
+"""Experiment E11: coordinated attack — acks refine beliefs, not success.
+
+Fischer–Zuck's observation (the seed of the paper's Theorem 6.2): the
+average belief of A in "B is attacking", when A attacks, equals the
+success probability.  The bench sweeps acknowledgement rounds and shows
+success and expected belief pinned at 1 - loss while the belief
+*distribution* spreads toward {0, 1}.
+"""
+
+from fractions import Fraction
+
+from conftest import emit
+
+from repro import (
+    achieved_probability,
+    expected_belief,
+    expected_belief_decomposition,
+)
+from repro.analysis.sweep import format_table, sweep
+from repro.apps.coordinated_attack import (
+    ATTACK,
+    GENERAL_A,
+    both_attack,
+    build_coordinated_attack,
+)
+
+
+def ack_row(ack_rounds):
+    system = build_coordinated_attack(loss="0.1", ack_rounds=ack_rounds)
+    cells = expected_belief_decomposition(system, GENERAL_A, both_attack(), ATTACK)
+    return {
+        "runs": system.run_count(),
+        "success": achieved_probability(system, GENERAL_A, both_attack(), ATTACK),
+        "E[belief]": expected_belief(system, GENERAL_A, both_attack(), ATTACK),
+        "belief states": len(cells),
+        "min belief": min(cell.belief for cell in cells.values()),
+    }
+
+
+def test_ack_round_sweep(benchmark):
+    rows = benchmark(sweep, {"ack_rounds": [0, 1, 2, 3, 4]}, ack_row)
+    emit(format_table(rows, title="E11: acks refine beliefs but not success"))
+    for row in rows:
+        assert row["success"] == Fraction(9, 10)
+        assert row["E[belief]"] == Fraction(9, 10)
+    spreads = [row["belief states"] for row in rows]
+    assert spreads == sorted(spreads)  # monotone refinement
+    assert spreads[-1] > spreads[0]
+
+
+def test_loss_rate_sweep(benchmark):
+    def loss_row(loss):
+        system = build_coordinated_attack(loss=loss, ack_rounds=1)
+        return {
+            "success": achieved_probability(
+                system, GENERAL_A, both_attack(), ATTACK
+            ),
+            "E[belief]": expected_belief(system, GENERAL_A, both_attack(), ATTACK),
+        }
+
+    rows = benchmark(sweep, {"loss": ["0.01", "0.1", "0.25", "0.5"]}, loss_row)
+    emit(format_table(rows, title="E11: success = 1 - loss at every reliability"))
+    for row in rows:
+        assert row["success"] == 1 - Fraction(row["loss"])
+        assert row["E[belief]"] == row["success"]

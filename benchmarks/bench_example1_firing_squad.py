@@ -1,0 +1,67 @@
+"""Experiment E1: Example 1's FS protocol — every number of the paper.
+
+Paper claims reproduced (all exact):
+
+=================================  ==========
+mu(both fire | Alice fires)        99/100
+threshold (0.95) met when firing   991/1000
+threshold missed                   9/1000
+Alice's acting beliefs             {1, 0.99, 0}
+=================================  ==========
+
+The benchmark times the full pipeline: compile the protocol to a pps
+and run the complete PAK analysis.
+"""
+
+from fractions import Fraction
+
+from conftest import emit
+
+from repro import analyze
+from repro.analysis.report import ExperimentRecord, format_experiments
+from repro.apps.firing_squad import (
+    ALICE,
+    FIRE,
+    THRESHOLD,
+    both_fire,
+    build_firing_squad,
+)
+
+
+def full_pipeline():
+    system = build_firing_squad()
+    return analyze(system, ALICE, FIRE, both_fire(), THRESHOLD)
+
+
+def test_example1_pipeline(benchmark):
+    report = benchmark(full_pipeline)
+
+    records = [
+        ExperimentRecord.of(
+            "E1", "mu(both fire | Alice fires)", "99/100", report.achieved
+        ),
+        ExperimentRecord.of(
+            "E1", "expected acting belief", "99/100", report.expected_belief
+        ),
+        ExperimentRecord.of(
+            "E1",
+            "mu(belief >= 0.95 | fires)",
+            "991/1000",
+            report.threshold_met_measure,
+        ),
+        ExperimentRecord.of(
+            "E1",
+            "mu(belief < 0.95 | fires)",
+            "9/1000",
+            1 - report.threshold_met_measure,
+        ),
+    ]
+    emit(format_experiments(records))
+
+    assert all(record.matches for record in records)
+    assert sorted(cell.belief for cell in report.belief_profile.values()) == [
+        Fraction(0),
+        Fraction(99, 100),
+        Fraction(1),
+    ]
+    assert report.all_theorems_verified

@@ -1,0 +1,80 @@
+"""Experiments E2/E3: the Figure 1 mixed-action counterexamples.
+
+E2 (Section 4): for psi = ~does(alpha), belief 1/2 at every acting
+point yet mu(psi@alpha | alpha) = 0 — meeting the threshold is not
+sufficient without independence.
+
+E3 (Section 6): for phi = does(alpha), mu(phi@alpha | alpha) = 1 but
+E[beta@alpha | alpha] = 1/2 — the expectation identity also needs
+independence.
+
+The benchmark times the counterexample detection (independence check +
+both sides of each claim) and a sweep over mixing probabilities.
+"""
+
+from fractions import Fraction
+
+from conftest import emit
+
+from repro import (
+    achieved_probability,
+    belief_at_action,
+    expected_belief,
+    is_local_state_independent,
+)
+from repro.analysis.report import ExperimentRecord, format_experiments
+from repro.analysis.sweep import format_table, sweep
+from repro.apps.figure1 import AGENT, ALPHA, build_figure1, phi_alpha, psi_not_alpha
+
+
+def detect_counterexamples():
+    system = build_figure1()
+    psi, phi = psi_not_alpha(), phi_alpha()
+    performing = next(r for r in system.runs if r.performs(AGENT, ALPHA))
+    return {
+        "psi-belief": belief_at_action(system, AGENT, psi, ALPHA, performing),
+        "psi-mu": achieved_probability(system, AGENT, psi, ALPHA),
+        "psi-independent": is_local_state_independent(system, psi, AGENT, ALPHA),
+        "phi-mu": achieved_probability(system, AGENT, phi, ALPHA),
+        "phi-expected": expected_belief(system, AGENT, phi, ALPHA),
+    }
+
+
+def test_figure1_counterexamples(benchmark):
+    values = benchmark(detect_counterexamples)
+
+    records = [
+        ExperimentRecord.of(
+            "E2", "beta_i(psi) when performing alpha", "1/2", values["psi-belief"]
+        ),
+        ExperimentRecord.of("E2", "mu(psi@alpha | alpha)", 0, values["psi-mu"]),
+        ExperimentRecord.of("E3", "mu(phi@alpha | alpha)", 1, values["phi-mu"]),
+        ExperimentRecord.of(
+            "E3", "E[beta_i(phi)@alpha | alpha]", "1/2", values["phi-expected"]
+        ),
+    ]
+    emit(format_experiments(records))
+
+    assert all(record.matches for record in records)
+    assert values["psi-independent"] is False
+
+
+def mixing_row(mix):
+    system = build_figure1(mix=mix)
+    phi = phi_alpha()
+    return {
+        "mu(phi@a|a)": achieved_probability(system, AGENT, phi, ALPHA),
+        "E[belief]": expected_belief(system, AGENT, phi, ALPHA),
+        "gap": achieved_probability(system, AGENT, phi, ALPHA)
+        - expected_belief(system, AGENT, phi, ALPHA),
+    }
+
+
+def test_figure1_mixing_sweep(benchmark):
+    rows = benchmark(
+        sweep, {"mix": ["1/10", "1/4", "1/2", "3/4", "9/10"]}, mixing_row
+    )
+    emit(format_table(rows, title="E3 sweep: expectation gap vs mixing probability"))
+    # The gap 1 - mix closes only as the action becomes pure.
+    for row in rows:
+        assert row["gap"] == 1 - Fraction(row["mix"])

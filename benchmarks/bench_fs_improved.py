@@ -1,0 +1,70 @@
+"""Experiment E7: the Section 8 improvement FS -> FS'.
+
+Alice refrains from firing after a 'No', raising
+mu(both fire | Alice fires) from 99/100 to 990/991 (~0.99899, the
+paper's number).  Reproduced two ways — the directly programmed FS'
+protocol and the mechanical ``refrain_below_threshold`` transform — and
+both must agree exactly.
+"""
+
+from fractions import Fraction
+
+from conftest import emit
+
+from repro import achieved_probability
+from repro.analysis.report import ExperimentRecord, format_experiments
+from repro.analysis.sweep import format_table
+from repro.apps.firing_squad import (
+    ALICE,
+    FIRE,
+    THRESHOLD,
+    both_fire,
+    build_firing_squad,
+)
+from repro.protocols import refrain_below_threshold
+
+
+def improvement_pipeline():
+    base = build_firing_squad()
+    direct = build_firing_squad(improved=True)
+    transformed = refrain_below_threshold(base, ALICE, FIRE, both_fire(), THRESHOLD)
+    return (
+        achieved_probability(base, ALICE, both_fire(), FIRE),
+        achieved_probability(direct, ALICE, both_fire(), FIRE),
+        achieved_probability(transformed, ALICE, both_fire(), FIRE),
+    )
+
+
+def test_section8_improvement(benchmark):
+    base, direct, transformed = benchmark(improvement_pipeline)
+    records = [
+        ExperimentRecord.of("E7", "FS success", "99/100", base),
+        ExperimentRecord.of("E7", "FS' success (direct)", "990/991", direct),
+        ExperimentRecord.of("E7", "FS' success (transform)", "990/991", transformed),
+    ]
+    emit(format_experiments(records))
+    assert all(record.matches for record in records)
+    assert abs(float(direct) - 0.99899) < 1e-5  # the paper's decimal
+
+
+def test_improvement_across_loss_rates(benchmark):
+    def sweep_loss():
+        rows = []
+        for loss in ("0.05", "0.1", "0.2", "0.3"):
+            base = build_firing_squad(loss=loss)
+            improved = refrain_below_threshold(
+                base, ALICE, FIRE, both_fire(), THRESHOLD
+            )
+            rows.append(
+                {
+                    "loss": loss,
+                    "FS": achieved_probability(base, ALICE, both_fire(), FIRE),
+                    "FS'": achieved_probability(improved, ALICE, both_fire(), FIRE),
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep_loss)
+    emit(format_table(rows, title="E7: refraining helps at every loss rate"))
+    for row in rows:
+        assert row["FS'"] >= row["FS"]

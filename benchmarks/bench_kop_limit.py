@@ -1,0 +1,74 @@
+"""Experiment E10: the p = 1 limit — Lemma F.1 recovers the classical KoP.
+
+When a condition surely holds at an action (mu = 1), the agent must
+*know* it when acting: belief 1 with probability 1.  Verified on a
+lossless firing squad (where coordination is certain) and on the judge
+with a certain prior, and cross-checked against the classical-KoP
+checker (knowledge formulation), which must agree.
+"""
+
+from conftest import emit
+
+from repro import (
+    achieved_probability,
+    check_kop,
+    check_lemma_f_1,
+    threshold_met_measure,
+)
+from repro.analysis.sweep import format_table
+from repro.apps.firing_squad import ALICE, FIRE, both_fire, build_firing_squad
+from repro.apps.judge import CONVICT, JUDGE, build_judge, guilty
+
+
+def kop_limit_cases():
+    lossless = build_firing_squad(loss=0)
+    certain_judge = build_judge(guilt_prior=1, signals=2, conviction_threshold=0)
+    return [
+        ("lossless firing squad", lossless, ALICE, FIRE, both_fire()),
+        ("certain-prior judge", certain_judge, JUDGE, CONVICT, guilty()),
+    ]
+
+
+def run_kop_limit():
+    results = []
+    for name, system, agent, action, phi in kop_limit_cases():
+        lemma = check_lemma_f_1(system, agent, action, phi)
+        kop = check_kop(system, agent, action, phi)
+        results.append((name, system, agent, action, phi, lemma, kop))
+    return results
+
+
+def test_kop_limit(benchmark):
+    results = benchmark(run_kop_limit)
+    rows = []
+    for name, system, agent, action, phi, lemma, kop in results:
+        rows.append(
+            {
+                "system": name,
+                "mu(phi@a|a)": achieved_probability(system, agent, phi, action),
+                "mu(belief=1|a)": threshold_met_measure(
+                    system, agent, phi, action, 1
+                ),
+                "KoP knows": kop.known_when_acting,
+            }
+        )
+        assert lemma.applicable and lemma.conclusion
+        assert kop.necessary and kop.verified
+        assert kop.known_when_acting and kop.belief_one_when_acting
+    emit(format_table(rows, title="E10: p = 1 forces knowledge (KoP recovered)"))
+
+
+def test_kop_fails_gracefully_below_one(benchmark):
+    def below_one():
+        system = build_firing_squad()  # lossy: mu = 0.99 < 1
+        return (
+            check_lemma_f_1(system, ALICE, FIRE, both_fire()),
+            check_kop(system, ALICE, FIRE, both_fire()),
+        )
+
+    lemma, kop = benchmark(below_one)
+    # Premises fail; both checkers are vacuous, neither reports a bug.
+    assert not lemma.premises["certain-constraint"]
+    assert lemma.verified
+    assert not kop.necessary
+    assert kop.verified

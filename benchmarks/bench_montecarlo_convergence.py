@@ -1,0 +1,81 @@
+"""Experiment E12: Monte-Carlo estimates converge to the exact engine.
+
+For every headline quantity of the firing squad, the sampling
+estimators must land within their own Hoeffding intervals of the exact
+rational values, with error shrinking as the sample budget grows.  The
+benchmark times the sampling throughput.
+"""
+
+from conftest import emit
+
+from repro import achieved_probability, expected_belief, threshold_met_measure
+from repro.analysis import (
+    estimate_achieved,
+    estimate_expected_belief,
+    estimate_threshold_met,
+)
+from repro.analysis.sweep import format_table
+from repro.apps.firing_squad import (
+    ALICE,
+    FIRE,
+    THRESHOLD,
+    both_fire,
+    build_firing_squad,
+)
+
+SYSTEM = build_firing_squad()
+PHI = both_fire()
+
+
+def test_achieved_estimator_converges(benchmark):
+    exact = float(achieved_probability(SYSTEM, ALICE, PHI, FIRE))
+
+    def estimate():
+        return estimate_achieved(SYSTEM, ALICE, PHI, FIRE, samples=3000, seed=21)
+
+    est = benchmark(estimate)
+    assert est.consistent_with(exact)
+
+
+def test_expected_belief_estimator_converges(benchmark):
+    exact = float(expected_belief(SYSTEM, ALICE, PHI, FIRE))
+
+    def estimate():
+        return estimate_expected_belief(
+            SYSTEM, ALICE, PHI, FIRE, samples=3000, seed=22
+        )
+
+    est = benchmark(estimate)
+    assert est.consistent_with(exact)
+
+
+def test_error_shrinks_with_budget(benchmark):
+    exact = float(threshold_met_measure(SYSTEM, ALICE, PHI, FIRE, THRESHOLD))
+
+    def ladder():
+        return [
+            (
+                samples,
+                estimate_threshold_met(
+                    SYSTEM, ALICE, PHI, FIRE, THRESHOLD, samples=samples, seed=23
+                ),
+            )
+            for samples in (250, 1000, 4000)
+        ]
+
+    results = benchmark(ladder)
+    rows = [
+        {
+            "samples": samples,
+            "estimate": est.value,
+            "abs error": abs(est.value - exact),
+            "hoeffding": est.hoeffding,
+        }
+        for samples, est in results
+    ]
+    emit(format_table(rows, title=f"E12: convergence to exact {exact}"))
+    for samples, est in results:
+        assert est.consistent_with(exact)
+    # The certified interval tightens monotonically with the budget.
+    widths = [est.hoeffding for _, est in results]
+    assert widths == sorted(widths, reverse=True)

@@ -1,0 +1,84 @@
+"""Ablation: the refrain-threshold design choice of Section 8.
+
+DESIGN.md calls out "refrain when under-confident" as the paper's one
+design knob.  This bench sweeps the knob — the belief threshold below
+which the agent refrains — and compares against the computed optimum
+(act only at the top-belief states):
+
+* threshold 0 is the original FS protocol (99/100);
+* any threshold in (0, 0.99] yields FS' (990/991);
+* any threshold in (0.99, 1] yields the Yes-only protocol (value 1);
+* the frontier/optimum analysis finds these plateaus directly.
+
+The trade-off is coverage: raising the value shrinks the probability
+that the squad ever fires.  The table makes the whole trade explicit.
+"""
+
+from fractions import Fraction
+
+from conftest import emit
+
+from repro import (
+    achievable_frontier,
+    achieved_probability,
+    optimal_acting_states,
+    performing_runs,
+)
+from repro.analysis.sweep import format_table
+from repro.apps.firing_squad import ALICE, FIRE, both_fire, build_firing_squad
+from repro.core.measure import probability
+from repro.protocols import refrain_below_threshold
+
+SYSTEM = build_firing_squad()
+PHI = both_fire()
+
+
+def threshold_row(threshold):
+    if Fraction(threshold) == 0:
+        modified = SYSTEM
+    else:
+        modified = refrain_below_threshold(SYSTEM, ALICE, FIRE, PHI, threshold)
+    return {
+        "mu(both|fireA)": achieved_probability(modified, ALICE, PHI, FIRE),
+        "P(fireA)": probability(
+            modified, performing_runs(modified, ALICE, FIRE)
+        ),
+    }
+
+
+def test_refrain_threshold_ablation(benchmark):
+    def ablation():
+        return [
+            {"threshold": threshold, **threshold_row(threshold)}
+            for threshold in ("0", "1/2", "0.95", "0.99", "0.995", "1")
+        ]
+
+    rows = benchmark(ablation)
+    emit(
+        format_table(
+            rows, title="Ablation: refrain threshold vs value vs coverage"
+        )
+    )
+    values = [row["mu(both|fireA)"] for row in rows]
+    assert values[0] == Fraction(99, 100)
+    assert Fraction(990, 991) in values
+    assert values[-1] == 1
+    # Value is monotone in the threshold; coverage is antitone.
+    assert values == sorted(values)
+    coverage = [row["P(fireA)"] for row in rows]
+    assert coverage == sorted(coverage, reverse=True)
+
+
+def test_frontier_matches_threshold_plateaus(benchmark):
+    frontier = benchmark(achievable_frontier, SYSTEM, ALICE, PHI, FIRE)
+    assert [point.value for point in frontier] == [
+        1,
+        Fraction(990, 991),
+        Fraction(99, 100),
+    ]
+    best = optimal_acting_states(SYSTEM, ALICE, PHI, FIRE)
+    assert best.value == 1
+    emit(
+        "Ablation: optimum acts only on 'Yes' "
+        f"(mass {best.acting_mass}, value {best.value})"
+    )

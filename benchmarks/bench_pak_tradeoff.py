@@ -1,0 +1,106 @@
+"""Experiments E6/E8: the PAK bound (Theorem 7.1 / Corollary 7.2).
+
+E6 sweeps the (delta, epsilon) surface of Theorem 7.1 on the firing
+squad: whenever mu >= 1 - delta*eps the measured strong-belief mass
+clears 1 - delta.  E8 is the paper's Section 7 reading: FS satisfies
+mu >= 0.99 = 1 - 0.1^2, so Alice must believe to degree >= 0.9 with
+probability >= 0.9 (measured: 0.991).
+"""
+
+from fractions import Fraction
+
+from conftest import emit
+
+from repro import (
+    achieved_probability,
+    check_corollary_7_2,
+    check_theorem_7_1,
+    pak_level,
+    threshold_met_measure,
+)
+from repro.analysis.report import ExperimentRecord, format_experiments
+from repro.analysis.sweep import format_table, sweep
+from repro.apps.firing_squad import ALICE, FIRE, both_fire, build_firing_squad
+
+SYSTEM = build_firing_squad()
+PHI = both_fire()
+
+
+def surface_row(delta, epsilon):
+    check = check_theorem_7_1(SYSTEM, ALICE, FIRE, PHI, delta, epsilon)
+    return {
+        "premise mu>=1-d*e": check.premises["high-probability-constraint"],
+        "mu(belief>=1-e)": check.details["strong-belief-measure"],
+        "bound 1-d": 1 - Fraction(delta),
+        "verified": check.verified,
+    }
+
+
+def test_theorem_71_surface(benchmark):
+    grid = {
+        "delta": ["1/20", "1/10", "1/4", "1/2"],
+        "epsilon": ["1/20", "1/10", "1/4", "1/2"],
+    }
+    rows = benchmark(sweep, grid, surface_row)
+    emit(format_table(rows, title="E6: Theorem 7.1 (delta, epsilon) surface on FS"))
+    assert all(row["verified"] for row in rows)
+    # The paper's binding point: delta = eps = 0.1 has a true premise
+    # and the conclusion must hold.
+    binding = next(
+        row for row in rows if row["delta"] == "1/10" and row["epsilon"] == "1/10"
+    )
+    assert binding["premise mu>=1-d*e"]
+    assert binding["mu(belief>=1-e)"] >= binding["bound 1-d"]
+
+
+def test_corollary_72_pak_reading(benchmark):
+    def pak_reading():
+        check = check_corollary_7_2(SYSTEM, ALICE, FIRE, PHI, "0.1")
+        return check
+
+    check = benchmark(pak_reading)
+    records = [
+        ExperimentRecord.of(
+            "E8",
+            "mu(both | fireA) >= 1 - 0.1^2",
+            "99/100",
+            achieved_probability(SYSTEM, ALICE, PHI, FIRE),
+        ),
+        ExperimentRecord.of(
+            "E8",
+            "mu(belief >= 0.9 | fireA)",
+            None,
+            check.details["strong-belief-measure"],
+            note="paper: must be >= 0.9; measured 0.991",
+        ),
+    ]
+    emit(format_experiments(records))
+    assert check.applicable and check.conclusion
+    assert check.details["strong-belief-measure"] >= Fraction(9, 10)
+
+
+def test_pak_level_frontier(benchmark):
+    """PAK levels across constraint qualities (the p' = 1-sqrt(1-p) curve)."""
+
+    def frontier():
+        rows = []
+        for loss in ("0.05", "0.1", "0.2", "0.3"):
+            system = build_firing_squad(loss=loss)
+            quality = achieved_probability(system, ALICE, PHI, FIRE)
+            level = pak_level(quality)
+            rows.append(
+                {
+                    "loss": loss,
+                    "quality": quality,
+                    "pak level": level,
+                    "mu(belief>=level)": threshold_met_measure(
+                        system, ALICE, PHI, FIRE, level
+                    ),
+                }
+            )
+        return rows
+
+    rows = benchmark(frontier)
+    emit(format_table(rows, title="E6: PAK frontier — level met with measure >= level"))
+    for row in rows:
+        assert row["mu(belief>=level)"] >= row["pak level"]

@@ -1,0 +1,82 @@
+"""Experiment E13: compiler and model-checker scaling with tree size.
+
+Times the two heavy paths — protocol compilation and the full PAK
+analysis — as the system grows (consensus agent count, coordinated
+attack depth).  There is no paper number to match; this bench
+characterizes the exact engine so users know what sizes are practical.
+"""
+
+from conftest import emit
+
+from repro import analyze
+from repro.analysis.sweep import format_table
+from repro.apps.consensus import agreement, build_consensus, decision_action
+from repro.apps.coordinated_attack import (
+    ATTACK,
+    GENERAL_A,
+    both_attack,
+    build_coordinated_attack,
+)
+
+
+def test_compile_consensus_n2(benchmark):
+    system = benchmark(build_consensus, n=2, loss="0.1")
+    assert system.run_count() == 16
+
+
+def test_compile_consensus_n3(benchmark):
+    system = benchmark(build_consensus, n=3, loss="0.1")
+    assert system.run_count() == 512
+
+
+def test_compile_deep_coordinated_attack(benchmark):
+    system = benchmark(build_coordinated_attack, loss="0.1", ack_rounds=5)
+    # Attacks are performed at time ack_rounds + 1; the tree extends one
+    # more level to record them.
+    assert system.max_time() == 7
+
+
+def test_analyze_consensus_n3(benchmark):
+    system = build_consensus(n=3, loss="0.1")
+    report = benchmark(
+        analyze, system, "agent-0", decision_action(1), agreement(3), "0.9"
+    )
+    assert report.all_theorems_verified
+
+
+def test_analyze_deep_attack(benchmark):
+    system = build_coordinated_attack(loss="0.1", ack_rounds=4)
+    report = benchmark(
+        analyze, system, GENERAL_A, ATTACK, both_attack(), "0.85"
+    )
+    assert report.all_theorems_verified
+
+
+def test_scaling_profile(benchmark):
+    """One consolidated size table for the docs."""
+
+    def profile():
+        rows = []
+        for n, loss in ((2, "0.1"), (3, "0.1")):
+            system = build_consensus(n=n, loss=loss)
+            rows.append(
+                {
+                    "system": f"consensus(n={n})",
+                    "nodes": system.node_count(),
+                    "runs": system.run_count(),
+                }
+            )
+        for acks in (1, 3, 5):
+            system = build_coordinated_attack(ack_rounds=acks)
+            rows.append(
+                {
+                    "system": f"attack(acks={acks})",
+                    "nodes": system.node_count(),
+                    "runs": system.run_count(),
+                }
+            )
+        return rows
+
+    rows = benchmark(profile)
+    emit(format_table(rows, title="E13: system sizes"))
+    assert rows[-1]["runs"] >= rows[2]["runs"]

@@ -1,0 +1,78 @@
+"""Experiment E9: sufficiency (Theorem 4.2) and Lemma 4.3 premises.
+
+On systems where the agent only acts above the threshold, the
+constraint must hold — provided independence does.  The benchmark
+verifies Theorem 4.2 and Lemma 4.3 over the random fleet, split by
+premise route (deterministic action vs past-based fact), and shows the
+Figure 1 failure alongside for contrast.
+"""
+
+from conftest import emit
+
+from repro import check_lemma_4_3, check_theorem_4_2
+from repro.analysis.random_systems import (
+    proper_actions_of,
+    random_protocol_system,
+    random_run_fact,
+    random_state_fact,
+)
+from repro.analysis.sweep import format_table
+from repro.apps.figure1 import AGENT, ALPHA, build_figure1, psi_not_alpha
+
+
+def verify_sufficiency_fleet():
+    outcomes = []
+    for seed in range(15):
+        # Deterministic-protocol systems: Lemma 4.3(a) route.
+        det = random_protocol_system(seed, mixed_level=0.0)
+        # Mixed systems with past-based facts: Lemma 4.3(b) route.
+        mix = random_protocol_system(seed, mixed_level=1.0)
+        for system, fact in (
+            (det, random_run_fact(seed + 50)),
+            (mix, random_state_fact(seed + 60)),
+        ):
+            agent = system.agents[0]
+            action = proper_actions_of(system, agent)[0]
+            outcomes.append(check_lemma_4_3(system, agent, action, fact))
+            outcomes.append(
+                check_theorem_4_2(system, agent, action, fact, "1/4")
+            )
+    return outcomes
+
+
+def test_sufficiency_fleet(benchmark):
+    outcomes = benchmark(verify_sufficiency_fleet)
+    assert all(check.verified for check in outcomes)
+    lemma_checks = [c for c in outcomes if c.theorem == "Lemma 4.3"]
+    applicable = [c for c in lemma_checks if c.applicable]
+    emit(
+        f"E9: Lemma 4.3 verified on {len(lemma_checks)} inputs "
+        f"({len(applicable)} with premises; all conclude independence)"
+    )
+    assert all(c.conclusion for c in applicable)
+
+
+def test_sufficiency_contrast_with_figure1(benchmark):
+    def contrast():
+        figure1 = build_figure1()
+        return check_theorem_4_2(figure1, AGENT, ALPHA, psi_not_alpha(), "1/2")
+
+    check = benchmark(contrast)
+    rows = [
+        {
+            "premise": name,
+            "holds": value,
+        }
+        for name, value in check.premises.items()
+    ]
+    emit(
+        format_table(
+            rows,
+            title="E9 contrast: Figure 1 — threshold met, constraint broken, "
+            "independence premise false",
+        )
+    )
+    assert check.premises["belief-meets-threshold-always"]
+    assert not check.premises["local-state-independent"]
+    assert not check.conclusion
+    assert check.verified

@@ -1,0 +1,89 @@
+"""Experiment E4: the Theorem 5.2 construction, swept over (p, epsilon).
+
+For every 0 < eps < p < 1 the construction must give *exactly*:
+
+* mu(phi@alpha | alpha) = p,
+* mu(beta >= p | alpha) = eps (no lower bound on meeting the threshold),
+* off-threshold belief (p - eps)/(1 - eps),
+* expected belief p (Theorem 6.2 pinning the average).
+
+The benchmark times the grid build + verification.
+"""
+
+from fractions import Fraction
+
+from conftest import emit
+
+from repro import (
+    achieved_probability,
+    expected_belief,
+    threshold_met_measure,
+)
+from repro.analysis.sweep import format_table, sweep
+from repro.apps.theorem52 import (
+    AGENT_I,
+    ALPHA,
+    bit_is_one,
+    build_theorem52,
+    expected_off_threshold_belief,
+)
+
+
+def grid_row(p, epsilon):
+    system = build_theorem52(p, epsilon)
+    phi = bit_is_one()
+    return {
+        "mu": achieved_probability(system, AGENT_I, phi, ALPHA),
+        "met": threshold_met_measure(system, AGENT_I, phi, ALPHA, p),
+        "off-belief": expected_off_threshold_belief(p, epsilon),
+        "E[belief]": expected_belief(system, AGENT_I, phi, ALPHA),
+    }
+
+
+GRID = {
+    "p": ["1/2", "3/4", "0.9", "0.99"],
+    "epsilon": ["1/100", "1/10", "1/4"],
+}
+
+
+def run_grid():
+    rows = []
+    for p in GRID["p"]:
+        for epsilon in GRID["epsilon"]:
+            if Fraction(epsilon) < Fraction(p):
+                rows.append({"p": p, "epsilon": epsilon, **grid_row(p, epsilon)})
+    return rows
+
+
+def test_theorem52_grid(benchmark):
+    rows = benchmark(run_grid)
+    emit(
+        format_table(
+            rows,
+            title="E4: T_hat(p, eps) — mu = p, met-measure = eps, exactly",
+        )
+    )
+    for row in rows:
+        assert row["mu"] == Fraction(row["p"])
+        assert row["met"] == Fraction(row["epsilon"])
+        assert row["E[belief]"] == Fraction(row["p"])
+
+
+def test_theorem52_vanishing_epsilon(benchmark):
+    """The headline of Theorem 5.2: met-measure -> 0 while mu stays p."""
+
+    def vanishing():
+        return [
+            threshold_met_measure(
+                build_theorem52("0.9", eps), AGENT_I, bit_is_one(), ALPHA, "0.9"
+            )
+            for eps in ("1/10", "1/100", "1/1000", "1/10000")
+        ]
+
+    measures = benchmark(vanishing)
+    assert measures == [
+        Fraction(1, 10),
+        Fraction(1, 100),
+        Fraction(1, 1000),
+        Fraction(1, 10000),
+    ]

@@ -1,0 +1,10 @@
+"""Benchmark-session helpers: table printing that survives pytest capture."""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(text: str) -> None:
+    """Print a reproduced table so it lands in the benchmark log."""
+    sys.stderr.write("\n" + text + "\n")

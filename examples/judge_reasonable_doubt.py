@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Verdicts beyond reasonable doubt, quantified.
+
+The paper's legal motivation: a guilty verdict should be delivered only
+under a very strong belief in guilt.  We sweep the judge's conviction
+rule (how many of k noisy witness signals must say "guilty") and show
+the trade-off the PAK theorems govern:
+
+* stricter rules raise mu(guilty | convict) — the conviction quality;
+* Theorem 6.2: the judge's *expected* belief at conviction equals that
+  quality exactly;
+* Corollary 7.2: quality 1 - eps^2 forces belief >= 1 - eps with
+  probability >= 1 - eps at the moment of conviction.
+
+Run:  python examples/judge_reasonable_doubt.py
+"""
+
+from repro import (
+    achieved_probability,
+    expected_belief,
+    pak_level,
+    threshold_met_measure,
+)
+from repro.analysis.sweep import format_table, sweep
+from repro.apps.judge import CONVICT, JUDGE, build_judge, guilty
+
+
+def row(threshold: int):
+    system = build_judge(
+        guilt_prior="1/2",
+        signal_accuracy="0.9",
+        signals=3,
+        conviction_threshold=threshold,
+    )
+    quality = achieved_probability(system, JUDGE, guilty(), CONVICT)
+    level = pak_level(quality)
+    return {
+        "quality mu(G|convict)": quality,
+        "E[belief at convict]": expected_belief(system, JUDGE, guilty(), CONVICT),
+        "PAK level 1-sqrt(1-q)": level,
+        "mu(belief>=level)": threshold_met_measure(
+            system, JUDGE, guilty(), CONVICT, level
+        ),
+    }
+
+
+def main() -> None:
+    print("== Conviction rules over 3 witness signals (accuracy 0.9) ==")
+    rows = sweep({"threshold": [1, 2, 3]}, row)
+    print(format_table(rows))
+    print()
+    print(
+        "threshold=1 is conviction on any guilty signal ('balance of\n"
+        "probabilities' would be threshold 2 of 3); threshold=3 is the\n"
+        "unanimous, beyond-reasonable-doubt rule.  The PAK column shows\n"
+        "Corollary 7.2 holding with room to spare at every rule."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Explore the PAK trade-off (Theorems 5.2, 6.2, 7.1, Corollary 7.2).
+
+Two sweeps over the Theorem 5.2 construction T_hat(p, epsilon):
+
+1. fixing p and shrinking epsilon shows there is *no* lower bound on
+   how often the constraint's threshold must be met when acting
+   (Theorem 5.2) — while the expected belief stays pinned at p
+   (Theorem 6.2);
+2. the Corollary 7.2 frontier: for constraints of quality 1 - eps^2,
+   the measured mu(belief >= 1 - eps | act) always clears 1 - eps.
+
+Run:  python examples/pak_tradeoff_explorer.py
+"""
+
+from fractions import Fraction
+
+from repro import (
+    achieved_probability,
+    expected_belief,
+    threshold_met_measure,
+)
+from repro.analysis.sweep import format_table, sweep
+from repro.apps.firing_squad import ALICE, FIRE, both_fire, build_firing_squad
+from repro.apps.theorem52 import AGENT_I, ALPHA, bit_is_one, build_theorem52
+
+
+def theorem52_row(epsilon):
+    p = "0.9"
+    system = build_theorem52(p, epsilon)
+    return {
+        "mu(phi@a|a)": achieved_probability(system, AGENT_I, bit_is_one(), ALPHA),
+        "E[belief]": expected_belief(system, AGENT_I, bit_is_one(), ALPHA),
+        "mu(belief>=p)": threshold_met_measure(
+            system, AGENT_I, bit_is_one(), ALPHA, p
+        ),
+    }
+
+
+def corollary_row(loss):
+    # The FS success probability is 1 - loss^2; Corollary 7.2 promises
+    # belief >= 1 - loss with probability >= 1 - loss.
+    system = build_firing_squad(loss=loss)
+    eps = Fraction(loss)
+    return {
+        "mu(both|fireA)": achieved_probability(system, ALICE, both_fire(), FIRE),
+        "1-eps": 1 - eps,
+        "mu(belief>=1-eps)": threshold_met_measure(
+            system, ALICE, both_fire(), FIRE, 1 - eps
+        ),
+        "bound holds": threshold_met_measure(
+            system, ALICE, both_fire(), FIRE, 1 - eps
+        )
+        >= 1 - eps,
+    }
+
+
+def main() -> None:
+    print("== Theorem 5.2: the threshold-met measure can be anything ==")
+    print("   (T_hat with p = 0.9; expected belief pinned at 0.9)")
+    rows = sweep(
+        {"epsilon": ["1/2", "1/4", "1/10", "1/100", "1/1000"]}, theorem52_row
+    )
+    print(format_table(rows))
+    print()
+
+    print("== Corollary 7.2 frontier on the firing squad ==")
+    print("   (success = 1 - loss^2, so eps = loss)")
+    rows = sweep({"loss": ["0.05", "0.1", "0.2", "0.3", "0.5"]}, corollary_row)
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Reproduce every quantitative claim of the paper in one run.
+
+Prints the paper-vs-measured table (the machine-checked core of
+EXPERIMENTS.md) and exits non-zero if any row mismatches — suitable as
+a reproduction smoke test in CI.
+
+Run:  python examples/reproduce_paper.py
+"""
+
+import sys
+
+from repro.analysis.experiments import paper_experiments
+from repro.analysis.report import format_experiments
+
+
+def main() -> int:
+    records = paper_experiments()
+    print(format_experiments(records))
+    mismatches = [record for record in records if not record.matches]
+    print()
+    if mismatches:
+        print(f"{len(mismatches)} MISMATCHES — reproduction broken")
+        return 1
+    print(f"all {len(records)} paper claims reproduced exactly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

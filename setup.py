@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-build-isolation`` to fall back to
+``setup.py develop`` on environments that lack the ``wheel`` package
+(PEP 660 editable installs require it).  All real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

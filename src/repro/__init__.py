@@ -1,0 +1,29 @@
+"""repro — Probably Approximately Knowing.
+
+A production-quality reproduction of *Probably Approximately Knowing*
+(Nitzan Zamir and Yoram Moses, PODC 2020): an exact model-checking
+library for probabilistic beliefs, probabilistic constraints, and the
+probabilistic Knowledge-of-Preconditions principle in finite purely
+probabilistic systems, together with the protocol / message-passing
+substrates needed to generate such systems and every example and
+construction the paper analyzes.
+
+Quickstart::
+
+    from repro import PPSBuilder, analyze, performed
+
+    builder = PPSBuilder(["alice", "bob"], name="demo")
+    ...
+    system = builder.build()
+    report = analyze(system, "alice", "fire", performed("bob", "fire"), "0.95")
+    print(report.summary())
+
+See ``examples/`` and README.md for complete walkthroughs.
+"""
+
+from .core import *  # noqa: F401,F403 — the core API is the package API
+from .core import __all__ as _core_all
+
+__version__ = "1.0.0"
+
+__all__ = list(_core_all) + ["__version__"]

@@ -1,0 +1,59 @@
+"""Analysis tooling: Monte Carlo, random systems, sweeps, verification."""
+
+from .experiments import paper_experiments
+from .montecarlo import (
+    RunSampler,
+    estimate_achieved,
+    estimate_conditional,
+    estimate_expected_belief,
+    estimate_probability,
+    estimate_threshold_met,
+)
+from .random_systems import (
+    proper_actions_of,
+    random_protocol_system,
+    random_run_fact,
+    random_state_fact,
+)
+from .report import ExperimentRecord, format_experiments, render_tree
+from .stats import Estimate, hoeffding_halfwidth, mean, normal_halfwidth, variance
+from .timeline import TimelineCell, belief_timeline, expected_belief_by_time
+from .sweep import format_table, format_value, sweep
+from .verify import (
+    SystemVerification,
+    assert_theorems,
+    verify_constraint,
+    verify_system,
+)
+
+__all__ = [
+    "Estimate",
+    "ExperimentRecord",
+    "RunSampler",
+    "SystemVerification",
+    "TimelineCell",
+    "assert_theorems",
+    "belief_timeline",
+    "estimate_achieved",
+    "estimate_conditional",
+    "estimate_expected_belief",
+    "estimate_probability",
+    "estimate_threshold_met",
+    "expected_belief_by_time",
+    "format_experiments",
+    "format_table",
+    "format_value",
+    "hoeffding_halfwidth",
+    "mean",
+    "normal_halfwidth",
+    "paper_experiments",
+    "proper_actions_of",
+    "random_protocol_system",
+    "random_run_fact",
+    "random_state_fact",
+    "render_tree",
+    "sweep",
+    "variance",
+    "verify_constraint",
+    "verify_system",
+]

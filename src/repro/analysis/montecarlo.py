@@ -1,0 +1,208 @@
+"""Monte-Carlo sampling of runs, cross-validating the exact engine.
+
+The library computes every quantity exactly, so sampling is not needed
+for correctness — it exists because (a) it validates the exact engine
+end-to-end (an estimator converging to a different number would expose
+a modelling bug), and (b) it demonstrates how the same analyses scale
+to systems too large to enumerate.
+
+:class:`RunSampler` draws runs by walking the tree from the root,
+choosing children according to the edge probabilities — i.e. it
+*simulates* the protocol rather than sampling the precomputed run list,
+exercising the tree structure itself.
+
+Estimators mirror the exact API:
+
+* :func:`estimate_probability` — ``mu(event)``;
+* :func:`estimate_conditional` — ``mu(target | given)``;
+* :func:`estimate_achieved` — ``mu(phi@alpha | alpha)``;
+* :func:`estimate_expected_belief` — ``E[beta@alpha | alpha]``
+  (hybrid: runs sampled, per-run beliefs computed exactly);
+* :func:`estimate_threshold_met` — ``mu(beta@alpha >= p | alpha)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from ..core.beliefs import belief_random_variable
+from ..core.errors import ConditioningOnNullEventError
+from ..core.facts import Fact
+from ..core.at_operators import at_action
+from ..core.numeric import ProbabilityLike, as_fraction
+from ..core.pps import PPS, Action, AgentId, Node, Run
+from .stats import Estimate
+
+__all__ = [
+    "RunSampler",
+    "estimate_probability",
+    "estimate_conditional",
+    "estimate_achieved",
+    "estimate_expected_belief",
+    "estimate_threshold_met",
+]
+
+
+class RunSampler:
+    """Samples runs of a pps by simulating root-to-leaf walks.
+
+    Args:
+        pps: the system to sample.
+        seed: RNG seed (sampling is fully reproducible).
+    """
+
+    def __init__(self, pps: PPS, *, seed: int = 0) -> None:
+        self.pps = pps
+        self._rng = random.Random(seed)
+        self._leaf_to_run: Dict[int, Run] = {
+            run.nodes[-1].uid: run for run in pps.runs
+        }
+
+    def sample_run(self) -> Run:
+        """One run, drawn from the prior ``mu_T``."""
+        node = self.pps.root
+        while node.children:
+            node = self._choose_child(node)
+        return self._leaf_to_run[node.uid]
+
+    def sample_runs(self, n: int) -> List[Run]:
+        """``n`` iid runs."""
+        return [self.sample_run() for _ in range(n)]
+
+    def _choose_child(self, node: Node) -> Node:
+        pick = self._rng.random()
+        acc = 0.0
+        for child in node.children:
+            acc += float(child.prob_from_parent)
+            if pick < acc:
+                return child
+        return node.children[-1]  # guard against float round-off
+
+
+def estimate_probability(
+    pps: PPS,
+    event: Callable[[Run], bool],
+    *,
+    samples: int = 10_000,
+    seed: int = 0,
+) -> Estimate:
+    """Estimate ``mu(event)`` for a run predicate."""
+    sampler = RunSampler(pps, seed=seed)
+    hits = [1.0 if event(run) else 0.0 for run in sampler.sample_runs(samples)]
+    return Estimate.from_samples(hits)
+
+
+def estimate_conditional(
+    pps: PPS,
+    target: Callable[[Run], bool],
+    given: Callable[[Run], bool],
+    *,
+    samples: int = 10_000,
+    seed: int = 0,
+) -> Estimate:
+    """Estimate ``mu(target | given)`` by rejection sampling.
+
+    ``samples`` counts *accepted* runs, so the precision is controlled
+    regardless of how rare the conditioning event is.
+
+    Raises:
+        ConditioningOnNullEventError: when no run satisfies ``given``
+            within a generous rejection budget.
+    """
+    sampler = RunSampler(pps, seed=seed)
+    hits: List[float] = []
+    budget = samples * 1000
+    drawn = 0
+    while len(hits) < samples and drawn < budget:
+        run = sampler.sample_run()
+        drawn += 1
+        if given(run):
+            hits.append(1.0 if target(run) else 0.0)
+    if not hits:
+        raise ConditioningOnNullEventError(
+            "conditioning event never sampled; is it satisfiable?"
+        )
+    return Estimate.from_samples(hits)
+
+
+def _performs(agent: AgentId, action: Action) -> Callable[[Run], bool]:
+    return lambda run: bool(run.performs(agent, action))
+
+
+def estimate_achieved(
+    pps: PPS,
+    agent: AgentId,
+    phi: Fact,
+    action: Action,
+    *,
+    samples: int = 10_000,
+    seed: int = 0,
+) -> Estimate:
+    """Estimate the achieved probability ``mu(phi@alpha | alpha)``."""
+    phi_at = at_action(phi, agent, action)
+    return estimate_conditional(
+        pps,
+        lambda run: phi_at.holds(pps, run, 0),
+        _performs(agent, action),
+        samples=samples,
+        seed=seed,
+    )
+
+
+def estimate_expected_belief(
+    pps: PPS,
+    agent: AgentId,
+    phi: Fact,
+    action: Action,
+    *,
+    samples: int = 10_000,
+    seed: int = 0,
+) -> Estimate:
+    """Estimate ``E[beta_i(phi)@alpha | alpha]`` (beliefs exact per run)."""
+    variable = belief_random_variable(pps, agent, phi, action)
+    sampler = RunSampler(pps, seed=seed)
+    values: List[float] = []
+    budget = samples * 1000
+    drawn = 0
+    performs = _performs(agent, action)
+    while len(values) < samples and drawn < budget:
+        run = sampler.sample_run()
+        drawn += 1
+        if performs(run):
+            values.append(float(variable(run)))
+    if not values:
+        raise ConditioningOnNullEventError(
+            "the action was never sampled; is it ever performed?"
+        )
+    return Estimate.from_samples(values)
+
+
+def estimate_threshold_met(
+    pps: PPS,
+    agent: AgentId,
+    phi: Fact,
+    action: Action,
+    threshold: ProbabilityLike,
+    *,
+    samples: int = 10_000,
+    seed: int = 0,
+) -> Estimate:
+    """Estimate ``mu(beta_i(phi)@alpha >= threshold | alpha)``."""
+    bound = as_fraction(threshold)
+    variable = belief_random_variable(pps, agent, phi, action)
+    sampler = RunSampler(pps, seed=seed)
+    hits: List[float] = []
+    budget = samples * 1000
+    drawn = 0
+    performs = _performs(agent, action)
+    while len(hits) < samples and drawn < budget:
+        run = sampler.sample_run()
+        drawn += 1
+        if performs(run):
+            hits.append(1.0 if variable(run) >= bound else 0.0)
+    if not hits:
+        raise ConditioningOnNullEventError(
+            "the action was never sampled; is it ever performed?"
+        )
+    return Estimate.from_samples(hits)

@@ -1,0 +1,177 @@
+"""Seeded random system generators for property-based testing.
+
+The paper's theorems quantify over *all* pps; the test-suite
+approximates that universal claim by hammering the theorem checkers on
+randomly generated systems.  Soundness of the generators matters: the
+theorems' premises (protocol structure, properness, synchrony) must
+hold *by construction*, so that a failed check indicates a library bug
+rather than a malformed input.
+
+:func:`random_protocol_system` therefore generates systems through the
+real protocol compiler, with protocols drawn from seed-derived hash
+streams:
+
+* every agent's raw local state is ``(t, payload)``; the transition
+  advances ``t``, so every action label ``(t, k)`` is performed at most
+  once per run — all performed actions are automatically *proper*;
+* action distributions depend only on ``(agent, local state)`` — the
+  protocol-structure premise of Lemma 4.3(b) holds by construction;
+* ``mixed_level`` controls how often steps are mixed, covering both
+  Lemma 4.3(a) (deterministic) and genuinely mixed regimes.
+
+Fact generators:
+
+* :func:`random_state_fact` — a predicate of the current global state
+  (always past-based, hence local-state independent of every proper
+  action by Lemma 4.3(b));
+* :func:`random_run_fact` — a predicate of the whole run (may be
+  *dependent* on actions, exercising the theorems' vacuous branches).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..core.atoms import state_fact
+from ..core.facts import Fact, LambdaRunFact
+from ..core.pps import PPS, Action, AgentId, GlobalState, Run
+from ..protocols.compiler import Config, ProtocolSystem, compile_system
+from ..protocols.distribution import Distribution
+from ..protocols.environment import FunctionEnvironment
+
+__all__ = [
+    "random_protocol_system",
+    "random_state_fact",
+    "random_run_fact",
+    "proper_actions_of",
+]
+
+
+def _derived_rng(*parts: object) -> random.Random:
+    """A deterministic RNG derived from structured keys (not ``hash``,
+    which is salted per interpreter run)."""
+    return random.Random(":".join(repr(part) for part in parts))
+
+
+def _random_weights(rng: random.Random, n: int) -> List[object]:
+    """``n`` positive rational weights summing to one."""
+    from fractions import Fraction
+
+    raw = [rng.randint(1, 5) for _ in range(n)]
+    total = sum(raw)
+    return [Fraction(value, total) for value in raw]
+
+
+def random_protocol_system(
+    seed: int,
+    *,
+    n_agents: int = 2,
+    horizon: int = 2,
+    n_payloads: int = 3,
+    n_actions: int = 2,
+    mixed_level: float = 0.5,
+    n_initials: int = 2,
+) -> PPS:
+    """A random pps generated through the protocol compiler.
+
+    Args:
+        seed: generator seed (same seed, same system).
+        n_agents: number of agents.
+        horizon: number of rounds.
+        n_payloads: size of each agent's raw payload alphabet.
+        n_actions: size of the per-round action alphabet.
+        mixed_level: probability that a local state's step is a mixed
+            action (0 = fully deterministic protocols).
+        n_initials: number of initial configurations.
+    """
+    agents = tuple(f"a{k}" for k in range(n_agents))
+
+    def protocol_for(agent: AgentId):
+        def act(local: object) -> Distribution:
+            t, payload = local
+            rng = _derived_rng(seed, "P", agent, t, payload)
+            labels = [(t, k) for k in range(n_actions)]
+            if rng.random() >= mixed_level or n_actions == 1:
+                return Distribution.point(rng.choice(labels))
+            count = rng.randint(2, n_actions)
+            chosen = rng.sample(labels, count)
+            weights = _random_weights(rng, count)
+            return Distribution(dict(zip(chosen, weights)))
+
+        return act
+
+    def environment(env_state: object, joint: object) -> Distribution:
+        rng = _derived_rng(seed, "E", env_state, tuple(sorted(joint.items())))
+        if rng.random() < 0.5:
+            return Distribution.point(0)
+        weights = _random_weights(rng, 2)
+        return Distribution(dict(zip((0, 1), weights)))
+
+    def transition(env_state, locals_map, joint_actions, env_action):
+        t = env_state
+        new_locals = {}
+        for agent in agents:
+            _, payload = locals_map[agent]
+            rng = _derived_rng(
+                seed, "T", agent, t, payload, joint_actions[agent], env_action
+            )
+            new_locals[agent] = (t + 1, rng.randrange(n_payloads))
+        return t + 1, new_locals
+
+    init_rng = _derived_rng(seed, "I")
+    configs = []
+    seen = set()
+    for _ in range(n_initials):
+        payloads = tuple(init_rng.randrange(n_payloads) for _ in agents)
+        if payloads in seen:
+            continue
+        seen.add(payloads)
+        configs.append(Config(env=0, locals=tuple((0, p) for p in payloads)))
+    weights = _random_weights(init_rng, len(configs))
+
+    system = ProtocolSystem(
+        agents=agents,
+        protocols={agent: protocol_for(agent) for agent in agents},
+        transition=transition,
+        initial=Distribution(dict(zip(configs, weights))),
+        environment=FunctionEnvironment(environment),
+        horizon=horizon,
+    )
+    return compile_system(system, name=f"random-{seed}")
+
+
+def random_state_fact(seed: int, *, density: float = 0.5) -> Fact:
+    """A random past-based fact: a seeded predicate of the global state."""
+
+    def predicate(state: GlobalState) -> bool:
+        return _derived_rng(seed, "SF", state.env, state.locals).random() < density
+
+    return state_fact(predicate, label=f"random-state-fact({seed})")
+
+
+def random_run_fact(seed: int, *, density: float = 0.5) -> Fact:
+    """A random fact about runs: a seeded predicate of the run's path.
+
+    Depends on the *entire* run (future included), so it is generally
+    neither past-based nor local-state independent — useful for
+    exercising the theorems' premise-failure branches.
+    """
+
+    def predicate(pps: PPS, run: Run) -> bool:
+        shape = tuple(
+            (node.state.env, node.state.locals) for node in run.nodes
+        )
+        return _derived_rng(seed, "RF", shape).random() < density
+
+    return LambdaRunFact(predicate, label=f"random-run-fact({seed})")
+
+
+def proper_actions_of(pps: PPS, agent: AgentId) -> List[Action]:
+    """All proper actions of ``agent`` in ``pps``, deterministically ordered."""
+    from ..core.actions import is_proper
+
+    return sorted(
+        (action for action in pps.actions_of(agent) if is_proper(pps, agent, action)),
+        key=repr,
+    )

@@ -1,0 +1,113 @@
+"""Rendering helpers: trees, experiment records, paper-vs-measured tables.
+
+:func:`render_tree` draws a pps as indented ASCII (the shape of the
+paper's Figures 1 and 2 as printed by ``examples/``).
+:class:`ExperimentRecord` is the unit of EXPERIMENTS.md: a paper claim
+(exact expected value) next to the measured value, with a match flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence
+
+from ..core.numeric import ProbabilityLike, as_fraction
+from ..core.pps import PPS, Node
+
+__all__ = ["render_tree", "ExperimentRecord", "format_experiments"]
+
+
+def _node_line(pps: PPS, node: Node) -> str:
+    if node.is_root:
+        return "(root)"
+    assert node.state is not None
+    locals_repr = ", ".join(
+        f"{agent}={local!r}" for agent, local in zip(pps.agents, node.state.locals)
+    )
+    action = ""
+    if node.via_action:
+        inner = ", ".join(f"{k}:{v!r}" for k, v in sorted(node.via_action.items(), key=lambda kv: str(kv[0])))
+        action = f" via {{{inner}}}"
+    return f"p={node.prob_from_parent} t={node.time} [{locals_repr}]{action}"
+
+
+def render_tree(pps: PPS, *, max_nodes: int = 500) -> str:
+    """An indented ASCII rendering of the execution tree.
+
+    Args:
+        pps: the system to draw.
+        max_nodes: safety cap; larger trees are truncated with a note.
+    """
+    lines: List[str] = [f"pps {pps.name!r} agents={pps.agents}"]
+    count = 0
+
+    def visit(node: Node, depth: int) -> None:
+        nonlocal count
+        if count >= max_nodes:
+            return
+        count += 1
+        lines.append("  " * depth + _node_line(pps, node))
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(pps.root, 0)
+    if count >= max_nodes:
+        lines.append(f"... truncated at {max_nodes} nodes ...")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One paper-claim-versus-measured comparison.
+
+    Attributes:
+        experiment: experiment id (e.g. ``"E1"``).
+        quantity: what is being compared.
+        paper: the value the paper states (exact rational, or None when
+            the paper gives only a qualitative claim).
+        measured: the value this library computes.
+        note: provenance or derivation notes.
+    """
+
+    experiment: str
+    quantity: str
+    paper: Optional[Fraction]
+    measured: Fraction
+    note: str = ""
+
+    @property
+    def matches(self) -> bool:
+        """Exact agreement with the paper (vacuously true if no claim)."""
+        return self.paper is None or self.paper == self.measured
+
+    @classmethod
+    def of(
+        cls,
+        experiment: str,
+        quantity: str,
+        paper: Optional[ProbabilityLike],
+        measured: ProbabilityLike,
+        note: str = "",
+    ) -> "ExperimentRecord":
+        return cls(
+            experiment=experiment,
+            quantity=quantity,
+            paper=None if paper is None else as_fraction(paper),
+            measured=as_fraction(measured),
+            note=note,
+        )
+
+
+def format_experiments(records: Sequence[ExperimentRecord]) -> str:
+    """A paper-vs-measured table (also pasted into EXPERIMENTS.md)."""
+    header = f"{'exp':4}  {'quantity':42}  {'paper':22}  {'measured':22}  match"
+    lines = [header, "-" * len(header)]
+    for record in records:
+        paper = "—" if record.paper is None else f"{record.paper} (~{float(record.paper):.6g})"
+        measured = f"{record.measured} (~{float(record.measured):.6g})"
+        lines.append(
+            f"{record.experiment:4}  {record.quantity:42.42}  {paper:22}  "
+            f"{measured:22}  {'OK' if record.matches else 'MISMATCH'}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Small statistics helpers shared by the Monte-Carlo and sweep tooling.
+
+Pure Python (no numpy dependency in the library core): sample mean,
+unbiased variance, normal-approximation confidence intervals and the
+distribution-free Hoeffding bound for [0, 1]-valued variables — the
+right tool for probability estimates, which is what every Monte-Carlo
+quantity in this library is.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["mean", "variance", "normal_halfwidth", "hoeffding_halfwidth", "Estimate"]
+
+_Z_95 = 1.959963984540054  # two-sided 95% normal quantile
+
+
+def mean(values: Sequence[float]) -> float:
+    """The sample mean.
+
+    Raises:
+        ValueError: on an empty sample.
+    """
+    if not values:
+        raise ValueError("mean of an empty sample")
+    return sum(values) / len(values)
+
+
+def variance(values: Sequence[float]) -> float:
+    """The unbiased sample variance (0 for samples of size < 2)."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    m = mean(values)
+    return sum((v - m) ** 2 for v in values) / (n - 1)
+
+
+def normal_halfwidth(values: Sequence[float], *, z: float = _Z_95) -> float:
+    """Half-width of the normal-approximation confidence interval."""
+    n = len(values)
+    if n == 0:
+        raise ValueError("confidence interval of an empty sample")
+    return z * math.sqrt(variance(values) / n)
+
+
+def hoeffding_halfwidth(n: int, *, delta: float = 0.05, range_width: float = 1.0) -> float:
+    """Hoeffding half-width: |estimate - truth| <= this w.p. >= 1 - delta.
+
+    Valid for iid samples of a variable bounded in an interval of width
+    ``range_width`` — distribution-free, hence conservative.
+    """
+    if n <= 0:
+        raise ValueError("sample size must be positive")
+    if not (0 < delta < 1):
+        raise ValueError("delta must be in (0, 1)")
+    return range_width * math.sqrt(math.log(2.0 / delta) / (2.0 * n))
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A Monte-Carlo estimate with its uncertainty.
+
+    Attributes:
+        value: the point estimate (sample mean).
+        n: sample size.
+        halfwidth: 95% normal-approximation half-width.
+        hoeffding: distribution-free 95% half-width.
+    """
+
+    value: float
+    n: int
+    halfwidth: float
+    hoeffding: float
+
+    @classmethod
+    def from_samples(cls, values: Sequence[float]) -> "Estimate":
+        return cls(
+            value=mean(values),
+            n=len(values),
+            halfwidth=normal_halfwidth(values),
+            hoeffding=hoeffding_halfwidth(len(values)),
+        )
+
+    def consistent_with(self, truth: float, *, slack: float = 0.0) -> bool:
+        """Whether ``truth`` lies within the Hoeffding interval (+ slack)."""
+        return abs(self.value - truth) <= self.hoeffding + slack
+
+    def __str__(self) -> str:
+        return f"{self.value:.6g} ± {self.halfwidth:.2g} (n={self.n})"

@@ -1,0 +1,84 @@
+"""Parameter-sweep harness for the benchmark tables.
+
+Every benchmark regenerates a "table" of the reproduction — a grid of
+parameter combinations with derived exact quantities.  :func:`sweep`
+runs a row function over the cartesian product of a parameter grid and
+collects the rows; :func:`format_table` renders them for terminal
+output (benchmarks print these so the reproduced tables are visible in
+the benchmark logs).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product as iter_product
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["sweep", "format_table", "format_value"]
+
+Row = Dict[str, object]
+
+
+def sweep(
+    grid: Mapping[str, Sequence[object]],
+    row_fn: Callable[..., Mapping[str, object]],
+) -> List[Row]:
+    """Evaluate ``row_fn`` on every point of the parameter grid.
+
+    Args:
+        grid: parameter name -> values; the cartesian product is
+            traversed in a deterministic order.
+        row_fn: called with the grid point as keyword arguments; its
+            result is merged (after) the parameters into the row.
+
+    Returns:
+        one merged row dict per grid point.
+    """
+    names = list(grid)
+    rows: List[Row] = []
+    for combo in iter_product(*(grid[name] for name in names)):
+        params = dict(zip(names, combo))
+        result = row_fn(**params)
+        row: Row = dict(params)
+        row.update(result)
+        rows.append(row)
+    return rows
+
+
+def format_value(value: object) -> str:
+    """Render a cell: Fractions as ``p/q (~float)``, floats compactly."""
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return str(value.numerator)
+        return f"{value} (~{float(value):.6g})"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Row],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0])
+    cells = [[format_value(row.get(col, "")) for col in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(row[k]) for row in cells))
+        for k, col in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[k]) for k, col in enumerate(cols))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[k]) for k, cell in enumerate(row)))
+    return "\n".join(lines)

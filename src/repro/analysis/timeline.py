@@ -1,0 +1,94 @@
+"""Belief evolution over time.
+
+The paper's systems all share a temporal story — beliefs sharpen round
+by round as messages arrive (or fail to).  :func:`belief_timeline`
+computes, for one agent and condition, the complete belief landscape:
+for every time ``t``, every information state the agent can be in, the
+probability of being there and the belief held there.
+
+:func:`expected_belief_by_time` collapses the landscape to the expected
+belief per round — which, for a fact about runs, is a *martingale*
+under the agent's information filtration (conditional expectations with
+respect to a growing information partition).  The property tests check
+exactly that, giving an independent probabilistic sanity check of the
+posterior computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List
+
+from ..core.beliefs import belief, occurrence_event
+from ..core.facts import Fact
+from ..core.measure import probability
+from ..core.numeric import Probability
+from ..core.pps import PPS, AgentId, LocalState
+
+__all__ = ["TimelineCell", "belief_timeline", "expected_belief_by_time"]
+
+
+@dataclass(frozen=True)
+class TimelineCell:
+    """One information state at one time.
+
+    Attributes:
+        time: the time ``t``.
+        local: the agent's local state.
+        mass: ``mu(runs passing through this state)``.
+        belief: the belief in the condition held at this state.
+    """
+
+    time: int
+    local: LocalState
+    mass: Probability
+    belief: Probability
+
+
+def belief_timeline(
+    pps: PPS, agent: AgentId, phi: Fact
+) -> Dict[int, List[TimelineCell]]:
+    """The full belief landscape: time -> cells sorted by belief.
+
+    Only times at which the agent is alive (some run is long enough)
+    appear.  Within each time the cell masses sum to the probability of
+    reaching that time at all.
+    """
+    by_time: Dict[int, Dict[LocalState, TimelineCell]] = {}
+    for run in pps.runs:
+        for t in run.times():
+            local = run.local(agent, t)
+            slot = by_time.setdefault(t, {})
+            if local not in slot:
+                slot[local] = TimelineCell(
+                    time=t,
+                    local=local,
+                    mass=probability(pps, occurrence_event(pps, agent, local)),
+                    belief=belief(pps, agent, phi, local),
+                )
+    return {
+        t: sorted(cells.values(), key=lambda cell: (cell.belief, str(cell.local)))
+        for t, cells in sorted(by_time.items())
+    }
+
+
+def expected_belief_by_time(
+    pps: PPS, agent: AgentId, phi: Fact
+) -> Dict[int, Probability]:
+    """The expected belief per round, weighted by state mass.
+
+    For a fact about runs evaluated over a common horizon this sequence
+    is constant (the martingale property of conditional expectation);
+    for transient facts it tracks the fact's truth-mass at each time.
+    Times reached by only part of the run space are normalized by the
+    surviving mass.
+    """
+    result: Dict[int, Probability] = {}
+    for t, cells in belief_timeline(pps, agent, phi).items():
+        total = sum((cell.mass for cell in cells), start=Fraction(0))
+        weighted = sum(
+            (cell.mass * cell.belief for cell in cells), start=Fraction(0)
+        )
+        result[t] = weighted / total
+    return result

@@ -1,0 +1,141 @@
+"""Whole-system verification: run every theorem checker at once.
+
+:func:`verify_constraint` evaluates all seven checkers for a single
+(agent, action, condition, threshold) and returns them keyed by name;
+:func:`assert_theorems` raises if any applicable theorem's conclusion
+fails — the library's strongest self-check, used by the property-based
+tests (a failure means the implementation contradicts the paper).
+:func:`verify_system` sweeps the checkers over every proper action of
+every agent against a supplied family of conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from ..core.facts import Fact
+from ..core.numeric import ProbabilityLike, as_fraction
+from ..core.pps import PPS, Action, AgentId
+from ..core.theorems import (
+    TheoremCheck,
+    check_corollary_7_2,
+    check_lemma_4_3,
+    check_lemma_5_1,
+    check_lemma_f_1,
+    check_theorem_4_2,
+    check_theorem_6_2,
+    check_theorem_7_1,
+)
+from .random_systems import proper_actions_of
+
+__all__ = ["verify_constraint", "assert_theorems", "verify_system", "SystemVerification"]
+
+
+def verify_constraint(
+    pps: PPS,
+    agent: AgentId,
+    action: Action,
+    phi: Fact,
+    threshold: ProbabilityLike = "1/2",
+    *,
+    delta: ProbabilityLike = "1/10",
+    epsilon: ProbabilityLike = "1/10",
+) -> Dict[str, TheoremCheck]:
+    """All theorem checks for one constraint."""
+    p = as_fraction(threshold)
+    return {
+        "theorem-4.2": check_theorem_4_2(pps, agent, action, phi, p),
+        "lemma-4.3": check_lemma_4_3(pps, agent, action, phi),
+        "lemma-5.1": check_lemma_5_1(pps, agent, action, phi, p),
+        "theorem-6.2": check_theorem_6_2(pps, agent, action, phi),
+        "lemma-F.1": check_lemma_f_1(pps, agent, action, phi),
+        "theorem-7.1": check_theorem_7_1(pps, agent, action, phi, delta, epsilon),
+        "corollary-7.2": check_corollary_7_2(pps, agent, action, phi, epsilon),
+    }
+
+
+def assert_theorems(
+    pps: PPS,
+    agent: AgentId,
+    action: Action,
+    phi: Fact,
+    threshold: ProbabilityLike = "1/2",
+) -> None:
+    """Raise ``AssertionError`` if any applicable theorem fails.
+
+    Because the theorems are proved for every pps, a failure here means
+    a bug in the library (or a malformed system that escaped
+    validation), never a property of the inputs.
+    """
+    for name, check in verify_constraint(pps, agent, action, phi, threshold).items():
+        if not check.verified:
+            raise AssertionError(
+                f"{name} FAILED on {pps.name}: {check} details={check.details}"
+            )
+
+
+@dataclass
+class SystemVerification:
+    """Aggregated verification results over a whole system.
+
+    Attributes:
+        system_name: the system checked.
+        results: (agent, action, fact label, theorem) -> check.
+        failures: the subset of checks whose implication failed.
+    """
+
+    system_name: str
+    results: Dict[Tuple[AgentId, Action, str, str], TheoremCheck] = field(
+        default_factory=dict
+    )
+
+    @property
+    def failures(self) -> Dict[Tuple[AgentId, Action, str, str], TheoremCheck]:
+        return {
+            key: check for key, check in self.results.items() if not check.verified
+        }
+
+    @property
+    def all_verified(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        total = len(self.results)
+        applicable = sum(1 for c in self.results.values() if c.applicable)
+        lines = [
+            f"verification of {self.system_name}: {total} checks, "
+            f"{applicable} with premises satisfied, "
+            f"{len(self.failures)} failures"
+        ]
+        for key, check in self.failures.items():
+            lines.append(f"  FAIL {key}: {check}")
+        return "\n".join(lines)
+
+
+def verify_system(
+    pps: PPS,
+    conditions: Mapping[str, Fact],
+    *,
+    agents: Sequence[AgentId] = (),
+    thresholds: Sequence[ProbabilityLike] = ("1/2",),
+) -> SystemVerification:
+    """Run every checker over every proper action against ``conditions``.
+
+    Args:
+        pps: the system.
+        conditions: label -> fact, the conditions to pair with actions.
+        agents: which agents to scan (default: all).
+        thresholds: thresholds for the threshold-parameterized theorems.
+    """
+    verification = SystemVerification(system_name=pps.name)
+    scan = tuple(agents) or pps.agents
+    for agent in scan:
+        for action in proper_actions_of(pps, agent):
+            for label, phi in conditions.items():
+                for threshold in thresholds:
+                    checks = verify_constraint(pps, agent, action, phi, threshold)
+                    for name, check in checks.items():
+                        key = (agent, action, f"{label}@p={threshold}", name)
+                        verification.results[key] = check
+    return verification

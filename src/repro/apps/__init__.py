@@ -1,0 +1,36 @@
+"""Application systems: every scenario the paper analyzes or motivates.
+
+* :mod:`repro.apps.firing_squad` — Example 1's FS protocol and the
+  Section 8 improvement FS'.
+* :mod:`repro.apps.figure1` — the mixed-action counterexample.
+* :mod:`repro.apps.theorem52` — the parametric Figure 2 construction.
+* :mod:`repro.apps.coordinated_attack` — Fischer–Zuck coordinated
+  attack with configurable acknowledgement rounds.
+* :mod:`repro.apps.mutex` — relaxed probabilistic mutual exclusion.
+* :mod:`repro.apps.consensus` — one-shot lossy-broadcast consensus.
+* :mod:`repro.apps.judge` — verdicts beyond reasonable doubt.
+"""
+
+from . import (
+    aloha,
+    ben_or,
+    consensus,
+    coordinated_attack,
+    figure1,
+    firing_squad,
+    judge,
+    mutex,
+    theorem52,
+)
+
+__all__ = [
+    "aloha",
+    "ben_or",
+    "consensus",
+    "coordinated_attack",
+    "figure1",
+    "firing_squad",
+    "judge",
+    "mutex",
+    "theorem52",
+]

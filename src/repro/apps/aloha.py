@@ -1,0 +1,125 @@
+"""Slotted ALOHA: mixed actions with independence beyond Lemma 4.3.
+
+The paper motivates probabilistic protocols with symmetry breaking and
+random access (Abramson's ALOHA is its reference [1]).  This module
+implements single-slot-window slotted ALOHA: ``n`` stations each hold a
+pending packet and independently transmit in each slot with probability
+``persistence``; a transmission succeeds iff no other station transmits
+in the same slot.
+
+Epistemically this system is the library's most interesting mixed-action
+case.  The transmit action is *mixed* (a coin flipped at the local
+state) and the success condition "no other station is transmitting"
+is *not* past-based (it depends on the current round's actions), so
+**neither clause of Lemma 4.3 applies** — yet the condition *is*
+local-state independent of the action, because the other stations'
+coins are independent of mine.  Definition 4.1 holds "by physics", and
+Theorem 6.2's expectation identity is exact.  Tests and the bench
+verify precisely this.
+
+The constraint studied: ``mu(channel clear @ transmit | transmit) >= p``
+— when a station transmits, the slot should be collision-free whp.
+For ``n`` stations with persistence ``q`` the exact value is
+``(1 - q)^(n-1)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.atoms import does_
+from ..core.facts import And, Fact, Not
+from ..core.numeric import ProbabilityLike, as_fraction
+from ..core.pps import PPS, AgentId
+from ..messaging.channels import ReliableChannel
+from ..messaging.messages import Move
+from ..messaging.network import RoundProtocol
+from ..messaging.system import MessagePassingSystem
+from ..protocols.distribution import Distribution
+
+__all__ = [
+    "station_names",
+    "transmit_action",
+    "build_aloha",
+    "transmits",
+    "channel_clear_for",
+    "slot_success",
+]
+
+
+def station_names(n: int) -> Tuple[AgentId, ...]:
+    """The canonical station names."""
+    return tuple(f"station-{k}" for k in range(n))
+
+
+def transmit_action(slot: int) -> Tuple[str, int]:
+    """The (slot-tagged, hence proper) transmit action label."""
+    return ("tx", slot)
+
+
+class _Station(RoundProtocol):
+    """Transmit with probability ``persistence`` in every slot."""
+
+    def __init__(self, persistence: ProbabilityLike, slots: int) -> None:
+        self._persistence = as_fraction(persistence)
+        self._slots = slots
+
+    def step(self, local: object):
+        slot = local  # the raw local state is simply the slot counter
+        if not isinstance(slot, int) or slot >= self._slots:
+            return Move()
+        send = Move.acting(transmit_action(slot))
+        hold = Move.acting(("idle", slot))
+        if self._persistence == 1:
+            return send
+        if self._persistence == 0:
+            return hold
+        return Distribution({send: self._persistence, hold: 1 - self._persistence})
+
+    def update(self, local: object, move: Move, delivered: tuple) -> object:
+        return (local + 1) if isinstance(local, int) else local
+
+
+def build_aloha(
+    *,
+    n: int = 3,
+    persistence: ProbabilityLike = "1/4",
+    slots: int = 1,
+) -> PPS:
+    """Compile the slotted-ALOHA system.
+
+    Args:
+        n: number of stations (tree has ``2^(n*slots)`` runs).
+        persistence: per-slot transmit probability of each station.
+        slots: number of slots to model.
+    """
+    if n < 2:
+        raise ValueError("ALOHA needs at least two stations")
+    if slots < 1:
+        raise ValueError("at least one slot is required")
+    names = station_names(n)
+    system = MessagePassingSystem(
+        agents=names,
+        protocols={name: _Station(persistence, slots) for name in names},
+        channel=ReliableChannel(),
+        initial=Distribution.point(tuple(0 for _ in names)),
+        horizon=slots,
+        name=f"aloha(n={n},q={as_fraction(persistence)})",
+    )
+    return system.compile()
+
+
+def transmits(station: AgentId, slot: int = 0) -> Fact:
+    """The transient fact that ``station`` is transmitting in ``slot``."""
+    return does_(station, transmit_action(slot))
+
+
+def channel_clear_for(station: AgentId, n: int, slot: int = 0) -> Fact:
+    """No *other* station is transmitting in the slot."""
+    others = [name for name in station_names(n) if name != station]
+    return And(*[Not(transmits(other, slot)) for other in others])
+
+
+def slot_success(station: AgentId, n: int, slot: int = 0) -> Fact:
+    """``station`` transmits and owns the slot alone."""
+    return transmits(station, slot) & channel_clear_for(station, n, slot)

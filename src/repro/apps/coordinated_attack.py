@@ -1,0 +1,168 @@
+"""Probabilistic coordinated attack (Fischer–Zuck style).
+
+The scenario behind both the paper's Example 1 and the classical
+coordinated-attack impossibility: general A receives (with probability
+``order_probability``) an order to attack; she dispatches a messenger
+to general B over a lossy channel, after which the two exchange
+acknowledgements for a configurable number of rounds.  At the deadline
+A attacks iff she has the order, and B attacks iff the original order
+message reached him.
+
+Quantities of interest, all exact:
+
+* the constraint ``mu(both attack | A attacks) = 1 - loss``
+  irrespective of the number of acknowledgement rounds (acks carry no
+  additional success probability — the well-known futility of the
+  generals' conversation);
+* A's *belief* that B will attack, by contrast, is refined by each
+  acknowledgement: with more ack rounds the belief profile spreads
+  toward 0/1 while its expectation stays exactly ``1 - loss``
+  (Theorem 6.2 in action);
+* Fischer and Zuck's observation — the expected acting belief equals
+  the success probability — is :func:`repro.core.expectation.expected_belief`
+  applied to this system.
+
+The number of rounds is ``ack_rounds + 1`` message rounds followed by
+one action round.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.atoms import does_
+from ..core.facts import Fact
+from ..core.numeric import ProbabilityLike, as_fraction
+from ..core.pps import PPS
+from ..messaging.channels import LossyChannel
+from ..messaging.messages import Message, Move
+from ..messaging.network import RecordingState, RoundProtocol
+from ..messaging.system import MessagePassingSystem
+from ..protocols.distribution import Distribution
+
+__all__ = [
+    "GENERAL_A",
+    "GENERAL_B",
+    "ATTACK",
+    "build_coordinated_attack",
+    "attack_a",
+    "attack_b",
+    "both_attack",
+]
+
+GENERAL_A = "general-a"
+GENERAL_B = "general-b"
+ATTACK = "attack"
+ORDER = "attack-at-dawn"
+ACK = "ack"
+
+
+class _GeneralA(RoundProtocol):
+    """A: send the order in round 0, ack B's acks, attack at the deadline."""
+
+    def __init__(self, deadline: int) -> None:
+        self._deadline = deadline
+
+    def step(self, local: RecordingState) -> Move:
+        has_order = local.payload == 1
+        t = local.rounds_elapsed
+        if not has_order:
+            return Move()
+        if t == 0:
+            return Move.sending(Message(GENERAL_A, GENERAL_B, ORDER))
+        if t == self._deadline:
+            return Move.acting(ATTACK)
+        # Even ack rounds (2, 4, ...) are A's: reply if B's ack arrived.
+        if t < self._deadline and t % 2 == 0 and local.received(t - 1):
+            return Move.sending(Message(GENERAL_A, GENERAL_B, (ACK, t)))
+        return Move()
+
+    def update(
+        self, local: RecordingState, move: Move, delivered: Tuple[Message, ...]
+    ) -> RecordingState:
+        return local.observe(move.action, delivered)
+
+
+class _GeneralB(RoundProtocol):
+    """B: ack anything received, attack at the deadline iff ordered."""
+
+    def __init__(self, deadline: int) -> None:
+        self._deadline = deadline
+
+    def _got_order(self, local: RecordingState) -> bool:
+        return any(
+            message.content == ORDER
+            for _, messages in local.observations
+            for message in messages
+        )
+
+    def step(self, local: RecordingState) -> Move:
+        t = local.rounds_elapsed
+        if t == self._deadline:
+            if self._got_order(local):
+                return Move.acting(ATTACK)
+            return Move()
+        # Odd ack rounds (1, 3, ...) are B's: reply if A's message arrived.
+        if 0 < t < self._deadline and t % 2 == 1 and local.received(t - 1):
+            return Move.sending(Message(GENERAL_B, GENERAL_A, (ACK, t)))
+        return Move()
+
+    def update(
+        self, local: RecordingState, move: Move, delivered: Tuple[Message, ...]
+    ) -> RecordingState:
+        return local.observe(move.action, delivered)
+
+
+def build_coordinated_attack(
+    *,
+    loss: ProbabilityLike = "0.1",
+    order_probability: ProbabilityLike = "0.5",
+    ack_rounds: int = 1,
+) -> PPS:
+    """Compile the coordinated-attack system.
+
+    Args:
+        loss: per-message loss probability.
+        order_probability: probability A receives the attack order.
+        ack_rounds: number of acknowledgement rounds after the order
+            round (0 = no conversation; 1 = B acks; 2 = B acks, A acks
+            back; ...).
+
+    The attack actions are performed at time ``ack_rounds + 1``.
+    """
+    if ack_rounds < 0:
+        raise ValueError("ack_rounds must be non-negative")
+    order_p = as_fraction(order_probability)
+    deadline = ack_rounds + 1
+    initial: dict = {}
+    if order_p < 1:
+        initial[(RecordingState(0), RecordingState(None))] = 1 - order_p
+    if order_p > 0:
+        initial[(RecordingState(1), RecordingState(None))] = order_p
+    system = MessagePassingSystem(
+        agents=[GENERAL_A, GENERAL_B],
+        protocols={
+            GENERAL_A: _GeneralA(deadline),
+            GENERAL_B: _GeneralB(deadline),
+        },
+        channel=LossyChannel(loss),
+        initial=Distribution(initial),
+        horizon=deadline + 1,
+        name=f"coordinated-attack(acks={ack_rounds})",
+    )
+    return system.compile()
+
+
+def attack_a() -> Fact:
+    """The transient fact that general A is currently attacking."""
+    return does_(GENERAL_A, ATTACK)
+
+
+def attack_b() -> Fact:
+    """The transient fact that general B is currently attacking."""
+    return does_(GENERAL_B, ATTACK)
+
+
+def both_attack() -> Fact:
+    """The transient fact that both generals are currently attacking."""
+    return attack_a() & attack_b()

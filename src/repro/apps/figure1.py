@@ -1,0 +1,70 @@
+"""The paper's Figure 1: the mixed-action counterexample system.
+
+A single agent ``i`` and a single initial global state ``g0``.  At time
+0 the agent performs ``alpha`` or ``alpha'``, each with probability
+1/2 — a mixed action step.  The resulting pps has two runs.
+
+The system defeats two natural conjectures (both rescued by local-state
+independence):
+
+* **Section 4** (sufficiency fails): for ``psi = ~does_i(alpha)``,
+  ``beta_i(psi) = 1/2`` whenever ``i`` performs ``alpha`` — the belief
+  meets the threshold 1/2 — yet ``mu(psi@alpha | alpha) = 0``.
+* **Section 6** (the expectation identity fails): for
+  ``phi = does_i(alpha)``, ``mu(phi@alpha | alpha) = 1`` while
+  ``E[beta_i(phi)@alpha | alpha] = 1/2``.
+
+Build the system with :func:`build_figure1`; the two facts are
+:func:`psi_not_alpha` and :func:`phi_alpha`.
+"""
+
+from __future__ import annotations
+
+from ..core.atoms import does_
+from ..core.builder import PPSBuilder
+from ..core.facts import Fact
+from ..core.numeric import ProbabilityLike, as_fraction
+from ..core.pps import PPS
+
+__all__ = [
+    "AGENT",
+    "ALPHA",
+    "ALPHA_PRIME",
+    "build_figure1",
+    "psi_not_alpha",
+    "phi_alpha",
+]
+
+AGENT = "i"
+ALPHA = "alpha"
+ALPHA_PRIME = "alpha'"
+
+
+def build_figure1(*, mix: ProbabilityLike = "1/2") -> PPS:
+    """The Figure 1 pps, with a configurable mixing probability.
+
+    Args:
+        mix: the probability of ``alpha`` in the mixed step (the paper
+            uses 1/2; benchmarks sweep it).
+
+    Both successor states carry the *same* agent local state: the agent
+    does not learn which action was realized, which is what keeps its
+    belief pinned at the prior.
+    """
+    builder = PPSBuilder([AGENT], name="figure-1")
+    g0 = builder.initial(1, {AGENT: (0, "g0")})
+    g0.child(mix, {AGENT: (1, "g1")}, actions={AGENT: ALPHA})
+    rest = 1 - as_fraction(mix)
+    if rest > 0:
+        g0.child(rest, {AGENT: (1, "g1")}, actions={AGENT: ALPHA_PRIME})
+    return builder.build()
+
+
+def psi_not_alpha() -> Fact:
+    """``psi = ~does_i(alpha)`` — the Section 4 counterexample condition."""
+    return ~does_(AGENT, ALPHA)
+
+
+def phi_alpha() -> Fact:
+    """``phi = does_i(alpha)`` — the Section 6 counterexample condition."""
+    return does_(AGENT, ALPHA)

@@ -1,0 +1,158 @@
+"""The relaxed firing squad (the paper's Example 1) and its improvement.
+
+Setting: a synchronous network of Alice and Bob in which every message
+is lost independently with probability 0.1.  Alice holds a binary flag
+``go`` (1 with probability 0.5).
+
+**Spec.** If ``go = 0`` neither agent ever fires; if ``go = 1``,
+``mu(both fire | Alice fires) >= 0.95``.
+
+**Protocol FS.** When ``go = 1`` Alice sends two messages to Bob in the
+first round and fires at time 2.  Bob replies 'Yes' in the second round
+and fires at time 2 if he received at least one message; otherwise he
+replies 'No' and never fires.
+
+Paper-derived exact quantities (all reproduced by this module and
+asserted in tests and benchmarks):
+
+=============================================  =============
+``mu(both@fireA | fireA)``                     99/100 = 0.99
+measure of fireA-runs meeting threshold 0.95   991/1000
+measure of fireA-runs missing it               9/1000
+Alice's acting beliefs                         1, 0, 99/100
+improved FS' success                           990/991 ~ 0.99899
+=============================================  =============
+
+**Protocol FS'** (Section 8): identical except that Alice does *not*
+fire after receiving 'No'.  Build it with ``improved=True``; it is also
+the output of :func:`repro.protocols.strategies.refrain_below_threshold`
+applied to FS — tests confirm the two coincide.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.atoms import does_
+from ..core.facts import Fact
+from ..core.numeric import ProbabilityLike, as_fraction
+from ..core.pps import PPS
+from ..messaging.channels import LossyChannel
+from ..messaging.messages import Message, Move
+from ..messaging.network import RecordingState, RoundProtocol
+from ..messaging.system import MessagePassingSystem
+from ..protocols.distribution import Distribution
+
+__all__ = [
+    "ALICE",
+    "BOB",
+    "FIRE",
+    "THRESHOLD",
+    "build_firing_squad",
+    "fire_alice",
+    "fire_bob",
+    "both_fire",
+]
+
+ALICE = "alice"
+BOB = "bob"
+FIRE = "fire"
+YES = "Yes"
+NO = "No"
+THRESHOLD = as_fraction("0.95")
+"""The Spec's required probability that both fire, given Alice fires."""
+
+
+class AliceProtocol(RoundProtocol):
+    """Alice: send two messages in round 0 (if ``go = 1``), fire at time 2.
+
+    With ``improved=True`` she refrains from firing after a 'No'
+    (the Section 8 variant FS').
+    """
+
+    def __init__(self, *, improved: bool = False) -> None:
+        self.improved = improved
+
+    def step(self, local: RecordingState) -> Move:
+        go = local.payload
+        t = local.rounds_elapsed
+        if t == 0 and go == 1:
+            return Move.sending(
+                Message(ALICE, BOB, "m1"), Message(ALICE, BOB, "m2")
+            )
+        if t == 2 and go == 1:
+            if self.improved and NO in local.received_contents(1):
+                return Move()
+            return Move.acting(FIRE)
+        return Move()
+
+    def update(
+        self, local: RecordingState, move: Move, delivered: Tuple[Message, ...]
+    ) -> RecordingState:
+        return local.observe(move.action, delivered)
+
+
+class BobProtocol(RoundProtocol):
+    """Bob: acknowledge in round 1, fire at time 2 iff round 0 delivered."""
+
+    def step(self, local: RecordingState) -> Move:
+        t = local.rounds_elapsed
+        if t == 1:
+            reply = YES if local.received(0) else NO
+            return Move.sending(Message(BOB, ALICE, reply))
+        if t == 2 and local.received(0):
+            return Move.acting(FIRE)
+        return Move()
+
+    def update(
+        self, local: RecordingState, move: Move, delivered: Tuple[Message, ...]
+    ) -> RecordingState:
+        return local.observe(move.action, delivered)
+
+
+def build_firing_squad(
+    *,
+    loss: ProbabilityLike = "0.1",
+    go_probability: ProbabilityLike = "0.5",
+    improved: bool = False,
+) -> PPS:
+    """Compile the FS (or FS') system.
+
+    Args:
+        loss: per-message loss probability (paper: 0.1).
+        go_probability: probability that Alice's flag is 1 (paper: 0.5).
+        improved: build FS' (Alice refrains on 'No') instead of FS.
+    """
+    go_p = as_fraction(go_probability)
+    initial: dict = {}
+    if go_p < 1:
+        initial[(RecordingState(0), RecordingState(None))] = 1 - go_p
+    if go_p > 0:
+        initial[(RecordingState(1), RecordingState(None))] = go_p
+    system = MessagePassingSystem(
+        agents=[ALICE, BOB],
+        protocols={
+            ALICE: AliceProtocol(improved=improved),
+            BOB: BobProtocol(),
+        },
+        channel=LossyChannel(loss),
+        initial=Distribution(initial),
+        horizon=3,
+        name="firing-squad" + ("-improved" if improved else ""),
+    )
+    return system.compile()
+
+
+def fire_alice() -> Fact:
+    """The transient fact that Alice is currently firing."""
+    return does_(ALICE, FIRE)
+
+
+def fire_bob() -> Fact:
+    """The transient fact that Bob is currently firing."""
+    return does_(BOB, FIRE)
+
+
+def both_fire() -> Fact:
+    """``phi_both``: both agents are currently firing."""
+    return fire_alice() & fire_bob()

@@ -1,0 +1,122 @@
+"""Relaxed probabilistic mutual exclusion.
+
+The paper's introduction motivates probabilistic constraints with a
+relaxed ME property: "upon entry to the critical section, it should be
+empty with very high probability, rather than in all cases."  This
+module builds the smallest interesting such system:
+
+Two symmetric processes.  Each wants the critical section with
+probability ``contention`` (independently).  A process that wants the
+CS announces its request to its peer over a lossy channel in round 0.
+At time 1 a process *enters* the CS iff it wants the CS and heard no
+request from the peer (a request it failed to hear is exactly how an
+exclusion violation can arise).
+
+With contention ``w`` and loss ``l`` the exact exclusion quality is::
+
+    mu(peer not entering @ enter | enter)
+        = 1 - w*l*(w*l + (1-w) + w*(1-l)*l ... )   -- computed exactly
+          by the library rather than by hand; benchmarks sweep w and l.
+
+The condition "the CS is empty of the peer" is a *transient* fact about
+the current joint action, and entering is a deterministic function of
+the local state, so Lemma 4.3(a) yields local-state independence and
+the whole PAK machinery applies.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.atoms import does_
+from ..core.facts import Fact
+from ..core.numeric import ProbabilityLike, as_fraction
+from ..core.pps import PPS, AgentId
+from ..messaging.channels import LossyChannel
+from ..messaging.messages import Message, Move
+from ..messaging.network import RecordingState, RoundProtocol
+from ..messaging.system import MessagePassingSystem
+from ..protocols.distribution import Distribution, product
+
+__all__ = [
+    "PROC_1",
+    "PROC_2",
+    "ENTER",
+    "build_mutex",
+    "enters",
+    "peer_stays_out",
+    "exclusion_holds",
+]
+
+PROC_1 = "p1"
+PROC_2 = "p2"
+ENTER = "enter"
+REQUEST = "request"
+
+
+class _Contender(RoundProtocol):
+    """Request in round 0 if contending; enter at time 1 if unopposed."""
+
+    def __init__(self, me: AgentId, peer: AgentId) -> None:
+        self._me = me
+        self._peer = peer
+
+    def step(self, local: RecordingState) -> Move:
+        wants = local.payload == 1
+        t = local.rounds_elapsed
+        if t == 0 and wants:
+            return Move.sending(Message(self._me, self._peer, REQUEST))
+        if t == 1 and wants and not local.received(0):
+            return Move.acting(ENTER)
+        return Move()
+
+    def update(
+        self, local: RecordingState, move: Move, delivered: Tuple[Message, ...]
+    ) -> RecordingState:
+        return local.observe(move.action, delivered)
+
+
+def build_mutex(
+    *,
+    contention: ProbabilityLike = "0.5",
+    loss: ProbabilityLike = "0.1",
+) -> PPS:
+    """Compile the two-process relaxed-ME system.
+
+    Args:
+        contention: probability each process wants the CS.
+        loss: per-message loss probability.
+    """
+    w = as_fraction(contention)
+    want = Distribution.bernoulli(w, true=1, false=0)
+    initial_pairs = product([want, want]).map(
+        lambda bits: (RecordingState(bits[0]), RecordingState(bits[1]))
+    )
+    system = MessagePassingSystem(
+        agents=[PROC_1, PROC_2],
+        protocols={
+            PROC_1: _Contender(PROC_1, PROC_2),
+            PROC_2: _Contender(PROC_2, PROC_1),
+        },
+        channel=LossyChannel(loss),
+        initial=initial_pairs,
+        horizon=2,
+        name=f"mutex(w={w})",
+    )
+    return system.compile()
+
+
+def enters(process: AgentId) -> Fact:
+    """The transient fact that ``process`` is currently entering the CS."""
+    return does_(process, ENTER)
+
+
+def peer_stays_out(process: AgentId) -> Fact:
+    """The exclusion condition for ``process``: the peer is not entering."""
+    peer = PROC_2 if process == PROC_1 else PROC_1
+    return ~does_(peer, ENTER)
+
+
+def exclusion_holds() -> Fact:
+    """The transient fact that at most one process is entering now."""
+    return ~(does_(PROC_1, ENTER) & does_(PROC_2, ENTER))

@@ -1,0 +1,173 @@
+"""Proper actions and their bookkeeping.
+
+An action ``alpha`` is *proper* for agent ``i`` in a pps ``T``
+(paper, Section 3.1) when
+
+* ``i`` performs ``alpha`` at least once somewhere in ``T``, and
+* in every run, ``i`` performs ``alpha`` at most once.
+
+Properness makes the run fact "``alpha`` is performed" and the
+performance time within a run well defined, and lets the analysis
+partition the performing runs ``R_alpha`` by the local state at which
+the action is taken (the sets ``Q^{l_i}`` of the appendix).
+
+This module provides the predicates and the standard decompositions:
+
+* :func:`performing_runs` — the event ``R_alpha``;
+* :func:`action_states` — the set ``L_i[alpha]`` of local states at
+  which ``i`` ever performs ``alpha``;
+* :func:`runs_performing_at_state` — the cell ``Q^{l_i}`` of runs where
+  ``alpha`` is performed at local state ``l_i``;
+* :func:`is_deterministic_action` — whether performing ``alpha`` is a
+  deterministic function of the local state (Lemma 4.3(a) premise).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from .errors import ImproperActionError
+from .measure import Event, event_where
+from .pps import PPS, Action, AgentId, LocalState, Run
+
+__all__ = [
+    "performance_times",
+    "performance_time",
+    "performing_runs",
+    "is_proper",
+    "ensure_proper",
+    "action_states",
+    "runs_performing_at_state",
+    "action_state_partition",
+    "is_deterministic_action",
+    "performance_state",
+]
+
+
+def performance_times(pps: PPS, agent: AgentId, action: Action) -> Dict[int, Tuple[int, ...]]:
+    """Map run index to the times at which ``agent`` performs ``action``.
+
+    Runs in which the action is not performed are omitted.
+    """
+    table: Dict[int, Tuple[int, ...]] = {}
+    for run in pps.runs:
+        times = run.performs(agent, action)
+        if times:
+            table[run.index] = times
+    return table
+
+
+def performing_runs(pps: PPS, agent: AgentId, action: Action) -> Event:
+    """The event ``R_alpha`` of runs in which the action is performed."""
+    return event_where(pps, lambda run: bool(run.performs(agent, action)))
+
+
+def is_proper(pps: PPS, agent: AgentId, action: Action) -> bool:
+    """Whether ``action`` is a proper action for ``agent`` in ``pps``."""
+    table = performance_times(pps, agent, action)
+    if not table:
+        return False
+    return all(len(times) == 1 for times in table.values())
+
+
+def ensure_proper(pps: PPS, agent: AgentId, action: Action) -> None:
+    """Raise :class:`ImproperActionError` unless the action is proper."""
+    table = performance_times(pps, agent, action)
+    if not table:
+        raise ImproperActionError(
+            f"action {action!r} is never performed by {agent!r} in {pps.name}"
+        )
+    for run_index, times in table.items():
+        if len(times) > 1:
+            raise ImproperActionError(
+                f"action {action!r} is performed by {agent!r} more than once "
+                f"(at times {times}) in run {run_index} of {pps.name}; "
+                "tag occurrences (e.g. with the time) to make it proper"
+            )
+
+
+def performance_time(pps: PPS, agent: AgentId, action: Action, run: Run) -> Optional[int]:
+    """The unique time at which the proper action occurs in ``run``.
+
+    Returns ``None`` when the action is not performed in the run.
+
+    Raises:
+        ImproperActionError: if the action occurs more than once in the
+            run (i.e. the action is not proper).
+    """
+    times = run.performs(agent, action)
+    if not times:
+        return None
+    if len(times) > 1:
+        raise ImproperActionError(
+            f"action {action!r} occurs {len(times)} times in run {run.index}"
+        )
+    return times[0]
+
+
+def performance_state(
+    pps: PPS, agent: AgentId, action: Action, run: Run
+) -> Optional[LocalState]:
+    """The local state at which the proper action is performed in ``run``."""
+    t = performance_time(pps, agent, action, run)
+    if t is None:
+        return None
+    return run.local(agent, t)
+
+
+def action_states(pps: PPS, agent: AgentId, action: Action) -> FrozenSet[LocalState]:
+    """The set ``L_i[alpha]`` of local states at which the action occurs."""
+    states = set()
+    for run in pps.runs:
+        for t in run.performs(agent, action):
+            states.add(run.local(agent, t))
+    return frozenset(states)
+
+
+def runs_performing_at_state(
+    pps: PPS, agent: AgentId, action: Action, local: LocalState
+) -> Event:
+    """The cell ``Q^{l_i}``: runs where the action occurs at ``local``."""
+
+    def predicate(run: Run) -> bool:
+        return any(
+            run.local(agent, t) == local for t in run.performs(agent, action)
+        )
+
+    return event_where(pps, predicate)
+
+
+def action_state_partition(
+    pps: PPS, agent: AgentId, action: Action
+) -> Dict[LocalState, Event]:
+    """The partition ``Pi = {Q^{l_i} : l_i in L_i[alpha]}`` of ``R_alpha``.
+
+    Raises:
+        ImproperActionError: when the action is not proper (the cells
+            would then fail to be disjoint).
+    """
+    ensure_proper(pps, agent, action)
+    return {
+        local: runs_performing_at_state(pps, agent, action, local)
+        for local in action_states(pps, agent, action)
+    }
+
+
+def is_deterministic_action(pps: PPS, agent: AgentId, action: Action) -> bool:
+    """Whether performing the action is determined by the local state.
+
+    Following Section 4: for any two points with the same agent local
+    state, the agent performs the action at both or at neither.  (The
+    points necessarily share the time, by synchrony.)
+    """
+    decision: Dict[LocalState, bool] = {}
+    for run in pps.runs:
+        for t in run.times():
+            local = run.local(agent, t)
+            here = run.action_of(agent, t) == action
+            if local in decision:
+                if decision[local] != here:
+                    return False
+            else:
+                decision[local] = here
+    return True

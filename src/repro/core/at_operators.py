@@ -1,0 +1,89 @@
+"""The ``@`` operators: ``phi@l_i`` and ``phi@alpha``.
+
+Because the current time is part of every local state (synchrony), a
+local state ``l_i`` occurs at most once per run; and because the
+actions we analyse are proper, an action ``alpha`` occurs at most once
+per run.  This makes the following two *run facts* well defined
+(paper, Sections 3 and 3.1):
+
+* ``phi@l_i`` — true in run ``r`` iff ``l_i`` occurs in ``r`` and
+  ``phi`` holds at the (unique) point of ``r`` where ``r_i(t) = l_i``;
+* ``phi@alpha`` — true in run ``r`` iff ``alpha`` is performed in
+  ``r`` and ``phi`` holds at the (unique) point of performance.
+
+The shorthand ``alpha@l_i`` used throughout the paper's appendix is
+``at_local_state(does_(i, alpha), i, l_i)`` and is provided directly as
+:func:`action_at_local_state`.
+"""
+
+from __future__ import annotations
+
+from .errors import ImproperActionError
+from .facts import Fact, RunFact
+from .pps import PPS, Action, AgentId, LocalState, Run
+
+__all__ = [
+    "AtLocalState",
+    "AtAction",
+    "at_local_state",
+    "at_action",
+    "action_at_local_state",
+]
+
+
+class AtLocalState(RunFact):
+    """The run fact ``phi@l_i``."""
+
+    def __init__(self, phi: Fact, agent: AgentId, local: LocalState) -> None:
+        self.phi = phi
+        self.agent = agent
+        self.local = local
+        self.label = f"({phi.label})@[{agent}:{local}]"
+
+    def holds(self, pps: PPS, run: Run, t: int) -> bool:
+        for time in run.times():
+            if run.local(self.agent, time) == self.local:
+                return self.phi.holds(pps, run, time)
+        return False
+
+
+class AtAction(RunFact):
+    """The run fact ``phi@alpha`` for a proper action ``alpha``."""
+
+    def __init__(self, phi: Fact, agent: AgentId, action: Action) -> None:
+        self.phi = phi
+        self.agent = agent
+        self.action = action
+        self.label = f"({phi.label})@[{agent} does {action}]"
+
+    def holds(self, pps: PPS, run: Run, t: int) -> bool:
+        times = run.performs(self.agent, self.action)
+        if not times:
+            return False
+        if len(times) > 1:
+            raise ImproperActionError(
+                f"phi@alpha is undefined: {self.action!r} occurs "
+                f"{len(times)} times in run {run.index}"
+            )
+        return self.phi.holds(pps, run, times[0])
+
+
+def at_local_state(phi: Fact, agent: AgentId, local: LocalState) -> AtLocalState:
+    """The run fact that ``phi`` holds when ``agent`` is in ``local``."""
+    return AtLocalState(phi, agent, local)
+
+
+def at_action(phi: Fact, agent: AgentId, action: Action) -> AtAction:
+    """The run fact that ``phi`` holds when ``agent`` performs ``action``."""
+    return AtAction(phi, agent, action)
+
+
+def action_at_local_state(agent: AgentId, action: Action, local: LocalState) -> AtLocalState:
+    """The run fact ``alpha@l_i``: the action is performed at ``local``.
+
+    This is the paper's shorthand for ``does_i(alpha)@l_i`` and equals
+    (as an event) the cell ``Q^{l_i}`` of the action-state partition.
+    """
+    from .atoms import does_  # local import to avoid a cycle
+
+    return AtLocalState(does_(agent, action), agent, local)

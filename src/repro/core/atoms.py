@@ -1,0 +1,176 @@
+"""Atomic facts.
+
+These are the primitive predicates from which conditions of interest
+are assembled:
+
+* :func:`does_` — agent ``i`` is currently performing action ``alpha``
+  (the paper's ``does_i(alpha)``; transient);
+* :func:`performed` — the run fact ``alpha``: "``alpha`` is performed
+  at some point of the current run";
+* :func:`local_state_occurs` — the run fact ``l_i``: "agent ``i`` is in
+  local state ``l_i`` at some point of the current run";
+* :func:`state_fact` / :func:`local_fact` / :func:`env_fact` —
+  transient facts determined by the current global state (these are
+  automatically *past-based* in the sense of Section 4, since runs that
+  agree up to time ``t`` share the time-``t`` global state);
+* :data:`TRUE` and :data:`FALSE`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from .facts import Fact, RunFact
+from .pps import PPS, Action, AgentId, GlobalState, LocalState, Run
+
+__all__ = [
+    "TRUE",
+    "FALSE",
+    "does_",
+    "performed",
+    "local_state_occurs",
+    "state_fact",
+    "local_fact",
+    "env_fact",
+    "at_time",
+]
+
+
+class _Constant(RunFact):
+    def __init__(self, value: bool) -> None:
+        self._value = value
+        self.label = "true" if value else "false"
+
+    def holds(self, pps: PPS, run: Run, t: int) -> bool:
+        return self._value
+
+
+TRUE: RunFact = _Constant(True)
+"""The fact that holds at every point of every system."""
+
+FALSE: RunFact = _Constant(False)
+"""The fact that holds at no point of any system."""
+
+
+class Does(Fact):
+    """The transient fact ``does_i(alpha)``.
+
+    True at ``(r, t)`` exactly when the action recorded on the edge
+    from ``r(t)`` to ``r(t + 1)`` for agent ``i`` is ``alpha``
+    (equivalently, when the environment history at ``r_e(t + 1)``
+    records the performance — see the paper's Section 2.3).
+    """
+
+    def __init__(self, agent: AgentId, action: Action) -> None:
+        self.agent = agent
+        self.action = action
+        self.label = f"does[{agent}]({action})"
+
+    def holds(self, pps: PPS, run: Run, t: int) -> bool:
+        return run.action_of(self.agent, t) == self.action
+
+
+def does_(agent: AgentId, action: Action) -> Does:
+    """The transient fact that ``agent`` is currently performing ``action``."""
+    return Does(agent, action)
+
+
+class Performed(RunFact):
+    """The run fact ``alpha``: the action occurs somewhere in the run."""
+
+    def __init__(self, agent: AgentId, action: Action) -> None:
+        self.agent = agent
+        self.action = action
+        self.label = f"performed[{agent}]({action})"
+
+    def holds(self, pps: PPS, run: Run, t: int) -> bool:
+        return bool(run.performs(self.agent, self.action))
+
+
+def performed(agent: AgentId, action: Action) -> Performed:
+    """The run fact that ``agent`` performs ``action`` in the current run."""
+    return Performed(agent, action)
+
+
+class LocalStateOccurs(RunFact):
+    """The run fact ``l_i``: agent ``i`` passes through local state ``l_i``."""
+
+    def __init__(self, agent: AgentId, local: LocalState) -> None:
+        self.agent = agent
+        self.local = local
+        self.label = f"occurs[{agent}]({local})"
+
+    def holds(self, pps: PPS, run: Run, t: int) -> bool:
+        return any(
+            run.local(self.agent, time) == self.local for time in run.times()
+        )
+
+
+def local_state_occurs(agent: AgentId, local: LocalState) -> LocalStateOccurs:
+    """The run fact that ``agent`` is in ``local`` at some point of the run."""
+    return LocalStateOccurs(agent, local)
+
+
+class StateFact(Fact):
+    """A transient fact determined by the current global state.
+
+    Such facts are always past-based (runs agreeing up to ``t`` agree
+    on ``r(t)``), so by the paper's Lemma 4.3(b) they are local-state
+    independent of every proper action.
+    """
+
+    def __init__(
+        self, predicate: Callable[[GlobalState], bool], label: str = "state-fact"
+    ) -> None:
+        self._predicate = predicate
+        self.label = label
+
+    def holds(self, pps: PPS, run: Run, t: int) -> bool:
+        return self._predicate(run.state(t))
+
+
+def state_fact(
+    predicate: Callable[[GlobalState], bool], label: str = "state-fact"
+) -> StateFact:
+    """A transient fact from a predicate on the current global state."""
+    return StateFact(predicate, label)
+
+
+def local_fact(
+    agent: AgentId,
+    predicate: Callable[[LocalState], bool],
+    label: str = "local-fact",
+) -> Fact:
+    """A transient fact from a predicate on ``agent``'s current local state."""
+
+    class _LocalFact(Fact):
+        def __init__(self) -> None:
+            self.label = f"{label}[{agent}]"
+
+        def holds(self, pps: PPS, run: Run, t: int) -> bool:
+            return predicate(run.local(agent, t))
+
+    return _LocalFact()
+
+
+def env_fact(
+    predicate: Callable[[Hashable], bool], label: str = "env-fact"
+) -> StateFact:
+    """A transient fact from a predicate on the environment's local state."""
+    return StateFact(lambda state: predicate(state.env), label)
+
+
+class AtTime(Fact):
+    """The transient fact "the current time is ``t0``"."""
+
+    def __init__(self, t0: int) -> None:
+        self.t0 = t0
+        self.label = f"time={t0}"
+
+    def holds(self, pps: PPS, run: Run, t: int) -> bool:
+        return t == self.t0
+
+
+def at_time(t0: int) -> AtTime:
+    """The transient fact that the current time equals ``t0``."""
+    return AtTime(t0)

@@ -1,0 +1,145 @@
+"""Subjective probabilistic beliefs.
+
+Agent ``i``'s degree of belief in a fact ``phi`` at a point ``(r, t)``
+is the posterior probability obtained by conditioning the prior
+``mu_T`` on the agent's local state (paper, Definition 3.1)::
+
+    beta_i(phi) at (r, t)  =  mu_T(phi@l_i | l_i),   l_i = r_i(t)
+
+This is the notion Halpern and Tuttle call ``P_post``.  Because every
+run of a pps has positive probability, ``mu_T(l_i) > 0`` for every
+local state occurring in the tree, so the posterior is always defined.
+
+The module also implements the random variable ``beta_i(phi)@alpha``
+(the belief held at the moment a proper action is performed, zero by
+convention in runs where the action is not performed) and the derived
+threshold events used in Sections 5 and 7.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .at_operators import at_local_state
+from .errors import UnknownLocalStateError
+from .facts import Fact, runs_satisfying
+from .measure import Event, conditional, event_where
+from .numeric import ZERO, Probability, ProbabilityLike, as_fraction
+from .pps import PPS, Action, AgentId, LocalState, Run
+from .actions import ensure_proper, performance_time, performing_runs
+
+__all__ = [
+    "occurrence_event",
+    "belief",
+    "belief_at",
+    "belief_at_action",
+    "belief_profile",
+    "belief_random_variable",
+    "threshold_met_event",
+    "threshold_met_measure",
+]
+
+
+def occurrence_event(pps: PPS, agent: AgentId, local: LocalState) -> Event:
+    """The event "``agent`` is in ``local`` at some point of the run"."""
+    return event_where(
+        pps, lambda run: any(run.local(agent, t) == local for t in run.times())
+    )
+
+
+def belief(pps: PPS, agent: AgentId, phi: Fact, local: LocalState) -> Probability:
+    """``mu_T(phi@l | l)`` — the belief held at local state ``local``.
+
+    Raises:
+        UnknownLocalStateError: when ``local`` never occurs for the
+            agent (the posterior would condition on a null event).
+    """
+    occurs = occurrence_event(pps, agent, local)
+    if not occurs:
+        raise UnknownLocalStateError(
+            f"local state {local!r} of agent {agent!r} never occurs in {pps.name}"
+        )
+    phi_at_local = runs_satisfying(pps, at_local_state(phi, agent, local))
+    return conditional(pps, phi_at_local, occurs)
+
+
+def belief_at(pps: PPS, agent: AgentId, phi: Fact, run: Run, t: int) -> Probability:
+    """``beta_i(phi)`` evaluated at the point ``(run, t)``."""
+    return belief(pps, agent, phi, run.local(agent, t))
+
+
+def belief_at_action(
+    pps: PPS, agent: AgentId, phi: Fact, action: Action, run: Run
+) -> Probability:
+    """The random variable ``(beta_i(phi)@alpha)[r]``.
+
+    By the paper's convention this is 0 for runs in which the action is
+    not performed.
+    """
+    t = performance_time(pps, agent, action, run)
+    if t is None:
+        return ZERO
+    return belief_at(pps, agent, phi, run, t)
+
+
+def belief_profile(
+    pps: PPS, agent: AgentId, phi: Fact
+) -> Dict[LocalState, Probability]:
+    """The belief in ``phi`` at every local state of the agent."""
+    return {
+        local: belief(pps, agent, phi, local)
+        for local in pps.local_states(agent)
+    }
+
+
+def belief_random_variable(
+    pps: PPS, agent: AgentId, phi: Fact, action: Action
+) -> Callable[[Run], Probability]:
+    """``beta_i(phi)@alpha`` as a function of the run.
+
+    The action must be proper; belief values are cached per local state
+    so evaluating the variable over all runs costs one posterior
+    computation per state in ``L_i[alpha]``.
+    """
+    ensure_proper(pps, agent, action)
+    cache: Dict[LocalState, Probability] = {}
+
+    def variable(run: Run) -> Probability:
+        t = performance_time(pps, agent, action, run)
+        if t is None:
+            return ZERO
+        local = run.local(agent, t)
+        if local not in cache:
+            cache[local] = belief(pps, agent, phi, local)
+        return cache[local]
+
+    return variable
+
+
+def threshold_met_event(
+    pps: PPS,
+    agent: AgentId,
+    phi: Fact,
+    action: Action,
+    threshold: ProbabilityLike,
+) -> Event:
+    """Runs of ``R_alpha`` where ``beta_i(phi)@alpha >= threshold``."""
+    bound = as_fraction(threshold)
+    variable = belief_random_variable(pps, agent, phi, action)
+    performing = performing_runs(pps, agent, action)
+    return frozenset(
+        index for index in performing if variable(pps.runs[index]) >= bound
+    )
+
+
+def threshold_met_measure(
+    pps: PPS,
+    agent: AgentId,
+    phi: Fact,
+    action: Action,
+    threshold: ProbabilityLike,
+) -> Probability:
+    """``mu_T(beta_i(phi)@alpha >= threshold | alpha)``."""
+    met = threshold_met_event(pps, agent, phi, action, threshold)
+    performing = performing_runs(pps, agent, action)
+    return conditional(pps, met, performing)

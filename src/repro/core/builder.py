@@ -1,0 +1,159 @@
+"""Fluent construction of pps trees.
+
+:class:`PPSBuilder` exists so that examples, tests, and the paper's
+hand-drawn figures can be written down declaratively::
+
+    builder = PPSBuilder(["i"], name="figure-1")
+    g0 = builder.initial(1, {"i": (0, "g0")})
+    g0.child("1/2", {"i": (1, "after-alpha")}, actions={"i": "alpha"})
+    g0.child("1/2", {"i": (1, "after-alpha'")}, actions={"i": "alpha'"})
+    system = builder.build()
+
+Probabilities accept ints, ``Fraction``, strings (``"1/2"``, ``"0.1"``)
+and floats (coerced through their decimal literal, see
+:mod:`repro.core.numeric`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Optional, Sequence
+
+from .errors import InvalidSystemError
+from .numeric import ONE, ProbabilityLike, as_probability
+from .pps import Action, AgentId, GlobalState, LocalState, Node, PPS
+
+__all__ = ["PPSBuilder", "NodeHandle"]
+
+
+class NodeHandle:
+    """A handle onto a node under construction.
+
+    Obtained from :meth:`PPSBuilder.initial` or :meth:`NodeHandle.child`;
+    supports adding children and inspecting the wrapped node.
+    """
+
+    def __init__(self, builder: "PPSBuilder", node: Node) -> None:
+        self._builder = builder
+        self.node = node
+
+    def child(
+        self,
+        prob: ProbabilityLike,
+        locals_by_agent: Mapping[AgentId, LocalState],
+        *,
+        env: Hashable = None,
+        actions: Optional[Mapping[AgentId, Action]] = None,
+    ) -> "NodeHandle":
+        """Add a successor global state reached with probability ``prob``.
+
+        Args:
+            prob: the transition probability (must be in ``(0, 1]``).
+            locals_by_agent: the local state of every agent at the new
+                global state.  Every agent of the system must appear.
+            env: the environment's local state (defaults to ``None``;
+                the builder disambiguates environment states per depth
+                automatically only if you leave all of them ``None`` —
+                otherwise supply your own).
+            actions: the joint action performed at the parent state
+                that produced this transition, as a mapping from agent
+                name to action.  May include a subset of agents.
+
+        Returns:
+            a handle onto the new node.
+        """
+        return self._builder._add_child(self, prob, locals_by_agent, env, actions)
+
+    def chain(
+        self,
+        locals_by_agent: Mapping[AgentId, LocalState],
+        *,
+        env: Hashable = None,
+        actions: Optional[Mapping[AgentId, Action]] = None,
+    ) -> "NodeHandle":
+        """Add a probability-one successor (a deterministic step)."""
+        return self.child(ONE, locals_by_agent, env=env, actions=actions)
+
+    @property
+    def time(self) -> int:
+        return self.node.time
+
+
+class PPSBuilder:
+    """Incrementally build a :class:`~repro.core.pps.PPS`.
+
+    Args:
+        agents: agent names; the order fixes the ``locals`` tuple layout.
+        name: a label for reports.
+    """
+
+    def __init__(self, agents: Sequence[AgentId], *, name: str = "pps") -> None:
+        self.agents = tuple(agents)
+        self.name = name
+        self._next_uid = 0
+        self._root = Node(uid=self._take_uid(), depth=0, state=None)
+        self._built = False
+
+    def _take_uid(self) -> int:
+        uid = self._next_uid
+        self._next_uid += 1
+        return uid
+
+    def _make_state(
+        self, locals_by_agent: Mapping[AgentId, LocalState], env: Hashable
+    ) -> GlobalState:
+        missing = [agent for agent in self.agents if agent not in locals_by_agent]
+        if missing:
+            raise InvalidSystemError(
+                f"missing local states for agents {missing} "
+                f"(system agents: {list(self.agents)})"
+            )
+        extra = [agent for agent in locals_by_agent if agent not in self.agents]
+        if extra:
+            raise InvalidSystemError(f"unknown agents {extra} in state definition")
+        return GlobalState(
+            env=env, locals=tuple(locals_by_agent[agent] for agent in self.agents)
+        )
+
+    def initial(
+        self,
+        prob: ProbabilityLike,
+        locals_by_agent: Mapping[AgentId, LocalState],
+        *,
+        env: Hashable = None,
+    ) -> NodeHandle:
+        """Add an initial global state chosen with probability ``prob``."""
+        handle = NodeHandle(self, self._root)
+        return self._add_child(handle, prob, locals_by_agent, env, None)
+
+    def _add_child(
+        self,
+        parent: NodeHandle,
+        prob: ProbabilityLike,
+        locals_by_agent: Mapping[AgentId, LocalState],
+        env: Hashable,
+        actions: Optional[Mapping[AgentId, Action]],
+    ) -> NodeHandle:
+        probability = as_probability(prob, allow_zero=False)
+        state = self._make_state(locals_by_agent, env)
+        node = Node(
+            uid=self._take_uid(),
+            depth=parent.node.depth + 1,
+            state=state,
+            prob_from_parent=probability,
+            via_action=dict(actions) if actions is not None else None,
+            parent=parent.node,
+        )
+        parent.node.children.append(node)
+        return NodeHandle(self, node)
+
+    def build(self, *, validate: bool = True) -> PPS:
+        """Finalize and validate the system.
+
+        The builder may only be built once; reusing it afterwards raises
+        :class:`~repro.core.errors.InvalidSystemError` to prevent
+        accidental aliasing of mutable tree nodes between systems.
+        """
+        if self._built:
+            raise InvalidSystemError("builder already built; create a new one")
+        self._built = True
+        return PPS(self.agents, self._root, name=self.name, validate=validate)

@@ -1,0 +1,159 @@
+"""Probabilistic belief operators and common p-belief (Monderer–Samet).
+
+The paper's related-work section points to Monderer and Samet's notion
+of *common p-belief* as the probabilistic analogue of common knowledge.
+We provide:
+
+* :class:`Believes` — the transient fact ``B_i^p(phi)``:
+  ``beta_i(phi) >= p`` at the current point;
+* :class:`EveryoneBelieves` — ``E_G^p(phi)``: every agent of the group
+  p-believes ``phi``;
+* :func:`common_belief_points` — the points at which ``phi`` is common
+  p-belief, computed by the standard decreasing fixpoint
+  ``F_1 = E^p(phi)``, ``F_{n+1} = E^p(phi & F_n)`` which stabilizes on
+  finite systems;
+* :class:`CommonBelief` — the same as a :class:`~repro.core.facts.Fact`.
+
+In the coordinated-attack example this machinery lets one observe how
+strong a shared belief the agents can actually attain under message
+loss (they never attain common knowledge, but they do attain common
+p-belief for p bounded by the channel reliability).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set, Tuple
+
+from .beliefs import belief_at
+from .facts import Fact
+from .numeric import ProbabilityLike, as_fraction
+from .pps import PPS, AgentId, Run
+
+__all__ = [
+    "Believes",
+    "believes",
+    "EveryoneBelieves",
+    "everyone_believes",
+    "common_belief_points",
+    "CommonBelief",
+    "common_belief",
+]
+
+Point = Tuple[int, int]
+
+
+class Believes(Fact):
+    """The transient fact ``B_i^p(phi)``: belief in ``phi`` is at least ``p``."""
+
+    def __init__(self, agent: AgentId, phi: Fact, level: ProbabilityLike) -> None:
+        self.agent = agent
+        self.phi = phi
+        self.level = as_fraction(level)
+        self.label = f"B[{agent}]>={self.level}({phi.label})"
+
+    def holds(self, pps: PPS, run: Run, t: int) -> bool:
+        return belief_at(pps, self.agent, self.phi, run, t) >= self.level
+
+
+def believes(agent: AgentId, phi: Fact, level: ProbabilityLike) -> Believes:
+    """The fact that the agent's degree of belief in ``phi`` is >= ``level``."""
+    return Believes(agent, phi, level)
+
+
+class EveryoneBelieves(Fact):
+    """The transient fact ``E_G^p(phi)``."""
+
+    def __init__(
+        self, agents: Iterable[AgentId], phi: Fact, level: ProbabilityLike
+    ) -> None:
+        self.agents = tuple(agents)
+        self.phi = phi
+        self.level = as_fraction(level)
+        self.label = f"E[{','.join(self.agents)}]>={self.level}({phi.label})"
+
+    def holds(self, pps: PPS, run: Run, t: int) -> bool:
+        return all(
+            Believes(agent, self.phi, self.level).holds(pps, run, t)
+            for agent in self.agents
+        )
+
+
+def everyone_believes(
+    agents: Iterable[AgentId], phi: Fact, level: ProbabilityLike
+) -> EveryoneBelieves:
+    """The fact that every agent in the group p-believes ``phi``."""
+    return EveryoneBelieves(agents, phi, level)
+
+
+class _PointSetFact(Fact):
+    """A fact defined extensionally by a set of points (internal)."""
+
+    def __init__(self, points: Set[Point], label: str = "point-set") -> None:
+        self._points = points
+        self.label = label
+
+    def holds(self, pps: PPS, run: Run, t: int) -> bool:
+        return (run.index, t) in self._points
+
+
+def common_belief_points(
+    pps: PPS,
+    agents: Iterable[AgentId],
+    phi: Fact,
+    level: ProbabilityLike,
+    *,
+    max_iterations: int = 1000,
+) -> Set[Point]:
+    """All points at which ``phi`` is common p-belief among ``agents``.
+
+    Iterates ``F_1 = E^p(phi)``, ``F_{n+1} = E^p(phi & F_n)`` to its
+    fixpoint; the sequence is decreasing over a finite point set, so it
+    terminates (``max_iterations`` is a safety net, not a tuning knob).
+    """
+    group = tuple(agents)
+    p = as_fraction(level)
+    current: Set[Point] = {
+        (run.index, t)
+        for run, t in pps.points()
+        if EveryoneBelieves(group, phi, p).holds(pps, run, t)
+    }
+    for _ in range(max_iterations):
+        refined_target = phi & _PointSetFact(current)
+        operator = EveryoneBelieves(group, refined_target, p)
+        refined: Set[Point] = {
+            point
+            for point in current
+            if operator.holds(pps, pps.runs[point[0]], point[1])
+        }
+        if refined == current:
+            return current
+        current = refined
+    return current
+
+
+class CommonBelief(Fact):
+    """The transient fact ``C_G^p(phi)`` (cached per system)."""
+
+    def __init__(
+        self, agents: Iterable[AgentId], phi: Fact, level: ProbabilityLike
+    ) -> None:
+        self.agents = tuple(agents)
+        self.phi = phi
+        self.level = as_fraction(level)
+        self.label = f"C[{','.join(self.agents)}]>={self.level}({phi.label})"
+        self._cache: Dict[int, Set[Point]] = {}
+
+    def holds(self, pps: PPS, run: Run, t: int) -> bool:
+        key = id(pps)
+        if key not in self._cache:
+            self._cache[key] = common_belief_points(
+                pps, self.agents, self.phi, self.level
+            )
+        return (run.index, t) in self._cache[key]
+
+
+def common_belief(
+    agents: Iterable[AgentId], phi: Fact, level: ProbabilityLike
+) -> CommonBelief:
+    """The fact that ``phi`` is common p-belief among ``agents``."""
+    return CommonBelief(agents, phi, level)

@@ -1,0 +1,137 @@
+"""Probabilistic constraints on actions (paper, Definition 3.2).
+
+A probabilistic constraint is a statement of the form::
+
+    mu_T(phi@alpha | alpha) >= p
+
+— "when the action ``alpha`` is performed, the condition ``phi`` should
+hold with probability at least ``p``".  For facts about runs this
+reduces to the simpler ``mu_T(phi | alpha) >= p``.
+
+:class:`ProbabilisticConstraint` packages the four ingredients
+(agent, action, condition, threshold) and exposes the quantities the
+paper studies about them: the actual achieved probability, whether the
+constraint is satisfied, the measure of runs in which the agent's
+belief meets the threshold when acting, and the expected degree of
+belief.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Optional
+
+from .actions import ensure_proper, performing_runs
+from .at_operators import at_action
+from .beliefs import threshold_met_event, threshold_met_measure
+from .facts import Fact, runs_satisfying
+from .independence import is_local_state_independent
+from .measure import Event, conditional
+from .numeric import Probability, ProbabilityLike, as_fraction
+from .pps import PPS, Action, AgentId
+
+__all__ = ["ProbabilisticConstraint", "achieved_probability"]
+
+
+def achieved_probability(
+    pps: PPS, agent: AgentId, phi: Fact, action: Action
+) -> Probability:
+    """``mu_T(phi@alpha | alpha)`` for a proper action.
+
+    Raises:
+        ImproperActionError: when the action is not proper in ``pps``.
+    """
+    ensure_proper(pps, agent, action)
+    performing = performing_runs(pps, agent, action)
+    satisfied = runs_satisfying(pps, at_action(phi, agent, action))
+    return conditional(pps, satisfied, performing)
+
+
+@dataclass
+class ProbabilisticConstraint:
+    """The constraint ``mu_T(phi@alpha | alpha) >= threshold``.
+
+    Attributes:
+        agent: the acting agent ``i``.
+        action: the proper action ``alpha``.
+        phi: the condition that should hold when the action is taken.
+        threshold: the required probability ``p`` (coerced to an exact
+            rational on construction).
+        name: optional label used in reports.
+    """
+
+    agent: AgentId
+    action: Action
+    phi: Fact
+    threshold: Probability
+    name: str = "constraint"
+
+    def __post_init__(self) -> None:
+        self.threshold = as_fraction(self.threshold)
+        if not (0 <= self.threshold <= 1):
+            raise ValueError(f"threshold {self.threshold} outside [0, 1]")
+
+    # ------------------------------------------------------------------
+
+    def actual(self, pps: PPS) -> Probability:
+        """The achieved probability ``mu_T(phi@alpha | alpha)``."""
+        return achieved_probability(pps, self.agent, self.phi, self.action)
+
+    def satisfied(self, pps: PPS) -> bool:
+        """Whether the system meets the constraint."""
+        return self.actual(pps) >= self.threshold
+
+    def margin(self, pps: PPS) -> Probability:
+        """``actual - threshold`` (negative when violated)."""
+        return self.actual(pps) - self.threshold
+
+    # ------------------------------------------------------------------
+
+    def independent(self, pps: PPS) -> bool:
+        """Whether ``phi`` is local-state independent of the action."""
+        return is_local_state_independent(pps, self.phi, self.agent, self.action)
+
+    def performing_event(self, pps: PPS) -> Event:
+        """The event ``R_alpha``."""
+        return performing_runs(pps, self.agent, self.action)
+
+    def threshold_met_event(
+        self, pps: PPS, threshold: Optional[ProbabilityLike] = None
+    ) -> Event:
+        """Runs of ``R_alpha`` where the acting belief meets ``threshold``.
+
+        Defaults to the constraint's own threshold.
+        """
+        bound = self.threshold if threshold is None else as_fraction(threshold)
+        return threshold_met_event(pps, self.agent, self.phi, self.action, bound)
+
+    def threshold_met_measure(
+        self, pps: PPS, threshold: Optional[ProbabilityLike] = None
+    ) -> Probability:
+        """``mu_T(beta_i(phi)@alpha >= threshold | alpha)``."""
+        bound = self.threshold if threshold is None else as_fraction(threshold)
+        return threshold_met_measure(pps, self.agent, self.phi, self.action, bound)
+
+    def expected_belief(self, pps: PPS) -> Probability:
+        """``E[beta_i(phi)@alpha | alpha]`` (Definition 6.1)."""
+        from .expectation import expected_belief  # avoid import cycle
+
+        return expected_belief(pps, self.agent, self.phi, self.action)
+
+    # ------------------------------------------------------------------
+
+    def describe(self, pps: PPS) -> str:
+        """A one-paragraph textual summary of the constraint's status."""
+        actual = self.actual(pps)
+        met = self.threshold_met_measure(pps)
+        expected = self.expected_belief(pps)
+        status = "SATISFIED" if actual >= self.threshold else "VIOLATED"
+        return (
+            f"{self.name}: mu(({self.phi.label})@{self.action} | {self.action}) "
+            f"= {actual} (~{float(actual):.6g}) vs threshold {self.threshold} "
+            f"(~{float(self.threshold):.6g}) -> {status}; "
+            f"threshold met when acting with measure {met} "
+            f"(~{float(met):.6g}); expected acting belief {expected} "
+            f"(~{float(expected):.6g})"
+        )

@@ -1,0 +1,92 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to distinguish structural problems (malformed systems)
+from semantic ones (e.g. asking for the belief held at a local state that
+never occurs).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidSystemError",
+    "NotStochasticError",
+    "SynchronyViolationError",
+    "ZeroProbabilityError",
+    "ImproperActionError",
+    "UnknownAgentError",
+    "UnknownLocalStateError",
+    "ConditioningOnNullEventError",
+    "IndependenceError",
+    "CompilationError",
+    "FormulaError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidSystemError(ReproError):
+    """A purely probabilistic system (pps) violates a structural invariant."""
+
+
+class NotStochasticError(InvalidSystemError):
+    """Outgoing edge probabilities of an internal node do not sum to one."""
+
+
+class SynchronyViolationError(InvalidSystemError):
+    """The same agent local state occurs at two different times.
+
+    The paper (Section 2.1) requires every local state to contain the
+    current time, which implies a local state value can appear at one
+    depth of the tree only.
+    """
+
+
+class ZeroProbabilityError(InvalidSystemError):
+    """An edge of the tree carries probability outside the interval (0, 1].
+
+    Definition of a pps requires ``pi : E -> (0, 1]``; zero-probability
+    edges must simply be omitted from the tree.
+    """
+
+
+class ImproperActionError(ReproError):
+    """An operation requiring a *proper* action was given an improper one.
+
+    An action ``alpha`` is proper for agent ``i`` in ``T`` when it is
+    performed at least once in ``T`` and at most once per run
+    (Section 3.1).
+    """
+
+
+class UnknownAgentError(ReproError):
+    """An agent name does not belong to the system under consideration."""
+
+
+class UnknownLocalStateError(ReproError):
+    """A local state does not occur anywhere in the system."""
+
+
+class ConditioningOnNullEventError(ReproError):
+    """A conditional probability was requested given a measure-zero event.
+
+    In a pps every run has positive probability, so this arises only
+    when conditioning on an *empty* event (e.g. on an action that is
+    never performed).
+    """
+
+
+class IndependenceError(ReproError):
+    """A theorem checker was invoked with its independence premise violated."""
+
+
+class CompilationError(ReproError):
+    """The protocol-to-pps compiler could not build a valid tree."""
+
+
+class FormulaError(ReproError):
+    """A logic-layer formula is malformed or cannot be parsed."""

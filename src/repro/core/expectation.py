@@ -1,0 +1,122 @@
+"""Expected degree of belief and Jeffrey conditionalization (paper, Section 6).
+
+Definition 6.1 defines the expected degree of agent ``i``'s belief in
+``phi`` when it performs the proper action ``alpha`` as::
+
+    E[beta_i(phi)@alpha | alpha]
+        = sum_{r in R_T} mu_T(r | alpha) * (beta_i(phi)@alpha)[r]
+
+The proof of the paper's main theorem (6.2) rewrites this sum through
+the action-state partition ``{Q^{l_i}}`` of ``R_alpha``; the
+decomposition is exposed here (:func:`expected_belief_decomposition`)
+both because it is useful diagnostic output and because tests verify
+each step of the derivation against it.
+
+:func:`jeffrey_conditional` implements the generalized law of total
+probability of Section 6.1::
+
+    Pr(E | Y) = sum_k Pr(X_k | Y) * Pr(E | X_k & Y)
+
+specialized to ``Y = R_alpha`` and ``X_k = Q^{l_k}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict
+
+from .actions import action_state_partition, performing_runs
+from .at_operators import at_action
+from .beliefs import belief, belief_random_variable
+from .facts import Fact, runs_satisfying
+from .measure import conditional, expectation
+from .numeric import Probability
+from .pps import PPS, Action, AgentId, LocalState
+
+__all__ = [
+    "expected_belief",
+    "BeliefCell",
+    "expected_belief_decomposition",
+    "jeffrey_conditional",
+]
+
+
+def expected_belief(
+    pps: PPS, agent: AgentId, phi: Fact, action: Action
+) -> Probability:
+    """``E[beta_i(phi)@alpha | alpha]`` (Definition 6.1).
+
+    The action must be proper.  The conditioning event is ``R_alpha``;
+    the variable is zero outside it, so conditioning only rescales.
+    """
+    variable = belief_random_variable(pps, agent, phi, action)
+    performing = performing_runs(pps, agent, action)
+    return expectation(pps, variable, given=performing)
+
+
+@dataclass(frozen=True)
+class BeliefCell:
+    """One cell of the action-state decomposition of the expectation.
+
+    Attributes:
+        local: the local state ``l_i`` at which the action is performed.
+        weight: ``mu_T(Q^{l_i} | alpha)`` — the probability, given that
+            the action is performed, that it is performed at ``l_i``.
+        belief: ``mu_T(phi@l_i | l_i)`` — the belief held there.
+    """
+
+    local: LocalState
+    weight: Probability
+    belief: Probability
+
+    @property
+    def contribution(self) -> Probability:
+        return self.weight * self.belief
+
+
+def expected_belief_decomposition(
+    pps: PPS, agent: AgentId, phi: Fact, action: Action
+) -> Dict[LocalState, BeliefCell]:
+    """The expectation broken down by acting local state.
+
+    Summing ``cell.contribution`` over the returned mapping reproduces
+    :func:`expected_belief` exactly (this is Equation (14) of the
+    paper's Appendix D).
+    """
+    performing = performing_runs(pps, agent, action)
+    cells: Dict[LocalState, BeliefCell] = {}
+    for local, runs in action_state_partition(pps, agent, action).items():
+        cells[local] = BeliefCell(
+            local=local,
+            weight=conditional(pps, runs, performing),
+            belief=belief(pps, agent, phi, local),
+        )
+    return cells
+
+
+def jeffrey_conditional(
+    pps: PPS, agent: AgentId, phi: Fact, action: Action
+) -> Probability:
+    """Compute ``mu(phi@alpha | alpha)`` by Jeffrey conditionalization.
+
+    Decomposes through the action-state partition::
+
+        mu(phi@alpha | alpha)
+            = sum_{l} mu(Q^l | alpha) * mu(phi@alpha | alpha@l)
+
+    For local-state independent ``phi`` each inner conditional equals
+    the belief ``mu(phi@l | l)`` (Lemma B.1), which is how Theorem 6.2
+    follows; this function, however, computes the inner conditionals
+    directly, so it agrees with ``mu(phi@alpha | alpha)`` for *all*
+    facts, independent or not.  Tests exploit the contrast.
+    """
+    phi_at_action = runs_satisfying(pps, at_action(phi, agent, action))
+    performing = performing_runs(pps, agent, action)
+    acc = Fraction(0)
+    for local, cell_runs in action_state_partition(pps, agent, action).items():
+        weight = conditional(pps, cell_runs, performing)
+        if weight == 0:
+            continue
+        acc += weight * conditional(pps, phi_at_action, cell_runs)
+    return acc

@@ -1,0 +1,231 @@
+"""Facts over purely probabilistic systems.
+
+Following the paper's Section 2.3, a *fact* (or event) over a pps ``T``
+is identified with the set of points at which it is true; we represent
+it intensionally as a predicate ``holds(pps, run, t)``.
+
+Some facts are *facts about runs*: their truth value at a point depends
+only on the run, not on the time (``(T, r, t) |= psi`` iff
+``(T, r, t') |= psi`` for all ``t, t'``).  These are modelled by
+:class:`RunFact`; only run facts correspond directly to events of the
+probability space over runs and may therefore be fed to
+:func:`runs_satisfying`.
+
+Boolean structure is provided through operator overloading: ``p & q``,
+``p | q``, ``~p`` and ``p.implies(q)``.  The connectives preserve
+run-fact-ness: a conjunction of run facts is itself (semantically and
+class-wise) a run fact.
+
+The temporal closures ``eventually(phi)`` and ``always(phi)`` lift a
+transient fact to the run facts "phi holds at some point of the run" /
+"phi holds at every point of the run" (the paper uses the former, e.g.
+the run fact ``alpha`` is ``eventually(does_i(alpha))``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, FrozenSet, Set, Tuple
+
+from .measure import Event, event_where
+from .pps import PPS, Run
+
+__all__ = [
+    "Fact",
+    "RunFact",
+    "LambdaFact",
+    "LambdaRunFact",
+    "And",
+    "Or",
+    "Not",
+    "eventually",
+    "always",
+    "runs_satisfying",
+    "points_satisfying",
+    "fact_equivalent",
+]
+
+
+class Fact(ABC):
+    """A (possibly transient) fact: a predicate over points of a pps."""
+
+    label: str = "fact"
+
+    @abstractmethod
+    def holds(self, pps: PPS, run: Run, t: int) -> bool:
+        """Whether the fact is true at the point ``(run, t)`` of ``pps``."""
+
+    @property
+    def is_run_fact(self) -> bool:
+        """Whether truth at a point depends only on the run.
+
+        This is a *structural* property: it is ``True`` when the fact
+        is built from :class:`RunFact` leaves and boolean connectives.
+        A transient fact may still happen to be time-invariant in a
+        particular system; use :func:`repro.core.independence.is_run_based`
+        for the semantic check.
+        """
+        return False
+
+    def holds_in_run(self, pps: PPS, run: Run) -> bool:
+        """Truth value in a run; only meaningful for run facts."""
+        if not self.is_run_fact:
+            raise TypeError(
+                f"{self.label!r} is transient; its truth value needs a time. "
+                "Wrap it with eventually()/always() or an @-operator first."
+            )
+        return self.holds(pps, run, 0)
+
+    # Boolean structure ------------------------------------------------
+
+    def __and__(self, other: "Fact") -> "Fact":
+        return And(self, other)
+
+    def __or__(self, other: "Fact") -> "Fact":
+        return Or(self, other)
+
+    def __invert__(self) -> "Fact":
+        return Not(self)
+
+    def implies(self, other: "Fact") -> "Fact":
+        """Material implication ``self -> other``."""
+        return Or(Not(self), other)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.label}>"
+
+
+class RunFact(Fact):
+    """A fact whose truth value is a property of the whole run."""
+
+    @property
+    def is_run_fact(self) -> bool:
+        return True
+
+
+class LambdaFact(Fact):
+    """A transient fact defined by an arbitrary point predicate."""
+
+    def __init__(
+        self, predicate: Callable[[PPS, Run, int], bool], label: str = "fact"
+    ) -> None:
+        self._predicate = predicate
+        self.label = label
+
+    def holds(self, pps: PPS, run: Run, t: int) -> bool:
+        return self._predicate(pps, run, t)
+
+
+class LambdaRunFact(RunFact):
+    """A run fact defined by an arbitrary run predicate."""
+
+    def __init__(
+        self, predicate: Callable[[PPS, Run], bool], label: str = "run-fact"
+    ) -> None:
+        self._predicate = predicate
+        self.label = label
+
+    def holds(self, pps: PPS, run: Run, t: int) -> bool:
+        return self._predicate(pps, run)
+
+
+class And(Fact):
+    """Conjunction of facts; a run fact when all conjuncts are."""
+
+    def __init__(self, *conjuncts: Fact) -> None:
+        if not conjuncts:
+            raise ValueError("And() needs at least one conjunct")
+        self.conjuncts: Tuple[Fact, ...] = conjuncts
+        self.label = "(" + " & ".join(c.label for c in conjuncts) + ")"
+
+    def holds(self, pps: PPS, run: Run, t: int) -> bool:
+        return all(c.holds(pps, run, t) for c in self.conjuncts)
+
+    @property
+    def is_run_fact(self) -> bool:
+        return all(c.is_run_fact for c in self.conjuncts)
+
+
+class Or(Fact):
+    """Disjunction of facts; a run fact when all disjuncts are."""
+
+    def __init__(self, *disjuncts: Fact) -> None:
+        if not disjuncts:
+            raise ValueError("Or() needs at least one disjunct")
+        self.disjuncts: Tuple[Fact, ...] = disjuncts
+        self.label = "(" + " | ".join(d.label for d in disjuncts) + ")"
+
+    def holds(self, pps: PPS, run: Run, t: int) -> bool:
+        return any(d.holds(pps, run, t) for d in self.disjuncts)
+
+    @property
+    def is_run_fact(self) -> bool:
+        return all(d.is_run_fact for d in self.disjuncts)
+
+
+class Not(Fact):
+    """Negation of a fact; a run fact when the operand is."""
+
+    def __init__(self, operand: Fact) -> None:
+        self.operand = operand
+        self.label = f"~{operand.label}"
+
+    def holds(self, pps: PPS, run: Run, t: int) -> bool:
+        return not self.operand.holds(pps, run, t)
+
+    @property
+    def is_run_fact(self) -> bool:
+        return self.operand.is_run_fact
+
+
+class _Eventually(RunFact):
+    def __init__(self, operand: Fact) -> None:
+        self.operand = operand
+        self.label = f"<>{operand.label}"
+
+    def holds(self, pps: PPS, run: Run, t: int) -> bool:
+        return any(self.operand.holds(pps, run, time) for time in run.times())
+
+
+class _Always(RunFact):
+    def __init__(self, operand: Fact) -> None:
+        self.operand = operand
+        self.label = f"[]{operand.label}"
+
+    def holds(self, pps: PPS, run: Run, t: int) -> bool:
+        return all(self.operand.holds(pps, run, time) for time in run.times())
+
+
+def eventually(fact: Fact) -> RunFact:
+    """The run fact "``fact`` holds at some point of the current run"."""
+    return _Eventually(fact)
+
+
+def always(fact: Fact) -> RunFact:
+    """The run fact "``fact`` holds at every point of the current run"."""
+    return _Always(fact)
+
+
+def runs_satisfying(pps: PPS, fact: Fact) -> Event:
+    """The event (set of run indices) where a run fact is true.
+
+    Raises:
+        TypeError: if ``fact`` is not structurally a run fact.
+    """
+    if not fact.is_run_fact:
+        raise TypeError(
+            f"{fact.label!r} is transient and does not denote a run event"
+        )
+    return event_where(pps, lambda run: fact.holds(pps, run, 0))
+
+
+def points_satisfying(pps: PPS, fact: Fact) -> Set[Tuple[int, int]]:
+    """All points ``(run index, time)`` at which ``fact`` holds."""
+    return {
+        (run.index, t) for run, t in pps.points() if fact.holds(pps, run, t)
+    }
+
+
+def fact_equivalent(pps: PPS, left: Fact, right: Fact) -> bool:
+    """Whether two facts hold at exactly the same points of ``pps``."""
+    return points_satisfying(pps, left) == points_satisfying(pps, right)

@@ -1,0 +1,155 @@
+"""Local-state independence and past-based facts (paper, Section 4).
+
+Definition 4.1: ``phi`` is *local-state independent* of a proper action
+``alpha`` in ``T`` if, for every local state ``l_i`` of the agent,
+
+    mu(phi@l_i | l_i) * mu(alpha@l_i | l_i)  ==  mu([phi & alpha]@l_i | l_i)
+
+where ``alpha@l_i`` abbreviates ``does_i(alpha)@l_i``.  Intuitively, at
+each local state the event "phi holds now" is probabilistically
+independent of "the action is being performed now".  The condition is
+what rescues both the sufficiency theorem (4.2) and the expectation
+identity (6.2) from the mixed-action counterexamples of Figures 1.
+
+Lemma 4.3 gives the two standard sufficient conditions, both decidable
+here exactly:
+
+* (a) the action is deterministic (a function of the local state) —
+  :func:`repro.core.actions.is_deterministic_action`;
+* (b) the fact is *past-based*: runs agreeing up to time ``t`` agree on
+  ``phi`` at ``t`` — :func:`is_past_based`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .at_operators import at_local_state
+from .atoms import does_
+from .beliefs import occurrence_event
+from .facts import Fact, runs_satisfying
+from .measure import conditional
+from .numeric import Probability
+from .pps import PPS, Action, AgentId, LocalState
+
+__all__ = [
+    "is_past_based",
+    "is_run_based",
+    "IndependenceWitness",
+    "independence_report",
+    "is_local_state_independent",
+    "lemma_4_3_applies",
+]
+
+
+def is_past_based(pps: PPS, phi: Fact) -> bool:
+    """Whether ``phi`` is past-based in ``pps``.
+
+    ``phi`` is past-based when, for every pair of runs that agree up to
+    (and including) time ``t``, the fact holds at time ``t`` in both or
+    in neither.  Runs agree up to ``t`` exactly when they extend the
+    same time-``t`` node, so it suffices to check that ``phi`` is
+    constant across the runs passing through each node.
+    """
+    runs = pps.runs
+    for node in pps.state_nodes():
+        through = pps.runs_through(node)
+        if len(through) <= 1:
+            continue
+        values = {phi.holds(pps, runs[index], node.time) for index in through}
+        if len(values) > 1:
+            return False
+    return True
+
+
+def is_run_based(pps: PPS, phi: Fact) -> bool:
+    """Semantic check that ``phi`` is a fact about runs in this system.
+
+    Unlike :attr:`repro.core.facts.Fact.is_run_fact` (a structural
+    property), this checks time-invariance of the truth value in every
+    run of the given system.
+    """
+    for run in pps.runs:
+        values = {phi.holds(pps, run, t) for t in run.times()}
+        if len(values) > 1:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class IndependenceWitness:
+    """Per-local-state data for Definition 4.1.
+
+    Attributes:
+        local: the local state ``l_i``.
+        prob_phi: ``mu(phi@l | l)``.
+        prob_action: ``mu(does(alpha)@l | l)``.
+        prob_joint: ``mu([phi & does(alpha)]@l | l)``.
+    """
+
+    local: LocalState
+    prob_phi: Probability
+    prob_action: Probability
+    prob_joint: Probability
+
+    @property
+    def independent(self) -> bool:
+        return self.prob_phi * self.prob_action == self.prob_joint
+
+
+def independence_report(
+    pps: PPS, phi: Fact, agent: AgentId, action: Action
+) -> Dict[LocalState, IndependenceWitness]:
+    """Evaluate Definition 4.1 at every occurring local state of the agent.
+
+    Local states at which the action is never performed satisfy the
+    condition trivially (both sides are zero) but are still reported,
+    so callers can inspect the full picture.
+    """
+    report: Dict[LocalState, IndependenceWitness] = {}
+    does_action = does_(agent, action)
+    for local in pps.local_states(agent):
+        occurs = occurrence_event(pps, agent, local)
+        phi_at = runs_satisfying(pps, at_local_state(phi, agent, local))
+        act_at = runs_satisfying(pps, at_local_state(does_action, agent, local))
+        joint_at = runs_satisfying(
+            pps, at_local_state(phi & does_action, agent, local)
+        )
+        report[local] = IndependenceWitness(
+            local=local,
+            prob_phi=conditional(pps, phi_at, occurs),
+            prob_action=conditional(pps, act_at, occurs),
+            prob_joint=conditional(pps, joint_at, occurs),
+        )
+    return report
+
+
+def is_local_state_independent(
+    pps: PPS, phi: Fact, agent: AgentId, action: Action
+) -> bool:
+    """Whether ``phi`` is local-state independent of ``action`` (Def. 4.1)."""
+    return all(
+        witness.independent
+        for witness in independence_report(pps, phi, agent, action).values()
+    )
+
+
+def lemma_4_3_applies(
+    pps: PPS, phi: Fact, agent: AgentId, action: Action
+) -> Tuple[bool, List[str]]:
+    """Which sufficient conditions of Lemma 4.3 hold, if any.
+
+    Returns:
+        a pair ``(applies, reasons)`` where ``reasons`` lists the
+        satisfied premises (``"deterministic-action"`` and/or
+        ``"past-based-fact"``).
+    """
+    from .actions import is_deterministic_action  # late import, small cycle
+
+    reasons: List[str] = []
+    if is_deterministic_action(pps, agent, action):
+        reasons.append("deterministic-action")
+    if is_past_based(pps, phi):
+        reasons.append("past-based-fact")
+    return bool(reasons), reasons

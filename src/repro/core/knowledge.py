@@ -1,0 +1,172 @@
+"""Classical (non-probabilistic) knowledge operators.
+
+Knowledge is truth in all indistinguishable points (Fagin, Halpern,
+Moses, Vardi — the interpreted-systems semantics): agent ``i`` *knows*
+``phi`` at ``(r, t)`` when ``phi`` holds at every point ``(r', t')``
+with ``r'_i(t') = r_i(t)``.  In a synchronous system indistinguishable
+points share the time, so the check only scans the time-``t`` slice.
+
+Also provided: ``E_G`` (everyone in the group knows) and ``C_G``
+(common knowledge), the latter computed as truth throughout the
+connected component of the point under the union of the agents'
+indistinguishability relations — the standard finite-system fixpoint
+characterization.
+
+These operators give the baseline against which the paper's
+probabilistic generalization is compared: the classical Knowledge of
+Preconditions principle (:mod:`repro.core.kop`) is exactly the
+``p = 1`` limit of the belief results (Lemma F.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from .facts import Fact
+from .pps import PPS, AgentId, Run
+
+__all__ = [
+    "indistinguishable_points",
+    "Knows",
+    "knows",
+    "EveryoneKnows",
+    "everyone_knows",
+    "CommonKnowledge",
+    "common_knowledge",
+    "knowledge_partition",
+]
+
+Point = Tuple[int, int]  # (run index, time)
+
+
+def indistinguishable_points(
+    pps: PPS, agent: AgentId, run: Run, t: int
+) -> List[Point]:
+    """All points the agent cannot distinguish from ``(run, t)``.
+
+    Includes the point itself (the relation is reflexive).  Synchrony
+    restricts candidates to the same time slice.
+    """
+    local = run.local(agent, t)
+    return [
+        (other.index, t)
+        for other in pps.runs
+        if t < other.length and other.local(agent, t) == local
+    ]
+
+
+def knowledge_partition(
+    pps: PPS, agent: AgentId, t: int
+) -> Dict[object, FrozenSet[int]]:
+    """Partition of the time-``t`` runs by the agent's local state.
+
+    Maps each local state occurring at time ``t`` to the indices of the
+    runs passing through it — the agent's information cells.
+    """
+    cells: Dict[object, Set[int]] = {}
+    for run in pps.runs:
+        if t < run.length:
+            cells.setdefault(run.local(agent, t), set()).add(run.index)
+    return {local: frozenset(indices) for local, indices in cells.items()}
+
+
+class Knows(Fact):
+    """The transient fact ``K_i(phi)``."""
+
+    def __init__(self, agent: AgentId, phi: Fact) -> None:
+        self.agent = agent
+        self.phi = phi
+        self.label = f"K[{agent}]({phi.label})"
+
+    def holds(self, pps: PPS, run: Run, t: int) -> bool:
+        local = run.local(self.agent, t)
+        for other in pps.runs:
+            if t < other.length and other.local(self.agent, t) == local:
+                if not self.phi.holds(pps, other, t):
+                    return False
+        return True
+
+
+def knows(agent: AgentId, phi: Fact) -> Knows:
+    """The fact that ``agent`` knows ``phi`` (truth in all local-state twins)."""
+    return Knows(agent, phi)
+
+
+class EveryoneKnows(Fact):
+    """The transient fact ``E_G(phi)``: every agent in ``G`` knows ``phi``."""
+
+    def __init__(self, agents: Iterable[AgentId], phi: Fact) -> None:
+        self.agents = tuple(agents)
+        self.phi = phi
+        self.label = f"E[{','.join(self.agents)}]({phi.label})"
+
+    def holds(self, pps: PPS, run: Run, t: int) -> bool:
+        return all(Knows(agent, self.phi).holds(pps, run, t) for agent in self.agents)
+
+
+def everyone_knows(agents: Iterable[AgentId], phi: Fact) -> EveryoneKnows:
+    """The fact that everyone in the group knows ``phi``."""
+    return EveryoneKnows(agents, phi)
+
+
+class CommonKnowledge(Fact):
+    """The transient fact ``C_G(phi)``.
+
+    Computed per time slice: two runs are linked when some agent of the
+    group has the same local state in both; ``C_G(phi)`` holds at
+    ``(r, t)`` iff ``phi`` holds at ``(r', t)`` for every ``r'`` in the
+    transitive closure of the links from ``r`` (including ``r`` itself).
+    Results are cached per (system, time).
+    """
+
+    def __init__(self, agents: Iterable[AgentId], phi: Fact) -> None:
+        self.agents = tuple(agents)
+        self.phi = phi
+        self.label = f"C[{','.join(self.agents)}]({phi.label})"
+        self._component_cache: Dict[Tuple[int, int], Dict[int, int]] = {}
+
+    def _components(self, pps: PPS, t: int) -> Dict[int, int]:
+        """Map run index -> component id for the time-``t`` slice."""
+        key = (id(pps), t)
+        cached = self._component_cache.get(key)
+        if cached is not None:
+            return cached
+        alive = [run.index for run in pps.runs if t < run.length]
+        parent: Dict[int, int] = {index: index for index in alive}
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def link(a: int, b: int) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        for agent in self.agents:
+            cells: Dict[object, int] = {}
+            for index in alive:
+                local = pps.runs[index].local(agent, t)
+                if local in cells:
+                    link(index, cells[local])
+                else:
+                    cells[local] = index
+        components = {index: find(index) for index in alive}
+        self._component_cache[key] = components
+        return components
+
+    def holds(self, pps: PPS, run: Run, t: int) -> bool:
+        components = self._components(pps, t)
+        mine = components[run.index]
+        return all(
+            self.phi.holds(pps, pps.runs[index], t)
+            for index, component in components.items()
+            if component == mine
+        )
+
+
+def common_knowledge(agents: Iterable[AgentId], phi: Fact) -> CommonKnowledge:
+    """The fact that ``phi`` is common knowledge among ``agents``."""
+    return CommonKnowledge(agents, phi)

@@ -1,0 +1,108 @@
+"""The classical Knowledge of Preconditions principle (KoP).
+
+The KoP theorem ([30] in the paper) states: if ``phi`` is a *necessary
+condition* for performing ``alpha`` (``phi`` surely holds whenever the
+action is performed), then the agent *knows* ``phi`` whenever it
+performs ``alpha``.
+
+The paper's Theorem 6.2 is the probabilistic generalization, and
+Lemma F.1 recovers the KoP in the ``p = 1`` limit:
+``mu(phi@alpha | alpha) = 1`` forces acting belief 1 with probability 1.
+(In a pps, belief 1 and knowledge coincide for measurable conditions
+because every run has positive probability — :func:`check_kop` verifies
+both formulations.)
+
+This module provides the deterministic baseline checker so the
+library's probabilistic results can be compared against the classical
+principle on the same systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .actions import ensure_proper, performance_time
+from .beliefs import belief_at
+from .facts import Fact
+from .knowledge import Knows
+from .numeric import ONE
+from .pps import PPS, Action, AgentId
+
+__all__ = ["is_necessary_condition", "KoPReport", "check_kop"]
+
+Point = Tuple[int, int]
+
+
+def is_necessary_condition(
+    pps: PPS, agent: AgentId, action: Action, phi: Fact
+) -> bool:
+    """Whether ``phi`` holds at every point where the action is performed.
+
+    This is the KoP premise: performing the action guarantees ``phi``
+    (in every run, not merely with high probability).
+    """
+    for run in pps.runs:
+        for t in run.performs(agent, action):
+            if not phi.holds(pps, run, t):
+                return False
+    return True
+
+
+@dataclass
+class KoPReport:
+    """Outcome of checking the KoP on a concrete system.
+
+    Attributes:
+        necessary: whether ``phi`` is a necessary condition for the
+            action (the premise).
+        known_when_acting: whether ``K_i(phi)`` holds at every
+            performance point (the classical conclusion).
+        belief_one_when_acting: whether ``beta_i(phi) = 1`` at every
+            performance point (the probabilistic formulation).
+        failures: performance points where knowledge fails (empty when
+            the principle holds, or when the premise fails).
+    """
+
+    necessary: bool
+    known_when_acting: bool
+    belief_one_when_acting: bool
+    failures: List[Point] = field(default_factory=list)
+
+    @property
+    def verified(self) -> bool:
+        """Whether the KoP implication holds on this system."""
+        return (not self.necessary) or (
+            self.known_when_acting and self.belief_one_when_acting
+        )
+
+
+def check_kop(pps: PPS, agent: AgentId, action: Action, phi: Fact) -> KoPReport:
+    """Evaluate the Knowledge of Preconditions principle.
+
+    The action must be proper (so the probabilistic comparison with
+    Lemma F.1 is meaningful on the same inputs).
+    """
+    ensure_proper(pps, agent, action)
+    necessary = is_necessary_condition(pps, agent, action, phi)
+    knowledge = Knows(agent, phi)
+    known = True
+    belief_one = True
+    failures: List[Point] = []
+    for run in pps.runs:
+        t = performance_time(pps, agent, action, run)
+        if t is None:
+            continue
+        if not knowledge.holds(pps, run, t):
+            known = False
+            failures.append((run.index, t))
+        if belief_at(pps, agent, phi, run, t) != ONE:
+            belief_one = False
+            if (run.index, t) not in failures:
+                failures.append((run.index, t))
+    return KoPReport(
+        necessary=necessary,
+        known_when_acting=known,
+        belief_one_when_acting=belief_one,
+        failures=failures,
+    )

@@ -1,0 +1,175 @@
+"""The probability space over runs and its event algebra.
+
+A pps ``T`` induces the probability space ``X_T = (R_T, 2^{R_T}, mu_T)``
+(paper, Section 2.1).  Since ``R_T`` is finite and every run is
+measurable, events are simply sets of runs; we represent an event as a
+``frozenset`` of run indices into ``pps.runs``.
+
+All probabilities returned here are exact rationals whenever the tree's
+edge labels are (which they are, by construction).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, FrozenSet, Iterable, Optional, Sequence
+
+from .errors import ConditioningOnNullEventError
+from .numeric import Probability
+from .pps import PPS, Run
+
+__all__ = [
+    "Event",
+    "all_runs",
+    "empty_event",
+    "event_where",
+    "complement",
+    "intersect",
+    "union",
+    "probability",
+    "conditional",
+    "expectation",
+    "is_partition",
+    "total_probability",
+]
+
+Event = FrozenSet[int]
+
+
+def all_runs(pps: PPS) -> Event:
+    """The sure event ``R_T``."""
+    return frozenset(run.index for run in pps.runs)
+
+
+def empty_event() -> Event:
+    """The null event."""
+    return frozenset()
+
+
+def event_where(pps: PPS, predicate: Callable[[Run], bool]) -> Event:
+    """The event of all runs satisfying ``predicate``."""
+    return frozenset(run.index for run in pps.runs if predicate(run))
+
+
+def complement(pps: PPS, event: Event) -> Event:
+    """The complement of ``event`` in ``R_T``."""
+    return all_runs(pps) - event
+
+
+def intersect(*events: Event) -> Event:
+    """Intersection of any number of events (the sure event for none)."""
+    if not events:
+        raise ValueError("intersect() requires at least one event")
+    result = events[0]
+    for other in events[1:]:
+        result = result & other
+    return result
+
+
+def union(*events: Event) -> Event:
+    """Union of any number of events."""
+    result: Event = frozenset()
+    for other in events:
+        result = result | other
+    return result
+
+
+def probability(pps: PPS, event: Event) -> Probability:
+    """The prior probability ``mu_T(event)``."""
+    runs = pps.runs
+    return sum((runs[index].prob for index in event), start=Fraction(0))
+
+
+def conditional(pps: PPS, event: Event, given: Event) -> Probability:
+    """The conditional probability ``mu_T(event | given)``.
+
+    Raises:
+        ConditioningOnNullEventError: when ``given`` is empty.  (In a
+            pps every run has positive probability, so emptiness is the
+            only way a conditioning event can be null.)
+    """
+    if not given:
+        raise ConditioningOnNullEventError(
+            "cannot condition on an empty event (e.g. an action that is "
+            "never performed)"
+        )
+    return probability(pps, event & given) / probability(pps, given)
+
+
+def expectation(
+    pps: PPS,
+    value: Callable[[Run], Probability],
+    *,
+    given: Optional[Event] = None,
+) -> Probability:
+    """The expectation of a run-indexed random variable.
+
+    Args:
+        pps: the system.
+        value: the random variable, as a function of the run.
+        given: optional conditioning event; when supplied the
+            expectation is taken under ``mu_T(. | given)``.
+
+    Raises:
+        ConditioningOnNullEventError: when ``given`` is empty.
+    """
+    if given is None:
+        given = all_runs(pps)
+    if not given:
+        raise ConditioningOnNullEventError("cannot condition on an empty event")
+    denominator = probability(pps, given)
+    runs = pps.runs
+    numerator = sum(
+        (runs[index].prob * value(runs[index]) for index in given),
+        start=Fraction(0),
+    )
+    return numerator / denominator
+
+
+def is_partition(pps: PPS, cells: Iterable[Event], of: Event) -> bool:
+    """Whether ``cells`` are pairwise disjoint, non-empty, and cover ``of``."""
+    seen: set = set()
+    covered: set = set()
+    for cell in cells:
+        if not cell:
+            return False
+        if cell & seen:
+            return False
+        seen |= cell
+        covered |= cell
+    return covered == set(of)
+
+
+def total_probability(
+    pps: PPS,
+    target: Event,
+    cells: Sequence[Event],
+    *,
+    given: Optional[Event] = None,
+) -> Probability:
+    """Compute ``mu(target | given)`` via the law of total probability.
+
+    This mirrors the generalized Jeffrey-conditionalization identity of
+    the paper's Section 6.1::
+
+        Pr(E | Y) = sum_k Pr(X_k | Y) * Pr(E | X_k & Y)
+
+    with ``E = target``, ``Y = given`` and ``X_k = cells[k]``.  It is
+    exposed primarily so tests can confirm that the decomposition agrees
+    with direct computation; the theorem checkers rely on the same
+    identity internally.
+
+    Raises:
+        ValueError: if ``cells`` do not partition ``given``.
+    """
+    if given is None:
+        given = all_runs(pps)
+    if not is_partition(pps, cells, given):
+        raise ValueError("cells must partition the conditioning event")
+    acc = Fraction(0)
+    for cell in cells:
+        weight = conditional(pps, cell, given)
+        if weight == 0:
+            continue
+        acc += weight * conditional(pps, target, cell & given)
+    return acc

@@ -1,0 +1,135 @@
+"""Exact probability arithmetic helpers.
+
+The paper's central result (Theorem 6.2) is an *equality* between a
+conditional probability and an expected degree of belief.  To let tests
+and benchmarks assert that equality exactly, the library represents all
+probabilities as :class:`fractions.Fraction` internally.
+
+Coercion rules (:func:`as_probability`):
+
+* ``int`` and :class:`~fractions.Fraction` are used as-is,
+* ``str`` is parsed by the ``Fraction`` constructor (``"1/10"``,
+  ``"0.1"`` both give ``1/10``),
+* ``float`` is converted through its shortest decimal representation,
+  i.e. ``Fraction(str(x))`` — so the literal ``0.1`` becomes ``1/10``
+  rather than the binary expansion ``3602879701896397/36028797018963968``.
+
+This matches user intent for probability literals (a user writing
+``0.1`` means one tenth), and is documented prominently because it is a
+deliberate deviation from ``Fraction(float)`` semantics.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Optional, Union
+
+__all__ = [
+    "Probability",
+    "ProbabilityLike",
+    "as_probability",
+    "as_fraction",
+    "validate_probability",
+    "exact_sqrt",
+    "sqrt_fraction",
+    "ZERO",
+    "ONE",
+]
+
+Probability = Fraction
+ProbabilityLike = Union[int, float, str, Fraction]
+
+ZERO = Fraction(0)
+ONE = Fraction(1)
+
+
+def as_fraction(value: ProbabilityLike) -> Fraction:
+    """Coerce ``value`` to an exact :class:`~fractions.Fraction`.
+
+    Floats are converted via their shortest ``repr`` so that decimal
+    literals round-trip exactly (``as_fraction(0.1) == Fraction(1, 10)``).
+
+    Raises:
+        TypeError: if ``value`` is not a number or numeric string.
+        ValueError: if a string cannot be parsed as a rational.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("booleans are not probabilities")
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        return Fraction(str(value))
+    if isinstance(value, str):
+        return Fraction(value)
+    raise TypeError(f"cannot interpret {value!r} as an exact probability")
+
+
+def validate_probability(
+    value: Fraction,
+    *,
+    allow_zero: bool = True,
+    allow_one: bool = True,
+) -> Fraction:
+    """Check that ``value`` lies in the unit interval and return it.
+
+    Args:
+        value: an exact rational.
+        allow_zero: whether 0 is permitted (tree edges require > 0).
+        allow_one: whether 1 is permitted.
+
+    Raises:
+        ValueError: when the value falls outside the permitted range.
+    """
+    low_ok = value > 0 or (allow_zero and value == 0)
+    high_ok = value < 1 or (allow_one and value == 1)
+    if not (low_ok and high_ok):
+        raise ValueError(f"probability {value} outside permitted range")
+    return value
+
+
+def as_probability(
+    value: ProbabilityLike,
+    *,
+    allow_zero: bool = True,
+    allow_one: bool = True,
+) -> Fraction:
+    """Coerce and range-check a probability in a single call."""
+    return validate_probability(
+        as_fraction(value), allow_zero=allow_zero, allow_one=allow_one
+    )
+
+
+def exact_sqrt(value: Fraction) -> Optional[Fraction]:
+    """The exact rational square root of ``value``, if one exists.
+
+    Returns ``None`` when ``value`` is not the square of a rational
+    (e.g. ``exact_sqrt(Fraction(1, 2))``).
+
+    Raises:
+        ValueError: for negative input.
+    """
+    if value < 0:
+        raise ValueError("square root of a negative probability")
+    num_root = math.isqrt(value.numerator)
+    den_root = math.isqrt(value.denominator)
+    if num_root * num_root == value.numerator and den_root * den_root == value.denominator:
+        return Fraction(num_root, den_root)
+    return None
+
+
+def sqrt_fraction(value: Fraction) -> Fraction:
+    """A rational square root of ``value``, exact when possible.
+
+    Used for the PAK level ``1 - sqrt(1 - p)`` of Corollary 7.2: when
+    ``1 - p`` is a perfect rational square (as in all of the paper's
+    examples, e.g. ``p = 0.99`` gives ``sqrt(1/100) = 1/10``) the result
+    is exact; otherwise it falls back to the shortest-decimal rational
+    of the floating-point square root.
+    """
+    root = exact_sqrt(value)
+    if root is not None:
+        return root
+    return Fraction(str(math.sqrt(value)))

@@ -1,0 +1,150 @@
+"""Optimality of belief-guided acting (the paper's Section 8).
+
+The paper closes with a design insight: by Theorem 6.2, acting while
+holding a low degree of belief in the constraint's condition drags
+``mu(phi@alpha | alpha)`` down, so an agent can improve the constraint
+by *refraining* at low-belief states; and "if an agent never acts when
+her degree of belief is below the threshold, Theorem 6.2 can be used to
+establish that an agent's actions are optimal with respect to
+satisfying a probabilistic constraint, given her information".
+
+This module makes that quantitative.  The agent's choice space is
+*where to keep acting*: any non-empty subset ``S`` of its acting local
+states (it cannot act on information it does not have, and refraining
+is the only modification considered).  For a subset ``S`` the modified
+protocol achieves::
+
+    mu_S  =  sum_{l in S} w_l * b_l  /  sum_{l in S} w_l
+
+where ``w_l = mu(Q^l)`` is the cell weight and ``b_l`` the belief held
+at ``l``.  The maximum of this ratio over non-empty subsets is attained
+by a *top-belief prefix*: sort states by belief descending and take the
+states whose belief is at least the running ratio.  (Adding a state
+with belief above the current average raises it; below, lowers it.)
+
+Provided:
+
+* :func:`optimal_acting_states` — the optimal subset and its value;
+* :func:`achievable_frontier` — the full value-vs-coverage trade-off
+  (each prefix of the belief-sorted states);
+* :func:`is_belief_optimal` — whether a system already acts optimally
+  for the constraint (i.e. no refinement improves it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, FrozenSet, List, Tuple
+
+from .expectation import expected_belief_decomposition
+from .facts import Fact
+from .measure import probability
+from .actions import action_state_partition
+from .numeric import Probability
+from .pps import PPS, Action, AgentId, LocalState
+
+__all__ = [
+    "FrontierPoint",
+    "achievable_frontier",
+    "optimal_acting_states",
+    "is_belief_optimal",
+]
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One point of the act-where trade-off.
+
+    Attributes:
+        states: the local states at which the agent still acts.
+        acting_mass: the unconditional probability that the action is
+            (still) performed — the "coverage" retained.
+        value: the achieved ``mu(phi@alpha | alpha)`` of the modified
+            protocol.
+    """
+
+    states: FrozenSet[LocalState]
+    acting_mass: Probability
+    value: Probability
+
+
+def _cells(
+    pps: PPS, agent: AgentId, phi: Fact, action: Action
+) -> List[Tuple[LocalState, Probability, Probability]]:
+    """(state, unconditional weight, belief) rows, belief-descending."""
+    partition = action_state_partition(pps, agent, action)
+    decomposition = expected_belief_decomposition(pps, agent, phi, action)
+    rows = [
+        (local, probability(pps, partition[local]), decomposition[local].belief)
+        for local in partition
+    ]
+    rows.sort(key=lambda row: (row[2], str(row[0])), reverse=True)
+    return rows
+
+
+def achievable_frontier(
+    pps: PPS, agent: AgentId, phi: Fact, action: Action
+) -> List[FrontierPoint]:
+    """The value of every top-belief prefix of acting states.
+
+    The first point acts only at the highest-belief state(s); the last
+    acts everywhere (the original protocol).  Values are exact.  States
+    with equal belief enter together (splitting them never changes the
+    ratio, so per-prefix granularity at distinct beliefs suffices).
+    """
+    rows = _cells(pps, agent, phi, action)
+    frontier: List[FrontierPoint] = []
+    kept: List[LocalState] = []
+    mass = Fraction(0)
+    weighted_belief = Fraction(0)
+    index = 0
+    while index < len(rows):
+        belief = rows[index][2]
+        # absorb the whole equal-belief group
+        while index < len(rows) and rows[index][2] == belief:
+            local, weight, _ = rows[index]
+            kept.append(local)
+            mass += weight
+            weighted_belief += weight * belief
+            index += 1
+        frontier.append(
+            FrontierPoint(
+                states=frozenset(kept),
+                acting_mass=mass,
+                value=weighted_belief / mass,
+            )
+        )
+    return frontier
+
+
+def optimal_acting_states(
+    pps: PPS, agent: AgentId, phi: Fact, action: Action
+) -> FrontierPoint:
+    """The subset of acting states maximizing ``mu(phi@alpha | alpha)``.
+
+    Ties are broken toward *larger* coverage (acting more often at no
+    cost in value), which is what a protocol designer would pick.
+    """
+    frontier = achievable_frontier(pps, agent, phi, action)
+    best = frontier[0]
+    for point in frontier[1:]:
+        if point.value > best.value or (
+            point.value == best.value and point.acting_mass > best.acting_mass
+        ):
+            best = point
+    return best
+
+
+def is_belief_optimal(
+    pps: PPS, agent: AgentId, phi: Fact, action: Action
+) -> bool:
+    """Whether no refrain-refinement improves the achieved probability.
+
+    Equivalent to: every acting state's belief equals the overall
+    achieved probability, or there is a single acting state.
+    """
+    frontier = achievable_frontier(pps, agent, phi, action)
+    full = frontier[-1]
+    best = optimal_acting_states(pps, agent, phi, action)
+    return best.value == full.value

@@ -1,0 +1,174 @@
+"""One-call PAK analysis of a (system, agent, action, condition) tuple.
+
+:func:`analyze` gathers everything the paper says about a probabilistic
+constraint into a single :class:`PAKReport`:
+
+* properness and independence diagnostics (with Lemma 4.3 reasons);
+* the achieved probability ``mu(phi@alpha | alpha)`` and the expected
+  acting belief, plus their (Theorem 6.2) equality;
+* the acting belief profile — one row per local state at which the
+  action is taken, with the cell's weight and belief;
+* the threshold-met measure at the constraint's own threshold
+  (Section 5) and at the PAK level ``1 - sqrt(1 - p)`` (Corollary 7.2);
+* pass/fail results for every theorem checker.
+
+This is the primary high-level entry point of the library — see
+``examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .actions import is_deterministic_action, is_proper
+from .constraints import ProbabilisticConstraint, achieved_probability
+from .expectation import BeliefCell, expected_belief, expected_belief_decomposition
+from .facts import Fact
+from .independence import is_local_state_independent, lemma_4_3_applies
+from .beliefs import threshold_met_measure
+from .numeric import Probability, ProbabilityLike, as_fraction
+from .pps import PPS, Action, AgentId, LocalState
+from .theorems import (
+    TheoremCheck,
+    check_corollary_7_2,
+    check_lemma_5_1,
+    check_lemma_f_1,
+    check_theorem_4_2,
+    check_theorem_6_2,
+    pak_level,
+)
+
+__all__ = ["PAKReport", "analyze"]
+
+
+@dataclass
+class PAKReport:
+    """The full PAK picture for one constraint on one system."""
+
+    system_name: str
+    agent: AgentId
+    action: Action
+    condition_label: str
+    threshold: Probability
+    proper: bool
+    independent: bool
+    independence_reasons: List[str]
+    achieved: Probability
+    expected_belief: Probability
+    expectation_identity_holds: bool
+    threshold_met_measure: Probability
+    pak_level: Probability
+    pak_level_met_measure: Probability
+    belief_profile: Dict[LocalState, BeliefCell]
+    theorem_checks: Dict[str, TheoremCheck] = field(default_factory=dict)
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether the constraint is satisfied on the system."""
+        return self.achieved >= self.threshold
+
+    @property
+    def all_theorems_verified(self) -> bool:
+        """Whether every applicable theorem's conclusion held."""
+        return all(check.verified for check in self.theorem_checks.values())
+
+    def summary(self) -> str:
+        """A multi-line human-readable report."""
+        lines = [
+            f"PAK analysis of {self.system_name}",
+            f"  agent={self.agent} action={self.action} "
+            f"condition={self.condition_label}",
+            f"  proper action:          {self.proper}",
+            f"  local-state independent: {self.independent} "
+            f"({', '.join(self.independence_reasons) or 'checked directly'})",
+            f"  constraint threshold p:  {self.threshold} "
+            f"(~{float(self.threshold):.6g})",
+            f"  achieved mu(phi@a|a):    {self.achieved} "
+            f"(~{float(self.achieved):.6g}) -> "
+            f"{'SATISFIED' if self.satisfied else 'VIOLATED'}",
+            f"  expected acting belief:  {self.expected_belief} "
+            f"(~{float(self.expected_belief):.6g})"
+            + ("  [= achieved, Thm 6.2]" if self.expectation_identity_holds else ""),
+            f"  mu(belief >= p | a):     {self.threshold_met_measure} "
+            f"(~{float(self.threshold_met_measure):.6g})",
+            f"  PAK level p'=1-sqrt(1-p): {self.pak_level} "
+            f"(~{float(self.pak_level):.6g})",
+            f"  mu(belief >= p' | a):    {self.pak_level_met_measure} "
+            f"(~{float(self.pak_level_met_measure):.6g})",
+            "  acting belief profile:",
+        ]
+        for local, cell in sorted(
+            self.belief_profile.items(), key=lambda item: str(item[0])
+        ):
+            lines.append(
+                f"    state {local!r}: weight {cell.weight} "
+                f"(~{float(cell.weight):.6g}), belief {cell.belief} "
+                f"(~{float(cell.belief):.6g})"
+            )
+        lines.append("  theorem checks:")
+        for name, check in self.theorem_checks.items():
+            lines.append(f"    {check}")
+        return "\n".join(lines)
+
+
+def analyze(
+    pps: PPS,
+    agent: AgentId,
+    action: Action,
+    phi: Fact,
+    threshold: ProbabilityLike,
+) -> PAKReport:
+    """Run the complete PAK analysis for one probabilistic constraint.
+
+    Args:
+        pps: the system.
+        agent: the acting agent.
+        action: the (proper) action of interest.
+        phi: the condition that should hold when acting.
+        threshold: the constraint threshold ``p``.
+
+    Raises:
+        ImproperActionError: when the action is not proper.
+    """
+    p = as_fraction(threshold)
+    proper = is_proper(pps, agent, action)
+    independent = is_local_state_independent(pps, phi, agent, action)
+    _, reasons = lemma_4_3_applies(pps, phi, agent, action)
+    achieved = achieved_probability(pps, agent, phi, action)
+    expected = expected_belief(pps, agent, phi, action)
+    met_at_p = threshold_met_measure(pps, agent, phi, action, p)
+    level = pak_level(p)
+    met_at_level = threshold_met_measure(pps, agent, phi, action, level)
+    profile = expected_belief_decomposition(pps, agent, phi, action)
+
+    checks: Dict[str, TheoremCheck] = {
+        "theorem-4.2": check_theorem_4_2(pps, agent, action, phi, p),
+        "lemma-5.1": check_lemma_5_1(pps, agent, action, phi, p),
+        "theorem-6.2": check_theorem_6_2(pps, agent, action, phi),
+        "lemma-F.1": check_lemma_f_1(pps, agent, action, phi),
+    }
+    # Corollary 7.2 needs epsilon = sqrt(1 - p); use the PAK level's
+    # complement, which is exact whenever the level is.
+    epsilon = 1 - level
+    if 0 <= epsilon <= 1:
+        checks["corollary-7.2"] = check_corollary_7_2(pps, agent, action, phi, epsilon)
+
+    return PAKReport(
+        system_name=pps.name,
+        agent=agent,
+        action=action,
+        condition_label=phi.label,
+        threshold=p,
+        proper=proper,
+        independent=independent,
+        independence_reasons=reasons,
+        achieved=achieved,
+        expected_belief=expected,
+        expectation_identity_holds=(achieved == expected),
+        threshold_met_measure=met_at_p,
+        pak_level=level,
+        pak_level_met_measure=met_at_level,
+        belief_profile=profile,
+        theorem_checks=checks,
+    )

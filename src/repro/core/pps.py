@@ -1,0 +1,440 @@
+"""Purely probabilistic systems (pps).
+
+A pps (paper, Section 2.1) is a finite labelled directed tree
+``T = (V, E, pi)`` in which
+
+* every node except the root corresponds to a *global state*,
+* the root ``lambda`` only defines a distribution over the initial
+  global states (its children),
+* ``pi : E -> (0, 1]`` labels edges with transition probabilities and
+  every internal node's outgoing probabilities sum to one,
+* every path from a child of the root to a leaf is a *run*, and the
+  probability of a run is the product of the edge probabilities along
+  it (including the root edge).
+
+This module implements the tree (:class:`Node`), global states
+(:class:`GlobalState`), runs (:class:`Run`), points and the induced
+probability space ``X_T = (R_T, 2^{R_T}, mu_T)`` (:class:`PPS`).
+
+Synchrony
+---------
+The paper restricts attention to synchronous systems: every agent local
+state contains the current time.  We enforce the observable consequence
+of that assumption — a given agent local state value may occur at one
+tree depth only — in :meth:`PPS.validate`.  The protocol compiler
+(:mod:`repro.protocols.compiler`) time-stamps local states automatically;
+hand-built trees must include the time in the local state themselves
+(e.g. ``(0, "g0")``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .errors import (
+    InvalidSystemError,
+    NotStochasticError,
+    SynchronyViolationError,
+    UnknownAgentError,
+    ZeroProbabilityError,
+)
+from .numeric import ONE, Probability
+
+__all__ = ["AgentId", "Action", "LocalState", "GlobalState", "Node", "Run", "PPS"]
+
+AgentId = str
+Action = Hashable
+LocalState = Hashable
+
+
+@dataclass(frozen=True)
+class GlobalState:
+    """A global state ``g = (l_e, l_1, ..., l_n)``.
+
+    Attributes:
+        env: the environment's local state (any hashable value).
+        locals: the agents' local states, ordered consistently with the
+            owning :class:`PPS`'s ``agents`` tuple.
+    """
+
+    env: Hashable
+    locals: Tuple[LocalState, ...]
+
+    def local(self, index: int) -> LocalState:
+        """Return the local state of the agent at position ``index``."""
+        return self.locals[index]
+
+
+@dataclass
+class Node:
+    """A node of the execution tree.
+
+    The root has ``state is None`` and ``depth == 0``.  A node at depth
+    ``d >= 1`` corresponds to the global state at *time* ``d - 1``.
+
+    ``via_action`` records the joint action (one action per agent, plus
+    optionally the environment under a reserved name) whose performance
+    at the parent state produced this node.  The paper stores the same
+    information in the environment's history component ``h`` at the
+    successor state; keeping it on the edge is equivalent bookkeeping
+    and is what :func:`repro.core.atoms.does_` inspects.  It is ``None``
+    for the root and for initial nodes (nature's initial choice is not
+    an action of any agent).
+    """
+
+    uid: int
+    depth: int
+    state: Optional[GlobalState]
+    prob_from_parent: Probability = ONE
+    via_action: Optional[Mapping[AgentId, Action]] = None
+    parent: Optional["Node"] = field(default=None, repr=False)
+    children: List["Node"] = field(default_factory=list, repr=False)
+
+    @property
+    def time(self) -> int:
+        """The time this node's global state refers to (``depth - 1``)."""
+        return self.depth - 1
+
+    @property
+    def is_root(self) -> bool:
+        return self.state is None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def path_probability(self) -> Probability:
+        """Product of edge probabilities from the root to this node."""
+        prob = ONE
+        node: Optional[Node] = self
+        while node is not None and not node.is_root:
+            prob *= node.prob_from_parent
+            node = node.parent
+        return prob
+
+
+@dataclass(frozen=True)
+class Run:
+    """A run of the system: a root-to-leaf path, excluding the root.
+
+    ``nodes[t]`` is the tree node holding the global state ``r(t)``;
+    hence ``r(0)`` is a child of the root.  ``prob`` is ``mu_T({r})``.
+    """
+
+    index: int
+    nodes: Tuple[Node, ...]
+    prob: Probability
+    agents: Tuple[AgentId, ...]
+
+    @property
+    def length(self) -> int:
+        """The number of global states in the run."""
+        return len(self.nodes)
+
+    @property
+    def final_time(self) -> int:
+        return self.length - 1
+
+    def times(self) -> range:
+        """All times ``t`` for which ``r(t)`` is defined."""
+        return range(self.length)
+
+    def state(self, t: int) -> GlobalState:
+        """The global state ``r(t)``."""
+        node_state = self.nodes[t].state
+        assert node_state is not None  # runs never contain the root
+        return node_state
+
+    def env_state(self, t: int) -> Hashable:
+        """The environment's local state at time ``t``."""
+        return self.state(t).env
+
+    def local(self, agent: AgentId, t: int) -> LocalState:
+        """Agent ``agent``'s local state ``r_i(t)``."""
+        try:
+            idx = self.agents.index(agent)
+        except ValueError:
+            raise UnknownAgentError(f"unknown agent {agent!r}") from None
+        return self.state(t).local(idx)
+
+    def action_of(self, agent: AgentId, t: int) -> Optional[Action]:
+        """The action ``agent`` performed at time ``t``, or ``None``.
+
+        ``None`` is returned when ``t`` is the final time of the run
+        (no action is performed at a leaf) or when the edge into the
+        time-``t + 1`` node does not record an action for the agent
+        (possible in hand-built trees).
+        """
+        if t + 1 >= self.length:
+            return None
+        via = self.nodes[t + 1].via_action
+        if via is None:
+            return None
+        return via.get(agent)
+
+    def performs(self, agent: AgentId, action: Action) -> Tuple[int, ...]:
+        """All times at which ``agent`` performs ``action`` in this run."""
+        return tuple(
+            t for t in range(self.length - 1) if self.action_of(agent, t) == action
+        )
+
+    def shares_prefix(self, other: "Run", t: int) -> bool:
+        """Whether the two runs agree up to and including time ``t``.
+
+        Two runs agree up to ``t`` exactly when they extend the same
+        time-``t`` node of the tree (paper, Section 4).
+        """
+        if t >= self.length or t >= other.length:
+            return False
+        return self.nodes[t].uid == other.nodes[t].uid
+
+
+class PPS:
+    """A finite purely probabilistic system and its run space.
+
+    Args:
+        agents: the agent names, in the order matching every
+            :class:`GlobalState`'s ``locals`` tuple.
+        root: the root node of the execution tree.  Its children are
+            the initial global states.
+        name: optional human-readable label used in reports.
+        validate: run structural validation on construction
+            (recommended; disable only in performance experiments on
+            programmatically generated trees that are valid by
+            construction).
+
+    Raises:
+        InvalidSystemError: when the tree violates a pps invariant.
+    """
+
+    def __init__(
+        self,
+        agents: Sequence[AgentId],
+        root: Node,
+        *,
+        name: str = "pps",
+        validate: bool = True,
+    ) -> None:
+        self.agents: Tuple[AgentId, ...] = tuple(agents)
+        self.name = name
+        if len(set(self.agents)) != len(self.agents):
+            raise InvalidSystemError("duplicate agent names")
+        self._agent_index: Dict[AgentId, int] = {
+            agent: idx for idx, agent in enumerate(self.agents)
+        }
+        self.root = root
+        self._runs: Optional[Tuple[Run, ...]] = None
+        self._node_runs: Optional[Dict[int, FrozenSet[int]]] = None
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def agent_index(self, agent: AgentId) -> int:
+        """Position of ``agent`` in the ``locals`` tuples."""
+        try:
+            return self._agent_index[agent]
+        except KeyError:
+            raise UnknownAgentError(
+                f"unknown agent {agent!r}; agents are {self.agents}"
+            ) from None
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all nodes of the tree (root included), pre-order."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def state_nodes(self) -> Iterator[Node]:
+        """Iterate over all non-root nodes (those carrying global states)."""
+        for node in self.nodes():
+            if not node.is_root:
+                yield node
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.nodes())
+
+    def max_time(self) -> int:
+        """The largest time occurring in any run."""
+        return max(node.time for node in self.state_nodes())
+
+    def validate(self) -> None:
+        """Check all pps invariants, raising on the first violation.
+
+        Checks performed:
+
+        * the root carries no state; every other node carries one with
+          a ``locals`` tuple of the right arity;
+        * every edge probability lies in ``(0, 1]``;
+        * outgoing probabilities of every internal node sum to one;
+        * synchrony — no agent local state occurs at two depths;
+        * child depths are parent depth + 1 and parent links are
+          consistent.
+        """
+        if not self.root.is_root:
+            raise InvalidSystemError("root node must not carry a global state")
+        if not self.root.children:
+            raise InvalidSystemError("a pps must have at least one initial state")
+        n = len(self.agents)
+        state_depth: Dict[Tuple[AgentId, LocalState], int] = {}
+        for node in self.nodes():
+            if node.is_root:
+                if node.depth != 0:
+                    raise InvalidSystemError("root must have depth 0")
+            else:
+                state = node.state
+                if state is None:
+                    raise InvalidSystemError(
+                        f"non-root node {node.uid} carries no global state"
+                    )
+                if len(state.locals) != n:
+                    raise InvalidSystemError(
+                        f"node {node.uid}: expected {n} local states, "
+                        f"got {len(state.locals)}"
+                    )
+                if not (0 < node.prob_from_parent <= 1):
+                    raise ZeroProbabilityError(
+                        f"edge into node {node.uid} has probability "
+                        f"{node.prob_from_parent}, outside (0, 1]"
+                    )
+                for agent, local in zip(self.agents, state.locals):
+                    key = (agent, local)
+                    seen = state_depth.get(key)
+                    if seen is None:
+                        state_depth[key] = node.depth
+                    elif seen != node.depth:
+                        raise SynchronyViolationError(
+                            f"local state {local!r} of agent {agent!r} occurs "
+                            f"at times {seen - 1} and {node.depth - 1}; "
+                            "synchronous local states must include the time"
+                        )
+            for child in node.children:
+                if child.parent is not node:
+                    raise InvalidSystemError(
+                        f"node {child.uid} has an inconsistent parent link"
+                    )
+                if child.depth != node.depth + 1:
+                    raise InvalidSystemError(
+                        f"node {child.uid} has depth {child.depth}, "
+                        f"expected {node.depth + 1}"
+                    )
+            if node.children:
+                total = sum(
+                    (child.prob_from_parent for child in node.children),
+                    start=Fraction(0),
+                )
+                if total != 1:
+                    raise NotStochasticError(
+                        f"outgoing probabilities of node {node.uid} sum to "
+                        f"{total}, expected 1"
+                    )
+
+    # ------------------------------------------------------------------
+    # Runs and points
+    # ------------------------------------------------------------------
+
+    @property
+    def runs(self) -> Tuple[Run, ...]:
+        """All runs of the system, each with its prior probability."""
+        if self._runs is None:
+            collected: List[Run] = []
+            path: List[Node] = []
+
+            def visit(node: Node, prob: Probability) -> None:
+                if not node.is_root:
+                    path.append(node)
+                    prob = prob * node.prob_from_parent
+                if node.is_leaf:
+                    collected.append(
+                        Run(
+                            index=len(collected),
+                            nodes=tuple(path),
+                            prob=prob,
+                            agents=self.agents,
+                        )
+                    )
+                else:
+                    for child in node.children:
+                        visit(child, prob)
+                if not node.is_root:
+                    path.pop()
+
+            visit(self.root, ONE)
+            self._runs = tuple(collected)
+        return self._runs
+
+    def run_count(self) -> int:
+        return len(self.runs)
+
+    def points(self) -> Iterator[Tuple[Run, int]]:
+        """Iterate over all points ``(r, t)`` of the system."""
+        for run in self.runs:
+            for t in run.times():
+                yield run, t
+
+    def runs_through(self, node: Node) -> FrozenSet[int]:
+        """Indices of the runs whose path passes through ``node``."""
+        if self._node_runs is None:
+            table: Dict[int, set] = {}
+            for run in self.runs:
+                for path_node in run.nodes:
+                    table.setdefault(path_node.uid, set()).add(run.index)
+            self._node_runs = {uid: frozenset(s) for uid, s in table.items()}
+        return self._node_runs.get(node.uid, frozenset())
+
+    # ------------------------------------------------------------------
+    # Local states and actions
+    # ------------------------------------------------------------------
+
+    def local_states(self, agent: AgentId) -> FrozenSet[LocalState]:
+        """All local states of ``agent`` occurring anywhere in the tree."""
+        idx = self.agent_index(agent)
+        return frozenset(
+            node.state.local(idx)
+            for node in self.state_nodes()
+            if node.state is not None
+        )
+
+    def occurrence_time(self, agent: AgentId, local: LocalState) -> Optional[int]:
+        """The unique time at which ``local`` occurs for ``agent``.
+
+        Synchrony guarantees uniqueness.  Returns ``None`` when the
+        local state never occurs.
+        """
+        idx = self.agent_index(agent)
+        for node in self.state_nodes():
+            if node.state is not None and node.state.local(idx) == local:
+                return node.time
+        return None
+
+    def actions_of(self, agent: AgentId) -> FrozenSet[Action]:
+        """All actions ``agent`` ever performs in the system."""
+        found = set()
+        for run in self.runs:
+            for t in range(run.length - 1):
+                action = run.action_of(agent, t)
+                if action is not None:
+                    found.add(action)
+        return frozenset(found)
+
+    def __repr__(self) -> str:
+        return (
+            f"PPS(name={self.name!r}, agents={self.agents}, "
+            f"nodes={self.node_count()}, runs={len(self.runs)})"
+        )

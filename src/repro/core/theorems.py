@@ -1,0 +1,305 @@
+"""Machine-checkable statements of the paper's theorems.
+
+Each ``check_*`` function evaluates one theorem *on a concrete pps*:
+it decides the premises exactly, decides the conclusion exactly, and
+returns a :class:`TheoremCheck` with the intermediate quantities as
+evidence.  A check "passes" when the theorem's implication holds —
+either vacuously (a premise fails) or because the conclusion holds.
+Since the theorems are proved for all pps, ``verified`` must come back
+``True`` on every valid system; the test-suite and the property-based
+generators hammer exactly that.
+
+The checkers:
+
+======================  ==========================================================
+:func:`check_theorem_4_2`   belief >= p at every performance point => constraint met
+:func:`check_lemma_4_3`     deterministic action / past-based fact => independence
+:func:`check_lemma_5_1`     constraint met => threshold met at >= 1 point
+:func:`check_theorem_6_2`   mu(phi@alpha | alpha) == E[beta@alpha | alpha]
+:func:`check_lemma_f_1`     threshold 1 => belief 1 with probability 1 (KoP limit)
+:func:`check_theorem_7_1`   mu >= 1 - delta*eps => mu(beta >= 1-eps | alpha) >= 1-delta
+:func:`check_corollary_7_2` mu >= 1 - eps^2 => mu(beta >= 1-eps | alpha) >= 1-eps
+======================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Tuple
+
+from .actions import is_proper, performance_time, performing_runs
+from .beliefs import belief_at, belief_random_variable, threshold_met_measure
+from .constraints import achieved_probability
+from .expectation import expected_belief
+from .facts import Fact
+from .independence import is_local_state_independent, is_past_based
+from .numeric import ONE, Probability, ProbabilityLike, as_fraction, sqrt_fraction
+from .pps import PPS, Action, AgentId
+
+__all__ = [
+    "TheoremCheck",
+    "check_theorem_4_2",
+    "check_lemma_4_3",
+    "check_lemma_5_1",
+    "check_theorem_6_2",
+    "check_lemma_f_1",
+    "check_theorem_7_1",
+    "check_corollary_7_2",
+    "pak_level",
+]
+
+
+@dataclass
+class TheoremCheck:
+    """The outcome of evaluating one theorem on one system.
+
+    Attributes:
+        theorem: a short identifier such as ``"Theorem 6.2"``.
+        premises: each named premise and whether it holds.
+        conclusion: whether the theorem's conclusion holds.
+        details: intermediate quantities (exact rationals) useful as
+            evidence or for debugging.
+    """
+
+    theorem: str
+    premises: Dict[str, bool]
+    conclusion: bool
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def applicable(self) -> bool:
+        """Whether all premises hold."""
+        return all(self.premises.values())
+
+    @property
+    def verified(self) -> bool:
+        """Whether the implication premise => conclusion holds."""
+        return self.conclusion or not self.applicable
+
+    def __str__(self) -> str:
+        premises = ", ".join(
+            f"{name}={'Y' if value else 'N'}" for name, value in self.premises.items()
+        )
+        return (
+            f"{self.theorem}: premises[{premises}] "
+            f"conclusion={'Y' if self.conclusion else 'N'} "
+            f"verified={'Y' if self.verified else 'N'}"
+        )
+
+
+def _standard_premises(
+    pps: PPS, agent: AgentId, action: Action, phi: Fact
+) -> Dict[str, bool]:
+    proper = is_proper(pps, agent, action)
+    independent = proper and is_local_state_independent(pps, phi, agent, action)
+    return {"proper-action": proper, "local-state-independent": independent}
+
+
+def check_theorem_4_2(
+    pps: PPS,
+    agent: AgentId,
+    action: Action,
+    phi: Fact,
+    threshold: ProbabilityLike,
+) -> TheoremCheck:
+    """Sufficiency of meeting the threshold (Theorem 4.2).
+
+    If ``beta_i(phi) >= p`` at every point at which ``i`` performs
+    ``alpha``, then ``mu(phi@alpha | alpha) >= p``.
+    """
+    p = as_fraction(threshold)
+    premises = _standard_premises(pps, agent, action, phi)
+    details: Dict[str, Any] = {"threshold": p}
+    if premises["proper-action"]:
+        acting_beliefs = [
+            belief_at(pps, agent, phi, run, t)
+            for run in pps.runs
+            for t in [performance_time(pps, agent, action, run)]
+            if t is not None
+        ]
+        premises["belief-meets-threshold-always"] = all(
+            b >= p for b in acting_beliefs
+        )
+        details["min-acting-belief"] = min(acting_beliefs)
+        achieved = achieved_probability(pps, agent, phi, action)
+        details["achieved"] = achieved
+        conclusion = achieved >= p
+    else:
+        premises["belief-meets-threshold-always"] = False
+        conclusion = False
+    return TheoremCheck("Theorem 4.2", premises, conclusion, details)
+
+
+def check_lemma_4_3(
+    pps: PPS, agent: AgentId, action: Action, phi: Fact
+) -> TheoremCheck:
+    """Sufficient conditions for independence (Lemma 4.3)."""
+    from .actions import is_deterministic_action
+
+    proper = is_proper(pps, agent, action)
+    deterministic = proper and is_deterministic_action(pps, agent, action)
+    past_based = is_past_based(pps, phi)
+    premises = {
+        "proper-action": proper,
+        "deterministic-or-past-based": deterministic or past_based,
+    }
+    conclusion = proper and is_local_state_independent(pps, phi, agent, action)
+    return TheoremCheck(
+        "Lemma 4.3",
+        premises,
+        conclusion,
+        {"deterministic": deterministic, "past-based": past_based},
+    )
+
+
+def check_lemma_5_1(
+    pps: PPS,
+    agent: AgentId,
+    action: Action,
+    phi: Fact,
+    threshold: ProbabilityLike,
+) -> TheoremCheck:
+    """Necessity of meeting the threshold at least once (Lemma 5.1)."""
+    p = as_fraction(threshold)
+    premises = _standard_premises(pps, agent, action, phi)
+    details: Dict[str, Any] = {"threshold": p}
+    conclusion = False
+    if premises["proper-action"]:
+        achieved = achieved_probability(pps, agent, phi, action)
+        premises["constraint-satisfied"] = achieved >= p
+        details["achieved"] = achieved
+        witness: Optional[Tuple[int, int]] = None
+        for run in pps.runs:
+            t = performance_time(pps, agent, action, run)
+            if t is not None and belief_at(pps, agent, phi, run, t) >= p:
+                witness = (run.index, t)
+                break
+        details["witness-point"] = witness
+        conclusion = witness is not None
+    else:
+        premises["constraint-satisfied"] = False
+    return TheoremCheck("Lemma 5.1", premises, conclusion, details)
+
+
+def check_theorem_6_2(
+    pps: PPS, agent: AgentId, action: Action, phi: Fact
+) -> TheoremCheck:
+    """The expectation identity (Theorem 6.2, the paper's main result).
+
+    ``mu(phi@alpha | alpha) == E[beta_i(phi)@alpha | alpha]`` — checked
+    as an *exact* equality of rationals.
+    """
+    premises = _standard_premises(pps, agent, action, phi)
+    details: Dict[str, Any] = {}
+    conclusion = False
+    if premises["proper-action"]:
+        achieved = achieved_probability(pps, agent, phi, action)
+        expected = expected_belief(pps, agent, phi, action)
+        details["achieved"] = achieved
+        details["expected-belief"] = expected
+        conclusion = achieved == expected
+    return TheoremCheck("Theorem 6.2", premises, conclusion, details)
+
+
+def check_lemma_f_1(
+    pps: PPS, agent: AgentId, action: Action, phi: Fact
+) -> TheoremCheck:
+    """The certainty limit (Lemma F.1): threshold 1 forces belief 1.
+
+    If ``mu(phi@alpha | alpha) = 1`` then the acting belief equals 1
+    with probability 1 — the classical Knowledge-of-Preconditions
+    principle recovered as the ``p = 1`` case.
+    """
+    premises = _standard_premises(pps, agent, action, phi)
+    details: Dict[str, Any] = {}
+    conclusion = False
+    if premises["proper-action"]:
+        achieved = achieved_probability(pps, agent, phi, action)
+        premises["certain-constraint"] = achieved == 1
+        details["achieved"] = achieved
+        measure_one = threshold_met_measure(pps, agent, phi, action, ONE)
+        details["measure-belief-one"] = measure_one
+        conclusion = measure_one == 1
+    else:
+        premises["certain-constraint"] = False
+    return TheoremCheck("Lemma F.1", premises, conclusion, details)
+
+
+def check_theorem_7_1(
+    pps: PPS,
+    agent: AgentId,
+    action: Action,
+    phi: Fact,
+    delta: ProbabilityLike,
+    epsilon: ProbabilityLike,
+) -> TheoremCheck:
+    """The probabilistic-approximate-knowledge bound (Theorem 7.1).
+
+    For ``delta, epsilon in (0, 1)``: if
+    ``mu(phi@alpha | alpha) >= 1 - delta * epsilon`` then
+    ``mu(beta_i(phi)@alpha >= 1 - epsilon | alpha) >= 1 - delta``.
+    """
+    d = as_fraction(delta)
+    e = as_fraction(epsilon)
+    if not (0 < d < 1 and 0 < e < 1):
+        raise ValueError("Theorem 7.1 requires delta, epsilon in (0, 1)")
+    premises = _standard_premises(pps, agent, action, phi)
+    details: Dict[str, Any] = {"delta": d, "epsilon": e}
+    conclusion = False
+    if premises["proper-action"]:
+        achieved = achieved_probability(pps, agent, phi, action)
+        premises["high-probability-constraint"] = achieved >= 1 - d * e
+        details["achieved"] = achieved
+        met = threshold_met_measure(pps, agent, phi, action, 1 - e)
+        details["strong-belief-measure"] = met
+        conclusion = met >= 1 - d
+    else:
+        premises["high-probability-constraint"] = False
+    return TheoremCheck("Theorem 7.1", premises, conclusion, details)
+
+
+def check_corollary_7_2(
+    pps: PPS,
+    agent: AgentId,
+    action: Action,
+    phi: Fact,
+    epsilon: ProbabilityLike,
+) -> TheoremCheck:
+    """PAK-knowledge (Corollary 7.2): ``delta = epsilon`` in Theorem 7.1.
+
+    For ``epsilon >= 0``: if ``mu(phi@alpha | alpha) >= 1 - epsilon^2``
+    then ``mu(beta >= 1 - epsilon | alpha) >= 1 - epsilon``.  The
+    boundary cases ``epsilon = 0`` (Lemma F.1) and ``epsilon = 1``
+    (trivial) are included, matching the paper's proof.
+    """
+    e = as_fraction(epsilon)
+    if e < 0:
+        raise ValueError("Corollary 7.2 requires epsilon >= 0")
+    premises = _standard_premises(pps, agent, action, phi)
+    details: Dict[str, Any] = {"epsilon": e}
+    conclusion = False
+    if premises["proper-action"]:
+        achieved = achieved_probability(pps, agent, phi, action)
+        premises["high-probability-constraint"] = achieved >= 1 - e * e
+        details["achieved"] = achieved
+        met = threshold_met_measure(pps, agent, phi, action, 1 - e)
+        details["strong-belief-measure"] = met
+        conclusion = met >= 1 - e
+    else:
+        premises["high-probability-constraint"] = False
+    return TheoremCheck("Corollary 7.2", premises, conclusion, details)
+
+
+def pak_level(threshold: ProbabilityLike) -> Probability:
+    """The PAK level ``p' = 1 - sqrt(1 - p)`` for a constraint threshold.
+
+    Corollary 7.2 restated: a constraint with threshold ``p`` forces the
+    condition to be believed to degree at least ``p'`` with probability
+    at least ``p'``.  Exact whenever ``1 - p`` is a perfect rational
+    square (e.g. ``pak_level("0.99") == Fraction(9, 10)``).
+    """
+    p = as_fraction(threshold)
+    if not (0 <= p <= 1):
+        raise ValueError(f"threshold {p} outside [0, 1]")
+    return 1 - sqrt_fraction(1 - p)

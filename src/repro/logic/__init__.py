@@ -1,0 +1,48 @@
+"""Syntactic logic layer: formula AST, parser, and model checker."""
+
+from .axioms import check_axioms, holds_everywhere
+from .parser import parse
+from .semantics import (
+    compile_formula,
+    holds_at,
+    satisfiable,
+    satisfying_points,
+    valid,
+)
+from .syntax import (
+    Belief,
+    Bottom,
+    Conj,
+    Disj,
+    DoesF,
+    Formula,
+    Impl,
+    Know,
+    Neg,
+    Prop,
+    Top,
+    Valuation,
+)
+
+__all__ = [
+    "Belief",
+    "check_axioms",
+    "holds_everywhere",
+    "Bottom",
+    "Conj",
+    "Disj",
+    "DoesF",
+    "Formula",
+    "Impl",
+    "Know",
+    "Neg",
+    "Prop",
+    "Top",
+    "Valuation",
+    "compile_formula",
+    "holds_at",
+    "parse",
+    "satisfiable",
+    "satisfying_points",
+    "valid",
+]

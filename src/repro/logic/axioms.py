@@ -1,0 +1,113 @@
+"""Epistemic axiom checking over purely probabilistic systems.
+
+The knowledge operator of interpreted systems is S5, and the graded
+belief operator of Definition 3.1 satisfies a family of well-known
+properties in synchronous pps (where beliefs are functions of the local
+state and every run has positive measure).  This module turns each into
+a checkable *validity* on a concrete system:
+
+Knowledge (S5):
+
+* ``T``  (truth):                    K_i(phi) -> phi
+* ``K``  (distribution):            K_i(phi -> psi) -> (K_i phi -> K_i psi)
+* ``4``  (positive introspection):  K_i phi -> K_i K_i phi
+* ``5``  (negative introspection):  ~K_i phi -> K_i ~K_i phi
+
+Belief:
+
+* ``consistency``:        B_i^p(phi) & B_i^q(~phi) implies p + q <= 1
+  (checked as: the belief function is additive, beta(phi) + beta(~phi) = 1)
+* ``knowledge-to-belief``: K_i(phi) -> B_i^1(phi)
+* ``belief-certainty``:    B_i^1(phi) -> K_i(phi)   (needs positive measures — true in a pps)
+* ``introspection``:       B_i^p(phi) -> K_i(B_i^p(phi))
+  (beliefs are a function of the local state, so the agent knows them)
+
+:func:`check_axioms` evaluates all of them for one agent and condition
+and returns a name -> bool mapping; since the axioms are theorems of
+the model, every entry must be ``True`` on every valid system — the
+property-based tests enforce exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from ..core.beliefs import belief_at
+from ..core.facts import Fact
+from ..core.knowledge import Knows
+from ..core.numeric import ProbabilityLike, as_fraction
+from ..core.pps import PPS, AgentId
+
+__all__ = ["check_axioms", "holds_everywhere"]
+
+
+def holds_everywhere(pps: PPS, fact: Fact) -> bool:
+    """Whether a fact holds at every point of the system."""
+    return all(fact.holds(pps, run, t) for run, t in pps.points())
+
+
+def check_axioms(
+    pps: PPS,
+    agent: AgentId,
+    phi: Fact,
+    psi: Fact,
+    *,
+    levels: Iterable[ProbabilityLike] = ("1/2", "9/10", 1),
+) -> Dict[str, bool]:
+    """Evaluate the epistemic/doxastic axioms for ``agent`` on ``pps``.
+
+    Args:
+        pps: the system.
+        agent: whose knowledge/beliefs to check.
+        phi: the primary condition.
+        psi: a second condition (for the distribution axiom K).
+        levels: belief levels at which to check the graded axioms.
+
+    Returns:
+        axiom name -> whether it is valid on this system.  All must be
+        ``True``; a ``False`` indicates a library bug.
+    """
+    know_phi = Knows(agent, phi)
+    know_psi = Knows(agent, psi)
+    results: Dict[str, bool] = {}
+
+    results["T:knowledge-implies-truth"] = holds_everywhere(
+        pps, know_phi.implies(phi)
+    )
+    results["K:distribution"] = holds_everywhere(
+        pps,
+        Knows(agent, phi.implies(psi)).implies(know_phi.implies(know_psi)),
+    )
+    results["4:positive-introspection"] = holds_everywhere(
+        pps, know_phi.implies(Knows(agent, know_phi))
+    )
+    results["5:negative-introspection"] = holds_everywhere(
+        pps, (~know_phi).implies(Knows(agent, ~know_phi))
+    )
+
+    results["belief-additivity"] = all(
+        belief_at(pps, agent, phi, run, t) + belief_at(pps, agent, ~phi, run, t)
+        == 1
+        for run, t in pps.points()
+    )
+    results["knowledge-implies-belief-one"] = all(
+        belief_at(pps, agent, phi, run, t) == 1
+        for run, t in pps.points()
+        if know_phi.holds(pps, run, t)
+    )
+    results["belief-one-implies-knowledge"] = all(
+        know_phi.holds(pps, run, t)
+        for run, t in pps.points()
+        if belief_at(pps, agent, phi, run, t) == 1
+    )
+
+    from ..core.common_belief import Believes
+
+    for level in levels:
+        p = as_fraction(level)
+        graded = Believes(agent, phi, p)
+        results[f"belief-introspection@{p}"] = holds_everywhere(
+            pps, graded.implies(Knows(agent, graded))
+        )
+
+    return results

@@ -1,0 +1,205 @@
+"""Parser for the concrete formula syntax.
+
+Grammar (standard precedence: ``!`` binds tightest, then ``&``, ``|``,
+``->`` right-associative)::
+
+    formula  := disj ('->' formula)?
+    disj     := conj ('|' conj)*
+    conj     := unary ('&' unary)*
+    unary    := '!' unary
+              | 'K' '[' name ']' unary
+              | 'B' '[' name ']' cmp number unary
+              | 'does' '[' name ']' '(' name ')'
+              | '(' formula ')'
+              | 'true' | 'false'
+              | name                      -- a proposition
+    cmp      := '>=' | '<=' | '>' | '<' | '=='
+    number   := decimal (e.g. 0.9) or fraction (e.g. 9/10)
+
+Examples::
+
+    parse("K[alice] fire_b")
+    parse("B[alice]>=0.9 (fire_a & fire_b)")
+    parse("does[alice](fire) -> B[alice]>=0.9 fire_b")
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+from ..core.errors import FormulaError
+from .syntax import (
+    Belief,
+    Bottom,
+    Conj,
+    Disj,
+    DoesF,
+    Formula,
+    Impl,
+    Know,
+    Neg,
+    Prop,
+    Top,
+)
+
+__all__ = ["parse"]
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    pos: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow>->)
+  | (?P<cmp>>=|<=|==|>|<)
+  | (?P<number>\d+/\d+|\d+\.\d+|\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_'\-]*)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<lbrack>\[)
+  | (?P<rbrack>\])
+  | (?P<bang>!)
+  | (?P<amp>&)
+  | (?P<pipe>\|)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise FormulaError(f"unexpected character {text[pos]!r} at {pos}")
+        kind = match.lastgroup
+        assert kind is not None
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), pos))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token], source: str) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    def _peek(self) -> _Token:
+        if self._index >= len(self._tokens):
+            raise FormulaError(f"unexpected end of formula: {self._source!r}")
+        return self._tokens[self._index]
+
+    def _done(self) -> bool:
+        return self._index >= len(self._tokens)
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise FormulaError(
+                f"expected {kind} at position {token.pos}, got {token.text!r}"
+            )
+        return self._advance()
+
+    # grammar ----------------------------------------------------------
+
+    def formula(self) -> Formula:
+        left = self.disj()
+        if not self._done() and self._peek().kind == "arrow":
+            self._advance()
+            return Impl(left, self.formula())
+        return left
+
+    def disj(self) -> Formula:
+        left = self.conj()
+        while not self._done() and self._peek().kind == "pipe":
+            self._advance()
+            left = Disj(left, self.conj())
+        return left
+
+    def conj(self) -> Formula:
+        left = self.unary()
+        while not self._done() and self._peek().kind == "amp":
+            self._advance()
+            left = Conj(left, self.unary())
+        return left
+
+    def unary(self) -> Formula:
+        token = self._peek()
+        if token.kind == "bang":
+            self._advance()
+            return Neg(self.unary())
+        if token.kind == "lparen":
+            self._advance()
+            inner = self.formula()
+            self._expect("rparen")
+            return inner
+        if token.kind == "name":
+            return self._named(token)
+        raise FormulaError(
+            f"unexpected token {token.text!r} at position {token.pos}"
+        )
+
+    def _bracketed_name(self) -> str:
+        self._expect("lbrack")
+        name = self._expect("name").text
+        self._expect("rbrack")
+        return name
+
+    def _named(self, token: _Token) -> Formula:
+        if token.text == "true":
+            self._advance()
+            return Top()
+        if token.text == "false":
+            self._advance()
+            return Bottom()
+        if token.text == "K":
+            self._advance()
+            agent = self._bracketed_name()
+            return Know(agent, self.unary())
+        if token.text == "B":
+            self._advance()
+            agent = self._bracketed_name()
+            comparison = self._expect("cmp").text
+            level = self._expect("number").text
+            return Belief(agent, comparison, level, self.unary())
+        if token.text == "does":
+            self._advance()
+            agent = self._bracketed_name()
+            self._expect("lparen")
+            action = self._expect("name").text
+            self._expect("rparen")
+            return DoesF(agent, action)
+        self._advance()
+        return Prop(token.text)
+
+
+def parse(text: str) -> Formula:
+    """Parse a formula from concrete syntax.
+
+    Raises:
+        FormulaError: on lexical or syntactic errors, with a position.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise FormulaError("empty formula")
+    parser = _Parser(tokens, text)
+    result = parser.formula()
+    if not parser._done():
+        stray = parser._peek()
+        raise FormulaError(
+            f"trailing input {stray.text!r} at position {stray.pos}"
+        )
+    return result

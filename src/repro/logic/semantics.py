@@ -1,0 +1,62 @@
+"""Model checking formulas over purely probabilistic systems.
+
+Given a pps, a formula and a valuation, the checker answers:
+
+* :func:`holds_at` — truth at one point;
+* :func:`satisfying_points` — all points where the formula is true;
+* :func:`valid` — truth at every point of the system;
+* :func:`satisfiable` — truth somewhere.
+
+Formulas may be ASTs (:class:`~repro.logic.syntax.Formula`) or concrete
+syntax strings, which are parsed on the fly.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple, Union
+
+from ..core.facts import Fact, points_satisfying
+from ..core.pps import PPS, Run
+from .parser import parse
+from .syntax import Formula, Valuation
+
+__all__ = ["holds_at", "satisfying_points", "valid", "satisfiable", "compile_formula"]
+
+FormulaLike = Union[Formula, str]
+
+
+def compile_formula(formula: FormulaLike, valuation: Valuation) -> Fact:
+    """Normalize a formula (AST or string) into a semantic fact."""
+    if isinstance(formula, str):
+        formula = parse(formula)
+    return formula.to_fact(valuation)
+
+
+def holds_at(
+    pps: PPS,
+    formula: FormulaLike,
+    valuation: Valuation,
+    run: Run,
+    t: int,
+) -> bool:
+    """Whether the formula is true at the point ``(run, t)``."""
+    return compile_formula(formula, valuation).holds(pps, run, t)
+
+
+def satisfying_points(
+    pps: PPS, formula: FormulaLike, valuation: Valuation
+) -> Set[Tuple[int, int]]:
+    """All points ``(run index, time)`` satisfying the formula."""
+    return points_satisfying(pps, compile_formula(formula, valuation))
+
+
+def valid(pps: PPS, formula: FormulaLike, valuation: Valuation) -> bool:
+    """Whether the formula holds at every point of the system."""
+    fact = compile_formula(formula, valuation)
+    return all(fact.holds(pps, run, t) for run, t in pps.points())
+
+
+def satisfiable(pps: PPS, formula: FormulaLike, valuation: Valuation) -> bool:
+    """Whether the formula holds at some point of the system."""
+    fact = compile_formula(formula, valuation)
+    return any(fact.holds(pps, run, t) for run, t in pps.points())

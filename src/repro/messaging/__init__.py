@@ -1,0 +1,21 @@
+"""Synchronous lossy message-passing substrate (the Example 1 setting)."""
+
+from .channels import ChannelModel, FunctionChannel, LossyChannel, ReliableChannel
+from .messages import SKIP, Message, Move
+from .network import FunctionRoundProtocol, RecordingState, RoundProtocol
+from .system import MessagePassingSystem, initial_configs
+
+__all__ = [
+    "ChannelModel",
+    "FunctionChannel",
+    "FunctionRoundProtocol",
+    "LossyChannel",
+    "Message",
+    "MessagePassingSystem",
+    "Move",
+    "RecordingState",
+    "ReliableChannel",
+    "RoundProtocol",
+    "SKIP",
+    "initial_configs",
+]

@@ -1,0 +1,75 @@
+"""Channel models: per-message delivery probability.
+
+Example 1 of the paper uses a channel in which "every message sent
+is lost with probability 0.1, and delivered in the round in which it is
+sent with probability 0.9.  No message is delivered late, and
+probabilities for different messages are independent."
+
+:class:`LossyChannel` is exactly that model; :class:`ReliableChannel`
+is the degenerate case; :class:`FunctionChannel` supports asymmetric or
+content-dependent reliability (used, e.g., to model a one-directional
+weak link in the coordinated-attack experiments).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from ..core.numeric import ONE, Probability, ProbabilityLike, as_probability
+from .messages import Message
+
+__all__ = ["ChannelModel", "LossyChannel", "ReliableChannel", "FunctionChannel"]
+
+
+class ChannelModel(ABC):
+    """Synchronous channel: each message independently delivered or lost.
+
+    A message sent in round ``t`` is delivered at the end of round
+    ``t`` (visible in the recipient's time ``t + 1`` local state) with
+    probability :meth:`delivery_probability`, and otherwise lost
+    forever.  Losses of distinct messages are independent.
+    """
+
+    @abstractmethod
+    def delivery_probability(self, message: Message) -> Probability:
+        """The probability that ``message`` is delivered."""
+
+
+class LossyChannel(ChannelModel):
+    """Uniform iid loss: every message lost with probability ``loss``."""
+
+    def __init__(self, loss: ProbabilityLike) -> None:
+        self.loss = as_probability(loss)
+
+    def delivery_probability(self, message: Message) -> Probability:
+        return ONE - self.loss
+
+    def __repr__(self) -> str:
+        return f"LossyChannel(loss={self.loss})"
+
+
+class ReliableChannel(ChannelModel):
+    """A channel that never loses messages."""
+
+    def delivery_probability(self, message: Message) -> Probability:
+        return ONE
+
+    def __repr__(self) -> str:
+        return "ReliableChannel()"
+
+
+class FunctionChannel(ChannelModel):
+    """Delivery probability given by an arbitrary function of the message."""
+
+    def __init__(
+        self, fn: Callable[[Message], ProbabilityLike], name: str = "channel"
+    ) -> None:
+        self._fn = fn
+        self.name = name
+
+    def delivery_probability(self, message: Message) -> Probability:
+        return as_probability(self._fn(message))
+
+    def __repr__(self) -> str:
+        return f"FunctionChannel({self.name})"

@@ -1,0 +1,65 @@
+"""Messages and round moves for the synchronous lossy network.
+
+A :class:`Message` is an immutable (sender, recipient, content) record.
+A :class:`Move` is what an agent does in one round: a local action
+label (recorded on the tree edge, so ``does_(agent, action)`` sees it)
+together with the messages it sends in that round.
+
+Mixed behaviour — probabilistic choice of what to send, as agent ``j``
+does in the paper's Theorem 5.2 construction — is expressed by a
+:class:`~repro.protocols.distribution.Distribution` over moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Tuple
+
+from ..core.pps import Action, AgentId
+
+__all__ = ["Message", "Move", "SKIP"]
+
+SKIP: Action = "skip"
+"""The conventional no-op action label."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable message.
+
+    Attributes:
+        sender: the sending agent.
+        recipient: the destination agent.
+        content: any hashable payload.
+    """
+
+    sender: AgentId
+    recipient: AgentId
+    content: Hashable
+
+    def __str__(self) -> str:
+        return f"{self.sender}->{self.recipient}:{self.content!r}"
+
+
+@dataclass(frozen=True)
+class Move:
+    """One round of behaviour: a local action plus outgoing messages.
+
+    Attributes:
+        action: the action label recorded on the edge (defaults to
+            :data:`SKIP`).
+        sends: the messages dispatched this round, in order.
+    """
+
+    action: Action = SKIP
+    sends: Tuple[Message, ...] = ()
+
+    @classmethod
+    def sending(cls, *messages: Message, action: Action = SKIP) -> "Move":
+        """A move that sends ``messages`` (and performs ``action``)."""
+        return cls(action=action, sends=tuple(messages))
+
+    @classmethod
+    def acting(cls, action: Action) -> "Move":
+        """A move that performs ``action`` and sends nothing."""
+        return cls(action=action)

@@ -1,0 +1,117 @@
+"""Round protocols for the synchronous message-passing network.
+
+A :class:`RoundProtocol` describes one agent's behaviour:
+
+* :meth:`RoundProtocol.step` — given the raw local state, the
+  distribution over :class:`~repro.messaging.messages.Move` values
+  (action label + messages to send) for this round;
+* :meth:`RoundProtocol.update` — the new raw local state given the old
+  one, the move actually taken, and the messages delivered to the agent
+  at the end of the round.
+
+:class:`FunctionRoundProtocol` builds one from two plain functions.
+:class:`RecordingState` offers a convenient immutable local-state shape
+(a payload plus the full observation history) for protocols that just
+need "what have I seen so far" — it guarantees perfect recall, which
+keeps local states distinct exactly when the agent's information
+differs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Hashable, Tuple, Union
+
+from ..core.pps import LocalState
+from ..protocols.distribution import Distribution
+from ..protocols.protocol import coerce_distribution
+from .messages import Message, Move
+
+__all__ = ["RoundProtocol", "FunctionRoundProtocol", "RecordingState"]
+
+
+@dataclass(frozen=True)
+class RecordingState:
+    """An immutable perfect-recall local state.
+
+    Attributes:
+        payload: the protocol-relevant data (e.g. the value of ``go``).
+        observations: one entry per elapsed round, each a pair
+            ``(action taken, messages received)``.
+    """
+
+    payload: Hashable
+    observations: Tuple[Tuple[Hashable, Tuple[Message, ...]], ...] = ()
+
+    def observe(self, action: Hashable, delivered: Tuple[Message, ...]) -> "RecordingState":
+        """The successor state after one round."""
+        return RecordingState(
+            payload=self.payload,
+            observations=self.observations + ((action, delivered),),
+        )
+
+    def received(self, round_index: int) -> Tuple[Message, ...]:
+        """Messages delivered at the end of round ``round_index``."""
+        return self.observations[round_index][1]
+
+    def received_contents(self, round_index: int) -> Tuple[Hashable, ...]:
+        """Just the payloads of the round's deliveries."""
+        return tuple(m.content for m in self.received(round_index))
+
+    @property
+    def rounds_elapsed(self) -> int:
+        return len(self.observations)
+
+
+class RoundProtocol(ABC):
+    """One agent's behaviour in the synchronous network."""
+
+    @abstractmethod
+    def step(self, local: LocalState) -> Union[Move, Distribution]:
+        """The (possibly mixed) move for this round.
+
+        May return a bare :class:`Move` for deterministic behaviour or
+        a :class:`Distribution` over moves for a mixed action step.
+        """
+
+    @abstractmethod
+    def update(
+        self, local: LocalState, move: Move, delivered: Tuple[Message, ...]
+    ) -> LocalState:
+        """The next raw local state.
+
+        Args:
+            local: the state at the start of the round.
+            move: the move actually realized (so the agent remembers
+                its own probabilistic choices — local states have
+                perfect recall of own actions).
+            delivered: messages delivered to this agent this round, in
+                a deterministic global order.
+        """
+
+    def step_distribution(self, local: LocalState) -> Distribution:
+        """Normalized form of :meth:`step`."""
+        return coerce_distribution(self.step(local))
+
+
+class FunctionRoundProtocol(RoundProtocol):
+    """A round protocol assembled from two functions."""
+
+    def __init__(
+        self,
+        step: Callable[[LocalState], Union[Move, Distribution]],
+        update: Callable[[LocalState, Move, Tuple[Message, ...]], LocalState],
+        name: str = "round-protocol",
+    ) -> None:
+        self._step = step
+        self._update = update
+        self.name = name
+
+    def step(self, local: LocalState) -> Union[Move, Distribution]:
+        return self._step(local)
+
+    def update(
+        self, local: LocalState, move: Move, delivered: Tuple[Message, ...]
+    ) -> LocalState:
+        return self._update(local, move, delivered)

@@ -1,0 +1,206 @@
+"""Compile a synchronous lossy-network protocol into a pps.
+
+:class:`MessagePassingSystem` rolls the whole Example 1 setting into a
+single object: agents with :class:`~repro.messaging.network.RoundProtocol`
+behaviour, a :class:`~repro.messaging.channels.ChannelModel`, an exact
+initial distribution, and a bounded horizon.  :meth:`compile` expands
+every combination of (joint move, per-message delivery pattern) into a
+tree edge:
+
+1. each agent draws a move from its step distribution (independent);
+2. every message sent this round is independently delivered or lost
+   with the channel's probability;
+3. each agent's state is updated with its own realized move and the
+   messages delivered *to it*, in a deterministic global order.
+
+Agent local states are stored time-stamped (synchrony); the action
+label of each agent's move is recorded on the edge, so facts like
+``does_("alice", "fire")`` and run facts like
+``performed("bob", "fire")`` work directly on the result.  The delivery
+pattern is recorded on the edge under the reserved
+:data:`~repro.protocols.compiler.ENV` key, enabling facts about the
+channel itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import CompilationError
+from ..core.numeric import ONE, Probability
+from ..core.pps import PPS, AgentId, GlobalState, LocalState, Node
+from ..protocols.compiler import ENV
+from ..protocols.distribution import Distribution
+from .channels import ChannelModel
+from .messages import Message, Move
+from .network import RoundProtocol
+
+__all__ = ["MessagePassingSystem", "initial_configs"]
+
+
+def initial_configs(
+    agents: Sequence[AgentId],
+    distribution: Mapping[Tuple[LocalState, ...], object],
+) -> Distribution:
+    """Build the initial distribution from locals-tuple -> probability.
+
+    A thin wrapper that exists mostly for readability at call sites;
+    the tuples must be ordered like ``agents``.
+    """
+    if not all(len(config) == len(agents) for config in distribution):
+        raise CompilationError("initial configurations have wrong arity")
+    return Distribution(dict(distribution))
+
+
+@dataclass
+class MessagePassingSystem:
+    """A synchronous message-passing protocol over a lossy network.
+
+    Attributes:
+        agents: agent names.
+        protocols: one :class:`RoundProtocol` per agent.
+        channel: the delivery model for every message.
+        initial: distribution over tuples of raw initial local states,
+            ordered like ``agents``.
+        horizon: number of rounds to run; the compiled tree has states
+            at times ``0 .. horizon``.
+        name: system name.
+        record_delivery_pattern: when true (default), each edge records
+            the round's delivery pattern under the reserved ``ENV`` key.
+    """
+
+    agents: Sequence[AgentId]
+    protocols: Mapping[AgentId, RoundProtocol]
+    channel: ChannelModel
+    initial: Distribution
+    horizon: int
+    name: str = "message-passing"
+    record_delivery_pattern: bool = True
+
+    def __post_init__(self) -> None:
+        self.agents = tuple(self.agents)
+        missing = [a for a in self.agents if a not in self.protocols]
+        if missing:
+            raise CompilationError(f"agents without round protocols: {missing}")
+        if self.horizon < 0:
+            raise CompilationError("horizon must be non-negative")
+
+    # ------------------------------------------------------------------
+
+    def _stamped(self, raw_locals: Tuple[LocalState, ...], t: int) -> GlobalState:
+        return GlobalState(env=None, locals=tuple((t, raw) for raw in raw_locals))
+
+    def compile(self) -> PPS:
+        """Expand the protocol into a purely probabilistic system."""
+        uid = [0]
+
+        def take_uid() -> int:
+            uid[0] += 1
+            return uid[0] - 1
+
+        root = Node(uid=take_uid(), depth=0, state=None)
+        frontier: List[Tuple[Node, Tuple[LocalState, ...]]] = []
+        for raw_locals, prob in self.initial.items():
+            node = Node(
+                uid=take_uid(),
+                depth=1,
+                state=self._stamped(raw_locals, 0),
+                prob_from_parent=prob,
+                parent=root,
+            )
+            root.children.append(node)
+            frontier.append((node, raw_locals))
+
+        while frontier:
+            node, raw_locals = frontier.pop()
+            t = node.time
+            if t >= self.horizon:
+                continue
+            for joint_move, move_prob in self._joint_moves(raw_locals).items():
+                sent = self._sent_messages(joint_move)
+                for pattern, pattern_prob in self._delivery_patterns(sent).items():
+                    new_locals = self._apply_round(raw_locals, joint_move, sent, pattern)
+                    via: Dict[AgentId, object] = {
+                        agent: move.action
+                        for agent, move in zip(self.agents, joint_move)
+                    }
+                    if self.record_delivery_pattern:
+                        via[ENV] = pattern
+                    child = Node(
+                        uid=take_uid(),
+                        depth=node.depth + 1,
+                        state=self._stamped(new_locals, t + 1),
+                        prob_from_parent=move_prob * pattern_prob,
+                        via_action=via,
+                        parent=node,
+                    )
+                    node.children.append(child)
+                    frontier.append((child, new_locals))
+
+        pps = PPS(self.agents, root, name=self.name)
+        if not pps.runs:
+            raise CompilationError("compilation produced no runs")
+        return pps
+
+    # ------------------------------------------------------------------
+
+    def _joint_moves(
+        self, raw_locals: Tuple[LocalState, ...]
+    ) -> Distribution:
+        """Distribution over tuples of per-agent moves (independent)."""
+        joint: List[Tuple[Tuple[Move, ...], Probability]] = [((), ONE)]
+        for agent, raw in zip(self.agents, raw_locals):
+            dist = self.protocols[agent].step_distribution(raw)
+            joint = [
+                (moves + (move,), weight * w)
+                for moves, weight in joint
+                for move, w in dist.items()
+            ]
+        return Distribution(dict(joint))
+
+    @staticmethod
+    def _sent_messages(joint_move: Tuple[Move, ...]) -> Tuple[Message, ...]:
+        """All messages sent this round, in a deterministic global order."""
+        sent: List[Message] = []
+        for move in joint_move:
+            sent.extend(move.sends)
+        return tuple(sent)
+
+    def _delivery_patterns(self, sent: Tuple[Message, ...]) -> Distribution:
+        """Distribution over delivery bit-vectors for the sent messages."""
+        joint: List[Tuple[Tuple[bool, ...], Probability]] = [((), ONE)]
+        for message in sent:
+            p = self.channel.delivery_probability(message)
+            outcomes: List[Tuple[bool, Probability]] = []
+            if p > 0:
+                outcomes.append((True, p))
+            if p < 1:
+                outcomes.append((False, ONE - p))
+            joint = [
+                (bits + (bit,), weight * w)
+                for bits, weight in joint
+                for bit, w in outcomes
+            ]
+        return Distribution(dict(joint))
+
+    def _apply_round(
+        self,
+        raw_locals: Tuple[LocalState, ...],
+        joint_move: Tuple[Move, ...],
+        sent: Tuple[Message, ...],
+        pattern: Tuple[bool, ...],
+    ) -> Tuple[LocalState, ...]:
+        """Deliver messages per ``pattern`` and update every agent."""
+        delivered_to: Dict[AgentId, List[Message]] = {a: [] for a in self.agents}
+        for message, delivered in zip(sent, pattern):
+            if delivered:
+                if message.recipient not in delivered_to:
+                    raise CompilationError(
+                        f"message {message} addressed to unknown agent"
+                    )
+                delivered_to[message.recipient].append(message)
+        return tuple(
+            self.protocols[agent].update(raw, move, tuple(delivered_to[agent]))
+            for agent, raw, move in zip(self.agents, raw_locals, joint_move)
+        )

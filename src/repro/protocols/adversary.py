@@ -1,0 +1,103 @@
+"""Adversaries: fixing nondeterministic choices before compilation.
+
+Probabilistic reasoning in the presence of nondeterminism requires
+fixing all nondeterministic choices first (Pnueli; Halpern–Tuttle; the
+paper's Section 2).  An *adversary* is such a fixing: e.g. "Alice's
+``go`` flag is set nondeterministically" becomes two adversaries, one
+per flag value, each inducing its own pps.
+
+:class:`Adversary` is an immutable record of named choices;
+:func:`enumerate_adversaries` expands a choice space into all
+adversaries; :func:`compile_under_adversaries` builds one pps per
+adversary from a system factory.  Analyses (beliefs, constraints,
+theorems) are then run per-adversary, matching the paper's
+"probabilities are only defined once the adversary is fixed".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product as iter_product
+from typing import Callable, Dict, Hashable, List, Mapping, Sequence, Tuple
+
+from ..core.pps import PPS
+from .compiler import ProtocolSystem, compile_system
+
+__all__ = ["Adversary", "enumerate_adversaries", "compile_under_adversaries"]
+
+
+@dataclass(frozen=True)
+class Adversary:
+    """A complete assignment of the nondeterministic choices.
+
+    Attributes:
+        choices: the named choices, as a sorted tuple of pairs so that
+            adversaries are hashable and have a canonical form.
+    """
+
+    choices: Tuple[Tuple[str, Hashable], ...]
+
+    @classmethod
+    def of(cls, **choices: Hashable) -> "Adversary":
+        """Build an adversary from keyword choices."""
+        return cls(tuple(sorted(choices.items())))
+
+    def get(self, name: str) -> Hashable:
+        """The value fixed for choice ``name``.
+
+        Raises:
+            KeyError: when the adversary does not fix that choice.
+        """
+        for key, value in self.choices:
+            if key == name:
+                return value
+        raise KeyError(f"adversary fixes no choice named {name!r}")
+
+    def describe(self) -> str:
+        return ", ".join(f"{key}={value!r}" for key, value in self.choices)
+
+    def __str__(self) -> str:
+        return f"Adversary({self.describe()})"
+
+
+def enumerate_adversaries(
+    space: Mapping[str, Sequence[Hashable]]
+) -> List[Adversary]:
+    """All adversaries over a finite choice space.
+
+    Args:
+        space: choice name -> the values the scheduler may pick.
+
+    Returns:
+        one :class:`Adversary` per element of the cartesian product,
+        in a deterministic order.
+    """
+    names = sorted(space)
+    combos = iter_product(*(space[name] for name in names))
+    return [
+        Adversary(tuple(zip(names, combo)))
+        for combo in combos
+    ]
+
+
+def compile_under_adversaries(
+    space: Mapping[str, Sequence[Hashable]],
+    make_system: Callable[[Adversary], ProtocolSystem],
+    *,
+    name_prefix: str = "adversary",
+) -> Dict[Adversary, PPS]:
+    """Compile one pps per adversary of the choice space.
+
+    Args:
+        space: the nondeterministic choice space.
+        make_system: factory producing the (purely probabilistic)
+            protocol system once the adversary is fixed.
+        name_prefix: systems are named ``f"{name_prefix}[{choices}]"``.
+    """
+    systems: Dict[Adversary, PPS] = {}
+    for adversary in enumerate_adversaries(space):
+        system = make_system(adversary)
+        systems[adversary] = compile_system(
+            system, name=f"{name_prefix}[{adversary.describe()}]"
+        )
+    return systems

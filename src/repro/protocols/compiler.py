@@ -1,0 +1,209 @@
+"""Compile a joint protocol into a purely probabilistic system.
+
+The paper's Section 2.2: given a distribution over initial global
+states and probabilistic protocols for the environment and every agent,
+all terminating in bounded time, the run space is a pps.  This module
+performs that construction explicitly, producing a
+:class:`~repro.core.pps.PPS` by breadth-first expansion:
+
+1. the root's children are the support of the initial distribution;
+2. at every non-final node, enumerate the product of the agents'
+   action distributions, then the environment's reaction to each joint
+   action, apply the (deterministic) transition function to obtain the
+   successor state, and label the edge with the combined probability
+   and the joint action.
+
+Synchrony is enforced by *time-stamping*: agents' local states are
+stored in the tree as ``(t, raw_state)`` pairs while the protocol
+functions always see the raw state.  This implements the paper's
+"every local state contains ``time_i``" assumption without burdening
+protocol authors.
+
+Two joint choices that happen to produce the same raw successor state
+yield *separate* tree nodes (a tree never merges histories); their
+global states may coincide, which is exactly how agents come to be
+uncertain about what happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.errors import CompilationError
+from ..core.numeric import ONE, Probability
+from ..core.pps import PPS, Action, AgentId, GlobalState, LocalState, Node
+from .distribution import Distribution
+from .environment import EnvironmentProtocol, PassiveEnvironment
+from .protocol import AgentProtocol, ProtocolLike, as_protocol
+
+__all__ = ["Config", "ProtocolSystem", "compile_system", "ENV"]
+
+ENV = "_env"
+"""Reserved key under which the environment's action is recorded on edges."""
+
+
+@dataclass(frozen=True)
+class Config:
+    """An unstamped global configuration: environment + raw local states.
+
+    ``locals`` is ordered consistently with the owning
+    :class:`ProtocolSystem`'s ``agents`` tuple.
+    """
+
+    env: Hashable
+    locals: Tuple[LocalState, ...]
+
+
+# (new_env, new_locals) returned by a transition function
+Transition = Callable[
+    [Hashable, Mapping[AgentId, LocalState], Mapping[AgentId, Action], Hashable],
+    Tuple[Hashable, Mapping[AgentId, LocalState]],
+]
+
+
+@dataclass
+class ProtocolSystem:
+    """Everything needed to compile a pps from protocols.
+
+    Attributes:
+        agents: agent names (order fixes state layout).
+        protocols: one protocol per agent (callables allowed).
+        transition: the deterministic successor function
+            ``(env, locals, joint_actions, env_action) ->
+            (new_env, new_locals)``.  ``locals`` and the result mapping
+            are keyed by agent name.
+        initial: distribution over initial :class:`Config` values.
+        environment: the environment's probabilistic protocol
+            (defaults to a passive one).
+        horizon: the maximum time; states at ``t == horizon`` are
+            leaves.  Required because a pps is finite.
+        final: optional predicate ``(env, locals, t) -> bool`` marking
+            additional early-termination states.
+        record_env_action: when true, the environment's per-round
+            action is recorded on edges under the reserved key
+            :data:`ENV` (useful for facts about delivery patterns).
+    """
+
+    agents: Sequence[AgentId]
+    protocols: Mapping[AgentId, ProtocolLike]
+    transition: Transition
+    initial: Distribution[Config]
+    environment: EnvironmentProtocol = field(default_factory=PassiveEnvironment)
+    horizon: int = 1
+    final: Optional[Callable[[Hashable, Mapping[AgentId, LocalState], int], bool]] = None
+    record_env_action: bool = False
+
+    def __post_init__(self) -> None:
+        self.agents = tuple(self.agents)
+        if ENV in self.agents:
+            raise CompilationError(f"agent name {ENV!r} is reserved")
+        missing = [a for a in self.agents if a not in self.protocols]
+        if missing:
+            raise CompilationError(f"agents without protocols: {missing}")
+        if self.horizon < 0:
+            raise CompilationError("horizon must be non-negative")
+        self._normalized: Dict[AgentId, AgentProtocol] = {
+            agent: as_protocol(self.protocols[agent]) for agent in self.agents
+        }
+
+    def protocol_of(self, agent: AgentId) -> AgentProtocol:
+        return self._normalized[agent]
+
+    def locals_map(self, config: Config) -> Dict[AgentId, LocalState]:
+        return dict(zip(self.agents, config.locals))
+
+
+def _stamped_state(system: ProtocolSystem, config: Config, t: int) -> GlobalState:
+    """Store raw locals as ``(t, raw)`` pairs — the synchrony stamp."""
+    return GlobalState(
+        env=config.env, locals=tuple((t, raw) for raw in config.locals)
+    )
+
+
+def compile_system(system: ProtocolSystem, *, name: str = "compiled") -> PPS:
+    """Run the bounded-horizon expansion and return the pps.
+
+    Raises:
+        CompilationError: when a transition returns an incomplete local
+            state mapping, or the expansion produces no runs.
+    """
+    uid_counter = [0]
+
+    def take_uid() -> int:
+        uid_counter[0] += 1
+        return uid_counter[0] - 1
+
+    root = Node(uid=take_uid(), depth=0, state=None)
+    # frontier entries: (node, raw config)
+    frontier: List[Tuple[Node, Config]] = []
+    for config, prob in system.initial.items():
+        node = Node(
+            uid=take_uid(),
+            depth=1,
+            state=_stamped_state(system, config, 0),
+            prob_from_parent=prob,
+            parent=root,
+        )
+        root.children.append(node)
+        frontier.append((node, config))
+
+    while frontier:
+        node, config = frontier.pop()
+        t = node.time
+        locals_map = system.locals_map(config)
+        if t >= system.horizon:
+            continue
+        if system.final is not None and system.final(config.env, locals_map, t):
+            continue
+        # Joint agent action distribution (independent choices).
+        joint: List[Tuple[Dict[AgentId, Action], Probability]] = [({}, ONE)]
+        for agent, raw in zip(system.agents, config.locals):
+            dist = system.protocol_of(agent).act(raw)
+            joint = [
+                ({**acts, agent: action}, weight * w)
+                for acts, weight in joint
+                for action, w in dist.items()
+            ]
+        for joint_actions, joint_prob in joint:
+            env_dist = system.environment.react(config.env, joint_actions)
+            for env_action, env_prob in env_dist.items():
+                new_env, new_locals = system.transition(
+                    config.env, locals_map, joint_actions, env_action
+                )
+                missing = [a for a in system.agents if a not in new_locals]
+                if missing:
+                    raise CompilationError(
+                        f"transition at time {t} omitted local states for {missing}"
+                    )
+                successor = Config(
+                    env=new_env,
+                    locals=tuple(new_locals[a] for a in system.agents),
+                )
+                via: Dict[AgentId, Action] = dict(joint_actions)
+                if system.record_env_action:
+                    via[ENV] = env_action
+                child = Node(
+                    uid=take_uid(),
+                    depth=node.depth + 1,
+                    state=_stamped_state(system, successor, t + 1),
+                    prob_from_parent=joint_prob * env_prob,
+                    via_action=via,
+                    parent=node,
+                )
+                node.children.append(child)
+                frontier.append((child, successor))
+
+    pps = PPS(system.agents, root, name=name)
+    if not pps.runs:
+        raise CompilationError("compilation produced no runs")
+    return pps

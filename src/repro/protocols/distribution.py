@@ -1,0 +1,209 @@
+"""Exact finite discrete probability distributions.
+
+Protocols map local states to distributions over actions
+(``P_i : L_i -> Delta(Act_i)``, paper Section 2.2).  This module gives
+the distribution type those protocols return: finite support, exact
+rational weights, positive everywhere on the support, summing to one.
+
+Construction helpers cover the common cases: :meth:`Distribution.point`
+(deterministic choice), :meth:`Distribution.uniform`,
+:meth:`Distribution.bernoulli`, and :meth:`Distribution.weighted`.
+Distributions compose through :meth:`map` (push-forward, merging equal
+images) and :func:`product` (independent joint distribution over a
+tuple of outcomes).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import (
+    Callable,
+    Dict,
+    Generic,
+    Hashable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
+
+from ..core.errors import InvalidSystemError
+from ..core.numeric import ONE, Probability, ProbabilityLike, as_fraction
+
+__all__ = ["Distribution", "product"]
+
+T = TypeVar("T", bound=Hashable)
+U = TypeVar("U", bound=Hashable)
+
+
+class Distribution(Generic[T]):
+    """An exact probability distribution with finite support.
+
+    Args:
+        weights: outcome-to-probability mapping (or iterable of pairs).
+            Zero-weight outcomes are rejected rather than dropped:
+            silently accepting them would hide bugs in protocol code
+            (the paper's pps definition likewise excludes probability-0
+            edges).
+
+    Raises:
+        InvalidSystemError: when weights are non-positive or do not
+            sum to one.
+    """
+
+    def __init__(
+        self,
+        weights: Union[Mapping[T, ProbabilityLike], Iterable[Tuple[T, ProbabilityLike]]],
+    ) -> None:
+        items = weights.items() if isinstance(weights, Mapping) else weights
+        table: Dict[T, Probability] = {}
+        for outcome, weight in items:
+            w = as_fraction(weight)
+            if w <= 0:
+                raise InvalidSystemError(
+                    f"outcome {outcome!r} has non-positive probability {w}"
+                )
+            if outcome in table:
+                raise InvalidSystemError(f"duplicate outcome {outcome!r}")
+            table[outcome] = w
+        if not table:
+            raise InvalidSystemError("a distribution needs at least one outcome")
+        total = sum(table.values(), start=Fraction(0))
+        if total != 1:
+            raise InvalidSystemError(
+                f"distribution weights sum to {total}, expected 1"
+            )
+        self._table = table
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def point(cls, outcome: T) -> "Distribution[T]":
+        """The deterministic distribution concentrated on ``outcome``."""
+        return cls({outcome: ONE})
+
+    @classmethod
+    def uniform(cls, outcomes: Sequence[T]) -> "Distribution[T]":
+        """The uniform distribution over distinct ``outcomes``."""
+        n = len(outcomes)
+        if n == 0:
+            raise InvalidSystemError("uniform() needs at least one outcome")
+        return cls({outcome: Fraction(1, n) for outcome in outcomes})
+
+    @classmethod
+    def bernoulli(
+        cls,
+        prob_true: ProbabilityLike,
+        *,
+        true: T = True,  # type: ignore[assignment]
+        false: T = False,  # type: ignore[assignment]
+    ) -> "Distribution[T]":
+        """A two-outcome distribution: ``true`` w.p. ``prob_true``.
+
+        Degenerate probabilities (0 or 1) collapse to a point
+        distribution, keeping the support free of zero-weight outcomes.
+        """
+        p = as_fraction(prob_true)
+        if not (0 <= p <= 1):
+            raise InvalidSystemError(f"bernoulli probability {p} outside [0, 1]")
+        if p == 0:
+            return cls.point(false)
+        if p == 1:
+            return cls.point(true)
+        return cls({true: p, false: 1 - p})
+
+    @classmethod
+    def weighted(cls, *pairs: Tuple[T, ProbabilityLike]) -> "Distribution[T]":
+        """Convenience variadic constructor: ``weighted((x, "1/3"), ...)``."""
+        return cls(pairs)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def support(self) -> Tuple[T, ...]:
+        """The outcomes carrying positive probability."""
+        return tuple(self._table)
+
+    def prob(self, outcome: T) -> Probability:
+        """The probability of ``outcome`` (0 when outside the support)."""
+        return self._table.get(outcome, Fraction(0))
+
+    def items(self) -> Iterator[Tuple[T, Probability]]:
+        """Iterate over ``(outcome, probability)`` pairs."""
+        return iter(self._table.items())
+
+    def is_deterministic(self) -> bool:
+        """Whether the distribution is a point mass."""
+        return len(self._table) == 1
+
+    def expectation(self, value: Callable[[T], Probability]) -> Probability:
+        """The expected value of ``value`` under the distribution."""
+        return sum(
+            (weight * value(outcome) for outcome, weight in self._table.items()),
+            start=Fraction(0),
+        )
+
+    # -- transforms -------------------------------------------------------
+
+    def map(self, fn: Callable[[T], U]) -> "Distribution[U]":
+        """The push-forward distribution, merging equal images."""
+        table: Dict[U, Probability] = {}
+        for outcome, weight in self._table.items():
+            image = fn(outcome)
+            table[image] = table.get(image, Fraction(0)) + weight
+        return Distribution(table)
+
+    def condition(self, predicate: Callable[[T], bool]) -> "Distribution[T]":
+        """The conditional distribution given ``predicate``.
+
+        Raises:
+            InvalidSystemError: when no outcome satisfies the predicate.
+        """
+        kept = {o: w for o, w in self._table.items() if predicate(o)}
+        if not kept:
+            raise InvalidSystemError("conditioning event has probability zero")
+        total = sum(kept.values(), start=Fraction(0))
+        return Distribution({o: w / total for o, w in kept.items()})
+
+    # -- dunder -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._table)
+
+    def __contains__(self, outcome: object) -> bool:
+        return outcome in self._table
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Distribution):
+            return NotImplemented
+        return self._table == other._table
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._table.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{o!r}: {w}" for o, w in self._table.items())
+        return f"Distribution({{{inner}}})"
+
+
+def product(distributions: Sequence[Distribution[T]]) -> Distribution[Tuple[T, ...]]:
+    """The independent joint distribution over a tuple of outcomes.
+
+    ``product([])`` is the point distribution on the empty tuple, which
+    makes it safe to fold over a possibly empty list of per-message or
+    per-agent choices.
+    """
+    joint: Distribution[Tuple[T, ...]] = Distribution.point(())
+    for dist in distributions:
+        pairs: Dict[Tuple[T, ...], Probability] = {}
+        for prefix, wp in joint.items():
+            for outcome, wo in dist.items():
+                pairs[prefix + (outcome,)] = wp * wo
+        joint = Distribution(pairs)
+    return joint

@@ -1,0 +1,72 @@
+"""Environment (scheduler) protocols.
+
+The environment ``e`` is an agent-like entity that resolves everything
+outside the agents' control: message delivery, failures, external
+inputs.  Following Halpern–Tuttle (and the paper's Section 2), all
+*nondeterministic* environment choices are fixed by an adversary before
+compilation; what remains here is the environment's *probabilistic*
+protocol.
+
+The environment's choice in a round may depend on the agents' actions
+in the same round (e.g. a channel can only lose messages that were
+actually sent), so :meth:`EnvironmentProtocol.react` receives the joint
+action.  This is scheduling semantics, not information leakage: the
+environment acts "after" the agents within a round, as the tree of the
+Halpern–Tuttle model does.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Hashable, Mapping
+
+from ..core.pps import Action, AgentId
+from .distribution import Distribution
+from .protocol import coerce_distribution
+
+__all__ = [
+    "EnvironmentProtocol",
+    "PassiveEnvironment",
+    "FunctionEnvironment",
+]
+
+
+class EnvironmentProtocol(ABC):
+    """The environment's probabilistic protocol."""
+
+    @abstractmethod
+    def react(
+        self, env_state: Hashable, joint_actions: Mapping[AgentId, Action]
+    ) -> Distribution[Hashable]:
+        """Distribution over environment actions for this round."""
+
+
+class PassiveEnvironment(EnvironmentProtocol):
+    """An environment that does nothing (its action is always ``None``)."""
+
+    def react(
+        self, env_state: Hashable, joint_actions: Mapping[AgentId, Action]
+    ) -> Distribution[Hashable]:
+        return Distribution.point(None)
+
+
+class FunctionEnvironment(EnvironmentProtocol):
+    """An environment defined by a function.
+
+    The function receives ``(env_state, joint_actions)`` and returns a
+    distribution over environment actions (bare values are coerced to
+    deterministic choices).
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Hashable, Mapping[AgentId, Action]], object],
+        name: str = "environment",
+    ) -> None:
+        self._fn = fn
+        self.name = name
+
+    def react(
+        self, env_state: Hashable, joint_actions: Mapping[AgentId, Action]
+    ) -> Distribution[Hashable]:
+        return coerce_distribution(self._fn(env_state, joint_actions))

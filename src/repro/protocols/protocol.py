@@ -1,0 +1,117 @@
+"""Agent protocols: ``P_i : L_i -> Delta(Act_i)`` (paper, Section 2.2).
+
+A (probabilistic) protocol for agent ``i`` maps each of its local
+states to a distribution over local actions.  When that distribution
+has more than one outcome the agent performs a *mixed action step*:
+the probabilistic choice is made from the local state, and the agent
+does not know in advance which action of the support will be realized —
+precisely the situation that breaks naive belief/constraint reasoning
+in the paper's Figure 1.
+
+Protocols are plain callables or :class:`AgentProtocol` subclasses;
+:func:`as_protocol` normalizes either form, and bare (non-distribution)
+return values are coerced to deterministic choices.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Hashable, Mapping, Union
+
+from ..core.pps import Action, AgentId, LocalState
+from .distribution import Distribution
+
+__all__ = [
+    "AgentProtocol",
+    "FunctionProtocol",
+    "ConstantProtocol",
+    "TableProtocol",
+    "as_protocol",
+    "coerce_distribution",
+]
+
+ProtocolLike = Union["AgentProtocol", Callable[[LocalState], object]]
+
+
+def coerce_distribution(value: object) -> Distribution:
+    """Wrap a bare outcome as a point distribution; pass distributions through."""
+    if isinstance(value, Distribution):
+        return value
+    return Distribution.point(value)
+
+
+class AgentProtocol(ABC):
+    """A probabilistic protocol for one agent."""
+
+    @abstractmethod
+    def act(self, local: LocalState) -> Distribution[Action]:
+        """The distribution over actions the agent takes at ``local``."""
+
+    def is_mixed_at(self, local: LocalState) -> bool:
+        """Whether the agent performs a mixed action step at ``local``."""
+        return not self.act(local).is_deterministic()
+
+
+class FunctionProtocol(AgentProtocol):
+    """A protocol defined by a function of the local state.
+
+    The function may return either a :class:`Distribution` or a bare
+    action (interpreted deterministically).
+    """
+
+    def __init__(self, fn: Callable[[LocalState], object], name: str = "protocol") -> None:
+        self._fn = fn
+        self.name = name
+
+    def act(self, local: LocalState) -> Distribution[Action]:
+        return coerce_distribution(self._fn(local))
+
+
+class ConstantProtocol(AgentProtocol):
+    """A protocol performing the same (possibly mixed) step everywhere."""
+
+    def __init__(self, choice: object) -> None:
+        self._choice = coerce_distribution(choice)
+
+    def act(self, local: LocalState) -> Distribution[Action]:
+        return self._choice
+
+
+class TableProtocol(AgentProtocol):
+    """A protocol given extensionally as a local-state table.
+
+    Args:
+        table: local state -> action or distribution.
+        default: behaviour at states missing from the table; required
+            when lookups may miss (a ``KeyError`` is raised otherwise,
+            which is usually the right failure for a mis-specified
+            protocol).
+    """
+
+    def __init__(
+        self,
+        table: Mapping[LocalState, object],
+        *,
+        default: object = None,
+        has_default: bool = False,
+    ) -> None:
+        self._table = {local: coerce_distribution(v) for local, v in table.items()}
+        self._has_default = has_default or default is not None
+        self._default = coerce_distribution(default) if self._has_default else None
+
+    def act(self, local: LocalState) -> Distribution[Action]:
+        hit = self._table.get(local)
+        if hit is not None:
+            return hit
+        if self._default is not None:
+            return self._default
+        raise KeyError(f"protocol has no entry for local state {local!r}")
+
+
+def as_protocol(value: ProtocolLike) -> AgentProtocol:
+    """Normalize a callable or protocol object to an :class:`AgentProtocol`."""
+    if isinstance(value, AgentProtocol):
+        return value
+    if callable(value):
+        return FunctionProtocol(value)
+    raise TypeError(f"cannot interpret {value!r} as an agent protocol")

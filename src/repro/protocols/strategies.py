@@ -1,0 +1,121 @@
+"""Belief-guided protocol transforms (the paper's Section 8 insight).
+
+Theorem 6.2 implies that whenever an agent acts while holding a low
+degree of belief in the constraint's condition, it drags the achieved
+probability down; by *refraining* from acting at such states, the agent
+weakly improves the constraint.  The paper illustrates this on the FS
+protocol: Alice declining to fire after receiving 'No' raises
+``mu(both fire | Alice fires)`` from 0.99 to 0.99899.
+
+:func:`refrain_below_threshold` applies this transform mechanically to
+any compiled system: every performance of the action at a local state
+whose belief in the condition is below the threshold is replaced by a
+substitute action (default ``"skip"``), leaving probabilities intact.
+:func:`copy_tree` is the underlying structural copy, exposed because it
+is independently useful (e.g. for building modified systems in tests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..core.beliefs import belief
+from ..core.facts import Fact
+from ..core.numeric import ProbabilityLike, as_fraction
+from ..core.pps import PPS, Action, AgentId, Node
+
+__all__ = ["copy_tree", "relabel_actions", "refrain_below_threshold"]
+
+
+def copy_tree(root: Node) -> Node:
+    """A structural deep copy of a tree with fresh node identities."""
+    counter = [0]
+
+    def clone(node: Node, parent: Optional[Node]) -> Node:
+        copy = Node(
+            uid=counter[0],
+            depth=node.depth,
+            state=node.state,
+            prob_from_parent=node.prob_from_parent,
+            via_action=dict(node.via_action) if node.via_action is not None else None,
+            parent=parent,
+        )
+        counter[0] += 1
+        copy.children = [clone(child, copy) for child in node.children]
+        return copy
+
+    return clone(root, None)
+
+
+def relabel_actions(
+    pps: PPS,
+    relabel: Callable[[Node, Dict[AgentId, Action]], Dict[AgentId, Action]],
+    *,
+    name: Optional[str] = None,
+) -> PPS:
+    """A copy of the system with edge action labels rewritten.
+
+    Args:
+        pps: the source system.
+        relabel: called with each non-initial node (of the *copy*) and
+            a mutable copy of its ``via_action``; returns the new joint
+            action for the edge into that node.
+        name: name of the resulting system.
+
+    Only labels change: states, probabilities and tree shape are
+    preserved, so the transform models the same stochastic process with
+    re-described behaviour.
+    """
+    root = copy_tree(pps.root)
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.via_action is not None:
+            node.via_action = relabel(node, dict(node.via_action))
+        stack.extend(node.children)
+    return PPS(pps.agents, root, name=name or f"{pps.name}-relabelled")
+
+
+def refrain_below_threshold(
+    pps: PPS,
+    agent: AgentId,
+    action: Action,
+    phi: Fact,
+    threshold: ProbabilityLike,
+    *,
+    replacement: Action = "skip",
+    name: Optional[str] = None,
+) -> PPS:
+    """Suppress performances of ``action`` at low-belief local states.
+
+    Every edge on which ``agent`` performs ``action`` from a local state
+    where ``beta_i(phi) < threshold`` (computed in the *original*
+    system — the belief the agent would hold when deciding) is relabelled
+    to ``replacement``.  The result is a system for the modified
+    protocol "act only when sufficiently confident".
+
+    Note that the modified agent uses the same information it had in
+    the original protocol; since beliefs are a function of the local
+    state, the modified behaviour is implementable.
+    """
+    bound = as_fraction(threshold)
+    idx = pps.agent_index(agent)
+    belief_cache: Dict[object, bool] = {}
+
+    def low_belief(local: object) -> bool:
+        if local not in belief_cache:
+            belief_cache[local] = belief(pps, agent, phi, local) < bound
+        return belief_cache[local]
+
+    def relabel(node: Node, via: Dict[AgentId, Action]) -> Dict[AgentId, Action]:
+        if via.get(agent) != action:
+            return via
+        parent = node.parent
+        assert parent is not None and parent.state is not None
+        if low_belief(parent.state.local(idx)):
+            via[agent] = replacement
+        return via
+
+    return relabel_actions(
+        pps, relabel, name=name or f"{pps.name}-refrain[{action}]"
+    )

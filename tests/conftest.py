@@ -1,0 +1,60 @@
+"""Shared fixtures: the paper's systems, built once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PPSBuilder
+from repro.apps.figure1 import build_figure1
+from repro.apps.firing_squad import build_firing_squad
+from repro.apps.theorem52 import build_theorem52
+
+
+@pytest.fixture(scope="session")
+def figure1():
+    """The paper's Figure 1 mixed-action counterexample."""
+    return build_figure1()
+
+
+@pytest.fixture(scope="session")
+def firing_squad():
+    """The Example 1 FS system (loss 0.1, go probability 0.5)."""
+    return build_firing_squad()
+
+
+@pytest.fixture(scope="session")
+def firing_squad_improved():
+    """The Section 8 FS' system (Alice refrains on 'No')."""
+    return build_firing_squad(improved=True)
+
+
+@pytest.fixture(scope="session")
+def theorem52():
+    """The Theorem 5.2 construction with p = 0.9, epsilon = 0.1."""
+    return build_theorem52("0.9", "0.1")
+
+
+@pytest.fixture()
+def two_coin_tree():
+    """A small hand-built tree: coin at time 0, coin at time 1.
+
+    Agent "obs" sees the first coin but not the second; agent "blind"
+    sees neither.  Useful for belief arithmetic with known answers.
+    """
+    builder = PPSBuilder(["obs", "blind"], name="two-coin")
+    heads = builder.initial("1/2", {"obs": (0, "H"), "blind": (0, "-")})
+    tails = builder.initial("1/2", {"obs": (0, "T"), "blind": (0, "-")})
+    for start, label in ((heads, "H"), (tails, "T")):
+        start.child(
+            "1/3",
+            {"obs": (1, label), "blind": (1, "-")},
+            env=("second", "h"),
+            actions={"obs": "observe", "blind": "wait"},
+        )
+        start.child(
+            "2/3",
+            {"obs": (1, label), "blind": (1, "-")},
+            env=("second", "t"),
+            actions={"obs": "observe", "blind": "wait"},
+        )
+    return builder.build()

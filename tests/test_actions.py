@@ -1,0 +1,134 @@
+"""Unit tests for proper actions and their partitions."""
+
+import pytest
+
+from repro import (
+    ImproperActionError,
+    PPSBuilder,
+    action_state_partition,
+    action_states,
+    ensure_proper,
+    is_deterministic_action,
+    is_proper,
+    performance_state,
+    performance_time,
+    performance_times,
+    performing_runs,
+    runs_performing_at_state,
+)
+from repro.core.measure import all_runs, is_partition
+
+
+def repeated_action_system():
+    """An agent performing "tick" twice in its only run (improper)."""
+    builder = PPSBuilder(["a"], name="repeater")
+    s0 = builder.initial(1, {"a": (0, "x")})
+    s1 = s0.chain({"a": (1, "y")}, actions={"a": "tick"})
+    s1.chain({"a": (2, "z")}, actions={"a": "tick"})
+    return builder.build()
+
+
+def mixed_action_system():
+    """Action "go" performed from two different local states."""
+    builder = PPSBuilder(["a"], name="mixed-states")
+    left = builder.initial("1/2", {"a": (0, "L")})
+    right = builder.initial("1/2", {"a": (0, "R")})
+    left.chain({"a": (1, "end-l")}, actions={"a": "go"})
+    right.chain({"a": (1, "end-r")}, actions={"a": "go"})
+    return builder.build()
+
+
+class TestProperness:
+    def test_proper_in_two_coin(self, two_coin_tree):
+        assert is_proper(two_coin_tree, "obs", "observe")
+
+    def test_never_performed_is_improper(self, two_coin_tree):
+        assert not is_proper(two_coin_tree, "obs", "phantom")
+
+    def test_repeated_is_improper(self):
+        assert not is_proper(repeated_action_system(), "a", "tick")
+
+    def test_ensure_proper_passes(self, two_coin_tree):
+        ensure_proper(two_coin_tree, "obs", "observe")
+
+    def test_ensure_proper_never_performed(self, two_coin_tree):
+        with pytest.raises(ImproperActionError):
+            ensure_proper(two_coin_tree, "obs", "phantom")
+
+    def test_ensure_proper_repeated(self):
+        with pytest.raises(ImproperActionError):
+            ensure_proper(repeated_action_system(), "a", "tick")
+
+
+class TestPerformanceQueries:
+    def test_performance_times_table(self, two_coin_tree):
+        table = performance_times(two_coin_tree, "obs", "observe")
+        assert set(table) == {r.index for r in two_coin_tree.runs}
+        assert all(times == (0,) for times in table.values())
+
+    def test_performance_time_in_run(self, two_coin_tree):
+        run = two_coin_tree.runs[0]
+        assert performance_time(two_coin_tree, "obs", "observe", run) == 0
+
+    def test_performance_time_absent(self, two_coin_tree):
+        run = two_coin_tree.runs[0]
+        assert performance_time(two_coin_tree, "obs", "phantom", run) is None
+
+    def test_performance_time_improper_raises(self):
+        system = repeated_action_system()
+        with pytest.raises(ImproperActionError):
+            performance_time(system, "a", "tick", system.runs[0])
+
+    def test_performance_state(self, two_coin_tree):
+        run = two_coin_tree.runs[0]
+        assert performance_state(two_coin_tree, "obs", "observe", run) in {
+            (0, "H"),
+            (0, "T"),
+        }
+
+    def test_performing_runs(self, two_coin_tree):
+        assert performing_runs(two_coin_tree, "obs", "observe") == all_runs(
+            two_coin_tree
+        )
+
+
+class TestActionStates:
+    def test_action_states_two_coin(self, two_coin_tree):
+        assert action_states(two_coin_tree, "obs", "observe") == {
+            (0, "H"),
+            (0, "T"),
+        }
+
+    def test_runs_performing_at_state(self, two_coin_tree):
+        cell = runs_performing_at_state(two_coin_tree, "obs", "observe", (0, "H"))
+        assert len(cell) == 2
+
+    def test_partition_covers_performing_runs(self, two_coin_tree):
+        cells = action_state_partition(two_coin_tree, "obs", "observe")
+        assert is_partition(
+            two_coin_tree,
+            list(cells.values()),
+            performing_runs(two_coin_tree, "obs", "observe"),
+        )
+
+    def test_partition_of_mixed_state_action(self):
+        system = mixed_action_system()
+        cells = action_state_partition(system, "a", "go")
+        assert set(cells) == {(0, "L"), (0, "R")}
+        assert all(len(cell) == 1 for cell in cells.values())
+
+    def test_partition_rejects_improper(self):
+        with pytest.raises(ImproperActionError):
+            action_state_partition(repeated_action_system(), "a", "tick")
+
+
+class TestDeterminism:
+    def test_unconditional_action_is_deterministic(self, two_coin_tree):
+        assert is_deterministic_action(two_coin_tree, "obs", "observe")
+
+    def test_mixed_action_is_not_deterministic(self, figure1):
+        assert not is_deterministic_action(figure1, "i", "alpha")
+
+    def test_action_from_distinct_states_still_deterministic(self):
+        # "go" is performed at both L and R — a function of the state.
+        assert is_deterministic_action(mixed_action_system(), "a", "go")

@@ -1,0 +1,51 @@
+"""The paper's Section 2 discussion: nondeterministic ``go``.
+
+"If the value of go were set nondeterministically, then the initial
+global state with go = 0 would define a pps, and the one with go = 1
+would define another, separate, pps."  We realize this with the
+adversary machinery: one firing-squad system per adversary choice, and
+probabilistic analysis per-adversary only.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import ImproperActionError, achieved_probability
+from repro.apps.firing_squad import ALICE, FIRE, both_fire, build_firing_squad
+from repro.protocols import Adversary, enumerate_adversaries
+
+
+def system_for(adversary: Adversary):
+    return build_firing_squad(go_probability=adversary.get("go"))
+
+
+class TestNondeterministicGo:
+    def test_two_adversaries_two_systems(self):
+        adversaries = enumerate_adversaries({"go": [0, 1]})
+        systems = {adv: system_for(adv) for adv in adversaries}
+        assert len(systems) == 2
+
+    def test_go_one_adversary_behaves_like_conditional_fs(self):
+        system = system_for(Adversary.of(go=1))
+        assert achieved_probability(system, ALICE, both_fire(), FIRE) == Fraction(
+            99, 100
+        )
+
+    def test_go_zero_adversary_has_no_firing(self):
+        # Under the go=0 adversary Alice never fires: "fire" is not a
+        # proper action, and mu(. | fire) is simply undefined — exactly
+        # the measurability discussion of Section 2.
+        system = system_for(Adversary.of(go=0))
+        for run in system.runs:
+            assert not run.performs(ALICE, FIRE)
+        with pytest.raises(ImproperActionError):
+            achieved_probability(system, ALICE, both_fire(), FIRE)
+
+    def test_adversary_systems_are_separate_probability_spaces(self):
+        go_one = system_for(Adversary.of(go=1))
+        go_zero = system_for(Adversary.of(go=0))
+        assert sum(r.prob for r in go_one.runs) == 1
+        assert sum(r.prob for r in go_zero.runs) == 1
+        # The go=1 space has all the loss branching; go=0 is tiny.
+        assert go_one.run_count() > go_zero.run_count()

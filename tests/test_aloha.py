@@ -1,0 +1,133 @@
+"""Integration tests for slotted ALOHA — mixed actions with independence."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    achieved_probability,
+    check_theorem_6_2,
+    expected_belief,
+    is_deterministic_action,
+    is_local_state_independent,
+    is_past_based,
+    is_proper,
+    lemma_4_3_applies,
+)
+from repro.apps.aloha import (
+    build_aloha,
+    channel_clear_for,
+    station_names,
+    transmit_action,
+    transmits,
+)
+
+ME = "station-0"
+
+
+class TestStructure:
+    def test_run_count(self):
+        assert build_aloha(n=3).run_count() == 8
+
+    def test_transmit_is_proper(self):
+        system = build_aloha(n=3)
+        assert is_proper(system, ME, transmit_action(0))
+
+    def test_transmit_is_mixed(self):
+        system = build_aloha(n=3)
+        assert not is_deterministic_action(system, ME, transmit_action(0))
+
+    def test_condition_is_not_past_based(self):
+        system = build_aloha(n=3)
+        assert not is_past_based(system, channel_clear_for(ME, 3))
+
+    def test_lemma_4_3_does_not_apply(self):
+        # Neither sufficient condition holds — this app exists to show
+        # independence can still hold "by physics".
+        system = build_aloha(n=3)
+        applies, reasons = lemma_4_3_applies(
+            system, channel_clear_for(ME, 3), ME, transmit_action(0)
+        )
+        assert not applies and reasons == []
+
+
+class TestIndependenceByPhysics:
+    def test_condition_is_independent_anyway(self):
+        system = build_aloha(n=3)
+        assert is_local_state_independent(
+            system, channel_clear_for(ME, 3), ME, transmit_action(0)
+        )
+
+    def test_expectation_identity_exact(self):
+        system = build_aloha(n=3, persistence="1/4")
+        check = check_theorem_6_2(
+            system, ME, transmit_action(0), channel_clear_for(ME, 3)
+        )
+        assert check.applicable and check.conclusion
+
+    def test_own_transmission_is_dependent(self):
+        # The contrast: the station's own action is exactly the
+        # Figure 1 kind of dependent condition.
+        system = build_aloha(n=3)
+        assert not is_local_state_independent(
+            system, transmits(ME), ME, transmit_action(0)
+        )
+
+
+class TestExactValues:
+    @pytest.mark.parametrize(
+        ("n", "q", "expected"),
+        [
+            (2, "1/4", Fraction(3, 4)),
+            (3, "1/4", Fraction(9, 16)),
+            (3, "1/2", Fraction(1, 4)),
+            (4, "1/10", Fraction(729, 1000)),
+        ],
+    )
+    def test_clear_probability_formula(self, n, q, expected):
+        # mu(channel clear @ tx | tx) = (1 - q)^(n-1).
+        system = build_aloha(n=n, persistence=q)
+        assert achieved_probability(
+            system, ME, channel_clear_for(ME, n), transmit_action(0)
+        ) == expected
+
+    def test_expected_belief_matches(self):
+        system = build_aloha(n=3, persistence="1/4")
+        assert expected_belief(
+            system, ME, channel_clear_for(ME, 3), transmit_action(0)
+        ) == Fraction(9, 16)
+
+    def test_belief_is_flat_without_observations(self):
+        # Before any feedback the station's belief equals the prior at
+        # every acting point — a single information state.
+        from repro.core.expectation import expected_belief_decomposition
+
+        system = build_aloha(n=3, persistence="1/4")
+        cells = expected_belief_decomposition(
+            system, ME, channel_clear_for(ME, 3), transmit_action(0)
+        )
+        assert len(cells) == 1
+
+    def test_multi_slot_actions_proper_per_slot(self):
+        system = build_aloha(n=2, persistence="1/2", slots=2)
+        assert is_proper(system, ME, transmit_action(0))
+        assert is_proper(system, ME, transmit_action(1))
+        assert achieved_probability(
+            system, ME, channel_clear_for(ME, 2, slot=1), transmit_action(1)
+        ) == Fraction(1, 2)
+
+
+class TestValidation:
+    def test_single_station_rejected(self):
+        with pytest.raises(ValueError):
+            build_aloha(n=1)
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(ValueError):
+            build_aloha(slots=0)
+
+    def test_degenerate_persistence(self):
+        always = build_aloha(n=2, persistence=1)
+        assert achieved_probability(
+            always, ME, channel_clear_for(ME, 2), transmit_action(0)
+        ) == 0

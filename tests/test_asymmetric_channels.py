@@ -1,0 +1,81 @@
+"""FunctionChannel in anger: asymmetric and content-dependent links."""
+
+from fractions import Fraction
+
+from repro import achieved_probability, expected_belief_decomposition
+from repro.apps.coordinated_attack import (
+    ACK,
+    ATTACK,
+    GENERAL_A,
+    GENERAL_B,
+    ORDER,
+    _GeneralA,
+    _GeneralB,
+    both_attack,
+)
+from repro.messaging import FunctionChannel, Message, MessagePassingSystem, RecordingState
+from repro.protocols import Distribution
+
+
+def build_asymmetric_attack(order_loss: str, ack_loss: str):
+    """Coordinated attack where order and ack links differ in quality."""
+
+    def reliability(message: Message) -> object:
+        if message.content == ORDER:
+            return 1 - Fraction(order_loss)
+        return 1 - Fraction(ack_loss)
+
+    deadline = 2  # one ack round
+    return MessagePassingSystem(
+        agents=[GENERAL_A, GENERAL_B],
+        protocols={
+            GENERAL_A: _GeneralA(deadline),
+            GENERAL_B: _GeneralB(deadline),
+        },
+        channel=FunctionChannel(reliability, name="asymmetric"),
+        initial=Distribution(
+            {
+                (RecordingState(0), RecordingState(None)): Fraction(1, 2),
+                (RecordingState(1), RecordingState(None)): Fraction(1, 2),
+            }
+        ),
+        horizon=deadline + 1,
+        name="asymmetric-attack",
+    ).compile()
+
+
+class TestAsymmetricLinks:
+    def test_success_depends_only_on_order_link(self):
+        # The ack link quality cannot change the success probability.
+        for ack_loss in ("0", "0.5", "0.9"):
+            system = build_asymmetric_attack("0.2", ack_loss)
+            assert achieved_probability(
+                system, GENERAL_A, both_attack(), ATTACK
+            ) == Fraction(4, 5)
+
+    def test_ack_link_shapes_beliefs(self):
+        # A perfect ack link collapses A's uncertainty entirely: either
+        # the ack arrives (belief 1) or the order was lost (belief 0).
+        perfect = build_asymmetric_attack("0.2", "0")
+        cells = expected_belief_decomposition(
+            perfect, GENERAL_A, both_attack(), ATTACK
+        )
+        assert sorted(cell.belief for cell in cells.values()) == [0, 1]
+
+    def test_nearly_dead_ack_link_leaves_near_prior(self):
+        # An almost-always-lost ack link leaves A's no-ack posterior
+        # near the prior 1 - order_loss = 4/5 (loss exactly 1 would
+        # remove the delivered-ack branch from the tree entirely).
+        dead = build_asymmetric_attack("0.2", "0.999999")
+        cells = expected_belief_decomposition(
+            dead, GENERAL_A, both_attack(), ATTACK
+        )
+        no_ack = [cell.belief for cell in cells.values() if cell.belief < 1]
+        assert no_ack
+        assert abs(float(max(no_ack)) - 0.8) < 1e-5
+
+    def test_degenerate_reliable_everything(self):
+        system = build_asymmetric_attack("0", "0")
+        assert achieved_probability(
+            system, GENERAL_A, both_attack(), ATTACK
+        ) == 1

@@ -1,0 +1,76 @@
+"""Unit tests for the phi@l and phi@alpha run facts."""
+
+import pytest
+
+from repro import (
+    FALSE,
+    TRUE,
+    ImproperActionError,
+    PPSBuilder,
+    action_at_local_state,
+    at_action,
+    at_local_state,
+    does_,
+    env_fact,
+    runs_satisfying,
+)
+
+
+class TestAtLocalState:
+    def test_requires_state_to_occur(self, two_coin_tree):
+        fact = at_local_state(TRUE, "obs", (7, "nowhere"))
+        assert runs_satisfying(two_coin_tree, fact) == frozenset()
+
+    def test_evaluates_phi_at_occurrence_time(self, two_coin_tree):
+        # At the time obs is in (1, "H"), the env holds the second coin.
+        second_heads = env_fact(lambda e: e == ("second", "h"))
+        fact = at_local_state(second_heads, "obs", (1, "H"))
+        runs = runs_satisfying(two_coin_tree, fact)
+        assert len(runs) == 1
+
+    def test_true_at_state_equals_occurrence(self, two_coin_tree):
+        fact = at_local_state(TRUE, "obs", (0, "H"))
+        assert len(runs_satisfying(two_coin_tree, fact)) == 2
+
+    def test_false_at_state_is_empty(self, two_coin_tree):
+        fact = at_local_state(FALSE, "obs", (0, "H"))
+        assert runs_satisfying(two_coin_tree, fact) == frozenset()
+
+    def test_is_run_fact(self):
+        assert at_local_state(TRUE, "obs", (0, "H")).is_run_fact
+
+
+class TestAtAction:
+    def test_requires_action_in_run(self, two_coin_tree):
+        fact = at_action(TRUE, "obs", "phantom")
+        assert runs_satisfying(two_coin_tree, fact) == frozenset()
+
+    def test_evaluates_phi_at_performance_time(self, two_coin_tree):
+        at_zero = env_fact(lambda e: e is None)  # true only at time 0
+        fact = at_action(at_zero, "obs", "observe")
+        assert len(runs_satisfying(two_coin_tree, fact)) == 4
+
+    def test_improper_action_raises(self):
+        builder = PPSBuilder(["a"])
+        s0 = builder.initial(1, {"a": (0, "x")})
+        s1 = s0.chain({"a": (1, "y")}, actions={"a": "tick"})
+        s1.chain({"a": (2, "z")}, actions={"a": "tick"})  # twice in one run
+        system = builder.build()
+        fact = at_action(TRUE, "a", "tick")
+        with pytest.raises(ImproperActionError):
+            runs_satisfying(system, fact)
+
+    def test_action_at_local_state_shorthand(self, two_coin_tree):
+        direct = at_local_state(does_("obs", "observe"), "obs", (0, "H"))
+        shorthand = action_at_local_state("obs", "observe", (0, "H"))
+        assert runs_satisfying(two_coin_tree, direct) == runs_satisfying(
+            two_coin_tree, shorthand
+        )
+
+    def test_phi_and_alpha_conjunction(self, two_coin_tree):
+        # [phi & does(alpha)]@l — the paper's appendix shorthand.
+        phi = env_fact(lambda e: e is None)
+        conj = at_local_state(
+            phi & does_("obs", "observe"), "obs", (0, "H")
+        )
+        assert len(runs_satisfying(two_coin_tree, conj)) == 2

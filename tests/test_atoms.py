@@ -1,0 +1,81 @@
+"""Unit tests for atomic facts: does, performed, state predicates."""
+
+from repro import (
+    does_,
+    env_fact,
+    local_fact,
+    local_state_occurs,
+    performed,
+    points_satisfying,
+    runs_satisfying,
+    state_fact,
+)
+
+
+class TestDoes:
+    def test_true_exactly_at_performance_point(self, two_coin_tree):
+        fact = does_("obs", "observe")
+        points = points_satisfying(two_coin_tree, fact)
+        assert points == {(r.index, 0) for r in two_coin_tree.runs}
+
+    def test_false_for_other_action(self, two_coin_tree):
+        fact = does_("obs", "never-happens")
+        assert points_satisfying(two_coin_tree, fact) == set()
+
+    def test_false_at_leaf(self, two_coin_tree):
+        fact = does_("obs", "observe")
+        run = two_coin_tree.runs[0]
+        assert not fact.holds(two_coin_tree, run, run.final_time)
+
+    def test_label(self):
+        assert does_("a", "x").label == "does[a](x)"
+
+
+class TestPerformed:
+    def test_run_fact(self):
+        assert performed("obs", "observe").is_run_fact
+
+    def test_all_runs_perform_observe(self, two_coin_tree):
+        fact = performed("obs", "observe")
+        assert runs_satisfying(two_coin_tree, fact) == frozenset(
+            r.index for r in two_coin_tree.runs
+        )
+
+    def test_no_run_performs_phantom(self, two_coin_tree):
+        assert runs_satisfying(two_coin_tree, performed("obs", "phantom")) == frozenset()
+
+    def test_time_invariant_within_run(self, two_coin_tree):
+        fact = performed("blind", "wait")
+        run = two_coin_tree.runs[0]
+        values = {fact.holds(two_coin_tree, run, t) for t in run.times()}
+        assert values == {True}
+
+
+class TestLocalStateOccurs:
+    def test_occurs(self, two_coin_tree):
+        fact = local_state_occurs("obs", (0, "H"))
+        assert len(runs_satisfying(two_coin_tree, fact)) == 2
+
+    def test_never_occurs(self, two_coin_tree):
+        fact = local_state_occurs("obs", (5, "nope"))
+        assert runs_satisfying(two_coin_tree, fact) == frozenset()
+
+
+class TestStatePredicates:
+    def test_state_fact(self, two_coin_tree):
+        second_heads = state_fact(
+            lambda g: g.env == ("second", "h"), label="second-heads"
+        )
+        points = points_satisfying(two_coin_tree, second_heads)
+        assert all(t == 1 for _, t in points)
+        assert len(points) == 2
+
+    def test_local_fact(self, two_coin_tree):
+        saw_heads = local_fact("obs", lambda l: l[1] == "H")
+        points = points_satisfying(two_coin_tree, saw_heads)
+        assert len(points) == 4  # 2 runs x 2 times in the heads branch
+
+    def test_env_fact(self, two_coin_tree):
+        initial_env = env_fact(lambda e: e is None, label="no-env")
+        points = points_satisfying(two_coin_tree, initial_env)
+        assert all(t == 0 for _, t in points)

@@ -1,0 +1,69 @@
+"""Tests for the epistemic axiom checkers (logic layer)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import TRUE, eventually
+from repro.analysis.random_systems import random_protocol_system, random_state_fact
+from repro.apps.firing_squad import ALICE, BOB, both_fire, fire_bob
+from repro.logic import check_axioms, holds_everywhere
+
+
+class TestHoldsEverywhere:
+    def test_true(self, firing_squad):
+        assert holds_everywhere(firing_squad, TRUE)
+
+    def test_contingent_fact(self, firing_squad):
+        assert not holds_everywhere(firing_squad, eventually(fire_bob()))
+
+
+class TestAxiomsOnFiringSquad:
+    @pytest.fixture(scope="class")
+    def results(self, firing_squad):
+        return check_axioms(
+            firing_squad, ALICE, eventually(both_fire()), eventually(fire_bob())
+        )
+
+    def test_all_axioms_valid(self, results):
+        assert all(results.values()), {
+            name: value for name, value in results.items() if not value
+        }
+
+    def test_s5_axioms_present(self, results):
+        for name in (
+            "T:knowledge-implies-truth",
+            "K:distribution",
+            "4:positive-introspection",
+            "5:negative-introspection",
+        ):
+            assert name in results
+
+    def test_belief_bridge_axioms_present(self, results):
+        assert "knowledge-implies-belief-one" in results
+        assert "belief-one-implies-knowledge" in results
+
+    def test_graded_levels_parameterizable(self, firing_squad):
+        results = check_axioms(
+            firing_squad,
+            BOB,
+            eventually(both_fire()),
+            TRUE,
+            levels=("1/4",),
+        )
+        assert "belief-introspection@1/4" in results
+        assert results["belief-introspection@1/4"]
+
+
+@settings(
+    max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(seed=st.integers(min_value=0, max_value=5000))
+def test_axioms_hold_on_random_systems(seed):
+    system = random_protocol_system(seed)
+    phi = random_state_fact(seed + 10)
+    psi = random_state_fact(seed + 20)
+    results = check_axioms(system, system.agents[0], phi, psi, levels=("1/2",))
+    assert all(results.values()), {
+        name: value for name, value in results.items() if not value
+    }

@@ -1,0 +1,130 @@
+"""Unit tests for posterior beliefs (Definition 3.1) and belief variables."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    TRUE,
+    UnknownLocalStateError,
+    belief,
+    belief_at,
+    belief_at_action,
+    belief_profile,
+    belief_random_variable,
+    env_fact,
+    occurrence_event,
+    threshold_met_event,
+    threshold_met_measure,
+)
+
+
+class TestBelief:
+    def test_belief_in_true_is_one(self, two_coin_tree):
+        assert belief(two_coin_tree, "obs", TRUE, (0, "H")) == 1
+
+    def test_posterior_conditioning(self, two_coin_tree):
+        # obs in state (1, "H"): second coin is h with probability 1/3.
+        second_heads = env_fact(lambda e: e == ("second", "h"))
+        assert belief(two_coin_tree, "obs", second_heads, (1, "H")) == Fraction(1, 3)
+
+    def test_blind_agent_keeps_prior(self, two_coin_tree):
+        # blind never learns the first coin.
+        first_heads = env_fact(lambda e: e == ("second", "h"))
+        assert belief(two_coin_tree, "blind", first_heads, (1, "-")) == Fraction(1, 3)
+
+    def test_unknown_local_state_raises(self, two_coin_tree):
+        with pytest.raises(UnknownLocalStateError):
+            belief(two_coin_tree, "obs", TRUE, (9, "nope"))
+
+    def test_belief_is_probability(self, two_coin_tree):
+        second_heads = env_fact(lambda e: e == ("second", "h"))
+        for local in two_coin_tree.local_states("obs"):
+            value = belief(two_coin_tree, "obs", second_heads, local)
+            assert 0 <= value <= 1
+
+    def test_belief_at_point_tracks_current_time(self, two_coin_tree):
+        run = two_coin_tree.runs[0]
+        second_heads = env_fact(lambda e: e == ("second", "h"))
+        # At time 0 the transient fact is false (env is still None), so
+        # phi@l_0 never holds; at time 1 the posterior is 1/3.
+        assert belief_at(two_coin_tree, "obs", second_heads, run, 0) == 0
+        assert belief_at(two_coin_tree, "obs", second_heads, run, 1) == Fraction(1, 3)
+
+
+class TestOccurrenceEvent:
+    def test_every_run_passes_initial_states(self, two_coin_tree):
+        heads = occurrence_event(two_coin_tree, "obs", (0, "H"))
+        tails = occurrence_event(two_coin_tree, "obs", (0, "T"))
+        assert len(heads) == 2 and len(tails) == 2
+        assert not heads & tails
+
+    def test_unknown_state_empty(self, two_coin_tree):
+        assert occurrence_event(two_coin_tree, "obs", "missing") == frozenset()
+
+
+class TestBeliefAtAction:
+    def test_paper_convention_zero_when_not_performed(self, figure1):
+        from repro.apps.figure1 import psi_not_alpha
+
+        psi = psi_not_alpha()
+        not_performing = next(
+            run for run in figure1.runs if not run.performs("i", "alpha")
+        )
+        assert belief_at_action(figure1, "i", psi, "alpha", not_performing) == 0
+
+    def test_figure1_belief_is_half(self, figure1):
+        from repro.apps.figure1 import psi_not_alpha
+
+        psi = psi_not_alpha()
+        performing = next(run for run in figure1.runs if run.performs("i", "alpha"))
+        assert belief_at_action(figure1, "i", psi, "alpha", performing) == Fraction(
+            1, 2
+        )
+
+    def test_random_variable_matches_pointwise(self, two_coin_tree):
+        second_heads = env_fact(lambda e: e == ("second", "h"))
+        variable = belief_random_variable(
+            two_coin_tree, "obs", second_heads, "observe"
+        )
+        for run in two_coin_tree.runs:
+            assert variable(run) == belief_at_action(
+                two_coin_tree, "obs", second_heads, "observe", run
+            )
+
+
+class TestBeliefProfile:
+    def test_profile_covers_all_states(self, two_coin_tree):
+        profile = belief_profile(two_coin_tree, "obs", TRUE)
+        assert set(profile) == two_coin_tree.local_states("obs")
+        assert all(value == 1 for value in profile.values())
+
+
+class TestThresholdEvents:
+    def test_met_event_everything_for_zero_threshold(self, two_coin_tree):
+        met = threshold_met_event(two_coin_tree, "obs", TRUE, "observe", 0)
+        assert len(met) == 4
+
+    def test_met_measure_one_for_certain_fact(self, two_coin_tree):
+        assert threshold_met_measure(two_coin_tree, "obs", TRUE, "observe", 1) == 1
+
+    def test_met_measure_for_partial_belief(self, two_coin_tree):
+        from repro import eventually
+
+        # The run fact "the second coin will land heads": belief 1/3 at
+        # the acting point (time 0), for every run.
+        second_heads = eventually(env_fact(lambda e: e == ("second", "h")))
+        # belief is 1/3 everywhere when acting; threshold 1/2 never met.
+        assert (
+            threshold_met_measure(
+                two_coin_tree, "obs", second_heads, "observe", "1/2"
+            )
+            == 0
+        )
+        # threshold 1/3 always met.
+        assert (
+            threshold_met_measure(
+                two_coin_tree, "obs", second_heads, "observe", "1/3"
+            )
+            == 1
+        )

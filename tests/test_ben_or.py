@@ -1,0 +1,129 @@
+"""Integration tests for Ben-Or-style retry consensus."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    achieved_probability,
+    check_theorem_6_2,
+    expected_belief,
+    is_proper,
+    probability,
+    runs_satisfying,
+)
+from repro.apps.ben_or import (
+    AGENT_A,
+    AGENT_B,
+    agreement_among_deciders,
+    both_decide,
+    build_ben_or,
+    decide_action,
+    decided_value,
+)
+
+
+def mass(system, fact) -> Fraction:
+    return probability(system, runs_satisfying(system, fact))
+
+
+class TestFreeChoiceAdvantage:
+    def test_progress_grows_with_rounds(self):
+        values = [
+            mass(build_ben_or(rounds=rounds), both_decide())
+            for rounds in (3, 4, 5)
+        ]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_deterministic_ablation_capped_at_equal_input_mass(self):
+        # Without coins, only equal-input runs (prior mass 1/2) can
+        # ever decide, however long the horizon; coins break the cap.
+        for rounds in (4, 5):
+            capped = mass(
+                build_ben_or(rounds=rounds, free_choice=False), both_decide()
+            )
+            assert capped < Fraction(1, 2)
+        assert mass(build_ben_or(rounds=5), both_decide()) > Fraction(1, 2)
+
+    def test_mismatched_inputs_never_decide_without_coins(self):
+        system = build_ben_or(rounds=5, free_choice=False)
+        for run in system.runs:
+            a_input = run.local(AGENT_A, 0)[1][1]
+            b_input = run.local(AGENT_B, 0)[1][1]
+            if a_input != b_input:
+                assert decided_value(system, run, AGENT_A) is None
+                assert decided_value(system, run, AGENT_B) is None
+
+    def test_coins_rescue_mismatched_inputs(self):
+        system = build_ben_or(rounds=5, free_choice=True)
+        rescued = [
+            run
+            for run in system.runs
+            if run.local(AGENT_A, 0)[1][1] != run.local(AGENT_B, 0)[1][1]
+            and decided_value(system, run, AGENT_A) is not None
+        ]
+        assert rescued
+
+    def test_free_choice_dominates_ablation(self):
+        with_coins = mass(build_ben_or(rounds=5), both_decide())
+        without = mass(build_ben_or(rounds=5, free_choice=False), both_decide())
+        assert with_coins > without
+
+
+class TestSafety:
+    def test_agreement_is_certain(self):
+        # With two agents this protocol can fail to terminate but can
+        # never disagree.
+        system = build_ben_or(rounds=5)
+        assert mass(system, agreement_among_deciders()) == 1
+
+    def test_decide_is_proper_when_performed(self):
+        system = build_ben_or(rounds=4)
+        for value in (0, 1):
+            assert is_proper(system, AGENT_A, decide_action(value))
+
+    def test_decided_value_unique(self):
+        system = build_ben_or(rounds=5)
+        for run in system.runs:
+            performed = [
+                v for v in (0, 1) if run.performs(AGENT_A, decide_action(v))
+            ]
+            assert len(performed) <= 1
+
+
+class TestPakMachinery:
+    def test_agreement_constraint_and_expectation(self):
+        system = build_ben_or(rounds=4)
+        agree = agreement_among_deciders()
+        assert achieved_probability(
+            system, AGENT_A, agree, decide_action(1)
+        ) == 1
+        assert expected_belief(system, AGENT_A, agree, decide_action(1)) == 1
+
+    def test_peer_decides_constraint(self):
+        system = build_ben_or(rounds=4)
+        peer = both_decide()
+        value = achieved_probability(system, AGENT_A, peer, decide_action(1))
+        assert 0 < value < 1  # A can decide while B is still retrying
+        check = check_theorem_6_2(system, AGENT_A, decide_action(1), peer)
+        assert check.verified
+
+    def test_lossless_equal_inputs_decide_immediately(self):
+        system = build_ben_or(loss=0, rounds=3, one_probability=1)
+        assert mass(system, both_decide()) == 1
+
+
+class TestValidation:
+    def test_too_few_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            build_ben_or(rounds=1)
+
+    def test_biased_inputs(self):
+        system = build_ben_or(rounds=3, one_probability="3/4")
+        equal_ones = [
+            run
+            for run in system.runs
+            if run.local(AGENT_A, 0)[1][1] == run.local(AGENT_B, 0)[1][1] == 1
+        ]
+        assert sum(r.prob for r in equal_ones) == Fraction(9, 16)

@@ -1,0 +1,90 @@
+"""Unit tests for the fluent PPSBuilder."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import InvalidSystemError, PPSBuilder
+
+
+class TestBuilder:
+    def test_probability_coercion_from_string(self):
+        builder = PPSBuilder(["a"])
+        builder.initial("1/3", {"a": (0, "x")})
+        builder.initial("2/3", {"a": (0, "y")})
+        system = builder.build()
+        assert sorted(r.prob for r in system.runs) == [
+            Fraction(1, 3),
+            Fraction(2, 3),
+        ]
+
+    def test_probability_coercion_from_float_literal(self):
+        builder = PPSBuilder(["a"])
+        builder.initial(0.1, {"a": (0, "x")})
+        builder.initial(0.9, {"a": (0, "y")})
+        system = builder.build()
+        assert sorted(r.prob for r in system.runs) == [
+            Fraction(1, 10),
+            Fraction(9, 10),
+        ]
+
+    def test_zero_probability_edge_rejected_at_build_time(self):
+        builder = PPSBuilder(["a"])
+        with pytest.raises(ValueError):
+            builder.initial(0, {"a": (0, "x")})
+
+    def test_missing_agent_state_rejected(self):
+        builder = PPSBuilder(["a", "b"])
+        with pytest.raises(InvalidSystemError):
+            builder.initial(1, {"a": (0, "x")})  # no state for "b"
+
+    def test_unknown_agent_state_rejected(self):
+        builder = PPSBuilder(["a"])
+        with pytest.raises(InvalidSystemError):
+            builder.initial(1, {"a": (0, "x"), "ghost": (0, "y")})
+
+    def test_chain_is_probability_one_child(self):
+        builder = PPSBuilder(["a"])
+        start = builder.initial(1, {"a": (0, "x")})
+        start.chain({"a": (1, "y")}, actions={"a": "go"})
+        system = builder.build()
+        assert system.run_count() == 1
+        assert system.runs[0].prob == 1
+
+    def test_actions_recorded_on_edges(self):
+        builder = PPSBuilder(["a"])
+        start = builder.initial(1, {"a": (0, "x")})
+        start.chain({"a": (1, "y")}, actions={"a": "go"})
+        system = builder.build()
+        assert system.runs[0].action_of("a", 0) == "go"
+
+    def test_env_stored(self):
+        builder = PPSBuilder(["a"])
+        builder.initial(1, {"a": (0, "x")}, env="weather:rainy")
+        system = builder.build()
+        assert system.runs[0].env_state(0) == "weather:rainy"
+
+    def test_build_twice_rejected(self):
+        builder = PPSBuilder(["a"])
+        builder.initial(1, {"a": (0, "x")})
+        builder.build()
+        with pytest.raises(InvalidSystemError):
+            builder.build()
+
+    def test_invalid_tree_raises_on_build(self):
+        builder = PPSBuilder(["a"])
+        builder.initial("1/2", {"a": (0, "x")})  # mass missing
+        with pytest.raises(InvalidSystemError):
+            builder.build()
+
+    def test_handle_time_property(self):
+        builder = PPSBuilder(["a"])
+        start = builder.initial(1, {"a": (0, "x")})
+        nxt = start.chain({"a": (1, "y")})
+        assert start.time == 0
+        assert nxt.time == 1
+
+    def test_name_propagates(self):
+        builder = PPSBuilder(["a"], name="my-system")
+        builder.initial(1, {"a": (0, "x")})
+        assert builder.build().name == "my-system"

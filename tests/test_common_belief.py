@@ -1,0 +1,79 @@
+"""Unit tests for graded belief operators and common p-belief."""
+
+from fractions import Fraction
+
+from repro import (
+    TRUE,
+    believes,
+    common_belief,
+    common_belief_points,
+    env_fact,
+    eventually,
+    everyone_believes,
+    points_satisfying,
+)
+from repro.apps.firing_squad import ALICE, BOB, fire_bob
+
+
+class TestBelieves:
+    def test_belief_in_true_at_any_level(self, two_coin_tree):
+        b = believes("blind", TRUE, 1)
+        assert len(points_satisfying(two_coin_tree, b)) == 8
+
+    def test_graded_threshold(self, two_coin_tree):
+        second = eventually(env_fact(lambda e: e == ("second", "h")))
+        assert points_satisfying(
+            two_coin_tree, believes("obs", second, "1/3")
+        ) != set()
+        # Nobody ever believes it to degree 1/2 before time 1.
+        b_half = believes("obs", second, "1/2")
+        assert all(t == 1 for _, t in points_satisfying(two_coin_tree, b_half))
+
+    def test_label_mentions_level(self):
+        assert ">=1/3" in believes("a", TRUE, "1/3").label
+
+
+class TestEveryoneBelieves:
+    def test_group_conjunction(self, two_coin_tree):
+        second = eventually(env_fact(lambda e: e == ("second", "h")))
+        group = everyone_believes(["obs", "blind"], second, "1/3")
+        individual_obs = believes("obs", second, "1/3")
+        individual_blind = believes("blind", second, "1/3")
+        expected = points_satisfying(two_coin_tree, individual_obs) & (
+            points_satisfying(two_coin_tree, individual_blind)
+        )
+        assert points_satisfying(two_coin_tree, group) == expected
+
+
+class TestCommonBelief:
+    def test_common_belief_of_true(self, two_coin_tree):
+        points = common_belief_points(two_coin_tree, ["obs", "blind"], TRUE, 1)
+        assert len(points) == 8
+
+    def test_decreasing_in_level(self, firing_squad):
+        will_fire = eventually(fire_bob())
+        high = common_belief_points(firing_squad, [ALICE, BOB], will_fire, "0.99")
+        low = common_belief_points(firing_squad, [ALICE, BOB], will_fire, "0.5")
+        assert high <= low
+
+    def test_firing_squad_attains_common_p_belief(self, firing_squad):
+        # Over a lossy channel the agents attain common p-belief (for
+        # moderate p) even though common knowledge is impossible.
+        will_fire = eventually(fire_bob())
+        points = common_belief_points(firing_squad, [ALICE, BOB], will_fire, "0.9")
+        assert points  # non-empty
+
+    def test_fact_wrapper_matches_point_computation(self, firing_squad):
+        will_fire = eventually(fire_bob())
+        fact = common_belief([ALICE, BOB], will_fire, "0.9")
+        direct = common_belief_points(firing_squad, [ALICE, BOB], will_fire, "0.9")
+        assert points_satisfying(firing_squad, fact) == direct
+
+    def test_fixpoint_is_subset_of_first_iterate(self, firing_squad):
+        will_fire = eventually(fire_bob())
+        level = Fraction(9, 10)
+        fixpoint = common_belief_points(firing_squad, [ALICE, BOB], will_fire, level)
+        first = points_satisfying(
+            firing_squad, everyone_believes([ALICE, BOB], will_fire, level)
+        )
+        assert fixpoint <= first

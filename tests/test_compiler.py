@@ -1,0 +1,151 @@
+"""Unit tests for the protocol-to-pps compiler."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import CompilationError, does_, points_satisfying
+from repro.protocols import (
+    ENV,
+    Config,
+    Distribution,
+    FunctionEnvironment,
+    ProtocolSystem,
+    compile_system,
+    compile_under_adversaries,
+)
+
+
+def counter_transition(env_state, locals_map, joint_actions, env_action):
+    """Locals count their own actions; env counts rounds."""
+    new_locals = {
+        agent: (local[0] + 1, local[1] + (joint_actions[agent],))
+        for agent, local in locals_map.items()
+    }
+    return (env_state or 0) + 1, new_locals
+
+
+def simple_system(**overrides) -> ProtocolSystem:
+    defaults = dict(
+        agents=["a"],
+        protocols={"a": lambda local: Distribution.uniform(["l", "r"])},
+        transition=counter_transition,
+        initial=Distribution.point(Config(env=0, locals=((0, ()),))),
+        horizon=2,
+    )
+    defaults.update(overrides)
+    return ProtocolSystem(**defaults)
+
+
+class TestCompilation:
+    def test_tree_shape(self):
+        pps = compile_system(simple_system())
+        assert pps.run_count() == 4  # 2 choices x 2 rounds
+        assert pps.max_time() == 2
+
+    def test_probabilities_product(self):
+        pps = compile_system(simple_system())
+        assert all(run.prob == Fraction(1, 4) for run in pps.runs)
+
+    def test_actions_recorded(self):
+        pps = compile_system(simple_system())
+        points = points_satisfying(pps, does_("a", "l"))
+        assert points  # "l" performed somewhere
+        assert all(t < 2 for _, t in points)
+
+    def test_time_stamping(self):
+        pps = compile_system(simple_system())
+        for run in pps.runs:
+            for t in run.times():
+                stamped_time, _raw = run.local("a", t)
+                assert stamped_time == t
+
+    def test_deterministic_protocol_single_run(self):
+        pps = compile_system(
+            simple_system(protocols={"a": lambda local: "only"})
+        )
+        assert pps.run_count() == 1
+
+    def test_horizon_zero_only_initial_states(self):
+        pps = compile_system(simple_system(horizon=0))
+        assert pps.max_time() == 0
+
+    def test_final_predicate_stops_early(self):
+        def final(env, locals_map, t):
+            return locals_map["a"][1][-1:] == ("l",)  # stop after an "l"
+
+        pps = compile_system(simple_system(final=final))
+        # runs: l (stopped), rl (stopped), rr — lengths differ.
+        lengths = sorted(run.length for run in pps.runs)
+        assert lengths == [2, 3, 3]
+
+    def test_environment_branching(self):
+        env = FunctionEnvironment(
+            lambda state, joint: Distribution.uniform(["fine", "noisy"])
+        )
+        pps = compile_system(simple_system(environment=env, horizon=1))
+        assert pps.run_count() == 4  # 2 actions x 2 env actions
+
+    def test_env_action_recorded_when_requested(self):
+        env = FunctionEnvironment(
+            lambda state, joint: Distribution.uniform(["fine", "noisy"])
+        )
+        pps = compile_system(
+            simple_system(environment=env, horizon=1, record_env_action=True)
+        )
+        edge_envs = {
+            run.nodes[1].via_action[ENV] for run in pps.runs
+        }
+        assert edge_envs == {"fine", "noisy"}
+
+    def test_initial_distribution(self):
+        initial = Distribution(
+            {
+                Config(env=0, locals=((0, ()),)): "1/3",
+                Config(env=0, locals=((0, ("seed",)),)): "2/3",
+            }
+        )
+        pps = compile_system(simple_system(initial=initial, horizon=0))
+        assert sorted(run.prob for run in pps.runs) == [
+            Fraction(1, 3),
+            Fraction(2, 3),
+        ]
+
+
+class TestCompilationErrors:
+    def test_missing_protocol(self):
+        with pytest.raises(CompilationError):
+            simple_system(protocols={})
+
+    def test_reserved_agent_name(self):
+        with pytest.raises(CompilationError):
+            simple_system(agents=[ENV], protocols={ENV: lambda local: "x"})
+
+    def test_negative_horizon(self):
+        with pytest.raises(CompilationError):
+            simple_system(horizon=-1)
+
+    def test_transition_must_cover_all_agents(self):
+        def bad_transition(env_state, locals_map, joint_actions, env_action):
+            return env_state, {}
+
+        system = simple_system(transition=bad_transition)
+        with pytest.raises(CompilationError):
+            compile_system(system)
+
+
+class TestAdversaryCompilation:
+    def test_one_system_per_adversary(self):
+        def make_system(adversary):
+            seed = adversary.get("seed")
+            return simple_system(
+                initial=Distribution.point(Config(env=0, locals=((0, (seed,)),))),
+                horizon=1,
+            )
+
+        systems = compile_under_adversaries(
+            {"seed": ["x", "y"]}, make_system, name_prefix="adv"
+        )
+        assert len(systems) == 2
+        names = {pps.name for pps in systems.values()}
+        assert names == {"adv[seed='x']", "adv[seed='y']"}

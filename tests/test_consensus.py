@@ -1,0 +1,116 @@
+"""Integration tests for one-shot lossy-broadcast consensus."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    achieved_probability,
+    expected_belief,
+    is_proper,
+    runs_satisfying,
+)
+from repro.apps.consensus import (
+    agent_names,
+    agreement,
+    build_consensus,
+    decides,
+    decision_action,
+    validity,
+)
+
+
+class TestStructure:
+    def test_every_agent_decides_exactly_once(self):
+        system = build_consensus()
+        for name in agent_names(2):
+            for run in system.runs:
+                decisions = sum(
+                    len(run.performs(name, decision_action(v))) for v in (0, 1)
+                )
+                assert decisions == 1
+
+    def test_decisions_are_proper_actions(self):
+        system = build_consensus()
+        for value in (0, 1):
+            assert is_proper(system, "agent-0", decision_action(value))
+
+    def test_validity_always_holds(self):
+        system = build_consensus()
+        valid = runs_satisfying(system, validity(2))
+        assert valid == frozenset(r.index for r in system.runs)
+
+
+class TestAgreement:
+    def test_reliable_channel_always_agrees(self):
+        system = build_consensus(loss=0)
+        agreeing = runs_satisfying(system, agreement(2))
+        assert agreeing == frozenset(r.index for r in system.runs)
+
+    def test_disagreement_possible_with_loss(self):
+        system = build_consensus(loss="0.1")
+        agreeing = runs_satisfying(system, agreement(2))
+        assert agreeing != frozenset(r.index for r in system.runs)
+
+    def test_agreement_given_decide_one(self):
+        system = build_consensus(loss="0.1")
+        value = achieved_probability(
+            system, "agent-0", agreement(2), decision_action(1)
+        )
+        # Disagreement after deciding 1 requires the peer to hold 0 and
+        # miss my 1 — computed exactly by the library; the expected
+        # belief must agree (Theorem 6.2).
+        assert value == expected_belief(
+            system, "agent-0", agreement(2), decision_action(1)
+        )
+        assert Fraction(9, 10) < value < 1
+
+    def test_agreement_given_decide_zero(self):
+        system = build_consensus(loss="0.1")
+        value = achieved_probability(
+            system, "agent-0", agreement(2), decision_action(0)
+        )
+        # Deciding 0 means I saw no 1 anywhere; the peer disagrees iff
+        # it holds a 1 (and then decides 1 regardless of my message).
+        assert value == Fraction(10, 11)
+
+    def test_agreement_improves_with_reliability(self):
+        flaky = build_consensus(loss="0.5")
+        solid = build_consensus(loss="0.05")
+        for value in (0, 1):
+            assert achieved_probability(
+                flaky, "agent-0", agreement(2), decision_action(value)
+            ) <= achieved_probability(
+                solid, "agent-0", agreement(2), decision_action(value)
+            )
+
+
+class TestThreeAgents:
+    def test_three_agent_system_compiles(self):
+        system = build_consensus(n=3, loss="0.1")
+        assert system.run_count() == 8 * 64  # 2^3 inputs x 2^6 messages
+
+    def test_three_agent_agreement_constraint(self):
+        system = build_consensus(n=3, loss="0.1")
+        value = achieved_probability(
+            system, "agent-0", agreement(3), decision_action(1)
+        )
+        assert 0 < value < 1
+        assert value == expected_belief(
+            system, "agent-0", agreement(3), decision_action(1)
+        )
+
+
+class TestValidation:
+    def test_single_agent_rejected(self):
+        with pytest.raises(ValueError):
+            build_consensus(n=1)
+
+    def test_biased_inputs(self):
+        from repro import eventually
+
+        system = build_consensus(one_probability="1/4")
+        ones = runs_satisfying(
+            system, eventually(decides("agent-0", 1) | decides("agent-0", 0))
+        )
+        assert ones == frozenset(r.index for r in system.runs)  # still decides

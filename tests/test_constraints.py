@@ -1,0 +1,93 @@
+"""Unit tests for probabilistic constraints (Definition 3.2)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    ImproperActionError,
+    ProbabilisticConstraint,
+    achieved_probability,
+)
+from repro.apps.firing_squad import ALICE, FIRE, both_fire
+from repro.apps.figure1 import phi_alpha, psi_not_alpha
+
+
+class TestAchievedProbability:
+    def test_firing_squad_value(self, firing_squad):
+        assert achieved_probability(
+            firing_squad, ALICE, both_fire(), FIRE
+        ) == Fraction(99, 100)
+
+    def test_figure1_psi_is_zero(self, figure1):
+        assert achieved_probability(figure1, "i", psi_not_alpha(), "alpha") == 0
+
+    def test_figure1_phi_is_one(self, figure1):
+        assert achieved_probability(figure1, "i", phi_alpha(), "alpha") == 1
+
+    def test_improper_action_rejected(self, firing_squad):
+        with pytest.raises(ImproperActionError):
+            achieved_probability(firing_squad, ALICE, both_fire(), "phantom")
+
+
+class TestConstraintObject:
+    def constraint(self, threshold="0.95") -> ProbabilisticConstraint:
+        return ProbabilisticConstraint(
+            agent=ALICE,
+            action=FIRE,
+            phi=both_fire(),
+            threshold=threshold,
+            name="spec",
+        )
+
+    def test_threshold_coerced_exactly(self):
+        assert self.constraint().threshold == Fraction(19, 20)
+
+    def test_threshold_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            self.constraint(threshold="3/2")
+
+    def test_satisfied(self, firing_squad):
+        assert self.constraint().satisfied(firing_squad)
+
+    def test_violated_with_higher_threshold(self, firing_squad):
+        assert not self.constraint(threshold="0.999").satisfied(firing_squad)
+
+    def test_margin(self, firing_squad):
+        assert self.constraint().margin(firing_squad) == Fraction(99, 100) - Fraction(
+            19, 20
+        )
+
+    def test_threshold_met_measure_default_threshold(self, firing_squad):
+        assert self.constraint().threshold_met_measure(firing_squad) == Fraction(
+            991, 1000
+        )
+
+    def test_threshold_met_measure_custom_threshold(self, firing_squad):
+        # At threshold 1 only the 'Yes' runs qualify: 0.891 of firing runs.
+        assert self.constraint().threshold_met_measure(
+            firing_squad, 1
+        ) == Fraction(891, 1000)
+
+    def test_threshold_met_event_subset_of_performing(self, firing_squad):
+        constraint = self.constraint()
+        met = constraint.threshold_met_event(firing_squad)
+        assert met <= constraint.performing_event(firing_squad)
+
+    def test_expected_belief_equals_actual(self, firing_squad):
+        constraint = self.constraint()
+        assert constraint.expected_belief(firing_squad) == constraint.actual(
+            firing_squad
+        )
+
+    def test_independent(self, firing_squad):
+        assert self.constraint().independent(firing_squad)
+
+    def test_describe_mentions_status(self, firing_squad):
+        text = self.constraint().describe(firing_squad)
+        assert "SATISFIED" in text
+        assert "99/100" in text
+
+    def test_describe_violated(self, firing_squad):
+        text = self.constraint(threshold="0.999").describe(firing_squad)
+        assert "VIOLATED" in text

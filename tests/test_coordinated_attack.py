@@ -1,0 +1,106 @@
+"""Integration tests for the coordinated-attack system (experiment E11)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    achieved_probability,
+    expected_belief,
+    expected_belief_decomposition,
+    is_local_state_independent,
+)
+from repro.apps.coordinated_attack import (
+    ATTACK,
+    GENERAL_A,
+    GENERAL_B,
+    attack_a,
+    attack_b,
+    both_attack,
+    build_coordinated_attack,
+)
+
+
+class TestSuccessProbability:
+    def test_equals_delivery_probability(self):
+        system = build_coordinated_attack(loss="0.1", ack_rounds=0)
+        assert achieved_probability(
+            system, GENERAL_A, both_attack(), ATTACK
+        ) == Fraction(9, 10)
+
+    @pytest.mark.parametrize("ack_rounds", [0, 1, 2, 3])
+    def test_acks_do_not_change_success(self, ack_rounds):
+        # The classical futility result: more acknowledgements do not
+        # raise the probability of a coordinated attack.
+        system = build_coordinated_attack(loss="0.1", ack_rounds=ack_rounds)
+        assert achieved_probability(
+            system, GENERAL_A, both_attack(), ATTACK
+        ) == Fraction(9, 10)
+
+    def test_loss_parameter(self):
+        system = build_coordinated_attack(loss="1/3", ack_rounds=1)
+        assert achieved_probability(
+            system, GENERAL_A, both_attack(), ATTACK
+        ) == Fraction(2, 3)
+
+
+class TestBeliefRefinement:
+    def test_fischer_zuck_average_belief(self):
+        # The expected acting belief equals the success probability —
+        # [20]'s observation, an instance of Theorem 6.2.
+        for ack_rounds in (0, 1, 2):
+            system = build_coordinated_attack(loss="0.1", ack_rounds=ack_rounds)
+            assert expected_belief(
+                system, GENERAL_A, both_attack(), ATTACK
+            ) == Fraction(9, 10)
+
+    def test_no_acks_single_belief_state(self):
+        system = build_coordinated_attack(loss="0.1", ack_rounds=0)
+        cells = expected_belief_decomposition(
+            system, GENERAL_A, both_attack(), ATTACK
+        )
+        assert len(cells) == 1
+        (cell,) = cells.values()
+        assert cell.belief == Fraction(9, 10)
+
+    def test_one_ack_splits_beliefs(self):
+        system = build_coordinated_attack(loss="0.1", ack_rounds=1)
+        cells = expected_belief_decomposition(
+            system, GENERAL_A, both_attack(), ATTACK
+        )
+        beliefs = sorted(cell.belief for cell in cells.values())
+        # Ack received -> certainty; no ack -> B attacked but ack lost,
+        # or B never got the order: 9/100 / (9/100 + 1/10) = 9/19.
+        assert beliefs == [Fraction(9, 19), Fraction(1)]
+
+    def test_more_acks_spread_beliefs_further(self):
+        shallow = build_coordinated_attack(loss="0.1", ack_rounds=1)
+        deep = build_coordinated_attack(loss="0.1", ack_rounds=3)
+        spread = lambda system: len(
+            expected_belief_decomposition(system, GENERAL_A, both_attack(), ATTACK)
+        )
+        assert spread(deep) >= spread(shallow)
+
+
+class TestStructure:
+    def test_b_never_attacks_without_order(self):
+        system = build_coordinated_attack(ack_rounds=1)
+        for run in system.runs:
+            if run.local(GENERAL_A, 0)[1].payload == 0:
+                assert not run.performs(GENERAL_B, ATTACK)
+
+    def test_attack_is_proper_and_independent(self):
+        system = build_coordinated_attack(ack_rounds=2)
+        assert is_local_state_independent(
+            system, both_attack(), GENERAL_A, ATTACK
+        )
+
+    def test_negative_ack_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            build_coordinated_attack(ack_rounds=-1)
+
+    def test_order_probability_one_still_valid(self):
+        system = build_coordinated_attack(order_probability=1, ack_rounds=0)
+        assert achieved_probability(
+            system, GENERAL_A, both_attack(), ATTACK
+        ) == Fraction(9, 10)

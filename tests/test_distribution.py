@@ -1,0 +1,128 @@
+"""Unit tests for exact finite distributions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import InvalidSystemError
+from repro.protocols import Distribution, product
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        d = Distribution({"a": "1/3", "b": "2/3"})
+        assert d.prob("a") == Fraction(1, 3)
+
+    def test_from_pairs(self):
+        d = Distribution([("a", "1/2"), ("b", "1/2")])
+        assert set(d.support) == {"a", "b"}
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(InvalidSystemError):
+            Distribution({"a": "1/2"})
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(InvalidSystemError):
+            Distribution({"a": 0, "b": 1})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(InvalidSystemError):
+            Distribution({"a": "-1/2", "b": "3/2"})
+
+    def test_duplicate_outcome_rejected(self):
+        with pytest.raises(InvalidSystemError):
+            Distribution([("a", "1/2"), ("a", "1/2")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidSystemError):
+            Distribution({})
+
+    def test_point(self):
+        d = Distribution.point("x")
+        assert d.is_deterministic()
+        assert d.prob("x") == 1
+
+    def test_uniform(self):
+        d = Distribution.uniform(["a", "b", "c"])
+        assert d.prob("b") == Fraction(1, 3)
+
+    def test_uniform_empty_rejected(self):
+        with pytest.raises(InvalidSystemError):
+            Distribution.uniform([])
+
+    def test_bernoulli(self):
+        d = Distribution.bernoulli("0.3")
+        assert d.prob(True) == Fraction(3, 10)
+        assert d.prob(False) == Fraction(7, 10)
+
+    def test_bernoulli_degenerate_collapses(self):
+        assert Distribution.bernoulli(0).is_deterministic()
+        assert Distribution.bernoulli(1).is_deterministic()
+
+    def test_bernoulli_custom_outcomes(self):
+        d = Distribution.bernoulli("1/4", true="yes", false="no")
+        assert d.prob("yes") == Fraction(1, 4)
+
+    def test_bernoulli_out_of_range(self):
+        with pytest.raises(InvalidSystemError):
+            Distribution.bernoulli("3/2")
+
+    def test_weighted(self):
+        d = Distribution.weighted(("x", "1/4"), ("y", "3/4"))
+        assert d.prob("y") == Fraction(3, 4)
+
+
+class TestQueries:
+    def test_prob_outside_support_is_zero(self):
+        assert Distribution.point("x").prob("y") == 0
+
+    def test_len_iter_contains(self):
+        d = Distribution({"a": "1/2", "b": "1/2"})
+        assert len(d) == 2
+        assert set(d) == {"a", "b"}
+        assert "a" in d and "c" not in d
+
+    def test_equality_and_hash(self):
+        d1 = Distribution({"a": "1/2", "b": "1/2"})
+        d2 = Distribution({"b": "1/2", "a": "1/2"})
+        assert d1 == d2
+        assert hash(d1) == hash(d2)
+
+    def test_expectation(self):
+        d = Distribution({1: "1/4", 3: "3/4"})
+        assert d.expectation(lambda x: Fraction(x)) == Fraction(10, 4)
+
+
+class TestTransforms:
+    def test_map_merges_images(self):
+        d = Distribution({1: "1/4", 2: "1/4", 3: "1/2"})
+        parity = d.map(lambda x: x % 2)
+        assert parity.prob(1) == Fraction(3, 4)
+        assert parity.prob(0) == Fraction(1, 4)
+
+    def test_condition(self):
+        d = Distribution({1: "1/4", 2: "1/4", 3: "1/2"})
+        odd = d.condition(lambda x: x % 2 == 1)
+        assert odd.prob(1) == Fraction(1, 3)
+        assert odd.prob(3) == Fraction(2, 3)
+
+    def test_condition_on_impossible_rejected(self):
+        d = Distribution.point(1)
+        with pytest.raises(InvalidSystemError):
+            d.condition(lambda x: x == 2)
+
+    def test_product_of_two(self):
+        d = Distribution.bernoulli("1/2", true=1, false=0)
+        joint = product([d, d])
+        assert joint.prob((1, 0)) == Fraction(1, 4)
+        assert len(joint) == 4
+
+    def test_product_of_none_is_empty_tuple(self):
+        joint = product([])
+        assert joint.prob(()) == 1
+
+    def test_product_preserves_total_mass(self):
+        d1 = Distribution({1: "1/3", 2: "2/3"})
+        d2 = Distribution({"x": "1/5", "y": "4/5"})
+        joint = product([d1, d2])
+        assert sum(w for _, w in joint.items()) == 1

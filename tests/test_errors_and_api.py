@@ -1,0 +1,116 @@
+"""The exception hierarchy and the public API surface."""
+
+import pytest
+
+import repro
+from repro.core.errors import (
+    CompilationError,
+    ConditioningOnNullEventError,
+    FormulaError,
+    ImproperActionError,
+    IndependenceError,
+    InvalidSystemError,
+    NotStochasticError,
+    ReproError,
+    SynchronyViolationError,
+    UnknownAgentError,
+    UnknownLocalStateError,
+    ZeroProbabilityError,
+)
+
+
+class TestErrorHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc in (
+            CompilationError,
+            ConditioningOnNullEventError,
+            FormulaError,
+            ImproperActionError,
+            IndependenceError,
+            InvalidSystemError,
+            NotStochasticError,
+            SynchronyViolationError,
+            UnknownAgentError,
+            UnknownLocalStateError,
+            ZeroProbabilityError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_structural_errors_are_invalid_system(self):
+        for exc in (NotStochasticError, SynchronyViolationError, ZeroProbabilityError):
+            assert issubclass(exc, InvalidSystemError)
+
+    def test_one_handler_catches_the_family(self):
+        try:
+            raise SynchronyViolationError("demo")
+        except ReproError as caught:
+            assert "demo" in str(caught)
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_core_names_reexported(self):
+        for name in (
+            "PPS",
+            "PPSBuilder",
+            "Fact",
+            "does_",
+            "performed",
+            "belief",
+            "belief_at",
+            "at_action",
+            "at_local_state",
+            "achieved_probability",
+            "expected_belief",
+            "is_local_state_independent",
+            "is_past_based",
+            "is_proper",
+            "check_theorem_4_2",
+            "check_theorem_6_2",
+            "check_theorem_7_1",
+            "check_corollary_7_2",
+            "pak_level",
+            "analyze",
+            "knows",
+            "common_knowledge",
+            "believes",
+            "common_belief",
+            "check_kop",
+            "optimal_acting_states",
+            "achievable_frontier",
+        ):
+            assert hasattr(repro, name), f"missing export: {name}"
+
+    def test_all_is_consistent(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ lists missing {name}"
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.apps
+        import repro.logic
+        import repro.messaging
+        import repro.protocols
+
+        assert repro.protocols.Distribution
+        assert repro.messaging.MessagePassingSystem
+        assert repro.logic.parse
+        assert repro.analysis.paper_experiments
+        assert repro.apps.firing_squad.build_firing_squad
+
+    def test_app_modules_expose_builders(self):
+        import repro.apps as apps
+
+        builders = [
+            apps.firing_squad.build_firing_squad,
+            apps.figure1.build_figure1,
+            apps.theorem52.build_theorem52,
+            apps.coordinated_attack.build_coordinated_attack,
+            apps.mutex.build_mutex,
+            apps.consensus.build_consensus,
+            apps.judge.build_judge,
+            apps.aloha.build_aloha,
+        ]
+        assert all(callable(builder) for builder in builders)

@@ -1,0 +1,82 @@
+"""Unit tests for expected belief (Definition 6.1) and Jeffrey decomposition."""
+
+from fractions import Fraction
+
+from repro import (
+    achieved_probability,
+    expected_belief,
+    expected_belief_decomposition,
+    jeffrey_conditional,
+)
+from repro.apps.figure1 import phi_alpha
+from repro.apps.firing_squad import ALICE, FIRE, both_fire
+from repro.apps.theorem52 import AGENT_I, ALPHA, bit_is_one
+
+
+class TestExpectedBelief:
+    def test_firing_squad_expectation(self, firing_squad):
+        assert expected_belief(firing_squad, ALICE, both_fire(), FIRE) == Fraction(
+            99, 100
+        )
+
+    def test_theorem52_expectation_equals_p(self, theorem52):
+        assert expected_belief(theorem52, AGENT_I, bit_is_one(), ALPHA) == Fraction(
+            9, 10
+        )
+
+    def test_figure1_dependent_fact_diverges(self, figure1):
+        # Without independence the identity fails: 1 vs 1/2.
+        assert achieved_probability(figure1, "i", phi_alpha(), "alpha") == 1
+        assert expected_belief(figure1, "i", phi_alpha(), "alpha") == Fraction(1, 2)
+
+
+class TestDecomposition:
+    def test_cells_sum_to_expectation(self, firing_squad):
+        cells = expected_belief_decomposition(firing_squad, ALICE, both_fire(), FIRE)
+        total = sum(cell.contribution for cell in cells.values())
+        assert total == expected_belief(firing_squad, ALICE, both_fire(), FIRE)
+
+    def test_weights_sum_to_one(self, firing_squad):
+        cells = expected_belief_decomposition(firing_squad, ALICE, both_fire(), FIRE)
+        assert sum(cell.weight for cell in cells.values()) == 1
+
+    def test_firing_squad_three_acting_states(self, firing_squad):
+        cells = expected_belief_decomposition(firing_squad, ALICE, both_fire(), FIRE)
+        # Alice fires in three information states: Yes / No / nothing.
+        assert len(cells) == 3
+        beliefs = sorted(cell.belief for cell in cells.values())
+        assert beliefs == [0, Fraction(99, 100), 1]
+
+    def test_firing_squad_weights(self, firing_squad):
+        cells = expected_belief_decomposition(firing_squad, ALICE, both_fire(), FIRE)
+        weights = sorted(cell.weight for cell in cells.values())
+        # Given Alice fires (go=1): 'No' 0.009, nothing 0.1, 'Yes' 0.891.
+        assert weights == [
+            Fraction(9, 1000),
+            Fraction(1, 10),
+            Fraction(891, 1000),
+        ]
+
+    def test_theorem52_cells(self, theorem52):
+        cells = expected_belief_decomposition(theorem52, AGENT_I, bit_is_one(), ALPHA)
+        beliefs = sorted(cell.belief for cell in cells.values())
+        assert beliefs == [Fraction(8, 9), 1]  # (p-eps)/(1-eps) = 8/9, and 1
+
+
+class TestJeffreyConditional:
+    def test_agrees_with_direct_when_independent(self, firing_squad):
+        assert jeffrey_conditional(
+            firing_squad, ALICE, both_fire(), FIRE
+        ) == achieved_probability(firing_squad, ALICE, both_fire(), FIRE)
+
+    def test_agrees_with_direct_even_when_dependent(self, figure1):
+        # Jeffrey decomposition computes the inner conditionals exactly,
+        # so it matches the direct value for every fact.
+        assert jeffrey_conditional(
+            figure1, "i", phi_alpha(), "alpha"
+        ) == achieved_probability(figure1, "i", phi_alpha(), "alpha")
+
+    def test_theorem52(self, theorem52):
+        assert jeffrey_conditional(
+            theorem52, AGENT_I, bit_is_one(), ALPHA
+        ) == Fraction(9, 10)

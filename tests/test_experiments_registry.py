@@ -1,0 +1,27 @@
+"""The claim registry must reproduce every paper value exactly."""
+
+from repro.analysis.experiments import paper_experiments
+from repro.analysis.report import format_experiments
+
+
+class TestPaperExperiments:
+    def test_every_claim_matches(self):
+        records = paper_experiments()
+        mismatches = [record for record in records if not record.matches]
+        assert not mismatches, format_experiments(mismatches)
+
+    def test_registry_covers_all_experiment_ids(self):
+        ids = {record.experiment for record in paper_experiments()}
+        assert {"E1", "E2", "E3", "E4", "E5", "E7", "E8", "E11"} <= ids
+
+    def test_registry_is_deterministic(self):
+        first = paper_experiments()
+        second = paper_experiments()
+        assert [(r.quantity, r.measured) for r in first] == [
+            (r.quantity, r.measured) for r in second
+        ]
+
+    def test_table_renders(self):
+        table = format_experiments(paper_experiments())
+        assert "99/100" in table
+        assert "MISMATCH" not in table

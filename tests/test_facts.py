@@ -1,0 +1,133 @@
+"""Unit tests for the Fact algebra and its run-fact structure."""
+
+import pytest
+
+from repro import (
+    FALSE,
+    TRUE,
+    LambdaFact,
+    LambdaRunFact,
+    always,
+    at_time,
+    eventually,
+    fact_equivalent,
+    points_satisfying,
+    runs_satisfying,
+)
+from repro.core.facts import And, Not, Or
+
+
+class TestBooleanAlgebra:
+    def test_true_everywhere(self, two_coin_tree):
+        assert all(
+            TRUE.holds(two_coin_tree, run, t) for run, t in two_coin_tree.points()
+        )
+
+    def test_false_nowhere(self, two_coin_tree):
+        assert not any(
+            FALSE.holds(two_coin_tree, run, t) for run, t in two_coin_tree.points()
+        )
+
+    def test_negation(self, two_coin_tree):
+        assert fact_equivalent(two_coin_tree, ~TRUE, FALSE)
+
+    def test_double_negation(self, two_coin_tree):
+        assert fact_equivalent(two_coin_tree, ~~TRUE, TRUE)
+
+    def test_conjunction(self, two_coin_tree):
+        assert fact_equivalent(two_coin_tree, TRUE & FALSE, FALSE)
+        assert fact_equivalent(two_coin_tree, TRUE & TRUE, TRUE)
+
+    def test_disjunction(self, two_coin_tree):
+        assert fact_equivalent(two_coin_tree, TRUE | FALSE, TRUE)
+        assert fact_equivalent(two_coin_tree, FALSE | FALSE, FALSE)
+
+    def test_implication(self, two_coin_tree):
+        assert fact_equivalent(two_coin_tree, FALSE.implies(TRUE), TRUE)
+        assert fact_equivalent(two_coin_tree, TRUE.implies(FALSE), FALSE)
+
+    def test_de_morgan(self, two_coin_tree):
+        p = at_time(0)
+        q = at_time(1)
+        assert fact_equivalent(two_coin_tree, ~(p & q), ~p | ~q)
+
+    def test_empty_connectives_rejected(self):
+        with pytest.raises(ValueError):
+            And()
+        with pytest.raises(ValueError):
+            Or()
+
+    def test_labels_compose(self):
+        assert (TRUE & FALSE).label == "(true & false)"
+        assert (~TRUE).label == "~true"
+
+
+class TestRunFactStructure:
+    def test_constants_are_run_facts(self):
+        assert TRUE.is_run_fact and FALSE.is_run_fact
+
+    def test_transient_fact_is_not_run_fact(self):
+        assert not at_time(0).is_run_fact
+
+    def test_connectives_preserve_run_factness(self):
+        assert (TRUE & FALSE).is_run_fact
+        assert (TRUE | FALSE).is_run_fact
+        assert (~TRUE).is_run_fact
+
+    def test_mixing_breaks_run_factness(self):
+        assert not (TRUE & at_time(0)).is_run_fact
+
+    def test_holds_in_run_rejects_transient(self, two_coin_tree):
+        with pytest.raises(TypeError):
+            at_time(0).holds_in_run(two_coin_tree, two_coin_tree.runs[0])
+
+    def test_runs_satisfying_rejects_transient(self, two_coin_tree):
+        with pytest.raises(TypeError):
+            runs_satisfying(two_coin_tree, at_time(0))
+
+    def test_lambda_run_fact(self, two_coin_tree):
+        heads = LambdaRunFact(
+            lambda pps, run: run.local("obs", 0) == (0, "H"), label="heads"
+        )
+        assert len(runs_satisfying(two_coin_tree, heads)) == 2
+
+
+class TestTemporalClosures:
+    def test_eventually_lifts_to_run_fact(self, two_coin_tree):
+        assert eventually(at_time(1)).is_run_fact
+
+    def test_eventually_semantics(self, two_coin_tree):
+        # every run reaches time 1
+        ev = eventually(at_time(1))
+        assert runs_satisfying(two_coin_tree, ev) == frozenset(
+            r.index for r in two_coin_tree.runs
+        )
+
+    def test_always_semantics(self, two_coin_tree):
+        # no run is always at time 1
+        assert runs_satisfying(two_coin_tree, always(at_time(1))) == frozenset()
+
+    def test_always_of_true(self, two_coin_tree):
+        assert runs_satisfying(two_coin_tree, always(TRUE)) == frozenset(
+            r.index for r in two_coin_tree.runs
+        )
+
+    def test_eventually_always_duality(self, two_coin_tree):
+        phi = at_time(0)
+        assert fact_equivalent(
+            two_coin_tree, ~eventually(phi), always(~phi)
+        )
+
+
+class TestPointQueries:
+    def test_points_satisfying_at_time(self, two_coin_tree):
+        points = points_satisfying(two_coin_tree, at_time(1))
+        assert points == {(r.index, 1) for r in two_coin_tree.runs}
+
+    def test_lambda_fact(self, two_coin_tree):
+        odd_time = LambdaFact(lambda pps, run, t: t % 2 == 1, label="odd")
+        points = points_satisfying(two_coin_tree, odd_time)
+        assert all(t == 1 for _, t in points)
+
+    def test_fact_equivalent_negative(self, two_coin_tree):
+        assert not fact_equivalent(two_coin_tree, TRUE, at_time(0))

@@ -1,0 +1,83 @@
+"""Integration tests for the Figure 1 counterexample (experiments E2/E3)."""
+
+from fractions import Fraction
+
+from repro import (
+    achieved_probability,
+    belief_at_action,
+    check_theorem_4_2,
+    check_theorem_6_2,
+    expected_belief,
+    is_local_state_independent,
+)
+from repro.apps.figure1 import (
+    AGENT,
+    ALPHA,
+    build_figure1,
+    phi_alpha,
+    psi_not_alpha,
+)
+
+
+class TestSection4Counterexample:
+    """psi = ~does(alpha): thresholds met, constraint violated."""
+
+    def test_belief_is_half_when_acting(self, figure1):
+        performing = next(r for r in figure1.runs if r.performs(AGENT, ALPHA))
+        assert belief_at_action(
+            figure1, AGENT, psi_not_alpha(), ALPHA, performing
+        ) == Fraction(1, 2)
+
+    def test_mu_is_zero(self, figure1):
+        assert achieved_probability(figure1, AGENT, psi_not_alpha(), ALPHA) == 0
+
+    def test_sufficiency_would_fail_without_independence(self, figure1):
+        # belief >= 1/2 always when acting, yet mu = 0 < 1/2.
+        check = check_theorem_4_2(figure1, AGENT, ALPHA, psi_not_alpha(), "1/2")
+        assert check.premises["belief-meets-threshold-always"]
+        assert not check.conclusion
+        # The theorem survives because independence fails:
+        assert not check.premises["local-state-independent"]
+        assert check.verified
+
+    def test_dependence_detected(self, figure1):
+        assert not is_local_state_independent(
+            figure1, psi_not_alpha(), AGENT, ALPHA
+        )
+
+
+class TestSection6Counterexample:
+    """phi = does(alpha): mu = 1 but expected belief = 1/2."""
+
+    def test_mu_is_one(self, figure1):
+        assert achieved_probability(figure1, AGENT, phi_alpha(), ALPHA) == 1
+
+    def test_expected_belief_is_half(self, figure1):
+        assert expected_belief(figure1, AGENT, phi_alpha(), ALPHA) == Fraction(1, 2)
+
+    def test_expectation_identity_fails_without_independence(self, figure1):
+        check = check_theorem_6_2(figure1, AGENT, ALPHA, phi_alpha())
+        assert not check.conclusion
+        assert not check.premises["local-state-independent"]
+        assert check.verified
+
+
+class TestParametrizedMixing:
+    def test_belief_tracks_mixing_probability(self):
+        for mix in ("1/4", "2/3"):
+            system = build_figure1(mix=mix)
+            performing = next(r for r in system.runs if r.performs(AGENT, ALPHA))
+            assert belief_at_action(
+                system, AGENT, phi_alpha(), ALPHA, performing
+            ) == Fraction(mix)
+
+    def test_pure_action_restores_the_identity(self):
+        # mix = 1: alpha is deterministic, independence holds, and the
+        # expectation identity is exact.
+        system = build_figure1(mix=1)
+        check = check_theorem_6_2(system, AGENT, ALPHA, phi_alpha())
+        assert check.applicable and check.conclusion
+
+    def test_expected_belief_equals_mix(self):
+        system = build_figure1(mix="1/3")
+        assert expected_belief(system, AGENT, phi_alpha(), ALPHA) == Fraction(1, 3)

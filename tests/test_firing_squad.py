@@ -1,0 +1,174 @@
+"""Integration tests: every Example 1 / Section 8 number, exactly.
+
+This file is the written-down form of experiment E1/E7 of DESIGN.md:
+each paper-claimed quantity is asserted as an exact rational.
+"""
+
+from fractions import Fraction
+
+from repro import (
+    analyze,
+    achieved_probability,
+    belief,
+    check_corollary_7_2,
+    expected_belief,
+    expected_belief_decomposition,
+    is_local_state_independent,
+    performed,
+    threshold_met_measure,
+)
+from repro.apps.firing_squad import (
+    ALICE,
+    BOB,
+    FIRE,
+    THRESHOLD,
+    AliceProtocol,
+    both_fire,
+    build_firing_squad,
+    fire_alice,
+    fire_bob,
+)
+
+
+class TestSpecNumbers:
+    def test_success_probability_is_99_percent(self, firing_squad):
+        assert achieved_probability(
+            firing_squad, ALICE, both_fire(), FIRE
+        ) == Fraction(99, 100)
+
+    def test_spec_satisfied(self, firing_squad):
+        assert achieved_probability(firing_squad, ALICE, both_fire(), FIRE) >= THRESHOLD
+
+    def test_neither_fires_when_go_is_zero(self, firing_squad):
+        no_go = [
+            run
+            for run in firing_squad.runs
+            if run.local(ALICE, 0)[1].payload == 0
+        ]
+        assert no_go
+        for run in no_go:
+            assert not run.performs(ALICE, FIRE)
+            assert not run.performs(BOB, FIRE)
+
+    def test_alice_always_fires_when_go_is_one(self, firing_squad):
+        go_runs = [
+            run
+            for run in firing_squad.runs
+            if run.local(ALICE, 0)[1].payload == 1
+        ]
+        assert go_runs
+        for run in go_runs:
+            assert run.performs(ALICE, FIRE) == (2,)
+
+    def test_bob_fires_iff_message_received(self, firing_squad):
+        for run in firing_squad.runs:
+            received = bool(run.local(BOB, 1)[1].received(0))
+            assert bool(run.performs(BOB, FIRE)) == received
+
+
+class TestAliceBeliefs:
+    def test_three_acting_information_states(self, firing_squad):
+        cells = expected_belief_decomposition(firing_squad, ALICE, both_fire(), FIRE)
+        assert len(cells) == 3
+
+    def test_belief_values_match_paper(self, firing_squad):
+        cells = expected_belief_decomposition(firing_squad, ALICE, both_fire(), FIRE)
+        assert sorted(cell.belief for cell in cells.values()) == [
+            Fraction(0),  # received 'No'
+            Fraction(99, 100),  # received nothing (Bob's reply lost)
+            Fraction(1),  # received 'Yes'
+        ]
+
+    def test_threshold_met_measure_is_991_over_1000(self, firing_squad):
+        assert threshold_met_measure(
+            firing_squad, ALICE, both_fire(), FIRE, THRESHOLD
+        ) == Fraction(991, 1000)
+
+    def test_threshold_missed_measure_is_9_over_1000(self, firing_squad):
+        # "Alice fires without her beliefs meeting the threshold only
+        # with a probability of 0.009 = 0.1 * 0.1 * 0.9."
+        assert 1 - threshold_met_measure(
+            firing_squad, ALICE, both_fire(), FIRE, THRESHOLD
+        ) == Fraction(9, 1000)
+
+    def test_paper_remark_991_exceeds_95(self, firing_squad):
+        assert threshold_met_measure(
+            firing_squad, ALICE, both_fire(), FIRE, THRESHOLD
+        ) >= THRESHOLD
+
+    def test_certain_not_firing_case_exists(self, firing_squad):
+        # The striking run: both messages lost, 'No' delivered — Alice
+        # fires while *certain* Bob is not firing.
+        cells = expected_belief_decomposition(firing_squad, ALICE, both_fire(), FIRE)
+        zero_cells = [c for c in cells.values() if c.belief == 0]
+        assert len(zero_cells) == 1
+        assert zero_cells[0].weight == Fraction(9, 1000)
+
+
+class TestExpectationTheorem:
+    def test_expected_belief_equals_achieved(self, firing_squad):
+        assert expected_belief(firing_squad, ALICE, both_fire(), FIRE) == Fraction(
+            99, 100
+        )
+
+    def test_independence_via_deterministic_firing(self, firing_squad):
+        assert is_local_state_independent(firing_squad, both_fire(), ALICE, FIRE)
+
+    def test_corollary_72_section_7_reading(self, firing_squad):
+        # mu >= 0.99 = 1 - 0.1^2 implies belief >= 0.9 w.p. >= 0.9.
+        check = check_corollary_7_2(firing_squad, ALICE, FIRE, both_fire(), "0.1")
+        assert check.applicable and check.conclusion
+        assert check.details["strong-belief-measure"] >= Fraction(9, 10)
+
+
+class TestImprovedProtocol:
+    def test_success_rises_to_990_over_991(self, firing_squad_improved):
+        assert achieved_probability(
+            firing_squad_improved, ALICE, both_fire(), FIRE
+        ) == Fraction(990, 991)
+
+    def test_paper_decimal_matches(self, firing_squad_improved):
+        value = achieved_probability(firing_squad_improved, ALICE, both_fire(), FIRE)
+        assert abs(float(value) - 0.99899) < 1e-5
+
+    def test_alice_never_fires_with_zero_belief(self, firing_squad_improved):
+        cells = expected_belief_decomposition(
+            firing_squad_improved, ALICE, both_fire(), FIRE
+        )
+        assert all(cell.belief > 0 for cell in cells.values())
+
+    def test_bob_behaviour_unchanged(self, firing_squad, firing_squad_improved):
+        original = achieved_probability(
+            firing_squad, BOB, performed(ALICE, FIRE), FIRE
+        )
+        improved = achieved_probability(
+            firing_squad_improved, BOB, performed(ALICE, FIRE), FIRE
+        )
+        # Bob fires under the same channel conditions; only Alice's
+        # firing set shrank, so Bob's success given his firing rises.
+        assert improved >= original
+
+
+class TestParameterization:
+    def test_lossless_channel_gives_certainty(self):
+        perfect = build_firing_squad(loss=0)
+        assert achieved_probability(perfect, ALICE, both_fire(), FIRE) == 1
+
+    def test_success_is_one_minus_loss_squared(self):
+        for loss in ("0.2", "0.5"):
+            system = build_firing_squad(loss=loss)
+            achieved = achieved_probability(system, ALICE, both_fire(), FIRE)
+            loss_fraction = Fraction(loss)
+            assert achieved == 1 - loss_fraction * loss_fraction
+
+    def test_go_probability_does_not_affect_conditional(self):
+        for go_probability in ("1/4", "3/4", 1):
+            system = build_firing_squad(go_probability=go_probability)
+            assert achieved_probability(
+                system, ALICE, both_fire(), FIRE
+            ) == Fraction(99, 100)
+
+    def test_full_pak_report_consistent(self, firing_squad):
+        report = analyze(firing_squad, ALICE, FIRE, both_fire(), THRESHOLD)
+        assert report.satisfied
+        assert report.all_theorems_verified

@@ -1,0 +1,100 @@
+"""Unit tests for local-state independence and past-based facts (Section 4)."""
+
+from fractions import Fraction
+
+from repro import (
+    TRUE,
+    does_,
+    env_fact,
+    eventually,
+    independence_report,
+    is_local_state_independent,
+    is_past_based,
+    is_run_based,
+    lemma_4_3_applies,
+    performed,
+    state_fact,
+)
+from repro.apps.figure1 import phi_alpha, psi_not_alpha
+
+
+class TestPastBased:
+    def test_state_facts_are_past_based(self, two_coin_tree):
+        fact = state_fact(lambda g: g.env == ("second", "h"))
+        assert is_past_based(two_coin_tree, fact)
+
+    def test_future_dependent_fact_is_not_past_based(self, two_coin_tree):
+        # "the second coin will land heads" depends on the future.
+        future = eventually(env_fact(lambda e: e == ("second", "h")))
+        assert not is_past_based(two_coin_tree, future)
+
+    def test_does_fact_is_not_past_based_under_mixing(self, figure1):
+        # In Figure 1, does(alpha) at time 0 differs across runs sharing
+        # the time-0 node.
+        assert not is_past_based(figure1, does_("i", "alpha"))
+
+    def test_true_is_past_based(self, two_coin_tree):
+        assert is_past_based(two_coin_tree, TRUE)
+
+
+class TestRunBased:
+    def test_structural_run_fact_is_run_based(self, two_coin_tree):
+        assert is_run_based(two_coin_tree, performed("obs", "observe"))
+
+    def test_transient_fact_usually_is_not(self, two_coin_tree):
+        changes = env_fact(lambda e: e == ("second", "h"))
+        assert not is_run_based(two_coin_tree, changes)
+
+    def test_constant_transient_fact_is_semantically_run_based(self, two_coin_tree):
+        assert is_run_based(two_coin_tree, TRUE)
+
+
+class TestIndependence:
+    def test_figure1_psi_dependent(self, figure1):
+        assert not is_local_state_independent(figure1, psi_not_alpha(), "i", "alpha")
+
+    def test_figure1_phi_dependent(self, figure1):
+        assert not is_local_state_independent(figure1, phi_alpha(), "i", "alpha")
+
+    def test_past_based_fact_independent_of_mixed_action(self, figure1):
+        # Lemma 4.3(b): even alpha's own mixing cannot break a
+        # past-based condition.
+        initial = state_fact(lambda g: True, label="always")
+        assert is_local_state_independent(figure1, initial, "i", "alpha")
+
+    def test_deterministic_action_independent_of_anything(self, two_coin_tree):
+        future = eventually(env_fact(lambda e: e == ("second", "h")))
+        assert is_local_state_independent(two_coin_tree, future, "obs", "observe")
+
+    def test_report_contents_figure1(self, figure1):
+        report = independence_report(figure1, psi_not_alpha(), "i", "alpha")
+        witness = report[(0, "g0")]
+        assert witness.prob_phi == Fraction(1, 2)
+        assert witness.prob_action == Fraction(1, 2)
+        assert witness.prob_joint == 0  # psi and alpha never co-occur
+        assert not witness.independent
+
+    def test_report_trivial_at_non_acting_states(self, figure1):
+        report = independence_report(figure1, psi_not_alpha(), "i", "alpha")
+        terminal = report[(1, "g1")]
+        assert terminal.prob_action == 0
+        assert terminal.independent
+
+
+class TestLemma43Helper:
+    def test_reports_deterministic_reason(self, two_coin_tree):
+        applies, reasons = lemma_4_3_applies(
+            two_coin_tree, eventually(TRUE), "obs", "observe"
+        )
+        assert applies and "deterministic-action" in reasons
+
+    def test_reports_past_based_reason(self, figure1):
+        fact = state_fact(lambda g: True)
+        applies, reasons = lemma_4_3_applies(figure1, fact, "i", "alpha")
+        assert applies and "past-based-fact" in reasons
+
+    def test_neither_reason(self, figure1):
+        applies, reasons = lemma_4_3_applies(
+            figure1, psi_not_alpha(), "i", "alpha"
+        )
+        assert not applies and reasons == []

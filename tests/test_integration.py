@@ -1,0 +1,184 @@
+"""Cross-module integration tests.
+
+These tie the layers together: protocols compiled to systems, analyzed
+by the core, cross-validated by Monte Carlo, transformed by strategies,
+queried through the logic layer.
+"""
+
+from fractions import Fraction
+
+from repro import (
+    achieved_probability,
+    analyze,
+    eventually,
+    expected_belief,
+    pak_level,
+    threshold_met_measure,
+)
+from repro.analysis import (
+    estimate_achieved,
+    estimate_expected_belief,
+    verify_system,
+)
+from repro.apps.coordinated_attack import (
+    ATTACK,
+    GENERAL_A,
+    both_attack,
+    build_coordinated_attack,
+)
+from repro.apps.firing_squad import (
+    ALICE,
+    FIRE,
+    both_fire,
+    build_firing_squad,
+    fire_bob,
+)
+from repro.apps.judge import CONVICT, JUDGE, build_judge, guilty
+from repro.apps.mutex import ENTER, PROC_1, build_mutex, peer_stays_out
+from repro.apps.theorem52 import AGENT_I, ALPHA, bit_is_one, build_theorem52
+from repro.logic import valid
+from repro.protocols import refrain_below_threshold
+
+
+class TestEveryAppSatisfiesTheTheorems:
+    def test_firing_squad(self, firing_squad):
+        verification = verify_system(
+            firing_squad,
+            {"both": both_fire()},
+            agents=[ALICE],
+            thresholds=("0.95",),
+        )
+        assert verification.all_verified
+
+    def test_theorem52(self, theorem52):
+        verification = verify_system(
+            theorem52, {"bit": bit_is_one()}, thresholds=("0.9", "1/2")
+        )
+        assert verification.all_verified
+
+    def test_mutex(self):
+        system = build_mutex()
+        verification = verify_system(
+            system,
+            {"peer-out": peer_stays_out(PROC_1)},
+            agents=[PROC_1],
+            thresholds=("0.9",),
+        )
+        assert verification.all_verified
+
+    def test_judge(self):
+        system = build_judge(signals=2, conviction_threshold=2)
+        verification = verify_system(
+            system, {"guilty": guilty()}, agents=[JUDGE], thresholds=("0.9",)
+        )
+        assert verification.all_verified
+
+    def test_coordinated_attack(self):
+        system = build_coordinated_attack(ack_rounds=1)
+        verification = verify_system(
+            system,
+            {"both": both_attack()},
+            agents=[GENERAL_A],
+            thresholds=("0.9",),
+        )
+        assert verification.all_verified
+
+
+class TestMonteCarloAgreesEverywhere:
+    def test_coordinated_attack_estimates(self):
+        system = build_coordinated_attack(ack_rounds=1)
+        exact = achieved_probability(system, GENERAL_A, both_attack(), ATTACK)
+        estimate = estimate_achieved(
+            system, GENERAL_A, both_attack(), ATTACK, samples=3000, seed=11
+        )
+        assert estimate.consistent_with(float(exact))
+
+    def test_judge_expected_belief_estimate(self):
+        system = build_judge(signals=2, conviction_threshold=2)
+        exact = expected_belief(system, JUDGE, guilty(), CONVICT)
+        estimate = estimate_expected_belief(
+            system, JUDGE, guilty(), CONVICT, samples=3000, seed=12
+        )
+        assert estimate.consistent_with(float(exact))
+
+
+class TestSectionEightWorkflow:
+    """The paper's design insight, end to end."""
+
+    def test_refrain_transform_improves_every_lossy_variant(self):
+        for loss in ("0.05", "0.1", "0.25"):
+            base = build_firing_squad(loss=loss)
+            improved = refrain_below_threshold(base, ALICE, FIRE, both_fire(), "0.95")
+            assert achieved_probability(
+                improved, ALICE, both_fire(), FIRE
+            ) >= achieved_probability(base, ALICE, both_fire(), FIRE)
+
+    def test_transform_never_decreases_expected_belief(self):
+        base = build_firing_squad()
+        improved = refrain_below_threshold(base, ALICE, FIRE, both_fire(), "0.95")
+        assert expected_belief(
+            improved, ALICE, both_fire(), FIRE
+        ) >= expected_belief(base, ALICE, both_fire(), FIRE)
+
+
+class TestPakTradeoffAcrossApps:
+    def test_pak_reading_of_each_system(self):
+        cases = [
+            (build_firing_squad(), ALICE, FIRE, both_fire()),
+            (build_theorem52("0.9", "0.1"), AGENT_I, ALPHA, bit_is_one()),
+            (build_judge(signals=2, conviction_threshold=2), JUDGE, CONVICT, guilty()),
+        ]
+        for system, agent, action, phi in cases:
+            achieved = achieved_probability(system, agent, phi, action)
+            level = pak_level(achieved)
+            met = threshold_met_measure(system, agent, phi, action, level)
+            # Corollary 7.2 with the achieved probability as threshold.
+            assert met >= level
+
+    def test_analyze_is_consistent_with_manual_queries(self, firing_squad):
+        report = analyze(firing_squad, ALICE, FIRE, both_fire(), "0.95")
+        assert report.achieved == achieved_probability(
+            firing_squad, ALICE, both_fire(), FIRE
+        )
+        assert report.threshold_met_measure == threshold_met_measure(
+            firing_squad, ALICE, both_fire(), FIRE, "0.95"
+        )
+
+
+class TestLogicOverCompiledSystems:
+    def test_improved_protocol_validates_threshold_formula(self):
+        improved = build_firing_squad(improved=True)
+        valuation = {"fire_b": fire_bob()}
+        # In FS' Alice only fires while her belief is at least 0.95 —
+        # the very formula that FS violates.
+        assert valid(
+            improved,
+            "does[alice](fire) -> B[alice]>=0.95 fire_b",
+            valuation,
+        )
+
+    def test_original_protocol_fails_the_same_formula(self, firing_squad):
+        valuation = {"fire_b": fire_bob()}
+        assert not valid(
+            firing_squad,
+            "does[alice](fire) -> B[alice]>=0.95 fire_b",
+            valuation,
+        )
+
+
+class TestRunFactVsTransientFormulations:
+    def test_run_based_condition_simplification(self, firing_squad):
+        # For a fact about runs, mu(psi@alpha | alpha) == mu(psi | alpha)
+        # (the paper's remark after Definition 3.2).
+        from repro import performed, runs_satisfying
+        from repro.core.actions import performing_runs
+        from repro.core.measure import conditional
+
+        psi = eventually(both_fire())  # a fact about runs
+        at_action_value = achieved_probability(firing_squad, ALICE, psi, FIRE)
+        direct = conditional(
+            firing_squad,
+            runs_satisfying(firing_squad, psi),
+            performing_runs(firing_squad, ALICE, FIRE),
+        )
+        assert at_action_value == direct

@@ -1,0 +1,105 @@
+"""Integration tests for the judge (beyond reasonable doubt)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    achieved_probability,
+    analyze,
+    belief_profile,
+    expected_belief,
+    is_proper,
+)
+from repro.apps.judge import (
+    ACQUIT,
+    CONVICT,
+    JUDGE,
+    build_judge,
+    convicts,
+    guilty,
+)
+
+
+class TestConvictionQuality:
+    def test_unanimous_three_signals(self):
+        system = build_judge(signals=3, conviction_threshold=3)
+        # P(G=1 | three guilty signals) with prior 1/2 and accuracy 0.9:
+        # 0.9^3 / (0.9^3 + 0.1^3) = 729/730.
+        assert achieved_probability(
+            system, JUDGE, guilty(), CONVICT
+        ) == Fraction(729, 730)
+
+    def test_majority_rule_is_weaker(self):
+        unanimous = build_judge(signals=3, conviction_threshold=3)
+        majority = build_judge(signals=3, conviction_threshold=2)
+        assert achieved_probability(
+            majority, JUDGE, guilty(), CONVICT
+        ) < achieved_probability(unanimous, JUDGE, guilty(), CONVICT)
+
+    def test_single_signal(self):
+        system = build_judge(signals=1, conviction_threshold=1)
+        assert achieved_probability(
+            system, JUDGE, guilty(), CONVICT
+        ) == Fraction(9, 10)
+
+    def test_prior_matters(self):
+        sceptical = build_judge(guilt_prior="1/10", signals=2, conviction_threshold=2)
+        credulous = build_judge(guilt_prior="9/10", signals=2, conviction_threshold=2)
+        assert achieved_probability(
+            sceptical, JUDGE, guilty(), CONVICT
+        ) < achieved_probability(credulous, JUDGE, guilty(), CONVICT)
+
+    def test_acquittal_mirrors_conviction(self):
+        system = build_judge(signals=3, conviction_threshold=3)
+        innocent_given_acquit = achieved_probability(
+            system, JUDGE, ~guilty(), ACQUIT
+        )
+        # Acquittal on any non-unanimous evidence is much less reliable
+        # than unanimous conviction.
+        assert innocent_given_acquit < Fraction(729, 730)
+
+
+class TestJudgeBeliefs:
+    def test_belief_equals_bayesian_posterior(self):
+        system = build_judge(signals=2, conviction_threshold=2)
+        profile = belief_profile(system, JUDGE, guilty())
+        # The time-2 state with two guilty signals has posterior
+        # 0.81 / (0.81 + 0.01) = 81/82.
+        values = set(profile.values())
+        assert Fraction(81, 82) in values
+
+    def test_expectation_identity(self):
+        system = build_judge(signals=3, conviction_threshold=2)
+        assert expected_belief(
+            system, JUDGE, guilty(), CONVICT
+        ) == achieved_probability(system, JUDGE, guilty(), CONVICT)
+
+    def test_full_pak_report(self):
+        system = build_judge(signals=3, conviction_threshold=3)
+        report = analyze(system, JUDGE, CONVICT, guilty(), "0.99")
+        assert report.satisfied
+        assert report.all_theorems_verified
+        # Convicting unanimously, the judge's belief is always 729/730.
+        assert all(
+            cell.belief == Fraction(729, 730)
+            for cell in report.belief_profile.values()
+        )
+
+
+class TestValidation:
+    def test_convict_proper_when_reachable(self):
+        system = build_judge(signals=2, conviction_threshold=2)
+        assert is_proper(system, JUDGE, CONVICT)
+
+    def test_zero_signals_rejected(self):
+        with pytest.raises(ValueError):
+            build_judge(signals=0)
+
+    def test_threshold_above_signals_rejected(self):
+        with pytest.raises(ValueError):
+            build_judge(signals=2, conviction_threshold=3)
+
+    def test_certain_prior_degenerates(self):
+        system = build_judge(guilt_prior=1, signals=1, conviction_threshold=1)
+        assert achieved_probability(system, JUDGE, guilty(), CONVICT) == 1

@@ -1,0 +1,104 @@
+"""Unit tests for classical knowledge operators K_i, E_G, C_G."""
+
+from repro import (
+    TRUE,
+    common_knowledge,
+    env_fact,
+    eventually,
+    everyone_knows,
+    indistinguishable_points,
+    knowledge_partition,
+    knows,
+    local_fact,
+    points_satisfying,
+)
+from repro.apps.firing_squad import ALICE, BOB, fire_bob
+
+
+class TestIndistinguishability:
+    def test_reflexive(self, two_coin_tree):
+        run = two_coin_tree.runs[0]
+        points = indistinguishable_points(two_coin_tree, "obs", run, 0)
+        assert (run.index, 0) in points
+
+    def test_obs_distinguishes_first_coin(self, two_coin_tree):
+        heads_run = next(
+            r for r in two_coin_tree.runs if r.local("obs", 0) == (0, "H")
+        )
+        points = indistinguishable_points(two_coin_tree, "obs", heads_run, 0)
+        assert len(points) == 2  # the two heads runs only
+
+    def test_blind_conflates_everything(self, two_coin_tree):
+        run = two_coin_tree.runs[0]
+        points = indistinguishable_points(two_coin_tree, "blind", run, 0)
+        assert len(points) == 4
+
+    def test_partition_cells(self, two_coin_tree):
+        cells = knowledge_partition(two_coin_tree, "obs", 0)
+        assert set(cells) == {(0, "H"), (0, "T")}
+        assert all(len(indices) == 2 for indices in cells.values())
+
+
+class TestKnows:
+    def test_knows_own_state_fact(self, two_coin_tree):
+        saw_heads = local_fact("obs", lambda l: l[1] == "H")
+        k = knows("obs", saw_heads)
+        points = points_satisfying(two_coin_tree, k)
+        # true at every point of the two heads runs
+        assert len(points) == 4
+
+    def test_blind_does_not_know(self, two_coin_tree):
+        saw_heads = local_fact("obs", lambda l: l[1] == "H")
+        k = knows("blind", saw_heads)
+        assert points_satisfying(two_coin_tree, k) == set()
+
+    def test_knowledge_implies_truth(self, two_coin_tree):
+        second = env_fact(lambda e: e == ("second", "h"))
+        k = knows("obs", second)
+        truth = points_satisfying(two_coin_tree, second)
+        assert points_satisfying(two_coin_tree, k) <= truth
+
+    def test_everyone_knows_true(self, two_coin_tree):
+        e = everyone_knows(["obs", "blind"], TRUE)
+        assert len(points_satisfying(two_coin_tree, e)) == 8
+
+    def test_alice_never_knows_bob_fires_before_yes(self, firing_squad):
+        # At time 0 Alice cannot know that Bob will fire.
+        will_fire = eventually(fire_bob())
+        k = knows(ALICE, will_fire)
+        assert all(t != 0 for _, t in points_satisfying(firing_squad, k))
+
+
+class TestCommonKnowledge:
+    def test_common_knowledge_of_true(self, two_coin_tree):
+        c = common_knowledge(["obs", "blind"], TRUE)
+        assert len(points_satisfying(two_coin_tree, c)) == 8
+
+    def test_no_common_knowledge_of_first_coin(self, two_coin_tree):
+        # blind links the heads and tails components, destroying common
+        # knowledge of anything that differs across them.
+        saw_heads = local_fact("obs", lambda l: l[1] == "H")
+        c = common_knowledge(["obs", "blind"], saw_heads)
+        assert points_satisfying(two_coin_tree, c) == set()
+
+    def test_singleton_group_reduces_to_knowledge(self, two_coin_tree):
+        saw_heads = local_fact("obs", lambda l: l[1] == "H")
+        c = common_knowledge(["obs"], saw_heads)
+        k = knows("obs", saw_heads)
+        assert points_satisfying(two_coin_tree, c) == points_satisfying(
+            two_coin_tree, k
+        )
+
+    def test_firing_squad_never_common_knowledge(self, firing_squad):
+        # The classical coordinated-attack fact: whether both will fire
+        # never becomes common knowledge over a lossy channel.
+        both_eventually = eventually(fire_bob())
+        c = common_knowledge([ALICE, BOB], both_eventually)
+        assert points_satisfying(firing_squad, c) == set()
+
+    def test_component_cache_reused(self, two_coin_tree):
+        c = common_knowledge(["obs", "blind"], TRUE)
+        run = two_coin_tree.runs[0]
+        assert c.holds(two_coin_tree, run, 0)
+        assert c.holds(two_coin_tree, run, 0)  # second call hits the cache
+        assert (id(two_coin_tree), 0) in c._component_cache

@@ -1,0 +1,70 @@
+"""Unit tests for the classical Knowledge of Preconditions principle."""
+
+import pytest
+
+from repro import (
+    FALSE,
+    TRUE,
+    ImproperActionError,
+    check_kop,
+    env_fact,
+    eventually,
+    is_necessary_condition,
+    state_fact,
+)
+from repro.apps.firing_squad import ALICE, FIRE, both_fire, fire_alice
+from repro.apps.theorem52 import AGENT_I, ALPHA, bit_is_one
+
+
+class TestNecessaryCondition:
+    def test_true_is_always_necessary(self, firing_squad):
+        assert is_necessary_condition(firing_squad, ALICE, FIRE, TRUE)
+
+    def test_both_fire_is_not_necessary_for_fire(self, firing_squad):
+        # Alice sometimes fires alone.
+        assert not is_necessary_condition(firing_squad, ALICE, FIRE, both_fire())
+
+    def test_own_action_is_necessary(self, firing_squad):
+        assert is_necessary_condition(firing_squad, ALICE, FIRE, fire_alice())
+
+
+class TestCheckKop:
+    def test_kop_holds_for_own_state_condition(self, theorem52):
+        # "i received some message" is a condition i knows when acting.
+        got_message = state_fact(
+            lambda g: g.locals[0][1][0] in ("got", "done"), label="received"
+        )
+        report = check_kop(theorem52, AGENT_I, ALPHA, got_message)
+        assert report.necessary
+        assert report.known_when_acting
+        assert report.belief_one_when_acting
+        assert report.verified
+        assert report.failures == []
+
+    def test_premise_failure_makes_report_vacuous(self, firing_squad):
+        report = check_kop(firing_squad, ALICE, FIRE, both_fire())
+        assert not report.necessary
+        assert report.verified  # vacuously: KoP says nothing here
+
+    def test_non_necessary_condition_not_known(self, theorem52):
+        report = check_kop(theorem52, AGENT_I, ALPHA, bit_is_one())
+        assert not report.necessary
+        # i does not know the bit when acting (in the m_j runs).
+        assert not report.known_when_acting
+        assert report.failures
+
+    def test_improper_action_rejected(self, firing_squad):
+        with pytest.raises(ImproperActionError):
+            check_kop(firing_squad, ALICE, "phantom", TRUE)
+
+    def test_false_condition(self, firing_squad):
+        report = check_kop(firing_squad, ALICE, FIRE, FALSE)
+        assert not report.necessary
+        assert report.verified
+
+    def test_knowledge_and_belief_one_agree(self, theorem52):
+        # In a pps (all runs have positive measure) knowledge and
+        # belief-1 coincide for every condition at acting points.
+        for phi in (TRUE, bit_is_one()):
+            report = check_kop(theorem52, AGENT_I, ALPHA, phi)
+            assert report.known_when_acting == report.belief_one_when_acting

@@ -1,0 +1,151 @@
+"""Unit tests for the logic layer: syntax, parser, semantics."""
+
+import pytest
+
+from repro import FALSE, FormulaError, TRUE
+from repro.apps.firing_squad import ALICE, BOB, FIRE, fire_alice, fire_bob
+from repro.logic import (
+    Belief,
+    Conj,
+    DoesF,
+    Impl,
+    Know,
+    Neg,
+    Prop,
+    Top,
+    compile_formula,
+    holds_at,
+    parse,
+    satisfiable,
+    satisfying_points,
+    valid,
+)
+
+VALUATION = {"fire_a": None, "fire_b": None}  # filled in fixture below
+
+
+@pytest.fixture()
+def valuation():
+    return {"fire_a": fire_alice(), "fire_b": fire_bob(), "T": TRUE, "F": FALSE}
+
+
+class TestParser:
+    def test_atoms(self):
+        assert parse("p") == Prop("p")
+        assert parse("true") == Top()
+
+    def test_precedence_and_over_or(self):
+        formula = parse("a | b & c")
+        assert str(formula) == "(a | (b & c))"
+
+    def test_arrow_right_associative(self):
+        formula = parse("a -> b -> c")
+        assert str(formula) == "(a -> (b -> c))"
+
+    def test_parentheses(self):
+        formula = parse("(a | b) & c")
+        assert str(formula) == "((a | b) & c)"
+
+    def test_negation_binds_tightly(self):
+        assert str(parse("!a & b")) == "(!a & b)"
+
+    def test_knowledge(self):
+        assert parse("K[alice] p") == Know("alice", Prop("p"))
+
+    def test_belief_with_decimal(self):
+        formula = parse("B[alice]>=0.9 p")
+        assert isinstance(formula, Belief)
+        assert float(formula.level) == 0.9
+
+    def test_belief_with_fraction(self):
+        formula = parse("B[bob]<1/2 p")
+        assert formula.comparison == "<"
+
+    def test_does(self):
+        assert parse("does[alice](fire)") == DoesF("alice", "fire")
+
+    def test_nested_modalities(self):
+        formula = parse("K[alice] B[bob]>=0.5 p")
+        assert isinstance(formula, Know)
+        assert isinstance(formula.operand, Belief)
+
+    def test_empty_rejected(self):
+        with pytest.raises(FormulaError):
+            parse("")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(FormulaError):
+            parse("p q")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(FormulaError):
+            parse("(p & q")
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(FormulaError):
+            parse("p @ q")
+
+
+class TestCompilation:
+    def test_missing_proposition(self, firing_squad, valuation):
+        with pytest.raises(FormulaError):
+            compile_formula("unknown_prop", valuation).holds(
+                firing_squad, firing_squad.runs[0], 0
+            )
+
+    def test_operator_sugar_on_ast(self):
+        formula = (Prop("a") & Prop("b")) | ~Prop("c")
+        assert str(formula) == "((a & b) | !c)"
+
+    def test_implies_sugar(self):
+        assert str(Prop("a").implies(Prop("b"))) == "(a -> b)"
+
+    def test_invalid_comparison_rejected(self):
+        with pytest.raises(FormulaError):
+            Belief("a", "!=", "1/2", Top())
+
+
+class TestSemantics:
+    def test_constants(self, firing_squad, valuation):
+        assert valid(firing_squad, "true", valuation)
+        assert not satisfiable(firing_squad, "false", valuation)
+
+    def test_does_matches_core_fact(self, firing_squad, valuation):
+        from repro import points_satisfying
+
+        core = points_satisfying(firing_squad, fire_alice())
+        logical = satisfying_points(firing_squad, "does[alice](fire)", valuation)
+        assert core == logical
+
+    def test_firing_implication_not_valid(self, firing_squad, valuation):
+        # Alice sometimes fires while believing Bob is not firing.
+        assert not valid(
+            firing_squad, "does[alice](fire) -> B[alice]>=0.95 fire_b", valuation
+        )
+
+    def test_knowledge_implies_belief_one(self, firing_squad, valuation):
+        assert valid(
+            firing_squad, "K[alice] fire_b -> B[alice]>=1 fire_b", valuation
+        )
+
+    def test_belief_one_implies_knowledge(self, firing_squad, valuation):
+        # In a pps all runs have positive measure, so the converse
+        # holds as well.
+        assert valid(
+            firing_squad, "B[alice]>=1 fire_b -> K[alice] fire_b", valuation
+        )
+
+    def test_holds_at_specific_point(self, firing_squad, valuation):
+        run = next(r for r in firing_squad.runs if r.performs(ALICE, FIRE))
+        assert holds_at(firing_squad, "does[alice](fire)", valuation, run, 2)
+        assert not holds_at(firing_squad, "does[alice](fire)", valuation, run, 0)
+
+    def test_strict_comparison(self, firing_squad, valuation):
+        # B > 0.99 excludes the belief-0.99 information state.
+        lenient = satisfying_points(
+            firing_squad, "B[alice]>=0.99 fire_b", valuation
+        )
+        strict = satisfying_points(
+            firing_squad, "B[alice]>0.99 fire_b", valuation
+        )
+        assert strict < lenient

@@ -1,0 +1,167 @@
+"""Unit tests for the run-event algebra and the measure mu_T."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import ConditioningOnNullEventError
+from repro.core.measure import (
+    all_runs,
+    complement,
+    conditional,
+    empty_event,
+    event_where,
+    expectation,
+    intersect,
+    is_partition,
+    probability,
+    total_probability,
+    union,
+)
+
+
+class TestEvents:
+    def test_all_runs(self, two_coin_tree):
+        assert all_runs(two_coin_tree) == {0, 1, 2, 3}
+
+    def test_event_where(self, two_coin_tree):
+        heads = event_where(
+            two_coin_tree, lambda run: run.local("obs", 0) == (0, "H")
+        )
+        assert len(heads) == 2
+
+    def test_complement(self, two_coin_tree):
+        heads = event_where(
+            two_coin_tree, lambda run: run.local("obs", 0) == (0, "H")
+        )
+        assert complement(two_coin_tree, heads) | heads == all_runs(two_coin_tree)
+        assert complement(two_coin_tree, heads) & heads == frozenset()
+
+    def test_intersect_and_union(self):
+        a, b = frozenset({1, 2}), frozenset({2, 3})
+        assert intersect(a, b) == {2}
+        assert union(a, b) == {1, 2, 3}
+
+    def test_intersect_requires_arguments(self):
+        with pytest.raises(ValueError):
+            intersect()
+
+    def test_union_of_nothing_is_empty(self):
+        assert union() == frozenset()
+
+
+class TestProbability:
+    def test_total_mass_is_one(self, two_coin_tree):
+        assert probability(two_coin_tree, all_runs(two_coin_tree)) == 1
+
+    def test_empty_event_has_zero_mass(self, two_coin_tree):
+        assert probability(two_coin_tree, empty_event()) == 0
+
+    def test_event_mass(self, two_coin_tree):
+        second_heads = event_where(
+            two_coin_tree, lambda run: run.env_state(1) == ("second", "h")
+        )
+        assert probability(two_coin_tree, second_heads) == Fraction(1, 3)
+
+    def test_additivity(self, two_coin_tree):
+        heads = event_where(
+            two_coin_tree, lambda run: run.local("obs", 0) == (0, "H")
+        )
+        tails = complement(two_coin_tree, heads)
+        assert probability(two_coin_tree, heads) + probability(
+            two_coin_tree, tails
+        ) == 1
+
+
+class TestConditional:
+    def test_basic_conditioning(self, two_coin_tree):
+        heads = event_where(
+            two_coin_tree, lambda run: run.local("obs", 0) == (0, "H")
+        )
+        second = event_where(
+            two_coin_tree, lambda run: run.env_state(1) == ("second", "h")
+        )
+        # The coins are independent.
+        assert conditional(two_coin_tree, second, heads) == Fraction(1, 3)
+
+    def test_conditioning_on_null_event_raises(self, two_coin_tree):
+        with pytest.raises(ConditioningOnNullEventError):
+            conditional(two_coin_tree, all_runs(two_coin_tree), empty_event())
+
+    def test_conditional_of_subset_is_ratio(self, two_coin_tree):
+        heads = event_where(
+            two_coin_tree, lambda run: run.local("obs", 0) == (0, "H")
+        )
+        sub = frozenset(list(heads)[:1])
+        expected = probability(two_coin_tree, sub) / probability(
+            two_coin_tree, heads
+        )
+        assert conditional(two_coin_tree, sub, heads) == expected
+
+
+class TestExpectation:
+    def test_constant_variable(self, two_coin_tree):
+        assert expectation(two_coin_tree, lambda run: Fraction(1, 3)) == Fraction(1, 3)
+
+    def test_indicator_equals_probability(self, two_coin_tree):
+        heads = event_where(
+            two_coin_tree, lambda run: run.local("obs", 0) == (0, "H")
+        )
+        indicator = lambda run: Fraction(1 if run.index in heads else 0)
+        assert expectation(two_coin_tree, indicator) == probability(
+            two_coin_tree, heads
+        )
+
+    def test_conditional_expectation(self, two_coin_tree):
+        heads = event_where(
+            two_coin_tree, lambda run: run.local("obs", 0) == (0, "H")
+        )
+        one = lambda run: Fraction(1)
+        assert expectation(two_coin_tree, one, given=heads) == 1
+
+    def test_empty_conditioning_raises(self, two_coin_tree):
+        with pytest.raises(ConditioningOnNullEventError):
+            expectation(two_coin_tree, lambda run: Fraction(0), given=empty_event())
+
+
+class TestPartitions:
+    def test_is_partition_true(self, two_coin_tree):
+        heads = event_where(
+            two_coin_tree, lambda run: run.local("obs", 0) == (0, "H")
+        )
+        tails = complement(two_coin_tree, heads)
+        assert is_partition(two_coin_tree, [heads, tails], all_runs(two_coin_tree))
+
+    def test_is_partition_rejects_overlap(self, two_coin_tree):
+        everything = all_runs(two_coin_tree)
+        assert not is_partition(two_coin_tree, [everything, everything], everything)
+
+    def test_is_partition_rejects_empty_cell(self, two_coin_tree):
+        everything = all_runs(two_coin_tree)
+        assert not is_partition(
+            two_coin_tree, [everything, empty_event()], everything
+        )
+
+    def test_is_partition_rejects_undercover(self, two_coin_tree):
+        heads = event_where(
+            two_coin_tree, lambda run: run.local("obs", 0) == (0, "H")
+        )
+        assert not is_partition(two_coin_tree, [heads], all_runs(two_coin_tree))
+
+    def test_total_probability_agrees_with_direct(self, two_coin_tree):
+        heads = event_where(
+            two_coin_tree, lambda run: run.local("obs", 0) == (0, "H")
+        )
+        tails = complement(two_coin_tree, heads)
+        second = event_where(
+            two_coin_tree, lambda run: run.env_state(1) == ("second", "h")
+        )
+        via_partition = total_probability(two_coin_tree, second, [heads, tails])
+        assert via_partition == probability(two_coin_tree, second)
+
+    def test_total_probability_rejects_non_partition(self, two_coin_tree):
+        heads = event_where(
+            two_coin_tree, lambda run: run.local("obs", 0) == (0, "H")
+        )
+        with pytest.raises(ValueError):
+            total_probability(two_coin_tree, heads, [heads])

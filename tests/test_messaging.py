@@ -1,0 +1,199 @@
+"""Unit tests for the message-passing substrate."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import CompilationError
+from repro.messaging import (
+    FunctionChannel,
+    FunctionRoundProtocol,
+    LossyChannel,
+    Message,
+    MessagePassingSystem,
+    Move,
+    RecordingState,
+    ReliableChannel,
+    SKIP,
+)
+from repro.protocols import Distribution
+from repro.protocols.compiler import ENV
+
+
+class TestMessage:
+    def test_immutability(self):
+        message = Message("a", "b", "hello")
+        with pytest.raises(Exception):
+            message.content = "tampered"  # type: ignore[misc]
+
+    def test_str(self):
+        assert str(Message("a", "b", "x")) == "a->b:'x'"
+
+
+class TestMove:
+    def test_default_is_skip(self):
+        assert Move().action == SKIP
+        assert Move().sends == ()
+
+    def test_sending_constructor(self):
+        move = Move.sending(Message("a", "b", 1), Message("a", "b", 2))
+        assert len(move.sends) == 2
+
+    def test_acting_constructor(self):
+        assert Move.acting("fire").action == "fire"
+
+
+class TestChannels:
+    def test_lossy_delivery_probability(self):
+        channel = LossyChannel("0.1")
+        assert channel.delivery_probability(Message("a", "b", 1)) == Fraction(9, 10)
+
+    def test_reliable(self):
+        assert ReliableChannel().delivery_probability(Message("a", "b", 1)) == 1
+
+    def test_function_channel(self):
+        channel = FunctionChannel(
+            lambda message: "1/2" if message.content == "weak" else 1
+        )
+        assert channel.delivery_probability(Message("a", "b", "weak")) == Fraction(
+            1, 2
+        )
+        assert channel.delivery_probability(Message("a", "b", "strong")) == 1
+
+    def test_lossy_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            LossyChannel("3/2")
+
+
+class TestRecordingState:
+    def test_observe_appends(self):
+        state = RecordingState("payload")
+        message = Message("x", "y", "m")
+        nxt = state.observe("acted", (message,))
+        assert nxt.rounds_elapsed == 1
+        assert nxt.received(0) == (message,)
+        assert nxt.received_contents(0) == ("m",)
+
+    def test_immutable_history(self):
+        state = RecordingState("p").observe("a", ())
+        again = state.observe("b", ())
+        assert state.rounds_elapsed == 1
+        assert again.rounds_elapsed == 2
+
+    def test_hashable(self):
+        assert hash(RecordingState("p")) == hash(RecordingState("p"))
+
+
+def ping_system(channel=None, horizon=1) -> MessagePassingSystem:
+    """One sender pings one receiver once."""
+
+    def sender_step(local):
+        if local == "fresh":
+            return Move.sending(Message("s", "r", "ping"))
+        return Move()
+
+    def sender_update(local, move, delivered):
+        return "done"
+
+    def receiver_step(local):
+        return Move()
+
+    def receiver_update(local, move, delivered):
+        return ("heard",) if delivered else ("silence",)
+
+    return MessagePassingSystem(
+        agents=["s", "r"],
+        protocols={
+            "s": FunctionRoundProtocol(sender_step, sender_update),
+            "r": FunctionRoundProtocol(receiver_step, receiver_update),
+        },
+        channel=channel or LossyChannel("1/4"),
+        initial=Distribution.point(("fresh", ("empty",))),
+        horizon=horizon,
+        name="ping",
+    )
+
+
+class TestMessagePassingCompilation:
+    def test_loss_branches(self):
+        pps = ping_system().compile()
+        assert pps.run_count() == 2
+        probs = sorted(run.prob for run in pps.runs)
+        assert probs == [Fraction(1, 4), Fraction(3, 4)]
+
+    def test_reliable_channel_single_branch(self):
+        pps = ping_system(channel=ReliableChannel()).compile()
+        assert pps.run_count() == 1
+
+    def test_receiver_state_reflects_delivery(self):
+        pps = ping_system().compile()
+        finals = {run.local("r", 1)[1] for run in pps.runs}
+        assert finals == {("heard",), ("silence",)}
+
+    def test_delivery_pattern_recorded_on_edges(self):
+        pps = ping_system().compile()
+        patterns = {run.nodes[1].via_action[ENV] for run in pps.runs}
+        assert patterns == {(True,), (False,)}
+
+    def test_pattern_recording_can_be_disabled(self):
+        system = ping_system()
+        system.record_delivery_pattern = False
+        pps = system.compile()
+        assert all(ENV not in run.nodes[1].via_action for run in pps.runs)
+
+    def test_time_stamps(self):
+        pps = ping_system().compile()
+        for run in pps.runs:
+            for t in run.times():
+                assert run.local("s", t)[0] == t
+
+    def test_unknown_recipient_rejected(self):
+        def bad_step(local):
+            return Move.sending(Message("s", "nobody", "lost"))
+
+        system = MessagePassingSystem(
+            agents=["s"],
+            protocols={
+                "s": FunctionRoundProtocol(bad_step, lambda l, m, d: "done")
+            },
+            channel=ReliableChannel(),
+            initial=Distribution.point(("fresh",)),
+            horizon=1,
+        )
+        with pytest.raises(CompilationError):
+            system.compile()
+
+    def test_missing_protocol_rejected(self):
+        with pytest.raises(CompilationError):
+            MessagePassingSystem(
+                agents=["s", "r"],
+                protocols={},
+                channel=ReliableChannel(),
+                initial=Distribution.point(("a", "b")),
+                horizon=1,
+            )
+
+    def test_mixed_move_branches(self):
+        def mixed_step(local):
+            if local != "fresh":
+                return Move()
+            return Distribution(
+                {
+                    Move.acting("left"): "1/3",
+                    Move.acting("right"): "2/3",
+                }
+            )
+
+        system = MessagePassingSystem(
+            agents=["s"],
+            protocols={
+                "s": FunctionRoundProtocol(mixed_step, lambda l, m, d: "done")
+            },
+            channel=ReliableChannel(),
+            initial=Distribution.point(("fresh",)),
+            horizon=1,
+        )
+        pps = system.compile()
+        assert pps.run_count() == 2
+        left = next(r for r in pps.runs if r.performs("s", "left"))
+        assert left.prob == Fraction(1, 3)

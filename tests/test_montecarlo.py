@@ -1,0 +1,96 @@
+"""Monte-Carlo estimators must converge to the exact quantities."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import ConditioningOnNullEventError, achieved_probability, expected_belief
+from repro.analysis import (
+    RunSampler,
+    estimate_achieved,
+    estimate_conditional,
+    estimate_expected_belief,
+    estimate_probability,
+    estimate_threshold_met,
+)
+from repro.apps.firing_squad import ALICE, FIRE, THRESHOLD, both_fire
+
+SAMPLES = 4000
+
+
+class TestSampler:
+    def test_reproducible(self, firing_squad):
+        a = RunSampler(firing_squad, seed=42).sample_runs(50)
+        b = RunSampler(firing_squad, seed=42).sample_runs(50)
+        assert [r.index for r in a] == [r.index for r in b]
+
+    def test_different_seeds_differ(self, firing_squad):
+        a = RunSampler(firing_squad, seed=1).sample_runs(50)
+        b = RunSampler(firing_squad, seed=2).sample_runs(50)
+        assert [r.index for r in a] != [r.index for r in b]
+
+    def test_samples_are_actual_runs(self, firing_squad):
+        for run in RunSampler(firing_squad, seed=0).sample_runs(20):
+            assert firing_squad.runs[run.index] is run
+
+    def test_frequencies_match_measure(self, firing_squad):
+        sampler = RunSampler(firing_squad, seed=3)
+        counts = {}
+        n = 20000
+        for run in sampler.sample_runs(n):
+            counts[run.index] = counts.get(run.index, 0) + 1
+        for run in firing_squad.runs:
+            expected = float(run.prob)
+            observed = counts.get(run.index, 0) / n
+            assert abs(observed - expected) < 0.02
+
+
+class TestEstimators:
+    def test_probability_estimate(self, firing_squad):
+        go_one = lambda run: run.local(ALICE, 0)[1].payload == 1
+        est = estimate_probability(firing_squad, go_one, samples=SAMPLES, seed=5)
+        assert est.consistent_with(0.5)
+
+    def test_conditional_estimate(self, firing_squad):
+        performs = lambda run: bool(run.performs(ALICE, FIRE))
+        bob_fires = lambda run: bool(run.performs("bob", FIRE))
+        est = estimate_conditional(
+            firing_squad, bob_fires, performs, samples=SAMPLES, seed=6
+        )
+        assert est.consistent_with(0.99)
+
+    def test_achieved_estimate_matches_exact(self, firing_squad):
+        exact = achieved_probability(firing_squad, ALICE, both_fire(), FIRE)
+        est = estimate_achieved(
+            firing_squad, ALICE, both_fire(), FIRE, samples=SAMPLES, seed=7
+        )
+        assert est.consistent_with(float(exact))
+
+    def test_expected_belief_estimate_matches_exact(self, firing_squad):
+        exact = expected_belief(firing_squad, ALICE, both_fire(), FIRE)
+        est = estimate_expected_belief(
+            firing_squad, ALICE, both_fire(), FIRE, samples=SAMPLES, seed=8
+        )
+        assert est.consistent_with(float(exact))
+
+    def test_threshold_met_estimate(self, firing_squad):
+        est = estimate_threshold_met(
+            firing_squad,
+            ALICE,
+            both_fire(),
+            FIRE,
+            THRESHOLD,
+            samples=SAMPLES,
+            seed=9,
+        )
+        assert est.consistent_with(float(Fraction(991, 1000)))
+
+    def test_unsatisfiable_conditioning_raises(self, firing_squad):
+        with pytest.raises(ConditioningOnNullEventError):
+            estimate_conditional(
+                firing_squad,
+                lambda run: True,
+                lambda run: False,
+                samples=10,
+                seed=0,
+            )

@@ -1,0 +1,97 @@
+"""Integration tests for relaxed probabilistic mutual exclusion."""
+
+from fractions import Fraction
+
+from repro import (
+    achieved_probability,
+    analyze,
+    expected_belief,
+    is_local_state_independent,
+    pak_level,
+    runs_satisfying,
+    eventually,
+)
+from repro.apps.mutex import (
+    ENTER,
+    PROC_1,
+    PROC_2,
+    build_mutex,
+    enters,
+    exclusion_holds,
+    peer_stays_out,
+)
+
+
+class TestExclusionQuality:
+    def test_default_parameters_value(self):
+        system = build_mutex()
+        # Derived independently: p1 enters iff it wants and hears no
+        # request; the peer enters alongside only when both want and
+        # both requests are lost.
+        achieved = achieved_probability(
+            system, PROC_1, peer_stays_out(PROC_1), ENTER
+        )
+        # P(enter1) = 1/2 * (1/2 + 1/2 * (1/10 * 1 + 9/10 * ... )) —
+        # trust the independent hand computation: 109/110.
+        assert achieved == Fraction(109, 110)
+
+    def test_symmetry(self):
+        system = build_mutex()
+        assert achieved_probability(
+            system, PROC_1, peer_stays_out(PROC_1), ENTER
+        ) == achieved_probability(system, PROC_2, peer_stays_out(PROC_2), ENTER)
+
+    def test_reliable_channel_gives_perfect_exclusion(self):
+        system = build_mutex(loss=0)
+        assert achieved_probability(
+            system, PROC_1, peer_stays_out(PROC_1), ENTER
+        ) == 1
+
+    def test_exclusion_degrades_with_loss(self):
+        lossy = build_mutex(loss="0.5")
+        mild = build_mutex(loss="0.1")
+        assert achieved_probability(
+            lossy, PROC_1, peer_stays_out(PROC_1), ENTER
+        ) < achieved_probability(mild, PROC_1, peer_stays_out(PROC_1), ENTER)
+
+    def test_exclusion_degrades_with_contention(self):
+        calm = build_mutex(contention="1/4")
+        busy = build_mutex(contention="3/4")
+        assert achieved_probability(
+            busy, PROC_1, peer_stays_out(PROC_1), ENTER
+        ) < achieved_probability(calm, PROC_1, peer_stays_out(PROC_1), ENTER)
+
+
+class TestViolations:
+    def test_violation_runs_exist(self):
+        system = build_mutex()
+        collisions = runs_satisfying(system, eventually(~exclusion_holds()))
+        assert collisions  # both enter when both requests are lost
+
+    def test_violation_probability(self):
+        system = build_mutex(contention="1/2", loss="0.1")
+        collisions = runs_satisfying(system, eventually(~exclusion_holds()))
+        total = sum(system.runs[i].prob for i in collisions)
+        # both want (1/4) x both requests lost (1/100)
+        assert total == Fraction(1, 400)
+
+
+class TestPakMachinery:
+    def test_enter_is_deterministic_and_independent(self):
+        system = build_mutex()
+        assert is_local_state_independent(
+            system, peer_stays_out(PROC_1), PROC_1, ENTER
+        )
+
+    def test_expectation_identity(self):
+        system = build_mutex()
+        assert expected_belief(
+            system, PROC_1, peer_stays_out(PROC_1), ENTER
+        ) == achieved_probability(system, PROC_1, peer_stays_out(PROC_1), ENTER)
+
+    def test_full_report(self):
+        system = build_mutex()
+        report = analyze(system, PROC_1, ENTER, peer_stays_out(PROC_1), "0.95")
+        assert report.satisfied
+        assert report.all_theorems_verified
+        assert report.pak_level == pak_level("0.95")

@@ -1,0 +1,111 @@
+"""Unit tests for exact probability coercion and square roots."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.numeric import (
+    ONE,
+    ZERO,
+    as_fraction,
+    as_probability,
+    exact_sqrt,
+    sqrt_fraction,
+    validate_probability,
+)
+
+
+class TestAsFraction:
+    def test_int_passthrough(self):
+        assert as_fraction(1) == Fraction(1)
+
+    def test_fraction_passthrough(self):
+        value = Fraction(3, 7)
+        assert as_fraction(value) is value
+
+    def test_decimal_string(self):
+        assert as_fraction("0.1") == Fraction(1, 10)
+
+    def test_ratio_string(self):
+        assert as_fraction("9/10") == Fraction(9, 10)
+
+    def test_float_uses_decimal_literal_not_binary_expansion(self):
+        # The deliberate deviation from Fraction(float): 0.1 -> 1/10.
+        assert as_fraction(0.1) == Fraction(1, 10)
+
+    def test_float_exact_binary_value(self):
+        assert as_fraction(0.5) == Fraction(1, 2)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            as_fraction(True)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(TypeError):
+            as_fraction(object())
+
+    def test_bad_string_rejected(self):
+        with pytest.raises(ValueError):
+            as_fraction("not-a-number")
+
+
+class TestValidateProbability:
+    def test_interior_value_ok(self):
+        assert validate_probability(Fraction(1, 2)) == Fraction(1, 2)
+
+    def test_zero_allowed_by_default(self):
+        assert validate_probability(ZERO) == 0
+
+    def test_one_allowed_by_default(self):
+        assert validate_probability(ONE) == 1
+
+    def test_zero_rejected_when_disallowed(self):
+        with pytest.raises(ValueError):
+            validate_probability(ZERO, allow_zero=False)
+
+    def test_one_rejected_when_disallowed(self):
+        with pytest.raises(ValueError):
+            validate_probability(ONE, allow_one=False)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            validate_probability(Fraction(-1, 2))
+
+    def test_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            validate_probability(Fraction(3, 2))
+
+
+class TestAsProbability:
+    def test_combines_coercion_and_validation(self):
+        assert as_probability("1/4") == Fraction(1, 4)
+
+    def test_range_checked(self):
+        with pytest.raises(ValueError):
+            as_probability("5/4")
+
+
+class TestSqrt:
+    def test_exact_square(self):
+        assert exact_sqrt(Fraction(1, 100)) == Fraction(1, 10)
+
+    def test_exact_integer_square(self):
+        assert exact_sqrt(Fraction(49)) == 7
+
+    def test_non_square_returns_none(self):
+        assert exact_sqrt(Fraction(1, 2)) is None
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            exact_sqrt(Fraction(-1))
+
+    def test_sqrt_fraction_exact_path(self):
+        assert sqrt_fraction(Fraction(9, 16)) == Fraction(3, 4)
+
+    def test_sqrt_fraction_float_fallback_is_close(self):
+        approx = sqrt_fraction(Fraction(1, 2))
+        assert abs(float(approx) - 0.7071067811865476) < 1e-12
+
+    def test_sqrt_of_zero_and_one(self):
+        assert sqrt_fraction(Fraction(0)) == 0
+        assert sqrt_fraction(Fraction(1)) == 1

@@ -1,0 +1,100 @@
+"""Unit tests for the Section 8 optimality analysis."""
+
+from fractions import Fraction
+
+from repro import (
+    achievable_frontier,
+    achieved_probability,
+    is_belief_optimal,
+    optimal_acting_states,
+)
+from repro.apps.firing_squad import ALICE, FIRE, both_fire, build_firing_squad
+from repro.apps.theorem52 import AGENT_I, ALPHA, bit_is_one
+from repro.protocols import refrain_below_threshold
+
+
+class TestFrontierOnFiringSquad:
+    def test_frontier_points(self, firing_squad):
+        frontier = achievable_frontier(firing_squad, ALICE, both_fire(), FIRE)
+        values = [point.value for point in frontier]
+        # Yes-only -> 1; Yes+nothing -> FS' = 990/991; everything -> FS.
+        assert values == [1, Fraction(990, 991), Fraction(99, 100)]
+
+    def test_frontier_masses_monotone(self, firing_squad):
+        frontier = achievable_frontier(firing_squad, ALICE, both_fire(), FIRE)
+        masses = [point.acting_mass for point in frontier]
+        assert masses == sorted(masses)
+
+    def test_last_point_is_the_original_protocol(self, firing_squad):
+        frontier = achievable_frontier(firing_squad, ALICE, both_fire(), FIRE)
+        assert frontier[-1].value == achieved_probability(
+            firing_squad, ALICE, both_fire(), FIRE
+        )
+
+    def test_middle_point_is_the_refrain_transform(self, firing_squad):
+        # The FS' point of the frontier coincides with the mechanical
+        # refrain-below-0.95 transform.
+        improved = refrain_below_threshold(
+            firing_squad, ALICE, FIRE, both_fire(), "0.95"
+        )
+        frontier = achievable_frontier(firing_squad, ALICE, both_fire(), FIRE)
+        assert frontier[1].value == achieved_probability(
+            improved, ALICE, both_fire(), FIRE
+        )
+
+    def test_state_sets_nested(self, firing_squad):
+        frontier = achievable_frontier(firing_squad, ALICE, both_fire(), FIRE)
+        for earlier, later in zip(frontier, frontier[1:]):
+            assert earlier.states < later.states
+
+
+class TestOptimum:
+    def test_fs_optimum_acts_only_on_yes(self, firing_squad):
+        best = optimal_acting_states(firing_squad, ALICE, both_fire(), FIRE)
+        assert best.value == 1
+        assert len(best.states) == 1
+        assert best.acting_mass == Fraction(891, 2000)  # 1/2 * 0.891
+
+    def test_fs_is_not_optimal(self, firing_squad):
+        assert not is_belief_optimal(firing_squad, ALICE, both_fire(), FIRE)
+
+    def test_single_state_systems_are_optimal(self, theorem52):
+        # Improving the T_hat construction is possible (drop the m_j
+        # states), so it is *not* optimal either:
+        assert not is_belief_optimal(theorem52, AGENT_I, bit_is_one(), ALPHA)
+
+    def test_uniform_belief_system_is_optimal(self):
+        from repro.apps.coordinated_attack import (
+            ATTACK,
+            GENERAL_A,
+            both_attack,
+            build_coordinated_attack,
+        )
+
+        # With no acks A has a single acting information state, so no
+        # refinement can help.
+        system = build_coordinated_attack(ack_rounds=0)
+        assert is_belief_optimal(system, GENERAL_A, both_attack(), ATTACK)
+
+    def test_tie_broken_toward_coverage(self):
+        from repro.apps.coordinated_attack import (
+            ATTACK,
+            GENERAL_A,
+            both_attack,
+            build_coordinated_attack,
+        )
+
+        system = build_coordinated_attack(ack_rounds=0)
+        best = optimal_acting_states(system, GENERAL_A, both_attack(), ATTACK)
+        frontier = achievable_frontier(system, GENERAL_A, both_attack(), ATTACK)
+        assert best == frontier[-1]
+
+    def test_optimum_dominates_every_threshold_transform(self, firing_squad):
+        best = optimal_acting_states(firing_squad, ALICE, both_fire(), FIRE)
+        for threshold in ("0.5", "0.95", "0.995"):
+            improved = refrain_below_threshold(
+                firing_squad, ALICE, FIRE, both_fire(), threshold
+            )
+            assert best.value >= achieved_probability(
+                improved, ALICE, both_fire(), FIRE
+            )

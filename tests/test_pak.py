@@ -1,0 +1,67 @@
+"""Unit tests for the one-call PAK analysis report."""
+
+from fractions import Fraction
+
+from repro import analyze
+from repro.apps.firing_squad import ALICE, FIRE, THRESHOLD, both_fire
+from repro.apps.theorem52 import AGENT_I, ALPHA, bit_is_one
+
+
+class TestAnalyzeFiringSquad:
+    def report(self, firing_squad):
+        return analyze(firing_squad, ALICE, FIRE, both_fire(), THRESHOLD)
+
+    def test_headline_numbers(self, firing_squad):
+        report = self.report(firing_squad)
+        assert report.achieved == Fraction(99, 100)
+        assert report.expected_belief == Fraction(99, 100)
+        assert report.threshold_met_measure == Fraction(991, 1000)
+        assert report.satisfied
+
+    def test_expectation_identity_flag(self, firing_squad):
+        assert self.report(firing_squad).expectation_identity_holds
+
+    def test_independence_reasons(self, firing_squad):
+        report = self.report(firing_squad)
+        assert report.independent
+        assert "deterministic-action" in report.independence_reasons
+
+    def test_pak_level(self, firing_squad):
+        report = self.report(firing_squad)
+        # p = 0.95 -> 1 - sqrt(0.05); not a perfect square, so the
+        # level is a float-backed rational near 0.7764.
+        assert abs(float(report.pak_level) - 0.7763932) < 1e-6
+        assert report.pak_level_met_measure >= 1 - (1 - report.pak_level)
+
+    def test_belief_profile_rows(self, firing_squad):
+        profile = self.report(firing_squad).belief_profile
+        assert len(profile) == 3
+        assert sorted(cell.belief for cell in profile.values()) == [
+            0,
+            Fraction(99, 100),
+            1,
+        ]
+
+    def test_all_theorems_verified(self, firing_squad):
+        assert self.report(firing_squad).all_theorems_verified
+
+    def test_summary_text(self, firing_squad):
+        text = self.report(firing_squad).summary()
+        assert "SATISFIED" in text
+        assert "99/100" in text
+        assert "Theorem 6.2" in text
+
+
+class TestAnalyzeTheorem52:
+    def test_exact_construction_values(self, theorem52):
+        report = analyze(theorem52, AGENT_I, ALPHA, bit_is_one(), "0.9")
+        assert report.achieved == Fraction(9, 10)
+        assert report.threshold_met_measure == Fraction(1, 10)
+        assert report.expected_belief == Fraction(9, 10)
+        assert report.expectation_identity_holds
+        assert report.all_theorems_verified
+
+    def test_unsatisfied_constraint_reported(self, theorem52):
+        report = analyze(theorem52, AGENT_I, ALPHA, bit_is_one(), "0.95")
+        assert not report.satisfied
+        assert "VIOLATED" in report.summary()

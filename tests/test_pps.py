@@ -1,0 +1,266 @@
+"""Unit tests for the pps tree structure, runs, and validation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    GlobalState,
+    InvalidSystemError,
+    Node,
+    NotStochasticError,
+    PPS,
+    PPSBuilder,
+    SynchronyViolationError,
+    UnknownAgentError,
+    ZeroProbabilityError,
+)
+
+
+def tiny_system() -> PPS:
+    builder = PPSBuilder(["a"], name="tiny")
+    root = builder.initial(1, {"a": (0, "s")})
+    root.child("1/4", {"a": (1, "x")}, actions={"a": "left"})
+    root.child("3/4", {"a": (1, "y")}, actions={"a": "right"})
+    return builder.build()
+
+
+class TestStructure:
+    def test_run_count(self):
+        assert tiny_system().run_count() == 2
+
+    def test_run_probabilities_multiply_edges(self):
+        system = tiny_system()
+        probs = sorted(run.prob for run in system.runs)
+        assert probs == [Fraction(1, 4), Fraction(3, 4)]
+
+    def test_run_probabilities_sum_to_one(self):
+        assert sum(run.prob for run in tiny_system().runs) == 1
+
+    def test_node_count_includes_root(self):
+        assert tiny_system().node_count() == 4
+
+    def test_max_time(self):
+        assert tiny_system().max_time() == 1
+
+    def test_points_enumerates_run_time_pairs(self):
+        points = list(tiny_system().points())
+        assert len(points) == 4  # 2 runs x 2 times
+
+    def test_local_states_collects_all(self):
+        states = tiny_system().local_states("a")
+        assert states == {(0, "s"), (1, "x"), (1, "y")}
+
+    def test_occurrence_time(self):
+        system = tiny_system()
+        assert system.occurrence_time("a", (1, "x")) == 1
+        assert system.occurrence_time("a", (0, "s")) == 0
+        assert system.occurrence_time("a", (9, "nope")) is None
+
+    def test_actions_of(self):
+        assert tiny_system().actions_of("a") == {"left", "right"}
+
+    def test_agent_index_unknown_agent(self):
+        with pytest.raises(UnknownAgentError):
+            tiny_system().agent_index("nobody")
+
+    def test_runs_through_root_children(self):
+        system = tiny_system()
+        initial = system.root.children[0]
+        through = system.runs_through(initial)
+        assert through == {0, 1}
+
+    def test_runs_through_leaf_is_single(self):
+        system = tiny_system()
+        leaf = system.root.children[0].children[0]
+        assert len(system.runs_through(leaf)) == 1
+
+    def test_repr_mentions_name(self):
+        assert "tiny" in repr(tiny_system())
+
+
+class TestRunAccessors:
+    def test_state_and_local(self):
+        system = tiny_system()
+        run = system.runs[0]
+        assert run.local("a", 0) == (0, "s")
+        assert run.local("a", 1) in {(1, "x"), (1, "y")}
+
+    def test_local_unknown_agent(self):
+        run = tiny_system().runs[0]
+        with pytest.raises(UnknownAgentError):
+            run.local("ghost", 0)
+
+    def test_action_of_records_edge_action(self):
+        system = tiny_system()
+        actions = {run.action_of("a", 0) for run in system.runs}
+        assert actions == {"left", "right"}
+
+    def test_action_of_final_time_is_none(self):
+        run = tiny_system().runs[0]
+        assert run.action_of("a", run.final_time) is None
+
+    def test_performs_times(self):
+        system = tiny_system()
+        left_run = next(r for r in system.runs if r.action_of("a", 0) == "left")
+        assert left_run.performs("a", "left") == (0,)
+        assert left_run.performs("a", "right") == ()
+
+    def test_shares_prefix_true_at_time_zero(self):
+        system = tiny_system()
+        r0, r1 = system.runs
+        assert r0.shares_prefix(r1, 0)
+
+    def test_shares_prefix_false_after_branch(self):
+        system = tiny_system()
+        r0, r1 = system.runs
+        assert not r0.shares_prefix(r1, 1)
+
+    def test_shares_prefix_out_of_range(self):
+        system = tiny_system()
+        r0, r1 = system.runs
+        assert not r0.shares_prefix(r1, 5)
+
+    def test_env_state(self):
+        assert tiny_system().runs[0].env_state(0) is None
+
+
+class TestValidation:
+    def test_probabilities_must_sum_to_one(self):
+        root = Node(uid=0, depth=0, state=None)
+        child = Node(
+            uid=1,
+            depth=1,
+            state=GlobalState(env=None, locals=((0, "s"),)),
+            prob_from_parent=Fraction(1, 2),
+            parent=root,
+        )
+        root.children.append(child)
+        with pytest.raises(NotStochasticError):
+            PPS(["a"], root)
+
+    def test_zero_probability_edge_rejected(self):
+        root = Node(uid=0, depth=0, state=None)
+        good = Node(
+            uid=1,
+            depth=1,
+            state=GlobalState(env=None, locals=((0, "s"),)),
+            prob_from_parent=Fraction(1),
+            parent=root,
+        )
+        bad = Node(
+            uid=2,
+            depth=1,
+            state=GlobalState(env=None, locals=((0, "z"),)),
+            prob_from_parent=Fraction(0),
+            parent=root,
+        )
+        root.children.extend([good, bad])
+        with pytest.raises(ZeroProbabilityError):
+            PPS(["a"], root)
+
+    def test_synchrony_violation_rejected(self):
+        # The same local state "s" at times 0 and 1.
+        root = Node(uid=0, depth=0, state=None)
+        first = Node(
+            uid=1,
+            depth=1,
+            state=GlobalState(env=None, locals=("s",)),
+            parent=root,
+        )
+        second = Node(
+            uid=2,
+            depth=2,
+            state=GlobalState(env=None, locals=("s",)),
+            parent=first,
+        )
+        root.children.append(first)
+        first.children.append(second)
+        with pytest.raises(SynchronyViolationError):
+            PPS(["a"], root)
+
+    def test_root_with_state_rejected(self):
+        root = Node(
+            uid=0, depth=0, state=GlobalState(env=None, locals=(("x"),))
+        )
+        with pytest.raises(InvalidSystemError):
+            PPS(["a"], root)
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(InvalidSystemError):
+            PPS(["a"], Node(uid=0, depth=0, state=None))
+
+    def test_wrong_arity_rejected(self):
+        root = Node(uid=0, depth=0, state=None)
+        child = Node(
+            uid=1,
+            depth=1,
+            state=GlobalState(env=None, locals=((0, "s"),)),  # one local
+            parent=root,
+        )
+        root.children.append(child)
+        with pytest.raises(InvalidSystemError):
+            PPS(["a", "b"], root)  # two agents
+
+    def test_duplicate_agent_names_rejected(self):
+        root = Node(uid=0, depth=0, state=None)
+        child = Node(
+            uid=1,
+            depth=1,
+            state=GlobalState(env=None, locals=((0, "s"), (0, "t"))),
+            parent=root,
+        )
+        root.children.append(child)
+        with pytest.raises(InvalidSystemError):
+            PPS(["a", "a"], root)
+
+    def test_inconsistent_depth_rejected(self):
+        root = Node(uid=0, depth=0, state=None)
+        child = Node(
+            uid=1,
+            depth=2,  # should be 1
+            state=GlobalState(env=None, locals=((0, "s"),)),
+            parent=root,
+        )
+        root.children.append(child)
+        with pytest.raises(InvalidSystemError):
+            PPS(["a"], root)
+
+    def test_inconsistent_parent_link_rejected(self):
+        root = Node(uid=0, depth=0, state=None)
+        stranger = Node(uid=9, depth=0, state=None)
+        child = Node(
+            uid=1,
+            depth=1,
+            state=GlobalState(env=None, locals=((0, "s"),)),
+            parent=stranger,
+        )
+        root.children.append(child)
+        with pytest.raises(InvalidSystemError):
+            PPS(["a"], root)
+
+    def test_validate_false_skips_checks(self):
+        root = Node(uid=0, depth=0, state=None)
+        child = Node(
+            uid=1,
+            depth=1,
+            state=GlobalState(env=None, locals=((0, "s"),)),
+            prob_from_parent=Fraction(1, 2),  # not stochastic
+            parent=root,
+        )
+        root.children.append(child)
+        system = PPS(["a"], root, validate=False)  # does not raise
+        assert system.run_count() == 1
+
+
+class TestNodeHelpers:
+    def test_path_probability(self, two_coin_tree):
+        leaf = two_coin_tree.root.children[0].children[0]
+        assert leaf.path_probability() == Fraction(1, 6)
+
+    def test_time_of_root(self):
+        assert Node(uid=0, depth=0, state=None).time == -1
+
+    def test_leaf_detection(self, two_coin_tree):
+        leaf = two_coin_tree.root.children[0].children[0]
+        assert leaf.is_leaf and not two_coin_tree.root.is_leaf

@@ -1,0 +1,249 @@
+"""Property-based tests: the paper's theorems on random systems.
+
+The theorems are universally quantified over pps; these tests sample
+that universe.  Systems come from :func:`random_protocol_system` (valid
+by construction: protocol-structured, synchronous, time-tagged proper
+actions) and conditions from the seeded fact generators.  Every checker
+must come back ``verified`` — a failure is a library bug, never an
+artifact of the input.
+"""
+
+from fractions import Fraction
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    belief,
+    check_lemma_4_3,
+    check_theorem_6_2,
+    expected_belief,
+    is_local_state_independent,
+    jeffrey_conditional,
+    achieved_probability,
+)
+from repro.analysis.random_systems import (
+    proper_actions_of,
+    random_protocol_system,
+    random_run_fact,
+    random_state_fact,
+)
+from repro.analysis.verify import assert_theorems
+from repro.protocols import Distribution
+
+SMALL_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+mixed_levels = st.sampled_from([0.0, 0.5, 1.0])
+densities = st.sampled_from([0.25, 0.5, 0.75])
+
+
+def first_proper_action(system, agent):
+    actions = proper_actions_of(system, agent)
+    assert actions, "generator always produces at least one action"
+    return actions[0]
+
+
+@SMALL_SETTINGS
+@given(seed=seeds, mixed=mixed_levels, density=densities)
+def test_all_theorems_hold_on_random_systems(seed, mixed, density):
+    system = random_protocol_system(seed, mixed_level=mixed)
+    phi = random_state_fact(seed + 1, density=density)
+    for agent in system.agents:
+        action = first_proper_action(system, agent)
+        assert_theorems(system, agent, action, phi, "1/2")
+
+
+@SMALL_SETTINGS
+@given(seed=seeds, density=densities)
+def test_theorems_hold_even_for_run_facts(seed, density):
+    # Run facts may depend on actions; premises can fail, but every
+    # implication must still be verified (possibly vacuously).
+    system = random_protocol_system(seed)
+    phi = random_run_fact(seed + 2, density=density)
+    agent = system.agents[0]
+    action = first_proper_action(system, agent)
+    assert_theorems(system, agent, action, phi, "1/3")
+
+
+@SMALL_SETTINGS
+@given(seed=seeds, mixed=mixed_levels)
+def test_lemma_4_3_state_facts_always_independent(seed, mixed):
+    # State facts are past-based; Lemma 4.3(b) promises independence
+    # for every proper action, even heavily mixed ones.
+    system = random_protocol_system(seed, mixed_level=mixed)
+    phi = random_state_fact(seed + 3)
+    for agent in system.agents:
+        for action in proper_actions_of(system, agent):
+            check = check_lemma_4_3(system, agent, action, phi)
+            assert check.verified
+            assert check.conclusion  # premise always holds here
+
+
+@SMALL_SETTINGS
+@given(seed=seeds)
+def test_expectation_identity_exact_under_independence(seed):
+    system = random_protocol_system(seed)
+    phi = random_state_fact(seed + 4)
+    agent = system.agents[0]
+    action = first_proper_action(system, agent)
+    assert is_local_state_independent(system, phi, agent, action)
+    assert achieved_probability(system, agent, phi, action) == expected_belief(
+        system, agent, phi, action
+    )
+
+
+@SMALL_SETTINGS
+@given(seed=seeds, density=densities)
+def test_jeffrey_decomposition_always_agrees(seed, density):
+    # The decomposed conditional equals the direct one for *every*
+    # fact, independent or not (law of total probability).
+    system = random_protocol_system(seed)
+    phi = random_run_fact(seed + 5, density=density)
+    agent = system.agents[0]
+    action = first_proper_action(system, agent)
+    assert jeffrey_conditional(
+        system, agent, phi, action
+    ) == achieved_probability(system, agent, phi, action)
+
+
+@SMALL_SETTINGS
+@given(seed=seeds, density=densities)
+def test_beliefs_are_probabilities(seed, density):
+    system = random_protocol_system(seed)
+    phi = random_state_fact(seed + 6, density=density)
+    for agent in system.agents:
+        for local in system.local_states(agent):
+            value = belief(system, agent, phi, local)
+            assert 0 <= value <= 1
+
+
+@SMALL_SETTINGS
+@given(seed=seeds)
+def test_belief_is_additive_in_the_condition(seed):
+    # beta(phi) + beta(~phi) == 1 at every state.
+    system = random_protocol_system(seed)
+    phi = random_state_fact(seed + 7)
+    agent = system.agents[0]
+    for local in system.local_states(agent):
+        assert belief(system, agent, phi, local) + belief(
+            system, agent, ~phi, local
+        ) == 1
+
+
+@SMALL_SETTINGS
+@given(seed=seeds)
+def test_run_measure_is_a_probability_measure(seed):
+    system = random_protocol_system(seed)
+    assert sum(run.prob for run in system.runs) == 1
+    assert all(run.prob > 0 for run in system.runs)
+
+
+@SMALL_SETTINGS
+@given(seed=seeds)
+def test_compiled_systems_validate(seed):
+    system = random_protocol_system(seed, horizon=3, n_agents=2)
+    system.validate()
+
+
+@given(
+    weights=st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=6)
+)
+def test_distribution_normalization_invariant(weights):
+    total = sum(weights)
+    dist = Distribution(
+        {index: Fraction(weight, total) for index, weight in enumerate(weights)}
+    )
+    assert sum(w for _, w in dist.items()) == 1
+    assert len(dist.support) == len(weights)
+
+
+@given(
+    weights=st.lists(st.integers(min_value=1, max_value=9), min_size=2, max_size=5),
+    modulus=st.integers(min_value=1, max_value=3),
+)
+def test_distribution_map_preserves_mass(weights, modulus):
+    total = sum(weights)
+    dist = Distribution(
+        {index: Fraction(weight, total) for index, weight in enumerate(weights)}
+    )
+    mapped = dist.map(lambda outcome: outcome % modulus)
+    assert sum(w for _, w in mapped.items()) == 1
+
+
+@SMALL_SETTINGS
+@given(seed=seeds)
+def test_threshold_met_measure_antitone_in_threshold(seed):
+    from repro import threshold_met_measure
+
+    system = random_protocol_system(seed)
+    phi = random_state_fact(seed + 8)
+    agent = system.agents[0]
+    action = first_proper_action(system, agent)
+    thresholds = [Fraction(k, 4) for k in range(5)]
+    measures = [
+        threshold_met_measure(system, agent, phi, action, t) for t in thresholds
+    ]
+    assert measures == sorted(measures, reverse=True)
+    assert measures[0] == 1  # threshold 0 is always met
+
+
+@SMALL_SETTINGS
+@given(seed=seeds)
+def test_theorem_7_1_parametric_on_random_systems(seed):
+    from repro import check_theorem_7_1
+
+    system = random_protocol_system(seed)
+    phi = random_state_fact(seed + 9)
+    agent = system.agents[0]
+    action = first_proper_action(system, agent)
+    for delta in (Fraction(1, 10), Fraction(1, 2)):
+        for epsilon in (Fraction(1, 10), Fraction(1, 2)):
+            check = check_theorem_7_1(system, agent, action, phi, delta, epsilon)
+            assert check.verified
+
+
+@SMALL_SETTINGS
+@given(seed=seeds)
+def test_refrain_transform_never_hurts(seed):
+    # Section 8, as a universal property: refraining at below-average
+    # belief states never lowers the achieved probability.
+    from repro import achieved_probability
+    from repro.protocols import refrain_below_threshold
+
+    system = random_protocol_system(seed)
+    phi = random_state_fact(seed + 10)
+    agent = system.agents[0]
+    action = first_proper_action(system, agent)
+    base = achieved_probability(system, agent, phi, action)
+    improved_system = refrain_below_threshold(system, agent, action, phi, base)
+    from repro.core.actions import performing_runs
+
+    if performing_runs(improved_system, agent, action):
+        assert achieved_probability(
+            improved_system, agent, phi, action
+        ) >= base
+
+
+@SMALL_SETTINGS
+@given(seed=seeds)
+def test_optimal_frontier_dominates_original(seed):
+    from repro import achievable_frontier, achieved_probability, optimal_acting_states
+
+    system = random_protocol_system(seed)
+    phi = random_state_fact(seed + 11)
+    agent = system.agents[0]
+    action = first_proper_action(system, agent)
+    frontier = achievable_frontier(system, agent, phi, action)
+    base = achieved_probability(system, agent, phi, action)
+    assert frontier[-1].value == base
+    best = optimal_acting_states(system, agent, phi, action)
+    assert best.value >= base
+    # Frontier values are antitone in coverage (prefix averages of a
+    # descending sequence).
+    values = [point.value for point in frontier]
+    assert values == sorted(values, reverse=True)

@@ -1,0 +1,115 @@
+"""Unit tests for agent protocols, environments, and adversaries."""
+
+import pytest
+
+from repro.protocols import (
+    Adversary,
+    AgentProtocol,
+    ConstantProtocol,
+    Distribution,
+    FunctionEnvironment,
+    FunctionProtocol,
+    PassiveEnvironment,
+    TableProtocol,
+    as_protocol,
+    coerce_distribution,
+    enumerate_adversaries,
+)
+
+
+class TestCoercion:
+    def test_bare_value_becomes_point(self):
+        dist = coerce_distribution("act")
+        assert dist.is_deterministic() and dist.prob("act") == 1
+
+    def test_distribution_passthrough(self):
+        d = Distribution.uniform(["a", "b"])
+        assert coerce_distribution(d) is d
+
+
+class TestFunctionProtocol:
+    def test_deterministic_return(self):
+        protocol = FunctionProtocol(lambda local: f"at-{local}")
+        assert protocol.act("x").prob("at-x") == 1
+
+    def test_mixed_return(self):
+        protocol = FunctionProtocol(
+            lambda local: Distribution.uniform(["l", "r"])
+        )
+        assert protocol.is_mixed_at("anything")
+
+    def test_not_mixed_for_point(self):
+        protocol = FunctionProtocol(lambda local: "only")
+        assert not protocol.is_mixed_at("anything")
+
+
+class TestConstantProtocol:
+    def test_same_everywhere(self):
+        protocol = ConstantProtocol("wait")
+        assert protocol.act("x") == protocol.act("y")
+
+
+class TestTableProtocol:
+    def test_lookup(self):
+        protocol = TableProtocol({"s": "go"})
+        assert protocol.act("s").prob("go") == 1
+
+    def test_missing_without_default_raises(self):
+        protocol = TableProtocol({"s": "go"})
+        with pytest.raises(KeyError):
+            protocol.act("unknown")
+
+    def test_default(self):
+        protocol = TableProtocol({"s": "go"}, default="wait")
+        assert protocol.act("unknown").prob("wait") == 1
+
+
+class TestAsProtocol:
+    def test_callable_wrapped(self):
+        protocol = as_protocol(lambda local: "a")
+        assert isinstance(protocol, AgentProtocol)
+
+    def test_protocol_passthrough(self):
+        protocol = ConstantProtocol("x")
+        assert as_protocol(protocol) is protocol
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError):
+            as_protocol(42)
+
+
+class TestEnvironments:
+    def test_passive(self):
+        env = PassiveEnvironment()
+        assert env.react("anything", {}).prob(None) == 1
+
+    def test_function_environment_sees_actions(self):
+        env = FunctionEnvironment(
+            lambda state, joint: "busy" if joint.get("a") == "send" else "idle"
+        )
+        assert env.react(None, {"a": "send"}).prob("busy") == 1
+        assert env.react(None, {"a": "wait"}).prob("idle") == 1
+
+
+class TestAdversaries:
+    def test_enumeration_is_cartesian(self):
+        advs = enumerate_adversaries({"go": [0, 1], "fault": ["crash", "none"]})
+        assert len(advs) == 4
+
+    def test_enumeration_deterministic_order(self):
+        a1 = enumerate_adversaries({"x": [1, 2]})
+        a2 = enumerate_adversaries({"x": [1, 2]})
+        assert a1 == a2
+
+    def test_get(self):
+        adversary = Adversary.of(go=1, fault="none")
+        assert adversary.get("go") == 1
+        with pytest.raises(KeyError):
+            adversary.get("missing")
+
+    def test_hashable_canonical(self):
+        assert Adversary.of(a=1, b=2) == Adversary.of(b=2, a=1)
+        assert hash(Adversary.of(a=1, b=2)) == hash(Adversary.of(b=2, a=1))
+
+    def test_describe(self):
+        assert "go=1" in Adversary.of(go=1).describe()

@@ -1,0 +1,92 @@
+"""Unit tests for the random-system generators themselves."""
+
+import pytest
+
+from repro import is_past_based, is_proper
+from repro.analysis.random_systems import (
+    proper_actions_of,
+    random_protocol_system,
+    random_run_fact,
+    random_state_fact,
+)
+
+
+class TestGeneratorDeterminism:
+    def test_same_seed_same_system(self):
+        a = random_protocol_system(7)
+        b = random_protocol_system(7)
+        assert a.run_count() == b.run_count()
+        assert sorted(r.prob for r in a.runs) == sorted(r.prob for r in b.runs)
+
+    def test_different_seeds_usually_differ(self):
+        shapes = {
+            (random_protocol_system(seed).run_count()) for seed in range(8)
+        }
+        assert len(shapes) > 1
+
+    def test_facts_deterministic(self):
+        system = random_protocol_system(3)
+        fact = random_state_fact(11)
+        again = random_state_fact(11)
+        run = system.runs[0]
+        for t in run.times():
+            assert fact.holds(system, run, t) == again.holds(system, run, t)
+
+
+class TestGeneratedSystemShape:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_valid_pps(self, seed):
+        system = random_protocol_system(seed)
+        system.validate()  # must not raise
+        assert sum(run.prob for run in system.runs) == 1
+
+    def test_horizon_respected(self):
+        system = random_protocol_system(0, horizon=3)
+        assert system.max_time() == 3
+
+    def test_agent_count(self):
+        system = random_protocol_system(0, n_agents=3)
+        assert len(system.agents) == 3
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_all_performed_actions_are_proper(self, seed):
+        # Actions are time-tagged by construction, so every performed
+        # action is proper automatically.
+        system = random_protocol_system(seed)
+        for agent in system.agents:
+            for action in system.actions_of(agent):
+                assert is_proper(system, agent, action)
+
+    def test_proper_actions_of_ordering_is_stable(self):
+        system = random_protocol_system(5)
+        assert proper_actions_of(system, "a0") == proper_actions_of(system, "a0")
+
+    def test_deterministic_mode(self):
+        system = random_protocol_system(2, mixed_level=0.0)
+        # With no mixing, each initial state induces branching only
+        # through the environment (at most 2 per round).
+        from repro.core.actions import is_deterministic_action
+
+        for agent in system.agents:
+            for action in system.actions_of(agent):
+                assert is_deterministic_action(system, agent, action)
+
+
+class TestGeneratedFacts:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_state_facts_are_past_based(self, seed):
+        system = random_protocol_system(seed)
+        fact = random_state_fact(seed + 100)
+        assert is_past_based(system, fact)
+
+    def test_run_facts_are_run_facts(self):
+        fact = random_run_fact(9)
+        assert fact.is_run_fact
+
+    def test_density_extremes(self):
+        system = random_protocol_system(1)
+        never = random_state_fact(5, density=0.0)
+        always = random_state_fact(5, density=1.0)
+        for run, t in system.points():
+            assert not never.holds(system, run, t)
+            assert always.holds(system, run, t)

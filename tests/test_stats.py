@@ -1,0 +1,67 @@
+"""Unit tests for the statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import (
+    Estimate,
+    hoeffding_halfwidth,
+    mean,
+    normal_halfwidth,
+    variance,
+)
+
+
+class TestMoments:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_variance_of_constant_is_zero(self):
+        assert variance([5.0, 5.0, 5.0]) == 0.0
+
+    def test_variance_small_sample(self):
+        assert variance([7.0]) == 0.0
+
+    def test_variance_unbiased(self):
+        assert variance([0.0, 2.0]) == 2.0  # ((0-1)^2 + (2-1)^2) / 1
+
+
+class TestIntervals:
+    def test_normal_halfwidth_shrinks_with_n(self):
+        narrow = normal_halfwidth([0.0, 1.0] * 500)
+        wide = normal_halfwidth([0.0, 1.0] * 5)
+        assert narrow < wide
+
+    def test_normal_halfwidth_empty_rejected(self):
+        with pytest.raises(ValueError):
+            normal_halfwidth([])
+
+    def test_hoeffding_formula(self):
+        value = hoeffding_halfwidth(1000, delta=0.05)
+        assert value == pytest.approx(math.sqrt(math.log(40.0) / 2000.0))
+
+    def test_hoeffding_validates(self):
+        with pytest.raises(ValueError):
+            hoeffding_halfwidth(0)
+        with pytest.raises(ValueError):
+            hoeffding_halfwidth(10, delta=0)
+
+
+class TestEstimate:
+    def test_from_samples(self):
+        est = Estimate.from_samples([0.0, 1.0, 1.0, 0.0])
+        assert est.value == 0.5
+        assert est.n == 4
+
+    def test_consistent_with(self):
+        est = Estimate.from_samples([1.0] * 100)
+        assert est.consistent_with(1.0)
+        assert not est.consistent_with(0.0)
+
+    def test_str_includes_n(self):
+        assert "n=4" in str(Estimate.from_samples([0.0, 1.0, 1.0, 0.0]))

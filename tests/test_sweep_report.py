@@ -1,0 +1,96 @@
+"""Unit tests for the sweep harness and report rendering."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.report import (
+    ExperimentRecord,
+    format_experiments,
+    render_tree,
+)
+from repro.analysis.sweep import format_table, format_value, sweep
+
+
+class TestSweep:
+    def test_cartesian_traversal(self):
+        rows = sweep(
+            {"a": [1, 2], "b": ["x", "y"]},
+            lambda a, b: {"label": f"{a}{b}"},
+        )
+        assert len(rows) == 4
+        assert {row["label"] for row in rows} == {"1x", "1y", "2x", "2y"}
+
+    def test_parameters_merged_into_rows(self):
+        rows = sweep({"n": [3]}, lambda n: {"square": n * n})
+        assert rows == [{"n": 3, "square": 9}]
+
+    def test_deterministic_order(self):
+        one = sweep({"a": [1, 2], "b": [3, 4]}, lambda a, b: {})
+        two = sweep({"a": [1, 2], "b": [3, 4]}, lambda a, b: {})
+        assert one == two
+
+
+class TestFormatting:
+    def test_format_value_fraction(self):
+        assert format_value(Fraction(1, 3)) == "1/3 (~0.333333)"
+
+    def test_format_value_integral_fraction(self):
+        assert format_value(Fraction(4, 2)) == "2"
+
+    def test_format_value_bool(self):
+        assert format_value(True) == "yes"
+
+    def test_format_table_alignment(self):
+        rows = [{"x": 1, "y": "abc"}, {"x": 22, "y": "d"}]
+        table = format_table(rows, title="demo")
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "x" in lines[1] and "y" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="t")
+
+    def test_format_table_column_selection(self):
+        rows = [{"x": 1, "y": 2}]
+        table = format_table(rows, columns=["y"])
+        assert "x" not in table.splitlines()[0]
+
+
+class TestRenderTree:
+    def test_contains_all_nodes(self, figure1):
+        art = render_tree(figure1)
+        assert "(root)" in art
+        assert art.count("t=0") == 1
+        assert art.count("t=1") == 2
+
+    def test_action_labels_shown(self, figure1):
+        art = render_tree(figure1)
+        assert "alpha" in art
+
+    def test_truncation(self, firing_squad):
+        art = render_tree(firing_squad, max_nodes=5)
+        assert "truncated" in art
+
+
+class TestExperimentRecords:
+    def test_match_detection(self):
+        record = ExperimentRecord.of("E1", "mu", "99/100", Fraction(99, 100))
+        assert record.matches
+
+    def test_mismatch_detection(self):
+        record = ExperimentRecord.of("E1", "mu", "99/100", Fraction(1, 2))
+        assert not record.matches
+
+    def test_no_claim_is_vacuous_match(self):
+        record = ExperimentRecord.of("E9", "derived", None, Fraction(1, 2))
+        assert record.matches
+
+    def test_table_rendering(self):
+        records = [
+            ExperimentRecord.of("E1", "mu(both|fireA)", "99/100", "99/100"),
+            ExperimentRecord.of("E1", "wrong", "1/2", "1/3"),
+        ]
+        table = format_experiments(records)
+        assert "OK" in table and "MISMATCH" in table

@@ -1,0 +1,133 @@
+"""Integration tests for the Theorem 5.2 construction (experiment E4)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    achieved_probability,
+    belief_at_action,
+    check_lemma_5_1,
+    check_theorem_6_2,
+    expected_belief,
+    is_deterministic_action,
+    is_local_state_independent,
+    threshold_met_measure,
+)
+from repro.apps.theorem52 import (
+    AGENT_I,
+    AGENT_J,
+    ALPHA,
+    bit_is_one,
+    build_theorem52,
+    build_theorem52_protocol,
+    expected_off_threshold_belief,
+)
+
+
+class TestConstructionAtPaperParameters:
+    def test_constraint_holds_with_equality(self, theorem52):
+        assert achieved_probability(
+            theorem52, AGENT_I, bit_is_one(), ALPHA
+        ) == Fraction(9, 10)
+
+    def test_threshold_met_measure_is_epsilon(self, theorem52):
+        assert threshold_met_measure(
+            theorem52, AGENT_I, bit_is_one(), ALPHA, "0.9"
+        ) == Fraction(1, 10)
+
+    def test_common_runs_belief_is_p_minus_eps_over_one_minus_eps(self, theorem52):
+        values = {
+            belief_at_action(theorem52, AGENT_I, bit_is_one(), ALPHA, run)
+            for run in theorem52.runs
+        }
+        assert values == {Fraction(8, 9), Fraction(1)}
+
+    def test_rare_run_has_certain_belief(self, theorem52):
+        rare = [
+            run
+            for run in theorem52.runs
+            if belief_at_action(theorem52, AGENT_I, bit_is_one(), ALPHA, run) == 1
+        ]
+        assert len(rare) == 1
+        assert rare[0].prob == Fraction(1, 10)
+
+    def test_alpha_deterministic_hence_independent(self, theorem52):
+        assert is_deterministic_action(theorem52, AGENT_I, ALPHA)
+        assert is_local_state_independent(theorem52, bit_is_one(), AGENT_I, ALPHA)
+
+    def test_expectation_identity_exact(self, theorem52):
+        check = check_theorem_6_2(theorem52, AGENT_I, ALPHA, bit_is_one())
+        assert check.applicable and check.conclusion
+
+    def test_lemma_5_1_witness_is_the_rare_run(self, theorem52):
+        check = check_lemma_5_1(theorem52, AGENT_I, ALPHA, bit_is_one(), "0.9")
+        assert check.conclusion
+
+
+@pytest.mark.parametrize(
+    ("p", "epsilon"),
+    [("1/2", "1/4"), ("3/4", "1/10"), ("0.9", "0.01"), ("0.99", "0.5")],
+)
+class TestParametricSweep:
+    def test_mu_equals_p(self, p, epsilon):
+        system = build_theorem52(p, epsilon)
+        assert achieved_probability(
+            system, AGENT_I, bit_is_one(), ALPHA
+        ) == Fraction(p)
+
+    def test_met_measure_equals_epsilon(self, p, epsilon):
+        system = build_theorem52(p, epsilon)
+        assert threshold_met_measure(
+            system, AGENT_I, bit_is_one(), ALPHA, p
+        ) == Fraction(epsilon)
+
+    def test_off_threshold_belief_formula(self, p, epsilon):
+        system = build_theorem52(p, epsilon)
+        values = {
+            belief_at_action(system, AGENT_I, bit_is_one(), ALPHA, run)
+            for run in system.runs
+        }
+        assert expected_off_threshold_belief(p, epsilon) in values
+
+    def test_expected_belief_equals_p(self, p, epsilon):
+        system = build_theorem52(p, epsilon)
+        assert expected_belief(system, AGENT_I, bit_is_one(), ALPHA) == Fraction(p)
+
+
+class TestProtocolVersionAgrees:
+    def test_same_headline_quantities(self):
+        direct = build_theorem52("0.9", "0.1")
+        via_protocol = build_theorem52_protocol("0.9", "0.1")
+        for system in (direct, via_protocol):
+            assert achieved_probability(
+                system, AGENT_I, bit_is_one(), ALPHA
+            ) == Fraction(9, 10)
+            assert threshold_met_measure(
+                system, AGENT_I, bit_is_one(), ALPHA, "0.9"
+            ) == Fraction(1, 10)
+
+    def test_same_run_distribution(self):
+        direct = build_theorem52("3/4", "1/4")
+        via_protocol = build_theorem52_protocol("3/4", "1/4")
+        assert sorted(r.prob for r in direct.runs) == sorted(
+            r.prob for r in via_protocol.runs
+        )
+
+
+class TestParameterValidation:
+    def test_epsilon_must_be_below_p(self):
+        with pytest.raises(ValueError):
+            build_theorem52("1/4", "1/2")
+
+    def test_degenerate_p_rejected(self):
+        with pytest.raises(ValueError):
+            build_theorem52(1, "1/2")
+
+    def test_zero_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            build_theorem52("1/2", 0)
+
+    def test_formula_validates_too(self):
+        with pytest.raises(ValueError):
+            expected_off_threshold_belief("1/4", "1/2")

@@ -1,0 +1,179 @@
+"""Unit tests for the theorem checkers (Sections 4-7 + appendix)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    check_corollary_7_2,
+    check_lemma_4_3,
+    check_lemma_5_1,
+    check_lemma_f_1,
+    check_theorem_4_2,
+    check_theorem_6_2,
+    check_theorem_7_1,
+    pak_level,
+    state_fact,
+)
+from repro.apps.figure1 import phi_alpha, psi_not_alpha
+from repro.apps.firing_squad import ALICE, FIRE, both_fire
+from repro.apps.theorem52 import AGENT_I, ALPHA, bit_is_one
+
+
+class TestTheorem42:
+    def test_verified_on_firing_squad(self, firing_squad):
+        check = check_theorem_4_2(firing_squad, ALICE, FIRE, both_fire(), 0)
+        assert check.applicable and check.conclusion
+
+    def test_premise_fails_on_figure1(self, figure1):
+        # beta >= 1/2 always, but mu = 0: the independence premise is
+        # what fails, so the implication is vacuous.
+        check = check_theorem_4_2(figure1, "i", "alpha", psi_not_alpha(), "1/2")
+        assert not check.premises["local-state-independent"]
+        assert not check.conclusion
+        assert check.verified  # vacuously
+
+    def test_details_min_belief(self, firing_squad):
+        check = check_theorem_4_2(firing_squad, ALICE, FIRE, both_fire(), "0.95")
+        assert check.details["min-acting-belief"] == 0  # the 'No' state
+
+    def test_threshold_respected(self, theorem52):
+        # Belief >= 8/9 at every acting point; the conclusion must hold
+        # with p = 8/9.
+        check = check_theorem_4_2(
+            theorem52, AGENT_I, ALPHA, bit_is_one(), Fraction(8, 9)
+        )
+        assert check.applicable and check.conclusion
+
+    def test_str_roundtrip(self, theorem52):
+        check = check_theorem_4_2(theorem52, AGENT_I, ALPHA, bit_is_one(), "1/2")
+        assert "Theorem 4.2" in str(check)
+
+
+class TestLemma43:
+    def test_deterministic_action_branch(self, theorem52):
+        check = check_lemma_4_3(theorem52, AGENT_I, ALPHA, bit_is_one())
+        assert check.details["deterministic"]
+        assert check.verified and check.conclusion
+
+    def test_past_based_branch(self, figure1):
+        fact = state_fact(lambda g: True)
+        check = check_lemma_4_3(figure1, "i", "alpha", fact)
+        assert check.details["past-based"]
+        assert check.verified and check.conclusion
+
+    def test_vacuous_when_neither(self, figure1):
+        check = check_lemma_4_3(figure1, "i", "alpha", psi_not_alpha())
+        assert not check.applicable
+        assert check.verified
+
+
+class TestLemma51:
+    def test_witness_found_on_firing_squad(self, firing_squad):
+        check = check_lemma_5_1(firing_squad, ALICE, FIRE, both_fire(), "0.95")
+        assert check.conclusion
+        assert check.details["witness-point"] is not None
+
+    def test_witness_on_theorem52(self, theorem52):
+        # mu = 0.9 >= 0.9, so some acting point must have belief >= 0.9
+        # (the rare m'_j run, with belief 1).
+        check = check_lemma_5_1(theorem52, AGENT_I, ALPHA, bit_is_one(), "0.9")
+        assert check.conclusion
+
+    def test_vacuous_when_constraint_unsatisfied(self, theorem52):
+        check = check_lemma_5_1(theorem52, AGENT_I, ALPHA, bit_is_one(), "0.99")
+        assert not check.premises["constraint-satisfied"]
+        assert check.verified
+
+
+class TestTheorem62:
+    def test_exact_equality_firing_squad(self, firing_squad):
+        check = check_theorem_6_2(firing_squad, ALICE, FIRE, both_fire())
+        assert check.applicable
+        assert check.details["achieved"] == check.details["expected-belief"]
+        assert check.conclusion
+
+    def test_exact_equality_theorem52(self, theorem52):
+        check = check_theorem_6_2(theorem52, AGENT_I, ALPHA, bit_is_one())
+        assert check.conclusion
+        assert check.details["achieved"] == Fraction(9, 10)
+
+    def test_figure1_identity_fails_without_independence(self, figure1):
+        check = check_theorem_6_2(figure1, "i", "alpha", phi_alpha())
+        assert not check.applicable  # independence premise fails
+        assert not check.conclusion  # 1 != 1/2
+        assert check.verified  # the implication still holds
+
+
+class TestLemmaF1:
+    def test_certainty_forces_belief_one(self, two_coin_tree):
+        from repro import TRUE
+
+        check = check_lemma_f_1(two_coin_tree, "obs", "observe", TRUE)
+        assert check.applicable and check.conclusion
+
+    def test_vacuous_below_one(self, firing_squad):
+        check = check_lemma_f_1(firing_squad, ALICE, FIRE, both_fire())
+        assert not check.premises["certain-constraint"]
+        assert check.verified
+
+
+class TestTheorem71:
+    def test_firing_squad_bound(self, firing_squad):
+        # mu = 0.99 = 1 - 0.1 * 0.1 -> with delta = eps = 0.1 the
+        # premise binds exactly, and mu(beta >= 0.9 | fire) must be
+        # >= 0.9 (it is 0.991).
+        check = check_theorem_7_1(
+            firing_squad, ALICE, FIRE, both_fire(), "0.1", "0.1"
+        )
+        assert check.applicable and check.conclusion
+        assert check.details["strong-belief-measure"] == Fraction(991, 1000)
+
+    def test_invalid_parameters_rejected(self, firing_squad):
+        with pytest.raises(ValueError):
+            check_theorem_7_1(firing_squad, ALICE, FIRE, both_fire(), 0, "0.5")
+        with pytest.raises(ValueError):
+            check_theorem_7_1(firing_squad, ALICE, FIRE, both_fire(), "0.5", 1)
+
+    def test_vacuous_when_premise_fails(self, theorem52):
+        # mu = 0.9 < 1 - 0.01: premise fails for delta = eps = 0.1.
+        check = check_theorem_7_1(theorem52, AGENT_I, ALPHA, bit_is_one(), "0.1", "0.1")
+        assert not check.premises["high-probability-constraint"]
+        assert check.verified
+
+
+class TestCorollary72:
+    def test_firing_squad_pak(self, firing_squad):
+        check = check_corollary_7_2(firing_squad, ALICE, FIRE, both_fire(), "0.1")
+        assert check.applicable and check.conclusion
+
+    def test_epsilon_zero_is_lemma_f1(self, two_coin_tree):
+        from repro import TRUE
+
+        check = check_corollary_7_2(two_coin_tree, "obs", "observe", TRUE, 0)
+        assert check.applicable and check.conclusion
+
+    def test_epsilon_one_trivial(self, firing_squad):
+        check = check_corollary_7_2(firing_squad, ALICE, FIRE, both_fire(), 1)
+        assert check.applicable and check.conclusion
+
+    def test_negative_epsilon_rejected(self, firing_squad):
+        with pytest.raises(ValueError):
+            check_corollary_7_2(firing_squad, ALICE, FIRE, both_fire(), "-1/2")
+
+
+class TestPakLevel:
+    def test_paper_example(self):
+        # threshold 0.99 -> level 0.9 (the paper's Section 7 reading).
+        assert pak_level("0.99") == Fraction(9, 10)
+
+    def test_boundaries(self):
+        assert pak_level(0) == 0
+        assert pak_level(1) == 1
+
+    def test_three_quarters(self):
+        assert pak_level("3/4") == Fraction(1, 2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pak_level("2")

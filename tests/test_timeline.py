@@ -1,0 +1,65 @@
+"""Tests for the belief-timeline utility (incl. the martingale property)."""
+
+from fractions import Fraction
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import eventually
+from repro.analysis.random_systems import random_protocol_system, random_run_fact
+from repro.analysis.timeline import belief_timeline, expected_belief_by_time
+from repro.apps.firing_squad import ALICE, fire_bob
+
+
+class TestTimelineOnFiringSquad:
+    def test_covers_all_times(self, firing_squad):
+        timeline = belief_timeline(firing_squad, ALICE, eventually(fire_bob()))
+        assert set(timeline) == {0, 1, 2, 3}
+
+    def test_time_zero_is_the_prior_split(self, firing_squad):
+        timeline = belief_timeline(firing_squad, ALICE, eventually(fire_bob()))
+        cells = timeline[0]
+        # Two information states (go = 0 / go = 1), each with mass 1/2.
+        assert len(cells) == 2
+        assert all(cell.mass == Fraction(1, 2) for cell in cells)
+        assert sorted(cell.belief for cell in cells) == [0, Fraction(99, 100)]
+
+    def test_beliefs_spread_at_time_two(self, firing_squad):
+        timeline = belief_timeline(firing_squad, ALICE, eventually(fire_bob()))
+        beliefs = {cell.belief for cell in timeline[2]}
+        # go=0 states and the Yes/No/nothing split.
+        assert {Fraction(0), Fraction(99, 100), Fraction(1)} <= beliefs
+
+    def test_masses_sum_to_one_per_time(self, firing_squad):
+        timeline = belief_timeline(firing_squad, ALICE, eventually(fire_bob()))
+        for cells in timeline.values():
+            assert sum(cell.mass for cell in cells) == 1
+
+    def test_martingale_for_run_fact(self, firing_squad):
+        # E[belief] is constant over time for a fact about runs.
+        expected = expected_belief_by_time(
+            firing_squad, ALICE, eventually(fire_bob())
+        )
+        values = set(expected.values())
+        assert values == {Fraction(99, 200)}  # mu(Bob eventually fires)
+
+
+@settings(
+    max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(seed=st.integers(min_value=0, max_value=5000))
+def test_martingale_property_on_random_systems(seed):
+    # The expected belief in a run fact under the agent's filtration is
+    # a martingale — constant in time when all runs share the horizon.
+    system = random_protocol_system(seed, horizon=2)
+    lengths = {run.length for run in system.runs}
+    phi = random_run_fact(seed + 30)
+    expected = expected_belief_by_time(system, system.agents[0], phi)
+    if len(lengths) == 1:  # common horizon: exact martingale
+        assert len(set(expected.values())) == 1
+    # Time 0 always averages to the prior.
+    prior = sum(
+        (run.prob for run in system.runs if phi.holds(system, run, 0)),
+        start=Fraction(0),
+    )
+    assert expected[0] == prior

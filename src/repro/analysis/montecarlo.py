@@ -24,9 +24,12 @@ Estimators mirror the exact API:
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional
+from bisect import bisect_right
+from fractions import Fraction
+from typing import Callable, Dict, List
 
 from ..core.beliefs import belief_random_variable
+from ..core.engine import SystemIndex
 from ..core.errors import ConditioningOnNullEventError
 from ..core.facts import Fact
 from ..core.at_operators import at_action
@@ -47,6 +50,14 @@ __all__ = [
 class RunSampler:
     """Samples runs of a pps by simulating root-to-leaf walks.
 
+    Child selection is exact: the RNG draw (a double in ``[0, 1)``) is
+    interpreted as the rational it exactly represents and compared
+    against exact ``Fraction`` cumulative edge weights, so round-off
+    can neither skew the sampled distribution at cell boundaries nor
+    require a fall-back child.  Seeds remain fully reproducible — the
+    draw sequence is unchanged, only the (measure-theoretically
+    correct) mapping from draw to child differs.
+
     Args:
         pps: the system to sample.
         seed: RNG seed (sampling is fully reproducible).
@@ -58,6 +69,7 @@ class RunSampler:
         self._leaf_to_run: Dict[int, Run] = {
             run.nodes[-1].uid: run for run in pps.runs
         }
+        self._cumulative: Dict[int, List[Fraction]] = {}
 
     def sample_run(self) -> Run:
         """One run, drawn from the prior ``mu_T``."""
@@ -70,14 +82,29 @@ class RunSampler:
         """``n`` iid runs."""
         return [self.sample_run() for _ in range(n)]
 
+    def _cumulative_weights(self, node: Node) -> List[Fraction]:
+        cumulative = self._cumulative.get(node.uid)
+        if cumulative is None:
+            cumulative = []
+            acc = Fraction(0)
+            for child in node.children:
+                acc += child.prob_from_parent
+                cumulative.append(acc)
+            self._cumulative[node.uid] = cumulative
+        return cumulative
+
     def _choose_child(self, node: Node) -> Node:
-        pick = self._rng.random()
-        acc = 0.0
-        for child in node.children:
-            acc += float(child.prob_from_parent)
-            if pick < acc:
-                return child
-        return node.children[-1]  # guard against float round-off
+        # Fraction(float) is the float's exact binary value; validated
+        # trees have edge probabilities summing to exactly 1 > pick, so
+        # the bisect always lands on a child.  The clamp only matters
+        # for unvalidated (validate=False) trees whose weights sum
+        # below 1: draws past the total degrade to the last child.
+        pick = Fraction(self._rng.random())
+        cumulative = self._cumulative_weights(node)
+        choice = bisect_right(cumulative, pick)
+        if choice == len(node.children):
+            choice -= 1
+        return node.children[choice]
 
 
 def estimate_probability(
@@ -126,8 +153,9 @@ def estimate_conditional(
     return Estimate.from_samples(hits)
 
 
-def _performs(agent: AgentId, action: Action) -> Callable[[Run], bool]:
-    return lambda run: bool(run.performs(agent, action))
+def _performs(pps: PPS, agent: AgentId, action: Action) -> Callable[[Run], bool]:
+    mask = SystemIndex.of(pps).performing_mask(agent, action)
+    return lambda run: bool((mask >> run.index) & 1)
 
 
 def estimate_achieved(
@@ -144,7 +172,7 @@ def estimate_achieved(
     return estimate_conditional(
         pps,
         lambda run: phi_at.holds(pps, run, 0),
-        _performs(agent, action),
+        _performs(pps, agent, action),
         samples=samples,
         seed=seed,
     )
@@ -165,7 +193,7 @@ def estimate_expected_belief(
     values: List[float] = []
     budget = samples * 1000
     drawn = 0
-    performs = _performs(agent, action)
+    performs = _performs(pps, agent, action)
     while len(values) < samples and drawn < budget:
         run = sampler.sample_run()
         drawn += 1
@@ -195,7 +223,7 @@ def estimate_threshold_met(
     hits: List[float] = []
     budget = samples * 1000
     drawn = 0
-    performs = _performs(agent, action)
+    performs = _performs(pps, agent, action)
     while len(hits) < samples and drawn < budget:
         run = sampler.sample_run()
         drawn += 1

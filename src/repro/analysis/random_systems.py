@@ -168,10 +168,20 @@ def random_run_fact(seed: int, *, density: float = 0.5) -> Fact:
 
 
 def proper_actions_of(pps: PPS, agent: AgentId) -> List[Action]:
-    """All proper actions of ``agent`` in ``pps``, deterministically ordered."""
-    from ..core.actions import is_proper
+    """All proper actions of ``agent`` in ``pps``, deterministically ordered.
 
+    Served from the system index's action tables (one edge scan per
+    system, regardless of how many actions are interrogated).
+    """
+    from ..core.actions import is_proper
+    from ..core.engine import SystemIndex
+
+    index = SystemIndex.of(pps)
     return sorted(
-        (action for action in pps.actions_of(agent) if is_proper(pps, agent, action)),
+        (
+            action
+            for action in index.actions_of(agent)
+            if is_proper(pps, agent, action)
+        ),
         key=repr,
     )

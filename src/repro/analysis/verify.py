@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
+from ..core.engine import SystemIndex
 from ..core.facts import Fact
 from ..core.numeric import ProbabilityLike, as_fraction
 from ..core.pps import PPS, Action, AgentId
@@ -129,6 +130,10 @@ def verify_system(
         thresholds: thresholds for the threshold-parameterized theorems.
     """
     verification = SystemVerification(system_name=pps.name)
+    # One SystemIndex serves the entire sweep: every checker below
+    # shares the same bitmask tables and fact/belief caches instead of
+    # re-deriving events per (agent, action, condition, threshold).
+    SystemIndex.of(pps)
     scan = tuple(agents) or pps.agents
     for agent in scan:
         for action in proper_actions_of(pps, agent):

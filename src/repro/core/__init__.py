@@ -52,6 +52,7 @@ from .common_belief import (
     everyone_believes,
 )
 from .constraints import ProbabilisticConstraint, achieved_probability
+from .engine import SystemIndex
 from .errors import (
     CompilationError,
     ConditioningOnNullEventError,

@@ -20,14 +20,20 @@ This module provides the predicates and the standard decompositions:
   ``alpha`` is performed at local state ``l_i``;
 * :func:`is_deterministic_action` — whether performing ``alpha`` is a
   deterministic function of the local state (Lemma 4.3(a) premise).
+
+All queries are answered from the per-system
+:class:`~repro.core.engine.SystemIndex` action tables, which are built
+in a single pass over the tree's edges on first use; nothing here
+rescans the run list per call.
 """
 
 from __future__ import annotations
 
 from typing import Dict, FrozenSet, Optional, Tuple
 
+from .engine import SystemIndex
 from .errors import ImproperActionError
-from .measure import Event, event_where
+from .measure import Event
 from .pps import PPS, Action, AgentId, LocalState, Run
 
 __all__ = [
@@ -49,22 +55,18 @@ def performance_times(pps: PPS, agent: AgentId, action: Action) -> Dict[int, Tup
 
     Runs in which the action is not performed are omitted.
     """
-    table: Dict[int, Tuple[int, ...]] = {}
-    for run in pps.runs:
-        times = run.performs(agent, action)
-        if times:
-            table[run.index] = times
-    return table
+    return dict(SystemIndex.of(pps).performance_times(agent, action))
 
 
 def performing_runs(pps: PPS, agent: AgentId, action: Action) -> Event:
     """The event ``R_alpha`` of runs in which the action is performed."""
-    return event_where(pps, lambda run: bool(run.performs(agent, action)))
+    index = SystemIndex.of(pps)
+    return index.event_of(index.performing_mask(agent, action))
 
 
 def is_proper(pps: PPS, agent: AgentId, action: Action) -> bool:
     """Whether ``action`` is a proper action for ``agent`` in ``pps``."""
-    table = performance_times(pps, agent, action)
+    table = SystemIndex.of(pps).performance_times(agent, action)
     if not table:
         return False
     return all(len(times) == 1 for times in table.values())
@@ -72,7 +74,7 @@ def is_proper(pps: PPS, agent: AgentId, action: Action) -> bool:
 
 def ensure_proper(pps: PPS, agent: AgentId, action: Action) -> None:
     """Raise :class:`ImproperActionError` unless the action is proper."""
-    table = performance_times(pps, agent, action)
+    table = SystemIndex.of(pps).performance_times(agent, action)
     if not table:
         raise ImproperActionError(
             f"action {action!r} is never performed by {agent!r} in {pps.name}"
@@ -95,8 +97,8 @@ def performance_time(pps: PPS, agent: AgentId, action: Action, run: Run) -> Opti
         ImproperActionError: if the action occurs more than once in the
             run (i.e. the action is not proper).
     """
-    times = run.performs(agent, action)
-    if not times:
+    times = SystemIndex.of(pps).performance_times(agent, action).get(run.index)
+    if times is None:
         return None
     if len(times) > 1:
         raise ImproperActionError(
@@ -117,24 +119,15 @@ def performance_state(
 
 def action_states(pps: PPS, agent: AgentId, action: Action) -> FrozenSet[LocalState]:
     """The set ``L_i[alpha]`` of local states at which the action occurs."""
-    states = set()
-    for run in pps.runs:
-        for t in run.performs(agent, action):
-            states.add(run.local(agent, t))
-    return frozenset(states)
+    return frozenset(SystemIndex.of(pps).state_cells(agent, action))
 
 
 def runs_performing_at_state(
     pps: PPS, agent: AgentId, action: Action, local: LocalState
 ) -> Event:
     """The cell ``Q^{l_i}``: runs where the action occurs at ``local``."""
-
-    def predicate(run: Run) -> bool:
-        return any(
-            run.local(agent, t) == local for t in run.performs(agent, action)
-        )
-
-    return event_where(pps, predicate)
+    index = SystemIndex.of(pps)
+    return index.event_of(index.state_cells(agent, action).get(local, 0))
 
 
 def action_state_partition(
@@ -147,9 +140,10 @@ def action_state_partition(
             would then fail to be disjoint).
     """
     ensure_proper(pps, agent, action)
+    index = SystemIndex.of(pps)
     return {
-        local: runs_performing_at_state(pps, agent, action, local)
-        for local in action_states(pps, agent, action)
+        local: index.event_of(mask)
+        for local, mask in index.state_cells(agent, action).items()
     }
 
 
@@ -158,16 +152,14 @@ def is_deterministic_action(pps: PPS, agent: AgentId, action: Action) -> bool:
 
     Following Section 4: for any two points with the same agent local
     state, the agent performs the action at both or at neither.  (The
-    points necessarily share the time, by synchrony.)
+    points necessarily share the time, by synchrony.)  With the index
+    this is per-local-state mask equality: the cell ``Q^{l}`` must be
+    empty or the full occurrence set of ``l``.
     """
-    decision: Dict[LocalState, bool] = {}
-    for run in pps.runs:
-        for t in run.times():
-            local = run.local(agent, t)
-            here = run.action_of(agent, t) == action
-            if local in decision:
-                if decision[local] != here:
-                    return False
-            else:
-                decision[local] = here
+    index = SystemIndex.of(pps)
+    cells = index.state_cells(agent, action)
+    for local in index.local_states(agent):
+        performed = cells.get(local, 0)
+        if performed and performed != index.occurrence_mask(agent, local):
+            return False
     return True

@@ -18,6 +18,7 @@ The shorthand ``alpha@l_i`` used throughout the paper's appendix is
 
 from __future__ import annotations
 
+from .engine import SystemIndex
 from .errors import ImproperActionError
 from .facts import Fact, RunFact
 from .pps import PPS, Action, AgentId, LocalState, Run
@@ -41,10 +42,14 @@ class AtLocalState(RunFact):
         self.label = f"({phi.label})@[{agent}:{local}]"
 
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
-        for time in run.times():
-            if run.local(self.agent, time) == self.local:
-                return self.phi.holds(pps, run, time)
-        return False
+        # Synchrony: the local state has one possible occurrence time
+        # system-wide, so a single point check replaces the time scan.
+        time = SystemIndex.of(pps).occurrence_time(self.agent, self.local)
+        if time is None or time >= run.length:
+            return False
+        if run.local(self.agent, time) != self.local:
+            return False
+        return self.phi.holds(pps, run, time)
 
 
 class AtAction(RunFact):
@@ -57,7 +62,9 @@ class AtAction(RunFact):
         self.label = f"({phi.label})@[{agent} does {action}]"
 
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
-        times = run.performs(self.agent, self.action)
+        times = SystemIndex.of(pps).performance_times(
+            self.agent, self.action
+        ).get(run.index)
         if not times:
             return False
         if len(times) > 1:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Hashable
 
+from .engine import SystemIndex
 from .facts import Fact, RunFact
 from .pps import PPS, Action, AgentId, GlobalState, LocalState, Run
 
@@ -84,7 +85,8 @@ class Performed(RunFact):
         self.label = f"performed[{agent}]({action})"
 
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
-        return bool(run.performs(self.agent, self.action))
+        mask = SystemIndex.of(pps).performing_mask(self.agent, self.action)
+        return bool((mask >> run.index) & 1)
 
 
 def performed(agent: AgentId, action: Action) -> Performed:
@@ -101,9 +103,11 @@ class LocalStateOccurs(RunFact):
         self.label = f"occurs[{agent}]({local})"
 
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
-        return any(
-            run.local(self.agent, time) == self.local for time in run.times()
-        )
+        # Synchrony: one possible occurrence time system-wide.
+        time = SystemIndex.of(pps).occurrence_time(self.agent, self.local)
+        if time is None or time >= run.length:
+            return False
+        return run.local(self.agent, time) == self.local
 
 
 def local_state_occurs(agent: AgentId, local: LocalState) -> LocalStateOccurs:

@@ -20,13 +20,12 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
-from .at_operators import at_local_state
-from .errors import UnknownLocalStateError
-from .facts import Fact, runs_satisfying
-from .measure import Event, conditional, event_where
+from .engine import SystemIndex
+from .facts import Fact
+from .measure import Event
 from .numeric import ZERO, Probability, ProbabilityLike, as_fraction
 from .pps import PPS, Action, AgentId, LocalState, Run
-from .actions import ensure_proper, performance_time, performing_runs
+from .actions import ensure_proper, performance_time
 
 __all__ = [
     "occurrence_event",
@@ -42,25 +41,22 @@ __all__ = [
 
 def occurrence_event(pps: PPS, agent: AgentId, local: LocalState) -> Event:
     """The event "``agent`` is in ``local`` at some point of the run"."""
-    return event_where(
-        pps, lambda run: any(run.local(agent, t) == local for t in run.times())
-    )
+    index = SystemIndex.of(pps)
+    return index.event_of(index.occurrence_mask(agent, local))
 
 
 def belief(pps: PPS, agent: AgentId, phi: Fact, local: LocalState) -> Probability:
     """``mu_T(phi@l | l)`` — the belief held at local state ``local``.
 
+    Memoized per (agent, fact identity, local state) on the system
+    index, so evaluating the same belief at many points (as the
+    ``B_i^p`` and common-belief operators do) costs one posterior.
+
     Raises:
         UnknownLocalStateError: when ``local`` never occurs for the
             agent (the posterior would condition on a null event).
     """
-    occurs = occurrence_event(pps, agent, local)
-    if not occurs:
-        raise UnknownLocalStateError(
-            f"local state {local!r} of agent {agent!r} never occurs in {pps.name}"
-        )
-    phi_at_local = runs_satisfying(pps, at_local_state(phi, agent, local))
-    return conditional(pps, phi_at_local, occurs)
+    return SystemIndex.of(pps).belief(agent, phi, local)
 
 
 def belief_at(pps: PPS, agent: AgentId, phi: Fact, run: Run, t: int) -> Probability:
@@ -116,6 +112,28 @@ def belief_random_variable(
     return variable
 
 
+def _threshold_met_mask(
+    pps: PPS,
+    agent: AgentId,
+    phi: Fact,
+    action: Action,
+    threshold: ProbabilityLike,
+) -> int:
+    """Mask of performing runs whose acting belief meets the bound.
+
+    Decided per acting local state (one cached posterior per state in
+    ``L_i[alpha]``), not per run.
+    """
+    ensure_proper(pps, agent, action)
+    bound = as_fraction(threshold)
+    index = SystemIndex.of(pps)
+    met = 0
+    for local, cell in index.state_cells(agent, action).items():
+        if index.belief(agent, phi, local) >= bound:
+            met |= cell
+    return met
+
+
 def threshold_met_event(
     pps: PPS,
     agent: AgentId,
@@ -124,12 +142,8 @@ def threshold_met_event(
     threshold: ProbabilityLike,
 ) -> Event:
     """Runs of ``R_alpha`` where ``beta_i(phi)@alpha >= threshold``."""
-    bound = as_fraction(threshold)
-    variable = belief_random_variable(pps, agent, phi, action)
-    performing = performing_runs(pps, agent, action)
-    return frozenset(
-        index for index in performing if variable(pps.runs[index]) >= bound
-    )
+    index = SystemIndex.of(pps)
+    return index.event_of(_threshold_met_mask(pps, agent, phi, action, threshold))
 
 
 def threshold_met_measure(
@@ -140,6 +154,6 @@ def threshold_met_measure(
     threshold: ProbabilityLike,
 ) -> Probability:
     """``mu_T(beta_i(phi)@alpha >= threshold | alpha)``."""
-    met = threshold_met_event(pps, agent, phi, action, threshold)
-    performing = performing_runs(pps, agent, action)
-    return conditional(pps, met, performing)
+    met = _threshold_met_mask(pps, agent, phi, action, threshold)
+    index = SystemIndex.of(pps)
+    return index.conditional(met, index.performing_mask(agent, action))

@@ -22,11 +22,12 @@ p-belief for p bounded by the channel reliability).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Set, Tuple
+from typing import Dict, Iterable, Sequence, Set, Tuple
 
 from .beliefs import belief_at
+from .engine import SystemIndex, bits
 from .facts import Fact
-from .numeric import ProbabilityLike, as_fraction
+from .numeric import Probability, ProbabilityLike, as_fraction
 from .pps import PPS, AgentId, Run
 
 __all__ = [
@@ -96,6 +97,39 @@ class _PointSetFact(Fact):
         return (run.index, t) in self._points
 
 
+def _everyone_believes_mask(
+    index: SystemIndex,
+    group: Sequence[AgentId],
+    phi: Fact,
+    p: Probability,
+    t: int,
+    *,
+    memo: bool = True,
+) -> int:
+    """The mask of time-``t`` runs at which ``E_G^p(phi)`` holds.
+
+    Decided cell-by-cell from one truth mask per slice: ``phi`` is
+    evaluated once for the whole time slice, and each information
+    cell's posterior reduces to the kernel inequality
+    ``mu(cell & phi) >= p * mu(cell)`` — no per-(agent, cell)
+    re-evaluation of the fact.  ``memo=False`` skips the slice-mask
+    cache, used for the single-use refinement facts of the fixpoint.
+    """
+    result = index.alive_mask(t)
+    if not result:
+        return 0
+    holds = index.holds_mask_at(phi, t, memo=memo)
+    for agent in group:
+        agent_mask = 0
+        for cell in index.partition(agent, t).values():
+            if index.probability(cell & holds) >= p * index.probability(cell):
+                agent_mask |= cell
+        result &= agent_mask
+        if not result:
+            break
+    return result
+
+
 def common_belief_points(
     pps: PPS,
     agents: Iterable[AgentId],
@@ -109,21 +143,29 @@ def common_belief_points(
     Iterates ``F_1 = E^p(phi)``, ``F_{n+1} = E^p(phi & F_n)`` to its
     fixpoint; the sequence is decreasing over a finite point set, so it
     terminates (``max_iterations`` is a safety net, not a tuning knob).
+    Each iteration is evaluated one time slice at a time through the
+    index's partition tables and belief cache.
     """
     group = tuple(agents)
     p = as_fraction(level)
+    index = SystemIndex.of(pps)
+    times = range(index.max_time + 1)
     current: Set[Point] = {
-        (run.index, t)
-        for run, t in pps.points()
-        if EveryoneBelieves(group, phi, p).holds(pps, run, t)
+        (run_index, t)
+        for t in times
+        for run_index in bits(_everyone_believes_mask(index, group, phi, p, t))
     }
     for _ in range(max_iterations):
         refined_target = phi & _PointSetFact(current)
-        operator = EveryoneBelieves(group, refined_target, p)
         refined: Set[Point] = {
-            point
-            for point in current
-            if operator.holds(pps, pps.runs[point[0]], point[1])
+            (run_index, t)
+            for t in times
+            for run_index in bits(
+                _everyone_believes_mask(
+                    index, group, refined_target, p, t, memo=False
+                )
+            )
+            if (run_index, t) in current
         }
         if refined == current:
             return current

@@ -23,11 +23,11 @@ from fractions import Fraction
 from typing import Optional
 
 from .actions import ensure_proper, performing_runs
-from .at_operators import at_action
 from .beliefs import threshold_met_event, threshold_met_measure
-from .facts import Fact, runs_satisfying
+from .engine import SystemIndex
+from .facts import Fact
 from .independence import is_local_state_independent
-from .measure import Event, conditional
+from .measure import Event
 from .numeric import Probability, ProbabilityLike, as_fraction
 from .pps import PPS, Action, AgentId
 
@@ -43,9 +43,9 @@ def achieved_probability(
         ImproperActionError: when the action is not proper in ``pps``.
     """
     ensure_proper(pps, agent, action)
-    performing = performing_runs(pps, agent, action)
-    satisfied = runs_satisfying(pps, at_action(phi, agent, action))
-    return conditional(pps, satisfied, performing)
+    index = SystemIndex.of(pps)
+    satisfied = index.phi_at_action_mask(agent, phi, action)
+    return index.conditional(satisfied, index.performing_mask(agent, action))
 
 
 @dataclass

@@ -1,0 +1,557 @@
+"""The indexed evaluation engine: per-system bitmask run-sets and caches.
+
+Every query the library answers ultimately reduces to set algebra over
+the (finite) run space of a pps and to exact-rational measures of the
+resulting sets.  The naive evaluation strategy — rescan ``pps.runs``
+and rebuild a ``frozenset`` for every query — is perfectly correct but
+pays ``O(|R| * T)`` per query, which multiplies painfully across
+sweeps, Monte-Carlo cross-validation, and the theorem checkers.
+
+:class:`SystemIndex` is computed once per system (and cached *on* the
+system object, so every layer that touches the same pps shares it) and
+holds:
+
+* **bitmask run-sets** — an event is an ``int`` whose bit ``k`` is set
+  iff run ``k`` belongs to the event.  Intersection, union, and
+  complement are single machine-word-per-64-runs operations;
+* an **exact probability kernel** — run weights are reduced to integer
+  numerators over one common denominator, so ``mu(event)`` is an
+  integer popcount-weighted sum folded back into a single
+  :class:`~fractions.Fraction`.  A prefix table of the weights makes
+  contiguous index ranges O(1); because runs are collected in DFS
+  order, the runs through *any* tree node form exactly such a range;
+* precomputed **structure tables** — ``local state -> (time, mask)``
+  per agent, per-time knowledge partitions, ``node uid -> (lo, hi)``
+  leaf ranges, and ``(agent, action) -> performing mask / performance
+  times / per-local-state cells``;
+* **memo caches** keyed by :class:`~repro.core.facts.Fact` identity —
+  satisfying run masks for run facts, per-time-slice truth masks for
+  transient facts, and posterior beliefs per (agent, fact, local
+  state).
+
+Cache invalidation is *never*: a pps tree is immutable after
+validation (nothing in the library mutates nodes of a built system),
+so an index computed once is valid for the lifetime of the system.
+
+The public frozenset-based :class:`~repro.core.measure.Event` API is
+preserved throughout the library; this module is the engine underneath
+it, and :meth:`SystemIndex.mask_of` / :meth:`SystemIndex.event_of`
+are the interop boundary.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from .errors import (
+    ConditioningOnNullEventError,
+    UnknownAgentError,
+    UnknownLocalStateError,
+)
+from .numeric import ONE, ZERO, Probability
+from .pps import PPS, Action, AgentId, LocalState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .facts import Fact
+
+__all__ = ["SystemIndex", "bits"]
+
+
+def bits(mask: int) -> Iterator[int]:
+    """Iterate over the set bit positions of ``mask``, ascending."""
+    while mask:
+        lsb = mask & -mask
+        yield lsb.bit_length() - 1
+        mask ^= lsb
+
+
+class SystemIndex:
+    """Precomputed bitmask index of one pps; obtain via :meth:`of`.
+
+    The index is attached to the system on first use, so repeated
+    queries — across the core operators, the analysis sweeps, and the
+    benchmarks — all share one set of tables.
+    """
+
+    def __init__(self, pps: PPS) -> None:
+        self.pps = pps
+        runs = pps.runs
+        self.run_count = len(runs)
+        self.all_mask = (1 << self.run_count) - 1
+
+        # --- exact probability kernel -----------------------------------
+        # Run weights as integer numerators over one common denominator;
+        # prefix sums give O(1) measures of contiguous index ranges.
+        denominator = 1
+        for run in runs:
+            q = run.prob.denominator
+            denominator = denominator // gcd(denominator, q) * q
+        self._denominator = denominator
+        self._weights: List[int] = [
+            run.prob.numerator * (denominator // run.prob.denominator)
+            for run in runs
+        ]
+        prefix = [0]
+        for weight in self._weights:
+            prefix.append(prefix[-1] + weight)
+        self._prefix: List[int] = prefix
+        self._prob_cache: Dict[int, Probability] = {}
+
+        # --- structure tables -------------------------------------------
+        # Runs are collected in DFS order, so the runs through any node
+        # form a contiguous index range [lo, hi).
+        self._node_ranges: Dict[int, Tuple[int, int]] = {}
+        self._assign_leaf_ranges()
+
+        max_time = max((run.final_time for run in runs), default=-1)
+        self.max_time = max_time
+        alive = [0] * (max_time + 1)
+        for run in runs:
+            bit = 1 << run.index
+            for t in range(run.length):
+                alive[t] |= bit
+        self._alive: List[int] = alive
+
+        # local state -> (time, occurrence mask), plus the per-time
+        # knowledge partitions, all from one pass over the tree.
+        self._local_occurrence: Dict[AgentId, Dict[LocalState, Tuple[int, int]]]
+        self._partitions: Dict[AgentId, List[Dict[LocalState, int]]]
+        self._build_local_tables()
+
+        # --- lazily built action tables ---------------------------------
+        self._performing: Optional[Dict[Tuple[AgentId, Action], int]] = None
+        self._action_records: Dict[
+            Tuple[AgentId, Action], List[Tuple[int, int]]
+        ] = {}
+        self._performance_times: Dict[
+            Tuple[AgentId, Action], Dict[int, Tuple[int, ...]]
+        ] = {}
+        self._state_cells: Dict[Tuple[AgentId, Action], Dict[LocalState, int]] = {}
+        self._agent_actions: Dict[AgentId, set] = {}
+
+        # --- memo caches keyed by Fact identity -------------------------
+        self._fact_masks: Dict["Fact", int] = {}
+        self._slice_masks: Dict[Tuple["Fact", int], int] = {}
+        self._belief_cache: Dict[Tuple[AgentId, "Fact", LocalState], Probability] = {}
+        self._at_action_cache: Dict[Tuple[AgentId, "Fact", Action], int] = {}
+        self._component_cache: Dict[
+            Tuple[Tuple[AgentId, ...], int], Dict[int, int]
+        ] = {}
+        self._event_cache: Dict[int, FrozenSet[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def of(cls, pps: PPS) -> "SystemIndex":
+        """The system's index, built on first use and cached on the pps."""
+        index = getattr(pps, "_system_index", None)
+        if index is None:
+            index = cls(pps)
+            pps._system_index = index  # type: ignore[attr-defined]
+        return index
+
+    def _assign_leaf_ranges(self) -> None:
+        """DFS matching :attr:`PPS.runs` order: node -> [lo, hi) leaf range."""
+        counter = 0
+        stack: List[Tuple[object, bool]] = [(self.pps.root, False)]
+        lows: Dict[int, int] = {}
+        while stack:
+            node, done = stack.pop()
+            if done:
+                self._node_ranges[node.uid] = (lows[node.uid], counter)
+                continue
+            lows[node.uid] = counter
+            if node.is_leaf and not node.is_root:
+                counter += 1
+                self._node_ranges[node.uid] = (counter - 1, counter)
+            else:
+                stack.append((node, True))
+                stack.extend((child, False) for child in reversed(node.children))
+        # Runs exclude the root, so it carries no range: node_mask(root)
+        # is the empty event, matching runs_through's historic contract.
+        self._node_ranges.pop(self.pps.root.uid, None)
+
+    def _build_local_tables(self) -> None:
+        agents = self.pps.agents
+        occurrence: Dict[AgentId, Dict[LocalState, Tuple[int, int]]] = {
+            agent: {} for agent in agents
+        }
+        partitions: Dict[AgentId, List[Dict[LocalState, int]]] = {
+            agent: [dict() for _ in range(self.max_time + 1)] for agent in agents
+        }
+        for node in self.pps.state_nodes():
+            state = node.state
+            if state is None:
+                continue
+            mask = self.node_mask(node)
+            t = node.time
+            for idx, agent in enumerate(agents):
+                local = state.local(idx)
+                cells = partitions[agent][t]
+                cells[local] = cells.get(local, 0) | mask
+        for agent in agents:
+            table = occurrence[agent]
+            for t, cells in enumerate(partitions[agent]):
+                for local, mask in cells.items():
+                    # Synchrony: each local state occurs at one time only.
+                    table[local] = (t, mask)
+        self._local_occurrence = occurrence
+        self._partitions = partitions
+
+    def _ensure_actions(self) -> None:
+        """Build the (agent, action) tables in one pass over the tree edges.
+
+        A node at time ``T`` whose ``via_action`` is set represents the
+        edge on which that joint action was performed at time ``T - 1``
+        by every run through the node — and the runs through a node are
+        exactly its O(1) leaf-range mask, so each shared edge is
+        visited once, not once per run.  Entries are recorded for
+        *every* name appearing in ``via_action``, including reserved
+        environment pseudo-agents that are not in ``pps.agents`` (facts
+        such as ``performed(ENV, ...)`` must keep working); only the
+        per-local-state cells require a real agent position.
+        """
+        if self._performing is not None:
+            return
+        performing: Dict[Tuple[AgentId, Action], int] = {}
+        records: Dict[Tuple[AgentId, Action], List[Tuple[int, int]]] = {}
+        cells: Dict[Tuple[AgentId, Action], Dict[LocalState, int]] = {}
+        agent_actions: Dict[AgentId, set] = {agent: set() for agent in self.pps.agents}
+        positions = {agent: k for k, agent in enumerate(self.pps.agents)}
+        for node in self.pps.state_nodes():
+            via = node.via_action
+            t = node.time - 1
+            if via is None or t < 0:
+                continue
+            mask = self.node_mask(node)
+            parent = node.parent
+            parent_state = parent.state if parent is not None else None
+            for agent, action in via.items():
+                key = (agent, action)
+                performing[key] = performing.get(key, 0) | mask
+                records.setdefault(key, []).append((t, mask))
+                agent_actions.setdefault(agent, set()).add(action)
+                idx = positions.get(agent)
+                if idx is not None and parent_state is not None:
+                    cell = cells.setdefault(key, {})
+                    local = parent_state.local(idx)
+                    cell[local] = cell.get(local, 0) | mask
+        self._performing = performing
+        self._action_records = records
+        self._state_cells = cells
+        self._agent_actions = agent_actions
+
+    # ------------------------------------------------------------------
+    # Event interop and the probability kernel
+    # ------------------------------------------------------------------
+
+    def mask_of(self, event: FrozenSet[int]) -> int:
+        """The bitmask of a frozenset-of-run-indices event."""
+        mask = 0
+        for index in event:
+            mask |= 1 << index
+        return mask
+
+    def event_of(self, mask: int) -> FrozenSet[int]:
+        """The frozenset event of a bitmask (memoized)."""
+        cached = self._event_cache.get(mask)
+        if cached is None:
+            cached = frozenset(bits(mask))
+            self._event_cache[mask] = cached
+        return cached
+
+    def complement(self, mask: int) -> int:
+        return self.all_mask & ~mask
+
+    def probability(self, mask: int) -> Probability:
+        """``mu_T`` of a bitmask event, exactly."""
+        if mask == 0:
+            return ZERO
+        if mask == self.all_mask:
+            return ONE
+        cached = self._prob_cache.get(mask)
+        if cached is not None:
+            return cached
+        lo = (mask & -mask).bit_length() - 1
+        hi = mask.bit_length()
+        if mask == (1 << hi) - (1 << lo):
+            # Contiguous range (every subtree event is one): O(1).
+            total = self._prefix[hi] - self._prefix[lo]
+        else:
+            total = 0
+            weights = self._weights
+            m = mask
+            while m:
+                lsb = m & -m
+                total += weights[lsb.bit_length() - 1]
+                m ^= lsb
+        result = Fraction(total, self._denominator)
+        self._prob_cache[mask] = result
+        return result
+
+    def conditional(self, target: int, given: int) -> Probability:
+        """``mu_T(target | given)`` for bitmask events."""
+        if given == 0:
+            raise ConditioningOnNullEventError(
+                "cannot condition on an empty event (e.g. an action that is "
+                "never performed)"
+            )
+        return self.probability(target & given) / self.probability(given)
+
+    # ------------------------------------------------------------------
+    # Structure tables
+    # ------------------------------------------------------------------
+
+    def node_mask(self, node) -> int:
+        """The mask of runs whose path passes through ``node``."""
+        rng = self._node_ranges.get(node.uid)
+        if rng is None:
+            return 0
+        lo, hi = rng
+        return (1 << hi) - (1 << lo)
+
+    def alive_mask(self, t: int) -> int:
+        """The mask of runs whose length exceeds ``t``."""
+        if 0 <= t <= self.max_time:
+            return self._alive[t]
+        return 0
+
+    def _occurrence_table(self, agent: AgentId) -> Dict[LocalState, Tuple[int, int]]:
+        table = self._local_occurrence.get(agent)
+        if table is None:
+            raise UnknownAgentError(
+                f"unknown agent {agent!r}; agents are {self.pps.agents}"
+            )
+        return table
+
+    def occurrence(self, agent: AgentId, local: LocalState) -> Optional[Tuple[int, int]]:
+        """``(time, mask)`` for a local state, or ``None`` if it never occurs."""
+        return self._occurrence_table(agent).get(local)
+
+    def occurrence_mask(self, agent: AgentId, local: LocalState) -> int:
+        entry = self.occurrence(agent, local)
+        return 0 if entry is None else entry[1]
+
+    def occurrence_time(self, agent: AgentId, local: LocalState) -> Optional[int]:
+        entry = self.occurrence(agent, local)
+        return None if entry is None else entry[0]
+
+    def local_states(self, agent: AgentId) -> FrozenSet[LocalState]:
+        return frozenset(self._occurrence_table(agent))
+
+    def partition(self, agent: AgentId, t: int) -> Mapping[LocalState, int]:
+        """Local state -> mask of time-``t`` runs in that information cell."""
+        slices = self._partitions.get(agent)
+        if slices is None:
+            raise UnknownAgentError(
+                f"unknown agent {agent!r}; agents are {self.pps.agents}"
+            )
+        if 0 <= t <= self.max_time:
+            return slices[t]
+        return {}
+
+    # ------------------------------------------------------------------
+    # Action tables
+    # ------------------------------------------------------------------
+
+    def performing_mask(self, agent: AgentId, action: Action) -> int:
+        """The mask of ``R_alpha``: runs in which the action is performed."""
+        self._ensure_actions()
+        assert self._performing is not None
+        return self._performing.get((agent, action), 0)
+
+    def performance_times(
+        self, agent: AgentId, action: Action
+    ) -> Mapping[int, Tuple[int, ...]]:
+        """Run index -> times of performance (performing runs only).
+
+        Expanded lazily per queried (agent, action) from the per-edge
+        records and memoized; unqueried actions never pay the per-run
+        expansion.
+        """
+        self._ensure_actions()
+        key = (agent, action)
+        cached = self._performance_times.get(key)
+        if cached is None:
+            table: Dict[int, List[int]] = {}
+            for t, mask in self._action_records.get(key, ()):
+                for run_index in bits(mask):
+                    table.setdefault(run_index, []).append(t)
+            cached = {
+                run_index: tuple(sorted(ts)) for run_index, ts in table.items()
+            }
+            self._performance_times[key] = cached
+        return cached
+
+    def state_cells(
+        self, agent: AgentId, action: Action
+    ) -> Mapping[LocalState, int]:
+        """Acting local state -> mask of runs performing there (``Q^{l}``)."""
+        self._ensure_actions()
+        return self._state_cells.get((agent, action), {})
+
+    def actions_of(self, agent: AgentId) -> FrozenSet[Action]:
+        self._ensure_actions()
+        return frozenset(self._agent_actions.get(agent, ()))
+
+    # ------------------------------------------------------------------
+    # Fact evaluation caches
+    # ------------------------------------------------------------------
+
+    def runs_satisfying_mask(self, fact: "Fact", *, memo: bool = True) -> int:
+        """The satisfying-run mask of a run fact (memoized by identity).
+
+        Pass ``memo=False`` when evaluating a throwaway fact object:
+        identity-keyed entries for single-use facts never hit and only
+        pin the object (and anything it captures) on the system.
+        """
+        if memo:
+            cached = self._fact_masks.get(fact)
+            if cached is not None:
+                return cached
+        pps = self.pps
+        mask = 0
+        for run in pps.runs:
+            if fact.holds(pps, run, 0):
+                mask |= 1 << run.index
+        if memo:
+            self._fact_masks[fact] = mask
+        return mask
+
+    def holds_mask_at(self, fact: "Fact", t: int, *, memo: bool = True) -> int:
+        """The mask of time-``t``-alive runs at which ``fact`` holds at ``t``.
+
+        Pass ``memo=False`` for throwaway fact objects (e.g. the
+        per-iteration refinements of a fixpoint): the memo caches key
+        on identity, so entries for single-use facts would never hit
+        and only pin the objects for the system's lifetime.
+        """
+        key = (fact, t)
+        if memo:
+            cached = self._slice_masks.get(key)
+            if cached is not None:
+                return cached
+        pps = self.pps
+        runs = pps.runs
+        mask = 0
+        for index in bits(self.alive_mask(t)):
+            if fact.holds(pps, runs[index], t):
+                mask |= 1 << index
+        if memo:
+            self._slice_masks[key] = mask
+        return mask
+
+    def belief(
+        self, agent: AgentId, phi: "Fact", local: LocalState, *, memo: bool = True
+    ) -> Probability:
+        """``mu_T(phi@l | l)``, memoized per (agent, fact identity, state).
+
+        Raises:
+            UnknownLocalStateError: when ``local`` never occurs for the
+                agent.
+        """
+        key = (agent, phi, local)
+        if memo:
+            cached = self._belief_cache.get(key)
+            if cached is not None:
+                return cached
+        entry = self.occurrence(agent, local)
+        if entry is None:
+            raise UnknownLocalStateError(
+                f"local state {local!r} of agent {agent!r} never occurs "
+                f"in {self.pps.name}"
+            )
+        t, occurs = entry
+        # Every run in the occurrence mask passes through ``local`` at
+        # ``t`` (synchrony), so phi@l reduces to truth at time t.
+        satisfied = occurs & self.holds_mask_at(phi, t, memo=memo)
+        result = self.conditional(satisfied, occurs)
+        if memo:
+            self._belief_cache[key] = result
+        return result
+
+    def phi_at_action_mask(
+        self, agent: AgentId, phi: "Fact", action: Action, *, memo: bool = True
+    ) -> int:
+        """The ``phi@alpha`` run mask for a *proper* action, memoized.
+
+        Keyed on the caller's (typically long-lived) ``phi`` object
+        rather than a freshly built ``AtAction`` wrapper, so repeated
+        queries — e.g. the theorem checkers each re-deriving the
+        achieved probability of the same condition — hit the cache.
+        """
+        key = (agent, phi, action)
+        if memo:
+            cached = self._at_action_cache.get(key)
+            if cached is not None:
+                return cached
+        pps = self.pps
+        runs = pps.runs
+        mask = 0
+        for run_index, times in self.performance_times(agent, action).items():
+            if phi.holds(pps, runs[run_index], times[0]):
+                mask |= 1 << run_index
+        if memo:
+            self._at_action_cache[key] = mask
+        return mask
+
+    def common_components(
+        self, agents: Tuple[AgentId, ...], t: int
+    ) -> Dict[int, int]:
+        """Run index -> reachable-component mask for the time-``t`` slice.
+
+        Two runs are linked when some agent of the group has the same
+        local state in both; the returned masks are the transitive
+        closures used by common knowledge.
+        """
+        key = (agents, t)
+        cached = self._component_cache.get(key)
+        if cached is not None:
+            return cached
+        alive = list(bits(self.alive_mask(t)))
+        parent: Dict[int, int] = {index: index for index in alive}
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for agent in agents:
+            for mask in self.partition(agent, t).values():
+                members = bits(mask)
+                first = next(members, None)
+                if first is None:
+                    continue
+                root = find(first)
+                for other in members:
+                    other_root = find(other)
+                    if other_root != root:
+                        parent[other_root] = root
+        groups: Dict[int, int] = {}
+        for index in alive:
+            root = find(index)
+            groups[root] = groups.get(root, 0) | (1 << index)
+        components = {index: groups[find(index)] for index in alive}
+        self._component_cache[key] = components
+        return components
+
+    def __repr__(self) -> str:
+        return (
+            f"SystemIndex({self.pps.name!r}, runs={self.run_count}, "
+            f"cached_facts={len(self._fact_masks)}, "
+            f"cached_beliefs={len(self._belief_cache)})"
+        )

@@ -26,11 +26,9 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict
 
-from .actions import action_state_partition, performing_runs
-from .at_operators import at_action
-from .beliefs import belief, belief_random_variable
-from .facts import Fact, runs_satisfying
-from .measure import conditional, expectation
+from .actions import ensure_proper
+from .engine import SystemIndex
+from .facts import Fact
 from .numeric import Probability
 from .pps import PPS, Action, AgentId, LocalState
 
@@ -49,10 +47,17 @@ def expected_belief(
 
     The action must be proper.  The conditioning event is ``R_alpha``;
     the variable is zero outside it, so conditioning only rescales.
+    Computed through the action-state cells: the variable is constant
+    on each cell ``Q^{l}``, so the sum collapses to one weighted term
+    per acting local state.
     """
-    variable = belief_random_variable(pps, agent, phi, action)
-    performing = performing_runs(pps, agent, action)
-    return expectation(pps, variable, given=performing)
+    ensure_proper(pps, agent, action)
+    index = SystemIndex.of(pps)
+    performing = index.performing_mask(agent, action)
+    numerator = Fraction(0)
+    for local, cell in index.state_cells(agent, action).items():
+        numerator += index.probability(cell) * index.belief(agent, phi, local)
+    return numerator / index.probability(performing)
 
 
 @dataclass(frozen=True)
@@ -84,13 +89,15 @@ def expected_belief_decomposition(
     :func:`expected_belief` exactly (this is Equation (14) of the
     paper's Appendix D).
     """
-    performing = performing_runs(pps, agent, action)
+    ensure_proper(pps, agent, action)
+    index = SystemIndex.of(pps)
+    performing = index.performing_mask(agent, action)
     cells: Dict[LocalState, BeliefCell] = {}
-    for local, runs in action_state_partition(pps, agent, action).items():
+    for local, cell_mask in index.state_cells(agent, action).items():
         cells[local] = BeliefCell(
             local=local,
-            weight=conditional(pps, runs, performing),
-            belief=belief(pps, agent, phi, local),
+            weight=index.conditional(cell_mask, performing),
+            belief=index.belief(agent, phi, local),
         )
     return cells
 
@@ -111,12 +118,14 @@ def jeffrey_conditional(
     directly, so it agrees with ``mu(phi@alpha | alpha)`` for *all*
     facts, independent or not.  Tests exploit the contrast.
     """
-    phi_at_action = runs_satisfying(pps, at_action(phi, agent, action))
-    performing = performing_runs(pps, agent, action)
+    ensure_proper(pps, agent, action)
+    index = SystemIndex.of(pps)
+    phi_at_action = index.phi_at_action_mask(agent, phi, action)
+    performing = index.performing_mask(agent, action)
     acc = Fraction(0)
-    for local, cell_runs in action_state_partition(pps, agent, action).items():
-        weight = conditional(pps, cell_runs, performing)
+    for cell_mask in index.state_cells(agent, action).values():
+        weight = index.conditional(cell_mask, performing)
         if weight == 0:
             continue
-        acc += weight * conditional(pps, phi_at_action, cell_runs)
+        acc += weight * index.conditional(phi_at_action, cell_mask)
     return acc

@@ -25,9 +25,10 @@ the run fact ``alpha`` is ``eventually(does_i(alpha))``).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, FrozenSet, Set, Tuple
+from typing import Callable, Set, Tuple
 
-from .measure import Event, event_where
+from .engine import SystemIndex, bits
+from .measure import Event
 from .pps import PPS, Run
 
 __all__ = [
@@ -53,7 +54,16 @@ class Fact(ABC):
 
     @abstractmethod
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
-        """Whether the fact is true at the point ``(run, t)`` of ``pps``."""
+        """Whether the fact is true at the point ``(run, t)`` of ``pps``.
+
+        ``run`` must be one of ``pps.runs``: the built-in operators
+        (knowledge, beliefs, ``@``-operators, ``does``/``performed``)
+        answer from ``pps``'s index tables keyed by ``run.index``, so
+        a run of a *different* system paired with this ``pps`` is not
+        meaningful (this has always been the semantic contract — the
+        knowledge and belief operators compared foreign runs against
+        ``pps.runs`` even before the indexed engine).
+        """
 
     @property
     def is_run_fact(self) -> bool:
@@ -209,6 +219,10 @@ def always(fact: Fact) -> RunFact:
 def runs_satisfying(pps: PPS, fact: Fact) -> Event:
     """The event (set of run indices) where a run fact is true.
 
+    The satisfying run set is computed once per fact *identity* and
+    memoized on the system's :class:`~repro.core.engine.SystemIndex`,
+    so re-querying the same fact object is O(1).
+
     Raises:
         TypeError: if ``fact`` is not structurally a run fact.
     """
@@ -216,13 +230,22 @@ def runs_satisfying(pps: PPS, fact: Fact) -> Event:
         raise TypeError(
             f"{fact.label!r} is transient and does not denote a run event"
         )
-    return event_where(pps, lambda run: fact.holds(pps, run, 0))
+    index = SystemIndex.of(pps)
+    return index.event_of(index.runs_satisfying_mask(fact))
 
 
 def points_satisfying(pps: PPS, fact: Fact) -> Set[Tuple[int, int]]:
-    """All points ``(run index, time)`` at which ``fact`` holds."""
+    """All points ``(run index, time)`` at which ``fact`` holds.
+
+    Evaluated one time slice at a time through the index's memoized
+    per-slice truth masks, so repeated queries of the same fact object
+    (e.g. both sides of :func:`fact_equivalent`) do not re-evaluate.
+    """
+    index = SystemIndex.of(pps)
     return {
-        (run.index, t) for run, t in pps.points() if fact.holds(pps, run, t)
+        (run_index, t)
+        for t in range(index.max_time + 1)
+        for run_index in bits(index.holds_mask_at(fact, t))
     }
 
 

@@ -25,11 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from .at_operators import at_local_state
-from .atoms import does_
-from .beliefs import occurrence_event
-from .facts import Fact, runs_satisfying
-from .measure import conditional
+from .engine import SystemIndex
+from .facts import Fact
 from .numeric import Probability
 from .pps import PPS, Action, AgentId, LocalState
 
@@ -50,15 +47,16 @@ def is_past_based(pps: PPS, phi: Fact) -> bool:
     (and including) time ``t``, the fact holds at time ``t`` in both or
     in neither.  Runs agree up to ``t`` exactly when they extend the
     same time-``t`` node, so it suffices to check that ``phi`` is
-    constant across the runs passing through each node.
+    constant across the runs passing through each node — a mask
+    comparison against the memoized per-slice truth masks.
     """
-    runs = pps.runs
+    index = SystemIndex.of(pps)
     for node in pps.state_nodes():
-        through = pps.runs_through(node)
-        if len(through) <= 1:
-            continue
-        values = {phi.holds(pps, runs[index], node.time) for index in through}
-        if len(values) > 1:
+        through = index.node_mask(node)
+        if through & (through - 1) == 0:
+            continue  # zero or one run through the node: trivially constant
+        satisfied = through & index.holds_mask_at(phi, node.time)
+        if satisfied != 0 and satisfied != through:
             return False
     return True
 
@@ -106,21 +104,23 @@ def independence_report(
     Local states at which the action is never performed satisfy the
     condition trivially (both sides are zero) but are still reported,
     so callers can inspect the full picture.
+
+    Each witness needs one pass over the local state's occurrence
+    mask: the performance cells ``Q^{l}`` supply ``does(alpha)@l`` and
+    the memoized slice mask supplies ``phi@l``.
     """
     report: Dict[LocalState, IndependenceWitness] = {}
-    does_action = does_(agent, action)
-    for local in pps.local_states(agent):
-        occurs = occurrence_event(pps, agent, local)
-        phi_at = runs_satisfying(pps, at_local_state(phi, agent, local))
-        act_at = runs_satisfying(pps, at_local_state(does_action, agent, local))
-        joint_at = runs_satisfying(
-            pps, at_local_state(phi & does_action, agent, local)
-        )
+    index = SystemIndex.of(pps)
+    cells = index.state_cells(agent, action)
+    for local in index.local_states(agent):
+        t, occurs = index.occurrence(agent, local)  # type: ignore[misc]
+        phi_at = occurs & index.holds_mask_at(phi, t)
+        act_at = cells.get(local, 0)
         report[local] = IndependenceWitness(
             local=local,
-            prob_phi=conditional(pps, phi_at, occurs),
-            prob_action=conditional(pps, act_at, occurs),
-            prob_joint=conditional(pps, joint_at, occurs),
+            prob_phi=index.conditional(phi_at, occurs),
+            prob_action=index.conditional(act_at, occurs),
+            prob_joint=index.conditional(phi_at & act_at, occurs),
         )
     return report
 

@@ -20,8 +20,9 @@ Preconditions principle (:mod:`repro.core.kop`) is exactly the
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Tuple
 
+from .engine import SystemIndex, bits
 from .facts import Fact
 from .pps import PPS, AgentId, Run
 
@@ -48,11 +49,9 @@ def indistinguishable_points(
     restricts candidates to the same time slice.
     """
     local = run.local(agent, t)
-    return [
-        (other.index, t)
-        for other in pps.runs
-        if t < other.length and other.local(agent, t) == local
-    ]
+    index = SystemIndex.of(pps)
+    cell = index.partition(agent, t).get(local, 0)
+    return [(other, t) for other in bits(cell)]
 
 
 def knowledge_partition(
@@ -61,13 +60,14 @@ def knowledge_partition(
     """Partition of the time-``t`` runs by the agent's local state.
 
     Maps each local state occurring at time ``t`` to the indices of the
-    runs passing through it — the agent's information cells.
+    runs passing through it — the agent's information cells.  Served
+    from the index's precomputed per-time partition tables.
     """
-    cells: Dict[object, Set[int]] = {}
-    for run in pps.runs:
-        if t < run.length:
-            cells.setdefault(run.local(agent, t), set()).add(run.index)
-    return {local: frozenset(indices) for local, indices in cells.items()}
+    index = SystemIndex.of(pps)
+    return {
+        local: index.event_of(mask)
+        for local, mask in index.partition(agent, t).items()
+    }
 
 
 class Knows(Fact):
@@ -79,12 +79,11 @@ class Knows(Fact):
         self.label = f"K[{agent}]({phi.label})"
 
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
-        local = run.local(self.agent, t)
-        for other in pps.runs:
-            if t < other.length and other.local(self.agent, t) == local:
-                if not self.phi.holds(pps, other, t):
-                    return False
-        return True
+        index = SystemIndex.of(pps)
+        cell = index.partition(self.agent, t).get(run.local(self.agent, t), 0)
+        # Knowledge = the information cell is contained in phi's
+        # time-t truth mask (memoized per fact identity and slice).
+        return cell & ~index.holds_mask_at(self.phi, t) == 0
 
 
 def knows(agent: AgentId, phi: Fact) -> Knows:
@@ -116,55 +115,19 @@ class CommonKnowledge(Fact):
     group has the same local state in both; ``C_G(phi)`` holds at
     ``(r, t)`` iff ``phi`` holds at ``(r', t)`` for every ``r'`` in the
     transitive closure of the links from ``r`` (including ``r`` itself).
-    Results are cached per (system, time).
+    The component masks are cached on the system index per
+    (group, time), so they are shared across operator instances.
     """
 
     def __init__(self, agents: Iterable[AgentId], phi: Fact) -> None:
         self.agents = tuple(agents)
         self.phi = phi
         self.label = f"C[{','.join(self.agents)}]({phi.label})"
-        self._component_cache: Dict[Tuple[int, int], Dict[int, int]] = {}
-
-    def _components(self, pps: PPS, t: int) -> Dict[int, int]:
-        """Map run index -> component id for the time-``t`` slice."""
-        key = (id(pps), t)
-        cached = self._component_cache.get(key)
-        if cached is not None:
-            return cached
-        alive = [run.index for run in pps.runs if t < run.length]
-        parent: Dict[int, int] = {index: index for index in alive}
-
-        def find(x: int) -> int:
-            while parent[x] != x:
-                parent[x] = parent[parent[x]]
-                x = parent[x]
-            return x
-
-        def link(a: int, b: int) -> None:
-            ra, rb = find(a), find(b)
-            if ra != rb:
-                parent[ra] = rb
-
-        for agent in self.agents:
-            cells: Dict[object, int] = {}
-            for index in alive:
-                local = pps.runs[index].local(agent, t)
-                if local in cells:
-                    link(index, cells[local])
-                else:
-                    cells[local] = index
-        components = {index: find(index) for index in alive}
-        self._component_cache[key] = components
-        return components
 
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
-        components = self._components(pps, t)
-        mine = components[run.index]
-        return all(
-            self.phi.holds(pps, pps.runs[index], t)
-            for index, component in components.items()
-            if component == mine
-        )
+        index = SystemIndex.of(pps)
+        component = index.common_components(self.agents, t)[run.index]
+        return component & ~index.holds_mask_at(self.phi, t) == 0
 
 
 def common_knowledge(agents: Iterable[AgentId], phi: Fact) -> CommonKnowledge:

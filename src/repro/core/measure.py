@@ -7,6 +7,14 @@ measurable, events are simply sets of runs; we represent an event as a
 
 All probabilities returned here are exact rationals whenever the tree's
 edge labels are (which they are, by construction).
+
+Internally the measures route through the per-system
+:class:`~repro.core.engine.SystemIndex`: the frozenset is converted to
+an integer bitmask once and the exact-probability kernel (integer
+weights over a common denominator, with a prefix table for contiguous
+run ranges) does the summation.  The frozenset-based API is the stable
+interop boundary; callers that want to stay in mask space can use the
+index directly.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Callable, FrozenSet, Iterable, Optional, Sequence
 
+from .engine import SystemIndex
 from .errors import ConditioningOnNullEventError
 from .numeric import Probability
 from .pps import PPS, Run
@@ -38,7 +47,8 @@ Event = FrozenSet[int]
 
 def all_runs(pps: PPS) -> Event:
     """The sure event ``R_T``."""
-    return frozenset(run.index for run in pps.runs)
+    index = SystemIndex.of(pps)
+    return index.event_of(index.all_mask)
 
 
 def empty_event() -> Event:
@@ -53,7 +63,8 @@ def event_where(pps: PPS, predicate: Callable[[Run], bool]) -> Event:
 
 def complement(pps: PPS, event: Event) -> Event:
     """The complement of ``event`` in ``R_T``."""
-    return all_runs(pps) - event
+    index = SystemIndex.of(pps)
+    return index.event_of(index.complement(index.mask_of(event)))
 
 
 def intersect(*events: Event) -> Event:
@@ -76,8 +87,8 @@ def union(*events: Event) -> Event:
 
 def probability(pps: PPS, event: Event) -> Probability:
     """The prior probability ``mu_T(event)``."""
-    runs = pps.runs
-    return sum((runs[index].prob for index in event), start=Fraction(0))
+    index = SystemIndex.of(pps)
+    return index.probability(index.mask_of(event))
 
 
 def conditional(pps: PPS, event: Event, given: Event) -> Probability:
@@ -88,12 +99,8 @@ def conditional(pps: PPS, event: Event, given: Event) -> Probability:
             pps every run has positive probability, so emptiness is the
             only way a conditioning event can be null.)
     """
-    if not given:
-        raise ConditioningOnNullEventError(
-            "cannot condition on an empty event (e.g. an action that is "
-            "never performed)"
-        )
-    return probability(pps, event & given) / probability(pps, given)
+    index = SystemIndex.of(pps)
+    return index.conditional(index.mask_of(event), index.mask_of(given))
 
 
 def expectation(

@@ -1,0 +1,185 @@
+"""Reference (unindexed) evaluation path, kept for parity and benchmarks.
+
+These are the seed implementations that predate the
+:mod:`~repro.core.engine` index: every query rescans ``pps.runs`` and
+rebuilds frozensets from scratch, with no caching of any kind.  They
+are deliberately preserved — byte-for-byte in semantics — so that
+
+* the engine-parity tests can assert that the indexed engine returns
+  *exactly* (``Fraction``-equal) the same answers on arbitrary
+  systems, and
+* ``benchmarks/bench_engine_speedup.py`` can time the indexed engine
+  against the cost model the library actually had before the index
+  existed.
+
+Nothing else should import this module; the public API routes through
+the index.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, FrozenSet, Optional, Set
+
+from .errors import ConditioningOnNullEventError, UnknownLocalStateError
+from .facts import Fact
+from .numeric import Probability, ProbabilityLike, ZERO, as_fraction
+from .pps import PPS, Action, AgentId, LocalState, Run
+
+__all__ = [
+    "naive_event_where",
+    "naive_probability",
+    "naive_conditional",
+    "naive_runs_satisfying",
+    "naive_occurrence_event",
+    "naive_belief",
+    "naive_performing_runs",
+    "naive_performance_time",
+    "naive_achieved_probability",
+    "naive_expected_belief",
+    "naive_threshold_met_measure",
+    "naive_knowledge_partition",
+]
+
+Event = FrozenSet[int]
+
+
+def naive_event_where(pps: PPS, predicate: Callable[[Run], bool]) -> Event:
+    return frozenset(run.index for run in pps.runs if predicate(run))
+
+
+def naive_probability(pps: PPS, event: Event) -> Probability:
+    runs = pps.runs
+    return sum((runs[index].prob for index in event), start=Fraction(0))
+
+
+def naive_conditional(pps: PPS, event: Event, given: Event) -> Probability:
+    if not given:
+        raise ConditioningOnNullEventError("cannot condition on an empty event")
+    return naive_probability(pps, event & given) / naive_probability(pps, given)
+
+
+def naive_runs_satisfying(pps: PPS, fact: Fact) -> Event:
+    if not fact.is_run_fact:
+        raise TypeError(
+            f"{fact.label!r} is transient and does not denote a run event"
+        )
+    return naive_event_where(pps, lambda run: fact.holds(pps, run, 0))
+
+
+def naive_occurrence_event(pps: PPS, agent: AgentId, local: LocalState) -> Event:
+    return naive_event_where(
+        pps, lambda run: any(run.local(agent, t) == local for t in run.times())
+    )
+
+
+def _at_local_state_event(
+    pps: PPS, phi: Fact, agent: AgentId, local: LocalState
+) -> Event:
+    def predicate(run: Run) -> bool:
+        for time in run.times():
+            if run.local(agent, time) == local:
+                return phi.holds(pps, run, time)
+        return False
+
+    return naive_event_where(pps, predicate)
+
+
+def naive_belief(
+    pps: PPS, agent: AgentId, phi: Fact, local: LocalState
+) -> Probability:
+    occurs = naive_occurrence_event(pps, agent, local)
+    if not occurs:
+        raise UnknownLocalStateError(
+            f"local state {local!r} of agent {agent!r} never occurs in {pps.name}"
+        )
+    phi_at_local = _at_local_state_event(pps, phi, agent, local)
+    return naive_conditional(pps, phi_at_local, occurs)
+
+
+def naive_performing_runs(pps: PPS, agent: AgentId, action: Action) -> Event:
+    return naive_event_where(pps, lambda run: bool(run.performs(agent, action)))
+
+
+def naive_performance_time(
+    pps: PPS, agent: AgentId, action: Action, run: Run
+) -> Optional[int]:
+    times = run.performs(agent, action)
+    if not times:
+        return None
+    return times[0]
+
+
+def _at_action_event(pps: PPS, phi: Fact, agent: AgentId, action: Action) -> Event:
+    def predicate(run: Run) -> bool:
+        times = run.performs(agent, action)
+        if not times:
+            return False
+        return phi.holds(pps, run, times[0])
+
+    return naive_event_where(pps, predicate)
+
+
+def naive_achieved_probability(
+    pps: PPS, agent: AgentId, phi: Fact, action: Action
+) -> Probability:
+    performing = naive_performing_runs(pps, agent, action)
+    satisfied = _at_action_event(pps, phi, agent, action)
+    return naive_conditional(pps, satisfied, performing)
+
+
+def _naive_belief_variable(
+    pps: PPS, agent: AgentId, phi: Fact, action: Action
+) -> Callable[[Run], Probability]:
+    cache: Dict[LocalState, Probability] = {}
+
+    def variable(run: Run) -> Probability:
+        t = naive_performance_time(pps, agent, action, run)
+        if t is None:
+            return ZERO
+        local = run.local(agent, t)
+        if local not in cache:
+            cache[local] = naive_belief(pps, agent, phi, local)
+        return cache[local]
+
+    return variable
+
+
+def naive_expected_belief(
+    pps: PPS, agent: AgentId, phi: Fact, action: Action
+) -> Probability:
+    variable = _naive_belief_variable(pps, agent, phi, action)
+    performing = naive_performing_runs(pps, agent, action)
+    denominator = naive_probability(pps, performing)
+    runs = pps.runs
+    numerator = sum(
+        (runs[index].prob * variable(runs[index]) for index in performing),
+        start=Fraction(0),
+    )
+    return numerator / denominator
+
+
+def naive_threshold_met_measure(
+    pps: PPS,
+    agent: AgentId,
+    phi: Fact,
+    action: Action,
+    threshold: ProbabilityLike,
+) -> Probability:
+    bound = as_fraction(threshold)
+    variable = _naive_belief_variable(pps, agent, phi, action)
+    performing = naive_performing_runs(pps, agent, action)
+    met = frozenset(
+        index for index in performing if variable(pps.runs[index]) >= bound
+    )
+    return naive_conditional(pps, met, performing)
+
+
+def naive_knowledge_partition(
+    pps: PPS, agent: AgentId, t: int
+) -> Dict[object, FrozenSet[int]]:
+    cells: Dict[object, Set[int]] = {}
+    for run in pps.runs:
+        if t < run.length:
+            cells.setdefault(run.local(agent, t), set()).add(run.index)
+    return {local: frozenset(indices) for local, indices in cells.items()}

@@ -131,12 +131,19 @@ class Run:
 
     ``nodes[t]`` is the tree node holding the global state ``r(t)``;
     hence ``r(0)`` is a child of the root.  ``prob`` is ``mu_T({r})``.
+
+    ``positions`` maps agent name to its index in the ``locals``
+    tuples; the owning :class:`PPS` shares its own table so agent
+    lookups are O(1) rather than a linear scan of ``agents``.
     """
 
     index: int
     nodes: Tuple[Node, ...]
     prob: Probability
     agents: Tuple[AgentId, ...]
+    positions: Mapping[AgentId, int] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     @property
     def length(self) -> int:
@@ -163,10 +170,14 @@ class Run:
 
     def local(self, agent: AgentId, t: int) -> LocalState:
         """Agent ``agent``'s local state ``r_i(t)``."""
-        try:
-            idx = self.agents.index(agent)
-        except ValueError:
-            raise UnknownAgentError(f"unknown agent {agent!r}") from None
+        idx = self.positions.get(agent)
+        if idx is None:
+            # Hand-built runs may lack the shared table; fall back to a
+            # scan so construction sites outside PPS keep working.
+            try:
+                idx = self.agents.index(agent)
+            except ValueError:
+                raise UnknownAgentError(f"unknown agent {agent!r}") from None
         return self.state(t).local(idx)
 
     def action_of(self, agent: AgentId, t: int) -> Optional[Action]:
@@ -236,7 +247,7 @@ class PPS:
         }
         self.root = root
         self._runs: Optional[Tuple[Run, ...]] = None
-        self._node_runs: Optional[Dict[int, FrozenSet[int]]] = None
+        self._system_index = None  # built lazily by SystemIndex.of
         if validate:
             self.validate()
 
@@ -367,6 +378,7 @@ class PPS:
                             nodes=tuple(path),
                             prob=prob,
                             agents=self.agents,
+                            positions=self._agent_index,
                         )
                     )
                 else:
@@ -388,15 +400,25 @@ class PPS:
             for t in run.times():
                 yield run, t
 
+    def index(self) -> "SystemIndex":  # noqa: F821 - forward reference
+        """The system's :class:`~repro.core.engine.SystemIndex`.
+
+        Built lazily on first use and cached for the lifetime of the
+        system (pps trees are immutable after validation, so the index
+        never needs invalidating).
+        """
+        from .engine import SystemIndex  # late import: engine imports pps
+
+        return SystemIndex.of(self)
+
     def runs_through(self, node: Node) -> FrozenSet[int]:
-        """Indices of the runs whose path passes through ``node``."""
-        if self._node_runs is None:
-            table: Dict[int, set] = {}
-            for run in self.runs:
-                for path_node in run.nodes:
-                    table.setdefault(path_node.uid, set()).add(run.index)
-            self._node_runs = {uid: frozenset(s) for uid, s in table.items()}
-        return self._node_runs.get(node.uid, frozenset())
+        """Indices of the runs whose path passes through ``node``.
+
+        The root lies on no run (runs exclude it), so it maps to the
+        empty event.
+        """
+        index = self.index()
+        return index.event_of(index.node_mask(node))
 
     # ------------------------------------------------------------------
     # Local states and actions
@@ -404,12 +426,8 @@ class PPS:
 
     def local_states(self, agent: AgentId) -> FrozenSet[LocalState]:
         """All local states of ``agent`` occurring anywhere in the tree."""
-        idx = self.agent_index(agent)
-        return frozenset(
-            node.state.local(idx)
-            for node in self.state_nodes()
-            if node.state is not None
-        )
+        self.agent_index(agent)  # keep the UnknownAgentError contract
+        return self.index().local_states(agent)
 
     def occurrence_time(self, agent: AgentId, local: LocalState) -> Optional[int]:
         """The unique time at which ``local`` occurs for ``agent``.
@@ -417,21 +435,12 @@ class PPS:
         Synchrony guarantees uniqueness.  Returns ``None`` when the
         local state never occurs.
         """
-        idx = self.agent_index(agent)
-        for node in self.state_nodes():
-            if node.state is not None and node.state.local(idx) == local:
-                return node.time
-        return None
+        self.agent_index(agent)  # keep the UnknownAgentError contract
+        return self.index().occurrence_time(agent, local)
 
     def actions_of(self, agent: AgentId) -> FrozenSet[Action]:
         """All actions ``agent`` ever performs in the system."""
-        found = set()
-        for run in self.runs:
-            for t in range(run.length - 1):
-                action = run.action_of(agent, t)
-                if action is not None:
-                    found.add(action)
-        return frozenset(found)
+        return self.index().actions_of(agent)
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,220 @@
+"""Engine parity: the indexed engine must agree exactly with the naive path.
+
+The :mod:`repro.core.engine` index changes how every query is
+evaluated but must never change *what* is computed: probabilities,
+beliefs, knowledge partitions, and theorem-checker verdicts have to be
+``Fraction``-equal to the preserved naive implementations in
+:mod:`repro.core.naive` on arbitrary systems.  These property-style
+tests hammer that on 50+ random protocol systems (plus the hand-built
+fixtures), reusing the seeded generators of
+:mod:`repro.analysis.random_systems`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    SystemIndex,
+    achieved_probability,
+    belief,
+    expected_belief,
+    knowledge_partition,
+    occurrence_event,
+    performing_runs,
+    probability,
+    runs_satisfying,
+    threshold_met_measure,
+)
+from repro.core.naive import (
+    naive_achieved_probability,
+    naive_belief,
+    naive_expected_belief,
+    naive_knowledge_partition,
+    naive_occurrence_event,
+    naive_performing_runs,
+    naive_probability,
+    naive_runs_satisfying,
+    naive_threshold_met_measure,
+)
+from repro.analysis.random_systems import (
+    proper_actions_of,
+    random_protocol_system,
+    random_run_fact,
+    random_state_fact,
+)
+from repro.analysis.verify import verify_constraint
+
+# 50+ systems across deterministic, half-mixed, and fully mixed protocols.
+PARITY_SEEDS = [(seed, seed % 3 * 0.5) for seed in range(54)]
+
+
+def _system(seed: int, mixed: float):
+    return random_protocol_system(seed, mixed_level=mixed)
+
+
+@pytest.mark.parametrize("seed,mixed", PARITY_SEEDS)
+def test_event_and_probability_parity(seed, mixed):
+    system = _system(seed, mixed)
+    phi = random_state_fact(seed + 1)
+    psi = random_run_fact(seed + 2)
+    from repro.core.facts import eventually
+
+    run_fact = eventually(phi)
+    assert runs_satisfying(system, run_fact) == naive_runs_satisfying(
+        system, run_fact
+    )
+    assert runs_satisfying(system, psi) == naive_runs_satisfying(system, psi)
+    event = runs_satisfying(system, run_fact)
+    assert probability(system, event) == naive_probability(system, event)
+
+
+@pytest.mark.parametrize("seed,mixed", PARITY_SEEDS)
+def test_belief_parity_at_every_local_state(seed, mixed):
+    system = _system(seed, mixed)
+    phi = random_state_fact(seed + 3)
+    for agent in system.agents:
+        for local in system.local_states(agent):
+            assert occurrence_event(system, agent, local) == naive_occurrence_event(
+                system, agent, local
+            )
+            assert belief(system, agent, phi, local) == naive_belief(
+                system, agent, phi, local
+            )
+
+
+@pytest.mark.parametrize("seed,mixed", PARITY_SEEDS)
+def test_action_and_constraint_parity(seed, mixed):
+    system = _system(seed, mixed)
+    phi = random_state_fact(seed + 4)
+    for agent in system.agents:
+        for action in proper_actions_of(system, agent):
+            assert performing_runs(system, agent, action) == naive_performing_runs(
+                system, agent, action
+            )
+            assert achieved_probability(
+                system, agent, phi, action
+            ) == naive_achieved_probability(system, agent, phi, action)
+            assert expected_belief(
+                system, agent, phi, action
+            ) == naive_expected_belief(system, agent, phi, action)
+            for threshold in ("1/3", "1/2", "9/10"):
+                assert threshold_met_measure(
+                    system, agent, phi, action, threshold
+                ) == naive_threshold_met_measure(system, agent, phi, action, threshold)
+
+
+@pytest.mark.parametrize("seed,mixed", PARITY_SEEDS)
+def test_knowledge_partition_parity(seed, mixed):
+    system = _system(seed, mixed)
+    for agent in system.agents:
+        for t in range(system.max_time() + 1):
+            assert knowledge_partition(system, agent, t) == naive_knowledge_partition(
+                system, agent, t
+            )
+
+
+@pytest.mark.parametrize("seed", range(0, 54, 9))
+def test_theorem_verdict_parity(seed):
+    # The checkers route every premise and conclusion through the
+    # engine; their verdicts must be identical to what the naive
+    # quantities imply.  (Verified=True is already asserted by
+    # test_properties; here we check the evidence values.)
+    system = _system(seed, (seed % 3) * 0.5)
+    phi = random_state_fact(seed + 5)
+    agent = system.agents[0]
+    action = proper_actions_of(system, agent)[0]
+    checks = verify_constraint(system, agent, action, phi, "1/2")
+    for name, check in checks.items():
+        assert check.verified, f"{name} failed on random-{seed}"
+    achieved = checks["theorem-6.2"].details["achieved"]
+    assert achieved == naive_achieved_probability(system, agent, phi, action)
+    expected = checks["theorem-6.2"].details["expected-belief"]
+    assert expected == naive_expected_belief(system, agent, phi, action)
+
+
+class TestSystemIndexInternals:
+    """Direct unit coverage of the bitmask kernel and tables."""
+
+    def test_index_cached_on_system(self):
+        system = random_protocol_system(0)
+        assert SystemIndex.of(system) is SystemIndex.of(system)
+        assert system.index() is SystemIndex.of(system)
+
+    def test_mask_event_round_trip(self):
+        system = random_protocol_system(1)
+        index = SystemIndex.of(system)
+        event = frozenset(range(0, index.run_count, 2))
+        assert index.event_of(index.mask_of(event)) == event
+        assert index.mask_of(index.event_of(0b1011)) == 0b1011
+
+    def test_probability_kernel_matches_run_sums(self):
+        system = random_protocol_system(2)
+        index = SystemIndex.of(system)
+        assert index.probability(index.all_mask) == 1
+        assert index.probability(0) == 0
+        # Contiguous (prefix-table) and scattered (popcount) paths.
+        contiguous = (1 << min(3, index.run_count)) - 1
+        scattered = contiguous & ~0b10
+        for mask in (contiguous, scattered):
+            expected = sum(
+                (system.runs[i].prob for i in index.event_of(mask)),
+                start=index.probability(0),
+            )
+            assert index.probability(mask) == expected
+
+    def test_node_masks_are_contiguous_dfs_ranges(self):
+        system = random_protocol_system(3)
+        index = SystemIndex.of(system)
+        for node in system.state_nodes():
+            mask = index.node_mask(node)
+            assert mask, "every node lies on at least one run"
+            lo = (mask & -mask).bit_length() - 1
+            hi = mask.bit_length()
+            assert mask == (1 << hi) - (1 << lo)
+            assert system.runs_through(node) == index.event_of(mask)
+
+    def test_occurrence_table_matches_pps_scan(self):
+        system = random_protocol_system(4)
+        index = SystemIndex.of(system)
+        for agent in system.agents:
+            for local in system.local_states(agent):
+                t = index.occurrence_time(agent, local)
+                assert t == system.occurrence_time(agent, local)
+                assert index.occurrence_mask(agent, local) == index.mask_of(
+                    naive_occurrence_event(system, agent, local)
+                )
+
+    def test_fact_mask_memoized_by_identity(self):
+        system = random_protocol_system(5)
+        index = SystemIndex.of(system)
+        phi = random_run_fact(99)
+        first = index.runs_satisfying_mask(phi)
+        assert phi in index._fact_masks
+        assert index.runs_satisfying_mask(phi) == first
+
+    def test_env_pseudo_agent_actions_survive_indexing(self):
+        # Regression: via_action entries recorded under the reserved
+        # environment name (record_env_action / messaging delivery
+        # patterns) are not in pps.agents but must still be queryable
+        # as run facts, exactly as in the pre-index implementation.
+        from repro import performed, probability, runs_satisfying
+        from repro.apps.firing_squad import build_firing_squad
+        from repro.protocols.compiler import ENV
+
+        system = build_firing_squad()
+        env_actions = system.actions_of(ENV)
+        assert env_actions, "firing squad records environment actions"
+        for action in env_actions:
+            fact = performed(ENV, action)
+            event = runs_satisfying(system, fact)
+            expected = frozenset(
+                run.index
+                for run in system.runs
+                if run.performs(ENV, action)
+            )
+            assert event == expected and event
+            assert probability(system, event) == sum(
+                (system.runs[i].prob for i in expected),
+                start=probability(system, frozenset()),
+            )

@@ -97,8 +97,11 @@ class TestCommonKnowledge:
         assert points_satisfying(firing_squad, c) == set()
 
     def test_component_cache_reused(self, two_coin_tree):
+        from repro import SystemIndex
+
         c = common_knowledge(["obs", "blind"], TRUE)
         run = two_coin_tree.runs[0]
         assert c.holds(two_coin_tree, run, 0)
         assert c.holds(two_coin_tree, run, 0)  # second call hits the cache
-        assert (id(two_coin_tree), 0) in c._component_cache
+        index = SystemIndex.of(two_coin_tree)
+        assert (("obs", "blind"), 0) in index._component_cache

@@ -45,6 +45,94 @@ class TestSampler:
             assert abs(observed - expected) < 0.02
 
 
+class TestExactChildChoice:
+    """Regression: child selection must use exact cumulative weights.
+
+    The seed implementation accumulated ``float(prob_from_parent)`` and
+    fell back to the last child on round-off.  With probabilities that
+    do not round-trip through float (thirds, tenths), the float
+    cumulative sums drift off the exact cell boundaries; the sampler
+    must place boundary draws by exact ``Fraction`` comparison.
+    """
+
+    @staticmethod
+    def _uniform_tree(n_children):
+        from repro import PPSBuilder
+
+        builder = PPSBuilder(["a"], name=f"uniform-{n_children}")
+        for k in range(n_children):
+            builder.initial(Fraction(1, n_children), {"a": (0, k)})
+        return builder.build()
+
+    @staticmethod
+    def _forced(sampler, pick):
+        sampler._rng = type("Stub", (), {"random": staticmethod(lambda: pick)})()
+        return sampler.sample_run()
+
+    def test_boundary_draw_lands_in_exact_cell(self):
+        # float(1/3) < 1/3, so the draw 0.3333333333333333 lies in the
+        # *first* third exactly; the old float accumulation assigned it
+        # to the second child.
+        from repro.analysis import RunSampler
+
+        system = self._uniform_tree(3)
+        run = self._forced(RunSampler(system, seed=0), 0.3333333333333333)
+        assert run.local("a", 0) == (0, 0)
+
+    def test_drifted_float_sums_do_not_shift_cells(self):
+        # The float cumulative sum of six tenths collapses onto the
+        # double 0.6, which is *below* 6/10; a draw of that very double
+        # failed the old strict float comparison and was pushed into
+        # child 6 even though it lies exactly inside child 5's cell.
+        from repro.analysis import RunSampler
+
+        system = self._uniform_tree(10)
+        run = self._forced(RunSampler(system, seed=0), 0.6)
+        assert run.local("a", 0) == (0, 5)
+
+    def test_every_boundary_neighbourhood_is_exact(self):
+        import math
+
+        from repro.analysis import RunSampler
+
+        system = self._uniform_tree(10)
+        sampler = RunSampler(system, seed=0)
+        for k in range(1, 10):
+            boundary = float(Fraction(k, 10))
+            picks = [boundary]
+            for _ in range(3):
+                picks.append(math.nextafter(picks[-1], 0.0))
+                picks.insert(0, math.nextafter(picks[0], 1.0))
+            for pick in picks:
+                run = self._forced(sampler, pick)
+                # ground truth: smallest j with pick < (j + 1)/10 exactly
+                expected = next(
+                    j for j in range(10) if Fraction(pick) < Fraction(j + 1, 10)
+                )
+                assert run.local("a", 0) == (0, expected)
+
+    def test_no_fallback_needed_for_draws_near_one(self):
+        from repro.analysis import RunSampler
+
+        system = self._uniform_tree(3)
+        # float cumulative sum of three thirds is 0.9999999999999999 <
+        # 1; the old guard silently returned the last child.  Exactly,
+        # this draw still lies inside the last third — but by
+        # comparison, not by fallback.
+        run = self._forced(RunSampler(system, seed=0), 0.9999999999999999)
+        assert run.local("a", 0) == (0, 2)
+
+    def test_sampling_distribution_with_thirds(self):
+        from repro.analysis import RunSampler
+
+        system = self._uniform_tree(3)
+        counts = [0, 0, 0]
+        for run in RunSampler(system, seed=11).sample_runs(9000):
+            counts[run.local("a", 0)[1]] += 1
+        for count in counts:
+            assert abs(count / 9000 - 1 / 3) < 0.02
+
+
 class TestEstimators:
     def test_probability_estimate(self, firing_squad):
         go_one = lambda run: run.local(ALICE, 0)[1].payload == 1

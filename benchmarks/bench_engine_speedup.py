@@ -1,18 +1,28 @@
 """Benchmark: the indexed engine vs. the naive evaluation path.
 
-Runs the same exact-analysis workload — achieved probabilities,
-expected acting beliefs, threshold-met measures at several levels,
-full belief profiles, occurrence events, and per-time knowledge
-partitions — over the ``bench_scaling`` tree family (consensus with a
-lossy channel, deep coordinated attack), once through the
-:class:`~repro.core.engine.SystemIndex`-backed public API and once
-through the preserved naive implementations in
-:mod:`repro.core.naive`.  Results must be ``Fraction``-equal; the
-table reports wall-clock times and the speedup.
+Two comparisons over the ``bench_scaling`` tree family (consensus with
+a lossy channel, deep coordinated attack):
+
+* **indexed vs naive** — the same exact-analysis workload (achieved
+  probabilities, expected acting beliefs, threshold-met measures at
+  several levels, full belief profiles, occurrence events, per-time
+  knowledge partitions), once through the
+  :class:`~repro.core.engine.SystemIndex`-backed public API and once
+  through the preserved naive implementations in
+  :mod:`repro.core.naive`;
+* **batched vs per-fact** — a multi-fact sweep whose rows rebuild
+  syntactically identical condition facts, once through the batched
+  APIs (``truths_at`` / ``beliefs_batch``) on a structural-key index
+  and once through per-fact single queries on an identity-keyed index
+  (the pre-batching behavior, where rebuilt facts never hit a cache).
+
+Results must be ``Fraction``-equal in both comparisons; the tables
+report wall-clock times and the speedup.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_engine_speedup.py [--smoke]
+    PYTHONPATH=src python benchmarks/bench_engine_speedup.py \
+        [--smoke] [--batched-only]
 
 or under pytest (``bench_engine_speedup.py`` follows the local
 ``bench_*`` convention and is collected by the benchmark session).
@@ -22,11 +32,12 @@ from __future__ import annotations
 
 import sys
 import time
+from fractions import Fraction
 from typing import Callable, Dict, List, Tuple
 
 sys.path.insert(0, "src")  # allow `python benchmarks/bench_engine_speedup.py`
 
-from repro.analysis.sweep import format_table
+from repro.analysis.sweep import format_table, sweep
 from repro.apps.consensus import agreement, build_consensus, decision_action
 from repro.apps.coordinated_attack import (
     ATTACK,
@@ -35,10 +46,13 @@ from repro.apps.coordinated_attack import (
     build_coordinated_attack,
 )
 from repro.core import naive
+from repro.core.atoms import does_, performed
 from repro.core.beliefs import belief, occurrence_event, threshold_met_measure
+from repro.core.common_belief import believes
 from repro.core.constraints import achieved_probability
+from repro.core.engine import SystemIndex
 from repro.core.expectation import expected_belief
-from repro.core.knowledge import knowledge_partition
+from repro.core.knowledge import knowledge_partition, knows
 from repro.core.pps import PPS
 
 THRESHOLDS = ("1/3", "1/2", "2/3", "9/10")
@@ -172,30 +186,210 @@ def scaling_rows(*, smoke: bool = False) -> List[Dict[str, object]]:
     ]
 
 
-def main(argv: List[str]) -> int:
-    smoke = "--smoke" in argv
-    rows = scaling_rows(smoke=smoke)
-    print(
-        format_table(
-            rows,
-            title="engine speedup: indexed SystemIndex vs naive rescan "
-            + ("(smoke)" if smoke else "(full)"),
+# ----------------------------------------------------------------------
+# Batched sweep vs per-fact loop
+# ----------------------------------------------------------------------
+
+
+def _sweep_facts(agent, action, level):
+    """One sweep row's condition facts, built fresh (as sweeps do).
+
+    Every fact is structural, so the batched path's structural-key
+    caches recognize the rebuilds; only ``believes`` varies with the
+    row's ``level`` parameter, and even it shares its operand's masks.
+    """
+    alpha = performed(agent, action)
+    acting = does_(agent, action)
+    return [
+        alpha,
+        acting,
+        knows(agent, alpha),
+        believes(agent, alpha, level),
+        alpha & ~acting,
+        ~alpha | knows(agent, alpha),
+    ]
+
+
+def _sweep_grid(*, smoke: bool) -> Dict[str, Tuple]:
+    if smoke:
+        return {"level": ("1/2", "9/10"), "rep": (0, 1)}
+    return {"level": THRESHOLDS, "rep": (0, 1, 2, 3)}
+
+
+def _row_quantities(index, agent, locals_sorted, facts, masks_by_t, beliefs_by_local):
+    """Fold masks/beliefs into the row's exact scalar columns."""
+    out: Dict[str, object] = {}
+    for k in range(len(facts)):
+        out[f"mu{k}"] = sum(
+            (index.probability(masks[k]) for masks in masks_by_t),
+            start=Fraction(0),
         )
+        out[f"belief{k}"] = sum(
+            (beliefs_by_local[local][k] for local in locals_sorted),
+            start=Fraction(0),
+        )
+    return out
+
+
+def _per_fact_row_fn(pps: PPS, agent, action):
+    """The single-query path: one engine call per (fact, slice/state)."""
+    index = pps.index()
+    locals_sorted = sorted(index.local_states(agent), key=repr)
+    times = range(index.max_time + 1)
+
+    def row(level, rep):
+        facts = _sweep_facts(agent, action, level)
+        masks_by_t = [
+            [index.holds_mask_at(fact, t) for fact in facts] for t in times
+        ]
+        beliefs_by_local = {
+            local: [index.belief(agent, fact, local) for fact in facts]
+            for local in locals_sorted
+        }
+        return _row_quantities(
+            index, agent, locals_sorted, facts, masks_by_t, beliefs_by_local
+        )
+
+    return row
+
+
+def _batched_rows_fn(pps: PPS, agent, action):
+    """The batched path: one engine call per slice/state per *row*."""
+    index = pps.index()
+    locals_sorted = sorted(index.local_states(agent), key=repr)
+    times = range(index.max_time + 1)
+
+    def rows(points):
+        results = []
+        for point in points:
+            facts = _sweep_facts(agent, action, point["level"])
+            masks_by_t = [index.truths_at(facts, t) for t in times]
+            beliefs_by_local = {
+                local: index.beliefs_batch(agent, facts, local)
+                for local in locals_sorted
+            }
+            results.append(
+                _row_quantities(
+                    index, agent, locals_sorted, facts, masks_by_t, beliefs_by_local
+                )
+            )
+        return results
+
+    return rows
+
+
+def compare_batched(
+    name: str,
+    build: Callable[[], PPS],
+    agent,
+    action,
+    *,
+    smoke: bool,
+) -> Dict[str, object]:
+    """Time the per-fact and batched sweeps; require exact agreement.
+
+    The per-fact system gets an identity-keyed index — the pre-batching
+    behavior, where each row's rebuilt facts miss every cache — while
+    the batched system keeps the structural-key default.
+    """
+    grid = _sweep_grid(smoke=smoke)
+    single_pps = build()
+    SystemIndex.of(single_pps, structural_keys=False)
+    single_time, single_table = _time(
+        lambda: sweep(grid, _per_fact_row_fn(single_pps, agent, action)), 1
     )
+    batched_pps = build()
+    batched_time, batched_table = _time(
+        lambda: sweep(grid, batch_row_fn=_batched_rows_fn(batched_pps, agent, action)),
+        1,
+    )
+    assert batched_table == single_table, f"{name}: batched parity violated"
+    return {
+        "system": name,
+        "runs": batched_pps.run_count(),
+        "rows": len(batched_table),
+        "per_fact_s": round(single_time, 4),
+        "batched_s": round(batched_time, 4),
+        "speedup": round(single_time / batched_time, 1),
+        "exact_match": True,
+    }
+
+
+def batched_rows(*, smoke: bool = False) -> List[Dict[str, object]]:
+    """One row per bench_scaling configuration, smallest to largest."""
+    configurations = [
+        (
+            "consensus(n=2)",
+            lambda: build_consensus(n=2, loss="0.1"),
+            "agent-0",
+            decision_action(1),
+        ),
+        (
+            "attack(acks=3)",
+            lambda: build_coordinated_attack(loss="0.1", ack_rounds=3),
+            GENERAL_A,
+            ATTACK,
+        ),
+    ]
+    if not smoke:
+        configurations.append(
+            (
+                "consensus(n=3)",
+                lambda: build_consensus(n=3, loss="0.1"),
+                "agent-0",
+                decision_action(1),
+            )
+        )
+    return [
+        compare_batched(name, build, agent, action, smoke=smoke)
+        for name, build, agent, action in configurations
+    ]
+
+
+def _gate_speedup(rows: List[Dict[str, object]], label: str, *, smoke: bool) -> int:
+    """Enforce the >=3x bar on the largest configuration (full runs).
+
+    Exact-match violations abort earlier, in the compare functions; the
+    speedup bar is advisory in smoke mode (CI timings on tiny workloads
+    are too noisy for a hard wall-clock gate) and enforced on the full
+    run, whose largest configurations have a wide margin.
+    """
     largest = rows[-1]
     if largest["speedup"] < 3:
-        # Exact-match violations abort in compare(); the speedup bar is
-        # advisory in smoke mode (CI timings on tiny workloads are too
-        # noisy for a hard wall-clock gate) and enforced on the full
-        # run, whose largest configuration has a wide margin (~15x).
-        message = f"largest configuration speedup {largest['speedup']}x < 3x"
+        message = f"{label}: largest configuration speedup {largest['speedup']}x < 3x"
         if smoke:
             print(f"WARNING (smoke, informational): {message}", file=sys.stderr)
             return 0
         print(f"FAIL: {message}", file=sys.stderr)
         return 1
-    print(f"OK: largest configuration {largest['speedup']}x >= 3x, exact match")
+    print(f"OK: {label} largest configuration {largest['speedup']}x >= 3x, exact match")
     return 0
+
+
+def main(argv: List[str]) -> int:
+    smoke = "--smoke" in argv
+    batched_only = "--batched-only" in argv
+    mode = "(smoke)" if smoke else "(full)"
+    status = 0
+    if not batched_only:
+        rows = scaling_rows(smoke=smoke)
+        print(
+            format_table(
+                rows,
+                title=f"engine speedup: indexed SystemIndex vs naive rescan {mode}",
+            )
+        )
+        status |= _gate_speedup(rows, "indexed-vs-naive", smoke=smoke)
+    rows = batched_rows(smoke=smoke)
+    print(
+        format_table(
+            rows,
+            title="batched evaluation: truths_at/beliefs_batch sweep vs "
+            f"per-fact loop {mode}",
+        )
+    )
+    status |= _gate_speedup(rows, "batched-vs-per-fact", smoke=smoke)
+    return status
 
 
 # ----------------------------------------------------------------------
@@ -208,6 +402,15 @@ def test_engine_speedup_table(benchmark):
     from conftest import emit
 
     emit(format_table(rows, title="engine speedup (indexed vs naive)"))
+    assert all(row["exact_match"] for row in rows)
+    assert rows[-1]["speedup"] >= 3
+
+
+def test_batched_speedup_table(benchmark):
+    rows = benchmark.pedantic(batched_rows, rounds=1, iterations=1)
+    from conftest import emit
+
+    emit(format_table(rows, title="batched evaluation (batched vs per-fact)"))
     assert all(row["exact_match"] for row in rows)
     assert rows[-1]["speedup"] >= 3
 

@@ -33,11 +33,34 @@ from ..apps.theorem52 import (
 )
 from ..core.beliefs import belief_at_action, threshold_met_measure
 from ..core.constraints import achieved_probability
+from ..core.engine import SystemIndex
 from ..core.expectation import expected_belief
+from ..core.facts import Fact
+from ..core.pps import PPS
 from ..core.theorems import pak_level
 from .report import ExperimentRecord
 
 __all__ = ["paper_experiments"]
+
+
+def _submit_batch(pps: PPS, agent, action, *facts: Fact) -> None:
+    """Batch-evaluate a system's condition facts before the records.
+
+    One engine pass over the runs covers the run facts, and one pass
+    per *acting* time slice covers the whole fact list — exactly the
+    slices the achieved/belief/threshold records below read — so every
+    record that revisits these conditions answers from the
+    structural-key caches instead of re-deriving events per quantity.
+    """
+    index = SystemIndex.of(pps)
+    run_facts = [fact for fact in facts if fact.is_run_fact]
+    if run_facts:
+        index.events_of(run_facts)
+    acting_times = sorted(
+        {t for times in index.performance_times(agent, action).values() for t in times}
+    )
+    for t in acting_times:
+        index.truths_at(list(facts), t)
 
 
 def paper_experiments() -> List[ExperimentRecord]:
@@ -50,6 +73,7 @@ def paper_experiments() -> List[ExperimentRecord]:
     # experiment rows that revisit the same quantities are O(1).
     fs = build_firing_squad()
     phi = both_fire()
+    _submit_batch(fs, ALICE, FIRE, phi)
     fs_achieved = achieved_probability(fs, ALICE, phi, FIRE)
     records.append(
         ExperimentRecord.of(
@@ -80,6 +104,8 @@ def paper_experiments() -> List[ExperimentRecord]:
     # ---------------------------------------------------------- E2/E3
     figure1 = build_figure1()
     psi = psi_not_alpha()
+    fig1_phi = phi_alpha()
+    _submit_batch(figure1, FIG1_AGENT, FIG1_ALPHA, psi, fig1_phi)
     performing = next(
         run for run in figure1.runs if run.performs(FIG1_AGENT, FIG1_ALPHA)
     )
@@ -104,7 +130,7 @@ def paper_experiments() -> List[ExperimentRecord]:
             "E3",
             "Fig1: mu(does(alpha)@alpha | alpha)",
             1,
-            achieved_probability(figure1, FIG1_AGENT, phi_alpha(), FIG1_ALPHA),
+            achieved_probability(figure1, FIG1_AGENT, fig1_phi, FIG1_ALPHA),
         )
     )
     records.append(
@@ -112,13 +138,14 @@ def paper_experiments() -> List[ExperimentRecord]:
             "E3",
             "Fig1: E[beta(does(alpha))@alpha | alpha]",
             "1/2",
-            expected_belief(figure1, FIG1_AGENT, phi_alpha(), FIG1_ALPHA),
+            expected_belief(figure1, FIG1_AGENT, fig1_phi, FIG1_ALPHA),
         )
     )
 
     # ------------------------------------------------------------- E4
     t52 = build_theorem52("0.9", "0.1")
     bit = bit_is_one()
+    _submit_batch(t52, AGENT_I, ALPHA, bit)
     records.append(
         ExperimentRecord.of(
             "E4",
@@ -177,24 +204,28 @@ def paper_experiments() -> List[ExperimentRecord]:
 
     # ------------------------------------------------------------- E7
     fs_improved = build_firing_squad(improved=True)
+    fs_improved_phi = both_fire()
+    _submit_batch(fs_improved, ALICE, FIRE, fs_improved_phi)
     records.append(
         ExperimentRecord.of(
             "E7",
             "FS': mu(both fire | Alice fires)",
             "990/991",
-            achieved_probability(fs_improved, ALICE, both_fire(), FIRE),
+            achieved_probability(fs_improved, ALICE, fs_improved_phi, FIRE),
             note="paper prints the rounding 0.99899",
         )
     )
 
     # ------------------------------------------------------------ E11
     attack = build_coordinated_attack(loss="0.1", ack_rounds=1)
+    attack_phi = both_attack()
+    _submit_batch(attack, GENERAL_A, ATTACK, attack_phi)
     records.append(
         ExperimentRecord.of(
             "E11",
             "attack: expected belief = success (Fischer-Zuck)",
-            achieved_probability(attack, GENERAL_A, both_attack(), ATTACK),
-            expected_belief(attack, GENERAL_A, both_attack(), ATTACK),
+            achieved_probability(attack, GENERAL_A, attack_phi, ATTACK),
+            expected_belief(attack, GENERAL_A, attack_phi, ATTACK),
         )
     )
 

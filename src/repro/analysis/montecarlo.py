@@ -167,11 +167,21 @@ def estimate_achieved(
     samples: int = 10_000,
     seed: int = 0,
 ) -> Estimate:
-    """Estimate the achieved probability ``mu(phi@alpha | alpha)``."""
+    """Estimate the achieved probability ``mu(phi@alpha | alpha)``.
+
+    The target predicate is resolved to a run mask up front through the
+    engine's batched evaluation, so the per-sample tally is a bit test
+    rather than a fact evaluation per drawn run.  What the estimator
+    cross-validates is therefore the *sampler and the probability
+    kernel* (sampled frequencies vs. exact measures); mask correctness
+    itself is cross-checked independently, against naive per-point
+    evaluation, by the engine-parity and batched-parity test suites.
+    """
     phi_at = at_action(phi, agent, action)
+    [target_mask] = SystemIndex.of(pps).events_of([phi_at])
     return estimate_conditional(
         pps,
-        lambda run: phi_at.holds(pps, run, 0),
+        lambda run: bool((target_mask >> run.index) & 1),
         _performs(pps, agent, action),
         samples=samples,
         seed=seed,

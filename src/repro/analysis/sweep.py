@@ -21,24 +21,64 @@ Row = Dict[str, object]
 
 def sweep(
     grid: Mapping[str, Sequence[object]],
-    row_fn: Callable[..., Mapping[str, object]],
+    row_fn: Optional[Callable[..., Mapping[str, object]]] = None,
+    *,
+    batch_row_fn: Optional[
+        Callable[[Sequence[Dict[str, object]]], Sequence[Mapping[str, object]]]
+    ] = None,
 ) -> List[Row]:
-    """Evaluate ``row_fn`` on every point of the parameter grid.
+    """Evaluate a row function on every point of the parameter grid.
+
+    Exactly one of ``row_fn`` and ``batch_row_fn`` must be given.
 
     Args:
         grid: parameter name -> values; the cartesian product is
             traversed in a deterministic order.
-        row_fn: called with the grid point as keyword arguments; its
+        row_fn: called with each grid point as keyword arguments; its
             result is merged (after) the parameters into the row.
+        batch_row_fn: called once with the full list of grid points
+            (as dicts) and must return one result mapping per point,
+            in order.  Use this to submit the whole sweep's facts to
+            the engine's batched evaluation (one run-slice pass per
+            batch instead of per fact) and to share structural-key
+            cache hits across rows.
 
     Returns:
         one merged row dict per grid point.
+
+    Raises:
+        TypeError: unless exactly one of ``row_fn``/``batch_row_fn`` is
+            supplied.
+        ValueError: when a result mapping's keys collide with a grid
+            parameter name (the result would silently overwrite the
+            parameter column), or when ``batch_row_fn`` returns the
+            wrong number of results.
     """
+    if (row_fn is None) == (batch_row_fn is None):
+        raise TypeError("sweep() takes exactly one of row_fn or batch_row_fn")
     names = list(grid)
+    points = [
+        dict(zip(names, combo))
+        for combo in iter_product(*(grid[name] for name in names))
+    ]
+    if batch_row_fn is not None:
+        results = list(batch_row_fn([dict(point) for point in points]))
+        if len(results) != len(points):
+            raise ValueError(
+                f"batch_row_fn returned {len(results)} results "
+                f"for {len(points)} grid points"
+            )
+    else:
+        assert row_fn is not None
+        results = [row_fn(**point) for point in points]
     rows: List[Row] = []
-    for combo in iter_product(*(grid[name] for name in names)):
-        params = dict(zip(names, combo))
-        result = row_fn(**params)
+    for params, result in zip(points, results):
+        collisions = sorted(set(params) & set(result))
+        if collisions:
+            raise ValueError(
+                f"row result would overwrite grid parameter(s) {collisions}; "
+                "rename the result keys"
+            )
         row: Row = dict(params)
         row.update(result)
         rows.append(row)

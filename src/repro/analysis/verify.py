@@ -133,7 +133,28 @@ def verify_system(
     # One SystemIndex serves the entire sweep: every checker below
     # shares the same bitmask tables and fact/belief caches instead of
     # re-deriving events per (agent, action, condition, threshold).
-    SystemIndex.of(pps)
+    # The whole condition family is submitted as one batch per time
+    # slice up front, so each slice is traversed once for all
+    # conditions rather than once per (condition, checker).  The
+    # prefetch must stay tolerant of partial conditions (facts whose
+    # ``holds`` raises somewhere): a condition the checker loop below
+    # never evaluates — e.g. when an agent has no proper actions —
+    # must not abort the verification it could not have affected.
+    index = SystemIndex.of(pps)
+    fact_list = list(conditions.values())
+    if fact_list:
+        for t in range(index.max_time + 1):
+            try:
+                index.truths_at(fact_list, t)
+            except Exception:
+                # The batch pass already cached every clean leaf; retry
+                # per fact so only the partial ones go unprefetched
+                # (the checkers surface their errors if actually used).
+                for fact in fact_list:
+                    try:
+                        index.truths_at([fact], t)
+                    except Exception:
+                        pass
     scan = tuple(agents) or pps.agents
     for agent in scan:
         for action in proper_actions_of(pps, agent):

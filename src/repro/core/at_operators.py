@@ -41,6 +41,9 @@ class AtLocalState(RunFact):
         self.local = local
         self.label = f"({phi.label})@[{agent}:{local}]"
 
+    def _structure(self):
+        return (self.phi.structural_key(), self.agent, self.local)
+
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         # Synchrony: the local state has one possible occurrence time
         # system-wide, so a single point check replaces the time scan.
@@ -60,6 +63,9 @@ class AtAction(RunFact):
         self.agent = agent
         self.action = action
         self.label = f"({phi.label})@[{agent} does {action}]"
+
+    def _structure(self):
+        return (self.phi.structural_key(), self.agent, self.action)
 
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         times = SystemIndex.of(pps).performance_times(

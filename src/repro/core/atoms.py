@@ -42,6 +42,9 @@ class _Constant(RunFact):
         self._value = value
         self.label = "true" if value else "false"
 
+    def _structure(self):
+        return (self._value,)
+
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return self._value
 
@@ -67,6 +70,9 @@ class Does(Fact):
         self.action = action
         self.label = f"does[{agent}]({action})"
 
+    def _structure(self):
+        return (self.agent, self.action)
+
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return run.action_of(self.agent, t) == self.action
 
@@ -83,6 +89,9 @@ class Performed(RunFact):
         self.agent = agent
         self.action = action
         self.label = f"performed[{agent}]({action})"
+
+    def _structure(self):
+        return (self.agent, self.action)
 
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         mask = SystemIndex.of(pps).performing_mask(self.agent, self.action)
@@ -101,6 +110,9 @@ class LocalStateOccurs(RunFact):
         self.agent = agent
         self.local = local
         self.label = f"occurs[{agent}]({local})"
+
+    def _structure(self):
+        return (self.agent, self.local)
 
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         # Synchrony: one possible occurrence time system-wide.
@@ -129,6 +141,11 @@ class StateFact(Fact):
         self._predicate = predicate
         self.label = label
 
+    def _structure(self):
+        # Keyed on the predicate object: the same callable wrapped
+        # twice is the same fact; distinct closures stay distinct.
+        return (self._predicate,)
+
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return self._predicate(run.state(t))
 
@@ -151,6 +168,9 @@ def local_fact(
         def __init__(self) -> None:
             self.label = f"{label}[{agent}]"
 
+        def _structure(self):
+            return (agent, predicate)
+
         def holds(self, pps: PPS, run: Run, t: int) -> bool:
             return predicate(run.local(agent, t))
 
@@ -170,6 +190,9 @@ class AtTime(Fact):
     def __init__(self, t0: int) -> None:
         self.t0 = t0
         self.label = f"time={t0}"
+
+    def _structure(self):
+        return (self.t0,)
 
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return t == self.t0

@@ -48,9 +48,10 @@ def occurrence_event(pps: PPS, agent: AgentId, local: LocalState) -> Event:
 def belief(pps: PPS, agent: AgentId, phi: Fact, local: LocalState) -> Probability:
     """``mu_T(phi@l | l)`` — the belief held at local state ``local``.
 
-    Memoized per (agent, fact identity, local state) on the system
-    index, so evaluating the same belief at many points (as the
-    ``B_i^p`` and common-belief operators do) costs one posterior.
+    Memoized per (agent, fact structural key, local state) on the
+    system index, so evaluating the same belief at many points (as the
+    ``B_i^p`` and common-belief operators do) — or rebuilding an equal
+    fact across sweep rows — costs one posterior.
 
     Raises:
         UnknownLocalStateError: when ``local`` never occurs for the

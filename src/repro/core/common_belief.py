@@ -52,6 +52,9 @@ class Believes(Fact):
         self.level = as_fraction(level)
         self.label = f"B[{agent}]>={self.level}({phi.label})"
 
+    def _structure(self):
+        return (self.agent, self.phi.structural_key(), self.level)
+
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return belief_at(pps, self.agent, self.phi, run, t) >= self.level
 
@@ -71,6 +74,9 @@ class EveryoneBelieves(Fact):
         self.phi = phi
         self.level = as_fraction(level)
         self.label = f"E[{','.join(self.agents)}]>={self.level}({phi.label})"
+
+    def _structure(self):
+        return (self.agents, self.phi.structural_key(), self.level)
 
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return all(
@@ -184,6 +190,9 @@ class CommonBelief(Fact):
         self.level = as_fraction(level)
         self.label = f"C[{','.join(self.agents)}]>={self.level}({phi.label})"
         self._cache: Dict[int, Set[Point]] = {}
+
+    def _structure(self):
+        return (self.agents, self.phi.structural_key(), self.level)
 
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         key = id(pps)

@@ -24,10 +24,17 @@ holds:
   per agent, per-time knowledge partitions, ``node uid -> (lo, hi)``
   leaf ranges, and ``(agent, action) -> performing mask / performance
   times / per-local-state cells``;
-* **memo caches** keyed by :class:`~repro.core.facts.Fact` identity —
-  satisfying run masks for run facts, per-time-slice truth masks for
+* **memo caches** keyed by :meth:`~repro.core.facts.Fact.structural_key`
+  — satisfying run masks for run facts, per-time-slice truth masks for
   transient facts, and posterior beliefs per (agent, fact, local
-  state).
+  state).  Structural keys let equal-but-distinct fact objects (e.g.
+  the per-row rebuilds of a sweep) share one cache entry; opaque facts
+  fall back to identity keys automatically;
+* **batched evaluation** — :meth:`SystemIndex.events_of`,
+  :meth:`SystemIndex.truths_at`, and :meth:`SystemIndex.beliefs_batch`
+  evaluate a list of facts in one pass per run-slice, decomposing
+  boolean connectives into mask algebra so shared subexpressions are
+  evaluated once per batch.
 
 Cache invalidation is *never*: a pps tree is immutable after
 validation (nothing in the library mutates nodes of a built system),
@@ -51,6 +58,7 @@ from typing import (
     List,
     Mapping,
     Optional,
+    Sequence,
     Tuple,
 )
 
@@ -84,8 +92,13 @@ class SystemIndex:
     benchmarks — all share one set of tables.
     """
 
-    def __init__(self, pps: PPS) -> None:
+    def __init__(self, pps: PPS, *, structural_keys: bool = True) -> None:
         self.pps = pps
+        # When True (the default) the fact memo caches key on
+        # Fact.structural_key(), sharing entries between
+        # equal-but-distinct fact objects; False restores pure identity
+        # keying (used by benchmarks to measure what the sharing buys).
+        self.structural_keys = structural_keys
         runs = pps.runs
         self.run_count = len(runs)
         self.all_mask = (1 << self.run_count) - 1
@@ -140,11 +153,13 @@ class SystemIndex:
         self._state_cells: Dict[Tuple[AgentId, Action], Dict[LocalState, int]] = {}
         self._agent_actions: Dict[AgentId, set] = {}
 
-        # --- memo caches keyed by Fact identity -------------------------
-        self._fact_masks: Dict["Fact", int] = {}
-        self._slice_masks: Dict[Tuple["Fact", int], int] = {}
-        self._belief_cache: Dict[Tuple[AgentId, "Fact", LocalState], Probability] = {}
-        self._at_action_cache: Dict[Tuple[AgentId, "Fact", Action], int] = {}
+        # --- memo caches keyed by Fact structural key -------------------
+        # (or by identity when structural_keys=False; opaque facts fall
+        # back to identity-shaped keys either way).
+        self._fact_masks: Dict[object, int] = {}
+        self._slice_masks: Dict[Tuple[object, int], int] = {}
+        self._belief_cache: Dict[Tuple[AgentId, object, LocalState], Probability] = {}
+        self._at_action_cache: Dict[Tuple[AgentId, object, Action], int] = {}
         self._component_cache: Dict[
             Tuple[Tuple[AgentId, ...], int], Dict[int, int]
         ] = {}
@@ -155,13 +170,21 @@ class SystemIndex:
     # ------------------------------------------------------------------
 
     @classmethod
-    def of(cls, pps: PPS) -> "SystemIndex":
-        """The system's index, built on first use and cached on the pps."""
+    def of(cls, pps: PPS, *, structural_keys: bool = True) -> "SystemIndex":
+        """The system's index, built on first use and cached on the pps.
+
+        ``structural_keys`` only takes effect when this call builds the
+        index; an already-attached index is returned as-is.
+        """
         index = getattr(pps, "_system_index", None)
         if index is None:
-            index = cls(pps)
+            index = cls(pps, structural_keys=structural_keys)
             pps._system_index = index  # type: ignore[attr-defined]
         return index
+
+    def _fact_key(self, fact: "Fact") -> object:
+        """The memo-cache key of a fact under this index's keying mode."""
+        return fact.structural_key() if self.structural_keys else fact
 
     def _assign_leaf_ranges(self) -> None:
         """DFS matching :attr:`PPS.runs` order: node -> [lo, hi) leaf range."""
@@ -412,58 +435,275 @@ class SystemIndex:
     # ------------------------------------------------------------------
 
     def runs_satisfying_mask(self, fact: "Fact", *, memo: bool = True) -> int:
-        """The satisfying-run mask of a run fact (memoized by identity).
+        """The satisfying-run mask of a run fact (memoized structurally).
+
+        Boolean connectives (``And``/``Or``/``Not``) are decomposed
+        into mask algebra over their operands' memoized masks, so
+        shared subexpressions are evaluated once.
 
         Pass ``memo=False`` when evaluating a throwaway fact object:
-        identity-keyed entries for single-use facts never hit and only
-        pin the object (and anything it captures) on the system.
+        cached subresults are still *read*, but nothing new is written
+        to the per-system caches, so single-use facts are not pinned on
+        the system.
         """
-        if memo:
-            cached = self._fact_masks.get(fact)
-            if cached is not None:
-                return cached
-        pps = self.pps
-        mask = 0
-        for run in pps.runs:
-            if fact.holds(pps, run, 0):
-                mask |= 1 << run.index
-        if memo:
-            self._fact_masks[fact] = mask
-        return mask
+        return self._combine_mask(fact, None, None if memo else {})
 
     def holds_mask_at(self, fact: "Fact", t: int, *, memo: bool = True) -> int:
         """The mask of time-``t``-alive runs at which ``fact`` holds at ``t``.
 
-        Pass ``memo=False`` for throwaway fact objects (e.g. the
-        per-iteration refinements of a fixpoint): the memo caches key
-        on identity, so entries for single-use facts would never hit
-        and only pin the objects for the system's lifetime.
+        Boolean connectives are decomposed into mask algebra over the
+        slice masks of their operands.  Pass ``memo=False`` for
+        throwaway fact objects (e.g. the per-iteration refinements of a
+        fixpoint): results are kept in a per-call overlay instead of
+        the per-system caches, so the objects are not pinned for the
+        system's lifetime.
         """
-        key = (fact, t)
-        if memo:
-            cached = self._slice_masks.get(key)
-            if cached is not None:
-                return cached
-        pps = self.pps
-        runs = pps.runs
-        mask = 0
-        for index in bits(self.alive_mask(t)):
-            if fact.holds(pps, runs[index], t):
-                mask |= 1 << index
-        if memo:
-            self._slice_masks[key] = mask
+        return self._combine_mask(fact, t, None if memo else {})
+
+    # -- single-fact evaluation (cache + boolean decomposition) --------
+    #
+    # Throughout, ``t is None`` selects the run-mask universe (all
+    # runs, facts evaluated at time 0) and an ``int`` ``t`` selects the
+    # time-``t`` slice (alive runs, facts evaluated at ``t``); one
+    # evaluator and one connective classifier serve both.
+
+    @staticmethod
+    def _connective(fact: "Fact"):
+        """``(kind, operands)`` for a decomposable connective, else ``None``."""
+        from .facts import And, Not, Or
+
+        if isinstance(fact, And):
+            return ("and", fact.conjuncts)
+        if isinstance(fact, Or):
+            return ("or", fact.disjuncts)
+        if isinstance(fact, Not):
+            return ("not", (fact.operand,))
+        return None
+
+    def _universe(self, t: Optional[int]) -> int:
+        return self.all_mask if t is None else self.alive_mask(t)
+
+    def _mask_cache(self, t: Optional[int]) -> Dict[object, int]:
+        return self._fact_masks if t is None else self._slice_masks
+
+    def _cache_key(self, fact: "Fact", t: Optional[int]) -> object:
+        bare = self._fact_key(fact)
+        return bare if t is None else (bare, t)
+
+    def _scan_mask(self, fact: "Fact", t: Optional[int]) -> int:
+        """One fact's mask by direct point evaluation; raises what it raises."""
+        (mask,), (error,) = self._scan_batch([fact], t)
+        if error is not None:
+            raise error
         return mask
 
-    def belief(
-        self, agent: AgentId, phi: "Fact", local: LocalState, *, memo: bool = True
-    ) -> Probability:
-        """``mu_T(phi@l | l)``, memoized per (agent, fact identity, state).
+    def _combine_mask(
+        self, fact: "Fact", t: Optional[int], overlay: Optional[Dict[object, int]]
+    ) -> int:
+        key = self._cache_key(fact, t)
+        cache = self._mask_cache(t)
+        cached = cache.get(key)
+        if cached is None and overlay is not None:
+            cached = overlay.get(key)
+        if cached is not None:
+            return cached
+        parts = self._connective(fact)
+        if parts is None:
+            mask = self._scan_mask(fact, t)
+        else:
+            kind, operands = parts
+            try:
+                if kind == "and":
+                    mask = self._universe(t)
+                    for operand in operands:
+                        mask &= self._combine_mask(operand, t, overlay)
+                        if not mask:
+                            break
+                elif kind == "or":
+                    mask = 0
+                    for operand in operands:
+                        mask |= self._combine_mask(operand, t, overlay)
+                else:  # not
+                    mask = self._universe(t) & ~self._combine_mask(
+                        operands[0], t, overlay
+                    )
+            except Exception:
+                # A sub-fact is partial (its ``holds`` raises) on runs
+                # the connective's own short-circuiting would never
+                # evaluate — e.g. ``guard & phi@alpha`` with an alpha
+                # that is improper only outside the guard.  Re-evaluate
+                # the composite per point, exactly as the pre-batching
+                # engine did; if that raises too, the raise is genuine.
+                mask = self._scan_mask(fact, t)
+        (cache if overlay is None else overlay)[key] = mask
+        return mask
+
+    # -- batched evaluation: one pass per run-slice per *batch* --------
+
+    def _scan_batch(
+        self, facts: Sequence["Fact"], t: Optional[int]
+    ) -> Tuple[List[int], List[Optional[Exception]]]:
+        """Masks of several facts in one pass over the runs (or a slice).
+
+        Exceptions are isolated per fact: a fact whose ``holds`` raises
+        stops being evaluated and gets its first exception recorded in
+        the second list (with ``None`` for clean facts), so one partial
+        fact cannot poison the rest of a batch.  Callers re-raise or
+        fall back as their own contracts require.
+        """
+        pps = self.pps
+        runs = pps.runs
+        masks = [0] * len(facts)
+        errors: List[Optional[Exception]] = [None] * len(facts)
+        if t is None:
+            points = [(run, 1 << run.index, 0) for run in runs]
+        else:
+            points = [(runs[i], 1 << i, t) for i in bits(self.alive_mask(t))]
+        for run, bit, time in points:
+            for k, fact in enumerate(facts):
+                if errors[k] is not None:
+                    continue
+                try:
+                    if fact.holds(pps, run, time):
+                        masks[k] |= bit
+                except Exception as exc:
+                    errors[k] = exc
+        return masks, errors
+
+    def _collect_leaves(
+        self,
+        fact: "Fact",
+        t: Optional[int],
+        pending: Dict[object, "Fact"],
+        overlay: Optional[Dict[object, int]],
+    ) -> None:
+        """Gather the uncached non-connective subfacts of ``fact``.
+
+        ``t`` selects the slice caches; ``None`` selects the run-mask
+        caches.  Connectives are never scanned directly — they combine
+        from their operands' masks — so only leaves land in ``pending``.
+        """
+        key = self._cache_key(fact, t)
+        if key in pending:
+            return
+        if key in self._mask_cache(t) or (overlay is not None and key in overlay):
+            return
+        parts = self._connective(fact)
+        if parts is None:
+            pending[key] = fact
+        else:
+            for operand in parts[1]:
+                self._collect_leaves(operand, t, pending, overlay)
+
+    def _cache_scanned(
+        self,
+        pending: Dict[object, "Fact"],
+        t: Optional[int],
+        overlay: Optional[Dict[object, int]],
+    ) -> None:
+        """Scan the pending leaves in one pass and cache the clean ones.
+
+        Leaves whose ``holds`` raised are left uncached; when their
+        mask is actually demanded, :meth:`_combine_mask` re-raises (for
+        a top-level leaf) or falls back to per-point composite
+        evaluation (for a guarded sub-fact), matching the pre-batching
+        semantics.
+        """
+        leaves = list(pending.values())
+        target = self._mask_cache(t) if overlay is None else overlay
+        masks, errors = self._scan_batch(leaves, t)
+        for key, mask, error in zip(pending, masks, errors):
+            if error is None:
+                target[key] = mask
+
+    def events_of(self, facts: Sequence["Fact"], *, memo: bool = True) -> List[int]:
+        """Satisfying-run masks for a batch of facts, one pass over the runs.
+
+        All uncached leaf subfacts of the batch are evaluated in a
+        single traversal of the run list (instead of one traversal per
+        fact); boolean connectives combine from the leaf masks.  Results
+        are identical to per-fact :meth:`runs_satisfying_mask` calls.
+        """
+        facts = list(facts)
+        overlay: Optional[Dict[object, int]] = None if memo else {}
+        pending: Dict[object, "Fact"] = {}
+        for fact in facts:
+            self._collect_leaves(fact, None, pending, overlay)
+        if pending:
+            self._cache_scanned(pending, None, overlay)
+        return [self._combine_mask(fact, None, overlay) for fact in facts]
+
+    def truths_at(
+        self, facts: Sequence["Fact"], t: int, *, memo: bool = True
+    ) -> List[int]:
+        """Time-``t`` truth masks for a batch of facts, one slice pass.
+
+        The batched analogue of :meth:`holds_mask_at`: the time-``t``
+        slice is traversed once for all uncached leaves of the batch.
+        """
+        facts = list(facts)
+        overlay: Optional[Dict[object, int]] = None if memo else {}
+        pending: Dict[object, "Fact"] = {}
+        for fact in facts:
+            self._collect_leaves(fact, t, pending, overlay)
+        if pending:
+            self._cache_scanned(pending, t, overlay)
+        return [self._combine_mask(fact, t, overlay) for fact in facts]
+
+    def beliefs_batch(
+        self,
+        agent: AgentId,
+        facts: Sequence["Fact"],
+        local: LocalState,
+        *,
+        memo: bool = True,
+    ) -> List[Probability]:
+        """``mu_T(phi@l | l)`` for a batch of facts at one local state.
+
+        Facts whose posterior is already cached are answered directly;
+        the rest share one batched slice evaluation at the state's
+        occurrence time.  Results are identical to per-fact
+        :meth:`belief` calls.
 
         Raises:
             UnknownLocalStateError: when ``local`` never occurs for the
                 agent.
         """
-        key = (agent, phi, local)
+        facts = list(facts)
+        entry = self.occurrence(agent, local)
+        if entry is None:
+            raise UnknownLocalStateError(
+                f"local state {local!r} of agent {agent!r} never occurs "
+                f"in {self.pps.name}"
+            )
+        t, occurs = entry
+        results: List[Optional[Probability]] = [None] * len(facts)
+        missing: List[int] = []
+        for k, fact in enumerate(facts):
+            cached = self._belief_cache.get((agent, self._fact_key(fact), local))
+            if cached is not None:
+                results[k] = cached
+            else:
+                missing.append(k)
+        if missing:
+            masks = self.truths_at([facts[k] for k in missing], t, memo=memo)
+            for k, mask in zip(missing, masks):
+                value = self.conditional(occurs & mask, occurs)
+                results[k] = value
+                if memo:
+                    self._belief_cache[(agent, self._fact_key(facts[k]), local)] = value
+        return results  # type: ignore[return-value]
+
+    def belief(
+        self, agent: AgentId, phi: "Fact", local: LocalState, *, memo: bool = True
+    ) -> Probability:
+        """``mu_T(phi@l | l)``, memoized per (agent, fact key, state).
+
+        Raises:
+            UnknownLocalStateError: when ``local`` never occurs for the
+                agent.
+        """
+        key = (agent, self._fact_key(phi), local)
         if memo:
             cached = self._belief_cache.get(key)
             if cached is not None:
@@ -488,22 +728,41 @@ class SystemIndex:
     ) -> int:
         """The ``phi@alpha`` run mask for a *proper* action, memoized.
 
-        Keyed on the caller's (typically long-lived) ``phi`` object
-        rather than a freshly built ``AtAction`` wrapper, so repeated
-        queries — e.g. the theorem checkers each re-deriving the
-        achieved probability of the same condition — hit the cache.
+        Keyed on the caller's ``phi`` rather than a freshly built
+        ``AtAction`` wrapper, so repeated queries — e.g. the theorem
+        checkers each re-deriving the achieved probability of the same
+        condition — hit the cache.  Evaluated through the per-slice
+        truth masks of ``phi`` (grouping performing runs by performance
+        time), so the same masks serve beliefs, knowledge, and
+        independence checks of the same condition.
         """
-        key = (agent, phi, action)
+        key = (agent, self._fact_key(phi), action)
         if memo:
             cached = self._at_action_cache.get(key)
             if cached is not None:
                 return cached
-        pps = self.pps
-        runs = pps.runs
-        mask = 0
+        by_time: Dict[int, int] = {}
         for run_index, times in self.performance_times(agent, action).items():
-            if phi.holds(pps, runs[run_index], times[0]):
-                mask |= 1 << run_index
+            t = times[0]
+            by_time[t] = by_time.get(t, 0) | (1 << run_index)
+        try:
+            mask = 0
+            for t, performers in by_time.items():
+                # Performing at t implies alive at t, so the slice mask
+                # of phi covers every performer.
+                mask |= performers & self.holds_mask_at(phi, t, memo=memo)
+        except Exception:
+            # phi is partial (its ``holds`` raises) on an alive run
+            # that does not perform the action — runs the historic
+            # per-performing-run evaluation never touched.  Restrict to
+            # exactly those runs; a raise from one of *them* is genuine
+            # and propagates.
+            pps = self.pps
+            runs = pps.runs
+            mask = 0
+            for run_index, times in self.performance_times(agent, action).items():
+                if phi.holds(pps, runs[run_index], times[0]):
+                    mask |= 1 << run_index
         if memo:
             self._at_action_cache[key] = mask
         return mask

@@ -25,7 +25,7 @@ the run fact ``alpha`` is ``eventually(does_i(alpha))``).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Set, Tuple
+from typing import Callable, Optional, Set, Tuple
 
 from .engine import SystemIndex, bits
 from .measure import Event
@@ -51,6 +51,41 @@ class Fact(ABC):
     """A (possibly transient) fact: a predicate over points of a pps."""
 
     label: str = "fact"
+    _structural_key: Optional[Tuple[object, ...]] = None
+
+    def _structure(self) -> Optional[Tuple[object, ...]]:
+        """The fact's structural fingerprint, or ``None`` when opaque.
+
+        Subclasses whose semantics are fully determined by hashable
+        attributes (operands, agents, actions, levels) override this to
+        return those attributes; the engine may then share memo entries
+        between equal-but-distinct instances.  The default ``None``
+        keeps identity semantics for opaque facts (arbitrary
+        predicates), which is always sound.
+        """
+        return None
+
+    def structural_key(self) -> Tuple[object, ...]:
+        """A hashable key identifying the fact up to syntactic structure.
+
+        Two independently built facts with the same structure (same
+        class, same operands) share one key, so the per-system engine
+        caches hit across e.g. sweep rows that rebuild the same
+        condition.  Facts without a declared structure fall back to an
+        identity key that embeds the instance itself — collision-free,
+        and pinning exactly what an identity-keyed cache would pin.
+
+        The key is computed once and cached on the instance.
+        """
+        key = self._structural_key
+        if key is None:
+            parts = self._structure()
+            if parts is None:
+                key = (type(self).__qualname__, self)
+            else:
+                key = (type(self).__qualname__, *parts)
+            self._structural_key = key
+        return key
 
     @abstractmethod
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
@@ -122,6 +157,12 @@ class LambdaFact(Fact):
         self._predicate = predicate
         self.label = label
 
+    def _structure(self) -> Tuple[object, ...]:
+        # Keyed on the predicate object: wrapping the same callable
+        # twice yields the same fact, while distinct closures (even of
+        # the same code) stay distinct.
+        return (self._predicate,)
+
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return self._predicate(pps, run, t)
 
@@ -135,6 +176,9 @@ class LambdaRunFact(RunFact):
         self._predicate = predicate
         self.label = label
 
+    def _structure(self) -> Tuple[object, ...]:
+        return (self._predicate,)
+
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return self._predicate(pps, run)
 
@@ -147,6 +191,9 @@ class And(Fact):
             raise ValueError("And() needs at least one conjunct")
         self.conjuncts: Tuple[Fact, ...] = conjuncts
         self.label = "(" + " & ".join(c.label for c in conjuncts) + ")"
+
+    def _structure(self) -> Tuple[object, ...]:
+        return tuple(c.structural_key() for c in self.conjuncts)
 
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return all(c.holds(pps, run, t) for c in self.conjuncts)
@@ -165,6 +212,9 @@ class Or(Fact):
         self.disjuncts: Tuple[Fact, ...] = disjuncts
         self.label = "(" + " | ".join(d.label for d in disjuncts) + ")"
 
+    def _structure(self) -> Tuple[object, ...]:
+        return tuple(d.structural_key() for d in self.disjuncts)
+
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return any(d.holds(pps, run, t) for d in self.disjuncts)
 
@@ -180,6 +230,9 @@ class Not(Fact):
         self.operand = operand
         self.label = f"~{operand.label}"
 
+    def _structure(self) -> Tuple[object, ...]:
+        return (self.operand.structural_key(),)
+
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return not self.operand.holds(pps, run, t)
 
@@ -193,6 +246,9 @@ class _Eventually(RunFact):
         self.operand = operand
         self.label = f"<>{operand.label}"
 
+    def _structure(self) -> Tuple[object, ...]:
+        return (self.operand.structural_key(),)
+
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return any(self.operand.holds(pps, run, time) for time in run.times())
 
@@ -201,6 +257,9 @@ class _Always(RunFact):
     def __init__(self, operand: Fact) -> None:
         self.operand = operand
         self.label = f"[]{operand.label}"
+
+    def _structure(self) -> Tuple[object, ...]:
+        return (self.operand.structural_key(),)
 
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return all(self.operand.holds(pps, run, time) for time in run.times())
@@ -219,9 +278,10 @@ def always(fact: Fact) -> RunFact:
 def runs_satisfying(pps: PPS, fact: Fact) -> Event:
     """The event (set of run indices) where a run fact is true.
 
-    The satisfying run set is computed once per fact *identity* and
-    memoized on the system's :class:`~repro.core.engine.SystemIndex`,
-    so re-querying the same fact object is O(1).
+    The satisfying run set is computed once per fact *structural key*
+    and memoized on the system's
+    :class:`~repro.core.engine.SystemIndex`, so re-querying the same
+    fact object — or a structurally equal rebuild of it — is O(1).
 
     Raises:
         TypeError: if ``fact`` is not structurally a run fact.

@@ -78,11 +78,14 @@ class Knows(Fact):
         self.phi = phi
         self.label = f"K[{agent}]({phi.label})"
 
+    def _structure(self):
+        return (self.agent, self.phi.structural_key())
+
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         index = SystemIndex.of(pps)
         cell = index.partition(self.agent, t).get(run.local(self.agent, t), 0)
         # Knowledge = the information cell is contained in phi's
-        # time-t truth mask (memoized per fact identity and slice).
+        # time-t truth mask (memoized per fact structural key and slice).
         return cell & ~index.holds_mask_at(self.phi, t) == 0
 
 
@@ -98,6 +101,9 @@ class EveryoneKnows(Fact):
         self.agents = tuple(agents)
         self.phi = phi
         self.label = f"E[{','.join(self.agents)}]({phi.label})"
+
+    def _structure(self):
+        return (self.agents, self.phi.structural_key())
 
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return all(Knows(agent, self.phi).holds(pps, run, t) for agent in self.agents)
@@ -123,6 +129,9 @@ class CommonKnowledge(Fact):
         self.agents = tuple(agents)
         self.phi = phi
         self.label = f"C[{','.join(self.agents)}]({phi.label})"
+
+    def _structure(self):
+        return (self.agents, self.phi.structural_key())
 
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         index = SystemIndex.of(pps)

@@ -51,7 +51,9 @@ def as_fraction(value: ProbabilityLike) -> Fraction:
     literals round-trip exactly (``as_fraction(0.1) == Fraction(1, 10)``).
 
     Raises:
-        TypeError: if ``value`` is not a number or numeric string.
+        TypeError: if ``value`` is not a number or numeric string, or
+            is a non-finite float (``nan``/``inf`` have no rational
+            value).
         ValueError: if a string cannot be parsed as a rational.
     """
     if isinstance(value, Fraction):
@@ -61,6 +63,10 @@ def as_fraction(value: ProbabilityLike) -> Fraction:
     if isinstance(value, int):
         return Fraction(value)
     if isinstance(value, float):
+        if not math.isfinite(value):
+            raise TypeError(
+                f"non-finite float {value!r} has no exact rational value"
+            )
         return Fraction(str(value))
     if isinstance(value, str):
         return Fraction(value)

@@ -28,9 +28,10 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Any, Dict, List, Optional, Tuple
 
-from .actions import is_proper, performance_time, performing_runs
-from .beliefs import belief_at, belief_random_variable, threshold_met_measure
+from .actions import is_proper
+from .beliefs import threshold_met_measure
 from .constraints import achieved_probability
+from .engine import SystemIndex
 from .expectation import expected_belief
 from .facts import Fact
 from .independence import is_local_state_independent, is_past_based
@@ -96,6 +97,22 @@ def _standard_premises(
     return {"proper-action": proper, "local-state-independent": independent}
 
 
+def _acting_beliefs(
+    pps: PPS, agent: AgentId, phi: Fact, action: Action
+) -> Dict[Any, Probability]:
+    """The belief in ``phi`` at each local state in ``L_i[alpha]``.
+
+    One cached posterior per acting state; every performance point of
+    a proper action takes one of these values, so theorem premises
+    quantifying over performance points reduce to this mapping.
+    """
+    index = SystemIndex.of(pps)
+    return {
+        local: index.belief(agent, phi, local)
+        for local in index.state_cells(agent, action)
+    }
+
+
 def check_theorem_4_2(
     pps: PPS,
     agent: AgentId,
@@ -112,16 +129,14 @@ def check_theorem_4_2(
     premises = _standard_premises(pps, agent, action, phi)
     details: Dict[str, Any] = {"threshold": p}
     if premises["proper-action"]:
-        acting_beliefs = [
-            belief_at(pps, agent, phi, run, t)
-            for run in pps.runs
-            for t in [performance_time(pps, agent, action, run)]
-            if t is not None
-        ]
+        # The acting belief is constant on each action-state cell, so
+        # the per-performance-point scan collapses to one cached
+        # posterior per state in L_i[alpha].
+        acting_beliefs = _acting_beliefs(pps, agent, phi, action)
         premises["belief-meets-threshold-always"] = all(
-            b >= p for b in acting_beliefs
+            b >= p for b in acting_beliefs.values()
         )
-        details["min-acting-belief"] = min(acting_beliefs)
+        details["min-acting-belief"] = min(acting_beliefs.values())
         achieved = achieved_probability(pps, agent, phi, action)
         details["achieved"] = achieved
         conclusion = achieved >= p
@@ -169,12 +184,19 @@ def check_lemma_5_1(
         achieved = achieved_probability(pps, agent, phi, action)
         premises["constraint-satisfied"] = achieved >= p
         details["achieved"] = achieved
+        # Runs qualify exactly when their acting cell's belief meets
+        # the bound; the witness is the first such run in run order.
+        index = SystemIndex.of(pps)
+        beliefs = _acting_beliefs(pps, agent, phi, action)
+        met_mask = 0
+        for local, cell in index.state_cells(agent, action).items():
+            if beliefs[local] >= p:
+                met_mask |= cell
         witness: Optional[Tuple[int, int]] = None
-        for run in pps.runs:
-            t = performance_time(pps, agent, action, run)
-            if t is not None and belief_at(pps, agent, phi, run, t) >= p:
-                witness = (run.index, t)
-                break
+        if met_mask:
+            run_index = (met_mask & -met_mask).bit_length() - 1
+            t = index.performance_times(agent, action)[run_index][0]
+            witness = (run_index, t)
         details["witness-point"] = witness
         conclusion = witness is not None
     else:

@@ -27,9 +27,11 @@ uncertain about what happened.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import (
     Callable,
+    Deque,
     Dict,
     Hashable,
     List,
@@ -144,8 +146,10 @@ def compile_system(system: ProtocolSystem, *, name: str = "compiled") -> PPS:
         return uid_counter[0] - 1
 
     root = Node(uid=take_uid(), depth=0, state=None)
-    # frontier entries: (node, raw config)
-    frontier: List[Tuple[Node, Config]] = []
+    # FIFO frontier entries: (node, raw config).  A LIFO here would
+    # expand depth-first and hand out uids out of level order; the
+    # docstring's breadth-first contract keeps uids depth-monotone.
+    frontier: Deque[Tuple[Node, Config]] = deque()
     for config, prob in system.initial.items():
         node = Node(
             uid=take_uid(),
@@ -158,7 +162,7 @@ def compile_system(system: ProtocolSystem, *, name: str = "compiled") -> PPS:
         frontier.append((node, config))
 
     while frontier:
-        node, config = frontier.pop()
+        node, config = frontier.popleft()
         t = node.time
         locals_map = system.locals_map(config)
         if t >= system.horizon:

@@ -105,10 +105,15 @@ class Distribution(Generic[T]):
 
         Degenerate probabilities (0 or 1) collapse to a point
         distribution, keeping the support free of zero-weight outcomes.
+        Equal ``true``/``false`` outcomes likewise collapse to a point
+        mass on that outcome (the two branches are indistinguishable),
+        instead of tripping the duplicate-outcome check.
         """
         p = as_fraction(prob_true)
         if not (0 <= p <= 1):
             raise InvalidSystemError(f"bernoulli probability {p} outside [0, 1]")
+        if true == false:
+            return cls.point(true)
         if p == 0:
             return cls.point(false)
         if p == 1:

@@ -98,6 +98,45 @@ class TestCompilation:
         }
         assert edge_envs == {"fine", "noisy"}
 
+    def test_breadth_first_uids_are_depth_monotone(self):
+        # Regression: the frontier was popped LIFO (depth-first), so
+        # uids were not level-ordered despite the documented
+        # breadth-first expansion.
+        env = FunctionEnvironment(
+            lambda state, joint: Distribution.uniform(["fine", "noisy"])
+        )
+        pps = compile_system(simple_system(environment=env, horizon=3))
+        nodes = sorted(pps.nodes(), key=lambda node: node.uid)
+        assert nodes[0].uid == 0 and nodes[0].is_root
+        depths = [node.depth for node in nodes]
+        assert depths == sorted(depths), "uids must be assigned level by level"
+        # uids are consecutive: nothing skipped, nothing reused.
+        assert [node.uid for node in nodes] == list(range(len(nodes)))
+
+    def test_breadth_first_leaf_order_deterministic(self):
+        # The frontier discipline decides uid numbering only; the DFS
+        # run order (leaf order) is fixed by each node's children list
+        # and must be identical across compilations.
+        def final(env, locals_map, t):
+            return locals_map["a"][1][-1:] == ("l",)
+
+        one = compile_system(simple_system(final=final))
+        two = compile_system(simple_system(final=final))
+        leaves_one = [
+            (run.length, tuple(run.state(t) for t in run.times()))
+            for run in one.runs
+        ]
+        leaves_two = [
+            (run.length, tuple(run.state(t) for t in run.times()))
+            for run in two.runs
+        ]
+        assert leaves_one == leaves_two
+        assert [run.prob for run in one.runs] == [run.prob for run in two.runs]
+        # Early-terminated branches keep their DFS position: the "l"
+        # branch of the first round still precedes both "r" extensions.
+        assert sorted(run.length for run in one.runs) == [2, 3, 3]
+        assert one.runs[0].length == 2
+
     def test_initial_distribution(self):
         initial = Distribution(
             {

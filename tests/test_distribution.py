@@ -67,6 +67,17 @@ class TestConstruction:
         with pytest.raises(InvalidSystemError):
             Distribution.bernoulli("3/2")
 
+    def test_bernoulli_equal_outcomes_collapse_to_point(self):
+        # Regression: an interior p with true == false raised
+        # "duplicate outcome" instead of collapsing to a point mass.
+        d = Distribution.bernoulli("1/3", true="x", false="x")
+        assert d.is_deterministic()
+        assert d.prob("x") == 1
+
+    def test_bernoulli_equal_outcomes_out_of_range_still_rejected(self):
+        with pytest.raises(InvalidSystemError):
+            Distribution.bernoulli("3/2", true="x", false="x")
+
     def test_weighted(self):
         d = Distribution.weighted(("x", "1/4"), ("y", "3/4"))
         assert d.prob("y") == Fraction(3, 4)

@@ -185,12 +185,12 @@ class TestSystemIndexInternals:
                     naive_occurrence_event(system, agent, local)
                 )
 
-    def test_fact_mask_memoized_by_identity(self):
+    def test_fact_mask_memoized_by_structural_key(self):
         system = random_protocol_system(5)
         index = SystemIndex.of(system)
         phi = random_run_fact(99)
         first = index.runs_satisfying_mask(phi)
-        assert phi in index._fact_masks
+        assert phi.structural_key() in index._fact_masks
         assert index.runs_satisfying_mask(phi) == first
 
     def test_env_pseudo_agent_actions_survive_indexing(self):

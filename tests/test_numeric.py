@@ -48,6 +48,15 @@ class TestAsFraction:
         with pytest.raises(ValueError):
             as_fraction("not-a-number")
 
+    @pytest.mark.parametrize(
+        "value", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_non_finite_float_rejected_with_type_error(self, value):
+        # Regression: these leaked a confusing ValueError from the
+        # Fraction(str(x)) literal parse.
+        with pytest.raises(TypeError, match="non-finite"):
+            as_fraction(value)
+
 
 class TestValidateProbability:
     def test_interior_value_ok(self):

@@ -30,6 +30,57 @@ class TestSweep:
         two = sweep({"a": [1, 2], "b": [3, 4]}, lambda a, b: {})
         assert one == two
 
+    def test_result_key_colliding_with_parameter_raises(self):
+        # Regression: row.update(result) silently overwrote the grid
+        # parameter column.
+        with pytest.raises(ValueError, match="overwrite grid parameter"):
+            sweep({"n": [1, 2]}, lambda n: {"n": n * n})
+
+    def test_batch_collision_also_raises(self):
+        with pytest.raises(ValueError, match="overwrite grid parameter"):
+            sweep(
+                {"n": [1, 2]},
+                batch_row_fn=lambda points: [{"n": 0} for _ in points],
+            )
+
+
+class TestBatchSweep:
+    def test_batch_row_fn_receives_all_points_in_order(self):
+        seen = []
+
+        def batch(points):
+            seen.extend(points)
+            return [{"double": point["n"] * 2} for point in points]
+
+        rows = sweep({"n": [1, 2, 3]}, batch_row_fn=batch)
+        assert seen == [{"n": 1}, {"n": 2}, {"n": 3}]
+        assert rows == [
+            {"n": 1, "double": 2},
+            {"n": 2, "double": 4},
+            {"n": 3, "double": 6},
+        ]
+
+    def test_batch_matches_per_row_path(self):
+        grid = {"a": [1, 2], "b": [3, 4]}
+        per_row = sweep(grid, lambda a, b: {"sum": a + b})
+        batched = sweep(
+            grid,
+            batch_row_fn=lambda points: [
+                {"sum": point["a"] + point["b"]} for point in points
+            ],
+        )
+        assert per_row == batched
+
+    def test_wrong_result_count_raises(self):
+        with pytest.raises(ValueError, match="1 results for 2 grid points"):
+            sweep({"n": [1, 2]}, batch_row_fn=lambda points: [{}])
+
+    def test_exactly_one_row_fn_required(self):
+        with pytest.raises(TypeError):
+            sweep({"n": [1]})
+        with pytest.raises(TypeError):
+            sweep({"n": [1]}, lambda n: {}, batch_row_fn=lambda points: [{}])
+
 
 class TestFormatting:
     def test_format_value_fraction(self):

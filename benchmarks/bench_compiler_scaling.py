@@ -1,0 +1,228 @@
+"""Benchmark: compiler scale-up — memoized expansion templates vs. re-enumeration.
+
+PR 1/2 made *analysis* cheap; the binding cost on larger scenario trees
+became tree **construction**.  This benchmark times ``compile`` and
+index construction with the memoized path (interned states + expansion
+templates, the default) against the ``memoize=False`` escape hatch, on
+two families:
+
+* **repeated-config workloads** — bounded-memory synchronous "rotor"
+  systems where a handful of distinct configurations label an
+  exponential tree; one expansion template serves thousands of nodes.
+  This family carries the ≥3x speedup gate and pushes run counts far
+  past the old ~512-run practical ceiling of the ``bench_scaling``
+  family;
+* **the ``bench_scaling`` apps** — consensus and coordinated attack,
+  compiled through the same machinery (their perfect-recall states
+  rarely recur, so the speedup there is modest and *not* gated; the
+  rows document that the memoized path never loses).
+
+Every row verifies parity: identical uid sequences (full pre-order
+tree comparison) and ``Fraction``-exact run measures across the two
+paths.  A parity violation fails the run in every mode; the speedup
+bar is advisory in ``--smoke`` (CI wall-clock on tiny workloads is too
+noisy for a hard gate) and enforced on the full run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_compiler_scaling.py [--smoke]
+
+or under pytest (collected by the benchmark session via the local
+``bench_*`` convention).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+sys.path.insert(0, "src")  # allow `python benchmarks/bench_compiler_scaling.py`
+
+from repro.analysis.random_systems import rotor_spec, tree_signature
+from repro.analysis.sweep import format_table
+from repro.apps.consensus import build_consensus
+from repro.apps.coordinated_attack import build_coordinated_attack
+from repro.core.engine import SystemIndex
+from repro.core.pps import PPS
+from repro.protocols import compile_system
+
+
+# ----------------------------------------------------------------------
+# Parity and timing helpers
+# ----------------------------------------------------------------------
+
+
+def _best(fn: Callable[[], PPS], repeats: int) -> Tuple[float, PPS]:
+    best = float("inf")
+    value: PPS = None  # type: ignore[assignment]
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def compare_compile(
+    name: str, build: Callable[[bool], PPS], *, repeats: int = 3
+) -> Dict[str, object]:
+    """Time both compile paths, verify uid + measure parity, time the index."""
+    memo_time, memo = _best(lambda: build(True), repeats)
+    plain_time, plain = _best(lambda: build(False), repeats)
+    assert tree_signature(memo) == tree_signature(plain), f"{name}: uid/tree parity"
+    assert [run.prob for run in memo.runs] == [
+        run.prob for run in plain.runs
+    ], f"{name}: exact measure parity"
+    index_start = time.perf_counter()
+    SystemIndex.of(memo)
+    index_time = time.perf_counter() - index_start
+    assert memo.intern is not None and plain.intern is None
+    # Raw values throughout; _display rounds for the printed table so
+    # the >=3x gate never benefits from rounding (2.95x must not pass).
+    return {
+        "system": name,
+        "runs": memo.run_count(),
+        "nodes": memo.node_count(),
+        "configs": memo.intern.distinct_configs,
+        "plain_s": plain_time,
+        "memo_s": memo_time,
+        "speedup": plain_time / memo_time,
+        "index_s": index_time,
+        "exact_match": True,
+    }
+
+
+def _display(rows: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Rounded copies of benchmark rows for table printing only."""
+    rounding = {"plain_s": 4, "memo_s": 4, "index_s": 4, "speedup": 1}
+    return [
+        {
+            key: round(value, rounding[key]) if key in rounding else value
+            for key, value in row.items()
+        }
+        for row in rows
+    ]
+
+
+# ----------------------------------------------------------------------
+# The two tables
+# ----------------------------------------------------------------------
+
+
+def repeated_config_rows(*, smoke: bool = False) -> List[Dict[str, object]]:
+    """Rotor rows, smallest to largest; the last row carries the gate.
+
+    Even the smoke sizes exceed the old ~512-run ceiling; the full run
+    compiles trees two orders of magnitude past it.
+    """
+    if smoke:
+        shapes = [
+            ("rotor(n=4,h=5)", dict(n_agents=4, modulus=3, horizon=5)),
+            ("rotor(n=6,h=5)", dict(n_agents=6, modulus=3, horizon=5)),
+        ]
+    else:
+        shapes = [
+            ("rotor(n=4,h=5)", dict(n_agents=4, modulus=3, horizon=5)),
+            ("rotor(n=6,h=6)", dict(n_agents=6, modulus=3, horizon=6)),
+            ("rotor(n=6,h=7)", dict(n_agents=6, modulus=3, horizon=7)),
+        ]
+    return [
+        compare_compile(
+            name,
+            lambda memoize, kwargs=kwargs: compile_system(
+                rotor_spec(**kwargs), name="rotor", memoize=memoize
+            ),
+        )
+        for name, kwargs in shapes
+    ]
+
+
+def app_rows(*, smoke: bool = False) -> List[Dict[str, object]]:
+    """The bench_scaling apps through both paths (informational)."""
+    configurations: List[Tuple[str, Callable[[bool], PPS]]] = [
+        (
+            "consensus(n=2)",
+            lambda memoize: build_consensus(n=2, loss="0.1", memoize=memoize),
+        ),
+        (
+            "attack(acks=5)",
+            lambda memoize: build_coordinated_attack(
+                loss="0.1", ack_rounds=5, memoize=memoize
+            ),
+        ),
+    ]
+    if not smoke:
+        configurations.append(
+            (
+                "consensus(n=3)",
+                lambda memoize: build_consensus(n=3, loss="0.1", memoize=memoize),
+            )
+        )
+    return [compare_compile(name, build) for name, build in configurations]
+
+
+def _gate_speedup(rows: List[Dict[str, object]], *, smoke: bool) -> int:
+    """Enforce the ≥3x bar on the largest repeated-config workload."""
+    largest = rows[-1]
+    if largest["speedup"] < 3:
+        message = (
+            f"repeated-config workload {largest['system']} speedup "
+            f"{largest['speedup']:.2f}x < 3x"
+        )
+        if smoke:
+            print(f"WARNING (smoke, informational): {message}", file=sys.stderr)
+            return 0
+        print(f"FAIL: {message}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {largest['system']} compile speedup {largest['speedup']:.1f}x >= 3x "
+        f"({largest['runs']} runs, uid-identical, Fraction-exact)"
+    )
+    return 0
+
+
+def main(argv: List[str]) -> int:
+    smoke = "--smoke" in argv
+    mode = "(smoke)" if smoke else "(full)"
+    rows = repeated_config_rows(smoke=smoke)
+    print(
+        format_table(
+            _display(rows),
+            title=f"compiler scaling: memoized templates vs re-enumeration {mode}",
+        )
+    )
+    status = _gate_speedup(rows, smoke=smoke)
+    print(
+        format_table(
+            _display(app_rows(smoke=smoke)),
+            title=f"bench_scaling apps through both compile paths {mode}",
+        )
+    )
+    return status
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (collected by the benchmark session)
+# ----------------------------------------------------------------------
+
+
+def test_compiler_scaling_table(benchmark):
+    rows = benchmark.pedantic(repeated_config_rows, rounds=1, iterations=1)
+    from conftest import emit
+
+    emit(format_table(_display(rows), title="compiler scaling (memoized vs plain)"))
+    assert all(row["exact_match"] for row in rows)
+    assert rows[-1]["speedup"] >= 3  # unrounded: 2.95x must not pass
+    assert rows[-1]["runs"] > 512
+
+
+def test_compiler_apps_table(benchmark):
+    rows = benchmark.pedantic(app_rows, rounds=1, iterations=1)
+    from conftest import emit
+
+    emit(format_table(_display(rows), title="compiler scaling (bench_scaling apps)"))
+    assert all(row["exact_match"] for row in rows)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -8,6 +8,11 @@ there.  The *expected* belief per round never moves — conditional
 expectations form a martingale — even as the belief distribution
 spreads from the prior to near-certainty either way.
 
+Paper claim: the belief-martingale view behind Section 6 — conditional
+expectations of a fixed condition form a martingale over time, so
+Theorem 6.2's expectation identity pins the per-round average — shown
+on the Example 1 firing squad.
+
 Run:  python examples/belief_evolution.py
 """
 

@@ -12,6 +12,11 @@ Also demonstrates common p-belief (Monderer–Samet): the generals never
 attain common knowledge of the attack, but they do attain common
 0.9-belief.
 
+Paper claim: the Fischer–Zuck observation the paper builds on
+(Section 1) and Theorem 6.2's expectation identity, on the
+coordinated-attack scenario; the common p-belief finale is the
+Monderer–Samet notion the paper's Section 7 discussion invokes.
+
 Run:  python examples/coordinated_attack_beliefs.py
 """
 

@@ -14,6 +14,11 @@ probability 1/10.  At time 1 the monitor pages the operator iff it
 heard nothing.  Question: when the monitor pages, how strongly does it
 believe the worker actually crashed?
 
+Paper claim: the Section 2.2 construction itself — protocols plus an
+initial distribution compile into a purely probabilistic system — via
+all three construction routes, with Theorem 6.2 certifying the pager's
+acting belief on each.
+
 Run:  python examples/custom_protocol.py
 """
 

@@ -7,6 +7,10 @@ the 0.991 / 0.009 threshold split, the expectation identity, the PAK
 reading of Corollary 7.2, and the Section 8 improvement — both built
 directly and obtained mechanically with the refrain transform.
 
+Paper claim: Example 1 in full — the FS specification, Alice's belief
+profile, Theorem 6.2's expectation identity, the Corollary 7.2 PAK
+bound, and the Section 8 protocol improvement FS'.
+
 Run:  python examples/firing_squad_walkthrough.py
 """
 

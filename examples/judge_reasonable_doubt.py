@@ -12,6 +12,10 @@ the trade-off the PAK theorems govern:
 * Corollary 7.2: quality 1 - eps^2 forces belief >= 1 - eps with
   probability >= 1 - eps at the moment of conviction.
 
+Paper claim: the paper's legal motivation (Section 1) made
+quantitative — Theorem 6.2 and Corollary 7.2 on a witness-counting
+conviction protocol.
+
 Run:  python examples/judge_reasonable_doubt.py
 """
 

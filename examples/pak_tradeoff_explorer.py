@@ -10,6 +10,10 @@ Two sweeps over the Theorem 5.2 construction T_hat(p, epsilon):
 2. the Corollary 7.2 frontier: for constraints of quality 1 - eps^2,
    the measured mu(belief >= 1 - eps | act) always clears 1 - eps.
 
+Paper claim: Theorem 5.2's no-lower-bound construction, Theorem 6.2's
+expectation identity, and the Theorem 7.1 / Corollary 7.2 PAK
+frontier, swept over their parameters.
+
 Run:  python examples/pak_tradeoff_explorer.py
 """
 

@@ -7,6 +7,11 @@ the agent *believe* about a storm when it raises the alarm, given that
 the protocol guarantees "a storm is underway with probability >= 0.8
 when the alarm sounds"?
 
+Paper claim: the Section 1 reading of probabilistic constraints as
+belief guarantees, certified by Theorem 6.2 (the expected acting
+belief equals the constraint's achieved probability) on a minimal
+hand-built pps.
+
 Run:  python examples/quickstart.py
 """
 

@@ -5,6 +5,10 @@ Prints the paper-vs-measured table (the machine-checked core of
 EXPERIMENTS.md) and exits non-zero if any row mismatches — suitable as
 a reproduction smoke test in CI.
 
+Paper claim: all of them — every quantitative number the paper states
+(Example 1, Figure 1, Theorems 4.2–7.1, Corollary 7.2, Section 8) is
+recomputed exactly and compared against the stated value.
+
 Run:  python examples/reproduce_paper.py
 """
 

@@ -41,9 +41,12 @@ from ..protocols.distribution import Distribution
 from ..protocols.environment import FunctionEnvironment
 
 __all__ = [
+    "random_protocol_spec",
     "random_protocol_system",
     "random_state_fact",
     "random_run_fact",
+    "rotor_spec",
+    "tree_signature",
     "proper_actions_of",
 ]
 
@@ -63,7 +66,7 @@ def _random_weights(rng: random.Random, n: int) -> List[object]:
     return [Fraction(value, total) for value in raw]
 
 
-def random_protocol_system(
+def random_protocol_spec(
     seed: int,
     *,
     n_agents: int = 2,
@@ -72,8 +75,14 @@ def random_protocol_system(
     n_actions: int = 2,
     mixed_level: float = 0.5,
     n_initials: int = 2,
-) -> PPS:
-    """A random pps generated through the protocol compiler.
+) -> ProtocolSystem:
+    """The uncompiled :class:`ProtocolSystem` behind
+    :func:`random_protocol_system`.
+
+    Exposed separately so callers can compile the same specification
+    more than once — e.g. the compiler parity suite compiles each spec
+    with and without expansion-template memoization and asserts the
+    trees are identical.
 
     Args:
         seed: generator seed (same seed, same system).
@@ -130,7 +139,7 @@ def random_protocol_system(
         configs.append(Config(env=0, locals=tuple((0, p) for p in payloads)))
     weights = _random_weights(init_rng, len(configs))
 
-    system = ProtocolSystem(
+    return ProtocolSystem(
         agents=agents,
         protocols={agent: protocol_for(agent) for agent in agents},
         transition=transition,
@@ -138,7 +147,74 @@ def random_protocol_system(
         environment=FunctionEnvironment(environment),
         horizon=horizon,
     )
+
+
+def random_protocol_system(seed: int, **kwargs: object) -> PPS:
+    """A random pps generated through the protocol compiler.
+
+    Accepts the same keyword arguments as :func:`random_protocol_spec`
+    and compiles the resulting specification.
+    """
+    system = random_protocol_spec(seed, **kwargs)  # type: ignore[arg-type]
     return compile_system(system, name=f"random-{seed}")
+
+
+def rotor_spec(
+    *, n_agents: int = 4, modulus: int = 3, horizon: int = 4, coins: int = 2
+) -> ProtocolSystem:
+    """A bounded-memory synchronous system with massive config reuse.
+
+    Each agent's raw local state is an integer mod ``modulus``; the
+    first ``coins`` agents flip fair coins, the rest always act 1, and
+    every agent advances its own state by its action.  The reachable
+    configuration set has at most ``modulus ** n_agents`` elements
+    while the tree has ``(2 ** coins) ** horizon`` runs — the
+    repeated-configuration regime of synchronous protocols, where one
+    expansion template serves thousands of nodes.  Shared by the
+    compile-parity tests and ``benchmarks/bench_compiler_scaling.py``.
+    """
+    agents = tuple(f"w{i}" for i in range(n_agents))
+
+    def protocol_for(i: int):
+        if i < coins:
+            return lambda local: Distribution.uniform([0, 1])
+        return lambda local: Distribution.point(1)
+
+    def transition(env, locals_map, joint_actions, env_action):
+        return env, {a: (locals_map[a] + joint_actions[a]) % modulus for a in agents}
+
+    return ProtocolSystem(
+        agents=agents,
+        protocols={a: protocol_for(i) for i, a in enumerate(agents)},
+        transition=transition,
+        initial=Distribution.point(Config(env=None, locals=(0,) * n_agents)),
+        horizon=horizon,
+    )
+
+
+def tree_signature(pps: PPS) -> List[Tuple]:
+    """Every observable of every node, in pre-order.
+
+    The compile-parity contract in one value: two systems whose
+    signatures are equal have identical uid sequences, depths, states,
+    edge probabilities, and via-actions — the benchmark and the parity
+    suite both compare trees through this.
+    """
+    out: List[Tuple] = []
+    stack = [pps.root]
+    while stack:
+        node = stack.pop()
+        out.append(
+            (
+                node.uid,
+                node.depth,
+                node.state,
+                node.prob_from_parent,
+                dict(node.via_action) if node.via_action is not None else None,
+            )
+        )
+        stack.extend(reversed(node.children))
+    return out
 
 
 def random_state_fact(seed: int, *, density: float = 0.5) -> Fact:

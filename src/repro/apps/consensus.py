@@ -84,6 +84,7 @@ def build_consensus(
     n: int = 2,
     loss: ProbabilityLike = "0.1",
     one_probability: ProbabilityLike = "1/2",
+    memoize: bool = True,
 ) -> PPS:
     """Compile the ``n``-agent one-shot consensus system.
 
@@ -92,6 +93,9 @@ def build_consensus(
             2 or 3 keeps everything instantaneous).
         loss: per-message loss probability.
         one_probability: probability each input bit is 1.
+        memoize: compile with interning and memoized expansion
+            templates (the default); ``False`` is the unmemoized
+            escape hatch used by the compiler-scaling benchmark.
     """
     if n < 2:
         raise ValueError("consensus needs at least two agents")
@@ -111,7 +115,7 @@ def build_consensus(
         horizon=2,
         name=f"consensus(n={n})",
     )
-    return system.compile()
+    return system.compile(memoize=memoize)
 
 
 def decides(agent: AgentId, value: int) -> Fact:

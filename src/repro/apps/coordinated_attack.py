@@ -118,6 +118,7 @@ def build_coordinated_attack(
     loss: ProbabilityLike = "0.1",
     order_probability: ProbabilityLike = "0.5",
     ack_rounds: int = 1,
+    memoize: bool = True,
 ) -> PPS:
     """Compile the coordinated-attack system.
 
@@ -127,6 +128,9 @@ def build_coordinated_attack(
         ack_rounds: number of acknowledgement rounds after the order
             round (0 = no conversation; 1 = B acks; 2 = B acks, A acks
             back; ...).
+        memoize: compile with interning and memoized expansion
+            templates (the default); ``False`` is the unmemoized
+            escape hatch used by the compiler-scaling benchmark.
 
     The attack actions are performed at time ``ack_rounds + 1``.
     """
@@ -150,7 +154,7 @@ def build_coordinated_attack(
         horizon=deadline + 1,
         name=f"coordinated-attack(acks={ack_rounds})",
     )
-    return system.compile()
+    return system.compile(memoize=memoize)
 
 
 def attack_a() -> Fact:

@@ -212,7 +212,15 @@ class SystemIndex:
         occurrence: Dict[AgentId, Dict[LocalState, Tuple[int, int]]] = {
             agent: {} for agent in agents
         }
-        partitions: Dict[AgentId, List[Dict[LocalState, int]]] = {
+        # Compiled systems carry an InternTable (pps.intern): equal
+        # local states in the tree are identical objects, so the hot
+        # accumulation loop can group by id() — hashing each *distinct*
+        # local value once per system instead of once per (node, agent)
+        # pair.  That matters for perfect-recall locals whose hash is
+        # O(history).  Hand-built trees (no table) keep by-value keys.
+        interned = self.pps.intern is not None
+        # agent -> t -> key -> [local, mask]; key is id(local) or local.
+        acc: Dict[AgentId, List[Dict[object, List[object]]]] = {
             agent: [dict() for _ in range(self.max_time + 1)] for agent in agents
         }
         for node in self.pps.state_nodes():
@@ -223,14 +231,24 @@ class SystemIndex:
             t = node.time
             for idx, agent in enumerate(agents):
                 local = state.local(idx)
-                cells = partitions[agent][t]
-                cells[local] = cells.get(local, 0) | mask
+                cells = acc[agent][t]
+                key = id(local) if interned else local
+                entry = cells.get(key)
+                if entry is None:
+                    cells[key] = [local, mask]
+                else:
+                    entry[1] |= mask
+        partitions: Dict[AgentId, List[Dict[LocalState, int]]] = {}
         for agent in agents:
+            slices: List[Dict[LocalState, int]] = []
             table = occurrence[agent]
-            for t, cells in enumerate(partitions[agent]):
-                for local, mask in cells.items():
+            for t, cells in enumerate(acc[agent]):
+                merged = {local: mask for local, mask in cells.values()}
+                slices.append(merged)
+                for local, mask in merged.items():
                     # Synchrony: each local state occurs at one time only.
                     table[local] = (t, mask)
+            partitions[agent] = slices
         self._local_occurrence = occurrence
         self._partitions = partitions
 

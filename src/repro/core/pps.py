@@ -52,7 +52,16 @@ from .errors import (
 )
 from .numeric import ONE, Probability
 
-__all__ = ["AgentId", "Action", "LocalState", "GlobalState", "Node", "Run", "PPS"]
+__all__ = [
+    "AgentId",
+    "Action",
+    "LocalState",
+    "GlobalState",
+    "InternTable",
+    "Node",
+    "Run",
+    "PPS",
+]
 
 AgentId = str
 Action = Hashable
@@ -75,6 +84,114 @@ class GlobalState:
     def local(self, index: int) -> LocalState:
         """Return the local state of the agent at position ``index``."""
         return self.locals[index]
+
+    def __hash__(self) -> int:
+        # Same formula the frozen dataclass would generate, cached:
+        # local states can be arbitrarily large (e.g. perfect-recall
+        # histories), and interned trees hash the same state at every
+        # node that carries it.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.env, self.locals))
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __getstate__(self):
+        # The cached hash must not survive pickling: string hashes are
+        # salted per process, so a restored stale value would put equal
+        # keys in different dict buckets in the loading process.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+
+class InternTable:
+    """Per-compilation intern table for states and local-state values.
+
+    The protocol compilers (:func:`repro.protocols.compiler.compile_system`
+    and :meth:`repro.messaging.system.MessagePassingSystem.compile`) run
+    every raw configuration, stamped :class:`GlobalState`, and stamped
+    local-state value through one of these tables, so that within a
+    compiled system **equal values are identical objects**.  Equality
+    checks then hit the ``is`` fast path, :class:`GlobalState` hashes are
+    computed once per distinct state (they are cached on the instance),
+    and consumers may group by ``id()`` instead of re-hashing.
+
+    A table is attached to the compiled system as :attr:`PPS.intern`;
+    :class:`~repro.core.engine.SystemIndex` detects it and builds its
+    local-state and partition tables by identity grouping, hashing each
+    distinct local value once per system instead of once per
+    (node, agent) pair.  Hand-built trees carry no table (``pps.intern
+    is None``) and keep the by-value code paths.
+
+    The guarantee an attached table asserts: every non-root
+    ``node.state`` of the owning system, and every entry of those
+    states' ``locals`` tuples, is the canonical instance — two equal
+    values anywhere in the tree are the same object.
+    """
+
+    __slots__ = ("_configs", "_locals", "_stamped")
+
+    def __init__(self) -> None:
+        self._configs: Dict[Hashable, Hashable] = {}
+        self._locals: Dict[LocalState, LocalState] = {}
+        # Keyed (id(config), t): stamped_state requires the canonical
+        # config, whose identity then stands in for equality — sparing
+        # a per-node re-hash of possibly large configurations.  The
+        # value pins the config so its id can never be reused while
+        # the cache lives.
+        self._stamped: Dict[Tuple[int, int], Tuple[Hashable, GlobalState]] = {}
+
+    def config(self, config: Hashable) -> Hashable:
+        """The canonical instance of a raw (unstamped) configuration."""
+        return self._configs.setdefault(config, config)
+
+    def local(self, value: LocalState) -> LocalState:
+        """The canonical instance of a stamped local-state value."""
+        return self._locals.setdefault(value, value)
+
+    def stamped_state(
+        self,
+        config: Hashable,
+        t: int,
+        env: Hashable,
+        raw_locals: Sequence[LocalState],
+    ) -> GlobalState:
+        """The canonical time-``t`` stamped state of ``config``.
+
+        ``config`` is the cache key and **must be the canonical
+        instance** returned by :meth:`config` (the table keeps it alive
+        and keys on its identity); ``env`` and ``raw_locals`` supply
+        the pieces on a miss.  Local states are stored as interned
+        ``(t, raw)`` pairs — the synchrony stamp.
+        """
+        key = (id(config), t)
+        entry = self._stamped.get(key)
+        if entry is None:
+            state = GlobalState(
+                env=env, locals=tuple(self.local((t, raw)) for raw in raw_locals)
+            )
+            self._stamped[key] = (config, state)
+            return state
+        return entry[1]
+
+    @property
+    def distinct_configs(self) -> int:
+        return len(self._configs)
+
+    @property
+    def distinct_states(self) -> int:
+        return len(self._stamped)
+
+    @property
+    def distinct_locals(self) -> int:
+        return len(self._locals)
+
+    def __repr__(self) -> str:
+        return (
+            f"InternTable(configs={self.distinct_configs}, "
+            f"states={self.distinct_states}, locals={self.distinct_locals})"
+        )
 
 
 @dataclass
@@ -225,6 +342,11 @@ class PPS:
             (recommended; disable only in performance experiments on
             programmatically generated trees that are valid by
             construction).
+        intern: the :class:`InternTable` the tree's states were built
+            through, when there is one.  Only the protocol compilers
+            pass this; it asserts that equal states/locals in the tree
+            are identical objects, which the engine exploits when
+            building its tables.
 
     Raises:
         InvalidSystemError: when the tree violates a pps invariant.
@@ -237,9 +359,11 @@ class PPS:
         *,
         name: str = "pps",
         validate: bool = True,
+        intern: Optional[InternTable] = None,
     ) -> None:
         self.agents: Tuple[AgentId, ...] = tuple(agents)
         self.name = name
+        self.intern = intern
         if len(set(self.agents)) != len(self.agents):
             raise InvalidSystemError("duplicate agent names")
         self._agent_index: Dict[AgentId, int] = {

@@ -29,8 +29,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.errors import CompilationError
 from ..core.numeric import ONE, Probability
-from ..core.pps import PPS, AgentId, GlobalState, LocalState, Node
-from ..protocols.compiler import ENV
+from ..core.pps import PPS, AgentId, GlobalState, InternTable, LocalState
+from ..protocols.compiler import ENV, Edge, expand_tree
 from ..protocols.distribution import Distribution
 from .channels import ChannelModel
 from .messages import Message, Move
@@ -91,54 +91,61 @@ class MessagePassingSystem:
     def _stamped(self, raw_locals: Tuple[LocalState, ...], t: int) -> GlobalState:
         return GlobalState(env=None, locals=tuple((t, raw) for raw in raw_locals))
 
-    def compile(self) -> PPS:
-        """Expand the protocol into a purely probabilistic system."""
-        uid = [0]
+    def compile(self, *, memoize: bool = True) -> PPS:
+        """Expand the protocol into a purely probabilistic system.
 
-        def take_uid() -> int:
-            uid[0] += 1
-            return uid[0] - 1
+        The expansion runs through the shared breadth-first grower
+        (:func:`repro.protocols.compiler.expand_tree`); a round's
+        successor enumeration — joint moves, delivery patterns, state
+        updates — is a pure function of the raw local-state tuple, so
+        with ``memoize=True`` (the default) it is computed once per
+        distinct configuration and reused as an expansion template, and
+        all configurations, stamped states, and stamped local values
+        are interned (``pps.intern``).  ``memoize=False`` re-enumerates
+        every node; both modes produce identical trees.
+        """
+        agents = self.agents
+        table: Optional[InternTable] = InternTable() if memoize else None
 
-        root = Node(uid=take_uid(), depth=0, state=None)
-        frontier: List[Tuple[Node, Tuple[LocalState, ...]]] = []
-        for raw_locals, prob in self.initial.items():
-            node = Node(
-                uid=take_uid(),
-                depth=1,
-                state=self._stamped(raw_locals, 0),
-                prob_from_parent=prob,
-                parent=root,
-            )
-            root.children.append(node)
-            frontier.append((node, raw_locals))
-
-        while frontier:
-            node, raw_locals = frontier.pop()
-            t = node.time
-            if t >= self.horizon:
-                continue
+        def expand(raw_locals: Tuple[LocalState, ...], t: int) -> List[Edge]:
+            edges: List[Edge] = []
             for joint_move, move_prob in self._joint_moves(raw_locals).items():
                 sent = self._sent_messages(joint_move)
                 for pattern, pattern_prob in self._delivery_patterns(sent).items():
                     new_locals = self._apply_round(raw_locals, joint_move, sent, pattern)
+                    if table is not None:
+                        new_locals = table.config(new_locals)
                     via: Dict[AgentId, object] = {
                         agent: move.action
-                        for agent, move in zip(self.agents, joint_move)
+                        for agent, move in zip(agents, joint_move)
                     }
                     if self.record_delivery_pattern:
                         via[ENV] = pattern
-                    child = Node(
-                        uid=take_uid(),
-                        depth=node.depth + 1,
-                        state=self._stamped(new_locals, t + 1),
-                        prob_from_parent=move_prob * pattern_prob,
-                        via_action=via,
-                        parent=node,
-                    )
-                    node.children.append(child)
-                    frontier.append((child, new_locals))
+                    edges.append((new_locals, via, move_prob * pattern_prob))
+            return edges
 
-        pps = PPS(self.agents, root, name=self.name)
+        if table is not None:
+            def stamp(raw_locals: Tuple[LocalState, ...], t: int) -> GlobalState:
+                return table.stamped_state(raw_locals, t, None, raw_locals)
+
+            initial = [
+                (table.config(raw_locals), prob)
+                for raw_locals, prob in self.initial.items()
+            ]
+        else:
+            def stamp(raw_locals: Tuple[LocalState, ...], t: int) -> GlobalState:
+                return self._stamped(raw_locals, t)
+
+            initial = list(self.initial.items())
+
+        root = expand_tree(
+            initial,
+            expand=expand,
+            stamp=stamp,
+            stop=lambda raw_locals, t: t >= self.horizon,
+            memoize=memoize,
+        )
+        pps = PPS(agents, root, name=self.name, intern=table)
         if not pps.runs:
             raise CompilationError("compilation produced no runs")
         return pps

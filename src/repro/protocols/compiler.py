@@ -23,6 +23,26 @@ Two joint choices that happen to produce the same raw successor state
 yield *separate* tree nodes (a tree never merges histories); their
 global states may coincide, which is exactly how agents come to be
 uncertain about what happened.
+
+Repeated configurations and memoized expansion
+----------------------------------------------
+Histories never merge, but raw configurations *recur*: in synchronous
+protocols the same :class:`Config` typically labels many tree nodes
+(that recurrence is precisely what makes agents uncertain).  The
+successor enumeration above — the joint-action product, the
+environment's reaction, and the transition — is a pure function of the
+raw configuration, so by default :func:`compile_system` computes it
+once per distinct configuration as an **expansion template** (a list
+of ``(successor config, via action, edge probability)`` triples) and
+stamps fresh :class:`~repro.core.pps.Node` objects from the template
+at every other node carrying that configuration.  All configurations,
+stamped states, and stamped local values are interned in a
+per-compilation :class:`~repro.core.pps.InternTable` (attached to the
+result as ``pps.intern``), so equality within the tree is identity and
+state hashes are cached.  Tree shape, uid assignment (breadth-first,
+depth-monotone), run order, and all edge probabilities are identical
+to the unmemoized construction; ``memoize=False`` is the escape hatch
+that re-enumerates every node independently.  See ``docs/compiler.md``.
 """
 
 from __future__ import annotations
@@ -34,6 +54,7 @@ from typing import (
     Deque,
     Dict,
     Hashable,
+    Iterable,
     List,
     Mapping,
     Optional,
@@ -43,12 +64,12 @@ from typing import (
 
 from ..core.errors import CompilationError
 from ..core.numeric import ONE, Probability
-from ..core.pps import PPS, Action, AgentId, GlobalState, LocalState, Node
+from ..core.pps import PPS, Action, AgentId, GlobalState, InternTable, LocalState, Node
 from .distribution import Distribution
 from .environment import EnvironmentProtocol, PassiveEnvironment
 from .protocol import AgentProtocol, ProtocolLike, as_protocol
 
-__all__ = ["Config", "ProtocolSystem", "compile_system", "ENV"]
+__all__ = ["Config", "ProtocolSystem", "compile_system", "expand_tree", "ENV"]
 
 ENV = "_env"
 """Reserved key under which the environment's action is recorded on edges."""
@@ -64,6 +85,24 @@ class Config:
 
     env: Hashable
     locals: Tuple[LocalState, ...]
+
+    def __hash__(self) -> int:
+        # Same formula the frozen dataclass would generate, cached:
+        # the memoized compiler keys its template and stamp caches on
+        # configurations, looking each one up once per node.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.env, self.locals))
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __getstate__(self):
+        # The cached hash must not survive pickling: string hashes are
+        # salted per process, so a restored stale value would put equal
+        # keys in different dict buckets in the loading process.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
 
 
 # (new_env, new_locals) returned by a transition function
@@ -132,12 +171,48 @@ def _stamped_state(system: ProtocolSystem, config: Config, t: int) -> GlobalStat
     )
 
 
-def compile_system(system: ProtocolSystem, *, name: str = "compiled") -> PPS:
-    """Run the bounded-horizon expansion and return the pps.
+# One outgoing edge of the expansion: (successor config, via action,
+# edge probability).  A node's full edge list is its expansion template.
+Edge = Tuple[Hashable, Mapping[AgentId, Action], Probability]
 
-    Raises:
-        CompilationError: when a transition returns an incomplete local
-            state mapping, or the expansion produces no runs.
+
+def expand_tree(
+    initial: Iterable[Tuple[Hashable, Probability]],
+    *,
+    expand: Callable[[Hashable, int], Sequence[Edge]],
+    stamp: Callable[[Hashable, int], GlobalState],
+    stop: Callable[[Hashable, int], bool],
+    memoize: bool = True,
+) -> Node:
+    """Breadth-first bounded expansion shared by both protocol compilers.
+
+    Args:
+        initial: ``(config, probability)`` pairs for the root's children.
+        expand: the successor enumeration ``(config, t) -> edges``.  It
+            **must be a pure function of the configuration** — ``t`` is
+            provided for diagnostics only (with ``memoize=True`` the
+            template is computed at the configuration's first occurrence
+            and reused at every later one, whatever its time).
+        stamp: ``(config, t) -> GlobalState`` — the time-stamped state
+            stored on the node (may intern; must be pure).
+        stop: ``(config, t) -> bool`` — whether the node is a leaf
+            (horizon reached or an early-termination state).  Unlike
+            ``expand``, this may depend on the time.
+        memoize: cache expansion templates per configuration (the
+            default).  ``False`` re-enumerates every node — the escape
+            hatch used by the parity tests and benchmarks.  Both modes
+            produce identical trees: same shape, same breadth-first
+            depth-monotone uids, same run order, same probabilities.
+            With ``memoize=True`` the configurations fed in (initial
+            entries and the successors ``expand`` returns) **must be
+            canonical interned instances kept alive for the whole
+            call** — equal configs the same object, as an
+            :class:`~repro.core.pps.InternTable` guarantees — because
+            the template cache keys on object identity to avoid
+            re-hashing large configurations at every node.
+
+    Returns:
+        The root node of the expanded tree.
     """
     uid_counter = [0]
 
@@ -149,65 +224,151 @@ def compile_system(system: ProtocolSystem, *, name: str = "compiled") -> PPS:
     # FIFO frontier entries: (node, raw config).  A LIFO here would
     # expand depth-first and hand out uids out of level order; the
     # docstring's breadth-first contract keeps uids depth-monotone.
-    frontier: Deque[Tuple[Node, Config]] = deque()
-    for config, prob in system.initial.items():
+    frontier: Deque[Tuple[Node, Hashable]] = deque()
+    for config, prob in initial:
         node = Node(
             uid=take_uid(),
             depth=1,
-            state=_stamped_state(system, config, 0),
+            state=stamp(config, 0),
             prob_from_parent=prob,
             parent=root,
         )
         root.children.append(node)
         frontier.append((node, config))
 
+    # id(config) -> (config, edges); the config reference keeps the id
+    # stable for the lifetime of the cache.
+    templates: Optional[Dict[int, Tuple[Hashable, Sequence[Edge]]]] = (
+        {} if memoize else None
+    )
     while frontier:
         node, config = frontier.popleft()
         t = node.time
+        if stop(config, t):
+            continue
+        if templates is None:
+            edges = expand(config, t)
+        else:
+            # Configs are interned, so identity is equality; id-keying
+            # skips re-hashing (possibly large) configurations here.
+            # The entry pins the config itself: an id must never be
+            # reused while the cache lives, even if a caller breaks
+            # the keep-alive half of the interning contract.
+            key = id(config)
+            entry = templates.get(key)
+            if entry is None:
+                edges = expand(config, t)
+                templates[key] = (config, edges)
+            else:
+                edges = entry[1]
+        depth = node.depth + 1
+        for successor, via, prob in edges:
+            child = Node(
+                uid=take_uid(),
+                depth=depth,
+                state=stamp(successor, t + 1),
+                prob_from_parent=prob,
+                via_action=via,
+                parent=node,
+            )
+            node.children.append(child)
+            frontier.append((child, successor))
+    return root
+
+
+def compile_system(
+    system: ProtocolSystem, *, name: str = "compiled", memoize: bool = True
+) -> PPS:
+    """Run the bounded-horizon expansion and return the pps.
+
+    With ``memoize=True`` (the default) the successor enumeration is
+    computed once per distinct raw :class:`Config` and reused as an
+    expansion template wherever that configuration recurs, and all
+    configurations, stamped states, and stamped local values are
+    interned (the table is attached as ``pps.intern``).  The resulting
+    tree is identical — shape, uids, run order, probabilities — to the
+    ``memoize=False`` construction, which re-enumerates the joint
+    product and environment reaction at every node.
+
+    Raises:
+        CompilationError: when a transition returns a local-state
+            mapping that omits an agent or names an unknown one, or the
+            expansion produces no runs.
+    """
+    agents = system.agents
+    known = set(agents)
+    table: Optional[InternTable] = InternTable() if memoize else None
+
+    def expand(config: Config, t: int) -> List[Edge]:
         locals_map = system.locals_map(config)
-        if t >= system.horizon:
-            continue
-        if system.final is not None and system.final(config.env, locals_map, t):
-            continue
         # Joint agent action distribution (independent choices).
         joint: List[Tuple[Dict[AgentId, Action], Probability]] = [({}, ONE)]
-        for agent, raw in zip(system.agents, config.locals):
+        for agent, raw in zip(agents, config.locals):
             dist = system.protocol_of(agent).act(raw)
             joint = [
                 ({**acts, agent: action}, weight * w)
                 for acts, weight in joint
                 for action, w in dist.items()
             ]
+        edges: List[Edge] = []
         for joint_actions, joint_prob in joint:
             env_dist = system.environment.react(config.env, joint_actions)
             for env_action, env_prob in env_dist.items():
                 new_env, new_locals = system.transition(
                     config.env, locals_map, joint_actions, env_action
                 )
-                missing = [a for a in system.agents if a not in new_locals]
+                missing = [a for a in agents if a not in new_locals]
                 if missing:
                     raise CompilationError(
                         f"transition at time {t} omitted local states for {missing}"
                     )
+                if len(new_locals) != len(agents):
+                    unknown = sorted(
+                        repr(k) for k in new_locals if k not in known
+                    )
+                    raise CompilationError(
+                        f"transition at time {t} returned local states for "
+                        f"unknown agents [{', '.join(unknown)}]; "
+                        f"agents are {tuple(agents)}"
+                    )
                 successor = Config(
                     env=new_env,
-                    locals=tuple(new_locals[a] for a in system.agents),
+                    locals=tuple(new_locals[a] for a in agents),
                 )
+                if table is not None:
+                    successor = table.config(successor)
                 via: Dict[AgentId, Action] = dict(joint_actions)
                 if system.record_env_action:
                     via[ENV] = env_action
-                child = Node(
-                    uid=take_uid(),
-                    depth=node.depth + 1,
-                    state=_stamped_state(system, successor, t + 1),
-                    prob_from_parent=joint_prob * env_prob,
-                    via_action=via,
-                    parent=node,
-                )
-                node.children.append(child)
-                frontier.append((child, successor))
+                edges.append((successor, via, joint_prob * env_prob))
+        return edges
 
-    pps = PPS(system.agents, root, name=name)
+    if table is not None:
+        def stamp(config: Config, t: int) -> GlobalState:
+            return table.stamped_state(config, t, config.env, config.locals)
+
+        initial = [
+            (table.config(config), prob) for config, prob in system.initial.items()
+        ]
+    else:
+        def stamp(config: Config, t: int) -> GlobalState:
+            return _stamped_state(system, config, t)
+
+        initial = list(system.initial.items())
+
+    final = system.final
+
+    def stop(config: Config, t: int) -> bool:
+        if t >= system.horizon:
+            return True
+        if final is None:
+            return False
+        return final(config.env, system.locals_map(config), t)
+
+    root = expand_tree(
+        initial, expand=expand, stamp=stamp, stop=stop, memoize=memoize
+    )
+    pps = PPS(agents, root, name=name, intern=table)
     if not pps.runs:
         raise CompilationError("compilation produced no runs")
     return pps

@@ -172,6 +172,30 @@ class TestCompilationErrors:
         with pytest.raises(CompilationError):
             compile_system(system)
 
+    @pytest.mark.parametrize("memoize", [True, False])
+    def test_transition_rejects_unknown_agent_keys(self, memoize):
+        # Regression: extra keys in the returned mapping were silently
+        # ignored (only missing ones raised), hiding typos like a
+        # misspelled agent name in transition code.
+        def typo_transition(env_state, locals_map, joint_actions, env_action):
+            new_env, new_locals = counter_transition(
+                env_state, locals_map, joint_actions, env_action
+            )
+            new_locals["agent-b"] = (0, ())  # no such agent
+            return new_env, new_locals
+
+        system = simple_system(transition=typo_transition)
+        with pytest.raises(CompilationError, match="unknown agents.*'agent-b'"):
+            compile_system(system, memoize=memoize)
+
+    def test_missing_agent_reported_before_unknown(self):
+        def swapped_transition(env_state, locals_map, joint_actions, env_action):
+            return env_state, {"not-a": (0, ())}
+
+        system = simple_system(transition=swapped_transition)
+        with pytest.raises(CompilationError, match="omitted local states"):
+            compile_system(system)
+
 
 class TestAdversaryCompilation:
     def test_one_system_per_adversary(self):

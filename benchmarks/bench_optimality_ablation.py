@@ -18,40 +18,22 @@ from fractions import Fraction
 
 from conftest import emit
 
-from repro import (
-    achievable_frontier,
-    achieved_probability,
-    optimal_acting_states,
-    performing_runs,
-)
-from repro.analysis.sweep import format_table
+from repro import achievable_frontier, optimal_acting_states
+from repro.analysis.sweep import format_table, refrain_threshold_sweep
 from repro.apps.firing_squad import ALICE, FIRE, both_fire, build_firing_squad
-from repro.core.measure import probability
-from repro.protocols import refrain_below_threshold
 
 SYSTEM = build_firing_squad()
 PHI = both_fire()
 
 
-def threshold_row(threshold):
-    if Fraction(threshold) == 0:
-        modified = SYSTEM
-    else:
-        modified = refrain_below_threshold(SYSTEM, ALICE, FIRE, PHI, threshold)
-    return {
-        "mu(both|fireA)": achieved_probability(modified, ALICE, PHI, FIRE),
-        "P(fireA)": probability(
-            modified, performing_runs(modified, ALICE, FIRE)
-        ),
-    }
-
-
 def test_refrain_threshold_ablation(benchmark):
+    # Every row is a derived system over SYSTEM's tree: one shared
+    # parent index, O(overridden edges) per threshold.
     def ablation():
-        return [
-            {"threshold": threshold, **threshold_row(threshold)}
-            for threshold in ("0", "1/2", "0.95", "0.99", "0.995", "1")
-        ]
+        return refrain_threshold_sweep(
+            SYSTEM, ALICE, PHI, FIRE,
+            ("0", "1/2", "0.95", "0.99", "0.995", "1"),
+        )
 
     rows = benchmark(ablation)
     emit(
@@ -59,13 +41,13 @@ def test_refrain_threshold_ablation(benchmark):
             rows, title="Ablation: refrain threshold vs value vs coverage"
         )
     )
-    values = [row["mu(both|fireA)"] for row in rows]
+    values = [row["achieved"] for row in rows]
     assert values[0] == Fraction(99, 100)
     assert Fraction(990, 991) in values
     assert values[-1] == 1
     # Value is monotone in the threshold; coverage is antitone.
     assert values == sorted(values)
-    coverage = [row["P(fireA)"] for row in rows]
+    coverage = [row["coverage"] for row in rows]
     assert coverage == sorted(coverage, reverse=True)
 
 

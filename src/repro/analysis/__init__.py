@@ -18,7 +18,7 @@ from .random_systems import (
 from .report import ExperimentRecord, format_experiments, render_tree
 from .stats import Estimate, hoeffding_halfwidth, mean, normal_halfwidth, variance
 from .timeline import TimelineCell, belief_timeline, expected_belief_by_time
-from .sweep import format_table, format_value, sweep
+from .sweep import format_table, format_value, refrain_threshold_sweep, sweep
 from .verify import (
     SystemVerification,
     assert_theorems,
@@ -51,6 +51,7 @@ __all__ = [
     "random_protocol_system",
     "random_run_fact",
     "random_state_fact",
+    "refrain_threshold_sweep",
     "render_tree",
     "sweep",
     "variance",

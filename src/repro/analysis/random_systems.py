@@ -198,19 +198,22 @@ def tree_signature(pps: PPS) -> List[Tuple]:
     The compile-parity contract in one value: two systems whose
     signatures are equal have identical uid sequences, depths, states,
     edge probabilities, and via-actions — the benchmark and the parity
-    suite both compare trees through this.
+    suite both compare trees through this.  Edge labels are resolved
+    through :meth:`~repro.core.pps.PPS.edge_action`, so a derived
+    system's signature shows its overlay, not the parent's raw labels.
     """
     out: List[Tuple] = []
     stack = [pps.root]
     while stack:
         node = stack.pop()
+        via = pps.edge_action(node)
         out.append(
             (
                 node.uid,
                 node.depth,
                 node.state,
                 node.prob_from_parent,
-                dict(node.via_action) if node.via_action is not None else None,
+                dict(via) if via is not None else None,
             )
         )
         stack.extend(reversed(node.children))

@@ -26,8 +26,10 @@ def _node_line(pps: PPS, node: Node) -> str:
         f"{agent}={local!r}" for agent, local in zip(pps.agents, node.state.locals)
     )
     action = ""
-    if node.via_action:
-        inner = ", ".join(f"{k}:{v!r}" for k, v in sorted(node.via_action.items(), key=lambda kv: str(kv[0])))
+    # Resolve through the system so derived overlays render correctly.
+    via = pps.edge_action(node)
+    if via:
+        inner = ", ".join(f"{k}:{v!r}" for k, v in sorted(via.items(), key=lambda kv: str(kv[0])))
         action = f" via {{{inner}}}"
     return f"p={node.prob_from_parent} t={node.time} [{locals_repr}]{action}"
 

@@ -6,6 +6,11 @@ runs a row function over the cartesian product of a parameter grid and
 collects the rows; :func:`format_table` renders them for terminal
 output (benchmarks print these so the reproduced tables are visible in
 the benchmark logs).
+
+:func:`refrain_threshold_sweep` is the transform-aware sweep: one
+parent system, one row per refrain threshold, every row a derived
+system (:class:`~repro.core.pps.DerivedPPS`) sharing the parent's tree
+and engine index — the workload the derived-system layer exists for.
 """
 
 from __future__ import annotations
@@ -14,7 +19,18 @@ from fractions import Fraction
 from itertools import product as iter_product
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
-__all__ = ["sweep", "format_table", "format_value"]
+from ..core.constraints import achieved_probability
+from ..core.engine import SystemIndex
+from ..core.facts import Fact
+from ..core.numeric import ProbabilityLike, as_fraction
+from ..core.pps import PPS, Action, AgentId
+
+__all__ = [
+    "sweep",
+    "refrain_threshold_sweep",
+    "format_table",
+    "format_value",
+]
 
 Row = Dict[str, object]
 
@@ -82,6 +98,66 @@ def sweep(
         row: Row = dict(params)
         row.update(result)
         rows.append(row)
+    return rows
+
+
+def refrain_threshold_sweep(
+    pps: PPS,
+    agent: AgentId,
+    phi: Fact,
+    action: Action,
+    thresholds: Sequence[ProbabilityLike],
+    *,
+    replacement: Action = "skip",
+    materialize: bool = False,
+) -> List[Row]:
+    """One row per refrain threshold, sharing one parent index.
+
+    For each threshold the system is transformed with
+    :func:`~repro.protocols.strategies.refrain_below_threshold` and the
+    row records the modified protocol's achieved probability
+    ``mu(phi@alpha | alpha)`` and retained coverage ``mu(alpha)`` —
+    the value-vs-coverage trade of the paper's Section 8, made dense.
+
+    Every row is a derived system over the *same* parent: the acting
+    beliefs that decide the relabelling are memoized once on the
+    parent's index and shared across all rows, and each row's index
+    inherits everything label-independent from the parent's.  Pass
+    ``materialize=True`` to force the historic deep-copy-and-rebuild
+    path instead (each row then pays a full copy, validation, and cold
+    index build — the benchmark's baseline).
+
+    A threshold of 0 never strips an edge (beliefs are never negative),
+    so the first row of the usual ``0 .. 1`` grid reports the original
+    protocol's numbers.
+
+    Returns:
+        one row dict per threshold:
+        ``{"threshold", "achieved", "coverage"}``, exact rationals.
+    """
+    from ..protocols.strategies import refrain_below_threshold
+
+    rows: List[Row] = []
+    for threshold in thresholds:
+        modified = refrain_below_threshold(
+            pps,
+            agent,
+            action,
+            phi,
+            threshold,
+            replacement=replacement,
+            materialize=materialize,
+        )
+        index = SystemIndex.of(modified)
+        rows.append(
+            {
+                "threshold": as_fraction(threshold),
+                "achieved": achieved_probability(modified, agent, phi, action),
+                "coverage": index.probability(
+                    index.performing_mask(agent, action)
+                ),
+            }
+        )
     return rows
 
 

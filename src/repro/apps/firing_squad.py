@@ -27,11 +27,15 @@ improved FS' success                           990/991 ~ 0.99899
 fire after receiving 'No'.  Build it with ``improved=True``; it is also
 the output of :func:`repro.protocols.strategies.refrain_below_threshold`
 applied to FS — tests confirm the two coincide.
+:func:`derive_improved_firing_squad` takes that second route and
+returns FS' as a derived system over FS's own tree (shared nodes and
+engine index, one relabelled edge), which is the cheap way to get FS'
+when FS is already in hand.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..core.atoms import does_
 from ..core.facts import Fact
@@ -49,6 +53,7 @@ __all__ = [
     "FIRE",
     "THRESHOLD",
     "build_firing_squad",
+    "derive_improved_firing_squad",
     "fire_alice",
     "fire_bob",
     "both_fire",
@@ -141,6 +146,43 @@ def build_firing_squad(
         name="firing-squad" + ("-improved" if improved else ""),
     )
     return system.compile()
+
+
+def derive_improved_firing_squad(
+    base: Optional[PPS] = None, *, materialize: bool = False
+) -> PPS:
+    """FS' derived from FS by the Section 8 transform, sharing FS's tree.
+
+    The mechanical route to the improved protocol: apply
+    :func:`~repro.protocols.strategies.refrain_below_threshold` to FS
+    at the Spec threshold.  The result is a
+    :class:`~repro.core.pps.DerivedPPS` — same nodes, same
+    probabilities, one relabelled edge (Alice's fire-on-'No') — whose
+    engine index is derived from FS's, so building FS' on top of an
+    already-analyzed FS is near-free.  It agrees exactly with
+    ``build_firing_squad(improved=True)`` on every measure, belief, and
+    achieved probability (tests assert this); pass ``materialize=True``
+    for a standalone deep copy instead.
+
+    Args:
+        base: an existing FS system to derive from (compiled fresh when
+            omitted).  Passing the system you are already analyzing
+            shares its index caches with the derived FS'.
+        materialize: forwarded to the transform's escape hatch.
+    """
+    from ..protocols.strategies import refrain_below_threshold
+
+    if base is None:
+        base = build_firing_squad()
+    return refrain_below_threshold(
+        base,
+        ALICE,
+        FIRE,
+        both_fire(),
+        THRESHOLD,
+        name=base.name + "-improved",
+        materialize=materialize,
+    )
 
 
 def fire_alice() -> Fact:

@@ -137,7 +137,18 @@ from .optimality import (
     optimal_acting_states,
 )
 from .pak import PAKReport, analyze
-from .pps import PPS, Action, AgentId, GlobalState, LocalState, Node, Run
+from .pps import (
+    PPS,
+    Action,
+    ActionOverlay,
+    AgentId,
+    DerivedPPS,
+    GlobalState,
+    LocalState,
+    Node,
+    OverlayRun,
+    Run,
+)
 from .theorems import (
     TheoremCheck,
     check_corollary_7_2,

@@ -44,6 +44,12 @@ class AtLocalState(RunFact):
     def _structure(self):
         return (self.phi.structural_key(), self.agent, self.local)
 
+    def _action_dependence(self) -> bool:
+        # The @l_i anchor is a state condition; only phi can look at
+        # actions.  (AtAction, by contrast, is inherently action-bound
+        # and keeps the base-class True.)
+        return self.phi.mentions_actions()
+
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         # Synchrony: the local state has one possible occurrence time
         # system-wide, so a single point check replaces the time scan.

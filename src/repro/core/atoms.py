@@ -45,6 +45,9 @@ class _Constant(RunFact):
     def _structure(self):
         return (self._value,)
 
+    def _action_dependence(self) -> bool:
+        return False
+
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return self._value
 
@@ -114,6 +117,9 @@ class LocalStateOccurs(RunFact):
     def _structure(self):
         return (self.agent, self.local)
 
+    def _action_dependence(self) -> bool:
+        return False
+
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         # Synchrony: one possible occurrence time system-wide.
         time = SystemIndex.of(pps).occurrence_time(self.agent, self.local)
@@ -146,6 +152,10 @@ class StateFact(Fact):
         # twice is the same fact; distinct closures stay distinct.
         return (self._predicate,)
 
+    def _action_dependence(self) -> bool:
+        # The predicate only ever sees the current global state.
+        return False
+
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return self._predicate(run.state(t))
 
@@ -171,6 +181,10 @@ def local_fact(
         def _structure(self):
             return (agent, predicate)
 
+        def _action_dependence(self) -> bool:
+            # The predicate only ever sees the agent's local state.
+            return False
+
         def holds(self, pps: PPS, run: Run, t: int) -> bool:
             return predicate(run.local(agent, t))
 
@@ -193,6 +207,9 @@ class AtTime(Fact):
 
     def _structure(self):
         return (self.t0,)
+
+    def _action_dependence(self) -> bool:
+        return False
 
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return t == self.t0

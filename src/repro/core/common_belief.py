@@ -55,6 +55,11 @@ class Believes(Fact):
     def _structure(self):
         return (self.agent, self.phi.structural_key(), self.level)
 
+    def _action_dependence(self) -> bool:
+        # Posteriors condition on information cells (label-independent);
+        # only phi itself can look at actions.
+        return self.phi.mentions_actions()
+
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return belief_at(pps, self.agent, self.phi, run, t) >= self.level
 
@@ -78,6 +83,9 @@ class EveryoneBelieves(Fact):
     def _structure(self):
         return (self.agents, self.phi.structural_key(), self.level)
 
+    def _action_dependence(self) -> bool:
+        return self.phi.mentions_actions()
+
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return all(
             Believes(agent, self.phi, self.level).holds(pps, run, t)
@@ -98,6 +106,10 @@ class _PointSetFact(Fact):
     def __init__(self, points: Set[Point], label: str = "point-set") -> None:
         self._points = points
         self.label = label
+
+    def _action_dependence(self) -> bool:
+        # Extensional: truth is a function of (run index, time) alone.
+        return False
 
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return (run.index, t) in self._points
@@ -193,6 +205,9 @@ class CommonBelief(Fact):
 
     def _structure(self):
         return (self.agents, self.phi.structural_key(), self.level)
+
+    def _action_dependence(self) -> bool:
+        return self.phi.mentions_actions()
 
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         key = id(pps)

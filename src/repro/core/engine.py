@@ -40,6 +40,14 @@ Cache invalidation is *never*: a pps tree is immutable after
 validation (nothing in the library mutates nodes of a built system),
 so an index computed once is valid for the lifetime of the system.
 
+Derived systems (:class:`~repro.core.pps.DerivedPPS` — protocol
+transforms represented as per-edge action overlays over a shared
+parent tree) do not get cold builds: :meth:`SystemIndex.derived`
+inherits every label-independent table and cache from the parent's
+index and rebuilds only the (agent, action) tables for the overridden
+edges, invalidating just the fact-cache entries whose facts mention
+actions (see ``docs/transforms.md``).
+
 The public frozenset-based :class:`~repro.core.measure.Event` API is
 preserved throughout the library; this module is the engine underneath
 it, and :meth:`SystemIndex.mask_of` / :meth:`SystemIndex.event_of`
@@ -59,6 +67,7 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
 
@@ -68,7 +77,7 @@ from .errors import (
     UnknownLocalStateError,
 )
 from .numeric import ONE, ZERO, Probability
-from .pps import PPS, Action, AgentId, LocalState
+from .pps import PPS, Action, AgentId, DerivedPPS, LocalState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from .facts import Fact
@@ -164,6 +173,13 @@ class SystemIndex:
             Tuple[Tuple[AgentId, ...], int], Dict[int, int]
         ] = {}
         self._event_cache: Dict[int, FrozenSet[int]] = {}
+        # Fact keys whose cached entries are label-independent
+        # (Fact.mentions_actions() returned False at caching time);
+        # only these survive into a derived index.
+        self._action_free: Set[object] = set()
+        # Set by derived(): the parent index the action tables are
+        # incrementally rebuilt from on first use.
+        self._derived_parent: Optional["SystemIndex"] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -174,17 +190,109 @@ class SystemIndex:
         """The system's index, built on first use and cached on the pps.
 
         ``structural_keys`` only takes effect when this call builds the
-        index; an already-attached index is returned as-is.
+        index; an already-attached index is returned as-is.  A
+        :class:`~repro.core.pps.DerivedPPS` never gets a cold build
+        here: its index is derived from its parent's via
+        :meth:`derived`, inheriting every label-independent table.
         """
         index = getattr(pps, "_system_index", None)
         if index is None:
-            index = cls(pps, structural_keys=structural_keys)
+            if isinstance(pps, DerivedPPS):
+                parent_index = cls.of(pps.parent, structural_keys=structural_keys)
+                if parent_index.structural_keys == structural_keys:
+                    index = cls.derived(parent_index, pps)
+                else:
+                    # The parent was already indexed under the other
+                    # keying mode; inheriting its caches would smuggle
+                    # that mode in.  Honor the request with a cold
+                    # build (the generic constructor handles derived
+                    # systems through PPS.edge_action).
+                    index = cls(pps, structural_keys=structural_keys)
+            else:
+                index = cls(pps, structural_keys=structural_keys)
             pps._system_index = index  # type: ignore[attr-defined]
+        return index
+
+    @classmethod
+    def derived(cls, parent: "SystemIndex", pps: "DerivedPPS") -> "SystemIndex":
+        """An index for ``pps`` inheriting ``parent``'s tables.
+
+        ``pps`` must be a derived system whose parent is exactly
+        ``parent.pps``.  Everything label-independent is shared by
+        reference — the exact-probability kernel (weights, prefix
+        table, memoized measures), leaf ranges, alive masks, local
+        occurrence/partition tables, common-knowledge components, and
+        the event-interop cache — because the overlay preserves states,
+        probabilities, and tree shape.  Fact-mask and belief cache
+        entries are inherited for facts that never inspect actions
+        (:meth:`~repro.core.facts.Fact.mentions_actions`); entries for
+        action-mentioning facts are invalidated.  The (agent, action)
+        tables are rebuilt incrementally, touching only the overridden
+        edges, on first use.
+        """
+        if not isinstance(pps, DerivedPPS) or pps.parent is not parent.pps:
+            raise ValueError(
+                "derived() requires the DerivedPPS whose parent is exactly "
+                "the parent index's system"
+            )
+        index = cls.__new__(cls)
+        index.pps = pps
+        index.structural_keys = parent.structural_keys
+        index.run_count = parent.run_count
+        index.all_mask = parent.all_mask
+        # Exact probability kernel: identical weights, shared memo.
+        index._denominator = parent._denominator
+        index._weights = parent._weights
+        index._prefix = parent._prefix
+        index._prob_cache = parent._prob_cache
+        # Structure tables: the tree is literally the parent's.
+        index._node_ranges = parent._node_ranges
+        index.max_time = parent.max_time
+        index._alive = parent._alive
+        index._local_occurrence = parent._local_occurrence
+        index._partitions = parent._partitions
+        index._event_cache = parent._event_cache
+        index._component_cache = parent._component_cache
+        # Action tables: incremental rebuild deferred to first use.
+        index._performing = None
+        index._action_records = {}
+        index._performance_times = {}
+        index._state_cells = {}
+        index._agent_actions = {}
+        index._derived_parent = parent
+        # Fact caches: label-independent entries carry over verbatim.
+        free = parent._action_free
+        index._action_free = set(free)
+        index._fact_masks = {
+            key: mask for key, mask in parent._fact_masks.items() if key in free
+        }
+        index._slice_masks = {
+            key: mask
+            for key, mask in parent._slice_masks.items()
+            if key[0] in free
+        }
+        index._belief_cache = {
+            key: value
+            for key, value in parent._belief_cache.items()
+            if key[1] in free
+        }
+        index._at_action_cache = {}
         return index
 
     def _fact_key(self, fact: "Fact") -> object:
         """The memo-cache key of a fact under this index's keying mode."""
         return fact.structural_key() if self.structural_keys else fact
+
+    def _note_action_free(self, fact: "Fact") -> None:
+        """Record that a just-cached fact never inspects action labels.
+
+        Derived indices (:meth:`derived`) inherit exactly the cache
+        entries whose keys are recorded here: for those facts the
+        masks and posteriors are a function of states, probabilities,
+        and partitions only, all of which an action overlay preserves.
+        """
+        if not fact.mentions_actions():
+            self._action_free.add(self._fact_key(fact))
 
     def _assign_leaf_ranges(self) -> None:
         """DFS matching :attr:`PPS.runs` order: node -> [lo, hi) leaf range."""
@@ -267,13 +375,16 @@ class SystemIndex:
         """
         if self._performing is not None:
             return
+        if self._derived_parent is not None:
+            self._derive_actions_from(self._derived_parent)
+            return
         performing: Dict[Tuple[AgentId, Action], int] = {}
         records: Dict[Tuple[AgentId, Action], List[Tuple[int, int]]] = {}
         cells: Dict[Tuple[AgentId, Action], Dict[LocalState, int]] = {}
         agent_actions: Dict[AgentId, set] = {agent: set() for agent in self.pps.agents}
         positions = {agent: k for k, agent in enumerate(self.pps.agents)}
         for node in self.pps.state_nodes():
-            via = node.via_action
+            via = self.pps.edge_action(node)
             t = node.time - 1
             if via is None or t < 0:
                 continue
@@ -293,6 +404,88 @@ class SystemIndex:
         self._performing = performing
         self._action_records = records
         self._state_cells = cells
+        self._agent_actions = agent_actions
+
+    def _derive_actions_from(self, parent: "SystemIndex") -> None:
+        """Rebuild the (agent, action) tables from the parent's, touching
+        only the overlay's overridden edges.
+
+        Every edge contributed exactly one ``(t, node_mask)`` record
+        per (agent, action) pair of its joint action, and node masks of
+        same-depth nodes are disjoint, so each old contribution is
+        identified unambiguously and can be stripped before the new
+        label's contributions are added.  Untouched entries are shared
+        with the parent (copy-on-write per key), so the cost is
+        O(overridden edges), not O(tree).
+        """
+        parent._ensure_actions()
+        assert parent._performing is not None
+        pps = self.pps
+        performing = dict(parent._performing)
+        records = dict(parent._action_records)
+        cells = dict(parent._state_cells)
+        own_cells: set = set()
+        positions = {agent: k for k, agent in enumerate(pps.agents)}
+        # Record-list edits are batched per key and applied in one
+        # filtering pass at the end, so a row that overrides E edges of
+        # one key costs O(len(records[key]) + E), not O(E^2) as
+        # per-edge list.remove would.
+        strip: Dict[Tuple[AgentId, Action], set] = {}
+        add: Dict[Tuple[AgentId, Action], List[Tuple[int, int]]] = {}
+
+        def cell_dict(key: Tuple[AgentId, Action]) -> Dict[LocalState, int]:
+            if key not in own_cells:
+                cells[key] = dict(cells.get(key, {}))
+                own_cells.add(key)
+            return cells[key]
+
+        for node, new_via in pps.overlay.items():
+            t = node.time - 1
+            if t < 0:
+                # Edges into time-0 nodes never enter the action tables
+                # (nature's initial choice is not an agent action).
+                continue
+            mask = self.node_mask(node)
+            old_via = pps.parent.edge_action(node)
+            parent_state = node.parent.state if node.parent is not None else None
+            for agent, action in (old_via or {}).items():
+                key = (agent, action)
+                performing[key] &= ~mask
+                strip.setdefault(key, set()).add((t, mask))
+                idx = positions.get(agent)
+                if idx is not None and parent_state is not None:
+                    cell = cell_dict(key)
+                    local = parent_state.local(idx)
+                    remaining = cell[local] & ~mask
+                    if remaining:
+                        cell[local] = remaining
+                    else:
+                        del cell[local]
+            for agent, action in new_via.items():
+                key = (agent, action)
+                performing[key] = performing.get(key, 0) | mask
+                add.setdefault(key, []).append((t, mask))
+                idx = positions.get(agent)
+                if idx is not None and parent_state is not None:
+                    cell = cell_dict(key)
+                    local = parent_state.local(idx)
+                    cell[local] = cell.get(local, 0) | mask
+        for key in set(strip) | set(add):
+            dropped = strip.get(key, set())
+            kept = [entry for entry in records.get(key, ()) if entry not in dropped]
+            # Each edge contributed exactly one unique (t, mask) record,
+            # so every strip target must have been present.
+            assert len(kept) == len(records.get(key, ())) - len(dropped)
+            kept.extend(add.get(key, ()))
+            records[key] = kept
+        # Prune entries an override emptied, so the tables describe the
+        # derived system exactly as a cold rebuild would.
+        self._performing = {key: mask for key, mask in performing.items() if mask}
+        self._action_records = {key: lst for key, lst in records.items() if lst}
+        self._state_cells = {key: cell for key, cell in cells.items() if cell}
+        agent_actions: Dict[AgentId, set] = {agent: set() for agent in pps.agents}
+        for agent, action in self._performing:
+            agent_actions.setdefault(agent, set()).add(action)
         self._agent_actions = agent_actions
 
     # ------------------------------------------------------------------
@@ -553,7 +746,11 @@ class SystemIndex:
                 # the composite per point, exactly as the pre-batching
                 # engine did; if that raises too, the raise is genuine.
                 mask = self._scan_mask(fact, t)
-        (cache if overlay is None else overlay)[key] = mask
+        if overlay is None:
+            cache[key] = mask
+            self._note_action_free(fact)
+        else:
+            overlay[key] = mask
         return mask
 
     # -- batched evaluation: one pass per run-slice per *batch* --------
@@ -630,9 +827,11 @@ class SystemIndex:
         leaves = list(pending.values())
         target = self._mask_cache(t) if overlay is None else overlay
         masks, errors = self._scan_batch(leaves, t)
-        for key, mask, error in zip(pending, masks, errors):
+        for (key, fact), mask, error in zip(pending.items(), masks, errors):
             if error is None:
                 target[key] = mask
+                if overlay is None:
+                    self._note_action_free(fact)
 
     def events_of(self, facts: Sequence["Fact"], *, memo: bool = True) -> List[int]:
         """Satisfying-run masks for a batch of facts, one pass over the runs.
@@ -710,6 +909,7 @@ class SystemIndex:
                 results[k] = value
                 if memo:
                     self._belief_cache[(agent, self._fact_key(facts[k]), local)] = value
+                    self._note_action_free(facts[k])
         return results  # type: ignore[return-value]
 
     def belief(
@@ -739,6 +939,7 @@ class SystemIndex:
         result = self.conditional(satisfied, occurs)
         if memo:
             self._belief_cache[key] = result
+            self._note_action_free(phi)
         return result
 
     def phi_at_action_mask(

@@ -52,6 +52,7 @@ class Fact(ABC):
 
     label: str = "fact"
     _structural_key: Optional[Tuple[object, ...]] = None
+    _mentions_actions: Optional[bool] = None
 
     def _structure(self) -> Optional[Tuple[object, ...]]:
         """The fact's structural fingerprint, or ``None`` when opaque.
@@ -86,6 +87,35 @@ class Fact(ABC):
                 key = (type(self).__qualname__, *parts)
             self._structural_key = key
         return key
+
+    def _action_dependence(self) -> bool:
+        """Whether the fact's truth may depend on edge action labels.
+
+        Subclasses whose semantics are a pure function of states,
+        probabilities, and information partitions override this to
+        ``False`` (or to derive it from their operands).  The default
+        ``True`` is the conservative answer for opaque predicates,
+        which may inspect ``run.action_of`` freely.
+        """
+        return True
+
+    def mentions_actions(self) -> bool:
+        """Whether evaluating the fact may inspect edge action labels.
+
+        A structural (syntactic) property, computed once per instance:
+        ``False`` guarantees the fact's truth masks and posteriors are
+        identical in every system sharing this one's tree, states, and
+        probabilities — which is exactly what a derived system
+        (:class:`~repro.core.pps.DerivedPPS`) preserves.  The engine
+        uses this to decide which memo-cache entries a derived index
+        may inherit from its parent; ``True`` is always sound (it only
+        forfeits cache reuse).
+        """
+        value = self._mentions_actions
+        if value is None:
+            value = self._action_dependence()
+            self._mentions_actions = value
+        return value
 
     @abstractmethod
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
@@ -195,6 +225,9 @@ class And(Fact):
     def _structure(self) -> Tuple[object, ...]:
         return tuple(c.structural_key() for c in self.conjuncts)
 
+    def _action_dependence(self) -> bool:
+        return any(c.mentions_actions() for c in self.conjuncts)
+
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return all(c.holds(pps, run, t) for c in self.conjuncts)
 
@@ -215,6 +248,9 @@ class Or(Fact):
     def _structure(self) -> Tuple[object, ...]:
         return tuple(d.structural_key() for d in self.disjuncts)
 
+    def _action_dependence(self) -> bool:
+        return any(d.mentions_actions() for d in self.disjuncts)
+
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return any(d.holds(pps, run, t) for d in self.disjuncts)
 
@@ -233,6 +269,9 @@ class Not(Fact):
     def _structure(self) -> Tuple[object, ...]:
         return (self.operand.structural_key(),)
 
+    def _action_dependence(self) -> bool:
+        return self.operand.mentions_actions()
+
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return not self.operand.holds(pps, run, t)
 
@@ -249,6 +288,9 @@ class _Eventually(RunFact):
     def _structure(self) -> Tuple[object, ...]:
         return (self.operand.structural_key(),)
 
+    def _action_dependence(self) -> bool:
+        return self.operand.mentions_actions()
+
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return any(self.operand.holds(pps, run, time) for time in run.times())
 
@@ -260,6 +302,9 @@ class _Always(RunFact):
 
     def _structure(self) -> Tuple[object, ...]:
         return (self.operand.structural_key(),)
+
+    def _action_dependence(self) -> bool:
+        return self.operand.mentions_actions()
 
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return all(self.operand.holds(pps, run, time) for time in run.times())

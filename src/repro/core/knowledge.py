@@ -81,6 +81,11 @@ class Knows(Fact):
     def _structure(self):
         return (self.agent, self.phi.structural_key())
 
+    def _action_dependence(self) -> bool:
+        # Knowledge is a function of the partitions (label-independent)
+        # and of phi's truth masks.
+        return self.phi.mentions_actions()
+
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         index = SystemIndex.of(pps)
         cell = index.partition(self.agent, t).get(run.local(self.agent, t), 0)
@@ -104,6 +109,9 @@ class EveryoneKnows(Fact):
 
     def _structure(self):
         return (self.agents, self.phi.structural_key())
+
+    def _action_dependence(self) -> bool:
+        return self.phi.mentions_actions()
 
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return all(Knows(agent, self.phi).holds(pps, run, t) for agent in self.agents)
@@ -132,6 +140,9 @@ class CommonKnowledge(Fact):
 
     def _structure(self):
         return (self.agents, self.phi.structural_key())
+
+    def _action_dependence(self) -> bool:
+        return self.phi.mentions_actions()
 
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         index = SystemIndex.of(pps)

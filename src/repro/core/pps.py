@@ -14,7 +14,10 @@ A pps (paper, Section 2.1) is a finite labelled directed tree
 
 This module implements the tree (:class:`Node`), global states
 (:class:`GlobalState`), runs (:class:`Run`), points and the induced
-probability space ``X_T = (R_T, 2^{R_T}, mu_T)`` (:class:`PPS`).
+probability space ``X_T = (R_T, 2^{R_T}, mu_T)`` (:class:`PPS`), plus
+the derived-system layer (:class:`ActionOverlay`, :class:`DerivedPPS`)
+through which relabelling transforms share a parent's tree instead of
+copying it — see ``docs/transforms.md``.
 
 Synchrony
 ---------
@@ -35,6 +38,7 @@ from typing import (
     Dict,
     FrozenSet,
     Hashable,
+    Iterable,
     Iterator,
     List,
     Mapping,
@@ -60,7 +64,10 @@ __all__ = [
     "InternTable",
     "Node",
     "Run",
+    "OverlayRun",
     "PPS",
+    "ActionOverlay",
+    "DerivedPPS",
 ]
 
 AgentId = str
@@ -329,6 +336,31 @@ class Run:
         return self.nodes[t].uid == other.nodes[t].uid
 
 
+@dataclass(frozen=True)
+class OverlayRun(Run):
+    """A run of a derived system: shared parent nodes, overlaid actions.
+
+    :class:`DerivedPPS` never copies its parent's tree; its runs reuse
+    the parent runs' ``nodes`` tuples verbatim and consult the derived
+    system's flattened edge-override table when asked for actions.
+    Everything label-independent (states, probabilities, prefixes) is
+    answered by the inherited :class:`Run` machinery unchanged.
+    """
+
+    edge_overrides: Mapping[int, Mapping[AgentId, Action]] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+
+    def action_of(self, agent: AgentId, t: int) -> Optional[Action]:
+        if t + 1 >= self.length:
+            return None
+        node = self.nodes[t + 1]
+        via = self.edge_overrides.get(node.uid, node.via_action)
+        if via is None:
+            return None
+        return via.get(agent)
+
+
 class PPS:
     """A finite purely probabilistic system and its run space.
 
@@ -404,6 +436,18 @@ class PPS:
 
     def node_count(self) -> int:
         return sum(1 for _ in self.nodes())
+
+    def edge_action(self, node: Node) -> Optional[Mapping[AgentId, Action]]:
+        """The joint action labelling the edge into ``node`` in *this* system.
+
+        For a plain system this is just ``node.via_action``; derived
+        systems (:class:`DerivedPPS`) resolve their per-edge overlays
+        here instead, which is why everything that inspects edge labels
+        — the engine's action tables, tree renderings, signatures —
+        must go through this accessor rather than reading the node
+        attribute directly.
+        """
+        return node.via_action
 
     def max_time(self) -> int:
         """The largest time occurring in any run."""
@@ -570,4 +614,147 @@ class PPS:
         return (
             f"PPS(name={self.name!r}, agents={self.agents}, "
             f"nodes={self.node_count()}, runs={len(self.runs)})"
+        )
+
+
+class ActionOverlay:
+    """Per-edge ``via_action`` overrides over a shared parent tree.
+
+    A transform that only *relabels* edges (``relabel_actions``,
+    ``refrain_below_threshold``) preserves states, probabilities, tree
+    shape, and therefore every belief/knowledge quantity that does not
+    mention actions.  Instead of deep-copying the tree, such a
+    transform records an overlay: for each changed edge, the (shared)
+    node the edge leads into and the new joint action.  Node identity
+    is preserved — the overlay never touches the parent's nodes — so a
+    :class:`DerivedPPS` built from it can inherit the parent's
+    :class:`~repro.core.engine.SystemIndex` tables wholesale and
+    rebuild only what the overridden edges invalidate.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(
+        self, entries: Iterable[Tuple[Node, Mapping[AgentId, Action]]] = ()
+    ) -> None:
+        """Build an overlay from ``(node, new_via_action)`` pairs.
+
+        Each node must be a non-root node of the parent tree whose edge
+        already carries an action label (relabelling an unlabelled edge
+        would change which runs perform actions at all, which is not a
+        pure relabelling).
+        """
+        table: Dict[int, Tuple[Node, Dict[AgentId, Action]]] = {}
+        for node, via in entries:
+            if node.state is None:
+                raise InvalidSystemError(
+                    "an action overlay cannot override the root (it has "
+                    "no incoming edge)"
+                )
+            table[node.uid] = (node, dict(via))
+        self._entries = table
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, uid: int) -> bool:
+        return uid in self._entries
+
+    def items(self) -> Iterator[Tuple[Node, Mapping[AgentId, Action]]]:
+        """Iterate over ``(node, new_via_action)`` pairs."""
+        for node, via in self._entries.values():
+            yield node, via
+
+    def override_for(self, uid: int) -> Optional[Mapping[AgentId, Action]]:
+        """The overriding joint action for the edge into node ``uid``."""
+        entry = self._entries.get(uid)
+        return None if entry is None else entry[1]
+
+    def __repr__(self) -> str:
+        return f"ActionOverlay(edges={len(self._entries)})"
+
+
+class DerivedPPS(PPS):
+    """A system sharing its parent's tree with relabelled edge actions.
+
+    The derived system and its parent agree on everything except the
+    joint-action labels of the edges named by ``overlay``:
+
+    * ``derived.root is parent.root`` — no node is copied; ``uid``\\ s,
+      depths, states, and probabilities are literally the parent's;
+    * ``derived.runs`` are :class:`OverlayRun`\\ s reusing the parent
+      runs' node tuples (same indices, same exact probabilities);
+    * :meth:`PPS.edge_action` resolves through the flattened override
+      table, so engine tables, signatures, and renderings see the new
+      labels while ``node.via_action`` keeps showing the parent's;
+    * :meth:`index` derives the engine index from the parent's via
+      :meth:`repro.core.engine.SystemIndex.derived`, inheriting every
+      label-independent table and cache.
+
+    Deriving from an already-derived system chains: overlays are
+    flattened at construction, so lookups stay O(1) regardless of
+    depth.  Construction never re-validates the (already validated,
+    immutable) parent tree.
+    """
+
+    def __init__(
+        self,
+        parent: PPS,
+        overlay: ActionOverlay,
+        *,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            parent.agents,
+            parent.root,
+            name=name or f"{parent.name}-derived",
+            validate=False,
+            intern=parent.intern,
+        )
+        self.parent = parent
+        self.overlay = overlay
+        flat: Dict[int, Mapping[AgentId, Action]] = (
+            dict(parent._edge_overrides) if isinstance(parent, DerivedPPS) else {}
+        )
+        for node, via in overlay.items():
+            # Overrides are looked up by uid, and every tree numbers
+            # uids from 0 — an overlay built against a *different* tree
+            # would silently bind to whatever node of this tree shares
+            # the uid.  Walking the parent chain to the root is
+            # O(depth) per override and rules that out exactly.
+            probe = node
+            while probe.parent is not None:
+                probe = probe.parent
+            if probe is not parent.root:
+                raise InvalidSystemError(
+                    f"overlay node {node.uid} does not belong to the "
+                    f"parent tree of {parent.name!r}"
+                )
+            flat[node.uid] = via
+        self._edge_overrides: Dict[int, Mapping[AgentId, Action]] = flat
+
+    def edge_action(self, node: Node) -> Optional[Mapping[AgentId, Action]]:
+        return self._edge_overrides.get(node.uid, node.via_action)
+
+    @property
+    def runs(self) -> Tuple[Run, ...]:
+        if self._runs is None:
+            overrides = self._edge_overrides
+            self._runs = tuple(
+                OverlayRun(
+                    index=run.index,
+                    nodes=run.nodes,
+                    prob=run.prob,
+                    agents=self.agents,
+                    positions=self._agent_index,
+                    edge_overrides=overrides,
+                )
+                for run in self.parent.runs
+            )
+        return self._runs
+
+    def __repr__(self) -> str:
+        return (
+            f"DerivedPPS(name={self.name!r}, parent={self.parent.name!r}, "
+            f"overridden_edges={len(self._edge_overrides)})"
         )

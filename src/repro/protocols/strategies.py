@@ -11,40 +11,73 @@ protocol: Alice declining to fire after receiving 'No' raises
 any compiled system: every performance of the action at a local state
 whose belief in the condition is below the threshold is replaced by a
 substitute action (default ``"skip"``), leaving probabilities intact.
-:func:`copy_tree` is the underlying structural copy, exposed because it
-is independently useful (e.g. for building modified systems in tests).
+
+Derived systems
+---------------
+Relabelling edges preserves states, probabilities, tree shape, and
+therefore every belief/knowledge quantity that does not mention
+actions.  The transforms exploit this: by default they return a
+:class:`~repro.core.pps.DerivedPPS` — an
+:class:`~repro.core.pps.ActionOverlay` of per-edge overrides over the
+*shared* parent tree, node identity preserved — whose engine index is
+derived from the parent's instead of rebuilt
+(:meth:`repro.core.engine.SystemIndex.derived`).  Dense threshold
+sweeps and optimality ablations thereby pay O(overridden edges) per
+row instead of a full copy + validate + index rebuild; see
+``docs/transforms.md``.
+
+Pass ``materialize=True`` to get the historic behaviour instead: a
+standalone deep copy with fresh node identities, bit-identical (uid
+sequence, leaf order, ``Fraction`` probabilities) to what the
+pre-derived-layer implementation produced.  :func:`copy_tree` is that
+structural copy, exposed because it is independently useful (e.g. for
+building modified systems in tests).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.beliefs import belief
 from ..core.facts import Fact
 from ..core.numeric import ProbabilityLike, as_fraction
-from ..core.pps import PPS, Action, AgentId, Node
+from ..core.pps import PPS, Action, ActionOverlay, AgentId, DerivedPPS, Node
 
 __all__ = ["copy_tree", "relabel_actions", "refrain_below_threshold"]
 
 
 def copy_tree(root: Node) -> Node:
-    """A structural deep copy of a tree with fresh node identities."""
-    counter = [0]
+    """A structural deep copy of a tree with fresh node identities.
 
-    def clone(node: Node, parent: Optional[Node]) -> Node:
+    Nodes are numbered in depth-first pre-order starting from 0 (the
+    historic ``copy_tree`` contract).  The walk is iterative, so trees
+    deeper than the interpreter's recursion limit — reachable since the
+    compiler scale-up — copy fine.
+    """
+    counter = 0
+    result: Optional[Node] = None
+    stack: List[Tuple[Node, Optional[Node]]] = [(root, None)]
+    while stack:
+        node, parent = stack.pop()
         copy = Node(
-            uid=counter[0],
+            uid=counter,
             depth=node.depth,
             state=node.state,
             prob_from_parent=node.prob_from_parent,
             via_action=dict(node.via_action) if node.via_action is not None else None,
             parent=parent,
         )
-        counter[0] += 1
-        copy.children = [clone(child, copy) for child in node.children]
-        return copy
-
-    return clone(root, None)
+        counter += 1
+        if parent is None:
+            result = copy
+        else:
+            parent.children.append(copy)
+        # Reversed push: children are copied (and numbered) first-child
+        # first, exactly matching the recursive pre-order numbering.
+        stack.extend((child, copy) for child in reversed(node.children))
+    assert result is not None
+    return result
 
 
 def relabel_actions(
@@ -52,28 +85,64 @@ def relabel_actions(
     relabel: Callable[[Node, Dict[AgentId, Action]], Dict[AgentId, Action]],
     *,
     name: Optional[str] = None,
+    materialize: bool = False,
 ) -> PPS:
-    """A copy of the system with edge action labels rewritten.
+    """A system equal to ``pps`` with edge action labels rewritten.
 
     Args:
-        pps: the source system.
-        relabel: called with each non-initial node (of the *copy*) and
-            a mutable copy of its ``via_action``; returns the new joint
-            action for the edge into that node.
+        pps: the source system (possibly itself derived; overlays
+            chain).
+        relabel: called once per labelled edge, in **breadth-first
+            order** over the tree (root's children first, then depth 2,
+            and so on — siblings in child order), with the node the
+            edge leads into and a mutable copy of the edge's joint
+            action; returns the new joint action for that edge.  In the
+            default derived mode the node is the *shared* parent node
+            and must not be mutated; with ``materialize=True`` it is
+            the freshly copied node (the historic contract).
         name: name of the resulting system.
+        materialize: when ``True``, deep-copy the tree
+            (:func:`copy_tree`) and return a standalone :class:`PPS`,
+            bit-identical to the historic implementation's output.  By
+            default the result is a :class:`~repro.core.pps.DerivedPPS`
+            recording only the edges the callback actually changed.
 
     Only labels change: states, probabilities and tree shape are
     preserved, so the transform models the same stochastic process with
     re-described behaviour.
     """
-    root = copy_tree(pps.root)
-    stack = [root]
-    while stack:
-        node = stack.pop()
-        if node.via_action is not None:
-            node.via_action = relabel(node, dict(node.via_action))
-        stack.extend(node.children)
-    return PPS(pps.agents, root, name=name or f"{pps.name}-relabelled")
+    if materialize:
+        root = copy_tree(pps.root)
+        if isinstance(pps, DerivedPPS):
+            # Bake the source's overlay into the copy: the copy starts
+            # from ``node.via_action`` (the base labels), but the
+            # system being materialized is the *resolved* one.
+            pairs: List[Tuple[Node, Node]] = [(pps.root, root)]
+            while pairs:
+                source, target = pairs.pop()
+                via = pps.edge_action(source)
+                target.via_action = dict(via) if via is not None else None
+                pairs.extend(zip(source.children, target.children))
+        queue = deque([root])
+        while queue:
+            node = queue.popleft()
+            if node.via_action is not None:
+                node.via_action = relabel(node, dict(node.via_action))
+            queue.extend(node.children)
+        return PPS(pps.agents, root, name=name or f"{pps.name}-relabelled")
+    overrides: List[Tuple[Node, Dict[AgentId, Action]]] = []
+    queue = deque([pps.root])
+    while queue:
+        node = queue.popleft()
+        via = pps.edge_action(node)
+        if via is not None:
+            new_via = relabel(node, dict(via))
+            if new_via != via:
+                overrides.append((node, dict(new_via)))
+        queue.extend(node.children)
+    return DerivedPPS(
+        pps, ActionOverlay(overrides), name=name or f"{pps.name}-relabelled"
+    )
 
 
 def refrain_below_threshold(
@@ -85,6 +154,7 @@ def refrain_below_threshold(
     *,
     replacement: Action = "skip",
     name: Optional[str] = None,
+    materialize: bool = False,
 ) -> PPS:
     """Suppress performances of ``action`` at low-belief local states.
 
@@ -94,9 +164,19 @@ def refrain_below_threshold(
     to ``replacement``.  The result is a system for the modified
     protocol "act only when sufficiently confident".
 
+    By default the result is a :class:`~repro.core.pps.DerivedPPS`
+    sharing ``pps``'s tree and engine index (see
+    :func:`relabel_actions`); ``materialize=True`` reproduces the
+    historic deep-copy output bit-identically.
+
     Note that the modified agent uses the same information it had in
     the original protocol; since beliefs are a function of the local
     state, the modified behaviour is implementable.
+
+    Raises:
+        ValueError: when a matching performance is recorded on an edge
+            leaving the root — there is no acting local state there, so
+            the belief guard is undefined.
     """
     bound = as_fraction(threshold)
     idx = pps.agent_index(agent)
@@ -111,11 +191,20 @@ def refrain_below_threshold(
         if via.get(agent) != action:
             return via
         parent = node.parent
-        assert parent is not None and parent.state is not None
+        if parent is None or parent.state is None:
+            raise ValueError(
+                f"refrain_below_threshold: edge into node {node.uid} "
+                f"(depth {node.depth}) records {agent!r} performing "
+                f"{action!r} but leaves the root, so there is no acting "
+                "local state to evaluate the belief at"
+            )
         if low_belief(parent.state.local(idx)):
             via[agent] = replacement
         return via
 
     return relabel_actions(
-        pps, relabel, name=name or f"{pps.name}-refrain[{action}]"
+        pps,
+        relabel,
+        name=name or f"{pps.name}-refrain[{action}]",
+        materialize=materialize,
     )

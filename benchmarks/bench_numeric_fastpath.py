@@ -1,0 +1,340 @@
+"""Benchmark: the two-tier numeric kernel on dense threshold sweeps.
+
+PR 5 added a float fast path with exact-on-demand escalation
+(``core/lazyprob.py``, the ``numeric=`` knob; see ``docs/numerics.md``):
+threshold verdicts are decided in float whenever a conservative error
+bound certifies them, and escalate to exact integer/rational
+arithmetic only inside the round-off uncertainty window.  The workload
+it exists for is the dense-grid regime, where thousands of exact
+rationals are computed only to be compared against thresholds.
+
+This benchmark runs that regime over the **FS family** — the paper's
+Example 1 generalized to ``rounds`` acknowledgement rounds, so the
+number of Alice's acting local states (and with it the belief spectrum
+a threshold grid must separate) grows with the member:
+
+* a dense **refrain-threshold sweep** (Section 8): one derived system
+  per threshold, belief guards and achieved/coverage measures per row;
+* a dense **belief-threshold verdict grid** (Sections 5/7):
+  ``mu(beta >= p | alpha)`` for thousands of bounds, on the base
+  protocol and on refrained variants (`threshold_met_measures`);
+* **theorem-5.1 / 7.1 checks** over an epsilon grid on each of those
+  systems.
+
+Both modes run the identical code path; only ``numeric=`` differs.
+**Parity is enforced in every mode**: every verdict, premise, and
+measure of the auto run must equal the exact run's bit-for-bit (lazy
+values are forced through ``exact_value``).  Escalation counters must
+be positive — the grids deliberately include bounds *exactly equal* to
+acting beliefs and bounds a hair (1e-17-scale) away, which float alone
+cannot separate — proving the fallback fires.  The >=3x speedup bar on
+the largest member is enforced on the full run and advisory in
+``--smoke`` (CI wall-clock on tiny workloads is too noisy for a hard
+gate).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_numeric_fastpath.py [--smoke]
+
+or under pytest (collected by the benchmark session via the local
+``bench_*`` convention).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from fractions import Fraction
+from typing import Dict, List, Tuple
+
+sys.path.insert(0, "src")  # allow `python benchmarks/bench_numeric_fastpath.py`
+
+from repro.analysis.sweep import format_table, refrain_threshold_sweep
+from repro.core.atoms import does_
+from repro.core.beliefs import threshold_met_measures
+from repro.core.engine import SystemIndex
+from repro.core.facts import Fact
+from repro.core.lazyprob import exact_value, numeric_stats, reset_numeric_stats
+from repro.core.pps import PPS
+from repro.core.theorems import check_lemma_5_1, check_theorem_7_1
+from repro.messaging.channels import LossyChannel
+from repro.messaging.messages import Message, Move
+from repro.messaging.network import RecordingState, RoundProtocol
+from repro.messaging.system import MessagePassingSystem
+from repro.protocols.distribution import Distribution
+from repro.protocols.strategies import refrain_below_threshold
+
+ALICE = "alice"
+BOB = "bob"
+FIRE = "fire"
+
+
+# ----------------------------------------------------------------------
+# The FS family: Example 1 with a configurable acknowledgement chain.
+# rounds=2 is the paper's shape (one ack round); each extra round gives
+# Bob another lossy acknowledgement, multiplying Alice's distinct
+# information states at fire time (L ~ 2^rounds acting states).
+# ----------------------------------------------------------------------
+
+
+class ChainAlice(RoundProtocol):
+    """Alice: send two messages in round 0 (if go), fire at the horizon."""
+
+    def __init__(self, rounds: int) -> None:
+        self.rounds = rounds
+
+    def step(self, local: RecordingState) -> Move:
+        go = local.payload
+        t = local.rounds_elapsed
+        if t == 0 and go == 1:
+            return Move.sending(
+                Message(ALICE, BOB, "m1"), Message(ALICE, BOB, "m2")
+            )
+        if t == self.rounds and go == 1:
+            return Move.acting(FIRE)
+        return Move()
+
+    def update(self, local, move, delivered):
+        return local.observe(move.action, delivered)
+
+
+class ChainBob(RoundProtocol):
+    """Bob: acknowledge every round, fire at the horizon iff round 0 arrived."""
+
+    def __init__(self, rounds: int) -> None:
+        self.rounds = rounds
+
+    def step(self, local: RecordingState) -> Move:
+        t = local.rounds_elapsed
+        if 1 <= t < self.rounds:
+            reply = "Yes" if local.received(0) else "No"
+            return Move.sending(Message(BOB, ALICE, reply))
+        if t == self.rounds and local.received(0):
+            return Move.acting(FIRE)
+        return Move()
+
+    def update(self, local, move, delivered):
+        return local.observe(move.action, delivered)
+
+
+def fs_chain(loss: str = "0.1", rounds: int = 2) -> PPS:
+    """Compile one FS-family member."""
+    initial = {
+        (RecordingState(0), RecordingState(None)): Fraction(1, 2),
+        (RecordingState(1), RecordingState(None)): Fraction(1, 2),
+    }
+    return MessagePassingSystem(
+        agents=[ALICE, BOB],
+        protocols={ALICE: ChainAlice(rounds), BOB: ChainBob(rounds)},
+        channel=LossyChannel(loss),
+        initial=Distribution(initial),
+        horizon=rounds + 1,
+        name=f"fs-chain[{rounds}]",
+    ).compile()
+
+
+def both_fire() -> Fact:
+    return does_(ALICE, FIRE) & does_(BOB, FIRE)
+
+
+# ----------------------------------------------------------------------
+# The dense workload, identical in every mode.
+# ----------------------------------------------------------------------
+
+
+def _boundary_bounds(pps: PPS, phi: Fact) -> List[Fraction]:
+    """Engineered escalation cases: bounds the float tier cannot decide.
+
+    For two acting beliefs ``b``: the bound ``b`` itself (equality —
+    only exact arithmetic can prove ``belief >= b``) and ``b + 1e-17``
+    (within double round-off of ``b``, so the filter must escalate to
+    see that the belief now misses the bound).
+    """
+    index = SystemIndex.of(pps)
+    beliefs = sorted(
+        {index.belief(ALICE, phi, local) for local in index.state_cells(ALICE, FIRE)}
+    )
+    picked = [b for b in beliefs if 0 < b < 1][:2]
+    out: List[Fraction] = []
+    for b in picked:
+        out.append(b)
+        out.append(b + Fraction(1, 10**17))
+    return out
+
+
+def run_workload(
+    base: PPS, numeric: str, *, t_refrain: int, t_bounds: int, n_eps: int
+) -> List[object]:
+    """The dense sweep in one mode; returns every verdict and measure.
+
+    All returned quantities are normalized through ``exact_value`` so
+    the two modes' outputs are comparable with plain ``==``.
+    """
+    phi = both_fire()
+    out: List[object] = []
+    thresholds = [Fraction(k, t_refrain - 1) for k in range(t_refrain)]
+    rows = refrain_threshold_sweep(
+        base, ALICE, phi, FIRE, thresholds, numeric=numeric
+    )
+    out.append(
+        [
+            (row["threshold"], exact_value(row["achieved"]), exact_value(row["coverage"]))
+            for row in rows
+        ]
+    )
+    bounds = [Fraction(k, t_bounds - 1) for k in range(t_bounds)]
+    bounds += _boundary_bounds(base, phi)
+    # The verdict grid runs on the base protocol and on every 8th
+    # refrained variant of the sweep.
+    systems: List[PPS] = [base]
+    for k in range(4, t_refrain, 8):
+        systems.append(
+            refrain_below_threshold(
+                base, ALICE, FIRE, phi, thresholds[k], numeric=numeric
+            )
+        )
+    eps_grid = [Fraction(k, n_eps) for k in range(1, n_eps)]
+    for system in systems:
+        measures = threshold_met_measures(
+            system, ALICE, phi, FIRE, bounds, numeric=numeric
+        )
+        out.append([exact_value(m) for m in measures])
+        for eps in eps_grid:
+            c1 = check_lemma_5_1(system, ALICE, FIRE, phi, 1 - eps, numeric=numeric)
+            c2 = check_theorem_7_1(system, ALICE, FIRE, phi, eps, eps, numeric=numeric)
+            out.append(
+                (
+                    c1.verified,
+                    dict(c1.premises),
+                    exact_value(c1.details["achieved"]),
+                    c2.verified,
+                    dict(c2.premises),
+                    exact_value(c2.details["strong-belief-measure"]),
+                )
+            )
+    return out
+
+
+def sweep_rows(*, smoke: bool = False) -> List[Dict[str, object]]:
+    """One row per FS-family member; the last (largest) carries the gate."""
+    if smoke:
+        members: List[Tuple[int, int, int, int]] = [(2, 21, 257, 6)]
+    else:
+        members = [(2, 41, 1025, 8), (4, 41, 2049, 8), (6, 41, 4097, 8)]
+    out: List[Dict[str, object]] = []
+    for rounds, t_refrain, t_bounds, n_eps in members:
+        grid = dict(t_refrain=t_refrain, t_bounds=t_bounds, n_eps=n_eps)
+        # Fresh systems per mode and per repetition: no cross-mode or
+        # cross-repetition cache sharing, and compile time stays
+        # outside the timed region.  Best-of-2 damps scheduler noise.
+        repetitions = 1 if smoke else 2
+        exact_s = auto_s = float("inf")
+        for _ in range(repetitions):
+            base_exact = fs_chain(rounds=rounds)
+            start = time.perf_counter()
+            results_exact = run_workload(base_exact, "exact", **grid)
+            exact_s = min(exact_s, time.perf_counter() - start)
+
+            base_auto = fs_chain(rounds=rounds)
+            reset_numeric_stats()
+            start = time.perf_counter()
+            results_auto = run_workload(base_auto, "auto", **grid)
+            auto_s = min(auto_s, time.perf_counter() - start)
+            stats = numeric_stats()
+
+            # Bit-exact parity of every verdict, premise, and measure
+            # — enforced in every mode and repetition, smoke included.
+            assert results_exact == results_auto, (
+                f"fs-chain[{rounds}]: auto-mode results diverged from exact"
+            )
+            # Engineered boundary bounds force the fallback to fire.
+            assert stats.escalations > 0, (
+                f"fs-chain[{rounds}]: no escalations — the boundary "
+                "cases did not reach exact arithmetic"
+            )
+        index = SystemIndex.of(base_exact)
+        out.append(
+            {
+                "family": f"fs-chain[{rounds}]",
+                "runs": index.run_count,
+                "acting_states": len(index.state_cells(ALICE, FIRE)),
+                "grid": f"{t_refrain}x{t_bounds}",
+                "exact_s": exact_s,
+                "auto_s": auto_s,
+                "speedup": exact_s / auto_s,
+                "escalations": stats.escalations,
+                "comparisons": stats.comparisons,
+                "exact_match": True,
+            }
+        )
+    return out
+
+
+def _display(rows: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Rounded copies of benchmark rows for table printing only."""
+    rounding = {"exact_s": 4, "auto_s": 4, "speedup": 1}
+    return [
+        {
+            key: round(value, rounding[key]) if key in rounding else value
+            for key, value in row.items()
+        }
+        for row in rows
+    ]
+
+
+def _gate_speedup(rows: List[Dict[str, object]], *, smoke: bool) -> int:
+    """Enforce the >=3x bar on the largest (densest) family member."""
+    largest = rows[-1]
+    if largest["speedup"] < 3:
+        message = (
+            f"numeric fast path {largest['family']} speedup "
+            f"{largest['speedup']:.2f}x < 3x"
+        )
+        if smoke:
+            print(f"WARNING (smoke, informational): {message}", file=sys.stderr)
+            return 0
+        print(f"FAIL: {message}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {largest['family']} two-tier sweep speedup "
+        f"{largest['speedup']:.1f}x >= 3x "
+        f"({largest['grid']} grid, {largest['escalations']} escalations, "
+        "verdicts and measures bit-identical to exact)"
+    )
+    return 0
+
+
+def main(argv: List[str]) -> int:
+    smoke = "--smoke" in argv
+    mode = "(smoke)" if smoke else "(full)"
+    rows = sweep_rows(smoke=smoke)
+    print(
+        format_table(
+            _display(rows),
+            title=f"numeric fast path: exact vs auto on dense threshold sweeps {mode}",
+        )
+    )
+    return _gate_speedup(rows, smoke=smoke)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (collected by the benchmark session)
+# ----------------------------------------------------------------------
+
+
+def test_numeric_fastpath_table(benchmark):
+    rows = benchmark.pedantic(sweep_rows, rounds=1, iterations=1)
+    from conftest import emit
+
+    emit(
+        format_table(
+            _display(rows), title="numeric fast path (exact vs auto)"
+        )
+    )
+    assert all(row["exact_match"] for row in rows)
+    assert all(row["escalations"] > 0 for row in rows)
+    assert rows[-1]["speedup"] >= 3  # unrounded: 2.95x must not pass
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,142 @@
+"""Run every benchmark in smoke mode and emit a consolidated JSON report.
+
+The repo's benchmarks come in two flavours:
+
+* **script benches** (``def main(argv)`` + ``--smoke``): the engine /
+  compiler / transform / numeric speedup tables, whose smoke mode
+  enforces exactness parity and keeps speedup bars advisory;
+* **pytest benches** (pytest-benchmark entry points only): the
+  paper-table reproductions, run through pytest directly.
+
+``run_all.py`` discovers every ``benchmarks/bench_*.py``, runs each in
+its own subprocess, and writes ``BENCH_PR5.json`` next to the repo
+root: per-bench status (``pass``/``fail``/``timeout``), wall seconds,
+and every speedup ratio the bench printed (best-effort: any ``<x.y>x``
+figure on a line mentioning "speedup").  Future PRs can diff the file
+against the committed history to catch perf regressions without
+re-deriving each bench's output format.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR5.json]
+                                                [--timeout SECONDS]
+                                                [--only SUBSTRING]
+
+Exit status is non-zero when any bench fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+_SPEEDUP = re.compile(r"(\d+(?:\.\d+)?)x\b")
+
+
+def discover() -> List[Path]:
+    return sorted(BENCH_DIR.glob("bench_*.py"))
+
+
+def is_script_bench(path: Path) -> bool:
+    text = path.read_text(encoding="utf-8")
+    return "def main(" in text and "__main__" in text
+
+
+def parse_speedups(output: str) -> List[float]:
+    """The first ``<number>x`` of every line that talks about a speedup.
+
+    First-only: gate lines read "speedup 4.2x >= 3x", and the bar is
+    not a measurement.
+    """
+    found: List[float] = []
+    for line in output.splitlines():
+        if "speedup" not in line.lower():
+            continue
+        match = _SPEEDUP.search(line)
+        if match:
+            found.append(float(match.group(1)))
+    return found
+
+
+def run_bench(path: Path, timeout: float) -> Dict[str, object]:
+    if is_script_bench(path):
+        command = [sys.executable, str(path), "--smoke"]
+    else:
+        command = [sys.executable, "-m", "pytest", str(path), "-q"]
+    start = time.perf_counter()
+    try:
+        proc = subprocess.run(
+            command,
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+        )
+        status = "pass" if proc.returncode == 0 else "fail"
+        output = proc.stdout + proc.stderr
+    except subprocess.TimeoutExpired as exc:
+        status = "timeout"
+        output = (exc.stdout or "") + (exc.stderr or "")
+        if isinstance(output, bytes):  # pragma: no cover - platform quirk
+            output = output.decode("utf-8", "replace")
+    seconds = time.perf_counter() - start
+    return {
+        "status": status,
+        "seconds": round(seconds, 2),
+        "mode": "smoke" if "--smoke" in command else "pytest",
+        "speedups": parse_speedups(output),
+        "tail": output.strip().splitlines()[-3:],
+    }
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR5.json"))
+    parser.add_argument("--timeout", type=float, default=600.0)
+    parser.add_argument(
+        "--only", default="", help="run only benches whose name contains this"
+    )
+    args = parser.parse_args(argv)
+
+    report: Dict[str, object] = {}
+    failures = 0
+    for path in discover():
+        if args.only and args.only not in path.name:
+            continue
+        print(f"[run_all] {path.name} ...", flush=True)
+        result = run_bench(path, args.timeout)
+        report[path.stem] = result
+        if result["status"] != "pass":
+            failures += 1
+        speedups = result["speedups"]
+        extra = f" speedups={speedups}" if speedups else ""
+        print(
+            f"[run_all]   {result['status']} in {result['seconds']}s{extra}",
+            flush=True,
+        )
+
+    # PYTHONPATH for subprocesses comes from the caller's environment
+    # (the usual `PYTHONPATH=src` invocation), which subprocess.run
+    # inherits; nothing to thread through explicitly.
+    consolidated = {
+        "suite": "benchmarks (smoke)",
+        "benches": report,
+        "all_passed": failures == 0,
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(consolidated, indent=2) + "\n", encoding="utf-8")
+    print(f"[run_all] wrote {out_path} ({len(report)} benches, {failures} failures)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import List, Optional, Sequence
 
+from ..core.lazyprob import exact_value
 from ..core.numeric import ProbabilityLike, as_fraction
 from ..core.pps import PPS, Node
 
@@ -92,11 +93,19 @@ class ExperimentRecord:
         measured: ProbabilityLike,
         note: str = "",
     ) -> "ExperimentRecord":
+        """Build a record, coercing inputs to exact rationals.
+
+        Auto-mode results (:class:`~repro.core.lazyprob.LazyProb`) are
+        accepted for ``measured``/``paper``: the record stores their
+        forced exact value, so a paper-vs-measured comparison is always
+        an exact rational equality regardless of which numeric tier
+        produced the measurement.
+        """
         return cls(
             experiment=experiment,
             quantity=quantity,
-            paper=None if paper is None else as_fraction(paper),
-            measured=as_fraction(measured),
+            paper=None if paper is None else as_fraction(exact_value(paper)),
+            measured=as_fraction(exact_value(measured)),
             note=note,
         )
 

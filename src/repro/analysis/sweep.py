@@ -22,8 +22,9 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 from ..core.constraints import achieved_probability
 from ..core.engine import SystemIndex
 from ..core.facts import Fact
+from ..core.lazyprob import LazyProb, check_numeric_mode
 from ..core.numeric import ProbabilityLike, as_fraction
-from ..core.pps import PPS, Action, AgentId
+from ..core.pps import PPS, Action, ActionOverlay, AgentId, DerivedPPS
 
 __all__ = [
     "sweep",
@@ -42,6 +43,7 @@ def sweep(
     batch_row_fn: Optional[
         Callable[[Sequence[Dict[str, object]]], Sequence[Mapping[str, object]]]
     ] = None,
+    numeric: Optional[str] = None,
 ) -> List[Row]:
     """Evaluate a row function on every point of the parameter grid.
 
@@ -58,6 +60,12 @@ def sweep(
             the engine's batched evaluation (one run-slice pass per
             batch instead of per fact) and to share structural-key
             cache hits across rows.
+        numeric: when given (``"exact"``/``"auto"``/``"float"``), the
+            mode is validated and forwarded to ``row_fn`` as an extra
+            ``numeric=`` keyword (or to ``batch_row_fn`` as a second
+            positional argument), so a whole table can be flipped onto
+            the two-tier kernel from one knob.  ``None`` (default)
+            forwards nothing — existing row functions are untouched.
 
     Returns:
         one merged row dict per grid point.
@@ -67,18 +75,23 @@ def sweep(
             supplied.
         ValueError: when a result mapping's keys collide with a grid
             parameter name (the result would silently overwrite the
-            parameter column), or when ``batch_row_fn`` returns the
-            wrong number of results.
+            parameter column), when ``batch_row_fn`` returns the wrong
+            number of results, or for an unknown ``numeric`` mode.
     """
     if (row_fn is None) == (batch_row_fn is None):
         raise TypeError("sweep() takes exactly one of row_fn or batch_row_fn")
+    if numeric is not None:
+        check_numeric_mode(numeric)
     names = list(grid)
     points = [
         dict(zip(names, combo))
         for combo in iter_product(*(grid[name] for name in names))
     ]
     if batch_row_fn is not None:
-        results = list(batch_row_fn([dict(point) for point in points]))
+        if numeric is None:
+            results = list(batch_row_fn([dict(point) for point in points]))
+        else:
+            results = list(batch_row_fn([dict(point) for point in points], numeric))
         if len(results) != len(points):
             raise ValueError(
                 f"batch_row_fn returned {len(results)} results "
@@ -86,7 +99,10 @@ def sweep(
             )
     else:
         assert row_fn is not None
-        results = [row_fn(**point) for point in points]
+        if numeric is None:
+            results = [row_fn(**point) for point in points]
+        else:
+            results = [row_fn(**point, numeric=numeric) for point in points]
     rows: List[Row] = []
     for params, result in zip(points, results):
         collisions = sorted(set(params) & set(result))
@@ -110,6 +126,7 @@ def refrain_threshold_sweep(
     *,
     replacement: Action = "skip",
     materialize: bool = False,
+    numeric: str = "exact",
 ) -> List[Row]:
     """One row per refrain threshold, sharing one parent index.
 
@@ -131,44 +148,129 @@ def refrain_threshold_sweep(
     so the first row of the usual ``0 .. 1`` grid reports the original
     protocol's numbers.
 
+    ``numeric="auto"`` runs the whole sweep — the belief guards inside
+    the transform and both reported measures — through the two-tier
+    kernel: every row's relabelled edge set is identical to exact
+    mode's, and the reported ``LazyProb`` cells carry identical exact
+    values on demand.  This is the dense-sweep fast path the kernel
+    exists for: O(rows) float work, exact work only at boundary hits.
+
     Returns:
         one row dict per threshold:
-        ``{"threshold", "achieved", "coverage"}``, exact rationals.
+        ``{"threshold", "achieved", "coverage"}``, exact rationals
+        (``LazyProb``/float cells in the non-default modes).
     """
     from ..protocols.strategies import refrain_below_threshold
 
+    check_numeric_mode(numeric)
+    make_row = _candidate_edge_transform(
+        pps, agent, action, phi, replacement=replacement, numeric=numeric
+    ) if not materialize else None
     rows: List[Row] = []
     for threshold in thresholds:
-        modified = refrain_below_threshold(
-            pps,
-            agent,
-            action,
-            phi,
-            threshold,
-            replacement=replacement,
-            materialize=materialize,
-        )
+        if make_row is not None:
+            modified = make_row(as_fraction(threshold))
+        else:
+            modified = refrain_below_threshold(
+                pps,
+                agent,
+                action,
+                phi,
+                threshold,
+                replacement=replacement,
+                materialize=materialize,
+                numeric=numeric,
+            )
         index = SystemIndex.of(modified)
         rows.append(
             {
                 "threshold": as_fraction(threshold),
-                "achieved": achieved_probability(modified, agent, phi, action),
+                "achieved": achieved_probability(
+                    modified, agent, phi, action, numeric=numeric
+                ),
                 "coverage": index.probability(
-                    index.performing_mask(agent, action)
+                    index.performing_mask(agent, action), numeric=numeric
                 ),
             }
         )
     return rows
 
 
+def _candidate_edge_transform(
+    pps: PPS,
+    agent: AgentId,
+    action: Action,
+    phi: Fact,
+    *,
+    replacement: Action,
+    numeric: str,
+):
+    """A per-threshold builder of refrain-derived systems for one sweep.
+
+    :func:`~repro.protocols.strategies.refrain_below_threshold` walks
+    the whole tree per call; across a dense sweep every row repeats
+    that walk only to rediscover the same handful of matching edges.
+    This helper enumerates them once
+    (:func:`~repro.protocols.strategies.refrain_candidates`, the
+    transform's own candidate semantics), hoists each acting state's
+    posterior, and returns a closure that builds the row's
+    :class:`~repro.core.pps.DerivedPPS` from O(candidate edges) belief
+    guards.  The produced system is identical to the transform's (same
+    overrides, discovered in the same breadth-first order).
+    """
+    from ..protocols.strategies import refrain_candidates
+
+    index = SystemIndex.of(pps)
+    candidates = refrain_candidates(pps, agent, action)
+    guard_numeric = "auto" if numeric == "float" else numeric
+    beliefs = {
+        local: index.belief(agent, phi, local, numeric=guard_numeric)
+        for _, _, local in candidates
+    }
+
+    def make_row(bound: Fraction) -> PPS:
+        if numeric == "auto":
+            comparand: object = LazyProb.from_exact(bound)
+        elif numeric == "float":
+            comparand = bound.numerator / bound.denominator
+        else:
+            comparand = bound
+        overrides = []
+        for node, via, local in candidates:
+            b = beliefs[local]
+            low = (b.approx < comparand) if numeric == "float" else (b < comparand)
+            if low and replacement != action:
+                overrides.append((node, {**via, agent: replacement}))
+        return DerivedPPS(
+            pps,
+            ActionOverlay(overrides),
+            name=f"{pps.name}-refrain[{action}]",
+        )
+
+    return make_row
+
+
 def format_value(value: object) -> str:
-    """Render a cell: Fractions as ``p/q (~float)``, floats compactly."""
+    """Render a cell, marking exact values apart from approximations.
+
+    * ``Fraction`` — exact: ``p/q (~float)`` (integral ones bare);
+    * ``LazyProb`` — exact value available on demand: rendered from
+      :meth:`~repro.core.lazyprob.LazyProb.exact` as ``p/q (~float)=``,
+      the trailing ``=`` marking "exact, lazily materialized";
+    * ``float`` — approximate: ``~x`` at 12 significant digits (stable
+      fixed precision, so float-mode tables diff cleanly across runs).
+    """
+    if isinstance(value, LazyProb):
+        exact = value.exact()
+        if exact.denominator == 1:
+            return f"{exact.numerator}="
+        return f"{exact} (~{float(exact):.6g})="
     if isinstance(value, Fraction):
         if value.denominator == 1:
             return str(value.numerator)
         return f"{value} (~{float(value):.6g})"
     if isinstance(value, float):
-        return f"{value:.6g}"
+        return f"~{value:.12g}"
     if isinstance(value, bool):
         return "yes" if value else "no"
     return str(value)

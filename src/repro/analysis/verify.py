@@ -42,17 +42,27 @@ def verify_constraint(
     *,
     delta: ProbabilityLike = "1/10",
     epsilon: ProbabilityLike = "1/10",
+    numeric: str = "exact",
 ) -> Dict[str, TheoremCheck]:
-    """All theorem checks for one constraint."""
+    """All theorem checks for one constraint.
+
+    ``numeric="auto"`` runs every checker through the two-tier kernel
+    (identical verdicts, exact values on demand); the default is fully
+    exact arithmetic.
+    """
     p = as_fraction(threshold)
     return {
-        "theorem-4.2": check_theorem_4_2(pps, agent, action, phi, p),
-        "lemma-4.3": check_lemma_4_3(pps, agent, action, phi),
-        "lemma-5.1": check_lemma_5_1(pps, agent, action, phi, p),
-        "theorem-6.2": check_theorem_6_2(pps, agent, action, phi),
-        "lemma-F.1": check_lemma_f_1(pps, agent, action, phi),
-        "theorem-7.1": check_theorem_7_1(pps, agent, action, phi, delta, epsilon),
-        "corollary-7.2": check_corollary_7_2(pps, agent, action, phi, epsilon),
+        "theorem-4.2": check_theorem_4_2(pps, agent, action, phi, p, numeric=numeric),
+        "lemma-4.3": check_lemma_4_3(pps, agent, action, phi, numeric=numeric),
+        "lemma-5.1": check_lemma_5_1(pps, agent, action, phi, p, numeric=numeric),
+        "theorem-6.2": check_theorem_6_2(pps, agent, action, phi, numeric=numeric),
+        "lemma-F.1": check_lemma_f_1(pps, agent, action, phi, numeric=numeric),
+        "theorem-7.1": check_theorem_7_1(
+            pps, agent, action, phi, delta, epsilon, numeric=numeric
+        ),
+        "corollary-7.2": check_corollary_7_2(
+            pps, agent, action, phi, epsilon, numeric=numeric
+        ),
     }
 
 
@@ -62,6 +72,8 @@ def assert_theorems(
     action: Action,
     phi: Fact,
     threshold: ProbabilityLike = "1/2",
+    *,
+    numeric: str = "exact",
 ) -> None:
     """Raise ``AssertionError`` if any applicable theorem fails.
 
@@ -69,7 +81,9 @@ def assert_theorems(
     a bug in the library (or a malformed system that escaped
     validation), never a property of the inputs.
     """
-    for name, check in verify_constraint(pps, agent, action, phi, threshold).items():
+    for name, check in verify_constraint(
+        pps, agent, action, phi, threshold, numeric=numeric
+    ).items():
         if not check.verified:
             raise AssertionError(
                 f"{name} FAILED on {pps.name}: {check} details={check.details}"
@@ -120,6 +134,7 @@ def verify_system(
     *,
     agents: Sequence[AgentId] = (),
     thresholds: Sequence[ProbabilityLike] = ("1/2",),
+    numeric: str = "exact",
 ) -> SystemVerification:
     """Run every checker over every proper action against ``conditions``.
 
@@ -128,6 +143,8 @@ def verify_system(
         conditions: label -> fact, the conditions to pair with actions.
         agents: which agents to scan (default: all).
         thresholds: thresholds for the threshold-parameterized theorems.
+        numeric: numeric tier for every checker (``"auto"`` gives
+            identical verdicts with float-filtered comparisons).
     """
     verification = SystemVerification(system_name=pps.name)
     # One SystemIndex serves the entire sweep: every checker below
@@ -160,7 +177,9 @@ def verify_system(
         for action in proper_actions_of(pps, agent):
             for label, phi in conditions.items():
                 for threshold in thresholds:
-                    checks = verify_constraint(pps, agent, action, phi, threshold)
+                    checks = verify_constraint(
+                        pps, agent, action, phi, threshold, numeric=numeric
+                    )
                     for name, check in checks.items():
                         key = (agent, action, f"{label}@p={threshold}", name)
                         verification.results[key] = check

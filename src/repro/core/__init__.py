@@ -40,6 +40,7 @@ from .beliefs import (
     occurrence_event,
     threshold_met_event,
     threshold_met_measure,
+    threshold_met_measures,
 )
 from .builder import NodeHandle, PPSBuilder
 from .common_belief import (
@@ -120,15 +121,28 @@ from .measure import (
     total_probability,
     union,
 )
+from .lazyprob import (
+    NUMERIC_MODES,
+    LazyProb,
+    NumericStats,
+    approx_value,
+    check_numeric_mode,
+    escalation_count,
+    exact_value,
+    numeric_stats,
+    reset_numeric_stats,
+)
 from .numeric import (
     ONE,
     ZERO,
+    InexactSqrtError,
     Probability,
     ProbabilityLike,
     as_fraction,
     as_probability,
     exact_sqrt,
     sqrt_fraction,
+    sqrt_fraction_with_exactness,
 )
 from .optimality import (
     FrontierPoint,
@@ -159,6 +173,7 @@ from .theorems import (
     check_theorem_6_2,
     check_theorem_7_1,
     pak_level,
+    pak_level_with_exactness,
 )
 
 __all__ = [name for name in dir() if not name.startswith("_")]

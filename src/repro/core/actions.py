@@ -65,16 +65,21 @@ def performing_runs(pps: PPS, agent: AgentId, action: Action) -> Event:
 
 
 def is_proper(pps: PPS, agent: AgentId, action: Action) -> bool:
-    """Whether ``action`` is a proper action for ``agent`` in ``pps``."""
-    table = SystemIndex.of(pps).performance_times(agent, action)
-    if not table:
-        return False
-    return all(len(times) == 1 for times in table.values())
+    """Whether ``action`` is a proper action for ``agent`` in ``pps``.
+
+    Memoized per (agent, action) on the system index — every checker
+    and threshold query re-asserts properness on its way in.
+    """
+    return SystemIndex.of(pps).is_proper_action(agent, action)
 
 
 def ensure_proper(pps: PPS, agent: AgentId, action: Action) -> None:
     """Raise :class:`ImproperActionError` unless the action is proper."""
-    table = SystemIndex.of(pps).performance_times(agent, action)
+    index = SystemIndex.of(pps)
+    if index.is_proper_action(agent, action):
+        return
+    # Cold path: re-derive the precise reason for the error message.
+    table = index.performance_times(agent, action)
     if not table:
         raise ImproperActionError(
             f"action {action!r} is never performed by {agent!r} in {pps.name}"

@@ -79,6 +79,12 @@ class Does(Fact):
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         return run.action_of(self.agent, t) == self.action
 
+    def engine_mask(self, index, t):
+        # The (agent, action) tables already hold the performing runs
+        # per time: no per-point scan needed.  The run-mask universe
+        # (t is None) evaluates transient facts at time 0.
+        return index.performing_at(self.agent, self.action, 0 if t is None else t)
+
 
 def does_(agent: AgentId, action: Action) -> Does:
     """The transient fact that ``agent`` is currently performing ``action``."""
@@ -99,6 +105,14 @@ class Performed(RunFact):
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         mask = SystemIndex.of(pps).performing_mask(self.agent, self.action)
         return bool((mask >> run.index) & 1)
+
+    def engine_mask(self, index, t):
+        # A run fact: the same performing mask at every slice,
+        # restricted to the alive runs of the slice.
+        mask = index.performing_mask(self.agent, self.action)
+        if t is None:
+            return mask
+        return mask & index.alive_mask(t)
 
 
 def performed(agent: AgentId, action: Action) -> Performed:

@@ -14,6 +14,14 @@ The module also implements the random variable ``beta_i(phi)@alpha``
 (the belief held at the moment a proper action is performed, zero by
 convention in runs where the action is not performed) and the derived
 threshold events used in Sections 5 and 7.
+
+Every entry point takes a ``numeric=`` knob (default ``"exact"``,
+behaviour unchanged): ``"auto"`` routes posteriors and measures
+through the two-tier kernel (:mod:`repro.core.lazyprob`) — threshold
+verdicts are decided in float and escalate to exact arithmetic only
+within round-off of the boundary, with *identical* verdicts
+guaranteed; ``"float"`` returns raw floats with no guarantee.  See
+``docs/numerics.md``.
 """
 
 from __future__ import annotations
@@ -22,6 +30,12 @@ from typing import Callable, Dict
 
 from .engine import SystemIndex
 from .facts import Fact
+from .lazyprob import (
+    ABS_EPS,
+    REL_EPS,
+    check_numeric_mode,
+    count_comparisons,
+)
 from .measure import Event
 from .numeric import ZERO, Probability, ProbabilityLike, as_fraction
 from .pps import PPS, Action, AgentId, LocalState, Run
@@ -36,7 +50,17 @@ __all__ = [
     "belief_random_variable",
     "threshold_met_event",
     "threshold_met_measure",
+    "threshold_met_measures",
 ]
+
+# The float filter's constants — imported from lazyprob (one ulp of
+# relative headroom per rounded step, 4x inflated, plus a subnormal
+# cushion), never restated, so the inlined filter below can't drift
+# from LazyProb._cmp's.  Inlined loops exist because the dense
+# threshold kernels compare raw (approx, err) fields — one LazyProb
+# comparison call per decision would double their cost.
+_REL = REL_EPS
+_ABS = ABS_EPS
 
 
 def occurrence_event(pps: PPS, agent: AgentId, local: LocalState) -> Event:
@@ -45,7 +69,14 @@ def occurrence_event(pps: PPS, agent: AgentId, local: LocalState) -> Event:
     return index.event_of(index.occurrence_mask(agent, local))
 
 
-def belief(pps: PPS, agent: AgentId, phi: Fact, local: LocalState) -> Probability:
+def belief(
+    pps: PPS,
+    agent: AgentId,
+    phi: Fact,
+    local: LocalState,
+    *,
+    numeric: str = "exact",
+) -> Probability:
     """``mu_T(phi@l | l)`` — the belief held at local state ``local``.
 
     Memoized per (agent, fact structural key, local state) on the
@@ -57,40 +88,60 @@ def belief(pps: PPS, agent: AgentId, phi: Fact, local: LocalState) -> Probabilit
         UnknownLocalStateError: when ``local`` never occurs for the
             agent (the posterior would condition on a null event).
     """
-    return SystemIndex.of(pps).belief(agent, phi, local)
+    return SystemIndex.of(pps).belief(agent, phi, local, numeric=numeric)
 
 
-def belief_at(pps: PPS, agent: AgentId, phi: Fact, run: Run, t: int) -> Probability:
+def belief_at(
+    pps: PPS,
+    agent: AgentId,
+    phi: Fact,
+    run: Run,
+    t: int,
+    *,
+    numeric: str = "exact",
+) -> Probability:
     """``beta_i(phi)`` evaluated at the point ``(run, t)``."""
-    return belief(pps, agent, phi, run.local(agent, t))
+    return belief(pps, agent, phi, run.local(agent, t), numeric=numeric)
 
 
 def belief_at_action(
-    pps: PPS, agent: AgentId, phi: Fact, action: Action, run: Run
+    pps: PPS,
+    agent: AgentId,
+    phi: Fact,
+    action: Action,
+    run: Run,
+    *,
+    numeric: str = "exact",
 ) -> Probability:
     """The random variable ``(beta_i(phi)@alpha)[r]``.
 
     By the paper's convention this is 0 for runs in which the action is
-    not performed.
+    not performed — an exact ``Fraction`` zero in ``"exact"``/``"auto"``
+    mode, the float ``0.0`` in ``"float"`` mode.
     """
     t = performance_time(pps, agent, action, run)
     if t is None:
-        return ZERO
-    return belief_at(pps, agent, phi, run, t)
+        return 0.0 if numeric == "float" else ZERO
+    return belief_at(pps, agent, phi, run, t, numeric=numeric)
 
 
 def belief_profile(
-    pps: PPS, agent: AgentId, phi: Fact
+    pps: PPS, agent: AgentId, phi: Fact, *, numeric: str = "exact"
 ) -> Dict[LocalState, Probability]:
     """The belief in ``phi`` at every local state of the agent."""
     return {
-        local: belief(pps, agent, phi, local)
+        local: belief(pps, agent, phi, local, numeric=numeric)
         for local in pps.local_states(agent)
     }
 
 
 def belief_random_variable(
-    pps: PPS, agent: AgentId, phi: Fact, action: Action
+    pps: PPS,
+    agent: AgentId,
+    phi: Fact,
+    action: Action,
+    *,
+    numeric: str = "exact",
 ) -> Callable[[Run], Probability]:
     """``beta_i(phi)@alpha`` as a function of the run.
 
@@ -99,15 +150,16 @@ def belief_random_variable(
     computation per state in ``L_i[alpha]``.
     """
     ensure_proper(pps, agent, action)
+    check_numeric_mode(numeric)
     cache: Dict[LocalState, Probability] = {}
 
     def variable(run: Run) -> Probability:
         t = performance_time(pps, agent, action, run)
         if t is None:
-            return ZERO
+            return 0.0 if numeric == "float" else ZERO
         local = run.local(agent, t)
         if local not in cache:
-            cache[local] = belief(pps, agent, phi, local)
+            cache[local] = belief(pps, agent, phi, local, numeric=numeric)
         return cache[local]
 
     return variable
@@ -119,19 +171,100 @@ def _threshold_met_mask(
     phi: Fact,
     action: Action,
     threshold: ProbabilityLike,
+    *,
+    numeric: str = "exact",
 ) -> int:
     """Mask of performing runs whose acting belief meets the bound.
 
     Decided per acting local state (one cached posterior per state in
-    ``L_i[alpha]``), not per run.
+    ``L_i[alpha]``), not per run.  In ``"auto"`` mode each per-state
+    comparison resolves in float unless the posterior lies within
+    round-off of the bound, in which case it escalates — the resulting
+    mask is identical to exact mode's on every input.
     """
     ensure_proper(pps, agent, action)
+    check_numeric_mode(numeric)
     bound = as_fraction(threshold)
     index = SystemIndex.of(pps)
+    if numeric == "exact":
+        return _met_mask_exact(
+            _acting_exact_beliefs(index, agent, phi, action), bound
+        )
+    return _met_mask(_acting_lazy_beliefs(index, agent, phi, action), bound, numeric)
+
+
+def _acting_exact_beliefs(
+    index: SystemIndex, agent: AgentId, phi: Fact, action: Action
+) -> list:
+    """(exact posterior, cell mask) rows for the acting states."""
+    return [
+        (index.belief(agent, phi, local), cell)
+        for local, cell in index.state_cells(agent, action).items()
+    ]
+
+
+def _met_mask_exact(beliefs, bound) -> int:
+    """The met-mask of one bound over exact (posterior, cell) rows.
+
+    The single source of the exact threshold fold — the single-bound
+    and batched-grid paths both use it, so the bound semantics
+    (non-strict ``>=``) cannot desynchronize.
+    """
     met = 0
-    for local, cell in index.state_cells(agent, action).items():
-        if index.belief(agent, phi, local) >= bound:
+    for b, cell in beliefs:
+        if b >= bound:
             met |= cell
+    return met
+
+
+def _acting_lazy_beliefs(
+    index: SystemIndex, agent: AgentId, phi: Fact, action: Action
+):
+    """Prepared ``(approx, own-gap, posterior, cell)`` rows per acting state.
+
+    The float view and the posterior's own share of the filter gap are
+    hoisted out of the per-bound loops: a dense threshold grid touches
+    each row once per bound, and attribute loads would otherwise
+    dominate the filter itself.
+    """
+    rows = []
+    for local, cell in index.state_cells(agent, action).items():
+        b = index.belief(agent, phi, local, numeric="auto")
+        rows.append((b.approx, 4.0 * b.err + _ABS, b, cell))
+    return rows
+
+
+def _met_mask(beliefs, bound, numeric: str) -> int:
+    """The met-mask of one bound over prepared belief rows.
+
+    The float filter is inlined: each per-state verdict costs a float
+    subtraction and two compares; only posteriors within the
+    uncertainty window of the bound go through the counted, escalating
+    ``LazyProb`` comparison.  ``numeric="float"`` takes the raw float
+    verdict instead.
+    """
+    met = 0
+    bf = bound.numerator / bound.denominator
+    if numeric == "float":
+        for approx, _, _, cell in beliefs:
+            if approx >= bf:
+                met |= cell
+        return met
+    bound_gap = 4.0 * abs(bf) * _REL
+    uncertain = 0
+    for approx, own_gap, b, cell in beliefs:
+        diff = approx - bf
+        gap = own_gap + bound_gap
+        if diff > gap:
+            met |= cell
+        elif diff >= -gap:
+            # Uncertainty window: the escalating comparison decides
+            # (its own filter re-runs, then exact arithmetic settles)
+            # and counts itself in the stats.
+            uncertain += 1
+            if b >= bound:
+                met |= cell
+    count_comparisons(len(beliefs) - uncertain)
     return met
 
 
@@ -141,10 +274,14 @@ def threshold_met_event(
     phi: Fact,
     action: Action,
     threshold: ProbabilityLike,
+    *,
+    numeric: str = "exact",
 ) -> Event:
     """Runs of ``R_alpha`` where ``beta_i(phi)@alpha >= threshold``."""
     index = SystemIndex.of(pps)
-    return index.event_of(_threshold_met_mask(pps, agent, phi, action, threshold))
+    return index.event_of(
+        _threshold_met_mask(pps, agent, phi, action, threshold, numeric=numeric)
+    )
 
 
 def threshold_met_measure(
@@ -153,8 +290,62 @@ def threshold_met_measure(
     phi: Fact,
     action: Action,
     threshold: ProbabilityLike,
+    *,
+    numeric: str = "exact",
 ) -> Probability:
     """``mu_T(beta_i(phi)@alpha >= threshold | alpha)``."""
-    met = _threshold_met_mask(pps, agent, phi, action, threshold)
+    met = _threshold_met_mask(pps, agent, phi, action, threshold, numeric=numeric)
     index = SystemIndex.of(pps)
-    return index.conditional(met, index.performing_mask(agent, action))
+    return index.conditional(
+        met, index.performing_mask(agent, action), numeric=numeric
+    )
+
+
+def threshold_met_measures(
+    pps: PPS,
+    agent: AgentId,
+    phi: Fact,
+    action: Action,
+    thresholds,
+    *,
+    numeric: str = "exact",
+):
+    """``mu_T(beta_i(phi)@alpha >= p | alpha)`` for a whole grid of ``p``.
+
+    The batched form of :func:`threshold_met_measure`, built for dense
+    threshold sweeps (Sections 5 and 7 grids): the acting posteriors
+    are gathered once, each grid point costs one pass over them, and
+    measures are memoized per distinct met-mask — a grid of ``T``
+    bounds over ``L`` acting states does ``O(T * L)`` comparisons but
+    at most ``L + 1`` conditionals, in every mode.
+
+    Results are element-wise identical to per-bound
+    :func:`threshold_met_measure` calls (``"auto"``: identical exact
+    values on demand, escalating only within round-off of a bound).
+    """
+    ensure_proper(pps, agent, action)
+    check_numeric_mode(numeric)
+    index = SystemIndex.of(pps)
+    performing = index.performing_mask(agent, action)
+    bounds = [as_fraction(threshold) for threshold in thresholds]
+    measures: Dict[int, object] = {}
+    out = []
+    if numeric == "exact":
+        beliefs = _acting_exact_beliefs(index, agent, phi, action)
+        for bound in bounds:
+            met = _met_mask_exact(beliefs, bound)
+            value = measures.get(met)
+            if value is None:
+                value = index.conditional(met, performing)
+                measures[met] = value
+            out.append(value)
+        return out
+    beliefs = _acting_lazy_beliefs(index, agent, phi, action)
+    for bound in bounds:
+        met = _met_mask(beliefs, bound, numeric)
+        value = measures.get(met)
+        if value is None:
+            value = index.conditional(met, performing, numeric=numeric)
+            measures[met] = value
+        out.append(value)
+    return out

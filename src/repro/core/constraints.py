@@ -35,9 +35,13 @@ __all__ = ["ProbabilisticConstraint", "achieved_probability"]
 
 
 def achieved_probability(
-    pps: PPS, agent: AgentId, phi: Fact, action: Action
+    pps: PPS, agent: AgentId, phi: Fact, action: Action, *, numeric: str = "exact"
 ) -> Probability:
     """``mu_T(phi@alpha | alpha)`` for a proper action.
+
+    ``numeric="auto"`` returns the measure as an int-pair
+    :class:`~repro.core.lazyprob.LazyProb` (identical exact value on
+    demand, float-filtered comparisons); ``"float"`` a bare float.
 
     Raises:
         ImproperActionError: when the action is not proper in ``pps``.
@@ -45,7 +49,9 @@ def achieved_probability(
     ensure_proper(pps, agent, action)
     index = SystemIndex.of(pps)
     satisfied = index.phi_at_action_mask(agent, phi, action)
-    return index.conditional(satisfied, index.performing_mask(agent, action))
+    return index.conditional(
+        satisfied, index.performing_mask(agent, action), numeric=numeric
+    )
 
 
 @dataclass
@@ -74,50 +80,73 @@ class ProbabilisticConstraint:
 
     # ------------------------------------------------------------------
 
-    def actual(self, pps: PPS) -> Probability:
+    def actual(self, pps: PPS, *, numeric: str = "exact") -> Probability:
         """The achieved probability ``mu_T(phi@alpha | alpha)``."""
-        return achieved_probability(pps, self.agent, self.phi, self.action)
+        return achieved_probability(
+            pps, self.agent, self.phi, self.action, numeric=numeric
+        )
 
-    def satisfied(self, pps: PPS) -> bool:
-        """Whether the system meets the constraint."""
-        return self.actual(pps) >= self.threshold
+    def satisfied(self, pps: PPS, *, numeric: str = "exact") -> bool:
+        """Whether the system meets the constraint.
 
-    def margin(self, pps: PPS) -> Probability:
+        Identical verdict in ``"exact"`` and ``"auto"`` mode; ``"auto"``
+        pays exact arithmetic only when the achieved probability lies
+        within round-off of the threshold.
+        """
+        return self.actual(pps, numeric=numeric) >= self.threshold
+
+    def margin(self, pps: PPS, *, numeric: str = "exact") -> Probability:
         """``actual - threshold`` (negative when violated)."""
-        return self.actual(pps) - self.threshold
+        return self.actual(pps, numeric=numeric) - self.threshold
 
     # ------------------------------------------------------------------
 
-    def independent(self, pps: PPS) -> bool:
+    def independent(self, pps: PPS, *, numeric: str = "exact") -> bool:
         """Whether ``phi`` is local-state independent of the action."""
-        return is_local_state_independent(pps, self.phi, self.agent, self.action)
+        return is_local_state_independent(
+            pps, self.phi, self.agent, self.action, numeric=numeric
+        )
 
     def performing_event(self, pps: PPS) -> Event:
         """The event ``R_alpha``."""
         return performing_runs(pps, self.agent, self.action)
 
     def threshold_met_event(
-        self, pps: PPS, threshold: Optional[ProbabilityLike] = None
+        self,
+        pps: PPS,
+        threshold: Optional[ProbabilityLike] = None,
+        *,
+        numeric: str = "exact",
     ) -> Event:
         """Runs of ``R_alpha`` where the acting belief meets ``threshold``.
 
         Defaults to the constraint's own threshold.
         """
         bound = self.threshold if threshold is None else as_fraction(threshold)
-        return threshold_met_event(pps, self.agent, self.phi, self.action, bound)
+        return threshold_met_event(
+            pps, self.agent, self.phi, self.action, bound, numeric=numeric
+        )
 
     def threshold_met_measure(
-        self, pps: PPS, threshold: Optional[ProbabilityLike] = None
+        self,
+        pps: PPS,
+        threshold: Optional[ProbabilityLike] = None,
+        *,
+        numeric: str = "exact",
     ) -> Probability:
         """``mu_T(beta_i(phi)@alpha >= threshold | alpha)``."""
         bound = self.threshold if threshold is None else as_fraction(threshold)
-        return threshold_met_measure(pps, self.agent, self.phi, self.action, bound)
+        return threshold_met_measure(
+            pps, self.agent, self.phi, self.action, bound, numeric=numeric
+        )
 
-    def expected_belief(self, pps: PPS) -> Probability:
+    def expected_belief(self, pps: PPS, *, numeric: str = "exact") -> Probability:
         """``E[beta_i(phi)@alpha | alpha]`` (Definition 6.1)."""
         from .expectation import expected_belief  # avoid import cycle
 
-        return expected_belief(pps, self.agent, self.phi, self.action)
+        return expected_belief(
+            pps, self.agent, self.phi, self.action, numeric=numeric
+        )
 
     # ------------------------------------------------------------------
 

@@ -48,6 +48,17 @@ index and rebuilds only the (agent, action) tables for the overridden
 edges, invalidating just the fact-cache entries whose facts mention
 actions (see ``docs/transforms.md``).
 
+The kernel is **two-tier** (see ``docs/numerics.md``): every measure
+starts as an integer weight total over one common denominator
+(:meth:`SystemIndex.mask_total`), and the ``numeric=`` knob on
+:meth:`SystemIndex.probability` / :meth:`SystemIndex.conditional` /
+:meth:`SystemIndex.belief` / :meth:`SystemIndex.beliefs_batch` selects
+how the total is folded: ``"exact"`` (default, normalized
+:class:`~fractions.Fraction`), ``"auto"``
+(:class:`~repro.core.lazyprob.LazyProb` — float-filtered comparisons
+with exact-on-demand escalation, verdicts identical to exact), or
+``"float"`` (raw floats, no guarantees).
+
 The public frozenset-based :class:`~repro.core.measure.Event` API is
 preserved throughout the library; this module is the engine underneath
 it, and :meth:`SystemIndex.mask_of` / :meth:`SystemIndex.event_of`
@@ -76,6 +87,7 @@ from .errors import (
     UnknownAgentError,
     UnknownLocalStateError,
 )
+from .lazyprob import LazyProb, check_numeric_mode
 from .numeric import ONE, ZERO, Probability
 from .pps import PPS, Action, AgentId, DerivedPPS, LocalState
 
@@ -129,6 +141,11 @@ class SystemIndex:
             prefix.append(prefix[-1] + weight)
         self._prefix: List[int] = prefix
         self._prob_cache: Dict[int, Probability] = {}
+        # Raw integer weight totals per mask: the common input of every
+        # numeric mode.  Exact mode folds a total into a normalized
+        # Fraction (memoized in _prob_cache); the float/auto modes use
+        # the (total, denominator) pair directly, skipping the gcd.
+        self._total_cache: Dict[int, int] = {}
 
         # --- structure tables -------------------------------------------
         # Runs are collected in DFS order, so the runs through any node
@@ -161,6 +178,8 @@ class SystemIndex:
         ] = {}
         self._state_cells: Dict[Tuple[AgentId, Action], Dict[LocalState, int]] = {}
         self._agent_actions: Dict[AgentId, set] = {}
+        self._proper_cache: Dict[Tuple[AgentId, Action], bool] = {}
+        self._performing_at: Dict[Tuple[AgentId, Action], Dict[int, int]] = {}
 
         # --- memo caches keyed by Fact structural key -------------------
         # (or by identity when structural_keys=False; opaque facts fall
@@ -168,6 +187,15 @@ class SystemIndex:
         self._fact_masks: Dict[object, int] = {}
         self._slice_masks: Dict[Tuple[object, int], int] = {}
         self._belief_cache: Dict[Tuple[AgentId, object, LocalState], Probability] = {}
+        # Auto/float-mode twin of _belief_cache: posteriors as LazyProb
+        # values built from raw int pairs — no Fraction normalization
+        # until a comparison actually escalates (see docs/numerics.md).
+        self._lazy_beliefs: Dict[Tuple[AgentId, object, LocalState], LazyProb] = {}
+        # Independence verdicts (Definition 4.1) per (fact key, agent,
+        # action): identical across numeric modes, recomputed by every
+        # theorem premise otherwise.  Never inherited by derived
+        # indices — the verdict inspects action cells.
+        self._independence_cache: Dict[Tuple[object, AgentId, Action], bool] = {}
         self._at_action_cache: Dict[Tuple[AgentId, object, Action], int] = {}
         self._component_cache: Dict[
             Tuple[Tuple[AgentId, ...], int], Dict[int, int]
@@ -180,6 +208,9 @@ class SystemIndex:
         # Set by derived(): the parent index the action tables are
         # incrementally rebuilt from on first use.
         self._derived_parent: Optional["SystemIndex"] = None
+        # Memoized label-independent cache subsets handed to derived
+        # indices; see _inheritable_pack().
+        self._inherit_pack: Optional[Tuple[Tuple[int, ...], tuple]] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -245,6 +276,7 @@ class SystemIndex:
         index._weights = parent._weights
         index._prefix = parent._prefix
         index._prob_cache = parent._prob_cache
+        index._total_cache = parent._total_cache
         # Structure tables: the tree is literally the parent's.
         index._node_ranges = parent._node_ranges
         index.max_time = parent.max_time
@@ -259,25 +291,65 @@ class SystemIndex:
         index._performance_times = {}
         index._state_cells = {}
         index._agent_actions = {}
+        index._proper_cache = {}
+        index._performing_at = {}
         index._derived_parent = parent
+        index._inherit_pack = None
         # Fact caches: label-independent entries carry over verbatim.
-        free = parent._action_free
+        # The filtered views are memoized on the parent (invalidated by
+        # growth — engine caches only ever grow), so a dense sweep
+        # deriving hundreds of rows from one parent pays the filtering
+        # once and each row only a shallow copy.
+        free, fact_masks, slice_masks, belief_cache, lazy_beliefs = (
+            parent._inheritable_pack()
+        )
         index._action_free = set(free)
-        index._fact_masks = {
-            key: mask for key, mask in parent._fact_masks.items() if key in free
-        }
-        index._slice_masks = {
-            key: mask
-            for key, mask in parent._slice_masks.items()
-            if key[0] in free
-        }
-        index._belief_cache = {
-            key: value
-            for key, value in parent._belief_cache.items()
-            if key[1] in free
-        }
+        index._fact_masks = dict(fact_masks)
+        index._slice_masks = dict(slice_masks)
+        index._belief_cache = dict(belief_cache)
+        index._lazy_beliefs = dict(lazy_beliefs)
         index._at_action_cache = {}
+        index._independence_cache = {}
         return index
+
+    def _inheritable_pack(self):
+        """The label-independent subsets of the fact/belief caches.
+
+        Rebuilt only when a cache has grown since the last derivation;
+        see :meth:`derived`.
+        """
+        stamp = (
+            len(self._action_free),
+            len(self._fact_masks),
+            len(self._slice_masks),
+            len(self._belief_cache),
+            len(self._lazy_beliefs),
+        )
+        pack = self._inherit_pack
+        if pack is not None and pack[0] == stamp:
+            return pack[1]
+        free = self._action_free
+        filtered = (
+            free,
+            {key: mask for key, mask in self._fact_masks.items() if key in free},
+            {
+                key: mask
+                for key, mask in self._slice_masks.items()
+                if key[0] in free
+            },
+            {
+                key: value
+                for key, value in self._belief_cache.items()
+                if key[1] in free
+            },
+            {
+                key: value
+                for key, value in self._lazy_beliefs.items()
+                if key[1] in free
+            },
+        )
+        self._inherit_pack = (stamp, filtered)
+        return filtered
 
     def _fact_key(self, fact: "Fact") -> object:
         """The memo-cache key of a fact under this index's keying mode."""
@@ -446,9 +518,16 @@ class SystemIndex:
                 # (nature's initial choice is not an agent action).
                 continue
             mask = self.node_mask(node)
-            old_via = pps.parent.edge_action(node)
+            old_via = pps.parent.edge_action(node) or {}
             parent_state = node.parent.state if node.parent is not None else None
-            for agent, action in (old_via or {}).items():
+            for agent, action in old_via.items():
+                if new_via.get(agent) == action:
+                    # The override leaves this agent's label alone (a
+                    # typical refrain override rewrites one agent of a
+                    # joint action); stripping and re-adding an
+                    # identical contribution would be wasted table
+                    # surgery.
+                    continue
                 key = (agent, action)
                 performing[key] &= ~mask
                 strip.setdefault(key, set()).add((t, mask))
@@ -462,6 +541,8 @@ class SystemIndex:
                     else:
                         del cell[local]
             for agent, action in new_via.items():
+                if old_via.get(agent) == action:
+                    continue
                 key = (agent, action)
                 performing[key] = performing.get(key, 0) | mask
                 add.setdefault(key, []).append((t, mask))
@@ -510,40 +591,88 @@ class SystemIndex:
     def complement(self, mask: int) -> int:
         return self.all_mask & ~mask
 
-    def probability(self, mask: int) -> Probability:
-        """``mu_T`` of a bitmask event, exactly."""
+    def mask_total(self, mask: int) -> int:
+        """The integer weight total of a mask over the common denominator.
+
+        ``probability(mask) == Fraction(mask_total(mask), denominator)``
+        by construction.  This is the value every numeric mode starts
+        from; it is memoized per mask (and shared with derived indices,
+        since an action overlay never changes weights).
+        """
+        if mask == 0:
+            return 0
+        if mask == self.all_mask:
+            return self._prefix[-1]
+        cached = self._total_cache.get(mask)
+        if cached is None:
+            lo = (mask & -mask).bit_length() - 1
+            hi = mask.bit_length()
+            if mask == (1 << hi) - (1 << lo):
+                # Contiguous range (every subtree event is one): O(1).
+                cached = self._prefix[hi] - self._prefix[lo]
+            else:
+                total = 0
+                weights = self._weights
+                m = mask
+                while m:
+                    lsb = m & -m
+                    total += weights[lsb.bit_length() - 1]
+                    m ^= lsb
+                cached = total
+            self._total_cache[mask] = cached
+        return cached
+
+    def probability(self, mask: int, *, numeric: str = "exact"):
+        """``mu_T`` of a bitmask event.
+
+        ``numeric`` selects the tier: ``"exact"`` (the default) returns
+        a memoized normalized :class:`~fractions.Fraction`; ``"auto"``
+        returns a :class:`~repro.core.lazyprob.LazyProb` carrying the
+        raw ``(total, denominator)`` pair (no gcd paid unless a
+        comparison escalates — verdicts guaranteed identical to exact);
+        ``"float"`` returns a bare float with no exactness guarantee.
+        Trivial masks short-circuit to exact ``0``/``1`` in auto mode.
+        """
+        if numeric == "exact":
+            if mask == 0:
+                return ZERO
+            if mask == self.all_mask:
+                return ONE
+            cached = self._prob_cache.get(mask)
+            if cached is not None:
+                return cached
+            result = Fraction(self.mask_total(mask), self._denominator)
+            self._prob_cache[mask] = result
+            return result
+        if numeric == "float":
+            return self.mask_total(mask) / self._denominator
+        check_numeric_mode(numeric)
         if mask == 0:
             return ZERO
         if mask == self.all_mask:
             return ONE
-        cached = self._prob_cache.get(mask)
-        if cached is not None:
-            return cached
-        lo = (mask & -mask).bit_length() - 1
-        hi = mask.bit_length()
-        if mask == (1 << hi) - (1 << lo):
-            # Contiguous range (every subtree event is one): O(1).
-            total = self._prefix[hi] - self._prefix[lo]
-        else:
-            total = 0
-            weights = self._weights
-            m = mask
-            while m:
-                lsb = m & -m
-                total += weights[lsb.bit_length() - 1]
-                m ^= lsb
-        result = Fraction(total, self._denominator)
-        self._prob_cache[mask] = result
-        return result
+        return LazyProb.from_ratio(self.mask_total(mask), self._denominator)
 
-    def conditional(self, target: int, given: int) -> Probability:
-        """``mu_T(target | given)`` for bitmask events."""
+    def conditional(self, target: int, given: int, *, numeric: str = "exact"):
+        """``mu_T(target | given)`` for bitmask events.
+
+        In ``"auto"``/``"float"`` mode the common denominator cancels:
+        the conditional is the plain ratio of the two masks' integer
+        weight totals, so no ``Fraction`` is built at all.
+        """
         if given == 0:
             raise ConditioningOnNullEventError(
                 "cannot condition on an empty event (e.g. an action that is "
                 "never performed)"
             )
-        return self.probability(target & given) / self.probability(given)
+        if numeric == "exact":
+            return self.probability(target & given) / self.probability(given)
+        num = self.mask_total(target & given)
+        den = self.mask_total(given)
+        if numeric == "float":
+            return num / den
+        check_numeric_mode(numeric)
+        return LazyProb.from_ratio(num, den)
 
     # ------------------------------------------------------------------
     # Structure tables
@@ -574,6 +703,26 @@ class SystemIndex:
     def occurrence(self, agent: AgentId, local: LocalState) -> Optional[Tuple[int, int]]:
         """``(time, mask)`` for a local state, or ``None`` if it never occurs."""
         return self._occurrence_table(agent).get(local)
+
+    def _occurrence_or_raise(
+        self, agent: AgentId, local: LocalState
+    ) -> Tuple[int, int]:
+        """``(time, mask)``, raising for never-occurring states.
+
+        The shared entry guard of every belief path (exact and lazy,
+        single and batched) — one place owns the error contract.
+
+        Raises:
+            UnknownLocalStateError: when ``local`` never occurs for the
+                agent.
+        """
+        entry = self.occurrence(agent, local)
+        if entry is None:
+            raise UnknownLocalStateError(
+                f"local state {local!r} of agent {agent!r} never occurs "
+                f"in {self.pps.name}"
+            )
+        return entry
 
     def occurrence_mask(self, agent: AgentId, local: LocalState) -> int:
         entry = self.occurrence(agent, local)
@@ -630,6 +779,25 @@ class SystemIndex:
             self._performance_times[key] = cached
         return cached
 
+    def performing_at(self, agent: AgentId, action: Action, t: int) -> int:
+        """The mask of runs in which the action is performed *at time t*.
+
+        Folded once per (agent, action) from the per-edge records and
+        memoized; this is the direct mask of the transient fact
+        ``does_i(alpha)`` at ``t`` (see ``Does.engine_mask``), making
+        action atoms O(edges) to evaluate instead of one ``holds`` call
+        per (run, slice) point.
+        """
+        self._ensure_actions()
+        key = (agent, action)
+        table = self._performing_at.get(key)
+        if table is None:
+            table = {}
+            for rt, mask in self._action_records.get(key, ()):
+                table[rt] = table.get(rt, 0) | mask
+            self._performing_at[key] = table
+        return table.get(t, 0)
+
     def state_cells(
         self, agent: AgentId, action: Action
     ) -> Mapping[LocalState, int]:
@@ -640,6 +808,36 @@ class SystemIndex:
     def actions_of(self, agent: AgentId) -> FrozenSet[Action]:
         self._ensure_actions()
         return frozenset(self._agent_actions.get(agent, ()))
+
+    def is_proper_action(self, agent: AgentId, action: Action) -> bool:
+        """Whether the action is proper for the agent (memoized).
+
+        Proper: performed at least once somewhere, at most once per
+        run.  Every checker and threshold query re-asserts properness,
+        so the verdict is cached per (agent, action); it is a pure
+        function of the action tables, which never change for a built
+        index.
+        """
+        self._ensure_actions()
+        key = (agent, action)
+        cached = self._proper_cache.get(key)
+        if cached is None:
+            # Straight from the per-edge records: same-time records are
+            # disjoint, so "at most once per run" is exactly "no run
+            # appears in two records", i.e. the union's popcount equals
+            # the sum of the records' popcounts.  No per-run expansion.
+            records = self._action_records.get(key, ())
+            if not records:
+                cached = False
+            else:
+                union = 0
+                total = 0
+                for _, mask in records:
+                    union |= mask
+                    total += mask.bit_count()
+                cached = union.bit_count() == total
+            self._proper_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Fact evaluation caches
@@ -720,7 +918,9 @@ class SystemIndex:
             return cached
         parts = self._connective(fact)
         if parts is None:
-            mask = self._scan_mask(fact, t)
+            mask = fact.engine_mask(self, t)
+            if mask is None:
+                mask = self._scan_mask(fact, t)
         else:
             kind, operands = parts
             try:
@@ -805,7 +1005,18 @@ class SystemIndex:
             return
         parts = self._connective(fact)
         if parts is None:
-            pending[key] = fact
+            # Facts that can state their own mask (e.g. action atoms
+            # reading the (agent, action) tables) bypass the point scan
+            # entirely and are cached immediately.
+            mask = fact.engine_mask(self, t)
+            if mask is not None:
+                if overlay is None:
+                    self._mask_cache(t)[key] = mask
+                    self._note_action_free(fact)
+                else:
+                    overlay[key] = mask
+            else:
+                pending[key] = fact
         else:
             for operand in parts[1]:
                 self._collect_leaves(operand, t, pending, overlay)
@@ -874,26 +1085,24 @@ class SystemIndex:
         local: LocalState,
         *,
         memo: bool = True,
+        numeric: str = "exact",
     ) -> List[Probability]:
         """``mu_T(phi@l | l)`` for a batch of facts at one local state.
 
         Facts whose posterior is already cached are answered directly;
         the rest share one batched slice evaluation at the state's
         occurrence time.  Results are identical to per-fact
-        :meth:`belief` calls.
+        :meth:`belief` calls; ``numeric`` selects the tier exactly as
+        for :meth:`belief`.
 
         Raises:
             UnknownLocalStateError: when ``local`` never occurs for the
                 agent.
         """
+        if numeric != "exact":
+            return self._lazy_beliefs_batch(agent, facts, local, memo, numeric)
         facts = list(facts)
-        entry = self.occurrence(agent, local)
-        if entry is None:
-            raise UnknownLocalStateError(
-                f"local state {local!r} of agent {agent!r} never occurs "
-                f"in {self.pps.name}"
-            )
-        t, occurs = entry
+        t, occurs = self._occurrence_or_raise(agent, local)
         results: List[Optional[Probability]] = [None] * len(facts)
         missing: List[int] = []
         for k, fact in enumerate(facts):
@@ -912,27 +1121,71 @@ class SystemIndex:
                     self._note_action_free(facts[k])
         return results  # type: ignore[return-value]
 
+    def _lazy_beliefs_batch(
+        self,
+        agent: AgentId,
+        facts: Sequence["Fact"],
+        local: LocalState,
+        memo: bool,
+        numeric: str,
+    ) -> List[object]:
+        """Batched posteriors as int-pair LazyProbs (or their floats)."""
+        check_numeric_mode(numeric)
+        facts = list(facts)
+        t, occurs = self._occurrence_or_raise(agent, local)
+        results: List[Optional[LazyProb]] = [None] * len(facts)
+        missing: List[int] = []
+        for k, fact in enumerate(facts):
+            cached = self._lazy_beliefs.get((agent, self._fact_key(fact), local))
+            if cached is not None:
+                results[k] = cached
+            else:
+                missing.append(k)
+        if missing:
+            masks = self.truths_at([facts[k] for k in missing], t, memo=memo)
+            occurs_total = self.mask_total(occurs)
+            for k, mask in zip(missing, masks):
+                value = LazyProb.from_ratio(
+                    self.mask_total(occurs & mask), occurs_total
+                )
+                results[k] = value
+                if memo:
+                    self._lazy_beliefs[(agent, self._fact_key(facts[k]), local)] = value
+                    self._note_action_free(facts[k])
+        if numeric == "float":
+            return [value.approx for value in results]  # type: ignore[union-attr]
+        return results  # type: ignore[return-value]
+
     def belief(
-        self, agent: AgentId, phi: "Fact", local: LocalState, *, memo: bool = True
+        self,
+        agent: AgentId,
+        phi: "Fact",
+        local: LocalState,
+        *,
+        memo: bool = True,
+        numeric: str = "exact",
     ) -> Probability:
         """``mu_T(phi@l | l)``, memoized per (agent, fact key, state).
+
+        ``numeric="auto"`` returns the posterior as a
+        :class:`~repro.core.lazyprob.LazyProb` built from the raw
+        ``(satisfied total, occurrence total)`` integer pair — cached
+        per (agent, fact key, state) like the exact posterior, but with
+        no ``Fraction`` normalization unless a comparison escalates.
+        ``numeric="float"`` returns that value's float approximation.
 
         Raises:
             UnknownLocalStateError: when ``local`` never occurs for the
                 agent.
         """
+        if numeric != "exact":
+            return self._lazy_belief(agent, phi, local, memo, numeric)
         key = (agent, self._fact_key(phi), local)
         if memo:
             cached = self._belief_cache.get(key)
             if cached is not None:
                 return cached
-        entry = self.occurrence(agent, local)
-        if entry is None:
-            raise UnknownLocalStateError(
-                f"local state {local!r} of agent {agent!r} never occurs "
-                f"in {self.pps.name}"
-            )
-        t, occurs = entry
+        t, occurs = self._occurrence_or_raise(agent, local)
         # Every run in the occurrence mask passes through ``local`` at
         # ``t`` (synchrony), so phi@l reduces to truth at time t.
         satisfied = occurs & self.holds_mask_at(phi, t, memo=memo)
@@ -941,6 +1194,24 @@ class SystemIndex:
             self._belief_cache[key] = result
             self._note_action_free(phi)
         return result
+
+    def _lazy_belief(
+        self, agent: AgentId, phi: "Fact", local: LocalState, memo: bool, numeric: str
+    ):
+        """The posterior as an int-pair LazyProb (or its float approx)."""
+        check_numeric_mode(numeric)
+        key = (agent, self._fact_key(phi), local)
+        value: Optional[LazyProb] = self._lazy_beliefs.get(key) if memo else None
+        if value is None:
+            t, occurs = self._occurrence_or_raise(agent, local)
+            satisfied = occurs & self.holds_mask_at(phi, t, memo=memo)
+            value = LazyProb.from_ratio(
+                self.mask_total(satisfied), self.mask_total(occurs)
+            )
+            if memo:
+                self._lazy_beliefs[key] = value
+                self._note_action_free(phi)
+        return value if numeric == "auto" else value.approx
 
     def phi_at_action_mask(
         self, agent: AgentId, phi: "Fact", action: Action, *, memo: bool = True
@@ -961,9 +1232,16 @@ class SystemIndex:
             if cached is not None:
                 return cached
         by_time: Dict[int, int] = {}
-        for run_index, times in self.performance_times(agent, action).items():
-            t = times[0]
-            by_time[t] = by_time.get(t, 0) | (1 << run_index)
+        if self.is_proper_action(agent, action):
+            # Proper: every performing run performs exactly once, so
+            # the per-edge records *are* the first-performance grouping
+            # — no per-run expansion of performance_times needed.
+            for t, mask in self._action_records.get((agent, action), ()):
+                by_time[t] = by_time.get(t, 0) | mask
+        else:
+            for run_index, times in self.performance_times(agent, action).items():
+                t = times[0]
+                by_time[t] = by_time.get(t, 0) | (1 << run_index)
         try:
             mask = 0
             for t, performers in by_time.items():

@@ -41,7 +41,7 @@ __all__ = [
 
 
 def expected_belief(
-    pps: PPS, agent: AgentId, phi: Fact, action: Action
+    pps: PPS, agent: AgentId, phi: Fact, action: Action, *, numeric: str = "exact"
 ) -> Probability:
     """``E[beta_i(phi)@alpha | alpha]`` (Definition 6.1).
 
@@ -50,14 +50,27 @@ def expected_belief(
     Computed through the action-state cells: the variable is constant
     on each cell ``Q^{l}``, so the sum collapses to one weighted term
     per acting local state.
+
+    In ``"auto"`` mode the weighted sum runs in int-pair LazyProb
+    arithmetic (no normalization); its :meth:`~repro.core.lazyprob.\
+LazyProb.exact` value equals the exact-mode ``Fraction`` bit-for-bit,
+    since exact rational arithmetic is order-insensitive and reduced
+    fractions are unique.
     """
     ensure_proper(pps, agent, action)
     index = SystemIndex.of(pps)
     performing = index.performing_mask(agent, action)
-    numerator = Fraction(0)
+    if numeric == "exact":
+        numerator = Fraction(0)
+        for local, cell in index.state_cells(agent, action).items():
+            numerator += index.probability(cell) * index.belief(agent, phi, local)
+        return numerator / index.probability(performing)
+    numerator = 0
     for local, cell in index.state_cells(agent, action).items():
-        numerator += index.probability(cell) * index.belief(agent, phi, local)
-    return numerator / index.probability(performing)
+        numerator = numerator + index.probability(
+            cell, numeric=numeric
+        ) * index.belief(agent, phi, local, numeric=numeric)
+    return numerator / index.probability(performing, numeric=numeric)
 
 
 @dataclass(frozen=True)
@@ -81,13 +94,14 @@ class BeliefCell:
 
 
 def expected_belief_decomposition(
-    pps: PPS, agent: AgentId, phi: Fact, action: Action
+    pps: PPS, agent: AgentId, phi: Fact, action: Action, *, numeric: str = "exact"
 ) -> Dict[LocalState, BeliefCell]:
     """The expectation broken down by acting local state.
 
     Summing ``cell.contribution`` over the returned mapping reproduces
     :func:`expected_belief` exactly (this is Equation (14) of the
-    paper's Appendix D).
+    paper's Appendix D).  In ``"auto"`` mode the cell weights and
+    beliefs are int-pair LazyProb values with identical exact values.
     """
     ensure_proper(pps, agent, action)
     index = SystemIndex.of(pps)
@@ -96,14 +110,14 @@ def expected_belief_decomposition(
     for local, cell_mask in index.state_cells(agent, action).items():
         cells[local] = BeliefCell(
             local=local,
-            weight=index.conditional(cell_mask, performing),
-            belief=index.belief(agent, phi, local),
+            weight=index.conditional(cell_mask, performing, numeric=numeric),
+            belief=index.belief(agent, phi, local, numeric=numeric),
         )
     return cells
 
 
 def jeffrey_conditional(
-    pps: PPS, agent: AgentId, phi: Fact, action: Action
+    pps: PPS, agent: AgentId, phi: Fact, action: Action, *, numeric: str = "exact"
 ) -> Probability:
     """Compute ``mu(phi@alpha | alpha)`` by Jeffrey conditionalization.
 
@@ -122,10 +136,12 @@ def jeffrey_conditional(
     index = SystemIndex.of(pps)
     phi_at_action = index.phi_at_action_mask(agent, phi, action)
     performing = index.performing_mask(agent, action)
-    acc = Fraction(0)
+    acc = Fraction(0) if numeric == "exact" else 0
     for cell_mask in index.state_cells(agent, action).values():
-        weight = index.conditional(cell_mask, performing)
-        if weight == 0:
+        if cell_mask == 0:
             continue
-        acc += weight * index.conditional(phi_at_action, cell_mask)
+        weight = index.conditional(cell_mask, performing, numeric=numeric)
+        acc = acc + weight * index.conditional(
+            phi_at_action, cell_mask, numeric=numeric
+        )
     return acc

@@ -117,6 +117,20 @@ class Fact(ABC):
             self._mentions_actions = value
         return value
 
+    def engine_mask(self, index, t) -> Optional[int]:
+        """A direct bitmask for this fact, or ``None`` to point-scan.
+
+        ``t`` selects the time slice (``None`` means the run-mask
+        universe, where facts are evaluated at time 0).  Facts whose
+        truth set is already tabulated by the engine — e.g. action
+        atoms reading the (agent, action) tables — override this so
+        the evaluator skips the per-(run, point) ``holds`` scan
+        entirely.  The returned mask must equal exactly what that scan
+        would produce (parity is asserted in the test-suite); ``None``
+        (the default) is always sound.
+        """
+        return None
+
     @abstractmethod
     def holds(self, pps: PPS, run: Run, t: int) -> bool:
         """Whether the fact is true at the point ``(run, t)`` of ``pps``.

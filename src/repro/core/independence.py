@@ -27,6 +27,7 @@ from typing import Dict, List, Tuple
 
 from .engine import SystemIndex
 from .facts import Fact
+from .lazyprob import check_numeric_mode
 from .numeric import Probability
 from .pps import PPS, Action, AgentId, LocalState
 
@@ -97,7 +98,7 @@ class IndependenceWitness:
 
 
 def independence_report(
-    pps: PPS, phi: Fact, agent: AgentId, action: Action
+    pps: PPS, phi: Fact, agent: AgentId, action: Action, *, numeric: str = "exact"
 ) -> Dict[LocalState, IndependenceWitness]:
     """Evaluate Definition 4.1 at every occurring local state of the agent.
 
@@ -108,7 +109,14 @@ def independence_report(
     Each witness needs one pass over the local state's occurrence
     mask: the performance cells ``Q^{l}`` supply ``does(alpha)@l`` and
     the memoized slice mask supplies ``phi@l``.
+
+    With ``numeric="auto"`` the three conditionals are int-pair
+    :class:`~repro.core.lazyprob.LazyProb` values: a *dependent*
+    witness is usually refuted in float, while the equality of an
+    independent one escalates to an integer cross-multiplication — no
+    ``Fraction`` normalization either way, same verdict always.
     """
+    check_numeric_mode(numeric)
     report: Dict[LocalState, IndependenceWitness] = {}
     index = SystemIndex.of(pps)
     cells = index.state_cells(agent, action)
@@ -118,21 +126,48 @@ def independence_report(
         act_at = cells.get(local, 0)
         report[local] = IndependenceWitness(
             local=local,
-            prob_phi=index.conditional(phi_at, occurs),
-            prob_action=index.conditional(act_at, occurs),
-            prob_joint=index.conditional(phi_at & act_at, occurs),
+            prob_phi=index.conditional(phi_at, occurs, numeric=numeric),
+            prob_action=index.conditional(act_at, occurs, numeric=numeric),
+            prob_joint=index.conditional(phi_at & act_at, occurs, numeric=numeric),
         )
     return report
 
 
 def is_local_state_independent(
-    pps: PPS, phi: Fact, agent: AgentId, action: Action
+    pps: PPS, phi: Fact, agent: AgentId, action: Action, *, numeric: str = "exact"
 ) -> bool:
-    """Whether ``phi`` is local-state independent of ``action`` (Def. 4.1)."""
-    return all(
+    """Whether ``phi`` is local-state independent of ``action`` (Def. 4.1).
+
+    The verdict is memoized per (fact key, agent, action) on the
+    system index: it is a pure function of those inputs, every theorem
+    premise re-derives it, and it is identical in every numeric mode
+    (``"auto"`` escalates inside the uncertainty window; ``"float"``
+    answers from round-off and is excluded from the shared cache).
+    """
+    check_numeric_mode(numeric)
+    index = SystemIndex.of(pps)
+    if numeric == "float":
+        # Round-off verdicts never touch the shared cache — neither
+        # serving exact verdicts on hits nor poisoning it on misses —
+        # so float-mode answers don't depend on what ran before.
+        return all(
+            witness.independent
+            for witness in independence_report(
+                pps, phi, agent, action, numeric="float"
+            ).values()
+        )
+    key = (index._fact_key(phi), agent, action)
+    cached = index._independence_cache.get(key)
+    if cached is not None:
+        return cached
+    verdict = all(
         witness.independent
-        for witness in independence_report(pps, phi, agent, action).values()
+        for witness in independence_report(
+            pps, phi, agent, action, numeric=numeric
+        ).values()
     )
+    index._independence_cache[key] = verdict
+    return verdict
 
 
 def lemma_4_3_applies(

@@ -77,11 +77,16 @@ class KoPReport:
         )
 
 
-def check_kop(pps: PPS, agent: AgentId, action: Action, phi: Fact) -> KoPReport:
+def check_kop(
+    pps: PPS, agent: AgentId, action: Action, phi: Fact, *, numeric: str = "exact"
+) -> KoPReport:
     """Evaluate the Knowledge of Preconditions principle.
 
     The action must be proper (so the probabilistic comparison with
-    Lemma F.1 is meaningful on the same inputs).
+    Lemma F.1 is meaningful on the same inputs).  ``numeric="auto"``
+    decides the per-point belief-one comparisons through the float
+    filter (a belief well below 1 is refuted without exact arithmetic;
+    one equal to 1 escalates), with verdicts identical to exact mode.
     """
     ensure_proper(pps, agent, action)
     necessary = is_necessary_condition(pps, agent, action, phi)
@@ -96,7 +101,7 @@ def check_kop(pps: PPS, agent: AgentId, action: Action, phi: Fact) -> KoPReport:
         if not knowledge.holds(pps, run, t):
             known = False
             failures.append((run.index, t))
-        if belief_at(pps, agent, phi, run, t) != ONE:
+        if belief_at(pps, agent, phi, run, t, numeric=numeric) != ONE:
             belief_one = False
             if (run.index, t) not in failures:
                 failures.append((run.index, t))

@@ -1,0 +1,566 @@
+"""The two-tier numeric kernel: a float fast path with exact fallback.
+
+Everything the library reports is an exact rational, and PRs 1-4 made
+the *set* side of every query cheap; what remains on dense sweeps is
+the arithmetic itself — thousands of :class:`~fractions.Fraction`
+divisions and comparisons whose results are only ever compared against
+a threshold, never shown to anyone.  ``Fraction`` pays a gcd
+normalization per construction and per arithmetic step; a threshold
+verdict almost never needs that.
+
+:class:`LazyProb` is the classical *floating-point filter* of exact
+geometric computation (LEDA / CGAL adaptive predicates), specialised to
+the engine's integer-weight probability kernel.  A value carries three
+tiers of representation:
+
+1. a **float approximation** ``approx`` plus a conservative error bound
+   ``err``, maintained through arithmetic by forward error analysis —
+   the true value provably lies in ``[approx - err, approx + err]``;
+2. an **unnormalized integer pair** ``num/den`` (``den > 0``) when the
+   value came from the kernel or from pair arithmetic — exact, but
+   never gcd-reduced, so producing and combining pairs costs plain
+   integer multiplications instead of ``Fraction`` normalizations;
+3. a **normalized** :class:`~fractions.Fraction`, materialized only on
+   demand (:meth:`exact`) — bit-identical to what the all-exact code
+   path computes, because a reduced rational is unique.
+
+Comparisons resolve in tier 1 whenever the two intervals are disjoint
+by a safe margin; otherwise they *escalate* — tier 2 integer
+cross-multiplication when both sides carry pairs, tier 3 ``Fraction``
+arithmetic as the last resort.  Escalations are counted
+(:func:`numeric_stats`) so benchmarks and tests can prove the fallback
+actually fires on engineered boundary inputs.
+
+The contract that makes the fast path safe to thread everywhere: **a
+comparison's verdict is always identical to exact arithmetic's**, and
+:meth:`exact` always returns the identical ``Fraction``.  The tiers
+change how an answer is computed, never the answer.
+
+See ``docs/numerics.md`` for the error-bound discipline and the
+``numeric=`` knob that routes engine queries through this type.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Optional, Tuple, Union
+
+from .numeric import as_fraction
+
+__all__ = [
+    "LazyProb",
+    "NumericStats",
+    "NUMERIC_MODES",
+    "check_numeric_mode",
+    "exact_value",
+    "approx_value",
+    "numeric_stats",
+    "reset_numeric_stats",
+    "escalation_count",
+    "count_comparisons",
+    "REL_EPS",
+    "ABS_EPS",
+]
+
+# One float operation introduces at most half an ulp of relative error;
+# every bound below budgets a full ulp (2^-52) per rounded step and a
+# tiny absolute cushion for the subnormal range, where relative bounds
+# do not hold.  Bounds are *conservative*: over-estimating err costs at
+# worst a spurious escalation, never a wrong verdict.  REL_EPS/ABS_EPS
+# are the public names: batched kernels that inline the filter (e.g.
+# ``beliefs._met_mask``) must share these constants, never restate
+# them.
+REL_EPS = 2.0 ** -52
+ABS_EPS = 1e-300
+_REL = REL_EPS
+_ABS = ABS_EPS
+
+NUMERIC_MODES = ("exact", "float", "auto")
+
+
+def check_numeric_mode(numeric: str) -> str:
+    """Validate a ``numeric=`` knob value and return it.
+
+    Raises:
+        ValueError: for anything other than ``"exact"`` (all-Fraction,
+            the default everywhere), ``"float"`` (raw floats, no
+            guarantees — interactive exploration only), or ``"auto"``
+            (:class:`LazyProb`: float-fast, exact-on-demand, verdicts
+            guaranteed identical to ``"exact"``).
+    """
+    if numeric not in NUMERIC_MODES:
+        raise ValueError(
+            f"numeric mode must be one of {NUMERIC_MODES}, got {numeric!r}"
+        )
+    return numeric
+
+
+@dataclass
+class NumericStats:
+    """Observability counters for the float filter.
+
+    Attributes:
+        comparisons: total LazyProb comparisons performed.
+        escalations: how many could not be certified in float and fell
+            back to exact arithmetic.
+    """
+
+    comparisons: int = 0
+    escalations: int = 0
+
+    def copy(self) -> "NumericStats":
+        return NumericStats(self.comparisons, self.escalations)
+
+
+_stats = NumericStats()
+
+
+def numeric_stats() -> NumericStats:
+    """A snapshot of the global comparison/escalation counters."""
+    return _stats.copy()
+
+
+def reset_numeric_stats() -> NumericStats:
+    """Zero the counters, returning the snapshot from before the reset."""
+    snapshot = _stats.copy()
+    _stats.comparisons = 0
+    _stats.escalations = 0
+    return snapshot
+
+
+def escalation_count() -> int:
+    """How many comparisons have escalated since the last reset."""
+    return _stats.escalations
+
+
+def count_comparisons(n: int) -> None:
+    """Record ``n`` filter comparisons performed by a batched kernel.
+
+    Hot loops (e.g. a threshold grid swept against cached posteriors)
+    inline the float filter on raw ``approx``/``err`` fields instead of
+    going through one ``LazyProb`` comparison call per decision; they
+    report their comparison count here in one step so the
+    observability counters stay truthful.  Escalations are always
+    counted individually (they go through the comparison operators).
+    """
+    _stats.comparisons += n
+
+
+class LazyProb:
+    """A probability-like value: float approximation now, exact on demand.
+
+    Construct via :meth:`from_ratio` (an exact integer pair, the form
+    every kernel-derived measure takes) or :meth:`from_exact` (a known
+    rational; floats there follow the library's shortest-decimal
+    ``as_fraction`` convention for probability literals).  Supports
+    ``+ - * /`` and all six comparisons against other ``LazyProb``
+    values, ``Fraction``, ``int``, and ``float`` — raw floats in
+    operators mean their *binary-exact* rational, exactly as
+    ``Fraction`` treats them, so verdicts match exact mode on every
+    comparand type.
+
+    Instances are immutable in value; forcing :meth:`exact` memoizes
+    the normalized ``Fraction`` on the instance, so later escalations
+    of the same value are cheap.
+    """
+
+    __slots__ = ("approx", "err", "_num", "_den", "_thunk", "_exact")
+
+    def __init__(
+        self,
+        approx: float,
+        err: float,
+        num: Optional[int] = None,
+        den: Optional[int] = None,
+        thunk: Optional[Callable[[], Fraction]] = None,
+        exact: Optional[Fraction] = None,
+    ) -> None:
+        self.approx = approx
+        self.err = err
+        self._num = num
+        self._den = den
+        self._thunk = thunk
+        self._exact = exact
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_ratio(cls, num: int, den: int) -> "LazyProb":
+        """The exact value ``num / den`` from an (unnormalized) int pair.
+
+        This is the kernel's native form: an event's weight total over
+        the common denominator, or a conditional's pair of totals.  No
+        gcd is taken; ``int.__truediv__`` gives the correctly rounded
+        float, so the approximation is within one ulp.
+
+        Raises:
+            ZeroDivisionError: when ``den`` is zero.
+        """
+        if den < 0:
+            num, den = -num, -den
+        approx = num / den
+        return cls(approx, abs(approx) * _REL + _ABS, num=num, den=den)
+
+    @classmethod
+    def from_exact(cls, value: Union[int, Fraction, str, float]) -> "LazyProb":
+        """Wrap a known exact rational (coerced by ``as_fraction`` rules)."""
+        if isinstance(value, LazyProb):
+            return value
+        frac = as_fraction(value)
+        approx = float(frac)
+        return cls(
+            approx,
+            abs(approx) * _REL + _ABS,
+            num=frac.numerator,
+            den=frac.denominator,
+            exact=frac,
+        )
+
+    # ------------------------------------------------------------------
+    # Exact tier
+    # ------------------------------------------------------------------
+
+    def exact(self) -> Fraction:
+        """The exact value as a normalized ``Fraction`` (memoized).
+
+        Bit-identical to what the all-``Fraction`` code path computes
+        for the same quantity: reduced rationals are unique, and every
+        deferred computation below is value-equal to its eager twin.
+        """
+        if self._exact is None:
+            if self._num is not None:
+                self._exact = Fraction(self._num, self._den)
+            else:
+                assert self._thunk is not None
+                self._exact = self._thunk()
+                self._thunk = None
+        return self._exact
+
+    def _pair(self) -> Optional[Tuple[int, int]]:
+        """The exact unnormalized ``(num, den)`` pair, if one is held."""
+        if self._num is not None:
+            return (self._num, self._den)  # type: ignore[return-value]
+        if self._exact is not None:
+            return (self._exact.numerator, self._exact.denominator)
+        return None
+
+    @property
+    def escalated(self) -> bool:
+        """Whether the normalized exact value has been materialized."""
+        return self._exact is not None
+
+    # ------------------------------------------------------------------
+    # Comparisons: float filter, then integer cross-multiplication,
+    # then Fraction arithmetic.
+    # ------------------------------------------------------------------
+
+    def _cmp(self, other: object) -> Optional[float]:
+        """Sign of ``self - other`` (-1/0/+1), ``nan`` for unordered
+        (float nan comparands), or ``None`` for types we do not handle
+        (rich comparisons then return NotImplemented).
+
+        Scalar comparands (``Fraction``/``int``/``float``) take a
+        no-allocation path: their float view and, on escalation, their
+        numerator/denominator are read directly — hot threshold loops
+        compare thousands of times against the same bound, and wrapping
+        it in a ``LazyProb`` per comparison would dominate the filter's
+        own cost.
+
+        A raw ``float`` comparand means its *binary-exact* rational
+        (``Fraction(x)`` semantics) — exactly how ``Fraction`` itself
+        compares against floats, so auto-mode verdicts match exact
+        mode's on float comparands too.  To compare against a decimal
+        probability literal, pass a string/Fraction or wrap it with
+        :meth:`from_exact` (which applies the library's
+        shortest-decimal ``as_fraction`` convention).
+        """
+        if isinstance(other, LazyProb):
+            _stats.comparisons += 1
+            diff = self.approx - other.approx
+            # The 4x inflation absorbs the rounding of err sums and of
+            # the subtraction itself; see docs/numerics.md.
+            gap = 4.0 * (self.err + other.err) + _ABS
+            if diff > gap:
+                return 1
+            if diff < -gap:
+                return -1
+            # Uncertainty window: escalate to exact arithmetic.
+            _stats.escalations += 1
+            lp = self._pair()
+            rp = other._pair()
+            if lp is not None and rp is not None:
+                # dens are positive by construction, so the verdict is
+                # the sign of the integer cross-difference — no
+                # normalization.
+                lhs = lp[0] * rp[1]
+                rhs = rp[0] * lp[1]
+                return (lhs > rhs) - (lhs < rhs)
+            left = self.exact()
+            right = other.exact()
+            return (left > right) - (left < right)
+        if isinstance(other, Fraction):
+            on: int = other.numerator
+            od: int = other.denominator
+        elif isinstance(other, int):
+            # bool included: Fraction(1) == True in exact mode, so the
+            # parity contract demands the same verdict here.
+            on, od = int(other), 1
+        elif isinstance(other, float):
+            if not math.isfinite(other):
+                # Match Fraction's float semantics: every rational is
+                # ordered against ±inf by sign, nothing is ordered
+                # against nan.  A nan "sign" makes every rich
+                # comparison derived from it False except !=.
+                _stats.comparisons += 1
+                if math.isnan(other):
+                    return math.nan
+                return -1 if other > 0 else 1
+            frac = Fraction(other)  # binary-exact, as Fraction compares
+            on, od = frac.numerator, frac.denominator
+        else:
+            return None
+        _stats.comparisons += 1
+        oa = on / od
+        diff = self.approx - oa
+        gap = 4.0 * (self.err + abs(oa) * _REL) + _ABS
+        if diff > gap:
+            return 1
+        if diff < -gap:
+            return -1
+        _stats.escalations += 1
+        lp = self._pair()
+        if lp is not None:
+            lhs = lp[0] * od
+            rhs = on * lp[1]
+            return (lhs > rhs) - (lhs < rhs)
+        left = self.exact()
+        right = Fraction(on, od)
+        return (left > right) - (left < right)
+
+    def __lt__(self, other: object) -> bool:
+        sign = self._cmp(other)
+        if sign is None:
+            return NotImplemented
+        return sign < 0
+
+    def __le__(self, other: object) -> bool:
+        sign = self._cmp(other)
+        if sign is None:
+            return NotImplemented
+        return sign <= 0
+
+    def __gt__(self, other: object) -> bool:
+        sign = self._cmp(other)
+        if sign is None:
+            return NotImplemented
+        return sign > 0
+
+    def __ge__(self, other: object) -> bool:
+        sign = self._cmp(other)
+        if sign is None:
+            return NotImplemented
+        return sign >= 0
+
+    def __eq__(self, other: object) -> bool:
+        sign = self._cmp(other)
+        if sign is None:
+            return NotImplemented
+        return sign == 0
+
+    def __ne__(self, other: object) -> bool:
+        sign = self._cmp(other)
+        if sign is None:
+            return NotImplemented
+        return sign != 0
+
+    def __hash__(self) -> int:
+        # Hash/eq consistency with Fraction requires the exact value.
+        return hash(self.exact())
+
+    def __bool__(self) -> bool:
+        return self._cmp(0) != 0
+
+    # ------------------------------------------------------------------
+    # Arithmetic: pair-backed operands keep the exact unnormalized pair
+    # via plain integer arithmetic, while the float tier propagates the
+    # operand approximations and error bounds (err grows along chains —
+    # the pair is always there when a comparison needs the true value);
+    # pairless operands propagate the bounds and defer the exact
+    # computation in a thunk.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _coerce(other: object) -> Optional["LazyProb"]:
+        if isinstance(other, LazyProb):
+            return other
+        if isinstance(other, int):
+            # Small ints are exactly representable: err 0.  (A scalar
+            # too large for a float cannot arise from probabilities.)
+            # bool included, as Fraction arithmetic accepts it.
+            return LazyProb(float(other), 0.0, num=int(other), den=1)
+        if isinstance(other, Fraction):
+            num = other.numerator
+            den = other.denominator
+            approx = num / den
+            return LazyProb(
+                approx, abs(approx) * _REL + _ABS, num=num, den=den, exact=other
+            )
+        if isinstance(other, float) and math.isfinite(other):
+            # Binary-exact, matching the comparisons (exact mode
+            # accepts mixed float arithmetic, so auto mode must too —
+            # and where Fraction op float degrades to float, staying
+            # exact over the float's true value loses nothing).
+            frac = Fraction(other)
+            approx = float(frac)
+            return LazyProb(
+                approx,
+                abs(approx) * _REL + _ABS,
+                num=frac.numerator,
+                den=frac.denominator,
+                exact=frac,
+            )
+        return None
+
+    def _add_sub(self, other: object, sign: int, swap: bool) -> "LazyProb":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        a, b = (rhs, self) if swap else (self, rhs)
+        approx = a.approx + sign * b.approx
+        err = a.err + b.err + abs(approx) * _REL + _ABS
+        lp = a._pair()
+        rp = b._pair()
+        if lp is not None and rp is not None:
+            # Exact unnormalized pair via integer arithmetic; the float
+            # tier propagates operand approximations (no fresh big-int
+            # division — the pair is there if a comparison ever needs
+            # the true value).  Shared denominators stay shared: the
+            # kernel hands out measures over one common denominator,
+            # and accumulation chains (weighted-belief sums) would
+            # otherwise grow the unnormalized denominator
+            # geometrically.
+            if lp[1] == rp[1]:
+                return LazyProb(approx, err, num=lp[0] + sign * rp[0], den=lp[1])
+            num = lp[0] * rp[1] + sign * rp[0] * lp[1]
+            den = lp[1] * rp[1]
+            return LazyProb(approx, err, num=num, den=den)
+        if sign > 0:
+            thunk = lambda: a.exact() + b.exact()
+        else:
+            thunk = lambda: a.exact() - b.exact()
+        return LazyProb(approx, err, thunk=thunk)
+
+    def __add__(self, other: object) -> "LazyProb":
+        return self._add_sub(other, 1, False)
+
+    def __radd__(self, other: object) -> "LazyProb":
+        return self._add_sub(other, 1, True)
+
+    def __sub__(self, other: object) -> "LazyProb":
+        return self._add_sub(other, -1, False)
+
+    def __rsub__(self, other: object) -> "LazyProb":
+        return self._add_sub(other, -1, True)
+
+    def _mul_div(self, other: object, divide: bool, swap: bool) -> "LazyProb":
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        a, b = (rhs, self) if swap else (self, rhs)
+        lp = a._pair()
+        rp = b._pair()
+        if divide:
+            # A zero float divisor does not mean a zero divisor: the
+            # interval may merely straddle zero (e.g. a deferred value
+            # around 1e-300).  NaN/inf approximations are handled by
+            # the uncertainty bound below — comparisons on such a
+            # result always escalate to exact arithmetic.
+            approx = a.approx / b.approx if b.approx != 0.0 else math.nan
+            lo = abs(b.approx) - b.err
+            if lo <= 0.0 or not math.isfinite(approx):
+                err = math.inf
+            else:
+                err = 2.0 * (a.err + abs(approx) * b.err) / lo + abs(
+                    approx
+                ) * _REL + _ABS
+            if lp is not None and rp is not None:
+                if rp[0] == 0:
+                    raise ZeroDivisionError("LazyProb division by exact zero")
+                num = lp[0] * rp[1]
+                den = lp[1] * rp[0]
+                if den < 0:
+                    num, den = -num, -den
+                return LazyProb(approx, err, num=num, den=den)
+            thunk = lambda: a.exact() / b.exact()
+        else:
+            approx = a.approx * b.approx
+            err = (
+                abs(a.approx) * b.err
+                + abs(b.approx) * a.err
+                + a.err * b.err
+                + abs(approx) * _REL
+                + _ABS
+            )
+            if lp is not None and rp is not None:
+                return LazyProb(
+                    approx, err, num=lp[0] * rp[0], den=lp[1] * rp[1]
+                )
+            thunk = lambda: a.exact() * b.exact()
+        return LazyProb(approx, err, thunk=thunk)
+
+    def __mul__(self, other: object) -> "LazyProb":
+        return self._mul_div(other, False, False)
+
+    def __rmul__(self, other: object) -> "LazyProb":
+        return self._mul_div(other, False, True)
+
+    def __truediv__(self, other: object) -> "LazyProb":
+        return self._mul_div(other, True, False)
+
+    def __rtruediv__(self, other: object) -> "LazyProb":
+        return self._mul_div(other, True, True)
+
+    def __neg__(self) -> "LazyProb":
+        pair = self._pair()
+        if pair is not None:
+            return LazyProb.from_ratio(-pair[0], pair[1])
+        return LazyProb(-self.approx, self.err, thunk=lambda: -self.exact())
+
+    def __abs__(self) -> "LazyProb":
+        if self.approx - self.err >= 0.0:
+            return self
+        return -self if self._cmp(0) < 0 else self
+
+    def __float__(self) -> float:
+        return self.approx
+
+    def __repr__(self) -> str:
+        if self._exact is not None:
+            return f"LazyProb({self._exact} ~{self.approx:.12g})"
+        return f"LazyProb(~{self.approx:.12g} ±{self.err:.3g})"
+
+
+def exact_value(value: object) -> object:
+    """Normalize a possibly-lazy numeric result to its exact form.
+
+    ``LazyProb`` becomes its exact ``Fraction`` (forcing it); anything
+    else passes through unchanged.  Use this to compare auto-mode
+    results against exact-mode results, or before serializing.
+    """
+    if isinstance(value, LazyProb):
+        return value.exact()
+    return value
+
+
+def approx_value(value: object) -> object:
+    """The float view of a numeric result: ``LazyProb`` -> ``approx``,
+    ``Fraction`` -> ``float``, everything else unchanged."""
+    if isinstance(value, LazyProb):
+        return value.approx
+    if isinstance(value, Fraction):
+        return float(value)
+    return value

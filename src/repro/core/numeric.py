@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from fractions import Fraction
-from typing import Optional, Union
+from typing import Optional, Tuple, Union
 
 __all__ = [
     "Probability",
@@ -33,6 +33,8 @@ __all__ = [
     "validate_probability",
     "exact_sqrt",
     "sqrt_fraction",
+    "sqrt_fraction_with_exactness",
+    "InexactSqrtError",
     "ZERO",
     "ONE",
 ]
@@ -126,16 +128,53 @@ def exact_sqrt(value: Fraction) -> Optional[Fraction]:
     return None
 
 
-def sqrt_fraction(value: Fraction) -> Fraction:
+class InexactSqrtError(ValueError):
+    """Raised by ``sqrt_fraction(..., exact_required=True)`` when the
+    input is not the square of a rational, so only a floating-point
+    approximation of the root exists."""
+
+
+def sqrt_fraction_with_exactness(value: Fraction) -> Tuple[Fraction, bool]:
+    """``(root, is_exact)``: a rational square root and whether it is exact.
+
+    When ``value`` is a perfect rational square the root is exact and
+    the flag is ``True``; otherwise the root is the shortest-decimal
+    rational of the floating-point square root and the flag is
+    ``False``.  Callers that feed the root into further *exact*
+    reasoning (e.g. a Corollary 7.2 threshold) must propagate the flag
+    so an approximated input cannot masquerade as an exact one.
+
+    Raises:
+        ValueError: for negative input.
+    """
+    root = exact_sqrt(value)
+    if root is not None:
+        return root, True
+    return Fraction(str(math.sqrt(value))), False
+
+
+def sqrt_fraction(value: Fraction, *, exact_required: bool = False) -> Fraction:
     """A rational square root of ``value``, exact when possible.
 
     Used for the PAK level ``1 - sqrt(1 - p)`` of Corollary 7.2: when
     ``1 - p`` is a perfect rational square (as in all of the paper's
     examples, e.g. ``p = 0.99`` gives ``sqrt(1/100) = 1/10``) the result
     is exact; otherwise it falls back to the shortest-decimal rational
-    of the floating-point square root.
+    of the floating-point square root.  That fallback is an
+    **approximation**: pass ``exact_required=True`` to forbid it, or
+    use :func:`sqrt_fraction_with_exactness` to learn which case
+    occurred.
+
+    Raises:
+        InexactSqrtError: when ``exact_required`` is set and ``value``
+            is not a perfect rational square.
+        ValueError: for negative input.
     """
-    root = exact_sqrt(value)
-    if root is not None:
-        return root
-    return Fraction(str(math.sqrt(value)))
+    root, is_exact = sqrt_fraction_with_exactness(value)
+    if exact_required and not is_exact:
+        raise InexactSqrtError(
+            f"sqrt({value}) is irrational; only a float-derived "
+            "approximation exists (call without exact_required=True to "
+            "accept it, or sqrt_fraction_with_exactness for the flag)"
+        )
+    return root

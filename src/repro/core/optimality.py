@@ -37,10 +37,9 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, FrozenSet, List, Tuple
 
+from .engine import SystemIndex
 from .expectation import expected_belief_decomposition
 from .facts import Fact
-from .measure import probability
-from .actions import action_state_partition
 from .numeric import Probability
 from .pps import PPS, Action, AgentId, LocalState
 
@@ -70,34 +69,47 @@ class FrontierPoint:
 
 
 def _cells(
-    pps: PPS, agent: AgentId, phi: Fact, action: Action
+    pps: PPS, agent: AgentId, phi: Fact, action: Action, numeric: str
 ) -> List[Tuple[LocalState, Probability, Probability]]:
     """(state, unconditional weight, belief) rows, belief-descending."""
-    partition = action_state_partition(pps, agent, action)
-    decomposition = expected_belief_decomposition(pps, agent, phi, action)
+    index = SystemIndex.of(pps)
+    # expected_belief_decomposition asserts properness; the engine's
+    # action-state cells are the partition's masks directly (what
+    # action_state_partition wraps in Events), so stay in mask space.
+    decomposition = expected_belief_decomposition(
+        pps, agent, phi, action, numeric=numeric
+    )
     rows = [
-        (local, probability(pps, partition[local]), decomposition[local].belief)
-        for local in partition
+        (
+            local,
+            index.probability(mask, numeric=numeric),
+            decomposition[local].belief,
+        )
+        for local, mask in index.state_cells(agent, action).items()
     ]
+    # In auto mode tied beliefs escalate to exact comparison during the
+    # sort, so the order (and hence every prefix) matches exact mode's.
     rows.sort(key=lambda row: (row[2], str(row[0])), reverse=True)
     return rows
 
 
 def achievable_frontier(
-    pps: PPS, agent: AgentId, phi: Fact, action: Action
+    pps: PPS, agent: AgentId, phi: Fact, action: Action, *, numeric: str = "exact"
 ) -> List[FrontierPoint]:
     """The value of every top-belief prefix of acting states.
 
     The first point acts only at the highest-belief state(s); the last
-    acts everywhere (the original protocol).  Values are exact.  States
-    with equal belief enter together (splitting them never changes the
-    ratio, so per-prefix granularity at distinct beliefs suffices).
+    acts everywhere (the original protocol).  Values are exact (as
+    int-pair LazyProbs with identical exact values in ``"auto"``
+    mode).  States with equal belief enter together (splitting them
+    never changes the ratio, so per-prefix granularity at distinct
+    beliefs suffices).
     """
-    rows = _cells(pps, agent, phi, action)
+    rows = _cells(pps, agent, phi, action, numeric)
     frontier: List[FrontierPoint] = []
     kept: List[LocalState] = []
-    mass = Fraction(0)
-    weighted_belief = Fraction(0)
+    mass = Fraction(0) if numeric == "exact" else 0
+    weighted_belief = Fraction(0) if numeric == "exact" else 0
     index = 0
     while index < len(rows):
         belief = rows[index][2]
@@ -105,8 +117,8 @@ def achievable_frontier(
         while index < len(rows) and rows[index][2] == belief:
             local, weight, _ = rows[index]
             kept.append(local)
-            mass += weight
-            weighted_belief += weight * belief
+            mass = mass + weight
+            weighted_belief = weighted_belief + weight * belief
             index += 1
         frontier.append(
             FrontierPoint(
@@ -119,14 +131,14 @@ def achievable_frontier(
 
 
 def optimal_acting_states(
-    pps: PPS, agent: AgentId, phi: Fact, action: Action
+    pps: PPS, agent: AgentId, phi: Fact, action: Action, *, numeric: str = "exact"
 ) -> FrontierPoint:
     """The subset of acting states maximizing ``mu(phi@alpha | alpha)``.
 
     Ties are broken toward *larger* coverage (acting more often at no
     cost in value), which is what a protocol designer would pick.
     """
-    frontier = achievable_frontier(pps, agent, phi, action)
+    frontier = achievable_frontier(pps, agent, phi, action, numeric=numeric)
     best = frontier[0]
     for point in frontier[1:]:
         if point.value > best.value or (
@@ -137,14 +149,14 @@ def optimal_acting_states(
 
 
 def is_belief_optimal(
-    pps: PPS, agent: AgentId, phi: Fact, action: Action
+    pps: PPS, agent: AgentId, phi: Fact, action: Action, *, numeric: str = "exact"
 ) -> bool:
     """Whether no refrain-refinement improves the achieved probability.
 
     Equivalent to: every acting state's belief equals the overall
     achieved probability, or there is a single acting state.
     """
-    frontier = achievable_frontier(pps, agent, phi, action)
+    frontier = achievable_frontier(pps, agent, phi, action, numeric=numeric)
     full = frontier[-1]
-    best = optimal_acting_states(pps, agent, phi, action)
+    best = optimal_acting_states(pps, agent, phi, action, numeric=numeric)
     return best.value == full.value

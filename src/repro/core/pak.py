@@ -18,7 +18,7 @@ This is the primary high-level entry point of the library — see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from .actions import is_deterministic_action, is_proper
@@ -36,7 +36,7 @@ from .theorems import (
     check_lemma_f_1,
     check_theorem_4_2,
     check_theorem_6_2,
-    pak_level,
+    pak_level_with_exactness,
 )
 
 __all__ = ["PAKReport", "analyze"]
@@ -62,6 +62,11 @@ class PAKReport:
     pak_level_met_measure: Probability
     belief_profile: Dict[LocalState, BeliefCell]
     theorem_checks: Dict[str, TheoremCheck] = field(default_factory=dict)
+    # Whether 1 - threshold is a perfect rational square, making the
+    # PAK level (and the Corollary 7.2 epsilon derived from it) exact.
+    # When False, pak_level is a float-derived approximation and every
+    # quantity computed *at* that level says so explicitly.
+    pak_level_exact: bool = True
 
     @property
     def satisfied(self) -> bool:
@@ -74,7 +79,30 @@ class PAKReport:
         return all(check.verified for check in self.theorem_checks.values())
 
     def summary(self) -> str:
-        """A multi-line human-readable report."""
+        """A multi-line human-readable report.
+
+        Auto-mode reports hold :class:`~repro.core.lazyprob.LazyProb`
+        quantities; the summary forces their exact form (presentation
+        is off the hot path, and the printed rationals must match the
+        exact-mode report's).
+        """
+        from .lazyprob import exact_value
+
+        self = replace(
+            self,
+            achieved=exact_value(self.achieved),
+            expected_belief=exact_value(self.expected_belief),
+            threshold_met_measure=exact_value(self.threshold_met_measure),
+            pak_level_met_measure=exact_value(self.pak_level_met_measure),
+            belief_profile={
+                local: BeliefCell(
+                    local=cell.local,
+                    weight=exact_value(cell.weight),
+                    belief=exact_value(cell.belief),
+                )
+                for local, cell in self.belief_profile.items()
+            },
+        )
         lines = [
             f"PAK analysis of {self.system_name}",
             f"  agent={self.agent} action={self.action} "
@@ -93,9 +121,11 @@ class PAKReport:
             f"  mu(belief >= p | a):     {self.threshold_met_measure} "
             f"(~{float(self.threshold_met_measure):.6g})",
             f"  PAK level p'=1-sqrt(1-p): {self.pak_level} "
-            f"(~{float(self.pak_level):.6g})",
+            f"(~{float(self.pak_level):.6g})"
+            + ("" if self.pak_level_exact else "  [APPROXIMATE: 1-p not a rational square]"),
             f"  mu(belief >= p' | a):    {self.pak_level_met_measure} "
-            f"(~{float(self.pak_level_met_measure):.6g})",
+            f"(~{float(self.pak_level_met_measure):.6g})"
+            + ("" if self.pak_level_exact else "  [at the approximated level]"),
             "  acting belief profile:",
         ]
         for local, cell in sorted(
@@ -118,6 +148,8 @@ def analyze(
     action: Action,
     phi: Fact,
     threshold: ProbabilityLike,
+    *,
+    numeric: str = "exact",
 ) -> PAKReport:
     """Run the complete PAK analysis for one probabilistic constraint.
 
@@ -127,32 +159,50 @@ def analyze(
         action: the (proper) action of interest.
         phi: the condition that should hold when acting.
         threshold: the constraint threshold ``p``.
+        numeric: ``"exact"`` (default), ``"auto"`` (two-tier kernel —
+            all verdicts identical, reported quantities are
+            :class:`~repro.core.lazyprob.LazyProb` values whose exact
+            form matches exact mode's), or ``"float"``.
 
     Raises:
         ImproperActionError: when the action is not proper.
     """
     p = as_fraction(threshold)
     proper = is_proper(pps, agent, action)
-    independent = is_local_state_independent(pps, phi, agent, action)
+    independent = is_local_state_independent(pps, phi, agent, action, numeric=numeric)
     _, reasons = lemma_4_3_applies(pps, phi, agent, action)
-    achieved = achieved_probability(pps, agent, phi, action)
-    expected = expected_belief(pps, agent, phi, action)
-    met_at_p = threshold_met_measure(pps, agent, phi, action, p)
-    level = pak_level(p)
-    met_at_level = threshold_met_measure(pps, agent, phi, action, level)
-    profile = expected_belief_decomposition(pps, agent, phi, action)
+    achieved = achieved_probability(pps, agent, phi, action, numeric=numeric)
+    expected = expected_belief(pps, agent, phi, action, numeric=numeric)
+    met_at_p = threshold_met_measure(pps, agent, phi, action, p, numeric=numeric)
+    # The PAK level is exact only when 1 - p is a perfect rational
+    # square; otherwise it (and everything computed at it) is an
+    # approximation, and the report says so rather than passing the
+    # Corollary 7.2 check off as the exact statement for p.
+    level, level_exact = pak_level_with_exactness(p)
+    met_at_level = threshold_met_measure(
+        pps, agent, phi, action, level, numeric=numeric
+    )
+    profile = expected_belief_decomposition(pps, agent, phi, action, numeric=numeric)
 
     checks: Dict[str, TheoremCheck] = {
-        "theorem-4.2": check_theorem_4_2(pps, agent, action, phi, p),
-        "lemma-5.1": check_lemma_5_1(pps, agent, action, phi, p),
-        "theorem-6.2": check_theorem_6_2(pps, agent, action, phi),
-        "lemma-F.1": check_lemma_f_1(pps, agent, action, phi),
+        "theorem-4.2": check_theorem_4_2(pps, agent, action, phi, p, numeric=numeric),
+        "lemma-5.1": check_lemma_5_1(pps, agent, action, phi, p, numeric=numeric),
+        "theorem-6.2": check_theorem_6_2(pps, agent, action, phi, numeric=numeric),
+        "lemma-F.1": check_lemma_f_1(pps, agent, action, phi, numeric=numeric),
     }
     # Corollary 7.2 needs epsilon = sqrt(1 - p); use the PAK level's
     # complement, which is exact whenever the level is.
     epsilon = 1 - level
     if 0 <= epsilon <= 1:
-        checks["corollary-7.2"] = check_corollary_7_2(pps, agent, action, phi, epsilon)
+        check = check_corollary_7_2(pps, agent, action, phi, epsilon, numeric=numeric)
+        if not level_exact:
+            # The check itself is exact *given this epsilon*, but the
+            # epsilon is a rounded stand-in for the irrational
+            # sqrt(1 - p): record that on the check so a "verified"
+            # cannot be read as the exact corollary for p.
+            check.premises["epsilon-exactly-sqrt(1-p)"] = False
+            check.details["epsilon-approximate"] = True
+        checks["corollary-7.2"] = check
 
     return PAKReport(
         system_name=pps.name,
@@ -171,4 +221,5 @@ def analyze(
         pak_level_met_measure=met_at_level,
         belief_profile=profile,
         theorem_checks=checks,
+        pak_level_exact=level_exact,
     )

@@ -35,7 +35,14 @@ from .engine import SystemIndex
 from .expectation import expected_belief
 from .facts import Fact
 from .independence import is_local_state_independent, is_past_based
-from .numeric import ONE, Probability, ProbabilityLike, as_fraction, sqrt_fraction
+from .numeric import (
+    ONE,
+    Probability,
+    ProbabilityLike,
+    as_fraction,
+    sqrt_fraction,
+    sqrt_fraction_with_exactness,
+)
 from .pps import PPS, Action, AgentId
 
 __all__ = [
@@ -48,6 +55,7 @@ __all__ = [
     "check_theorem_7_1",
     "check_corollary_7_2",
     "pak_level",
+    "pak_level_with_exactness",
 ]
 
 
@@ -59,8 +67,13 @@ class TheoremCheck:
         theorem: a short identifier such as ``"Theorem 6.2"``.
         premises: each named premise and whether it holds.
         conclusion: whether the theorem's conclusion holds.
-        details: intermediate quantities (exact rationals) useful as
-            evidence or for debugging.
+        details: intermediate quantities useful as evidence or for
+            debugging — exact rationals by default; with
+            ``numeric="auto"`` they may be
+            :class:`~repro.core.lazyprob.LazyProb` values whose
+            :meth:`~repro.core.lazyprob.LazyProb.exact` form equals the
+            exact-mode rational (normalize with
+            :func:`~repro.core.lazyprob.exact_value`).
     """
 
     theorem: str
@@ -90,15 +103,17 @@ class TheoremCheck:
 
 
 def _standard_premises(
-    pps: PPS, agent: AgentId, action: Action, phi: Fact
+    pps: PPS, agent: AgentId, action: Action, phi: Fact, numeric: str = "exact"
 ) -> Dict[str, bool]:
     proper = is_proper(pps, agent, action)
-    independent = proper and is_local_state_independent(pps, phi, agent, action)
+    independent = proper and is_local_state_independent(
+        pps, phi, agent, action, numeric=numeric
+    )
     return {"proper-action": proper, "local-state-independent": independent}
 
 
 def _acting_beliefs(
-    pps: PPS, agent: AgentId, phi: Fact, action: Action
+    pps: PPS, agent: AgentId, phi: Fact, action: Action, numeric: str = "exact"
 ) -> Dict[Any, Probability]:
     """The belief in ``phi`` at each local state in ``L_i[alpha]``.
 
@@ -108,7 +123,7 @@ def _acting_beliefs(
     """
     index = SystemIndex.of(pps)
     return {
-        local: index.belief(agent, phi, local)
+        local: index.belief(agent, phi, local, numeric=numeric)
         for local in index.state_cells(agent, action)
     }
 
@@ -119,6 +134,8 @@ def check_theorem_4_2(
     action: Action,
     phi: Fact,
     threshold: ProbabilityLike,
+    *,
+    numeric: str = "exact",
 ) -> TheoremCheck:
     """Sufficiency of meeting the threshold (Theorem 4.2).
 
@@ -126,18 +143,18 @@ def check_theorem_4_2(
     ``alpha``, then ``mu(phi@alpha | alpha) >= p``.
     """
     p = as_fraction(threshold)
-    premises = _standard_premises(pps, agent, action, phi)
+    premises = _standard_premises(pps, agent, action, phi, numeric)
     details: Dict[str, Any] = {"threshold": p}
     if premises["proper-action"]:
         # The acting belief is constant on each action-state cell, so
         # the per-performance-point scan collapses to one cached
         # posterior per state in L_i[alpha].
-        acting_beliefs = _acting_beliefs(pps, agent, phi, action)
+        acting_beliefs = _acting_beliefs(pps, agent, phi, action, numeric)
         premises["belief-meets-threshold-always"] = all(
             b >= p for b in acting_beliefs.values()
         )
         details["min-acting-belief"] = min(acting_beliefs.values())
-        achieved = achieved_probability(pps, agent, phi, action)
+        achieved = achieved_probability(pps, agent, phi, action, numeric=numeric)
         details["achieved"] = achieved
         conclusion = achieved >= p
     else:
@@ -147,7 +164,12 @@ def check_theorem_4_2(
 
 
 def check_lemma_4_3(
-    pps: PPS, agent: AgentId, action: Action, phi: Fact
+    pps: PPS,
+    agent: AgentId,
+    action: Action,
+    phi: Fact,
+    *,
+    numeric: str = "exact",
 ) -> TheoremCheck:
     """Sufficient conditions for independence (Lemma 4.3)."""
     from .actions import is_deterministic_action
@@ -159,7 +181,9 @@ def check_lemma_4_3(
         "proper-action": proper,
         "deterministic-or-past-based": deterministic or past_based,
     }
-    conclusion = proper and is_local_state_independent(pps, phi, agent, action)
+    conclusion = proper and is_local_state_independent(
+        pps, phi, agent, action, numeric=numeric
+    )
     return TheoremCheck(
         "Lemma 4.3",
         premises,
@@ -174,20 +198,22 @@ def check_lemma_5_1(
     action: Action,
     phi: Fact,
     threshold: ProbabilityLike,
+    *,
+    numeric: str = "exact",
 ) -> TheoremCheck:
     """Necessity of meeting the threshold at least once (Lemma 5.1)."""
     p = as_fraction(threshold)
-    premises = _standard_premises(pps, agent, action, phi)
+    premises = _standard_premises(pps, agent, action, phi, numeric)
     details: Dict[str, Any] = {"threshold": p}
     conclusion = False
     if premises["proper-action"]:
-        achieved = achieved_probability(pps, agent, phi, action)
+        achieved = achieved_probability(pps, agent, phi, action, numeric=numeric)
         premises["constraint-satisfied"] = achieved >= p
         details["achieved"] = achieved
         # Runs qualify exactly when their acting cell's belief meets
         # the bound; the witness is the first such run in run order.
         index = SystemIndex.of(pps)
-        beliefs = _acting_beliefs(pps, agent, phi, action)
+        beliefs = _acting_beliefs(pps, agent, phi, action, numeric)
         met_mask = 0
         for local, cell in index.state_cells(agent, action).items():
             if beliefs[local] >= p:
@@ -205,19 +231,28 @@ def check_lemma_5_1(
 
 
 def check_theorem_6_2(
-    pps: PPS, agent: AgentId, action: Action, phi: Fact
+    pps: PPS,
+    agent: AgentId,
+    action: Action,
+    phi: Fact,
+    *,
+    numeric: str = "exact",
 ) -> TheoremCheck:
     """The expectation identity (Theorem 6.2, the paper's main result).
 
     ``mu(phi@alpha | alpha) == E[beta_i(phi)@alpha | alpha]`` — checked
-    as an *exact* equality of rationals.
+    as an *exact* equality of rationals.  (In ``"auto"`` mode the two
+    sides are genuinely equal whenever the theorem applies, so the
+    float filter cannot separate them and the equality escalates —
+    equality assertions are the worst case for the fast path, threshold
+    inequalities its best.)
     """
-    premises = _standard_premises(pps, agent, action, phi)
+    premises = _standard_premises(pps, agent, action, phi, numeric)
     details: Dict[str, Any] = {}
     conclusion = False
     if premises["proper-action"]:
-        achieved = achieved_probability(pps, agent, phi, action)
-        expected = expected_belief(pps, agent, phi, action)
+        achieved = achieved_probability(pps, agent, phi, action, numeric=numeric)
+        expected = expected_belief(pps, agent, phi, action, numeric=numeric)
         details["achieved"] = achieved
         details["expected-belief"] = expected
         conclusion = achieved == expected
@@ -225,7 +260,12 @@ def check_theorem_6_2(
 
 
 def check_lemma_f_1(
-    pps: PPS, agent: AgentId, action: Action, phi: Fact
+    pps: PPS,
+    agent: AgentId,
+    action: Action,
+    phi: Fact,
+    *,
+    numeric: str = "exact",
 ) -> TheoremCheck:
     """The certainty limit (Lemma F.1): threshold 1 forces belief 1.
 
@@ -233,14 +273,16 @@ def check_lemma_f_1(
     with probability 1 — the classical Knowledge-of-Preconditions
     principle recovered as the ``p = 1`` case.
     """
-    premises = _standard_premises(pps, agent, action, phi)
+    premises = _standard_premises(pps, agent, action, phi, numeric)
     details: Dict[str, Any] = {}
     conclusion = False
     if premises["proper-action"]:
-        achieved = achieved_probability(pps, agent, phi, action)
+        achieved = achieved_probability(pps, agent, phi, action, numeric=numeric)
         premises["certain-constraint"] = achieved == 1
         details["achieved"] = achieved
-        measure_one = threshold_met_measure(pps, agent, phi, action, ONE)
+        measure_one = threshold_met_measure(
+            pps, agent, phi, action, ONE, numeric=numeric
+        )
         details["measure-belief-one"] = measure_one
         conclusion = measure_one == 1
     else:
@@ -255,6 +297,8 @@ def check_theorem_7_1(
     phi: Fact,
     delta: ProbabilityLike,
     epsilon: ProbabilityLike,
+    *,
+    numeric: str = "exact",
 ) -> TheoremCheck:
     """The probabilistic-approximate-knowledge bound (Theorem 7.1).
 
@@ -266,14 +310,14 @@ def check_theorem_7_1(
     e = as_fraction(epsilon)
     if not (0 < d < 1 and 0 < e < 1):
         raise ValueError("Theorem 7.1 requires delta, epsilon in (0, 1)")
-    premises = _standard_premises(pps, agent, action, phi)
+    premises = _standard_premises(pps, agent, action, phi, numeric)
     details: Dict[str, Any] = {"delta": d, "epsilon": e}
     conclusion = False
     if premises["proper-action"]:
-        achieved = achieved_probability(pps, agent, phi, action)
+        achieved = achieved_probability(pps, agent, phi, action, numeric=numeric)
         premises["high-probability-constraint"] = achieved >= 1 - d * e
         details["achieved"] = achieved
-        met = threshold_met_measure(pps, agent, phi, action, 1 - e)
+        met = threshold_met_measure(pps, agent, phi, action, 1 - e, numeric=numeric)
         details["strong-belief-measure"] = met
         conclusion = met >= 1 - d
     else:
@@ -287,6 +331,8 @@ def check_corollary_7_2(
     action: Action,
     phi: Fact,
     epsilon: ProbabilityLike,
+    *,
+    numeric: str = "exact",
 ) -> TheoremCheck:
     """PAK-knowledge (Corollary 7.2): ``delta = epsilon`` in Theorem 7.1.
 
@@ -298,14 +344,14 @@ def check_corollary_7_2(
     e = as_fraction(epsilon)
     if e < 0:
         raise ValueError("Corollary 7.2 requires epsilon >= 0")
-    premises = _standard_premises(pps, agent, action, phi)
+    premises = _standard_premises(pps, agent, action, phi, numeric)
     details: Dict[str, Any] = {"epsilon": e}
     conclusion = False
     if premises["proper-action"]:
-        achieved = achieved_probability(pps, agent, phi, action)
+        achieved = achieved_probability(pps, agent, phi, action, numeric=numeric)
         premises["high-probability-constraint"] = achieved >= 1 - e * e
         details["achieved"] = achieved
-        met = threshold_met_measure(pps, agent, phi, action, 1 - e)
+        met = threshold_met_measure(pps, agent, phi, action, 1 - e, numeric=numeric)
         details["strong-belief-measure"] = met
         conclusion = met >= 1 - e
     else:
@@ -313,15 +359,34 @@ def check_corollary_7_2(
     return TheoremCheck("Corollary 7.2", premises, conclusion, details)
 
 
-def pak_level(threshold: ProbabilityLike) -> Probability:
+def pak_level(
+    threshold: ProbabilityLike, *, exact_required: bool = False
+) -> Probability:
     """The PAK level ``p' = 1 - sqrt(1 - p)`` for a constraint threshold.
 
     Corollary 7.2 restated: a constraint with threshold ``p`` forces the
     condition to be believed to degree at least ``p'`` with probability
     at least ``p'``.  Exact whenever ``1 - p`` is a perfect rational
-    square (e.g. ``pak_level("0.99") == Fraction(9, 10)``).
+    square (e.g. ``pak_level("0.99") == Fraction(9, 10)``); otherwise
+    the level is a float-derived **approximation** — pass
+    ``exact_required=True`` to raise
+    :class:`~repro.core.numeric.InexactSqrtError` instead, or use
+    :func:`pak_level_with_exactness` when you need to know which case
+    occurred (as :func:`repro.core.pak.analyze` does before labelling a
+    Corollary 7.2 verdict).
     """
+    level, _ = pak_level_with_exactness(threshold, exact_required=exact_required)
+    return level
+
+
+def pak_level_with_exactness(
+    threshold: ProbabilityLike, *, exact_required: bool = False
+) -> Tuple[Probability, bool]:
+    """``(pak_level(p), is_exact)`` — the level plus its exactness flag."""
     p = as_fraction(threshold)
     if not (0 <= p <= 1):
         raise ValueError(f"threshold {p} outside [0, 1]")
-    return 1 - sqrt_fraction(1 - p)
+    if exact_required:
+        return 1 - sqrt_fraction(1 - p, exact_required=True), True
+    root, is_exact = sqrt_fraction_with_exactness(1 - p)
+    return 1 - root, is_exact

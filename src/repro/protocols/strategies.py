@@ -44,7 +44,50 @@ from ..core.facts import Fact
 from ..core.numeric import ProbabilityLike, as_fraction
 from ..core.pps import PPS, Action, ActionOverlay, AgentId, DerivedPPS, Node
 
-__all__ = ["copy_tree", "relabel_actions", "refrain_below_threshold"]
+__all__ = [
+    "copy_tree",
+    "relabel_actions",
+    "refrain_candidates",
+    "refrain_below_threshold",
+]
+
+
+def refrain_candidates(
+    pps: PPS, agent: AgentId, action: Action
+) -> List[Tuple[Node, Dict[AgentId, Action], object]]:
+    """The edges a refrain transform can touch, with their acting states.
+
+    One breadth-first walk (the transforms' canonical edge order)
+    returning ``(node, joint action, acting local state)`` for every
+    edge on which ``agent`` performs ``action``.  This is the single
+    source of truth for the refrain transform's candidate semantics —
+    :func:`refrain_below_threshold`'s derived path and the dense-sweep
+    fast path in :func:`repro.analysis.sweep.refrain_threshold_sweep`
+    both build their overrides from it.
+
+    Raises:
+        ValueError: when a matching performance is recorded on an edge
+            leaving the root — there is no acting local state there, so
+            a belief guard would be undefined.
+    """
+    idx = pps.agent_index(agent)
+    candidates: List[Tuple[Node, Dict[AgentId, Action], object]] = []
+    queue = deque([pps.root])
+    while queue:
+        node = queue.popleft()
+        via = pps.edge_action(node)
+        if via is not None and via.get(agent) == action:
+            parent = node.parent
+            if parent is None or parent.state is None:
+                raise ValueError(
+                    f"refrain transform: edge into node {node.uid} "
+                    f"(depth {node.depth}) records {agent!r} performing "
+                    f"{action!r} but leaves the root, so there is no acting "
+                    "local state to evaluate the belief at"
+                )
+            candidates.append((node, dict(via), parent.state.local(idx)))
+        queue.extend(node.children)
+    return candidates
 
 
 def copy_tree(root: Node) -> Node:
@@ -155,6 +198,7 @@ def refrain_below_threshold(
     replacement: Action = "skip",
     name: Optional[str] = None,
     materialize: bool = False,
+    numeric: str = "exact",
 ) -> PPS:
     """Suppress performances of ``action`` at low-belief local states.
 
@@ -173,38 +217,50 @@ def refrain_below_threshold(
     the original protocol; since beliefs are a function of the local
     state, the modified behaviour is implementable.
 
+    ``numeric="auto"`` decides the per-state belief guards through the
+    two-tier kernel (:mod:`repro.core.lazyprob`): guards resolve in
+    float and escalate to exact arithmetic only when a belief lies
+    within round-off of the threshold, so the relabelled edge set —
+    and hence the returned system — is *identical* to exact mode's.
+    ``numeric="float"`` trusts round-off (exploration only).
+
     Raises:
         ValueError: when a matching performance is recorded on an edge
             leaving the root — there is no acting local state there, so
             the belief guard is undefined.
     """
     bound = as_fraction(threshold)
-    idx = pps.agent_index(agent)
+    if numeric == "auto":
+        from ..core.lazyprob import LazyProb
+
+        bound = LazyProb.from_exact(bound)
+    elif numeric == "float":
+        bound = float(bound)
     belief_cache: Dict[object, bool] = {}
 
     def low_belief(local: object) -> bool:
         if local not in belief_cache:
-            belief_cache[local] = belief(pps, agent, phi, local) < bound
+            belief_cache[local] = (
+                belief(pps, agent, phi, local, numeric=numeric) < bound
+            )
         return belief_cache[local]
 
-    def relabel(node: Node, via: Dict[AgentId, Action]) -> Dict[AgentId, Action]:
-        if via.get(agent) != action:
-            return via
-        parent = node.parent
-        if parent is None or parent.state is None:
-            raise ValueError(
-                f"refrain_below_threshold: edge into node {node.uid} "
-                f"(depth {node.depth}) records {agent!r} performing "
-                f"{action!r} but leaves the root, so there is no acting "
-                "local state to evaluate the belief at"
-            )
-        if low_belief(parent.state.local(idx)):
-            via[agent] = replacement
-        return via
-
+    result_name = name or f"{pps.name}-refrain[{action}]"
+    overrides = [
+        (node, {**via, agent: replacement})
+        for node, via, local in refrain_candidates(pps, agent, action)
+        if replacement != action and low_belief(local)
+    ]
+    derived = DerivedPPS(pps, ActionOverlay(overrides), name=result_name)
+    if not materialize:
+        return derived
+    # The materialized output is the derived system baked into a
+    # standalone deep copy (relabel_actions' materialize branch resolves
+    # the overlay into the copied nodes), so both escape-hatch and
+    # default path share refrain_candidates' guard semantics — and the
+    # copy numbering matches the historic deep-copy-then-relabel
+    # implementation bit for bit (asserted against a legacy oracle in
+    # tests and bench_transform_sweep).
     return relabel_actions(
-        pps,
-        relabel,
-        name=name or f"{pps.name}-refrain[{action}]",
-        materialize=materialize,
+        derived, lambda node, via: via, name=result_name, materialize=True
     )

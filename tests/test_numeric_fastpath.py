@@ -1,0 +1,468 @@
+"""The two-tier numeric kernel: LazyProb semantics and auto-mode parity.
+
+Three layers of evidence that the float fast path can never change an
+answer:
+
+* unit tests of :class:`~repro.core.lazyprob.LazyProb` — comparison
+  verdicts against exact rationals (randomized), pair/thunk exact
+  values, arithmetic identities, escalation accounting;
+* adversarial boundary cases — values within 1e-17 (and far beyond
+  float resolution, 1e-20) of a threshold, where the float tier alone
+  would answer wrongly: the filter must provably escalate and the
+  escalated verdict must match exact arithmetic;
+* 18-seed random-system property tests — every threshold verdict,
+  theorem check, refrain sweep row, and escalated measure of
+  ``numeric="auto"`` must equal ``numeric="exact"`` bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.random_systems import (
+    proper_actions_of,
+    random_protocol_system,
+    random_run_fact,
+    random_state_fact,
+)
+from repro.analysis.sweep import refrain_threshold_sweep
+from repro.analysis.verify import verify_constraint
+from repro.core.beliefs import (
+    threshold_met_event,
+    threshold_met_measure,
+    threshold_met_measures,
+)
+from repro.core.constraints import achieved_probability
+from repro.core.engine import SystemIndex
+from repro.core.expectation import expected_belief
+from repro.core.lazyprob import (
+    LazyProb,
+    check_numeric_mode,
+    exact_value,
+    numeric_stats,
+    reset_numeric_stats,
+)
+from repro.core.numeric import (
+    InexactSqrtError,
+    sqrt_fraction,
+    sqrt_fraction_with_exactness,
+)
+from repro.core.optimality import achievable_frontier, optimal_acting_states
+from repro.core.theorems import pak_level, pak_level_with_exactness
+
+SEEDS = list(range(18))
+
+
+# ----------------------------------------------------------------------
+# LazyProb unit tests
+# ----------------------------------------------------------------------
+
+
+class TestLazyProbComparisons:
+    def test_certified_fast_verdicts_do_not_escalate(self):
+        reset_numeric_stats()
+        a = LazyProb.from_ratio(1, 4)
+        assert a < Fraction(1, 2)
+        assert a <= Fraction(1, 2)
+        assert not (a > Fraction(1, 2))
+        assert a != Fraction(1, 2)
+        assert numeric_stats().escalations == 0
+
+    def test_equality_escalates_and_is_exact(self):
+        reset_numeric_stats()
+        a = LazyProb.from_ratio(2, 6)
+        assert a == Fraction(1, 3)
+        assert numeric_stats().escalations == 1
+
+    def test_randomized_verdict_parity_with_fractions(self):
+        rng = random.Random(7)
+        for _ in range(4000):
+            n1, d1 = rng.randint(-40, 80), rng.randint(1, 80)
+            n2, d2 = rng.randint(-40, 80), rng.randint(1, 80)
+            if rng.random() < 0.25:  # force near/equal cases
+                n2, d2 = n1 * rng.randint(1, 3), d1 * rng.randint(1, 3)
+            f1, f2 = Fraction(n1, d1), Fraction(n2, d2)
+            l1, l2 = LazyProb.from_ratio(n1, d1), LazyProb.from_ratio(n2, d2)
+            assert (l1 < l2) == (f1 < f2)
+            assert (l1 <= l2) == (f1 <= f2)
+            assert (l1 > f2) == (f1 > f2)
+            assert (l1 >= f2) == (f1 >= f2)
+            assert (l1 == l2) == (f1 == f2)
+            assert (l1 != f2) == (f1 != f2)
+
+    def test_comparisons_against_ints_and_floats(self):
+        half = LazyProb.from_ratio(1, 2)
+        assert half < 1 and half > 0 and half == Fraction(1, 2)
+        # Raw floats in operators mean their binary-exact rational —
+        # exactly as Fraction compares, so verdicts match exact mode.
+        tenth = LazyProb.from_ratio(1, 10)
+        assert (tenth == 0.1) == (Fraction(1, 10) == 0.1)
+        assert (tenth < 0.1) == (Fraction(1, 10) < 0.1)
+        assert (tenth >= 0.1) == (Fraction(1, 10) >= 0.1)
+        assert half == 0.5 and not (half < 0.5)  # 0.5 is binary-exact
+        # inf/nan follow Fraction's float semantics exactly.
+        assert half < math.inf and half > -math.inf
+        assert not (half < math.nan) and not (half == math.nan)
+        assert half != math.nan
+
+    def test_unsupported_comparand(self):
+        with pytest.raises(TypeError):
+            LazyProb.from_ratio(1, 2) < "1/2"  # noqa: B015
+
+    def test_hash_matches_fraction(self):
+        assert hash(LazyProb.from_ratio(3, 12)) == hash(Fraction(1, 4))
+
+    def test_sort_and_min_max(self):
+        values = [LazyProb.from_ratio(k, 7) for k in (5, 1, 3)]
+        assert [v.exact() for v in sorted(values)] == [
+            Fraction(1, 7),
+            Fraction(3, 7),
+            Fraction(5, 7),
+        ]
+        assert min(values).exact() == Fraction(1, 7)
+        assert max(values).exact() == Fraction(5, 7)
+
+
+class TestLazyProbAdversarial:
+    """Cases where the float verdict alone would be wrong."""
+
+    def test_one_third_plus_1e17_must_escalate(self):
+        reset_numeric_stats()
+        x = LazyProb.from_ratio(10**17 + 3, 3 * 10**17)  # 1/3 + 1e-17
+        third = Fraction(1, 3)
+        assert x > third and x != third and not (x <= third)
+        assert numeric_stats().escalations >= 3
+
+    def test_below_float_resolution(self):
+        # 1/3 + 1e-20 rounds to the same double as 1/3.
+        x = LazyProb.from_ratio(10**20 + 3, 3 * 10**20)
+        third = Fraction(1, 3)
+        assert float(x) == float(Fraction(1, 3))
+        reset_numeric_stats()
+        assert x > third
+        assert x != third
+        assert numeric_stats().escalations == 2
+
+    def test_threshold_one_ulp_away(self):
+        b = Fraction(9, 10)
+        just_above = b + Fraction(1, 10**17)
+        x = LazyProb.from_ratio(just_above.numerator, just_above.denominator)
+        assert x >= b and x > b
+        y = LazyProb.from_ratio(b.numerator, b.denominator)
+        assert y >= b and not (y > b)
+        assert not (y >= just_above)
+
+
+class TestLazyProbArithmetic:
+    def test_pair_arithmetic_is_exact(self):
+        rng = random.Random(11)
+        import operator
+
+        for _ in range(2000):
+            n1, d1 = rng.randint(-30, 60), rng.randint(1, 60)
+            n2, d2 = rng.randint(-30, 60), rng.randint(1, 60)
+            f1, f2 = Fraction(n1, d1), Fraction(n2, d2)
+            l1, l2 = LazyProb.from_ratio(n1, d1), LazyProb.from_ratio(n2, d2)
+            op = rng.choice("+-*/")
+            if op == "/" and n2 == 0:
+                continue
+            fn = {
+                "+": operator.add,
+                "-": operator.sub,
+                "*": operator.mul,
+                "/": operator.truediv,
+            }[op]
+            assert fn(l1, l2).exact() == fn(f1, f2)
+
+    def test_scalar_reflected_ops(self):
+        x = LazyProb.from_ratio(3, 10)
+        assert (1 - x).exact() == Fraction(7, 10)
+        assert (1 + x).exact() == Fraction(13, 10)
+        assert (2 * x).exact() == Fraction(3, 5)
+        assert (1 / x).exact() == Fraction(10, 3)
+        assert (Fraction(1, 2) - x).exact() == Fraction(1, 5)
+        assert (-x).exact() == Fraction(-3, 10)
+        assert abs(-x).exact() == Fraction(3, 10)
+
+    def test_float_operands_are_binary_exact(self):
+        # Exact mode tolerates mixed float arithmetic (degrading to
+        # float); auto mode must at least not raise — raw floats mean
+        # their binary-exact rational, as in Fraction(0.1).
+        x = LazyProb.from_ratio(1, 2)
+        assert (x - 0.1).exact() == Fraction(1, 2) - Fraction(0.1)
+        assert (0.1 + x).exact() == Fraction(0.1) + Fraction(1, 2)
+        assert (x * 0.5).exact() == Fraction(1, 4)  # 0.5 is binary-exact
+        assert (x / 0.5).exact() == Fraction(1)
+
+    def test_division_by_exact_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            LazyProb.from_ratio(1, 2) / LazyProb.from_ratio(0, 5)
+
+    def test_thunk_backed_division_with_straddling_divisor(self):
+        tiny = LazyProb(0.0, 1e-12, thunk=lambda: Fraction(1, 10**30))
+        q = LazyProb.from_ratio(1, 2) / tiny
+        assert math.isinf(q.err)
+        # Verdicts still exact: escalation sees the true huge value.
+        assert q > 10**20
+        assert q.exact() == Fraction(10**30, 2)
+
+    def test_exact_value_helper(self):
+        assert exact_value(LazyProb.from_ratio(2, 4)) == Fraction(1, 2)
+        assert exact_value(Fraction(1, 3)) == Fraction(1, 3)
+        assert exact_value("opaque") == "opaque"
+
+    def test_check_numeric_mode(self):
+        for mode in ("exact", "float", "auto"):
+            assert check_numeric_mode(mode) == mode
+        with pytest.raises(ValueError):
+            check_numeric_mode("fast")
+
+
+# ----------------------------------------------------------------------
+# sqrt_fraction / pak_level explicit approximation (satellite)
+# ----------------------------------------------------------------------
+
+
+class TestSqrtExactness:
+    def test_exact_square(self):
+        root, is_exact = sqrt_fraction_with_exactness(Fraction(9, 16))
+        assert root == Fraction(3, 4) and is_exact
+
+    def test_inexact_flagged(self):
+        root, is_exact = sqrt_fraction_with_exactness(Fraction(1, 2))
+        assert not is_exact
+        assert abs(float(root) - math.sqrt(0.5)) < 1e-12
+
+    def test_exact_required_raises(self):
+        with pytest.raises(InexactSqrtError):
+            sqrt_fraction(Fraction(1, 2), exact_required=True)
+        assert sqrt_fraction(Fraction(1, 4), exact_required=True) == Fraction(1, 2)
+
+    def test_pak_level_exactness(self):
+        level, is_exact = pak_level_with_exactness("0.99")
+        assert level == Fraction(9, 10) and is_exact
+        level, is_exact = pak_level_with_exactness("0.95")
+        assert not is_exact
+        with pytest.raises(InexactSqrtError):
+            pak_level("0.95", exact_required=True)
+        assert pak_level("0.99", exact_required=True) == Fraction(9, 10)
+
+    def test_pak_report_flags_approximate_level(self):
+        from repro.apps.firing_squad import ALICE, FIRE, both_fire, build_firing_squad
+        from repro.core.pak import analyze
+
+        report = analyze(build_firing_squad(), ALICE, FIRE, both_fire(), "0.95")
+        assert not report.pak_level_exact  # 1 - 0.95 = 1/20, not a square
+        assert "APPROXIMATE" in report.summary()
+        check = report.theorem_checks["corollary-7.2"]
+        assert check.premises["epsilon-exactly-sqrt(1-p)"] is False
+        assert check.details["epsilon-approximate"] is True
+
+        exact_report = analyze(build_firing_squad(), ALICE, FIRE, both_fire(), "0.99")
+        assert exact_report.pak_level_exact
+        assert "APPROXIMATE" not in exact_report.summary()
+
+
+# ----------------------------------------------------------------------
+# Auto-mode parity on random systems
+# ----------------------------------------------------------------------
+
+
+def _case(seed: int):
+    pps = random_protocol_system(seed, horizon=2)
+    rng = random.Random(seed + 5000)
+    agent = pps.agents[seed % len(pps.agents)]
+    actions = proper_actions_of(pps, agent)
+    if not actions:
+        return None
+    action = actions[seed % len(actions)]
+    phi = (
+        random_state_fact(seed) if seed % 2 == 0 else random_run_fact(seed)
+    )
+    threshold = Fraction(rng.randint(0, 8), 8)
+    return pps, agent, action, phi, threshold
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_auto_mode_parity_random_systems(seed):
+    case = _case(seed)
+    if case is None:
+        pytest.skip("no proper action for this seed")
+    pps, agent, action, phi, threshold = case
+
+    achieved_exact = achieved_probability(pps, agent, phi, action)
+    achieved_auto = achieved_probability(pps, agent, phi, action, numeric="auto")
+    assert isinstance(achieved_auto, LazyProb)
+    assert achieved_auto.exact() == achieved_exact
+    assert (achieved_auto >= threshold) == (achieved_exact >= threshold)
+
+    assert expected_belief(pps, agent, phi, action, numeric="auto").exact() == (
+        expected_belief(pps, agent, phi, action)
+    )
+
+    # Threshold events must be identical sets, including at bounds
+    # exactly equal to acting beliefs (forced escalations).
+    index = SystemIndex.of(pps)
+    bounds = [threshold, Fraction(0), Fraction(1)]
+    bounds += [
+        index.belief(agent, phi, local)
+        for local in list(index.state_cells(agent, action))[:2]
+    ]
+    for bound in bounds:
+        assert threshold_met_event(
+            pps, agent, phi, action, bound, numeric="auto"
+        ) == threshold_met_event(pps, agent, phi, action, bound)
+        assert exact_value(
+            threshold_met_measure(pps, agent, phi, action, bound, numeric="auto")
+        ) == threshold_met_measure(pps, agent, phi, action, bound)
+
+    grid = [Fraction(k, 16) for k in range(17)] + bounds
+    assert [
+        exact_value(m)
+        for m in threshold_met_measures(pps, agent, phi, action, grid, numeric="auto")
+    ] == threshold_met_measures(pps, agent, phi, action, grid)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_auto_mode_theorem_checks_identical(seed):
+    case = _case(seed)
+    if case is None:
+        pytest.skip("no proper action for this seed")
+    pps, agent, action, phi, threshold = case
+    exact = verify_constraint(pps, agent, action, phi, threshold)
+    auto = verify_constraint(pps, agent, action, phi, threshold, numeric="auto")
+    assert set(exact) == set(auto)
+    for name in exact:
+        assert exact[name].premises == auto[name].premises, name
+        assert exact[name].conclusion == auto[name].conclusion, name
+        assert exact[name].verified == auto[name].verified, name
+        for key, value in exact[name].details.items():
+            assert exact_value(auto[name].details[key]) == exact_value(value), (
+                name,
+                key,
+            )
+
+
+@pytest.mark.parametrize("seed", SEEDS[:8])
+def test_auto_mode_optimality_parity(seed):
+    case = _case(seed)
+    if case is None:
+        pytest.skip("no proper action for this seed")
+    pps, agent, action, phi, _ = case
+    exact_frontier = achievable_frontier(pps, agent, phi, action)
+    auto_frontier = achievable_frontier(pps, agent, phi, action, numeric="auto")
+    assert len(exact_frontier) == len(auto_frontier)
+    for e, a in zip(exact_frontier, auto_frontier):
+        assert e.states == a.states
+        assert exact_value(a.acting_mass) == e.acting_mass
+        assert exact_value(a.value) == e.value
+    best_exact = optimal_acting_states(pps, agent, phi, action)
+    best_auto = optimal_acting_states(pps, agent, phi, action, numeric="auto")
+    assert best_exact.states == best_auto.states
+    assert exact_value(best_auto.value) == best_exact.value
+
+
+def test_refrain_sweep_parity_and_escalation_on_firing_squad():
+    from repro.apps.firing_squad import ALICE, FIRE, both_fire, build_firing_squad
+
+    base_exact = build_firing_squad()
+    base_auto = build_firing_squad()
+    phi = both_fire()
+    index = SystemIndex.of(base_exact)
+    beliefs = sorted(
+        index.belief(ALICE, phi, local)
+        for local in index.state_cells(ALICE, FIRE)
+    )
+    # Thresholds include exact belief values and 1e-17 perturbations:
+    # the float tier cannot separate these from the beliefs themselves.
+    thresholds = [Fraction(k, 16) for k in range(17)]
+    thresholds += [b for b in beliefs if 0 < b < 1]
+    thresholds += [b + Fraction(1, 10**17) for b in beliefs if 0 < b < 1]
+    rows_exact = refrain_threshold_sweep(base_exact, ALICE, phi, FIRE, thresholds)
+    reset_numeric_stats()
+    rows_auto = refrain_threshold_sweep(
+        base_auto, ALICE, phi, FIRE, thresholds, numeric="auto"
+    )
+    assert numeric_stats().escalations > 0
+    assert len(rows_exact) == len(rows_auto)
+    for exact_row, auto_row in zip(rows_exact, rows_auto):
+        assert exact_row["threshold"] == auto_row["threshold"]
+        assert exact_value(auto_row["achieved"]) == exact_row["achieved"]
+        assert exact_value(auto_row["coverage"]) == exact_row["coverage"]
+
+
+def test_refrain_sweep_materialize_matches_derived_fast_path():
+    from repro.apps.firing_squad import ALICE, FIRE, both_fire, build_firing_squad
+
+    phi = both_fire()
+    thresholds = [Fraction(k, 8) for k in range(9)]
+    derived_rows = refrain_threshold_sweep(
+        build_firing_squad(), ALICE, phi, FIRE, thresholds
+    )
+    materialized_rows = refrain_threshold_sweep(
+        build_firing_squad(), ALICE, phi, FIRE, thresholds, materialize=True
+    )
+    assert derived_rows == materialized_rows
+
+
+def test_sweep_numeric_knob_forwards_mode():
+    from repro.analysis.sweep import sweep
+
+    seen = []
+
+    def row_fn(x, numeric):
+        seen.append(numeric)
+        return {"y": x}
+
+    rows = sweep({"x": [1, 2]}, row_fn, numeric="auto")
+    assert seen == ["auto", "auto"]
+    assert [row["y"] for row in rows] == [1, 2]
+    with pytest.raises(ValueError):
+        sweep({"x": [1]}, lambda x, numeric: {}, numeric="bogus")
+
+
+def test_float_mode_returns_floats():
+    from repro.apps.firing_squad import ALICE, FIRE, both_fire, build_firing_squad
+
+    pps = build_firing_squad()
+    phi = both_fire()
+    value = achieved_probability(pps, ALICE, phi, FIRE, numeric="float")
+    assert isinstance(value, float)
+    assert abs(value - 0.99) < 1e-12
+    measure = threshold_met_measure(pps, ALICE, phi, FIRE, "0.95", numeric="float")
+    assert isinstance(measure, float)
+
+
+def test_format_value_markers():
+    from repro.analysis.sweep import format_value
+
+    assert format_value(Fraction(1, 3)) == "1/3 (~0.333333)"
+    assert format_value(LazyProb.from_ratio(2, 6)) == "1/3 (~0.333333)="
+    assert format_value(LazyProb.from_ratio(4, 2)) == "2="
+    assert format_value(0.25) == "~0.25"
+    assert format_value(True) == "yes"
+
+
+def test_derived_index_inherits_lazy_beliefs_for_action_free_facts():
+    from repro.apps.firing_squad import ALICE, FIRE, build_firing_squad
+    from repro.core.atoms import state_fact
+    from repro.protocols.strategies import refrain_below_threshold
+
+    base = build_firing_squad()
+    index = SystemIndex.of(base)
+    # Compiled locals are time-stamped (t, RecordingState) pairs.
+    go_fact = state_fact(lambda state: state.local(0)[1].payload == 1, label="go")
+    local = next(iter(index.state_cells(ALICE, FIRE)))
+    cached = index.belief(ALICE, go_fact, local, numeric="auto")
+    from repro.apps.firing_squad import both_fire
+
+    derived = refrain_below_threshold(
+        base, ALICE, FIRE, both_fire(), Fraction(1, 2)
+    )
+    derived_index = SystemIndex.of(derived)
+    key = (ALICE, index._fact_key(go_fact), local)
+    assert derived_index._lazy_beliefs.get(key) is cached

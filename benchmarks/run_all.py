@@ -9,20 +9,26 @@ The repo's benchmarks come in two flavours:
   paper-table reproductions, run through pytest directly.
 
 ``run_all.py`` discovers every ``benchmarks/bench_*.py``, runs each in
-its own subprocess, and writes ``BENCH_PR5.json`` next to the repo
+its own subprocess, and writes ``BENCH_PR6.json`` next to the repo
 root: per-bench status (``pass``/``fail``/``timeout``), wall seconds,
 and every speedup ratio the bench printed (best-effort: any ``<x.y>x``
-figure on a line mentioning "speedup").  Future PRs can diff the file
-against the committed history to catch perf regressions without
-re-deriving each bench's output format.
+figure on a line mentioning "speedup").  When a baseline report from
+the previous PR exists (``--baseline``, default ``BENCH_PR5.json``),
+a wall-seconds delta table is printed and embedded in the output
+JSON, flagging every bench that got more than 20% slower — the
+cross-PR perf tripwire without re-deriving each bench's own output
+format.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR5.json]
+    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR6.json]
+                                                [--baseline BENCH_PR5.json]
                                                 [--timeout SECONDS]
                                                 [--only SUBSTRING]
 
-Exit status is non-zero when any bench fails.
+Exit status is non-zero when any bench fails (regressions are flagged
+but do not fail the run: smoke-mode subprocess wall-clock is too noisy
+for a hard gate).
 """
 
 from __future__ import annotations
@@ -98,9 +104,64 @@ def run_bench(path: Path, timeout: float) -> Dict[str, object]:
     }
 
 
+def delta_rows(
+    report: Dict[str, object], baseline_path: Path
+) -> List[Dict[str, object]]:
+    """Wall-seconds deltas against a previous PR's consolidated report.
+
+    One row per bench present in both reports; ``regression`` marks a
+    bench whose smoke run got more than 20% slower than the baseline.
+    Returns an empty list (and stays silent in the JSON) when the
+    baseline file is absent.
+    """
+    if not baseline_path.exists():
+        return []
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    prior_benches = baseline.get("benches", {})
+    rows: List[Dict[str, object]] = []
+    for name, result in report.items():
+        prior = prior_benches.get(name)
+        if not isinstance(prior, dict):
+            continue
+        before = prior.get("seconds")
+        after = result["seconds"]
+        if not before:
+            continue
+        ratio = float(after) / float(before)
+        rows.append(
+            {
+                "bench": name,
+                "baseline_s": before,
+                "current_s": after,
+                "ratio": round(ratio, 2),
+                "regression": ratio > 1.2,
+            }
+        )
+    return rows
+
+
+def print_delta_table(rows: List[Dict[str, object]], baseline_path: Path) -> None:
+    if not rows:
+        print(f"[run_all] no baseline at {baseline_path}; skipping delta table")
+        return
+    print(f"[run_all] wall-seconds delta vs {baseline_path.name}:")
+    width = max(len(row["bench"]) for row in rows)
+    for row in rows:
+        flag = "  <-- REGRESSION >20%" if row["regression"] else ""
+        print(
+            f"[run_all]   {row['bench']:<{width}}  "
+            f"{row['baseline_s']:>7}s -> {row['current_s']:>7}s  "
+            f"x{row['ratio']}{flag}"
+        )
+    slower = sum(1 for row in rows if row["regression"])
+    if slower:
+        print(f"[run_all] WARNING: {slower} bench(es) regressed >20% vs baseline")
+
+
 def main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR5.json"))
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR6.json"))
+    parser.add_argument("--baseline", default=str(REPO_ROOT / "BENCH_PR5.json"))
     parser.add_argument("--timeout", type=float, default=600.0)
     parser.add_argument(
         "--only", default="", help="run only benches whose name contains this"
@@ -127,11 +188,18 @@ def main(argv: List[str]) -> int:
     # PYTHONPATH for subprocesses comes from the caller's environment
     # (the usual `PYTHONPATH=src` invocation), which subprocess.run
     # inherits; nothing to thread through explicitly.
+    baseline_path = Path(args.baseline)
+    deltas = delta_rows(report, baseline_path)
+    print_delta_table(deltas, baseline_path)
+
     consolidated = {
         "suite": "benchmarks (smoke)",
         "benches": report,
         "all_passed": failures == 0,
     }
+    if deltas:
+        consolidated["baseline"] = baseline_path.name
+        consolidated["deltas"] = deltas
     out_path = Path(args.out)
     out_path.write_text(json.dumps(consolidated, indent=2) + "\n", encoding="utf-8")
     print(f"[run_all] wrote {out_path} ({len(report)} benches, {failures} failures)")

@@ -148,6 +148,11 @@ def refrain_threshold_sweep(
     so the first row of the usual ``0 .. 1`` grid reports the original
     protocol's numbers.
 
+    Repeated threshold values are deduplicated before any system is
+    built and the computed rows fanned back out in input order (each
+    duplicate gets its own row dict), so degenerate grids pay
+    per-*distinct*-threshold work only.
+
     ``numeric="auto"`` runs the whole sweep — the belief guards inside
     the transform and both reported measures — through the two-tier
     kernel: every row's relabelled edge set is identical to exact
@@ -166,34 +171,35 @@ def refrain_threshold_sweep(
     make_row = _candidate_edge_transform(
         pps, agent, action, phi, replacement=replacement, numeric=numeric
     ) if not materialize else None
-    rows: List[Row] = []
-    for threshold in thresholds:
+    bounds = [as_fraction(threshold) for threshold in thresholds]
+    computed: Dict[Fraction, Row] = {}
+    for bound in bounds:
+        if bound in computed:
+            continue
         if make_row is not None:
-            modified = make_row(as_fraction(threshold))
+            modified = make_row(bound)
         else:
             modified = refrain_below_threshold(
                 pps,
                 agent,
                 action,
                 phi,
-                threshold,
+                bound,
                 replacement=replacement,
                 materialize=materialize,
                 numeric=numeric,
             )
         index = SystemIndex.of(modified)
-        rows.append(
-            {
-                "threshold": as_fraction(threshold),
-                "achieved": achieved_probability(
-                    modified, agent, phi, action, numeric=numeric
-                ),
-                "coverage": index.probability(
-                    index.performing_mask(agent, action), numeric=numeric
-                ),
-            }
-        )
-    return rows
+        computed[bound] = {
+            "threshold": bound,
+            "achieved": achieved_probability(
+                modified, agent, phi, action, numeric=numeric
+            ),
+            "coverage": index.probability(
+                index.performing_mask(agent, action), numeric=numeric
+            ),
+        }
+    return [dict(computed[bound]) for bound in bounds]
 
 
 def _candidate_edge_transform(

@@ -26,7 +26,8 @@ guaranteed; ``"float"`` returns raw floats with no guarantee.  See
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from fractions import Fraction
+from typing import Callable, Dict, List, Tuple
 
 from .engine import SystemIndex
 from .facts import Fact
@@ -34,6 +35,7 @@ from .lazyprob import (
     ABS_EPS,
     REL_EPS,
     check_numeric_mode,
+    count_batch,
     count_comparisons,
 )
 from .measure import Event
@@ -176,21 +178,29 @@ def _threshold_met_mask(
 ) -> int:
     """Mask of performing runs whose acting belief meets the bound.
 
-    Decided per acting local state (one cached posterior per state in
-    ``L_i[alpha]``), not per run.  In ``"auto"`` mode each per-state
-    comparison resolves in float unless the posterior lies within
-    round-off of the bound, in which case it escalates — the resulting
-    mask is identical to exact mode's on every input.
+    Decided per acting local state via the sorted threshold kernel
+    (:meth:`~repro.core.engine.SystemIndex.threshold_kernel`): the
+    acting posteriors are exactly sorted once per (agent, fact,
+    action) and each bound costs one bisection — float-certified in
+    ``"auto"`` mode, with exact comparisons only when the bound lies
+    within round-off of a posterior, so the resulting mask is
+    identical to exact mode's on every input.  ``"float"`` keeps the
+    per-state scalar pass (raw float verdicts, no guarantee).
     """
     ensure_proper(pps, agent, action)
     check_numeric_mode(numeric)
     bound = as_fraction(threshold)
     index = SystemIndex.of(pps)
-    if numeric == "exact":
-        return _met_mask_exact(
-            _acting_exact_beliefs(index, agent, phi, action), bound
+    if numeric == "float":
+        return _met_mask(
+            _acting_lazy_beliefs(index, agent, phi, action), bound, numeric
         )
-    return _met_mask(_acting_lazy_beliefs(index, agent, phi, action), bound, numeric)
+    kernel = index.threshold_kernel(agent, phi, action)
+    if numeric == "exact":
+        return kernel.met_mask(kernel.locate_exact(bound))
+    point, compares = kernel.locate(bound)
+    count_batch(int(compares == 0), int(compares > 0), compares)
+    return kernel.met_mask(point)
 
 
 def _acting_exact_beliefs(
@@ -309,43 +319,85 @@ def threshold_met_measures(
     thresholds,
     *,
     numeric: str = "exact",
+    kernel: str = "sorted",
 ):
     """``mu_T(beta_i(phi)@alpha >= p | alpha)`` for a whole grid of ``p``.
 
     The batched form of :func:`threshold_met_measure`, built for dense
-    threshold sweeps (Sections 5 and 7 grids): the acting posteriors
-    are gathered once, each grid point costs one pass over them, and
-    measures are memoized per distinct met-mask — a grid of ``T``
-    bounds over ``L`` acting states does ``O(T * L)`` comparisons but
-    at most ``L + 1`` conditionals, in every mode.
+    threshold sweeps (Sections 5 and 7 grids).  Repeated threshold
+    values are deduplicated before evaluation and the results fanned
+    back out, so degenerate grids pay per-*distinct*-bound work only;
+    measures are memoized per distinct met-mask (at most ``L + 1``
+    conditionals for ``L`` acting states), in every mode.
+
+    ``kernel`` selects how the met masks are computed:
+
+    * ``"sorted"`` (the default) — the bisected kernel of
+      ``docs/numerics.md``: posteriors exactly sorted once per
+      (agent, fact, action) and cached on the index; a grid of ``G``
+      distinct bounds costs ``O(G log L)``.  In ``"auto"`` mode the
+      whole grid is bracketed by two vectorized envelope searches
+      (NumPy backend) and only boundary-straddling bounds escalate —
+      one :func:`~repro.core.lazyprob.count_batch` record per call.
+    * ``"scalar"`` — the per-bound pass over the unsorted posteriors
+      (``O(G * L)``), kept as the benchmark baseline and exercised by
+      the parity tests.
+
+    ``numeric="float"`` always takes the scalar pass (raw float
+    verdicts carry no certification for the sorted path to preserve).
 
     Results are element-wise identical to per-bound
     :func:`threshold_met_measure` calls (``"auto"``: identical exact
-    values on demand, escalating only within round-off of a bound).
+    values on demand, escalating only within round-off of a bound),
+    for either kernel.
     """
     ensure_proper(pps, agent, action)
     check_numeric_mode(numeric)
+    if kernel not in ("sorted", "scalar"):
+        raise ValueError(
+            f"kernel must be 'sorted' or 'scalar', got {kernel!r}"
+        )
     index = SystemIndex.of(pps)
     performing = index.performing_mask(agent, action)
     bounds = [as_fraction(threshold) for threshold in thresholds]
-    measures: Dict[int, object] = {}
-    out = []
-    if numeric == "exact":
-        beliefs = _acting_exact_beliefs(index, agent, phi, action)
-        for bound in bounds:
-            met = _met_mask_exact(beliefs, bound)
-            value = measures.get(met)
-            if value is None:
-                value = index.conditional(met, performing)
-                measures[met] = value
-            out.append(value)
-        return out
-    beliefs = _acting_lazy_beliefs(index, agent, phi, action)
+    # Dedupe keyed by (numerator, denominator): Fractions are always
+    # normalized so the pair is a faithful identity, and int-tuple
+    # hashing is far cheaper than Fraction.__hash__ (which computes a
+    # modular inverse per call — measurable on dense grids).
+    distinct: Dict[Tuple[int, int], int] = {}
+    grid: List[Fraction] = []
+    slots: List[int] = []
     for bound in bounds:
-        met = _met_mask(beliefs, bound, numeric)
+        key = (bound.numerator, bound.denominator)
+        slot = distinct.get(key)
+        if slot is None:
+            slot = len(grid)
+            distinct[key] = slot
+            grid.append(bound)
+        slots.append(slot)
+    measures: Dict[int, object] = {}
+
+    def measure_of(met: int):
         value = measures.get(met)
         if value is None:
             value = index.conditional(met, performing, numeric=numeric)
             measures[met] = value
-        out.append(value)
-    return out
+        return value
+
+    if numeric == "float" or kernel == "scalar":
+        if numeric == "exact":
+            beliefs = _acting_exact_beliefs(index, agent, phi, action)
+            mets = [_met_mask_exact(beliefs, bound) for bound in grid]
+        else:
+            beliefs = _acting_lazy_beliefs(index, agent, phi, action)
+            mets = [_met_mask(beliefs, bound, numeric) for bound in grid]
+    else:
+        tk = index.threshold_kernel(agent, phi, action)
+        if numeric == "exact":
+            mets = [tk.met_mask(tk.locate_exact(bound)) for bound in grid]
+        else:
+            points, certified, escalated, compares = tk.locate_batch(grid)
+            count_batch(certified, escalated, compares)
+            mets = [tk.met_mask(point) for point in points]
+    values = [measure_of(met) for met in mets]
+    return [values[slot] for slot in slots]

@@ -82,6 +82,7 @@ from typing import (
     Tuple,
 )
 
+from .arraykernel import ThresholdKernel, WeightKernel, div_bounds, float_with_err
 from .errors import (
     ConditioningOnNullEventError,
     UnknownAgentError,
@@ -146,6 +147,21 @@ class SystemIndex:
         # Fraction (memoized in _prob_cache); the float/auto modes use
         # the (total, denominator) pair directly, skipping the gcd.
         self._total_cache: Dict[int, int] = {}
+        # The array view of the weight vector (repro.core.arraykernel),
+        # built lazily on first bounds query; (approx, err) bounds per
+        # mask are memoized alongside the exact totals and shared with
+        # derived indices exactly like _total_cache.
+        self._weight_kernel: Optional[WeightKernel] = None
+        self._bounds_cache: Dict[int, Tuple[float, float]] = {}
+        self._den_bounds: Tuple[float, float] = float_with_err(denominator)
+        # Sorted threshold kernels per (agent, fact key, action) — the
+        # bisected grid structure of docs/numerics.md.  Never inherited
+        # (it reads the action cells), but its expensive input — the
+        # exact acting posteriors — lives in _belief_cache, which *is*
+        # inherited for action-free facts.
+        self._threshold_kernels: Dict[
+            Tuple[AgentId, object, Action], ThresholdKernel
+        ] = {}
 
         # --- structure tables -------------------------------------------
         # Runs are collected in DFS order, so the runs through any node
@@ -277,6 +293,15 @@ class SystemIndex:
         index._prefix = parent._prefix
         index._prob_cache = parent._prob_cache
         index._total_cache = parent._total_cache
+        # Array kernel: weights are identical, so the float view, the
+        # per-mask bounds memo, and the denominator bounds are shared;
+        # the kernel itself is resolved through the parent lazily (it
+        # may not be built yet).  Threshold kernels are action-dependent
+        # and start empty.
+        index._weight_kernel = None
+        index._bounds_cache = parent._bounds_cache
+        index._den_bounds = parent._den_bounds
+        index._threshold_kernels = {}
         # Structure tables: the tree is literally the parent's.
         index._node_ranges = parent._node_ranges
         index.max_time = parent.max_time
@@ -622,6 +647,76 @@ class SystemIndex:
             self._total_cache[mask] = cached
         return cached
 
+    def weight_kernel(self) -> WeightKernel:
+        """The array view of the weight vector (lazily built, shared).
+
+        Derived indices resolve through their parent so the float
+        arrays are materialized once per tree, not once per overlay
+        row.
+        """
+        if self._derived_parent is not None:
+            return self._derived_parent.weight_kernel()
+        kernel = self._weight_kernel
+        if kernel is None:
+            kernel = WeightKernel(self._weights)
+            self._weight_kernel = kernel
+        return kernel
+
+    def mask_bounds(self, mask: int) -> Tuple[float, float]:
+        """``(approx, err)`` bounds on a mask's integer weight total.
+
+        The float tier of :meth:`mask_total`: the true total provably
+        lies in ``[approx - err, approx + err]``.  Masks whose exact
+        total is already known (memoized, trivial, or a contiguous
+        range — O(1) via the prefix table) convert directly; scattered
+        masks go through the weight kernel's vectorized reduction when
+        NumPy is available, and fall back to the exact integer total
+        (error from conversion only) otherwise — the pure-Python
+        backend's bounds are never looser than the vectorized ones, so
+        verdicts certified on one backend are certified on both.
+        """
+        if mask == 0:
+            return (0.0, 0.0)
+        cached = self._bounds_cache.get(mask)
+        if cached is not None:
+            return cached
+        total = self._total_cache.get(mask)
+        if total is None:
+            lo = (mask & -mask).bit_length() - 1
+            hi = mask.bit_length()
+            if mask == self.all_mask or mask == (1 << hi) - (1 << lo):
+                total = self.mask_total(mask)
+        if total is not None:
+            bounds = float_with_err(total)
+        else:
+            kernel = self.weight_kernel()
+            if kernel.vectorized:
+                bounds = kernel.mask_bounds(mask)
+            else:
+                bounds = float_with_err(self.mask_total(mask))
+        self._bounds_cache[mask] = bounds
+        return bounds
+
+    def _lazy_conditional(self, target: int, given: int) -> LazyProb:
+        """``mu(target | given)`` as a bounds-first deferred LazyProb.
+
+        The float tier comes from :meth:`mask_bounds` (a vectorized
+        reduction on the NumPy backend — no per-bit Python loop); the
+        exact integer pair is deferred in a thunk, so grids whose
+        verdicts certify in float never sum the exact totals at all,
+        while an escalating comparison recovers the *same* unnormalized
+        pair eager ``from_ratio`` construction would have carried.
+        """
+        inter = target & given
+        num_a, num_e = self.mask_bounds(inter)
+        den_a, den_e = self.mask_bounds(given)
+        approx, err = div_bounds(num_a, num_e, den_a, den_e)
+        return LazyProb(
+            approx,
+            err,
+            pair_thunk=lambda: (self.mask_total(inter), self.mask_total(given)),
+        )
+
     def probability(self, mask: int, *, numeric: str = "exact"):
         """``mu_T`` of a bitmask event.
 
@@ -651,7 +746,13 @@ class SystemIndex:
             return ZERO
         if mask == self.all_mask:
             return ONE
-        return LazyProb.from_ratio(self.mask_total(mask), self._denominator)
+        num_a, num_e = self.mask_bounds(mask)
+        approx, err = div_bounds(num_a, num_e, *self._den_bounds)
+        return LazyProb(
+            approx,
+            err,
+            pair_thunk=lambda: (self.mask_total(mask), self._denominator),
+        )
 
     def conditional(self, target: int, given: int, *, numeric: str = "exact"):
         """``mu_T(target | given)`` for bitmask events.
@@ -667,12 +768,10 @@ class SystemIndex:
             )
         if numeric == "exact":
             return self.probability(target & given) / self.probability(given)
-        num = self.mask_total(target & given)
-        den = self.mask_total(given)
         if numeric == "float":
-            return num / den
+            return self.mask_total(target & given) / self.mask_total(given)
         check_numeric_mode(numeric)
-        return LazyProb.from_ratio(num, den)
+        return self._lazy_conditional(target, given)
 
     # ------------------------------------------------------------------
     # Structure tables
@@ -1143,11 +1242,8 @@ class SystemIndex:
                 missing.append(k)
         if missing:
             masks = self.truths_at([facts[k] for k in missing], t, memo=memo)
-            occurs_total = self.mask_total(occurs)
             for k, mask in zip(missing, masks):
-                value = LazyProb.from_ratio(
-                    self.mask_total(occurs & mask), occurs_total
-                )
+                value = self._lazy_conditional(mask, occurs)
                 results[k] = value
                 if memo:
                     self._lazy_beliefs[(agent, self._fact_key(facts[k]), local)] = value
@@ -1204,14 +1300,39 @@ class SystemIndex:
         value: Optional[LazyProb] = self._lazy_beliefs.get(key) if memo else None
         if value is None:
             t, occurs = self._occurrence_or_raise(agent, local)
-            satisfied = occurs & self.holds_mask_at(phi, t, memo=memo)
-            value = LazyProb.from_ratio(
-                self.mask_total(satisfied), self.mask_total(occurs)
-            )
+            satisfied = self.holds_mask_at(phi, t, memo=memo)
+            value = self._lazy_conditional(satisfied, occurs)
             if memo:
                 self._lazy_beliefs[key] = value
                 self._note_action_free(phi)
         return value if numeric == "auto" else value.approx
+
+    def threshold_kernel(
+        self, agent: AgentId, phi: "Fact", action: Action
+    ) -> ThresholdKernel:
+        """The sorted/bisected threshold kernel of one belief family.
+
+        Built once per (agent, fact key, action) from the acting
+        posteriors — **exact** values, pulled through
+        :meth:`belief`, so the sort keys land in (and are reused
+        from) ``_belief_cache``, which derived indices inherit for
+        action-free facts: a dense refrain sweep deriving hundreds of
+        rows pays the posterior computations once and each row only
+        the O(L log L) sort over cached ``Fraction`` values.  See
+        :class:`repro.core.arraykernel.ThresholdKernel` for how grids
+        are answered from it.
+        """
+        key = (agent, self._fact_key(phi), action)
+        kernel = self._threshold_kernels.get(key)
+        if kernel is None:
+            kernel = ThresholdKernel(
+                [
+                    (self.belief(agent, phi, local), cell)
+                    for local, cell in self.state_cells(agent, action).items()
+                ]
+            )
+            self._threshold_kernels[key] = kernel
+        return kernel
 
     def phi_at_action_mask(
         self, agent: AgentId, phi: "Fact", action: Action, *, memo: bool = True

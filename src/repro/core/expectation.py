@@ -27,8 +27,10 @@ from fractions import Fraction
 from typing import Dict
 
 from .actions import ensure_proper
+from .arraykernel import div_bounds, dot_bounds
 from .engine import SystemIndex
 from .facts import Fact
+from .lazyprob import LazyProb
 from .numeric import Probability
 from .pps import PPS, Action, AgentId, LocalState
 
@@ -51,11 +53,15 @@ def expected_belief(
     on each cell ``Q^{l}``, so the sum collapses to one weighted term
     per acting local state.
 
-    In ``"auto"`` mode the weighted sum runs in int-pair LazyProb
-    arithmetic (no normalization); its :meth:`~repro.core.lazyprob.\
-LazyProb.exact` value equals the exact-mode ``Fraction`` bit-for-bit,
-    since exact rational arithmetic is order-insensitive and reduced
-    fractions are unique.
+    In ``"auto"`` mode the weighted sum runs as a float dot product
+    with forward error bounds (:func:`repro.core.arraykernel.\
+dot_bounds` over the engine's :meth:`~repro.core.engine.SystemIndex.\
+mask_bounds` weight totals — the common denominator cancels against
+    the conditioning), and the exact ``Fraction`` is deferred: its
+    :meth:`~repro.core.lazyprob.LazyProb.exact` value equals the
+    exact-mode ``Fraction`` bit-for-bit, since exact rational
+    arithmetic is order-insensitive and reduced fractions are unique.
+    ``"float"`` returns that dot product's approximation.
     """
     ensure_proper(pps, agent, action)
     index = SystemIndex.of(pps)
@@ -65,12 +71,25 @@ LazyProb.exact` value equals the exact-mode ``Fraction`` bit-for-bit,
         for local, cell in index.state_cells(agent, action).items():
             numerator += index.probability(cell) * index.belief(agent, phi, local)
         return numerator / index.probability(performing)
-    numerator = 0
-    for local, cell in index.state_cells(agent, action).items():
-        numerator = numerator + index.probability(
-            cell, numeric=numeric
-        ) * index.belief(agent, phi, local, numeric=numeric)
-    return numerator / index.probability(performing, numeric=numeric)
+    items = list(index.state_cells(agent, action).items())
+    weight_bounds = [index.mask_bounds(cell) for _, cell in items]
+    belief_bounds = []
+    for local, _ in items:
+        b = index.belief(agent, phi, local, numeric="auto")
+        belief_bounds.append((b.approx, b.err))
+    num_a, num_e = dot_bounds(weight_bounds, belief_bounds)
+    approx, err = div_bounds(num_a, num_e, *index.mask_bounds(performing))
+    if numeric == "float":
+        return approx
+
+    def pair():
+        numerator = Fraction(0)
+        for local, cell in items:
+            numerator += index.probability(cell) * index.belief(agent, phi, local)
+        value = numerator / index.probability(performing)
+        return value.numerator, value.denominator
+
+    return LazyProb(approx, err, pair_thunk=pair)
 
 
 @dataclass(frozen=True)

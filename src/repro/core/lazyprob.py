@@ -60,6 +60,7 @@ __all__ = [
     "reset_numeric_stats",
     "escalation_count",
     "count_comparisons",
+    "count_batch",
     "REL_EPS",
     "ABS_EPS",
 ]
@@ -105,13 +106,28 @@ class NumericStats:
         comparisons: total LazyProb comparisons performed.
         escalations: how many could not be certified in float and fell
             back to exact arithmetic.
+        cells_certified: grid cells an array/bisected batch resolved
+            purely from float envelopes (no exact arithmetic).
+        cells_escalated: grid cells such a batch had to refine with
+            exact comparisons (each refinement comparison also counts
+            as one escalation above).
+        array_batches: how many batched kernel passes ran.
     """
 
     comparisons: int = 0
     escalations: int = 0
+    cells_certified: int = 0
+    cells_escalated: int = 0
+    array_batches: int = 0
 
     def copy(self) -> "NumericStats":
-        return NumericStats(self.comparisons, self.escalations)
+        return NumericStats(
+            self.comparisons,
+            self.escalations,
+            self.cells_certified,
+            self.cells_escalated,
+            self.array_batches,
+        )
 
 
 _stats = NumericStats()
@@ -127,6 +143,9 @@ def reset_numeric_stats() -> NumericStats:
     snapshot = _stats.copy()
     _stats.comparisons = 0
     _stats.escalations = 0
+    _stats.cells_certified = 0
+    _stats.cells_escalated = 0
+    _stats.array_batches = 0
     return snapshot
 
 
@@ -148,6 +167,23 @@ def count_comparisons(n: int) -> None:
     _stats.comparisons += n
 
 
+def count_batch(certified: int, escalated: int, exact_comparisons: int = 0) -> None:
+    """Record one batched (array/bisected) kernel pass.
+
+    ``certified`` cells resolved purely from float envelopes;
+    ``escalated`` cells needed exact refinement, performing
+    ``exact_comparisons`` exact comparisons between them.  The classic
+    counters stay truthful: every certified cell is one filter
+    comparison that did not escalate, and every exact refinement
+    comparison is one comparison that did.
+    """
+    _stats.array_batches += 1
+    _stats.cells_certified += certified
+    _stats.cells_escalated += escalated
+    _stats.comparisons += certified + exact_comparisons
+    _stats.escalations += exact_comparisons
+
+
 class LazyProb:
     """A probability-like value: float approximation now, exact on demand.
 
@@ -166,7 +202,7 @@ class LazyProb:
     of the same value are cheap.
     """
 
-    __slots__ = ("approx", "err", "_num", "_den", "_thunk", "_exact")
+    __slots__ = ("approx", "err", "_num", "_den", "_thunk", "_pair_thunk", "_exact")
 
     def __init__(
         self,
@@ -175,6 +211,7 @@ class LazyProb:
         num: Optional[int] = None,
         den: Optional[int] = None,
         thunk: Optional[Callable[[], Fraction]] = None,
+        pair_thunk: Optional[Callable[[], Tuple[int, int]]] = None,
         exact: Optional[Fraction] = None,
     ) -> None:
         self.approx = approx
@@ -182,6 +219,7 @@ class LazyProb:
         self._num = num
         self._den = den
         self._thunk = thunk
+        self._pair_thunk = pair_thunk
         self._exact = exact
 
     # ------------------------------------------------------------------
@@ -232,8 +270,9 @@ class LazyProb:
         deferred computation below is value-equal to its eager twin.
         """
         if self._exact is None:
-            if self._num is not None:
-                self._exact = Fraction(self._num, self._den)
+            pair = self._pair()
+            if pair is not None:
+                self._exact = Fraction(pair[0], pair[1])
             else:
                 assert self._thunk is not None
                 self._exact = self._thunk()
@@ -241,9 +280,27 @@ class LazyProb:
         return self._exact
 
     def _pair(self) -> Optional[Tuple[int, int]]:
-        """The exact unnormalized ``(num, den)`` pair, if one is held."""
+        """The exact unnormalized ``(num, den)`` pair, if one is held.
+
+        A deferred pair (``pair_thunk`` — the form the engine's array
+        paths produce, where the float bounds came from a vectorized
+        reduction and the exact integer totals have not been summed
+        yet) is materialized here on first demand and cached; the
+        resulting ``(num, den)`` is the same unnormalized pair the
+        eager ``from_ratio`` construction would have carried, so the
+        exact tier is unchanged — only *when* the integer work happens
+        moves.
+        """
         if self._num is not None:
             return (self._num, self._den)  # type: ignore[return-value]
+        if self._pair_thunk is not None:
+            num, den = self._pair_thunk()
+            if den < 0:
+                num, den = -num, -den
+            self._num = num
+            self._den = den
+            self._pair_thunk = None
+            return (num, den)
         if self._exact is not None:
             return (self._exact.numerator, self._exact.denominator)
         return None

@@ -1,0 +1,428 @@
+"""The array backend and bisected threshold kernel.
+
+Four layers of evidence:
+
+* unit tests of :mod:`repro.core.arraykernel` primitives — conversion
+  error terms, containment of true values in ``(approx, err)``
+  intervals, and the sorted kernel's bracketing against plain bisect;
+* backend parity — the same queries under the NumPy and pure-Python
+  backends (flipped via :func:`~repro.core.arraykernel.set_backend`)
+  produce identical exact values and verdicts;
+* 18-seed random-system parity — the sorted/bisected auto path, the
+  scalar auto path, and exact mode agree measure-for-measure on dense
+  grids seeded with exact posterior values (forced escalations);
+* an adversarial overflow case — integer weights beyond 2**53, where
+  the float view of the kernel is *wrong by construction*: the
+  conversion error term must force escalation, never a mis-certify.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.random_systems import (
+    proper_actions_of,
+    random_protocol_system,
+    random_run_fact,
+    random_state_fact,
+)
+from repro.analysis.sweep import refrain_threshold_sweep
+from repro.core import arraykernel
+from repro.core.arraykernel import (
+    HAVE_NUMPY,
+    ThresholdKernel,
+    WeightKernel,
+    div_bounds,
+    dot_bounds,
+    float_with_err,
+    set_backend,
+)
+from repro.core.beliefs import threshold_met_measure, threshold_met_measures
+from repro.core.builder import PPSBuilder
+from repro.core.engine import SystemIndex
+from repro.core.lazyprob import (
+    exact_value,
+    numeric_stats,
+    reset_numeric_stats,
+)
+
+SEEDS = list(range(18))
+
+BACKENDS = ["python"] + (["numpy"] if HAVE_NUMPY else [])
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    previous = set_backend(request.param)
+    yield request.param
+    set_backend(previous)
+
+
+# ----------------------------------------------------------------------
+# Primitive bounds
+# ----------------------------------------------------------------------
+
+
+class TestFloatWithErr:
+    def test_exact_below_2_53(self):
+        for value in (0, 1, -7, 2**53, -(2**53)):
+            approx, err = float_with_err(value)
+            assert approx == float(value) and err == 0.0
+
+    def test_rounding_term_above_2_53(self):
+        approx, err = float_with_err(2**53 + 1)
+        assert err > 0.0
+        assert abs(approx - (2**53 + 1)) <= err
+
+    def test_overflow_is_infinite_error(self):
+        approx, err = float_with_err(10**400)
+        assert approx == float("inf") and err == float("inf")
+        approx, err = float_with_err(-(10**400))
+        assert approx == float("-inf") and err == float("inf")
+
+    def test_containment_randomized(self):
+        rng = random.Random(3)
+        for _ in range(500):
+            value = rng.randint(-(2**80), 2**80)
+            approx, err = float_with_err(value)
+            assert abs(approx - value) <= err
+
+
+class TestWeightKernel:
+    def test_mask_bounds_contain_true_total(self, backend):
+        rng = random.Random(9)
+        weights = [rng.randint(0, 2**70) for _ in range(37)]
+        kernel = WeightKernel(weights)
+        assert kernel.vectorized == (backend == "numpy")
+        for _ in range(60):
+            mask = rng.getrandbits(37)
+            approx, err = kernel.mask_bounds(mask)
+            true = sum(w for k, w in enumerate(weights) if mask >> k & 1)
+            assert abs(approx - true) <= err
+
+    def test_empty_mask(self, backend):
+        assert WeightKernel([1, 2, 3]).mask_bounds(0) == (0.0, 0.0)
+
+    def test_small_weights_certify_tightly(self, backend):
+        kernel = WeightKernel([1, 2, 4, 8])
+        approx, err = kernel.mask_bounds(0b1010)
+        assert approx == 10.0 and err < 1e-10
+
+
+class TestDivDotBounds:
+    def test_div_containment(self):
+        rng = random.Random(5)
+        for _ in range(400):
+            num = Fraction(rng.randint(-999, 999), rng.randint(1, 999))
+            den = Fraction(rng.randint(1, 999), rng.randint(1, 999))
+            na, ne = float(num), abs(float(num)) * 2**-50
+            da, de = float(den), abs(float(den)) * 2**-50
+            approx, err = div_bounds(na, ne, da, de)
+            assert abs(approx - float(num / den)) <= err
+
+    def test_div_straddling_zero_is_uncertifiable(self):
+        approx, err = div_bounds(1.0, 0.0, 1e-300, 1.0)
+        assert err == float("inf")
+
+    def test_dot_containment(self, backend):
+        rng = random.Random(7)
+        for _ in range(100):
+            n = rng.randint(0, 9)
+            xs = [(rng.uniform(-5, 5), rng.uniform(0, 1e-12)) for _ in range(n)]
+            ys = [(rng.uniform(-5, 5), rng.uniform(0, 1e-12)) for _ in range(n)]
+            approx, err = dot_bounds(xs, ys)
+            center = sum(x[0] * y[0] for x, y in zip(xs, ys))
+            slack = sum(
+                abs(x[0]) * y[1] + abs(y[0]) * x[1] + x[1] * y[1]
+                for x, y in zip(xs, ys)
+            )
+            assert abs(approx - center) <= err + slack
+
+
+# ----------------------------------------------------------------------
+# The sorted kernel against plain bisect
+# ----------------------------------------------------------------------
+
+
+class TestThresholdKernel:
+    def _random_rows(self, rng, n):
+        return [
+            (Fraction(rng.randint(0, 64), 64), 1 << k) for k in range(n)
+        ]
+
+    def test_locate_matches_bisect(self, backend):
+        rng = random.Random(11)
+        rows = self._random_rows(rng, 40)
+        kernel = ThresholdKernel(rows)
+        probes = [Fraction(k, 128) for k in range(129)]
+        probes += [value for value, _ in rows[:10]]
+        probes += [value + Fraction(1, 10**18) for value, _ in rows[:10]]
+        for bound in probes:
+            point, _ = kernel.locate(bound)
+            assert point == bisect_left(kernel.values, bound)
+
+    def test_met_mask_is_suffix_union(self, backend):
+        rng = random.Random(13)
+        rows = self._random_rows(rng, 25)
+        kernel = ThresholdKernel(rows)
+        for bound in [Fraction(k, 32) for k in range(33)]:
+            expected = 0
+            for value, cell in rows:
+                if value >= bound:
+                    expected |= cell
+            assert kernel.met_mask(kernel.locate_exact(bound)) == expected
+
+    def test_locate_batch_matches_scalar_locate(self, backend):
+        rng = random.Random(17)
+        rows = self._random_rows(rng, 30)
+        kernel = ThresholdKernel(rows)
+        probes = [Fraction(rng.randint(0, 256), 256) for _ in range(200)]
+        probes += [value for value, _ in rows]
+        points, certified, escalated, compares = kernel.locate_batch(probes)
+        assert points == [kernel.locate(bound)[0] for bound in probes]
+        assert certified + escalated == len(probes)
+        # Exact ties cannot be certified in float.
+        assert escalated > 0 and compares >= escalated
+
+    def test_empty_kernel(self, backend):
+        kernel = ThresholdKernel([])
+        points, certified, escalated, compares = kernel.locate_batch(
+            [Fraction(1, 2), Fraction(1, 3)]
+        )
+        assert points == [0, 0] and escalated == 0
+        assert kernel.met_mask(0) == 0
+
+    def test_adversarial_bounds_escalate_not_wrong(self, backend):
+        rows = [(Fraction(1, 3), 0b01), (Fraction(2, 3), 0b10)]
+        kernel = ThresholdKernel(rows)
+        # Above 1/3 by an amount far beyond float resolution.
+        huge = Fraction(10**400, 10**400 * 3 - 1)
+        point, compares = kernel.locate(huge)
+        assert point == bisect_left(kernel.values, huge)
+        assert compares > 0
+        # A bound whose float view overflows entirely: the infinite
+        # window degrades to full-range exact bisection.
+        beyond = Fraction(10**400)
+        point, compares = kernel.locate(beyond)
+        assert point == len(kernel.values)
+        assert compares > 0
+
+
+def test_set_backend_rejects_unknown():
+    with pytest.raises(ValueError):
+        set_backend("cuda")
+    if not HAVE_NUMPY:
+        with pytest.raises(ValueError):
+            set_backend("numpy")
+    assert arraykernel.backend() in ("numpy", "python")
+
+
+# ----------------------------------------------------------------------
+# Random-system parity: sorted auto vs scalar auto vs exact
+# ----------------------------------------------------------------------
+
+
+def _case(seed: int):
+    pps = random_protocol_system(seed, horizon=2)
+    rng = random.Random(seed + 9000)
+    agent = pps.agents[seed % len(pps.agents)]
+    actions = proper_actions_of(pps, agent)
+    if not actions:
+        return None
+    action = actions[seed % len(actions)]
+    phi = random_state_fact(seed) if seed % 2 == 0 else random_run_fact(seed)
+    return pps, agent, action, phi, rng
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sorted_scalar_exact_grid_parity(seed):
+    case = _case(seed)
+    if case is None:
+        pytest.skip("no proper action for this seed")
+    pps, agent, action, phi, rng = case
+    index = SystemIndex.of(pps)
+    grid = [Fraction(k, 32) for k in range(33)]
+    # Exact posteriors and 1e-18 perturbations: forced boundary work.
+    posteriors = [
+        index.belief(agent, phi, local)
+        for local in list(index.state_cells(agent, action))[:3]
+    ]
+    grid += posteriors
+    grid += [p + Fraction(1, 10**18) for p in posteriors]
+    exact = threshold_met_measures(pps, agent, phi, action, grid)
+    sorted_auto = threshold_met_measures(
+        pps, agent, phi, action, grid, numeric="auto"
+    )
+    scalar_auto = threshold_met_measures(
+        pps, agent, phi, action, grid, numeric="auto", kernel="scalar"
+    )
+    assert [exact_value(m) for m in sorted_auto] == exact
+    assert [exact_value(m) for m in scalar_auto] == exact
+    # Single-bound calls agree too (they share the same kernel).
+    for bound in grid[:5] + posteriors:
+        assert exact_value(
+            threshold_met_measure(pps, agent, phi, action, bound, numeric="auto")
+        ) == threshold_met_measure(pps, agent, phi, action, bound)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:6])
+def test_backend_parity_on_random_systems(seed):
+    case = _case(seed)
+    if case is None:
+        pytest.skip("no proper action for this seed")
+    if not HAVE_NUMPY:
+        pytest.skip("numpy not installed; single-backend environment")
+    _, agent, action, phi, _ = case
+    grid = [Fraction(k, 16) for k in range(17)]
+    results = {}
+    for name in BACKENDS:
+        previous = set_backend(name)
+        try:
+            # Fresh system per backend: kernels are cached per index.
+            pps = random_protocol_system(seed, horizon=2)
+            index = SystemIndex.of(pps)
+            probes = grid + [
+                index.belief(agent, phi, local)
+                for local in list(index.state_cells(agent, action))[:2]
+            ]
+            results[name] = [
+                exact_value(m)
+                for m in threshold_met_measures(
+                    pps, agent, phi, action, probes, numeric="auto"
+                )
+            ]
+        finally:
+            set_backend(previous)
+    assert results["python"] == results["numpy"]
+
+
+# ----------------------------------------------------------------------
+# Batched counters and dedup
+# ----------------------------------------------------------------------
+
+
+def test_batched_counters_and_dedup_fan_out():
+    from repro.apps.firing_squad import ALICE, FIRE, both_fire, build_firing_squad
+
+    pps = build_firing_squad()
+    phi = both_fire()
+    index = SystemIndex.of(pps)
+    posterior = max(
+        index.belief(ALICE, phi, local)
+        for local in index.state_cells(ALICE, FIRE)
+    )
+    grid = [Fraction(k, 8) for k in range(9)] + [posterior]
+    doubled = grid + grid  # every bound duplicated
+    reset_numeric_stats()
+    out = threshold_met_measures(pps, ALICE, phi, FIRE, doubled, numeric="auto")
+    stats = numeric_stats()
+    assert stats.array_batches == 1
+    # Per-distinct-bound work only: the duplicates cost nothing.
+    assert stats.cells_certified + stats.cells_escalated == len(set(grid))
+    assert stats.cells_escalated > 0  # the exact posterior bound
+    assert stats.cells_certified > 0
+    assert stats.escalations > 0
+    # Fan-out preserves order and per-duplicate equality.
+    assert len(out) == len(doubled)
+    for first, second in zip(out[: len(grid)], out[len(grid) :]):
+        assert exact_value(first) == exact_value(second)
+    assert [exact_value(m) for m in out] == threshold_met_measures(
+        pps, ALICE, phi, FIRE, doubled
+    )
+
+
+def test_refrain_sweep_dedupes_thresholds():
+    from repro.apps.firing_squad import ALICE, FIRE, both_fire, build_firing_squad
+
+    pps = build_firing_squad()
+    phi = both_fire()
+    thresholds = ["1/2", "1/2", "3/4", "1/2"]
+    rows = refrain_threshold_sweep(pps, ALICE, phi, FIRE, thresholds)
+    assert [row["threshold"] for row in rows] == [
+        Fraction(1, 2),
+        Fraction(1, 2),
+        Fraction(3, 4),
+        Fraction(1, 2),
+    ]
+    assert rows[0] == rows[1] == rows[3]
+    # Fanned-out duplicates are distinct dicts (mutation isolation).
+    assert rows[0] is not rows[1]
+    rows[0]["achieved"] = None
+    assert rows[1]["achieved"] is not None
+
+
+def test_threshold_met_measures_rejects_unknown_kernel():
+    from repro.apps.firing_squad import ALICE, FIRE, both_fire, build_firing_squad
+
+    with pytest.raises(ValueError):
+        threshold_met_measures(
+            build_firing_squad(), ALICE, both_fire(), FIRE, ["1/2"], kernel="gpu"
+        )
+
+
+# ----------------------------------------------------------------------
+# Overflow adversary: weights beyond 2**53
+# ----------------------------------------------------------------------
+
+
+def _big_weight_system():
+    """Four initial branches with weights 2**53 + {1,3,5,7}.
+
+    The agent cannot distinguish the branches (same local state), phi
+    holds on branches 0 and 2, and ``go`` is performed everywhere — so
+    the single acting posterior is ``(w0 + w2) / (w0+w1+w2+w3)``, a
+    ratio of integers no float64 represents exactly.
+    """
+    weights = [2**53 + 1, 2**53 + 3, 2**53 + 5, 2**53 + 7]
+    total = sum(weights)
+    builder = PPSBuilder(["i"], name="big-weights")
+    for k, w in enumerate(weights):
+        g = builder.initial(Fraction(w, total), {"i": "s"}, env=k)
+        g.chain({"i": f"done{k}"}, env=k, actions={"i": "go"})
+    return builder.build(), weights, total
+
+
+def test_overflow_weights_escalate_instead_of_wrong_certify():
+    from repro.core.atoms import state_fact
+
+    pps, weights, total = _big_weight_system()
+    phi = state_fact(lambda state: state.env in (0, 2), label="phi-even")
+    posterior = Fraction(weights[0] + weights[2], total)
+
+    index = SystemIndex.of(pps)
+    assert index.belief("i", phi, "s") == posterior
+
+    # Bounds the float tier cannot separate from the posterior: the
+    # exact tie and a perturbation far below the conversion error of
+    # the > 2**53 weights.
+    tiny = Fraction(1, total * 2**20)
+    grid = [posterior, posterior + tiny, posterior - tiny, Fraction(1, 2)]
+    reset_numeric_stats()
+    auto = threshold_met_measures(pps, "i", phi, "go", grid, numeric="auto")
+    exact = threshold_met_measures(pps, "i", phi, "go", grid)
+    assert [exact_value(m) for m in auto] == exact
+    stats = numeric_stats()
+    # The rounding-error term forced exact refinement — no silent
+    # (wrong) float certification at the boundary.
+    assert stats.cells_escalated >= 3
+    assert stats.escalations > 0
+    # Verdict semantics: >= is non-strict, so the tie and the lower
+    # perturbation are met, the upper one is not; the posterior itself
+    # sits just *below* 1/2 (2*(w0+w2) = total - 4).
+    met, above, below, half = (exact_value(m) for m in auto)
+    assert posterior < Fraction(1, 2)
+    assert met == 1 and below == 1 and above == 0 and half == 0
+
+
+def test_overflow_weights_mask_bounds_carry_error(backend):
+    pps, weights, total = _big_weight_system()
+    index = SystemIndex.of(pps)
+    # A non-contiguous mask over big weights: bits 0 and 2 (phi runs).
+    approx, err = index.mask_bounds(0b101)
+    true = weights[0] + weights[2]
+    assert err > 0.0
+    assert abs(approx - true) <= err

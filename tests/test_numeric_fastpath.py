@@ -321,9 +321,17 @@ def test_auto_mode_parity_random_systems(seed):
         ) == threshold_met_measure(pps, agent, phi, action, bound)
 
     grid = [Fraction(k, 16) for k in range(17)] + bounds
+    reset_numeric_stats()
+    auto_measures = threshold_met_measures(pps, agent, phi, action, grid, numeric="auto")
+    stats = numeric_stats()
+    # The grid ran as one batched pass of the sorted kernel: every
+    # distinct bound is either float-certified or exactly refined, and
+    # the bounds equal to acting posteriors (exact ties) must refine.
+    assert stats.array_batches == 1
+    assert stats.cells_certified + stats.cells_escalated == len(set(grid))
+    assert stats.cells_escalated >= 1 and stats.escalations >= 1
     assert [
-        exact_value(m)
-        for m in threshold_met_measures(pps, agent, phi, action, grid, numeric="auto")
+        exact_value(m) for m in auto_measures
     ] == threshold_met_measures(pps, agent, phi, action, grid)
 
 

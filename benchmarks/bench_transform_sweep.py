@@ -79,6 +79,8 @@ def _legacy_copy_tree(root: Node) -> Node:
             parent=parent,
         )
         counter[0] += 1
+        # repro: allow[RP003] legacy inlined oracle: mutates its own
+        # deep copy during construction, never a live tree.
         copy.children = [clone(child, copy) for child in node.children]
         return copy
 
@@ -108,6 +110,8 @@ def legacy_refrain(
                 node.parent.state.local(idx)
             ):
                 via[agent] = replacement
+            # repro: allow[RP003] legacy inlined oracle: mutates its
+            # own deep copy during construction, never a live tree.
             node.via_action = via
         stack.extend(node.children)
     return PPS(pps.agents, root, name=f"{pps.name}-refrain[{action}]")

@@ -22,6 +22,8 @@ __all__ = ["render_tree", "ExperimentRecord", "format_experiments"]
 def _node_line(pps: PPS, node: Node) -> str:
     if node.is_root:
         return "(root)"
+    # repro: allow[RP006] internal invariant: non-root nodes always
+    # carry a state (type-narrowing after the root check above).
     assert node.state is not None
     locals_repr = ", ".join(
         f"{agent}={local!r}" for agent, local in zip(pps.agents, node.state.locals)

@@ -98,6 +98,8 @@ def sweep(
                 f"for {len(points)} grid points"
             )
     else:
+        # repro: allow[RP006] internal invariant: the explicit TypeError
+        # validation above guarantees one of the two (type-narrowing).
         assert row_fn is not None
         if numeric is None:
             results = [row_fn(**point) for point in points]

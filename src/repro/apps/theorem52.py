@@ -38,6 +38,7 @@ from typing import Tuple
 
 from ..core.atoms import local_fact
 from ..core.builder import PPSBuilder
+from ..core.errors import UnknownLocalStateError
 from ..core.facts import Fact
 from ..core.numeric import ProbabilityLike, as_fraction
 from ..core.pps import PPS
@@ -98,7 +99,14 @@ def bit_is_one() -> Fact:
 def _bit_of(raw: object) -> int:
     # Raw j-states are ("bit", b) in the direct construction and
     # ("bit", b, sent_marker) tuples in the protocol construction.
-    assert isinstance(raw, tuple) and raw[0] == "bit"
+    # Reachable from outside: phi_bit_is_one() can be applied to any
+    # system, so a foreign local state needs a typed error.
+    if not (isinstance(raw, tuple) and len(raw) >= 2 and raw[0] == "bit"):
+        raise UnknownLocalStateError(
+            f"agent {AGENT_J!r} local state {raw!r} does not carry a "
+            "('bit', b) payload; bit_is_one() applies only to "
+            "theorem-5.2 systems"
+        )
     return raw[1]
 
 

@@ -61,6 +61,8 @@ class AtLocalState(RunFact):
         return self.phi.holds(pps, run, time)
 
 
+# repro: allow[RP002] names an action by construction: the conservative
+# mentions_actions default (True) is exactly right.
 class AtAction(RunFact):
     """The run fact ``phi@alpha`` for a proper action ``alpha``."""
 

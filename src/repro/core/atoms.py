@@ -59,6 +59,8 @@ FALSE: RunFact = _Constant(False)
 """The fact that holds at no point of any system."""
 
 
+# repro: allow[RP002] action atom: the conservative mentions_actions
+# default (True) is exactly right for does_i(alpha).
 class Does(Fact):
     """The transient fact ``does_i(alpha)``.
 
@@ -91,6 +93,8 @@ def does_(agent: AgentId, action: Action) -> Does:
     return Does(agent, action)
 
 
+# repro: allow[RP002] action atom: the conservative mentions_actions
+# default (True) is exactly right for a performed-action fact.
 class Performed(RunFact):
     """The run fact ``alpha``: the action occurs somewhere in the run."""
 

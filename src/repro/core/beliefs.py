@@ -123,6 +123,8 @@ def belief_at_action(
     """
     t = performance_time(pps, agent, action, run)
     if t is None:
+        # repro: allow[RP001] float-mode return value: the caller asked
+        # for the float tier, so 0.0 is the contract, not a leak.
         return 0.0 if numeric == "float" else ZERO
     return belief_at(pps, agent, phi, run, t, numeric=numeric)
 
@@ -158,6 +160,7 @@ def belief_random_variable(
     def variable(run: Run) -> Probability:
         t = performance_time(pps, agent, action, run)
         if t is None:
+            # repro: allow[RP001] float-mode return value (see above).
             return 0.0 if numeric == "float" else ZERO
         local = run.local(agent, t)
         if local not in cache:
@@ -240,6 +243,8 @@ def _acting_lazy_beliefs(
     rows = []
     for local, cell in index.state_cells(agent, action).items():
         b = index.belief(agent, phi, local, numeric="auto")
+        # repro: allow[RP001] inlined LazyProb filter slack: 4*err+abs
+        # mirrors the certified bound of the lazyprob tier.
         rows.append((b.approx, 4.0 * b.err + _ABS, b, cell))
     return rows
 
@@ -260,6 +265,7 @@ def _met_mask(beliefs, bound, numeric: str) -> int:
             if approx >= bf:
                 met |= cell
         return met
+    # repro: allow[RP001] inlined LazyProb filter slack for the bound.
     bound_gap = 4.0 * abs(bf) * _REL
     uncertain = 0
     for approx, own_gap, b, cell in beliefs:

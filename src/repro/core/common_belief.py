@@ -100,6 +100,9 @@ def everyone_believes(
     return EveryoneBelieves(agents, phi, level)
 
 
+# repro: allow[RP002] extensional and system-specific by design:
+# identity keying is intended (point sets never transfer across trees),
+# only the action-dependence override matters.
 class _PointSetFact(Fact):
     """A fact defined extensionally by a set of points (internal)."""
 

@@ -516,6 +516,9 @@ class SystemIndex:
         O(overridden edges), not O(tree).
         """
         parent._ensure_actions()
+        # repro: allow[RP006] internal invariant: _ensure_actions() just
+        # populated _performing; the assert only narrows for the type
+        # checker.
         assert parent._performing is not None
         pps = self.pps
         performing = dict(parent._performing)
@@ -581,6 +584,8 @@ class SystemIndex:
             kept = [entry for entry in records.get(key, ()) if entry not in dropped]
             # Each edge contributed exactly one unique (t, mask) record,
             # so every strip target must have been present.
+            # repro: allow[RP006] internal bookkeeping invariant, not
+            # reachable from the public API.
             assert len(kept) == len(records.get(key, ())) - len(dropped)
             kept.extend(add.get(key, ()))
             records[key] = kept
@@ -676,6 +681,8 @@ class SystemIndex:
         verdicts certified on one backend are certified on both.
         """
         if mask == 0:
+            # repro: allow[RP001] float bounds are this API's contract:
+            # the bounds tier reports certified float envelopes.
             return (0.0, 0.0)
         cached = self._bounds_cache.get(mask)
         if cached is not None:
@@ -852,6 +859,8 @@ class SystemIndex:
     def performing_mask(self, agent: AgentId, action: Action) -> int:
         """The mask of ``R_alpha``: runs in which the action is performed."""
         self._ensure_actions()
+        # repro: allow[RP006] internal invariant: _ensure_actions() just
+        # populated _performing (type-narrowing only).
         assert self._performing is not None
         return self._performing.get((agent, action), 0)
 
@@ -1213,6 +1222,8 @@ class SystemIndex:
         if missing:
             masks = self.truths_at([facts[k] for k in missing], t, memo=memo)
             for k, mask in zip(missing, masks):
+                # repro: allow[RP007] exact-only tail: non-exact modes
+                # returned via _lazy_beliefs_batch above.
                 value = self.conditional(occurs & mask, occurs)
                 results[k] = value
                 if memo:
@@ -1285,6 +1296,8 @@ class SystemIndex:
         # Every run in the occurrence mask passes through ``local`` at
         # ``t`` (synchrony), so phi@l reduces to truth at time t.
         satisfied = occurs & self.holds_mask_at(phi, t, memo=memo)
+        # repro: allow[RP007] exact-only tail: non-exact modes returned
+        # via _lazy_belief above.
         result = self.conditional(satisfied, occurs)
         if memo:
             self._belief_cache[key] = result

@@ -85,7 +85,10 @@ mask_bounds` weight totals — the common denominator cancels against
     def pair():
         numerator = Fraction(0)
         for local, cell in items:
+            # repro: allow[RP007] exact oracle thunk: LazyProb
+            # escalation demands the exact values here by contract.
             numerator += index.probability(cell) * index.belief(agent, phi, local)
+        # repro: allow[RP007] exact oracle thunk (see above).
         value = numerator / index.probability(performing)
         return value.numerator, value.denominator
 

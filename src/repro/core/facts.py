@@ -192,6 +192,9 @@ class RunFact(Fact):
         return True
 
 
+# repro: allow[RP002] opaque predicate: nothing is known about action
+# dependence, so the conservative default (True) is the only sound
+# answer.
 class LambdaFact(Fact):
     """A transient fact defined by an arbitrary point predicate."""
 
@@ -211,6 +214,8 @@ class LambdaFact(Fact):
         return self._predicate(pps, run, t)
 
 
+# repro: allow[RP002] opaque predicate: the conservative
+# action-dependence default (True) is the only sound answer.
 class LambdaRunFact(RunFact):
     """A run fact defined by an arbitrary run predicate."""
 

@@ -274,6 +274,8 @@ class LazyProb:
             if pair is not None:
                 self._exact = Fraction(pair[0], pair[1])
             else:
+                # repro: allow[RP006] internal invariant: the
+                # constructor requires pair or thunk (type-narrowing).
                 assert self._thunk is not None
                 self._exact = self._thunk()
                 self._thunk = None

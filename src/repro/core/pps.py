@@ -285,7 +285,9 @@ class Run:
     def state(self, t: int) -> GlobalState:
         """The global state ``r(t)``."""
         node_state = self.nodes[t].state
-        assert node_state is not None  # runs never contain the root
+        # repro: allow[RP006] internal invariant: runs never contain
+        # the root, the only stateless node (type-narrowing).
+        assert node_state is not None
         return node_state
 
     def env_state(self, t: int) -> Hashable:

@@ -79,6 +79,8 @@ def _tokenize(text: str) -> List[_Token]:
         if match is None:
             raise FormulaError(f"unexpected character {text[pos]!r} at {pos}")
         kind = match.lastgroup
+        # repro: allow[RP006] internal invariant: every alternative of
+        # the lexer regex is a named group (type-narrowing).
         assert kind is not None
         if kind != "ws":
             tokens.append(_Token(kind, match.group(), pos))

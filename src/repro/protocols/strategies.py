@@ -119,6 +119,8 @@ def copy_tree(root: Node) -> Node:
         # Reversed push: children are copied (and numbered) first-child
         # first, exactly matching the recursive pre-order numbering.
         stack.extend((child, copy) for child in reversed(node.children))
+    # repro: allow[RP006] internal invariant: the stack starts non-empty
+    # so the root copy is always produced (type-narrowing).
     assert result is not None
     return result
 
@@ -164,12 +166,16 @@ def relabel_actions(
             while pairs:
                 source, target = pairs.pop()
                 via = pps.edge_action(source)
+                # repro: allow[RP003] construction phase: the target is
+                # a fresh private copy not yet published to any index.
                 target.via_action = dict(via) if via is not None else None
                 pairs.extend(zip(source.children, target.children))
         queue = deque([root])
         while queue:
             node = queue.popleft()
             if node.via_action is not None:
+                # repro: allow[RP003] construction phase: relabelling a
+                # fresh private copy before the PPS is published.
                 node.via_action = relabel(node, dict(node.via_action))
             queue.extend(node.children)
         return PPS(pps.agents, root, name=name or f"{pps.name}-relabelled")

@@ -1,0 +1,19 @@
+"""Static correctness tools for the :mod:`repro` codebase.
+
+The package is developer tooling, not library runtime: nothing under
+``repro.tools`` is imported by the engine, the compilers, or the
+analysis layer.  Its one entry point is the invariant analyzer
+
+.. code-block:: console
+
+    $ PYTHONPATH=src python -m repro.tools.check --strict
+
+which parses the whole source tree and enforces the hand-maintained
+invariants the layered engine optimizations rely on — exact-core
+modules stay float-free, ``Fact`` subclasses keep their
+``structural_key``/``mentions_actions`` contract coherent, interned
+trees stay immutable, engine memo caches stay structurally keyed, and
+the ``numeric=`` knob threads through every consumer.  See
+``docs/static-analysis.md`` for the rule catalogue and the
+suppression/baseline policy.
+"""

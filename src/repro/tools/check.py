@@ -1,0 +1,195 @@
+"""CLI of the invariant analyzer: ``python -m repro.tools.check``.
+
+Scans the library tree (``src/repro``) strictly and, by default, the
+``benchmarks/`` and ``examples/`` trees in advisory mode (findings are
+reported but never affect the exit status).  With ``--strict`` the
+process exits non-zero on any live, non-suppressed, non-baselined
+finding in the strict tree — this is the mode CI runs.
+
+Exit status: 0 clean (or non-strict run), 1 findings in strict mode,
+2 usage or parse errors.
+
+See ``docs/static-analysis.md`` for the rule catalogue and the
+suppression/baseline policy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .framework import (
+    CheckConfig,
+    CheckResult,
+    active_rules,
+    apply_baseline,
+    baseline_payload,
+    build_model,
+    check_files,
+    collect_files,
+    load_baseline,
+    render_json,
+    render_text,
+)
+from . import rules as _rules  # noqa: F401  (imports populate the registry)
+
+__all__ = ["main", "find_root"]
+
+ADVISORY_TREES = ("benchmarks", "examples")
+STRICT_TREE = "src/repro"
+BASELINE_NAME = ".repro-check-baseline.json"
+
+
+def find_root(start: Optional[Path] = None) -> Path:
+    """The repository root: the nearest ancestor holding ``src/repro``.
+
+    Starts from ``start`` (default: this file's location, falling back
+    to the working directory), so the analyzer finds its tree both when
+    run from a checkout and when pointed elsewhere with ``--root``.
+    """
+    candidates = []
+    if start is not None:
+        candidates.append(start)
+    else:
+        candidates.append(Path(__file__).resolve().parent)
+        candidates.append(Path.cwd())
+    for candidate in candidates:
+        current = candidate.resolve()
+        for ancestor in (current, *current.parents):
+            if (ancestor / STRICT_TREE).is_dir():
+                return ancestor
+    raise SystemExit(
+        f"cannot locate a repository root (no {STRICT_TREE}/ above "
+        f"{candidates[0]}); pass --root"
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.check",
+        description="Static invariant analyzer for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="root-relative files/directories to scan strictly "
+        f"(default: {STRICT_TREE})",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root (default: auto-detected)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on any non-baselined finding in the strict tree",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit a JSON report instead of text"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: <root>/{BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline file with the current strict findings "
+        "and exit 0 (grandfathering workflow; the committed baseline is "
+        "expected to stay empty)",
+    )
+    parser.add_argument(
+        "--no-advisory",
+        action="store_true",
+        help=f"skip the advisory scan of {'/'.join(ADVISORY_TREES)}",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    options = parser.parse_args(argv)
+
+    only = (
+        [part.strip() for part in options.rules.split(",") if part.strip()]
+        if options.rules
+        else None
+    )
+    try:
+        rules = active_rules(only)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    if options.list_rules:
+        for rule in rules:
+            print(f"{rule.id}  {rule.title}")
+        return 0
+
+    root = find_root(options.root)
+    config = CheckConfig()
+
+    strict_paths = list(options.paths) if options.paths else [STRICT_TREE]
+    strict_files = collect_files(root, strict_paths)
+    if not strict_files:
+        print(
+            f"no python files under {', '.join(strict_paths)} (root {root})",
+            file=sys.stderr,
+        )
+        return 2
+    advisory_files = (
+        []
+        if options.no_advisory
+        else collect_files(root, [t for t in ADVISORY_TREES if (root / t).is_dir()])
+    )
+
+    model = build_model(root, [*strict_files, *advisory_files], config)
+    strict_result = check_files(root, strict_files, config, model, rules)
+    advisory_result = (
+        check_files(root, advisory_files, config, model, rules, advisory=True)
+        if advisory_files
+        else CheckResult()
+    )
+
+    baseline_path = options.baseline or (root / BASELINE_NAME)
+    if options.write_baseline:
+        baseline_path.write_text(
+            baseline_payload(strict_result.findings), encoding="utf-8"
+        )
+        print(
+            f"wrote {len(strict_result.findings)} finding(s) to {baseline_path}"
+        )
+        return 0
+    baseline = load_baseline(baseline_path)
+    strict_result.findings, grandfathered = apply_baseline(
+        strict_result.findings, baseline
+    )
+
+    render = render_json if options.json else render_text
+    print(
+        render(
+            strict_result,
+            advisory_result,
+            rules,
+            grandfathered=grandfathered,
+        )
+    )
+
+    if strict_result.errors or advisory_result.errors:
+        return 2
+    if options.strict and strict_result.findings:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,615 @@
+"""The invariant rules of ``repro.tools.check`` (RP001–RP007).
+
+Each rule enforces one hand-maintained invariant the layered engine
+depends on; the catalogue with rationale lives in
+``docs/static-analysis.md``, the invariants themselves are recorded in
+``docs/engine.md``, ``docs/transforms.md`` and ``docs/numerics.md``.
+Rules are heuristic AST checks, not type inference: they are tuned so
+that every firing is worth a human look, and intentional exceptions
+are annotated in place with ``# repro: allow[RPnnn] <why>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .framework import FileContext, Finding, Rule, register
+
+__all__ = [
+    "FloatInExactCore",
+    "FactStructuralPair",
+    "ImmutableMutation",
+    "EngineCacheDiscipline",
+    "NondeterminismSource",
+    "BareAssert",
+    "NumericKnobDropped",
+]
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    """The bare callee name of a call (``f(...)`` or ``obj.f(...)``)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _names_in(node: ast.AST) -> Set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+_CTOR_METHODS = ("__init__", "__post_init__", "__new__")
+
+
+def _in_constructor(ctx: FileContext, node: ast.AST) -> bool:
+    enclosing = ctx.enclosing_function(node)
+    return enclosing is not None and enclosing.name in _CTOR_METHODS
+
+
+# ---------------------------------------------------------------------------
+# RP001
+# ---------------------------------------------------------------------------
+
+
+@register
+class FloatInExactCore(Rule):
+    """Float arithmetic inside exact-core modules.
+
+    The engine's guarantee (``docs/numerics.md``) is that every verdict
+    is exact-rational; floats are confined to the sanctioned numeric
+    tiers (``lazyprob``/``arraykernel``/``numeric``), which carry
+    certified error bounds.  A stray float literal, ``float()`` call,
+    or inexact ``math.*`` use anywhere else silently degrades verdicts
+    instead of crashing.  ``float()`` applied directly inside an
+    f-string substitution is exempt: conversion at the formatting
+    boundary is display-only and cannot reach a comparison.
+    """
+
+    id = "RP001"
+    title = "float arithmetic in exact-core module"
+    interests = (ast.Constant, ast.Call, ast.Attribute, ast.ImportFrom)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.config.is_exact_core(ctx.rel_path)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, float):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"float literal {node.value!r} in an exact-core module; "
+                    "exact verdicts must stay in Fraction/int arithmetic "
+                    "(floats belong to the lazyprob/arraykernel tiers)",
+                )
+        elif isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id == "float":
+                if isinstance(ctx.parent(node), ast.FormattedValue):
+                    return  # display-only conversion inside an f-string
+                yield self.finding(
+                    ctx,
+                    node,
+                    "float() conversion in an exact-core module; only the "
+                    "sanctioned numeric tiers may leave exact arithmetic",
+                )
+        elif isinstance(node, ast.Attribute):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "math"
+                and node.attr not in ctx.config.exact_math
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"math.{node.attr} in an exact-core module is inexact "
+                    "on rationals; use exact integer/Fraction arithmetic",
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "math":
+                for alias in node.names:
+                    if alias.name not in ctx.config.exact_math:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"from math import {alias.name} in an exact-core "
+                            "module; only integer-exact math functions "
+                            f"({', '.join(ctx.config.exact_math)}) are "
+                            "sanctioned",
+                        )
+
+
+# ---------------------------------------------------------------------------
+# RP002
+# ---------------------------------------------------------------------------
+
+
+@register
+class FactStructuralPair(Rule):
+    """Fact subclasses must keep ``_structure``/``_action_dependence`` paired.
+
+    The engine keys its memo caches on ``Fact.structural_key()`` and
+    decides derived-index cache inheritance by
+    ``Fact.mentions_actions()`` (``docs/engine.md``,
+    ``docs/transforms.md``).  Both derive from overridable hooks; a
+    subclass that declares one hook and silently inherits the other has
+    usually not *decided* the other — which is how a structurally
+    shared cache entry ends up inherited by a derived system whose
+    labels changed its truth value.  Classes where the inherited
+    default is genuinely correct say so with an inline allow.
+    """
+
+    id = "RP002"
+    title = "Fact subclass with unpaired _structure/_action_dependence"
+    interests = (ast.ClassDef,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if not isinstance(node, ast.ClassDef):
+            return
+        model = ctx.model
+        if node.name in ctx.config.fact_bases:
+            return
+        if not model.is_fact_subclass(node.name):
+            return
+        has_structure = model.defines_method(node.name, "_structure")
+        has_dependence = model.defines_method(node.name, "_action_dependence")
+        if has_structure and not has_dependence:
+            yield self.finding(
+                ctx,
+                node,
+                f"Fact subclass {node.name} defines _structure() (structural "
+                "cache sharing) but not _action_dependence(); derived-index "
+                "inheritance falls back to the conservative default — "
+                "define it, or allow[] with why the default is correct",
+            )
+        elif has_dependence and not has_structure:
+            yield self.finding(
+                ctx,
+                node,
+                f"Fact subclass {node.name} defines _action_dependence() but "
+                "not _structure(); its cache entries stay identity-keyed "
+                "while claiming a sharing property — define _structure(), "
+                "or allow[] with why identity keying is intended",
+            )
+
+
+# ---------------------------------------------------------------------------
+# RP003
+# ---------------------------------------------------------------------------
+
+
+@register
+class ImmutableMutation(Rule):
+    """Attribute assignment on interned/immutable objects after construction.
+
+    Engine indices and intern tables are "never invalidated"
+    (``docs/engine.md``): that is sound only while ``Node``/``Config``/
+    ``GlobalState``/``Fact`` instances stay frozen after ``__init__``.
+    A post-construction assignment silently stales every cache keyed on
+    the object.  Declared memo slots (cached hashes, cached structural
+    keys) are the sanctioned exception; construction-phase mutation of
+    freshly copied private trees gets an inline allow.
+    """
+
+    id = "RP003"
+    title = "mutation of interned/immutable object outside construction"
+    interests = (ast.ClassDef, ast.Assign, ast.AugAssign, ast.Call)
+
+    def _is_immutable_class(self, name: str, ctx: FileContext) -> bool:
+        return name in ctx.config.immutable_classes or ctx.model.is_fact_subclass(
+            name
+        )
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.ClassDef):
+            yield from self._check_class(node, ctx)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            yield from self._check_assign(node, ctx)
+        elif isinstance(node, ast.Call):
+            yield from self._check_setattr(node, ctx)
+
+    # -- self.x = ... inside methods of immutable classes --------------
+
+    def _check_class(self, node: ast.ClassDef, ctx: FileContext) -> Iterator[Finding]:
+        if not self._is_immutable_class(node.name, ctx):
+            return
+        for item in node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name in _CTOR_METHODS:
+                continue
+            for sub in ast.walk(item):
+                if isinstance(sub, (ast.Assign, ast.AugAssign)):
+                    for target in self._targets(sub):
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                            and target.attr not in ctx.config.memo_slots
+                        ):
+                            yield self.finding(
+                                ctx,
+                                sub,
+                                f"{node.name}.{item.name} assigns "
+                                f"self.{target.attr} outside __init__/"
+                                "__post_init__ on an interned/immutable "
+                                "class; memo caches keyed on the instance "
+                                "go silently stale",
+                            )
+
+    @staticmethod
+    def _targets(node) -> Sequence[ast.AST]:
+        return node.targets if isinstance(node, ast.Assign) else [node.target]
+
+    # -- <expr>.via_action = ... anywhere -------------------------------
+
+    def _check_assign(self, node, ctx: FileContext) -> Iterator[Finding]:
+        if _in_constructor(ctx, node):
+            return
+        for target in self._targets(node):
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr in ctx.config.immutable_attrs
+            ):
+                # self.x inside immutable-class methods is reported by
+                # _check_class with the class context; everything else
+                # (node.via_action = ..., state.env = ...) lands here.
+                if (
+                    isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"assignment to .{target.attr} mutates an interned/"
+                    "immutable tree object after construction; build a new "
+                    "node or record an overlay instead (docs/transforms.md)",
+                )
+
+    # -- object.__setattr__ escapes -------------------------------------
+
+    def _check_setattr(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr == "__setattr__"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "object"
+        ):
+            return
+        if _in_constructor(ctx, node):
+            return
+        enclosing = ctx.enclosing_function(node)
+        if enclosing is not None and enclosing.name in ("__setstate__", "__getstate__"):
+            return
+        if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+            attr = node.args[1].value
+            if isinstance(attr, str) and attr in ctx.config.memo_slots:
+                return
+            label = f"object.__setattr__(..., {attr!r}, ...)"
+        else:
+            label = "object.__setattr__ with a dynamic attribute"
+        yield self.finding(
+            ctx,
+            node,
+            f"{label} outside construction bypasses immutability on a "
+            "frozen instance; only declared memo slots "
+            f"({', '.join(ctx.config.memo_slots)}) may backfill",
+        )
+
+
+# ---------------------------------------------------------------------------
+# RP004
+# ---------------------------------------------------------------------------
+
+
+@register
+class EngineCacheDiscipline(Rule):
+    """Engine fact-cache writes must stay structurally keyed and recorded.
+
+    Every fact-keyed memo cache of ``SystemIndex`` keys on
+    ``Fact.structural_key()`` (via ``_fact_key``/``_cache_key``), and
+    the *inheritable* caches additionally record ``_action_free`` at
+    every write — that record is exactly what a derived index copies
+    (``docs/transforms.md``).  A write that skips either step poisons
+    structural sharing or derived-system inheritance without failing a
+    single direct test.  The check is function-scoped: a function that
+    writes such a cache must derive a key (or receive pre-keyed entries
+    through a parameter) and, for inheritable caches, must call the
+    recorder.
+    """
+
+    id = "RP004"
+    title = "engine fact-cache write without key/action-free discipline"
+    interests = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.matches(ctx.config.engine_modules)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        config = ctx.config
+        inheritable = set(config.inheritable_fact_caches)
+        fact_keyed = inheritable | set(config.fact_keyed_caches)
+
+        params = {arg.arg for arg in node.args.args}
+        params |= {arg.arg for arg in node.args.kwonlyargs}
+        params |= {arg.arg for arg in node.args.posonlyargs}
+
+        aliases: Set[str] = set()  # locals holding a fact-cache mapping
+        keying_called = False
+        recorder_called = False
+        param_derived: Set[str] = set(params)
+        writes: List[Tuple[ast.Assign, str, bool]] = []
+
+        def cache_reference(expr: ast.AST) -> Optional[Tuple[str, bool]]:
+            """(cache name, inheritable?) when expr denotes a fact cache."""
+            for sub in ast.walk(expr):
+                if isinstance(sub, ast.Attribute):
+                    if sub.attr in fact_keyed:
+                        return sub.attr, sub.attr in inheritable
+                    if sub.attr in config.cache_accessors:
+                        return sub.attr, True
+            return None
+
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                name = _call_name(sub)
+                if name in config.key_derivers:
+                    keying_called = True
+                if name in config.action_free_recorders:
+                    recorder_called = True
+            elif isinstance(sub, ast.For):
+                # Loop targets fed from a parameter carry pre-keyed
+                # entries (the caller derived the keys).
+                if _names_in(sub.iter) & param_derived:
+                    param_derived |= _names_in(sub.target)
+            elif isinstance(sub, ast.Assign):
+                targets = sub.targets
+                if (
+                    len(targets) == 1
+                    and isinstance(targets[0], ast.Name)
+                    and cache_reference(sub.value) is not None
+                ):
+                    aliases.add(targets[0].id)
+                for target in targets:
+                    if isinstance(target, ast.Subscript):
+                        container = target.value
+                        ref = cache_reference(container)
+                        if ref is None and (
+                            isinstance(container, ast.Name)
+                            and container.id in aliases
+                        ):
+                            ref = (container.id, True)
+                        if ref is not None:
+                            writes.append((sub, ref[0], ref[1]))
+
+        for write, cache_name, is_inheritable in writes:
+            target = write.targets[0]
+            key_expr = target.slice if isinstance(target, ast.Subscript) else target
+            key_names = _names_in(key_expr)
+            if not keying_called and not (key_names and key_names <= param_derived):
+                yield self.finding(
+                    ctx,
+                    write,
+                    f"write to fact-keyed cache {cache_name} without a "
+                    "structural key: derive the key via _fact_key()/"
+                    "_cache_key()/structural_key() (or receive pre-keyed "
+                    "entries through a parameter)",
+                )
+            if is_inheritable and not recorder_called:
+                yield self.finding(
+                    ctx,
+                    write,
+                    f"write to inheritable fact cache {cache_name} without "
+                    "recording _action_free (_note_action_free); derived "
+                    "indices inherit exactly the recorded entries "
+                    "(docs/transforms.md)",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RP005
+# ---------------------------------------------------------------------------
+
+
+@register
+class NondeterminismSource(Rule):
+    """Nondeterminism in compiler/engine paths.
+
+    Compiled trees pin their uid sequences, leaf orders, and cache keys
+    across processes (``docs/compiler.md`` determinism tests).  Sorting
+    by ``id()``, iterating a set into ordered output, or drawing from
+    the process-global unseeded RNG makes those artifacts
+    allocation-/hash-seed-dependent — bugs that only reproduce on some
+    runs.
+    """
+
+    id = "RP005"
+    title = "nondeterminism source in deterministic compiler/engine path"
+    interests = (ast.Call, ast.For, ast.Attribute)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.matches(ctx.config.deterministic_modules)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.Call):
+            yield from self._check_call(node, ctx)
+        elif isinstance(node, ast.For):
+            if isinstance(node.iter, ast.Set) or (
+                isinstance(node.iter, ast.Call)
+                and isinstance(node.iter.func, ast.Name)
+                and node.iter.func.id in ("set", "frozenset")
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "iterating a set in a deterministic path: iteration "
+                    "order is hash-dependent; sort it (or iterate a list/"
+                    "dict, which preserve insertion order)",
+                )
+        elif isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "random":
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"random.{node.attr} uses the process-global unseeded "
+                    "RNG in a deterministic path; take an explicit seeded "
+                    "random.Random parameter instead",
+                )
+
+    def _check_call(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
+        name = _call_name(node)
+        if name in ("sorted", "sort"):
+            for keyword in node.keywords:
+                if keyword.arg != "key":
+                    continue
+                value = keyword.value
+                uses_id = (isinstance(value, ast.Name) and value.id == "id") or any(
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and sub.func.id == "id"
+                    for sub in ast.walk(value)
+                )
+                if uses_id:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "sort keyed on id() orders by allocation address — "
+                        "nondeterministic across processes; key on a stable "
+                        "attribute (uid, depth, name) instead",
+                    )
+        elif name == "Random" and not node.args and not node.keywords:
+            yield self.finding(
+                ctx,
+                node,
+                "Random() without a seed in a deterministic path; pass an "
+                "explicit seed (or accept a seeded Random parameter)",
+            )
+
+
+# ---------------------------------------------------------------------------
+# RP006
+# ---------------------------------------------------------------------------
+
+
+@register
+class BareAssert(Rule):
+    """Bare ``assert`` statements in library code.
+
+    Asserts vanish under ``python -O``, so a precondition they guard
+    becomes silently unchecked in optimized deployments — and their
+    failure raises a bare ``AssertionError`` no caller can usefully
+    catch.  User-facing preconditions belong in typed exceptions from
+    ``repro.core.errors`` naming the offending object; genuinely
+    internal invariants (unreachable via the public API) keep the
+    assert with an inline allow stating why.
+    """
+
+    id = "RP006"
+    title = "bare assert in library code"
+    interests = (ast.Assert,)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # Benchmarks/examples use asserts as their enforcement gates;
+        # the rule is about the importable library tree.
+        return not ctx.advisory
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        yield self.finding(
+            ctx,
+            node,
+            "bare assert vanishes under python -O; raise a typed error "
+            "from repro.core.errors naming the offending object, or "
+            "allow[] with why this is an internal invariant",
+        )
+
+
+# ---------------------------------------------------------------------------
+# RP007
+# ---------------------------------------------------------------------------
+
+
+@register
+class NumericKnobDropped(Rule):
+    """``numeric=``-accepting functions must thread the knob to callees.
+
+    The two-tier kernel's contract (``docs/numerics.md``) is that one
+    ``numeric="auto"`` knob flips a whole computation onto the float
+    fast path; a consumer that accepts the knob but calls a
+    numeric-aware callee without forwarding it silently pins that
+    subtree to exact mode (a performance bug) — or, worse, mixes modes
+    across a comparison.  Calls inside a branch whose condition tests
+    ``numeric`` are exempt: the author demonstrably dispatched on the
+    mode, so pinning the callee is the point of the branch.  Other
+    intentional drops (mode-independent verdicts, guard overrides) say
+    so with an inline allow.
+    """
+
+    id = "RP007"
+    title = "numeric= knob accepted but not threaded to callee"
+    interests = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    @staticmethod
+    def _mode_decided(call: ast.Call, scope: ast.AST, ctx: FileContext) -> bool:
+        """True when the call sits under an if/ternary that tests numeric."""
+        current: Optional[ast.AST] = call
+        while current is not None and current is not scope:
+            current = ctx.parent(current)
+            if isinstance(current, (ast.If, ast.IfExp)):
+                if "numeric" in _names_in(current.test):
+                    return True
+        return False
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        arg_names = {arg.arg for arg in node.args.args}
+        arg_names |= {arg.arg for arg in node.args.kwonlyargs}
+        arg_names |= {arg.arg for arg in node.args.posonlyargs}
+        if "numeric" not in arg_names:
+            return
+        # Nested functions with their own numeric parameter are visited
+        # separately; skip their bodies here so calls are not charged to
+        # the wrong scope.
+        nested_with_numeric = [
+            sub
+            for sub in ast.walk(node)
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and sub is not node
+            and any(
+                arg.arg == "numeric"
+                for arg in (
+                    *sub.args.args,
+                    *sub.args.kwonlyargs,
+                    *sub.args.posonlyargs,
+                )
+            )
+        ]
+        skip: Set[int] = set()
+        for nested in nested_with_numeric:
+            for sub in ast.walk(nested):
+                skip.add(id(sub))
+        for sub in ast.walk(node):
+            if id(sub) in skip or not isinstance(sub, ast.Call):
+                continue
+            callee = _call_name(sub)
+            if callee is None:
+                continue
+            # Self-recursion is checked like any other call: a recursive
+            # step that drops the knob pins the rest of the computation.
+            if self._mode_decided(sub, node, ctx):
+                continue
+            if ctx.model.numeric_threaded(sub, callee) is False:
+                yield self.finding(
+                    ctx,
+                    sub,
+                    f"call to numeric-aware {callee}() drops the numeric= "
+                    "knob accepted by "
+                    f"{node.name}(); forward numeric=numeric, or allow[] "
+                    "with why this callee is intentionally mode-pinned",
+                )

@@ -1,0 +1,851 @@
+"""Tests for the static invariant analyzer (``repro.tools.check``).
+
+Every rule gets a positive fixture (the rule fires), a negative fixture
+(analogous clean code stays silent), and a suppressed fixture (an
+inline ``# repro: allow[...]`` silences it).  A meta-test then runs the
+analyzer over the live source tree and requires a clean strict pass —
+the same gate CI enforces.
+"""
+
+import ast
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.tools import rules as _rules  # noqa: F401  (populates REGISTRY)
+from repro.tools import check as check_cli
+from repro.tools.framework import (
+    CheckConfig,
+    Finding,
+    ProjectModel,
+    REGISTRY,
+    active_rules,
+    apply_baseline,
+    baseline_payload,
+    check_source,
+    load_baseline,
+    render_json,
+    render_text,
+)
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def run_rule(source, rule, config=None, rel_path="snippet.py", extra=()):
+    """Run one rule (or several) over a dedented source snippet."""
+    source = textwrap.dedent(source)
+    config = config or CheckConfig()
+    model = ProjectModel(config)
+    try:
+        model.add_file(rel_path, ast.parse(source))
+    except SyntaxError:
+        pass  # check_source reports it as a PARSE error
+
+    for extra_path, extra_source in extra:
+        model.add_file(extra_path, ast.parse(textwrap.dedent(extra_source)))
+    ids = [rule] if isinstance(rule, str) else list(rule)
+    return check_source(source, rel_path, config, model, active_rules(ids))
+
+
+def rule_ids(result):
+    return [finding.rule for finding in result.findings]
+
+
+# ---------------------------------------------------------------------------
+# Registry basics
+# ---------------------------------------------------------------------------
+
+
+def test_all_seven_rules_registered():
+    assert {
+        "RP001",
+        "RP002",
+        "RP003",
+        "RP004",
+        "RP005",
+        "RP006",
+        "RP007",
+    } <= set(REGISTRY)
+    assert len(REGISTRY) >= 7
+
+
+def test_active_rules_rejects_unknown_ids():
+    with pytest.raises(KeyError):
+        active_rules(["RP999"])
+
+
+# ---------------------------------------------------------------------------
+# RP001: float arithmetic in exact-core modules
+# ---------------------------------------------------------------------------
+
+
+def exact_core_config():
+    return CheckConfig(exact_core=("snippet.py",), numeric_tiers=())
+
+
+def test_rp001_fires_on_float_literal_call_and_math():
+    result = run_rule(
+        """
+        import math
+        HALF = 0.5
+        def f(x):
+            return float(x) + math.sqrt(2)
+        """,
+        "RP001",
+        exact_core_config(),
+    )
+    assert rule_ids(result) == ["RP001", "RP001", "RP001"]
+
+
+def test_rp001_fires_on_inexact_from_math_import():
+    result = run_rule(
+        "from math import sqrt\n", "RP001", exact_core_config()
+    )
+    assert rule_ids(result) == ["RP001"]
+
+
+def test_rp001_clean_on_exact_arithmetic():
+    result = run_rule(
+        """
+        import math
+        from fractions import Fraction
+        from math import gcd
+        def f(a, b):
+            return Fraction(a, b) + math.comb(b, 2) + gcd(a, b)
+        """,
+        "RP001",
+        exact_core_config(),
+    )
+    assert result.findings == []
+
+
+def test_rp001_exempts_fstring_display_conversion():
+    result = run_rule(
+        """
+        def show(x):
+            return f"{float(x):.6g}"
+        """,
+        "RP001",
+        exact_core_config(),
+    )
+    assert result.findings == []
+
+
+def test_rp001_silent_outside_exact_core():
+    result = run_rule("HALF = 0.5\n", "RP001", CheckConfig())
+    assert result.findings == []
+
+
+def test_rp001_silent_in_sanctioned_numeric_tier():
+    config = CheckConfig(exact_core=("snippet.py",), numeric_tiers=("snippet.py",))
+    result = run_rule("HALF = 0.5\n", "RP001", config)
+    assert result.findings == []
+
+
+def test_rp001_suppressed_by_allow_comment():
+    result = run_rule(
+        "HALF = 0.5  # repro: allow[RP001] display constant\n",
+        "RP001",
+        exact_core_config(),
+    )
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# RP002: Fact subclasses with an unpaired structural hook
+# ---------------------------------------------------------------------------
+
+
+def test_rp002_fires_on_structure_without_dependence():
+    result = run_rule(
+        """
+        class Half(Fact):
+            def _structure(self):
+                return ("half",)
+        """,
+        "RP002",
+    )
+    assert rule_ids(result) == ["RP002"]
+    assert "Half" in result.findings[0].message
+
+
+def test_rp002_fires_on_dependence_without_structure():
+    result = run_rule(
+        """
+        class Half(Fact):
+            def _action_dependence(self):
+                return False
+        """,
+        "RP002",
+    )
+    assert rule_ids(result) == ["RP002"]
+
+
+def test_rp002_clean_when_paired_or_fully_inherited():
+    result = run_rule(
+        """
+        class Paired(Fact):
+            def _structure(self):
+                return ("p",)
+            def _action_dependence(self):
+                return False
+
+        class Inherited(Fact):
+            pass
+
+        class NotAFact:
+            def _structure(self):
+                return ()
+        """,
+        "RP002",
+    )
+    assert result.findings == []
+
+
+def test_rp002_sees_inheritance_across_files():
+    # Middle is defined in another scanned file; Leaf inherits its
+    # _structure, so defining only _action_dependence pairs up fine.
+    result = run_rule(
+        """
+        class Leaf(Middle):
+            def _action_dependence(self):
+                return False
+        """,
+        "RP002",
+        extra=[
+            (
+                "other.py",
+                """
+                class Middle(Fact):
+                    def _structure(self):
+                        return ("m",)
+                """,
+            )
+        ],
+    )
+    assert result.findings == []
+
+
+def test_rp002_suppressed_by_comment_block_above_class():
+    result = run_rule(
+        """
+        # repro: allow[RP002] action atom: the conservative default is
+        # exactly right for this fact family.
+        class Half(Fact):
+            def _structure(self):
+                return ("half",)
+        """,
+        "RP002",
+    )
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# RP003: mutation of interned/immutable objects
+# ---------------------------------------------------------------------------
+
+
+def test_rp003_fires_on_method_mutation_of_immutable_class():
+    result = run_rule(
+        """
+        class Node:
+            def __init__(self, state):
+                self.state = state
+            def rewrite(self, state):
+                self.state = state
+        """,
+        "RP003",
+    )
+    assert rule_ids(result) == ["RP003"]
+    assert "rewrite" in result.findings[0].message
+
+
+def test_rp003_memo_slot_backfill_is_sanctioned():
+    result = run_rule(
+        """
+        class Node:
+            def __hash__(self):
+                self._hash = 7
+                return self._hash
+        """,
+        "RP003",
+    )
+    assert result.findings == []
+
+
+def test_rp003_fires_on_immutable_attr_assignment():
+    result = run_rule(
+        """
+        def relabel(node, via):
+            node.via_action = via
+        """,
+        "RP003",
+    )
+    assert rule_ids(result) == ["RP003"]
+
+
+def test_rp003_constructor_assignment_is_clean():
+    result = run_rule(
+        """
+        class Wrapper:
+            def __init__(self, node, via):
+                node.via_action = via
+                self.node = node
+        """,
+        "RP003",
+    )
+    assert result.findings == []
+
+
+def test_rp003_fires_on_object_setattr_outside_ctor():
+    result = run_rule(
+        """
+        class Config:
+            def poke(self, value):
+                object.__setattr__(self, "env", value)
+        """,
+        "RP003",
+    )
+    assert rule_ids(result) == ["RP003"]
+
+
+def test_rp003_object_setattr_memo_slot_or_ctor_is_clean():
+    result = run_rule(
+        """
+        class Config:
+            def __init__(self, env):
+                object.__setattr__(self, "env", env)
+            def __hash__(self):
+                object.__setattr__(self, "_hash", 7)
+                return self._hash
+        """,
+        "RP003",
+    )
+    assert result.findings == []
+
+
+def test_rp003_suppressed_by_allow_comment():
+    result = run_rule(
+        """
+        def relabel(node, via):
+            # repro: allow[RP003] fresh private copy, not yet published
+            node.via_action = via
+        """,
+        "RP003",
+    )
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# RP004: engine fact-cache discipline
+# ---------------------------------------------------------------------------
+
+
+def engine_config():
+    return CheckConfig(engine_modules=("snippet.py",))
+
+
+def test_rp004_fires_on_unkeyed_and_unrecorded_write():
+    result = run_rule(
+        """
+        class SystemIndex:
+            def stash(self, fact):
+                entry = self._compute(fact)
+                self._belief_cache[entry] = 1
+        """,
+        "RP004",
+        engine_config(),
+    )
+    # One finding for the missing structural key, one for the missing
+    # _action_free record (the cache is inheritable).
+    assert rule_ids(result) == ["RP004", "RP004"]
+
+
+def test_rp004_fires_on_missing_action_free_record_only():
+    result = run_rule(
+        """
+        class SystemIndex:
+            def stash(self, fact, value):
+                key = self._fact_key(fact)
+                self._belief_cache[key] = value
+        """,
+        "RP004",
+        engine_config(),
+    )
+    assert rule_ids(result) == ["RP004"]
+    assert "_note_action_free" in result.findings[0].message
+
+
+def test_rp004_clean_disciplined_write():
+    result = run_rule(
+        """
+        class SystemIndex:
+            def stash(self, fact, value):
+                key = self._fact_key(fact)
+                self._belief_cache[key] = value
+                self._note_action_free(key, fact)
+        """,
+        "RP004",
+        engine_config(),
+    )
+    assert result.findings == []
+
+
+def test_rp004_non_inheritable_cache_needs_only_the_key():
+    result = run_rule(
+        """
+        class SystemIndex:
+            def stash(self, fact, value):
+                key = self._cache_key(fact)
+                self._independence_cache[key] = value
+        """,
+        "RP004",
+        engine_config(),
+    )
+    assert result.findings == []
+
+
+def test_rp004_blesses_pre_keyed_entries_from_parameter():
+    result = run_rule(
+        """
+        class SystemIndex:
+            def flush(self, pending):
+                for key, value in pending:
+                    self._independence_cache[key] = value
+        """,
+        "RP004",
+        engine_config(),
+    )
+    assert result.findings == []
+
+
+def test_rp004_silent_outside_engine_modules():
+    result = run_rule(
+        """
+        class SystemIndex:
+            def stash(self, fact):
+                entry = self._compute(fact)
+                self._belief_cache[entry] = 1
+        """,
+        "RP004",
+        CheckConfig(engine_modules=("somewhere_else.py",)),
+    )
+    assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RP005: nondeterminism sources
+# ---------------------------------------------------------------------------
+
+
+def deterministic_config():
+    return CheckConfig(deterministic_modules=("snippet.py",))
+
+
+def test_rp005_fires_on_id_sort_set_iteration_and_global_rng():
+    result = run_rule(
+        """
+        import random
+        def compile_tree(nodes):
+            ordered = sorted(nodes, key=id)
+            for node in set(nodes):
+                random.shuffle(node)
+            return ordered
+        """,
+        "RP005",
+        deterministic_config(),
+    )
+    assert rule_ids(result) == ["RP005", "RP005", "RP005"]
+
+
+def test_rp005_fires_on_unseeded_random_instance():
+    result = run_rule(
+        """
+        from random import Random
+        def shuffler():
+            return Random()
+        """,
+        "RP005",
+        deterministic_config(),
+    )
+    assert rule_ids(result) == ["RP005"]
+
+
+def test_rp005_clean_deterministic_idioms():
+    result = run_rule(
+        """
+        from random import Random
+        def compile_tree(nodes, seed):
+            rng = Random(seed)
+            ordered = sorted(nodes, key=lambda n: n.uid)
+            for node in sorted(set(nodes), key=lambda n: n.uid):
+                rng.shuffle(node)
+            return ordered
+        """,
+        "RP005",
+        deterministic_config(),
+    )
+    assert result.findings == []
+
+
+def test_rp005_silent_outside_deterministic_modules():
+    result = run_rule(
+        "ordered = sorted([], key=id)\n", "RP005", CheckConfig()
+    )
+    assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RP006: bare asserts
+# ---------------------------------------------------------------------------
+
+
+def test_rp006_fires_on_bare_assert():
+    result = run_rule(
+        """
+        def f(x):
+            assert x > 0
+            return x
+        """,
+        "RP006",
+    )
+    assert rule_ids(result) == ["RP006"]
+
+
+def test_rp006_clean_on_typed_raise():
+    result = run_rule(
+        """
+        def f(x):
+            if x <= 0:
+                raise ValueError(f"x must be positive, got {x}")
+            return x
+        """,
+        "RP006",
+    )
+    assert result.findings == []
+
+
+def test_rp006_skips_advisory_trees():
+    source = "def f(x):\n    assert x > 0\n"
+    config = CheckConfig()
+    model = ProjectModel(config)
+    model.add_file("bench.py", ast.parse(source))
+    result = check_source(
+        source, "bench.py", config, model, active_rules(["RP006"]), advisory=True
+    )
+    assert result.findings == []
+
+
+def test_rp006_suppressed_with_justification():
+    result = run_rule(
+        """
+        def f(x):
+            # repro: allow[RP006] internal invariant (type-narrowing)
+            assert x is not None
+            return x
+        """,
+        "RP006",
+    )
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# RP007: dropped numeric= knob
+# ---------------------------------------------------------------------------
+
+NUMERIC_HELPER = """
+def helper(x, numeric="auto"):
+    return x
+"""
+
+
+def test_rp007_fires_on_dropped_knob():
+    result = run_rule(
+        NUMERIC_HELPER
+        + textwrap.dedent("""
+        def outer(x, numeric="auto"):
+            return helper(x)
+        """),
+        "RP007",
+    )
+    assert rule_ids(result) == ["RP007"]
+    assert "helper" in result.findings[0].message
+
+
+def test_rp007_clean_when_threaded():
+    result = run_rule(
+        NUMERIC_HELPER
+        + textwrap.dedent("""
+        def by_keyword(x, numeric="auto"):
+            return helper(x, numeric=numeric)
+
+        def by_position(x, numeric="auto"):
+            return helper(x, numeric)
+
+        def by_splat(x, numeric="auto", **kw):
+            return helper(x, **kw)
+        """),
+        "RP007",
+    )
+    assert result.findings == []
+
+
+def test_rp007_exempts_mode_decided_branches():
+    result = run_rule(
+        NUMERIC_HELPER
+        + textwrap.dedent("""
+        def outer(x, numeric="auto"):
+            if numeric == "exact":
+                return helper(x)
+            return helper(x, numeric=numeric)
+        """),
+        "RP007",
+    )
+    assert result.findings == []
+
+
+def test_rp007_silent_without_numeric_parameter():
+    result = run_rule(
+        NUMERIC_HELPER
+        + textwrap.dedent("""
+        def outer(x):
+            return helper(x)
+        """),
+        "RP007",
+    )
+    assert result.findings == []
+
+
+def test_rp007_nested_function_charged_to_its_own_scope():
+    result = run_rule(
+        NUMERIC_HELPER
+        + textwrap.dedent("""
+        def outer(x, numeric="auto"):
+            def inner(y, numeric="auto"):
+                return helper(y)
+            return inner(x, numeric=numeric)
+        """),
+        "RP007",
+    )
+    # Only inner() drops the knob; outer() threads it to inner().
+    assert rule_ids(result) == ["RP007"]
+    assert "inner()" in result.findings[0].message
+
+
+def test_rp007_suppressed_by_allow_comment():
+    result = run_rule(
+        NUMERIC_HELPER
+        + textwrap.dedent("""
+        def outer(x, numeric="auto"):
+            # repro: allow[RP007] mode-independent verdict by contract
+            return helper(x)
+        """),
+        "RP007",
+    )
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# Suppression machinery
+# ---------------------------------------------------------------------------
+
+
+def test_unused_allow_comment_is_reported():
+    result = run_rule(
+        "x = 1  # repro: allow[RP006] nothing here\n", "RP006"
+    )
+    assert result.findings == []
+    assert result.unused_allows == [("snippet.py", 1)]
+
+
+def test_docstring_mention_of_allow_syntax_is_inert():
+    result = run_rule(
+        '''
+        """Suppress findings with ``# repro: allow[RP006] why``."""
+
+        def f(x):
+            assert x
+        ''',
+        "RP006",
+    )
+    # The docstring neither suppresses the assert nor registers as an
+    # unused allow comment.
+    assert rule_ids(result) == ["RP006"]
+    assert result.unused_allows == []
+
+
+def test_wildcard_allow_suppresses_any_rule():
+    result = run_rule(
+        """
+        def f(x):
+            assert x  # repro: allow[*] fixture escape hatch
+        """,
+        "RP006",
+    )
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_syntax_error_becomes_parse_finding():
+    result = run_rule("def broken(:\n", "RP006")
+    assert result.findings == []
+    assert [finding.rule for finding in result.errors] == ["PARSE"]
+
+
+# ---------------------------------------------------------------------------
+# Baseline machinery
+# ---------------------------------------------------------------------------
+
+
+def test_baseline_roundtrip_ignores_line_drift(tmp_path):
+    finding = Finding("RP006", "pkg/mod.py", 10, "bare assert ...")
+    path = tmp_path / "baseline.json"
+    path.write_text(baseline_payload([finding]), encoding="utf-8")
+    baseline = load_baseline(path)
+    moved = Finding("RP006", "pkg/mod.py", 99, "bare assert ...")
+    changed = Finding("RP006", "pkg/mod.py", 10, "different message")
+    fresh, grandfathered = apply_baseline([moved, changed], baseline)
+    assert fresh == [changed]
+    assert grandfathered == 1
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "absent.json") == set()
+
+
+# ---------------------------------------------------------------------------
+# Reporters
+# ---------------------------------------------------------------------------
+
+
+def make_results():
+    strict = run_rule("def f(x):\n    assert x\n", "RP006")
+    advisory = run_rule(
+        "def g(node, via):\n    node.via_action = via\n", "RP003"
+    )
+    for finding in advisory.findings:
+        object.__setattr__(finding, "advisory", True)
+    return strict, advisory
+
+
+def test_render_text_layout():
+    strict, advisory = make_results()
+    text = render_text(strict, advisory, active_rules(["RP003", "RP006"]))
+    assert "snippet.py:2: RP006" in text
+    assert "advisory (non-blocking):" in text
+    assert "1 finding(s)" in text and "1 advisory" in text
+
+
+def test_render_json_is_machine_readable():
+    strict, advisory = make_results()
+    payload = json.loads(
+        render_json(strict, advisory, active_rules(["RP003", "RP006"]))
+    )
+    assert payload["findings"][0]["rule"] == "RP006"
+    assert payload["advisory"][0]["rule"] == "RP003"
+    assert {entry["id"] for entry in payload["rules"]} == {"RP003", "RP006"}
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def make_repo(tmp_path, source, *, bench=None):
+    tree = tmp_path / "src" / "repro"
+    tree.mkdir(parents=True)
+    (tree / "mod.py").write_text(textwrap.dedent(source), encoding="utf-8")
+    if bench is not None:
+        bench_dir = tmp_path / "benchmarks"
+        bench_dir.mkdir()
+        (bench_dir / "bench.py").write_text(
+            textwrap.dedent(bench), encoding="utf-8"
+        )
+    return tmp_path
+
+
+def test_cli_strict_exit_codes(tmp_path, capsys):
+    root = make_repo(tmp_path, "def f(x):\n    assert x\n")
+    assert check_cli.main(["--root", str(root)]) == 0
+    assert check_cli.main(["--root", str(root), "--strict"]) == 1
+    out = capsys.readouterr().out
+    assert "src/repro/mod.py:2: RP006" in out
+
+
+def test_cli_clean_tree_exits_zero(tmp_path):
+    root = make_repo(tmp_path, "def f(x):\n    return x\n")
+    assert check_cli.main(["--root", str(root), "--strict"]) == 0
+
+
+def test_cli_advisory_findings_do_not_block(tmp_path, capsys):
+    root = make_repo(
+        tmp_path,
+        "def f(x):\n    return x\n",
+        bench="def g(node, via):\n    node.via_action = via\n",
+    )
+    assert check_cli.main(["--root", str(root), "--strict"]) == 0
+    out = capsys.readouterr().out
+    assert "advisory (non-blocking):" in out
+    assert "benchmarks/bench.py:2: RP003" in out
+
+
+def test_cli_write_baseline_grandfathers_findings(tmp_path, capsys):
+    root = make_repo(tmp_path, "def f(x):\n    assert x\n")
+    assert check_cli.main(["--root", str(root), "--write-baseline"]) == 0
+    baseline = root / check_cli.BASELINE_NAME
+    assert baseline.exists()
+    capsys.readouterr()
+    assert check_cli.main(["--root", str(root), "--strict"]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+
+def test_cli_json_output(tmp_path, capsys):
+    root = make_repo(tmp_path, "def f(x):\n    assert x\n")
+    assert check_cli.main(["--root", str(root), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"][0]["rule"] == "RP006"
+
+
+def test_cli_rule_selection_and_listing(tmp_path, capsys):
+    root = make_repo(tmp_path, "def f(x):\n    assert x\n")
+    assert (
+        check_cli.main(["--root", str(root), "--strict", "--rules", "RP001"])
+        == 0
+    )
+    assert check_cli.main(["--rules", "RP999"]) == 2
+    capsys.readouterr()
+    assert check_cli.main(["--list-rules"]) == 0
+    listed = capsys.readouterr().out
+    for rule_id in ("RP001", "RP007"):
+        assert rule_id in listed
+
+
+def test_cli_parse_error_exits_two(tmp_path):
+    root = make_repo(tmp_path, "def broken(:\n")
+    assert check_cli.main(["--root", str(root)]) == 2
+
+
+# ---------------------------------------------------------------------------
+# Meta: the live tree passes its own gate
+# ---------------------------------------------------------------------------
+
+
+def test_live_tree_passes_strict_analyzer(capsys):
+    exit_code = check_cli.main(["--root", str(ROOT), "--strict"])
+    output = capsys.readouterr().out
+    assert exit_code == 0, output
+    assert "0 finding(s)" in output
+    assert "7 rule(s) active" in output
+
+
+def test_committed_baseline_ships_empty():
+    baseline = ROOT / check_cli.BASELINE_NAME
+    assert baseline.exists()
+    assert json.loads(baseline.read_text(encoding="utf-8")) == {"findings": []}

@@ -1,0 +1,278 @@
+"""Benchmark: sharded run spaces — multicore sweep evaluation.
+
+PR 8 added ``core/shard.py`` (see ``docs/sharding.md``): the leaf
+universe of a compiled tree is split along a tree frontier into K
+contiguous shards, per-shard partial results are evaluated in worker
+processes, and the partials are recombined **in ascending shard
+order** so every answer is bit-identical to the serial engine path.
+Two consumers ride on it:
+
+* ``refrain_threshold_sweep(..., parallel=K)`` builds its derived
+  system + measure rows in a fork pool, one chunk of the threshold
+  grid per worker, ``NumericStats`` deltas absorbed in chunk order;
+* :class:`repro.core.shard.ShardedExecutor` runs batched scan queries
+  (``events_of`` / ``truths_at`` / measures) per shard against one
+  amortized pool.
+
+This benchmark times the dense **exact** refrain-threshold sweep of
+the FS family (the same workload as ``bench_numeric_fastpath``, mode
+pinned to exact so every row is real rational work) serially and
+under ``parallel=2`` / ``parallel=4``, and asserts **Fraction parity
+in every mode**: the exact rows must be ``==`` across all worker
+counts, and dedicated auto/float legs must match their serial
+counterparts bit-for-bit (auto values forced through ``exact_value``,
+float values compared bitwise).  A scan phase checks the
+``ShardedExecutor`` mask parity on the same systems and reports its
+wall time, informational.
+
+The acceptance bar — ``parallel=4`` at least **2.5x** faster than
+serial on the largest family member — is enforced only on a full run
+with at least 4 CPU cores; in ``--smoke`` mode, or on machines with
+fewer cores (CI containers are routinely 1-2 cores, where a fork pool
+cannot beat serial), the bar is advisory and printed as a warning.
+Parity is enforced everywhere, always.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py [--smoke]
+
+or under pytest (collected by the benchmark session via the local
+``bench_*`` convention).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(0, "src")  # allow `python benchmarks/bench_shard_scaling.py`
+
+from bench_numeric_fastpath import ALICE, FIRE, both_fire, fs_chain
+
+from repro.analysis.sweep import format_table, refrain_threshold_sweep
+from repro.core.atoms import does_
+from repro.core.engine import SystemIndex
+from repro.core.lazyprob import exact_value
+from repro.core.pps import PPS
+from repro.core.shard import ShardedExecutor
+
+#: Worker counts timed against the serial baseline.
+WORKER_COUNTS = (2, 4)
+
+#: The enforced bar: parallel=4 vs serial on the largest member.
+SPEEDUP_BAR = 2.5
+
+
+def _thresholds(t_refrain: int) -> List[Fraction]:
+    return [Fraction(k, t_refrain - 1) for k in range(t_refrain)]
+
+
+def sweep_workload(
+    base: PPS, parallel: Optional[int], numeric: str, t_refrain: int
+) -> List[Tuple[object, object, object]]:
+    """One dense sweep; rows normalized so modes compare with ``==``."""
+    rows = refrain_threshold_sweep(
+        base,
+        ALICE,
+        both_fire(),
+        FIRE,
+        _thresholds(t_refrain),
+        numeric=numeric,
+        parallel=parallel,
+    )
+    if numeric == "float":
+        # float legs compare bitwise: reproducible, not exact.
+        return [
+            (row["threshold"], row["achieved"], row["coverage"]) for row in rows
+        ]
+    return [
+        (
+            row["threshold"],
+            exact_value(row["achieved"]),
+            exact_value(row["coverage"]),
+        )
+        for row in rows
+    ]
+
+
+def _scan_phase(base: PPS, shards: int) -> Tuple[float, bool]:
+    """ShardedExecutor mask parity + wall time on a fresh index.
+
+    Informational only: FS-family scans are far too cheap to amortize
+    a pool, the point here is exercising the executor end to end on
+    the bench workload and pinning its bit-identity.
+    """
+    facts = [both_fire(), does_(ALICE, FIRE), ~does_(ALICE, FIRE)]
+    serial = SystemIndex.of(fs_chain(rounds=base_rounds(base))).events_of(facts)
+    index = SystemIndex.of(base)
+    start = time.perf_counter()
+    with ShardedExecutor(index, shards=shards, payload=facts) as executor:
+        sharded = executor.events_of(facts)
+        repeat = executor.events_of(facts)  # warm-cache path
+    seconds = time.perf_counter() - start
+    return seconds, sharded == serial and repeat == serial
+
+
+def base_rounds(base: PPS) -> int:
+    """Recover the ``rounds`` parameter from the family member's name."""
+    return int(base.name.split("[")[1].rstrip("]"))
+
+
+def sweep_rows(*, smoke: bool = False) -> List[Dict[str, object]]:
+    """One row per FS-family member; the last (largest) carries the gate."""
+    if smoke:
+        members: List[Tuple[int, int]] = [(2, 11)]
+    else:
+        members = [(2, 41), (4, 41), (6, 41)]
+    repetitions = 1 if smoke else 2
+    out: List[Dict[str, object]] = []
+    for rounds, t_refrain in members:
+        # Fresh systems per leg and per repetition: no cache sharing
+        # between the serial and parallel timings, and compile time
+        # stays outside the timed region.  Best-of damps noise.
+        serial_s = float("inf")
+        parallel_s = {workers: float("inf") for workers in WORKER_COUNTS}
+        serial_rows = None
+        parity = True
+        for _ in range(repetitions):
+            base = fs_chain(rounds=rounds)
+            start = time.perf_counter()
+            serial_rows = sweep_workload(base, None, "exact", t_refrain)
+            serial_s = min(serial_s, time.perf_counter() - start)
+            for workers in WORKER_COUNTS:
+                base = fs_chain(rounds=rounds)
+                start = time.perf_counter()
+                rows = sweep_workload(base, workers, "exact", t_refrain)
+                parallel_s[workers] = min(
+                    parallel_s[workers], time.perf_counter() - start
+                )
+                # Fraction-exact parity: enforced in every repetition.
+                assert rows == serial_rows, (
+                    f"fs-chain[{rounds}]: parallel={workers} exact sweep "
+                    "diverged from serial"
+                )
+        # Auto and float legs: untimed, one pass, serial vs widest pool.
+        for numeric in ("auto", "float"):
+            reference = sweep_workload(
+                fs_chain(rounds=rounds), None, numeric, t_refrain
+            )
+            candidate = sweep_workload(
+                fs_chain(rounds=rounds), WORKER_COUNTS[-1], numeric, t_refrain
+            )
+            assert candidate == reference, (
+                f"fs-chain[{rounds}]: parallel {numeric} sweep diverged "
+                "from serial"
+            )
+        scan_s, scan_parity = _scan_phase(fs_chain(rounds=rounds), 4)
+        parity = parity and scan_parity
+        assert scan_parity, f"fs-chain[{rounds}]: ShardedExecutor masks diverged"
+        index = SystemIndex.of(fs_chain(rounds=rounds))
+        row: Dict[str, object] = {
+            "family": f"fs-chain[{rounds}]",
+            "runs": index.run_count,
+            "rows": t_refrain,
+            "serial_s": serial_s,
+        }
+        for workers in WORKER_COUNTS:
+            row[f"par{workers}_s"] = parallel_s[workers]
+            row[f"speedup{workers}"] = serial_s / parallel_s[workers]
+        row["scan_s"] = scan_s
+        row["parity"] = parity
+        out.append(row)
+    return out
+
+
+def _display(rows: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Rounded copies of benchmark rows for table printing only."""
+    rounding = {"serial_s": 4, "scan_s": 4}
+    for workers in WORKER_COUNTS:
+        rounding[f"par{workers}_s"] = 4
+        rounding[f"speedup{workers}"] = 2
+    return [
+        {
+            key: round(value, rounding[key]) if key in rounding else value
+            for key, value in row.items()
+        }
+        for row in rows
+    ]
+
+
+def _gate_speedup(rows: List[Dict[str, object]], *, smoke: bool) -> int:
+    """Enforce the >=2.5x bar on the largest member, 4 workers.
+
+    The bar binds only on a full run with >=4 cores: a fork pool
+    cannot beat serial on the 1-2 core containers CI hands out, and
+    smoke grids are too small to amortize the fork.  Parity has
+    already been asserted unconditionally by :func:`sweep_rows` —
+    the gate is purely about scaling.
+    """
+    largest = rows[-1]
+    cores = os.cpu_count() or 1
+    value = float(largest[f"speedup{WORKER_COUNTS[-1]}"])
+    advisory = smoke or cores < 4
+    status = 0
+    if value < SPEEDUP_BAR:
+        message = (
+            f"sharded sweep {largest['family']} parallel={WORKER_COUNTS[-1]} "
+            f"speedup {value:.2f}x < {SPEEDUP_BAR}x"
+        )
+        if advisory:
+            print(
+                f"WARNING (informational): {message} "
+                f"(smoke={smoke}, cores={cores})",
+                file=sys.stderr,
+            )
+        else:
+            print(f"FAIL: {message}", file=sys.stderr)
+            status = 1
+    else:
+        print(
+            f"OK: {largest['family']} parallel={WORKER_COUNTS[-1]} speedup "
+            f"{value:.1f}x >= {SPEEDUP_BAR}x"
+        )
+    print(
+        f"({largest['rows']} sweep rows over {largest['runs']} runs, "
+        "exact/auto/float rows bit-identical to serial, executor masks "
+        "bit-identical to the serial index)"
+    )
+    return status
+
+
+def main(argv: List[str]) -> int:
+    smoke = "--smoke" in argv
+    mode = "(smoke)" if smoke else "(full)"
+    rows = sweep_rows(smoke=smoke)
+    print(
+        format_table(
+            _display(rows),
+            title=f"sharded sweep: serial vs parallel worker pools {mode}",
+        )
+    )
+    return _gate_speedup(rows, smoke=smoke)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (collected by the benchmark session)
+# ----------------------------------------------------------------------
+
+
+def test_shard_scaling_table(benchmark):
+    rows = benchmark.pedantic(sweep_rows, rounds=1, iterations=1)
+    from conftest import emit
+
+    emit(
+        format_table(
+            _display(rows), title="sharded sweep (serial vs parallel)"
+        )
+    )
+    assert all(row["parity"] for row in rows)
+    if (os.cpu_count() or 1) >= 4:
+        # unrounded: 2.45x must not pass
+        assert rows[-1][f"speedup{WORKER_COUNTS[-1]}"] >= SPEEDUP_BAR
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

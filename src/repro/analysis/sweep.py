@@ -129,6 +129,7 @@ def refrain_threshold_sweep(
     replacement: Action = "skip",
     materialize: bool = False,
     numeric: str = "exact",
+    parallel: Optional[int] = None,
 ) -> List[Row]:
     """One row per refrain threshold, sharing one parent index.
 
@@ -162,46 +163,232 @@ def refrain_threshold_sweep(
     values on demand.  This is the dense-sweep fast path the kernel
     exists for: O(rows) float work, exact work only at boundary hits.
 
+    ``parallel=N`` (N > 1) distributes the distinct-threshold rows over
+    ``N`` forked worker processes (``docs/sharding.md``): the acting
+    beliefs are hoisted on the parent index *before* the fork exactly
+    as in serial mode, each worker builds a contiguous chunk of the
+    deduplicated threshold list, and the parent reassembles rows — and
+    absorbs each worker's ``numeric_stats()`` delta — in chunk order,
+    so rows, exact values, and counter totals are identical to the
+    serial sweep.  Any transport failure (no ``fork`` on the platform,
+    an unpicklable row cell) falls back to the serial path silently;
+    ``parallel=None``/``0``/``1`` never forks at all.
+
     Returns:
         one row dict per threshold:
         ``{"threshold", "achieved", "coverage"}``, exact rationals
         (``LazyProb``/float cells in the non-default modes).
     """
-    from ..protocols.strategies import refrain_below_threshold
-
     check_numeric_mode(numeric)
     make_row = _candidate_edge_transform(
         pps, agent, action, phi, replacement=replacement, numeric=numeric
     ) if not materialize else None
     bounds = [as_fraction(threshold) for threshold in thresholds]
-    computed: Dict[Fraction, Row] = {}
+    distinct: List[Fraction] = []
+    seen = set()
     for bound in bounds:
-        if bound in computed:
-            continue
-        if make_row is not None:
-            modified = make_row(bound)
-        else:
-            modified = refrain_below_threshold(
+        if bound not in seen:
+            seen.add(bound)
+            distinct.append(bound)
+    computed: Optional[Dict[Fraction, Row]] = None
+    if parallel is not None and parallel > 1 and len(distinct) > 1:
+        computed = _parallel_rows(
+            pps,
+            agent,
+            phi,
+            action,
+            distinct,
+            replacement=replacement,
+            materialize=materialize,
+            numeric=numeric,
+            make_row=make_row,
+            parallel=parallel,
+        )
+    if computed is None:
+        computed = {
+            bound: _threshold_row(
                 pps,
                 agent,
-                action,
                 phi,
+                action,
                 bound,
                 replacement=replacement,
                 materialize=materialize,
                 numeric=numeric,
+                make_row=make_row,
             )
-        index = SystemIndex.of(modified)
-        computed[bound] = {
-            "threshold": bound,
-            "achieved": achieved_probability(
-                modified, agent, phi, action, numeric=numeric
-            ),
-            "coverage": index.probability(
-                index.performing_mask(agent, action), numeric=numeric
-            ),
+            for bound in distinct
         }
     return [dict(computed[bound]) for bound in bounds]
+
+
+def _threshold_row(
+    pps: PPS,
+    agent: AgentId,
+    phi: Fact,
+    action: Action,
+    bound: Fraction,
+    *,
+    replacement: Action,
+    materialize: bool,
+    numeric: str,
+    make_row,
+) -> Row:
+    """One sweep row: build the refrain-derived system and measure it.
+
+    The shared row builder of the serial loop and the parallel workers
+    — one code path, so a forked row is the serial row by construction.
+    """
+    from ..protocols.strategies import refrain_below_threshold
+
+    if make_row is not None:
+        modified = make_row(bound)
+    else:
+        modified = refrain_below_threshold(
+            pps,
+            agent,
+            action,
+            phi,
+            bound,
+            replacement=replacement,
+            materialize=materialize,
+            numeric=numeric,
+        )
+    index = SystemIndex.of(modified)
+    return {
+        "threshold": bound,
+        "achieved": achieved_probability(
+            modified, agent, phi, action, numeric=numeric
+        ),
+        "coverage": index.probability(
+            index.performing_mask(agent, action), numeric=numeric
+        ),
+    }
+
+
+# Fork-inherited sweep state for _sweep_chunk_task: the parent system,
+# query, and hoisted row builder cannot (and need not) cross the pipe —
+# workers are forked after this global is set and read it directly.
+_SWEEP_STATE: Optional[tuple] = None
+
+
+def _encode_cell(value: object):
+    """A picklable wire form of one row cell.
+
+    ``LazyProb`` cells carry closures, so they travel as their
+    ``(approx, err)`` envelope plus the materialized exact integer pair
+    — the parent rebuilds an equivalent value whose ``exact()`` is
+    bit-identical.  Everything else (Fractions, floats) pickles as-is.
+    """
+    if isinstance(value, LazyProb):
+        pair = value._pair()
+        if pair is None:
+            exact = value.exact()
+            pair = (exact.numerator, exact.denominator)
+        return ("lazy", value.approx, value.err, pair[0], pair[1])
+    return ("raw", value)
+
+
+def _decode_cell(encoded) -> object:
+    if encoded[0] == "lazy":
+        _, approx, err, num, den = encoded
+        return LazyProb(approx, err, pair_thunk=lambda: (num, den))
+    return encoded[1]
+
+
+def _sweep_chunk_task(chunk: Sequence[int]):
+    """Worker task: build the rows for one contiguous chunk of bounds.
+
+    Returns encoded rows in chunk order plus this task's
+    ``numeric_stats()`` delta (counters are reset on entry — the forked
+    copy of the parent's counters must not be re-counted on absorb).
+    """
+    from ..core.lazyprob import numeric_stats, reset_numeric_stats
+
+    state = _SWEEP_STATE
+    if state is None:  # pragma: no cover - defensive: task outside a pool
+        raise RuntimeError("sweep worker has no inherited state")
+    (pps, agent, phi, action, distinct, replacement, materialize,
+     numeric, make_row) = state
+    reset_numeric_stats()
+    rows = []
+    for pos in chunk:
+        row = _threshold_row(
+            pps,
+            agent,
+            phi,
+            action,
+            distinct[pos],
+            replacement=replacement,
+            materialize=materialize,
+            numeric=numeric,
+            make_row=make_row,
+        )
+        rows.append({key: _encode_cell(value) for key, value in row.items()})
+    return rows, numeric_stats()
+
+
+def _parallel_rows(
+    pps: PPS,
+    agent: AgentId,
+    phi: Fact,
+    action: Action,
+    distinct: Sequence[Fraction],
+    *,
+    replacement: Action,
+    materialize: bool,
+    numeric: str,
+    make_row,
+    parallel: int,
+) -> Optional[Dict[Fraction, Row]]:
+    """The distinct-threshold rows via a forked pool, or ``None``.
+
+    ``None`` means "could not run parallel" (no ``fork`` context, pool
+    creation refused, or a result failed to cross the pipe) and sends
+    the caller down the serial path — never a changed result.  The pool
+    is created once for the whole sweep and the chunks are contiguous
+    in threshold order, so reassembly — rows *and* stats absorption —
+    is deterministic regardless of which worker finished first.
+    """
+    import multiprocessing
+
+    from ..core.lazyprob import absorb_stats
+
+    global _SWEEP_STATE
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+    workers = min(parallel, len(distinct))
+    chunks: List[List[int]] = [[] for _ in range(workers)]
+    for pos in range(len(distinct)):
+        chunks[pos * workers // len(distinct)].append(pos)
+    from concurrent.futures import ProcessPoolExecutor
+
+    saved = _SWEEP_STATE
+    _SWEEP_STATE = (pps, agent, phi, action, tuple(distinct), replacement,
+                    materialize, numeric, make_row)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            futures = [pool.submit(_sweep_chunk_task, chunk) for chunk in chunks]
+            try:
+                parts = [future.result() for future in futures]
+            except Exception:
+                return None
+    except (OSError, ValueError):  # pragma: no cover - resource limits
+        return None
+    finally:
+        _SWEEP_STATE = saved
+    computed: Dict[Fraction, Row] = {}
+    for chunk, (rows, delta) in zip(chunks, parts):
+        absorb_stats(delta)
+        for pos, encoded in zip(chunk, rows):
+            computed[distinct[pos]] = {
+                key: _decode_cell(value) for key, value in encoded.items()
+            }
+    return computed
 
 
 def _candidate_edge_transform(

@@ -62,6 +62,7 @@ __all__ = [
     "using_numpy",
     "float_with_err",
     "div_bounds",
+    "sum_bounds",
     "dot_bounds",
     "WeightKernel",
     "ThresholdKernel",
@@ -187,6 +188,33 @@ def div_bounds(
         + ABS_EPS
     )
     return approx, err
+
+
+def sum_bounds(terms: Sequence[Tuple[float, float]]) -> Tuple[float, float]:
+    """``(approx, err)`` of ``sum_i t_i`` from per-term bounds.
+
+    The order-insensitive combine behind shard recombination
+    (``core/shard.py``): per-term errors add, and the accumulated
+    rounding of the reduction is covered by an ``n * REL_EPS *
+    sum |t_i|`` term valid for *any* summation order — so a bound
+    combined from per-shard bounds is conservative no matter how the
+    underlying total was split, and a bound is never tightened by
+    resharding.  Non-finite terms propagate to an ``inf`` error:
+    comparisons on the result always escalate.
+    """
+    n = len(terms)
+    if n == 0:
+        return 0.0, 0.0
+    approx = 0.0
+    term_err = 0.0
+    abs_sum = 0.0
+    for ta, te in terms:
+        approx += ta
+        abs_sum += abs(ta)
+        term_err += te
+    if not (math.isfinite(approx) and math.isfinite(term_err)):
+        return approx, math.inf
+    return approx, term_err + n * REL_EPS * abs_sum + ABS_EPS
 
 
 def dot_bounds(

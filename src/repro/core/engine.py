@@ -227,6 +227,10 @@ class SystemIndex:
         # Memoized label-independent cache subsets handed to derived
         # indices; see _inheritable_pack().
         self._inherit_pack: Optional[Tuple[Tuple[int, ...], tuple]] = None
+        # Shard plans per shard count (core/shard.py): pure functions of
+        # the tree's leaf ranges, so derived indices share the dict by
+        # reference and a dense sweep plans each K once.
+        self._shard_plans: Dict[int, object] = {}
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -335,6 +339,8 @@ class SystemIndex:
         index._lazy_beliefs = dict(lazy_beliefs)
         index._at_action_cache = {}
         index._independence_cache = {}
+        # Shard plans depend only on the shared tree's leaf ranges.
+        index._shard_plans = parent._shard_plans
         return index
 
     def _inheritable_pack(self):
@@ -1063,6 +1069,64 @@ class SystemIndex:
 
     # -- batched evaluation: one pass per run-slice per *batch* --------
 
+    def shard_plan(self, shards: int):
+        """The memoized :class:`~repro.core.shard.ShardPlan` for ``shards``.
+
+        The requested count is clamped to ``[1, run_count]`` inside the
+        plan builder; plans are pure functions of the tree's leaf
+        ranges, so the memo dict is shared with derived indices.
+        """
+        from .shard import ShardPlan
+
+        key = max(1, min(int(shards), self.run_count)) if self.run_count else 1
+        plan = self._shard_plans.get(key)
+        if plan is None:
+            plan = ShardPlan.for_index(self, key)
+            self._shard_plans[key] = plan
+        return plan
+
+    def _scan_points(
+        self,
+        facts: Sequence["Fact"],
+        points: Sequence[Tuple[object, int, int]],
+        masks: List[int],
+        errors: List[Optional[Exception]],
+    ) -> None:
+        """The point-evaluation inner loop over an ordered point list.
+
+        Mutates ``masks``/``errors`` in place so shards of one scan can
+        share them: a fact whose ``holds`` raised earlier (in this call
+        or an earlier shard) is skipped, preserving the exact
+        first-error short-circuit of the unsharded pass.
+        """
+        pps = self.pps
+        for run, bit, time in points:
+            for k, fact in enumerate(facts):
+                if errors[k] is not None:
+                    continue
+                try:
+                    if fact.holds(pps, run, time):
+                        masks[k] |= bit
+                except Exception as exc:
+                    errors[k] = exc
+
+    def _scan_points_of(
+        self, t: Optional[int], lo: int, hi: int
+    ) -> List[Tuple[object, int, int]]:
+        """The ordered evaluation points of run range ``[lo, hi)`` at ``t``.
+
+        ``t=None`` scans whole runs (one point per run); otherwise only
+        the runs alive at ``t``.  Points are ascending by run index, so
+        concatenating consecutive ranges reproduces the full-scan order.
+        """
+        runs = self.pps.runs
+        if t is None:
+            return [(run, 1 << run.index, 0) for run in runs[lo:hi]]
+        range_mask = (1 << hi) - (1 << lo)
+        return [
+            (runs[i], 1 << i, t) for i in bits(self.alive_mask(t) & range_mask)
+        ]
+
     def _scan_batch(
         self, facts: Sequence["Fact"], t: Optional[int]
     ) -> Tuple[List[int], List[Optional[Exception]]]:
@@ -1073,24 +1137,43 @@ class SystemIndex:
         the second list (with ``None`` for clean facts), so one partial
         fact cannot poison the rest of a batch.  Callers re-raise or
         fall back as their own contracts require.
+
+        Under ``REPRO_SHARDS=N`` (:func:`~repro.core.shard.default_shards`)
+        the pass is decomposed over the N-shard plan's ranges, walked in
+        ascending shard order over shared result lists — the same points
+        in the same order, so results are bit-identical to the unsharded
+        scan (this keeps the decomposition itself under the whole tier-1
+        suite).
         """
-        pps = self.pps
-        runs = pps.runs
         masks = [0] * len(facts)
         errors: List[Optional[Exception]] = [None] * len(facts)
-        if t is None:
-            points = [(run, 1 << run.index, 0) for run in runs]
+        from .shard import default_shards
+
+        shards = default_shards()
+        if shards > 1 and self.run_count > 1:
+            for lo, hi in self.shard_plan(shards).ranges:
+                self._scan_points(
+                    facts, self._scan_points_of(t, lo, hi), masks, errors
+                )
         else:
-            points = [(runs[i], 1 << i, t) for i in bits(self.alive_mask(t))]
-        for run, bit, time in points:
-            for k, fact in enumerate(facts):
-                if errors[k] is not None:
-                    continue
-                try:
-                    if fact.holds(pps, run, time):
-                        masks[k] |= bit
-                except Exception as exc:
-                    errors[k] = exc
+            self._scan_points(
+                facts, self._scan_points_of(t, 0, self.run_count), masks, errors
+            )
+        return masks, errors
+
+    def _scan_batch_range(
+        self, facts: Sequence["Fact"], t: Optional[int], lo: int, hi: int
+    ) -> Tuple[List[int], List[Optional[Exception]]]:
+        """:meth:`_scan_batch` restricted to the run range ``[lo, hi)``.
+
+        The per-shard unit of :class:`~repro.core.shard.ShardedExecutor`
+        workers: masks OR and first-in-shard-order errors combine back
+        to exactly the full scan's results because ranges partition the
+        run universe in ascending order.
+        """
+        masks = [0] * len(facts)
+        errors: List[Optional[Exception]] = [None] * len(facts)
+        self._scan_points(facts, self._scan_points_of(t, lo, hi), masks, errors)
         return masks, errors
 
     def _collect_leaves(
@@ -1143,9 +1226,27 @@ class SystemIndex:
         evaluation (for a guarded sub-fact), matching the pre-batching
         semantics.
         """
-        leaves = list(pending.values())
+        masks, errors = self._scan_batch(list(pending.values()), t)
+        self._absorb_scanned(pending, t, overlay, masks, errors)
+
+    def _absorb_scanned(
+        self,
+        pending: Dict[object, "Fact"],
+        t: Optional[int],
+        overlay: Optional[Dict[object, int]],
+        masks: Sequence[int],
+        errors: Sequence[Optional[Exception]],
+    ) -> None:
+        """Write scan results for ``pending`` back into this index's caches.
+
+        The single merge point for externally computed scans: a
+        :class:`~repro.core.shard.ShardedExecutor` combines per-worker
+        results and hands them here, so worker-side cache growth (lost
+        with the fork) is re-absorbed by the parent under the same
+        keying and ``_action_free`` discipline as an in-process scan.
+        Errored facts stay uncached, exactly like :meth:`_cache_scanned`.
+        """
         target = self._mask_cache(t) if overlay is None else overlay
-        masks, errors = self._scan_batch(leaves, t)
         for (key, fact), mask, error in zip(pending.items(), masks, errors):
             if error is None:
                 target[key] = mask

@@ -58,6 +58,7 @@ __all__ = [
     "approx_value",
     "numeric_stats",
     "reset_numeric_stats",
+    "absorb_stats",
     "escalation_count",
     "count_comparisons",
     "count_batch",
@@ -129,6 +130,21 @@ class NumericStats:
             self.array_batches,
         )
 
+    def merge(self, other: "NumericStats") -> "NumericStats":
+        """Add ``other``'s counters into this snapshot, returning self.
+
+        Counter addition is commutative and associative, so merging
+        per-shard deltas in any order yields the same totals — but the
+        sharded paths still merge in ascending shard order, like every
+        other combine (docs/sharding.md).
+        """
+        self.comparisons += other.comparisons
+        self.escalations += other.escalations
+        self.cells_certified += other.cells_certified
+        self.cells_escalated += other.cells_escalated
+        self.array_batches += other.array_batches
+        return self
+
 
 _stats = NumericStats()
 
@@ -147,6 +163,20 @@ def reset_numeric_stats() -> NumericStats:
     _stats.cells_escalated = 0
     _stats.array_batches = 0
     return snapshot
+
+
+def absorb_stats(delta: NumericStats) -> None:
+    """Fold a worker's counter delta into the global counters.
+
+    The multi-process half of the observability contract: worker
+    processes fork with a *copy* of the global counters, so anything
+    they count dies with them unless the parent absorbs it explicitly.
+    Shard workers ``reset_numeric_stats()`` on task entry and ship
+    ``numeric_stats()`` back as their delta; the parent calls this once
+    per worker result, in shard order, keeping ``numeric_stats()``
+    totals identical to a serial evaluation of the same queries.
+    """
+    _stats.merge(delta)
 
 
 def escalation_count() -> int:

@@ -140,6 +140,7 @@ class CheckConfig:
         "src/repro/core/numeric.py",
         "src/repro/core/lazyprob.py",
         "src/repro/core/arraykernel.py",
+        "src/repro/core/shard.py",
     )
     # math functions that are exact on integer arguments and therefore
     # fine inside exact-core modules.
@@ -210,7 +211,13 @@ class CheckConfig:
         "src/repro/messaging/system.py",
         "src/repro/core/engine.py",
         "src/repro/core/pps.py",
+        "src/repro/core/shard.py",
     )
+
+    # RP008: modules holding shard-combine implementations, whose
+    # result folds must iterate in a fixed (list/tuple) order — never
+    # over a set or an identity-keyed sort (docs/sharding.md).
+    shard_modules: Tuple[str, ...] = ("src/repro/core/shard.py",)
 
     def is_exact_core(self, rel_path: str) -> bool:
         return _matches(rel_path, self.exact_core) and not _matches(

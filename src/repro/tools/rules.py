@@ -1,4 +1,4 @@
-"""The invariant rules of ``repro.tools.check`` (RP001–RP007).
+"""The invariant rules of ``repro.tools.check`` (RP001–RP008).
 
 Each rule enforces one hand-maintained invariant the layered engine
 depends on; the catalogue with rationale lives in
@@ -24,6 +24,7 @@ __all__ = [
     "NondeterminismSource",
     "BareAssert",
     "NumericKnobDropped",
+    "ShardCombineOrder",
 ]
 
 
@@ -613,3 +614,115 @@ class NumericKnobDropped(Rule):
                     f"{node.name}(); forward numeric=numeric, or allow[] "
                     "with why this callee is intentionally mode-pinned",
                 )
+
+
+# ---------------------------------------------------------------------------
+# RP008
+# ---------------------------------------------------------------------------
+
+# Function names that mark a shard-combine implementation: the folds
+# whose iteration order the bit-identity guarantee depends on.
+_COMBINE_MARKERS = ("combine", "merge", "absorb", "fold", "gather")
+
+
+@register
+class ShardCombineOrder(Rule):
+    """Shard-combine folds must iterate partial results in fixed order.
+
+    The sharded executor's bit-identity guarantee (``docs/sharding.md``)
+    rests on folding per-shard partial results in ascending shard
+    order: disjoint masks and integer totals are order-insensitive,
+    but float error envelopes, first-error short-circuits, and
+    ``NumericStats`` absorption are not.  A combine/merge/absorb
+    implementation that iterates a set (hash order) or sorts by
+    ``id()`` (allocation address) produces answers that differ across
+    processes, hash seeds, and reruns — exactly the class of bug the
+    differential harness exists to catch.
+    """
+
+    id = "RP008"
+    title = "shard-combine fold iterates in nondeterministic order"
+    interests = (ast.For, ast.Call, ast.comprehension)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.matches(ctx.config.shard_modules)
+
+    @staticmethod
+    def _combine_scope(node: ast.AST, ctx: FileContext) -> Optional[str]:
+        """Name of an enclosing combine-marked function, if any.
+
+        Helpers nested inside a combine function still shape its fold
+        order, so every enclosing function is checked, not just the
+        nearest one.
+        """
+        current: Optional[ast.AST] = node
+        while current is not None:
+            current = ctx.parent(current)
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = current.name.lower()
+                if any(marker in name for marker in _COMBINE_MARKERS):
+                    return current.name
+        return None
+
+    @staticmethod
+    def _unordered_iterable(expr: ast.AST) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in ("set", "frozenset")
+        )
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.For):
+            scope = self._combine_scope(node, ctx)
+            if scope is not None and self._unordered_iterable(node.iter):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{scope}() folds shard results by iterating a set: "
+                    "hash order varies across processes and seeds, "
+                    "breaking bit-identical combination; fold shards in "
+                    "ascending shard-index order (list/tuple)",
+                )
+        elif isinstance(node, ast.comprehension):
+            # ``ast.comprehension`` carries no position; anchor the
+            # finding on its iterable expression instead.
+            scope = self._combine_scope(node.iter, ctx)
+            if scope is not None and self._unordered_iterable(node.iter):
+                yield self.finding(
+                    ctx,
+                    node.iter,
+                    f"{scope}() folds shard results by iterating a set: "
+                    "hash order varies across processes and seeds, "
+                    "breaking bit-identical combination; fold shards in "
+                    "ascending shard-index order (list/tuple)",
+                )
+        elif isinstance(node, ast.Call):
+            if _call_name(node) not in ("sorted", "sort"):
+                return
+            scope = self._combine_scope(node, ctx)
+            if scope is None:
+                return
+            for keyword in node.keywords:
+                if keyword.arg != "key":
+                    continue
+                value = keyword.value
+                uses_id = (
+                    isinstance(value, ast.Name) and value.id == "id"
+                ) or any(
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and sub.func.id == "id"
+                    for sub in ast.walk(value)
+                )
+                if uses_id:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{scope}() orders shard results by id() — "
+                        "allocation addresses differ across processes, "
+                        "so the fold order is nondeterministic; key on "
+                        "the shard index instead",
+                    )

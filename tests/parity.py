@@ -1,0 +1,176 @@
+"""Reusable differential harness: one query, a grid of configurations.
+
+The engine has accumulated several "must never change the answer"
+axes: shard scheduling (``REPRO_SHARDS`` / ``core.shard``), the
+numeric tier (``exact``/``auto``/``float``), and the array backend
+(NumPy vs pure Python).  :func:`assert_fraction_parity` runs an
+arbitrary query under a grid of those configurations and asserts
+Fraction-exact equality of everything the query returns — events,
+measures, verdicts, whole sweep tables — against a single reference,
+so every new parity test is one query function instead of a hand-rolled
+loop per axis.
+
+Conventions:
+
+* *systems* are zero-argument factories: every configuration gets a
+  freshly built system, so memo caches and backend choices of one
+  configuration can never leak into another's run.
+* the query returns any nesting of dicts/lists/tuples/sets over
+  measure values; :func:`canonical` collapses it to a comparable form
+  with every ``LazyProb`` materialized via ``exact()``.
+* ``float``-mode results are compared bitwise *among the float
+  configurations only* (floats are reproducible, not exact); all other
+  modes must equal the exact reference.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, NamedTuple, Optional, Sequence
+
+from repro.core.arraykernel import HAVE_NUMPY, set_backend
+from repro.core.lazyprob import LazyProb
+from repro.core.shard import set_default_shards
+
+__all__ = [
+    "ParityConfig",
+    "DEFAULT_CONFIGS",
+    "QUICK_CONFIGS",
+    "assert_fraction_parity",
+    "canonical",
+    "parity_config",
+]
+
+
+class ParityConfig(NamedTuple):
+    """One point of the configuration grid."""
+
+    shards: int = 0
+    numeric: str = "exact"
+    backend: Optional[str] = None  # None = leave the active backend
+
+    @property
+    def label(self) -> str:
+        backend = self.backend or "default"
+        return f"shards={self.shards}/numeric={self.numeric}/backend={backend}"
+
+
+def _grid() -> Sequence[ParityConfig]:
+    backends: Sequence[Optional[str]] = ("python", "numpy") if HAVE_NUMPY else (
+        "python",
+    )
+    configs = []
+    for backend in backends:
+        for numeric in ("exact", "auto", "float"):
+            for shards in (0, 2, 3, 8):
+                configs.append(ParityConfig(shards, numeric, backend))
+    return tuple(configs)
+
+
+# The full grid of the ISSUE's differential matrix: serial vs K∈{2,3,8}
+# shards × exact/auto/float × both backends (NumPy legs only where
+# installed).  Heavy — use on sampled seeds.
+DEFAULT_CONFIGS: Sequence[ParityConfig] = _grid()
+
+# The cheap sub-grid for wide seed sweeps: the shard axis under exact
+# arithmetic plus one non-serial auto leg.
+QUICK_CONFIGS: Sequence[ParityConfig] = (
+    ParityConfig(0, "exact"),
+    ParityConfig(3, "exact"),
+    ParityConfig(3, "auto"),
+)
+
+
+@contextmanager
+def parity_config(config: ParityConfig):
+    """Apply one grid point's knobs, restoring them afterwards."""
+    previous_shards = set_default_shards(config.shards)
+    previous_backend = (
+        set_backend(config.backend) if config.backend is not None else None
+    )
+    try:
+        yield
+    finally:
+        if previous_backend is not None:
+            set_backend(previous_backend)
+        set_default_shards(previous_shards)
+
+
+def canonical(value: object) -> object:
+    """Collapse a query result to a configuration-independent form.
+
+    ``LazyProb`` values are materialized through ``exact()`` (the
+    harness compares what they *are*, not how tight their float
+    envelope happened to be under this schedule); containers recurse,
+    with sets ordered deterministically.  Floats pass through
+    unchanged — float-mode comparisons are bitwise by design.
+    """
+    if isinstance(value, LazyProb):
+        return value.exact()
+    if isinstance(value, dict):
+        return tuple(
+            (canonical(k), canonical(v)) for k, v in sorted(
+                value.items(), key=lambda item: repr(item[0])
+            )
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(canonical(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted((canonical(item) for item in value), key=repr))
+    return value
+
+
+def assert_fraction_parity(
+    query_fn: Callable[..., object],
+    systems: Sequence[Callable[[], object]],
+    configs: Optional[Sequence[ParityConfig]] = None,
+    *,
+    reference_fn: Optional[Callable[[object], object]] = None,
+) -> None:
+    """Assert one query answers identically across the whole grid.
+
+    Args:
+        query_fn: called as ``query_fn(system, numeric=mode)`` under
+            each configuration; may return any nesting of containers
+            over measures/verdicts (queries that ignore ``numeric``
+            simply accept and drop the keyword).
+        systems: zero-argument system factories — a *fresh* system per
+            configuration, so no caches cross configurations.
+        configs: grid points to run; default :data:`DEFAULT_CONFIGS`.
+        reference_fn: optional independent oracle, called once per
+            system as ``reference_fn(system)``; when given, every
+            non-float configuration must match *it* (e.g. the naive
+            engine), otherwise they must match the first non-float
+            configuration's result.
+    """
+    configs = list(DEFAULT_CONFIGS if configs is None else configs)
+    if not configs:
+        raise ValueError("assert_fraction_parity needs at least one config")
+    for pos, factory in enumerate(systems):
+        exact_reference = None
+        float_reference = None
+        if reference_fn is not None:
+            exact_reference = ("oracle", canonical(reference_fn(factory())))
+        for config in configs:
+            system = factory()
+            with parity_config(config):
+                result = canonical(query_fn(system, numeric=config.numeric))
+            if config.numeric == "float":
+                if float_reference is None:
+                    float_reference = (config.label, result)
+                elif result != float_reference[1]:
+                    raise AssertionError(
+                        f"float parity broken on system #{pos}: "
+                        f"{config.label} != {float_reference[0]}\n"
+                        f"  got:      {result!r}\n"
+                        f"  expected: {float_reference[1]!r}"
+                    )
+            elif exact_reference is None:
+                exact_reference = (config.label, result)
+            elif result != exact_reference[1]:
+                raise AssertionError(
+                    f"Fraction parity broken on system #{pos}: "
+                    f"{config.label} != {exact_reference[0]}\n"
+                    f"  got:      {result!r}\n"
+                    f"  expected: {exact_reference[1]!r}"
+                )

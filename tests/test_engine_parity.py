@@ -44,9 +44,23 @@ from repro.analysis.random_systems import (
     random_state_fact,
 )
 from repro.analysis.verify import verify_constraint
+from parity import ParityConfig, assert_fraction_parity
 
 # 50+ systems across deterministic, half-mixed, and fully mixed protocols.
 PARITY_SEEDS = [(seed, seed % 3 * 0.5) for seed in range(54)]
+
+# Engine parity is about evaluation *scheduling*, not the numeric tier
+# (test_numeric_fastpath owns that axis): every seed runs serial vs a
+# 3-shard schedule under exact arithmetic, and every ninth seed sweeps
+# the full shard axis of the ISSUE's differential matrix.
+ENGINE_CONFIGS = (ParityConfig(0, "exact"), ParityConfig(3, "exact"))
+ENGINE_CONFIGS_WIDE = tuple(
+    ParityConfig(shards, "exact") for shards in (0, 2, 3, 8)
+)
+
+
+def _engine_configs(seed: int):
+    return ENGINE_CONFIGS_WIDE if seed % 9 == 0 else ENGINE_CONFIGS
 
 
 def _system(seed: int, mixed: float):
@@ -55,63 +69,135 @@ def _system(seed: int, mixed: float):
 
 @pytest.mark.parametrize("seed,mixed", PARITY_SEEDS)
 def test_event_and_probability_parity(seed, mixed):
-    system = _system(seed, mixed)
-    phi = random_state_fact(seed + 1)
-    psi = random_run_fact(seed + 2)
     from repro.core.facts import eventually
 
+    phi = random_state_fact(seed + 1)
+    psi = random_run_fact(seed + 2)
     run_fact = eventually(phi)
-    assert runs_satisfying(system, run_fact) == naive_runs_satisfying(
-        system, run_fact
+
+    def query(system, *, numeric):
+        event = runs_satisfying(system, run_fact)
+        return {
+            "event": event,
+            "psi-event": runs_satisfying(system, psi),
+            "probability": probability(system, event),
+        }
+
+    def oracle(system):
+        event = naive_runs_satisfying(system, run_fact)
+        return {
+            "event": event,
+            "psi-event": naive_runs_satisfying(system, psi),
+            "probability": naive_probability(system, event),
+        }
+
+    assert_fraction_parity(
+        query,
+        [lambda: _system(seed, mixed)],
+        _engine_configs(seed),
+        reference_fn=oracle,
     )
-    assert runs_satisfying(system, psi) == naive_runs_satisfying(system, psi)
-    event = runs_satisfying(system, run_fact)
-    assert probability(system, event) == naive_probability(system, event)
 
 
 @pytest.mark.parametrize("seed,mixed", PARITY_SEEDS)
 def test_belief_parity_at_every_local_state(seed, mixed):
-    system = _system(seed, mixed)
     phi = random_state_fact(seed + 3)
-    for agent in system.agents:
-        for local in system.local_states(agent):
-            assert occurrence_event(system, agent, local) == naive_occurrence_event(
-                system, agent, local
+
+    def query(system, *, numeric):
+        return [
+            (
+                occurrence_event(system, agent, local),
+                belief(system, agent, phi, local),
             )
-            assert belief(system, agent, phi, local) == naive_belief(
-                system, agent, phi, local
+            for agent in system.agents
+            for local in sorted(system.local_states(agent), key=repr)
+        ]
+
+    def oracle(system):
+        return [
+            (
+                naive_occurrence_event(system, agent, local),
+                naive_belief(system, agent, phi, local),
             )
+            for agent in system.agents
+            for local in sorted(system.local_states(agent), key=repr)
+        ]
+
+    assert_fraction_parity(
+        query,
+        [lambda: _system(seed, mixed)],
+        _engine_configs(seed),
+        reference_fn=oracle,
+    )
 
 
 @pytest.mark.parametrize("seed,mixed", PARITY_SEEDS)
 def test_action_and_constraint_parity(seed, mixed):
-    system = _system(seed, mixed)
     phi = random_state_fact(seed + 4)
-    for agent in system.agents:
-        for action in proper_actions_of(system, agent):
-            assert performing_runs(system, agent, action) == naive_performing_runs(
-                system, agent, action
+    thresholds = ("1/3", "1/2", "9/10")
+
+    def query(system, *, numeric):
+        return [
+            (
+                performing_runs(system, agent, action),
+                achieved_probability(system, agent, phi, action),
+                expected_belief(system, agent, phi, action),
+                [
+                    threshold_met_measure(system, agent, phi, action, threshold)
+                    for threshold in thresholds
+                ],
             )
-            assert achieved_probability(
-                system, agent, phi, action
-            ) == naive_achieved_probability(system, agent, phi, action)
-            assert expected_belief(
-                system, agent, phi, action
-            ) == naive_expected_belief(system, agent, phi, action)
-            for threshold in ("1/3", "1/2", "9/10"):
-                assert threshold_met_measure(
-                    system, agent, phi, action, threshold
-                ) == naive_threshold_met_measure(system, agent, phi, action, threshold)
+            for agent in system.agents
+            for action in proper_actions_of(system, agent)
+        ]
+
+    def oracle(system):
+        return [
+            (
+                naive_performing_runs(system, agent, action),
+                naive_achieved_probability(system, agent, phi, action),
+                naive_expected_belief(system, agent, phi, action),
+                [
+                    naive_threshold_met_measure(
+                        system, agent, phi, action, threshold
+                    )
+                    for threshold in thresholds
+                ],
+            )
+            for agent in system.agents
+            for action in proper_actions_of(system, agent)
+        ]
+
+    assert_fraction_parity(
+        query,
+        [lambda: _system(seed, mixed)],
+        _engine_configs(seed),
+        reference_fn=oracle,
+    )
 
 
 @pytest.mark.parametrize("seed,mixed", PARITY_SEEDS)
 def test_knowledge_partition_parity(seed, mixed):
-    system = _system(seed, mixed)
-    for agent in system.agents:
-        for t in range(system.max_time() + 1):
-            assert knowledge_partition(system, agent, t) == naive_knowledge_partition(
-                system, agent, t
-            )
+    def query(system, *, numeric):
+        return [
+            knowledge_partition(system, agent, t)
+            for agent in system.agents
+            for t in range(system.max_time() + 1)
+        ]
+
+    def oracle(system):
+        return [
+            naive_knowledge_partition(system, agent, t)
+            for agent in system.agents
+            for t in range(system.max_time() + 1)
+        ]
+
+    assert_fraction_parity(
+        query,
+        [lambda: _system(seed, mixed)],
+        _engine_configs(seed),
+        reference_fn=oracle,
+    )
 
 
 @pytest.mark.parametrize("seed", range(0, 54, 9))
@@ -120,17 +206,33 @@ def test_theorem_verdict_parity(seed):
     # engine; their verdicts must be identical to what the naive
     # quantities imply.  (Verified=True is already asserted by
     # test_properties; here we check the evidence values.)
-    system = _system(seed, (seed % 3) * 0.5)
     phi = random_state_fact(seed + 5)
-    agent = system.agents[0]
-    action = proper_actions_of(system, agent)[0]
-    checks = verify_constraint(system, agent, action, phi, "1/2")
-    for name, check in checks.items():
-        assert check.verified, f"{name} failed on random-{seed}"
-    achieved = checks["theorem-6.2"].details["achieved"]
-    assert achieved == naive_achieved_probability(system, agent, phi, action)
-    expected = checks["theorem-6.2"].details["expected-belief"]
-    assert expected == naive_expected_belief(system, agent, phi, action)
+
+    def query(system, *, numeric):
+        agent = system.agents[0]
+        action = proper_actions_of(system, agent)[0]
+        checks = verify_constraint(system, agent, action, phi, "1/2")
+        for name, check in checks.items():
+            assert check.verified, f"{name} failed on random-{seed}"
+        return {
+            "achieved": checks["theorem-6.2"].details["achieved"],
+            "expected-belief": checks["theorem-6.2"].details["expected-belief"],
+        }
+
+    def oracle(system):
+        agent = system.agents[0]
+        action = proper_actions_of(system, agent)[0]
+        return {
+            "achieved": naive_achieved_probability(system, agent, phi, action),
+            "expected-belief": naive_expected_belief(system, agent, phi, action),
+        }
+
+    assert_fraction_parity(
+        query,
+        [lambda: _system(seed, (seed % 3) * 0.5)],
+        ENGINE_CONFIGS_WIDE,
+        reference_fn=oracle,
+    )
 
 
 class TestSystemIndexInternals:

@@ -53,8 +53,35 @@ from repro.core.numeric import (
 )
 from repro.core.optimality import achievable_frontier, optimal_acting_states
 from repro.core.theorems import pak_level, pak_level_with_exactness
+from parity import ParityConfig, assert_fraction_parity
 
 SEEDS = list(range(18))
+
+# The differential grid for auto-mode parity: the numeric tier crossed
+# with the shard axis (docs/sharding.md).  Float legs appear only where
+# the query is measure-shaped (floats carry no verdict guarantee, but
+# sharded float measures must be bitwise-identical to serial ones);
+# every third seed runs the full ISSUE matrix including both backends.
+FASTPATH_CONFIGS = (
+    ParityConfig(0, "exact"),
+    ParityConfig(0, "auto"),
+    ParityConfig(3, "exact"),
+    ParityConfig(3, "auto"),
+)
+FASTPATH_FLOAT_CONFIGS = (
+    ParityConfig(0, "float"),
+    ParityConfig(3, "float"),
+)
+
+
+def _fastpath_configs(seed: int, *, floats: bool = False):
+    if seed % 3 == 0:
+        from parity import DEFAULT_CONFIGS
+
+        if floats:
+            return DEFAULT_CONFIGS
+        return tuple(c for c in DEFAULT_CONFIGS if c.numeric != "float")
+    return FASTPATH_CONFIGS + (FASTPATH_FLOAT_CONFIGS if floats else ())
 
 
 # ----------------------------------------------------------------------
@@ -300,27 +327,53 @@ def test_auto_mode_parity_random_systems(seed):
     assert achieved_auto.exact() == achieved_exact
     assert (achieved_auto >= threshold) == (achieved_exact >= threshold)
 
-    assert expected_belief(pps, agent, phi, action, numeric="auto").exact() == (
-        expected_belief(pps, agent, phi, action)
-    )
-
-    # Threshold events must be identical sets, including at bounds
-    # exactly equal to acting beliefs (forced escalations).
+    # Bounds include the acting beliefs themselves (forced escalations)
+    # — computed once on a scratch system, shared by every grid point.
     index = SystemIndex.of(pps)
     bounds = [threshold, Fraction(0), Fraction(1)]
     bounds += [
         index.belief(agent, phi, local)
         for local in list(index.state_cells(agent, action))[:2]
     ]
-    for bound in bounds:
-        assert threshold_met_event(
-            pps, agent, phi, action, bound, numeric="auto"
-        ) == threshold_met_event(pps, agent, phi, action, bound)
-        assert exact_value(
-            threshold_met_measure(pps, agent, phi, action, bound, numeric="auto")
-        ) == threshold_met_measure(pps, agent, phi, action, bound)
-
     grid = [Fraction(k, 16) for k in range(17)] + bounds
+
+    def query(system, *, numeric):
+        # Threshold events must be identical sets, including at bounds
+        # exactly equal to acting beliefs; measures and the batched
+        # grid must carry identical exact values.  Events are omitted
+        # from the float legs (float verdicts carry no guarantee; the
+        # measures must still be bitwise-reproducible across shards).
+        result = {
+            "achieved": achieved_probability(
+                system, agent, phi, action, numeric=numeric
+            ),
+            "expected": expected_belief(
+                system, agent, phi, action, numeric=numeric
+            ),
+            "grid": threshold_met_measures(
+                system, agent, phi, action, grid, numeric=numeric
+            ),
+        }
+        if numeric != "float":
+            result["events"] = [
+                threshold_met_event(
+                    system, agent, phi, action, bound, numeric=numeric
+                )
+                for bound in bounds
+            ]
+            result["measures"] = [
+                threshold_met_measure(
+                    system, agent, phi, action, bound, numeric=numeric
+                )
+                for bound in bounds
+            ]
+        return result
+
+    assert_fraction_parity(
+        query,
+        [lambda: _case(seed)[0]],
+        _fastpath_configs(seed, floats=True),
+    )
     reset_numeric_stats()
     auto_measures = threshold_met_measures(pps, agent, phi, action, grid, numeric="auto")
     stats = numeric_stats()
@@ -340,19 +393,27 @@ def test_auto_mode_theorem_checks_identical(seed):
     case = _case(seed)
     if case is None:
         pytest.skip("no proper action for this seed")
-    pps, agent, action, phi, threshold = case
-    exact = verify_constraint(pps, agent, action, phi, threshold)
-    auto = verify_constraint(pps, agent, action, phi, threshold, numeric="auto")
-    assert set(exact) == set(auto)
-    for name in exact:
-        assert exact[name].premises == auto[name].premises, name
-        assert exact[name].conclusion == auto[name].conclusion, name
-        assert exact[name].verified == auto[name].verified, name
-        for key, value in exact[name].details.items():
-            assert exact_value(auto[name].details[key]) == exact_value(value), (
-                name,
-                key,
+    _, agent, action, phi, threshold = case
+
+    def query(system, *, numeric):
+        checks = verify_constraint(
+            system, agent, action, phi, threshold, numeric=numeric
+        )
+        return {
+            name: (
+                check.premises,
+                check.conclusion,
+                check.verified,
+                {key: exact_value(value) for key, value in check.details.items()},
             )
+            for name, check in checks.items()
+        }
+
+    assert_fraction_parity(
+        query,
+        [lambda: _case(seed)[0]],
+        _fastpath_configs(seed),
+    )
 
 
 @pytest.mark.parametrize("seed", SEEDS[:8])
@@ -360,18 +421,26 @@ def test_auto_mode_optimality_parity(seed):
     case = _case(seed)
     if case is None:
         pytest.skip("no proper action for this seed")
-    pps, agent, action, phi, _ = case
-    exact_frontier = achievable_frontier(pps, agent, phi, action)
-    auto_frontier = achievable_frontier(pps, agent, phi, action, numeric="auto")
-    assert len(exact_frontier) == len(auto_frontier)
-    for e, a in zip(exact_frontier, auto_frontier):
-        assert e.states == a.states
-        assert exact_value(a.acting_mass) == e.acting_mass
-        assert exact_value(a.value) == e.value
-    best_exact = optimal_acting_states(pps, agent, phi, action)
-    best_auto = optimal_acting_states(pps, agent, phi, action, numeric="auto")
-    assert best_exact.states == best_auto.states
-    assert exact_value(best_auto.value) == best_exact.value
+    _, agent, action, phi, _ = case
+
+    def query(system, *, numeric):
+        frontier = achievable_frontier(
+            system, agent, phi, action, numeric=numeric
+        )
+        best = optimal_acting_states(system, agent, phi, action, numeric=numeric)
+        return {
+            "frontier": [
+                (entry.states, entry.acting_mass, entry.value)
+                for entry in frontier
+            ],
+            "best": (best.states, best.value),
+        }
+
+    assert_fraction_parity(
+        query,
+        [lambda: _case(seed)[0]],
+        _fastpath_configs(seed),
+    )
 
 
 def test_refrain_sweep_parity_and_escalation_on_firing_squad():

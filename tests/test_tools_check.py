@@ -58,7 +58,7 @@ def rule_ids(result):
 # ---------------------------------------------------------------------------
 
 
-def test_all_seven_rules_registered():
+def test_all_eight_rules_registered():
     assert {
         "RP001",
         "RP002",
@@ -67,8 +67,9 @@ def test_all_seven_rules_registered():
         "RP005",
         "RP006",
         "RP007",
+        "RP008",
     } <= set(REGISTRY)
-    assert len(REGISTRY) >= 7
+    assert len(REGISTRY) >= 8
 
 
 def test_active_rules_rejects_unknown_ids():
@@ -652,6 +653,119 @@ def test_rp007_suppressed_by_allow_comment():
     assert result.suppressed == 1
 
 
+
+# ---------------------------------------------------------------------------
+# RP008: nondeterministic shard-combine order
+# ---------------------------------------------------------------------------
+
+
+def shard_config():
+    return CheckConfig(shard_modules=("snippet.py",))
+
+
+def test_rp008_fires_on_set_iteration_in_combine_fold():
+    result = run_rule(
+        """
+        def combine_masks(parts):
+            out = 0
+            for mask in set(parts):
+                out |= mask
+            return out
+        """,
+        "RP008",
+        shard_config(),
+    )
+    assert rule_ids(result) == ["RP008"]
+    assert "combine_masks()" in result.findings[0].message
+
+
+def test_rp008_fires_on_set_comprehension_iterable():
+    result = run_rule(
+        """
+        def merge_errors(parts):
+            return [err for err in {p.err for p in parts} if err]
+        """,
+        "RP008",
+        shard_config(),
+    )
+    assert rule_ids(result) == ["RP008"]
+    assert "merge_errors()" in result.findings[0].message
+
+
+def test_rp008_fires_on_id_keyed_sort():
+    result = run_rule(
+        """
+        def absorb_deltas(deltas):
+            for delta in sorted(deltas, key=id):
+                delta.apply()
+        """,
+        "RP008",
+        shard_config(),
+    )
+    assert rule_ids(result) == ["RP008"]
+    assert "absorb_deltas()" in result.findings[0].message
+
+
+def test_rp008_clean_on_index_ordered_folds():
+    result = run_rule(
+        """
+        def combine_totals(parts):
+            total = 0
+            for part in parts:
+                total += part
+            return total
+
+        def gather_results(shards):
+            return [s.result for s in sorted(shards, key=lambda s: s.index)]
+        """,
+        "RP008",
+        shard_config(),
+    )
+    assert result.findings == []
+
+
+def test_rp008_silent_outside_combine_scope():
+    # Set iteration in a non-combine helper of a shard module is
+    # RP005's business (order of *shard folds* is RP008's only claim).
+    result = run_rule(
+        """
+        def collect(parts):
+            return [p for p in set(parts)]
+        """,
+        "RP008",
+        shard_config(),
+    )
+    assert result.findings == []
+
+
+def test_rp008_silent_outside_shard_modules():
+    result = run_rule(
+        """
+        def combine_masks(parts):
+            for mask in set(parts):
+                pass
+        """,
+        "RP008",
+        CheckConfig(),
+    )
+    assert result.findings == []
+
+
+def test_rp008_suppressed_by_allow_comment():
+    result = run_rule(
+        """
+        def combine_masks(parts):
+            # repro: allow[RP008] masks OR-combine order-insensitively
+            for mask in set(parts):
+                pass
+        """,
+        "RP008",
+        shard_config(),
+    )
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
 # ---------------------------------------------------------------------------
 # Suppression machinery
 # ---------------------------------------------------------------------------
@@ -823,7 +937,7 @@ def test_cli_rule_selection_and_listing(tmp_path, capsys):
     capsys.readouterr()
     assert check_cli.main(["--list-rules"]) == 0
     listed = capsys.readouterr().out
-    for rule_id in ("RP001", "RP007"):
+    for rule_id in ("RP001", "RP008"):
         assert rule_id in listed
 
 
@@ -842,7 +956,7 @@ def test_live_tree_passes_strict_analyzer(capsys):
     output = capsys.readouterr().out
     assert exit_code == 0, output
     assert "0 finding(s)" in output
-    assert "7 rule(s) active" in output
+    assert "8 rule(s) active" in output
 
 
 def test_committed_baseline_ships_empty():

@@ -18,7 +18,13 @@ from .random_systems import (
 from .report import ExperimentRecord, format_experiments, render_tree
 from .stats import Estimate, hoeffding_halfwidth, mean, normal_halfwidth, variance
 from .timeline import TimelineCell, belief_timeline, expected_belief_by_time
-from .sweep import format_table, format_value, refrain_threshold_sweep, sweep
+from .sweep import (
+    format_table,
+    format_value,
+    refrain_threshold_sweep,
+    reweight_sweep,
+    sweep,
+)
 from .verify import (
     SystemVerification,
     assert_theorems,
@@ -53,6 +59,7 @@ __all__ = [
     "random_state_fact",
     "refrain_threshold_sweep",
     "render_tree",
+    "reweight_sweep",
     "sweep",
     "variance",
     "verify_constraint",

@@ -11,6 +11,11 @@ the benchmark logs).
 parent system, one row per refrain threshold, every row a derived
 system (:class:`~repro.core.pps.DerivedPPS`) sharing the parent's tree
 and engine index — the workload the derived-system layer exists for.
+:func:`reweight_sweep` is its weight-side sibling: one row per
+probability-parameter value, every row a
+:class:`~repro.core.pps.ReweightedPPS` child inheriting the parent
+index's shape-dependent tables and rebuilding only weights
+(``docs/transforms.md``) — the adversary-drift workload of ISSUE 9.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from ..core.pps import PPS, Action, ActionOverlay, AgentId, DerivedPPS
 __all__ = [
     "sweep",
     "refrain_threshold_sweep",
+    "reweight_sweep",
     "format_table",
     "format_value",
 ]
@@ -266,10 +272,124 @@ def _threshold_row(
     }
 
 
+def reweight_sweep(
+    pps: PPS,
+    transform: Callable[..., PPS],
+    values: Sequence[ProbabilityLike],
+    measure: Callable[..., Mapping[str, object]],
+    *,
+    param: str = "value",
+    materialize: bool = False,
+    numeric: str = "exact",
+    parallel: Optional[int] = None,
+) -> List[Row]:
+    """One row per probability-parameter value, sharing one parent index.
+
+    The weight-side sibling of :func:`refrain_threshold_sweep`: for
+    each value the system is reweighted with
+    ``transform(pps, value, materialize=...)`` — e.g.
+    :func:`repro.apps.firing_squad.drift_loss`, or a lambda over
+    :func:`repro.core.reweight.scale_adversary` — and the row records
+    ``measure(system, numeric=...)``, a mapping of named cells (achieved
+    probabilities, theorem verdicts, PAK levels, ...).
+
+    The parent's index is built (and registry-cached) once before any
+    row; every row is then a :class:`~repro.core.pps.ReweightedPPS`
+    child whose index inherits all shape-dependent tables by reference
+    and rebuilds only the weight vector, prefix table, and array
+    kernels.  Rows compose with the action-side transforms — ``measure``
+    may itself refrain/relabel the reweighted child, and a reweighted
+    child may feed :func:`refrain_threshold_sweep` — since overlays
+    flatten under chaining.  Pass ``materialize=True`` to force the
+    deep-copy-and-rebuild baseline per row (the benchmark's cold path).
+
+    Repeated values are deduplicated before any system is built and the
+    computed rows fanned back out in input order, and ``parallel=N``
+    (N > 1) distributes the distinct values over ``N`` forked workers
+    exactly as in :func:`refrain_threshold_sweep`: the parent index is
+    hoisted before the fork, workers build contiguous chunks, and rows
+    and ``numeric_stats()`` deltas are reassembled in chunk order —
+    serial results by construction, with silent serial fallback on any
+    transport failure.
+
+    Returns:
+        one row dict per value: ``{param: value, **measure_cells}``.
+
+    Raises:
+        ValueError: for an unknown ``numeric`` mode, or when ``measure``
+            returns a cell named ``param``.
+    """
+    check_numeric_mode(numeric)
+    SystemIndex.of(pps)  # hoist: one shared parent index, built pre-fork
+    bounds = [as_fraction(value) for value in values]
+    distinct: List[Fraction] = []
+    seen = set()
+    for bound in bounds:
+        if bound not in seen:
+            seen.add(bound)
+            distinct.append(bound)
+    computed: Optional[Dict[Fraction, Row]] = None
+    if parallel is not None and parallel > 1 and len(distinct) > 1:
+        computed = _parallel_reweight_rows(
+            pps,
+            transform,
+            measure,
+            distinct,
+            param=param,
+            materialize=materialize,
+            numeric=numeric,
+            parallel=parallel,
+        )
+    if computed is None:
+        computed = {
+            bound: _reweight_row(
+                pps,
+                transform,
+                measure,
+                bound,
+                param=param,
+                materialize=materialize,
+                numeric=numeric,
+            )
+            for bound in distinct
+        }
+    return [dict(computed[bound]) for bound in bounds]
+
+
+def _reweight_row(
+    pps: PPS,
+    transform: Callable[..., PPS],
+    measure: Callable[..., Mapping[str, object]],
+    value: Fraction,
+    *,
+    param: str,
+    materialize: bool,
+    numeric: str,
+) -> Row:
+    """One sweep row: build the reweighted child and measure it.
+
+    The shared row builder of the serial loop and the parallel workers
+    — one code path, so a forked row is the serial row by construction.
+    """
+    system = transform(pps, value, materialize=materialize)
+    result = measure(system, numeric=numeric)
+    if param in result:
+        raise ValueError(
+            f"measure() returned a cell named {param!r}, which would "
+            "overwrite the parameter column; rename one of them"
+        )
+    row: Row = {param: value}
+    row.update(result)
+    return row
+
+
 # Fork-inherited sweep state for _sweep_chunk_task: the parent system,
 # query, and hoisted row builder cannot (and need not) cross the pipe —
 # workers are forked after this global is set and read it directly.
 _SWEEP_STATE: Optional[tuple] = None
+
+# Fork-inherited state for _reweight_chunk_task, mirroring _SWEEP_STATE.
+_REWEIGHT_STATE: Optional[tuple] = None
 
 
 def _encode_cell(value: object):
@@ -381,6 +501,96 @@ def _parallel_rows(
         return None
     finally:
         _SWEEP_STATE = saved
+    computed: Dict[Fraction, Row] = {}
+    for chunk, (rows, delta) in zip(chunks, parts):
+        absorb_stats(delta)
+        for pos, encoded in zip(chunk, rows):
+            computed[distinct[pos]] = {
+                key: _decode_cell(value) for key, value in encoded.items()
+            }
+    return computed
+
+
+def _reweight_chunk_task(chunk: Sequence[int]):
+    """Worker task: build the reweight rows for one contiguous chunk.
+
+    Returns encoded rows in chunk order plus this task's
+    ``numeric_stats()`` delta (counters are reset on entry — the forked
+    copy of the parent's counters must not be re-counted on absorb).
+    """
+    from ..core.lazyprob import numeric_stats, reset_numeric_stats
+
+    state = _REWEIGHT_STATE
+    if state is None:  # pragma: no cover - defensive: task outside a pool
+        raise RuntimeError("reweight sweep worker has no inherited state")
+    pps, transform, measure, distinct, param, materialize, numeric = state
+    reset_numeric_stats()
+    rows = []
+    for pos in chunk:
+        row = _reweight_row(
+            pps,
+            transform,
+            measure,
+            distinct[pos],
+            param=param,
+            materialize=materialize,
+            numeric=numeric,
+        )
+        rows.append({key: _encode_cell(value) for key, value in row.items()})
+    return rows, numeric_stats()
+
+
+def _parallel_reweight_rows(
+    pps: PPS,
+    transform: Callable[..., PPS],
+    measure: Callable[..., Mapping[str, object]],
+    distinct: Sequence[Fraction],
+    *,
+    param: str,
+    materialize: bool,
+    numeric: str,
+    parallel: int,
+) -> Optional[Dict[Fraction, Row]]:
+    """The distinct-value reweight rows via a forked pool, or ``None``.
+
+    ``None`` means "could not run parallel" and sends the caller down
+    the serial path — never a changed result.  Chunks are contiguous in
+    value order and reassembly (rows *and* stats absorption) happens in
+    chunk order, exactly as in :func:`_parallel_rows`.
+    """
+    import multiprocessing
+
+    from ..core.lazyprob import absorb_stats
+
+    global _REWEIGHT_STATE
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+    workers = min(parallel, len(distinct))
+    chunks: List[List[int]] = [[] for _ in range(workers)]
+    for pos in range(len(distinct)):
+        chunks[pos * workers // len(distinct)].append(pos)
+    from concurrent.futures import ProcessPoolExecutor
+
+    saved = _REWEIGHT_STATE
+    _REWEIGHT_STATE = (pps, transform, measure, tuple(distinct), param,
+                       materialize, numeric)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            futures = [
+                pool.submit(_reweight_chunk_task, chunk) for chunk in chunks
+            ]
+            try:
+                parts = [future.result() for future in futures]
+            except Exception:
+                return None
+    except (OSError, ValueError):  # pragma: no cover - resource limits
+        return None
+    finally:
+        _REWEIGHT_STATE = saved
     computed: Dict[Fraction, Row] = {}
     for chunk, (rows, delta) in zip(chunks, parts):
         absorb_stats(delta)

@@ -35,12 +35,13 @@ when FS is already in hand.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Tuple
+from weakref import WeakKeyDictionary
 
 from ..core.atoms import does_
 from ..core.facts import Fact
-from ..core.numeric import ProbabilityLike, as_fraction
-from ..core.pps import PPS
+from ..core.numeric import Probability, ProbabilityLike, as_fraction
+from ..core.pps import PPS, Node
 from ..messaging.channels import LossyChannel
 from ..messaging.messages import Message, Move
 from ..messaging.network import RecordingState, RoundProtocol
@@ -54,6 +55,7 @@ __all__ = [
     "THRESHOLD",
     "build_firing_squad",
     "derive_improved_firing_squad",
+    "drift_loss",
     "fire_alice",
     "fire_bob",
     "both_fire",
@@ -183,6 +185,127 @@ def derive_improved_firing_squad(
         name=base.name + "-improved",
         materialize=materialize,
     )
+
+
+#: Channel edges carry at most two independent loss events per round
+#: (Alice's round-0 pair); exponents are searched up to this total.
+_MAX_LOSS_EVENTS = 4
+
+
+def drift_loss(
+    pps: PPS,
+    new_loss: ProbabilityLike,
+    *,
+    old_loss: ProbabilityLike = "0.1",
+    name: Optional[str] = None,
+    materialize: bool = False,
+) -> PPS:
+    """The firing squad with the channel loss probability moved to ``new_loss``.
+
+    The app-level drift knob: every channel edge of a compiled FS/FS'
+    system has probability ``old^k * (1-old)^j`` — ``k`` messages lost,
+    ``j`` delivered that round — so sweeping the loss rate only
+    reweights edges.  This recovers ``(k, j)`` exactly from each edge's
+    current probability and overrides it to ``new^k * (1-new)^j``,
+    returning a tree-sharing derived system that is bit-identical to
+    ``build_firing_squad(loss=new_loss)`` on every measure (tests and
+    the reweight benchmark assert this) at a fraction of the compile
+    cost.  Depth-1 edges (Alice's ``go`` flag) are left untouched.  At
+    the boundary rates 0 and 1 the derived system keeps the now
+    impossible runs with zero weight (tree shape is shared, never
+    pruned), so it agrees with the cold build on every measure but has
+    more run slots.
+
+    Args:
+        pps: a compiled FS or FS' system (derived/reweighted children
+            are fine; probabilities resolve through their overlays).
+        new_loss: the new per-message loss probability, in ``[0, 1]``.
+        old_loss: the loss probability ``pps`` was compiled with.  Must
+            make the exponents identifiable — e.g. ``old_loss=1/2``
+            collapses ``(2,0)``, ``(1,1)`` and ``(0,2)`` onto 1/4 and
+            is rejected.
+        name: label of the result (default ``"<parent>-loss(<new>)"``).
+        materialize: forwarded to the transform's escape hatch.
+
+    Raises:
+        ValueError: when ``new_loss`` is outside ``[0, 1]``, when some
+            channel edge's probability matches no ``old^k * (1-old)^j``,
+            or when a match is ambiguous.
+    """
+    from ..core.reweight import reweight_edges
+
+    old = as_fraction(old_loss)
+    new = as_fraction(new_loss)
+    if not 0 <= new <= 1:
+        raise ValueError(f"new_loss must lie in [0, 1], got {new}")
+    overrides: List[Tuple[Node, Probability]] = []
+    if new != old:
+        powers = {
+            (k, j): new**k * (1 - new) ** j
+            for k in range(_MAX_LOSS_EVENTS + 1)
+            for j in range(_MAX_LOSS_EVENTS + 1 - k)
+        }
+        for node, current, pair in _loss_profile(pps, old):
+            updated = powers[pair]
+            if updated != current:
+                overrides.append((node, updated))
+    return reweight_edges(
+        pps,
+        overrides,
+        name=name or f"{pps.name}-loss({new})",
+        materialize=materialize,
+    )
+
+
+#: Memoized channel-edge classifications, keyed weakly per system then
+#: by the old loss rate: trees (and the flattened probability overlays
+#: of derived systems) are immutable, so the exponent recovery depends
+#: only on ``(pps, old)`` — a dense sweep drifting hundreds of rows
+#: from one parent pays the edge scan once, not once per row.
+_LOSS_PROFILES: "WeakKeyDictionary[PPS, Dict[Probability, Tuple[Tuple[Node, Probability, Tuple[int, int]], ...]]]" = (
+    WeakKeyDictionary()
+)
+
+
+def _loss_profile(
+    pps: PPS, old: Probability
+) -> Tuple[Tuple[Node, Probability, Tuple[int, int]], ...]:
+    """``(node, current_probability, (k, j))`` per reweightable channel edge."""
+    per_system = _LOSS_PROFILES.setdefault(pps, {})
+    profile = per_system.get(old)
+    if profile is None:
+        exponents: Dict[Probability, Tuple[int, int]] = {}
+        ambiguous = set()
+        for k in range(_MAX_LOSS_EVENTS + 1):
+            for j in range(_MAX_LOSS_EVENTS + 1 - k):
+                value = old**k * (1 - old) ** j
+                if exponents.setdefault(value, (k, j)) != (k, j):
+                    ambiguous.add(value)
+        entries: List[Tuple[Node, Probability, Tuple[int, int]]] = []
+        for node in pps.nodes():
+            if node.depth < 2:
+                continue
+            current = pps.edge_probability(node)
+            if current == 1:
+                continue
+            if current in ambiguous:
+                raise ValueError(
+                    f"drift_loss: edge into node {node.uid} has probability "
+                    f"{current}, which several loss/delivery exponent pairs "
+                    f"produce at old_loss={old}; recompile from a loss rate "
+                    "with identifiable exponents"
+                )
+            pair = exponents.get(current)
+            if pair is None:
+                raise ValueError(
+                    f"drift_loss: edge into node {node.uid} has probability "
+                    f"{current}, not of the form old^k*(1-old)^j for "
+                    f"old_loss={old}"
+                )
+            entries.append((node, current, pair))
+        profile = tuple(entries)
+        per_system[old] = profile
+    return profile
 
 
 def fire_alice() -> Fact:

@@ -161,8 +161,11 @@ from .pps import (
     LocalState,
     Node,
     OverlayRun,
+    ProbabilityOverlay,
+    ReweightedPPS,
     Run,
 )
+from .reweight import condition_on, reweight_edges
 from .theorems import (
     TheoremCheck,
     check_corollary_7_2,

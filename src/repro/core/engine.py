@@ -48,6 +48,19 @@ index and rebuilds only the (agent, action) tables for the overridden
 edges, invalidating just the fact-cache entries whose facts mention
 actions (see ``docs/transforms.md``).
 
+Every table and memo cache of the index is additionally classified in
+:data:`SystemIndex.DEPENDENCY_CLASS` as **shape-dependent** (a function
+of tree shape, states, and edge labels only) or **weight-dependent**
+(additionally reads the probability weight vector) — the per-entry
+dependency record behind the weight split.  A *reweighted* child
+(:class:`~repro.core.pps.ReweightedPPS` — per-edge probability
+overrides, shape and labels untouched) inherits every shape-dependent
+structure by reference and rebuilds exactly the weight-dependent ones:
+the weight vector, prefix table, array kernels, and the measure-bearing
+caches.  Satisfying-run masks are weight-*independent*, so a reweighted
+row of an adversary-parameter sweep reuses the parent's fact masks
+outright and pays only one integer-weight rebuild.
+
 The kernel is **two-tier** (see ``docs/numerics.md``): every measure
 starts as an integer weight total over one common denominator
 (:meth:`SystemIndex.mask_total`), and the ``numeric=`` knob on
@@ -114,6 +127,106 @@ class SystemIndex:
     benchmarks — all share one set of tables.
     """
 
+    #: The per-entry dependency record: every table and memo cache of
+    #: the index, classified by what can invalidate it.  ``"shape"``
+    #: entries are functions of the tree shape, states, and edge
+    #: labels only; ``"weight"`` entries additionally read the
+    #: probability weight vector.  :meth:`derived` consults this
+    #: record: an action overlay shares *everything* (weights
+    #: included) and filters fact caches per-entry through
+    #: ``_action_free``; a reweighting inherits every ``"shape"``
+    #: structure by reference and rebuilds or drops every ``"weight"``
+    #: one.  Every cache write in this module must target a classified
+    #: attribute — enforced statically by analyzer rule RP009 and at
+    #: runtime by the engine test suite.
+    DEPENDENCY_CLASS: Dict[str, str] = {
+        # weight-dependent: the exact/array probability kernels and
+        # every cache holding measures, posteriors, or verdicts
+        # computed from them.
+        "_denominator": "weight",
+        "_weights": "weight",
+        "_prefix": "weight",
+        "_prob_cache": "weight",
+        "_total_cache": "weight",
+        "_weight_kernel": "weight",
+        "_bounds_cache": "weight",
+        "_den_bounds": "weight",
+        "_threshold_kernels": "weight",
+        "_belief_cache": "weight",
+        "_lazy_beliefs": "weight",
+        "_independence_cache": "weight",
+        # shape-dependent: structure tables and mask-valued caches
+        # (bitmasks record *which* runs satisfy a fact — a question
+        # probabilities never enter).
+        "run_count": "shape",
+        "all_mask": "shape",
+        "max_time": "shape",
+        "_node_ranges": "shape",
+        "_alive": "shape",
+        "_local_occurrence": "shape",
+        "_partitions": "shape",
+        "_event_cache": "shape",
+        "_component_cache": "shape",
+        "_shard_plans": "shape",
+        "_fact_masks": "shape",
+        "_slice_masks": "shape",
+        "_at_action_cache": "shape",
+        "_performing": "shape",
+        "_action_records": "shape",
+        "_performance_times": "shape",
+        "_state_cells": "shape",
+        "_agent_actions": "shape",
+        "_proper_cache": "shape",
+        "_performing_at": "shape",
+    }
+
+    #: Instance attributes that are bookkeeping, not cached data:
+    #: identity, keying mode, and the derivation machinery itself.
+    #: ``DEPENDENCY_CLASS`` and this set together must cover every
+    #: attribute the constructor assigns (asserted by the test suite).
+    BOOKKEEPING_ATTRS: FrozenSet[str] = frozenset(
+        {
+            "pps",
+            "structural_keys",
+            "_action_free",
+            "_derived_parent",
+            "_inherit_pack",
+        }
+    )
+
+    @classmethod
+    def dependency_class(cls, attr: str) -> str:
+        """``"shape"`` or ``"weight"`` for a classified index attribute.
+
+        Raises:
+            KeyError: for attributes outside the dependency record —
+                adding a cache without classifying it is a bug this
+                surfaces (and RP009 catches statically).
+        """
+        return cls.DEPENDENCY_CLASS[attr]
+
+    @staticmethod
+    def _weight_tables(runs) -> Tuple[int, List[int], List[int]]:
+        """``(denominator, weights, prefix)`` for a run tuple.
+
+        The single source of the integer-weight kernel: the cold
+        constructor and the reweighted branch of :meth:`derived` both
+        build through here, which is what pins a derived reweighted
+        index bit-identical to a from-scratch rebuild.
+        """
+        denominator = 1
+        for run in runs:
+            q = run.prob.denominator
+            denominator = denominator // gcd(denominator, q) * q
+        weights = [
+            run.prob.numerator * (denominator // run.prob.denominator)
+            for run in runs
+        ]
+        prefix = [0]
+        for weight in weights:
+            prefix.append(prefix[-1] + weight)
+        return denominator, weights, prefix
+
     def __init__(self, pps: PPS, *, structural_keys: bool = True) -> None:
         self.pps = pps
         # When True (the default) the fact memo caches key on
@@ -128,18 +241,9 @@ class SystemIndex:
         # --- exact probability kernel -----------------------------------
         # Run weights as integer numerators over one common denominator;
         # prefix sums give O(1) measures of contiguous index ranges.
-        denominator = 1
-        for run in runs:
-            q = run.prob.denominator
-            denominator = denominator // gcd(denominator, q) * q
+        denominator, weights, prefix = self._weight_tables(runs)
         self._denominator = denominator
-        self._weights: List[int] = [
-            run.prob.numerator * (denominator // run.prob.denominator)
-            for run in runs
-        ]
-        prefix = [0]
-        for weight in self._weights:
-            prefix.append(prefix[-1] + weight)
+        self._weights: List[int] = weights
         self._prefix: List[int] = prefix
         self._prob_cache: Dict[int, Probability] = {}
         # Raw integer weight totals per mask: the common input of every
@@ -269,42 +373,77 @@ class SystemIndex:
         """An index for ``pps`` inheriting ``parent``'s tables.
 
         ``pps`` must be a derived system whose parent is exactly
-        ``parent.pps``.  Everything label-independent is shared by
-        reference — the exact-probability kernel (weights, prefix
-        table, memoized measures), leaf ranges, alive masks, local
-        occurrence/partition tables, common-knowledge components, and
-        the event-interop cache — because the overlay preserves states,
-        probabilities, and tree shape.  Fact-mask and belief cache
-        entries are inherited for facts that never inspect actions
-        (:meth:`~repro.core.facts.Fact.mentions_actions`); entries for
-        action-mentioning facts are invalidated.  The (agent, action)
-        tables are rebuilt incrementally, touching only the overridden
-        edges, on first use.
+        ``parent.pps``.  Everything *shape-dependent* (see
+        :data:`DEPENDENCY_CLASS`) is shared by reference — leaf ranges,
+        alive masks, local occurrence/partition tables,
+        common-knowledge components, and the event-interop cache —
+        because neither overlay kind touches states or tree shape.
+
+        For a pure action overlay the *weight-dependent* kernel is
+        shared too (weights, prefix table, memoized measures, array
+        bounds): relabelling preserves probabilities.  For a
+        **reweighted** child (:class:`~repro.core.pps.ReweightedPPS`,
+        or any chain whose probability overrides differ from the
+        parent's) the weight vector, prefix table, and array-kernel
+        state are rebuilt from the child's own runs — through the same
+        :meth:`_weight_tables` helper the cold constructor uses, so the
+        result is bit-identical to a from-scratch build — and every
+        measure-bearing cache starts empty.
+
+        Fact-mask and slice-mask entries are inherited for facts that
+        never inspect actions
+        (:meth:`~repro.core.facts.Fact.mentions_actions`) in *both*
+        cases — masks record which runs satisfy a fact, a
+        weight-independent question.  Belief caches additionally
+        require unchanged weights.  The (agent, action) tables are
+        rebuilt incrementally, touching only the overridden edges, on
+        first use.
         """
         if not isinstance(pps, DerivedPPS) or pps.parent is not parent.pps:
             raise ValueError(
                 "derived() requires the DerivedPPS whose parent is exactly "
                 "the parent index's system"
             )
+        # The child is weight-split from the parent exactly when its
+        # flattened probability overrides differ from the parent's own
+        # (a relabelling of a reweighted parent inherits the parent's
+        # table unchanged and still shares the parent's weights).
+        reweighted = pps._prob_overrides != getattr(
+            pps.parent, "_prob_overrides", {}
+        )
         index = cls.__new__(cls)
         index.pps = pps
         index.structural_keys = parent.structural_keys
         index.run_count = parent.run_count
         index.all_mask = parent.all_mask
-        # Exact probability kernel: identical weights, shared memo.
-        index._denominator = parent._denominator
-        index._weights = parent._weights
-        index._prefix = parent._prefix
-        index._prob_cache = parent._prob_cache
-        index._total_cache = parent._total_cache
-        # Array kernel: weights are identical, so the float view, the
-        # per-mask bounds memo, and the denominator bounds are shared;
-        # the kernel itself is resolved through the parent lazily (it
-        # may not be built yet).  Threshold kernels are action-dependent
-        # and start empty.
-        index._weight_kernel = None
-        index._bounds_cache = parent._bounds_cache
-        index._den_bounds = parent._den_bounds
+        if reweighted:
+            # Weight-dependent kernel: rebuilt from the child's own run
+            # probabilities; memoized measures and bounds start empty.
+            denominator, weights, prefix = cls._weight_tables(pps.runs)
+            index._denominator = denominator
+            index._weights = weights
+            index._prefix = prefix
+            index._prob_cache = {}
+            index._total_cache = {}
+            index._weight_kernel = None
+            index._bounds_cache = {}
+            index._den_bounds = float_with_err(denominator)
+        else:
+            # Exact probability kernel: identical weights, shared memo.
+            index._denominator = parent._denominator
+            index._weights = parent._weights
+            index._prefix = parent._prefix
+            index._prob_cache = parent._prob_cache
+            index._total_cache = parent._total_cache
+            # Array kernel: weights are identical, so the float view,
+            # the per-mask bounds memo, and the denominator bounds are
+            # shared; the kernel itself is resolved through the parent
+            # lazily (it may not be built yet).
+            index._weight_kernel = None
+            index._bounds_cache = parent._bounds_cache
+            index._den_bounds = parent._den_bounds
+        # Threshold kernels are action- and weight-dependent and start
+        # empty either way.
         index._threshold_kernels = {}
         # Structure tables: the tree is literally the parent's.
         index._node_ranges = parent._node_ranges
@@ -335,8 +474,14 @@ class SystemIndex:
         index._action_free = set(free)
         index._fact_masks = dict(fact_masks)
         index._slice_masks = dict(slice_masks)
-        index._belief_cache = dict(belief_cache)
-        index._lazy_beliefs = dict(lazy_beliefs)
+        if reweighted:
+            # Posteriors are weight-dependent (DEPENDENCY_CLASS); only
+            # the mask-valued caches above survive a reweighting.
+            index._belief_cache = {}
+            index._lazy_beliefs = {}
+        else:
+            index._belief_cache = dict(belief_cache)
+            index._lazy_beliefs = dict(lazy_beliefs)
         index._at_action_cache = {}
         index._independence_cache = {}
         # Shard plans depend only on the shared tree's leaf ranges.
@@ -661,12 +806,15 @@ class SystemIndex:
     def weight_kernel(self) -> WeightKernel:
         """The array view of the weight vector (lazily built, shared).
 
-        Derived indices resolve through their parent so the float
-        arrays are materialized once per tree, not once per overlay
-        row.
+        Derived indices whose weight vector *is* the parent's (action
+        overlays) resolve through the parent, so the float arrays are
+        materialized once per tree, not once per overlay row.  A
+        reweighted index owns a different vector and therefore builds
+        (and memoizes) its own kernel.
         """
-        if self._derived_parent is not None:
-            return self._derived_parent.weight_kernel()
+        parent = self._derived_parent
+        if parent is not None and self._weights is parent._weights:
+            return parent.weight_kernel()
         kernel = self._weight_kernel
         if kernel is None:
             kernel = WeightKernel(self._weights)

@@ -15,9 +15,15 @@ A pps (paper, Section 2.1) is a finite labelled directed tree
 This module implements the tree (:class:`Node`), global states
 (:class:`GlobalState`), runs (:class:`Run`), points and the induced
 probability space ``X_T = (R_T, 2^{R_T}, mu_T)`` (:class:`PPS`), plus
-the derived-system layer (:class:`ActionOverlay`, :class:`DerivedPPS`)
-through which relabelling transforms share a parent's tree instead of
-copying it — see ``docs/transforms.md``.
+the derived-system layer through which transforms share a parent's
+tree instead of copying it — see ``docs/transforms.md``:
+
+* :class:`ActionOverlay` / :class:`DerivedPPS` — per-edge *action*
+  relabellings (states, probabilities, and shape untouched);
+* :class:`ProbabilityOverlay` / :class:`ReweightedPPS` — per-edge
+  *probability* overrides (states, labels, and shape untouched), the
+  substrate of :mod:`repro.core.reweight`'s adversary-drift and
+  conditioning transforms.
 
 Synchrony
 ---------
@@ -54,7 +60,7 @@ from .errors import (
     UnknownAgentError,
     ZeroProbabilityError,
 )
-from .numeric import ONE, Probability
+from .numeric import ONE, Probability, ProbabilityLike, as_fraction
 
 __all__ = [
     "AgentId",
@@ -67,7 +73,9 @@ __all__ = [
     "OverlayRun",
     "PPS",
     "ActionOverlay",
+    "ProbabilityOverlay",
     "DerivedPPS",
+    "ReweightedPPS",
 ]
 
 AgentId = str
@@ -451,6 +459,18 @@ class PPS:
         """
         return node.via_action
 
+    def edge_probability(self, node: Node) -> Probability:
+        """The probability labelling the edge into ``node`` in *this* system.
+
+        For a plain system this is just ``node.prob_from_parent``;
+        reweighted systems (:class:`ReweightedPPS`) resolve their
+        per-edge probability overlays here instead, which is why
+        everything that reads edge probabilities off the shared tree —
+        materialization, renderings, transforms building on transforms
+        — must go through this accessor rather than the node attribute.
+        """
+        return node.prob_from_parent
+
     def max_time(self) -> int:
         """The largest time occurring in any run."""
         return max(node.time for node in self.state_nodes())
@@ -676,6 +696,74 @@ class ActionOverlay:
         return f"ActionOverlay(edges={len(self._entries)})"
 
 
+class ProbabilityOverlay:
+    """Per-edge probability overrides over a shared parent tree.
+
+    The probability twin of :class:`ActionOverlay`: a transform that
+    only *reweights* edges (``reweight_edges``, ``scale_adversary``,
+    ``condition_on``) preserves states, action labels, and tree shape —
+    and therefore every leaf range, local table, and event mask.
+    Instead of deep-copying the tree, such a transform records for each
+    changed edge the (shared) node the edge leads into and the new
+    probability.  Node identity is preserved, so a
+    :class:`ReweightedPPS` built from it inherits every
+    *shape-dependent* structure of the parent's
+    :class:`~repro.core.engine.SystemIndex` and rebuilds only the
+    weight vector, prefix table, and array kernels.
+
+    Unlike tree edges, override probabilities may be **zero** (that is
+    how :func:`~repro.core.reweight.condition_on` removes runs) and may
+    exceed one (conditioning renormalizes leaf edges); they only have
+    to be non-negative rationals.  :class:`ReweightedPPS` checks that
+    the run-space total stays a probability measure.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(
+        self, entries: Iterable[Tuple[Node, ProbabilityLike]] = ()
+    ) -> None:
+        """Build an overlay from ``(node, new_probability)`` pairs.
+
+        Each node must be a non-root node of the parent tree (the root
+        has no incoming edge to reweight).
+        """
+        table: Dict[int, Tuple[Node, Probability]] = {}
+        for node, prob in entries:
+            if node.state is None:
+                raise InvalidSystemError(
+                    "a probability overlay cannot override the root (it "
+                    "has no incoming edge)"
+                )
+            p = as_fraction(prob)
+            if p < 0:
+                raise InvalidSystemError(
+                    f"edge into node {node.uid} reweighted to {p}; "
+                    "probabilities must be non-negative"
+                )
+            table[node.uid] = (node, p)
+        self._entries = table
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, uid: int) -> bool:
+        return uid in self._entries
+
+    def items(self) -> Iterator[Tuple[Node, Probability]]:
+        """Iterate over ``(node, new_probability)`` pairs."""
+        for node, prob in self._entries.values():
+            yield node, prob
+
+    def override_for(self, uid: int) -> Optional[Probability]:
+        """The overriding probability for the edge into node ``uid``."""
+        entry = self._entries.get(uid)
+        return None if entry is None else entry[1]
+
+    def __repr__(self) -> str:
+        return f"ProbabilityOverlay(edges={len(self._entries)})"
+
+
 class DerivedPPS(PPS):
     """A system sharing its parent's tree with relabelled edge actions.
 
@@ -734,29 +822,174 @@ class DerivedPPS(PPS):
                 )
             flat[node.uid] = via
         self._edge_overrides: Dict[int, Mapping[AgentId, Action]] = flat
+        # Probability overrides flatten the same way: a derived system
+        # over a reweighted parent keeps answering edge probabilities
+        # (and run measures) through the whole chain's flattened table.
+        # Plain relabellings leave this empty; ReweightedPPS fills it.
+        self._prob_overrides: Dict[int, Probability] = (
+            dict(parent._prob_overrides)
+            if isinstance(parent, DerivedPPS)
+            else {}
+        )
 
     def edge_action(self, node: Node) -> Optional[Mapping[AgentId, Action]]:
         return self._edge_overrides.get(node.uid, node.via_action)
+
+    def edge_probability(self, node: Node) -> Probability:
+        return self._prob_overrides.get(node.uid, node.prob_from_parent)
+
+    @property
+    def is_reweighted(self) -> bool:
+        """Whether any edge probability differs from the shared tree's."""
+        return bool(self._prob_overrides)
 
     @property
     def runs(self) -> Tuple[Run, ...]:
         if self._runs is None:
             overrides = self._edge_overrides
-            self._runs = tuple(
-                OverlayRun(
-                    index=run.index,
-                    nodes=run.nodes,
-                    prob=run.prob,
-                    agents=self.agents,
-                    positions=self._agent_index,
-                    edge_overrides=overrides,
+            reweights = self._prob_overrides
+            built: List[Run] = []
+            for run in self.parent.runs:
+                prob = run.prob
+                if reweights:
+                    # Recompute from the raw tree edges through the
+                    # flattened override table: the parent may itself
+                    # be reweighted, and the table already carries the
+                    # whole chain.
+                    prob = ONE
+                    for node in run.nodes:
+                        prob = prob * reweights.get(
+                            node.uid, node.prob_from_parent
+                        )
+                built.append(
+                    OverlayRun(
+                        index=run.index,
+                        nodes=run.nodes,
+                        prob=prob,
+                        agents=self.agents,
+                        positions=self._agent_index,
+                        edge_overrides=overrides,
+                    )
                 )
-                for run in self.parent.runs
-            )
+            self._runs = tuple(built)
         return self._runs
 
     def __repr__(self) -> str:
         return (
             f"DerivedPPS(name={self.name!r}, parent={self.parent.name!r}, "
+            f"overridden_edges={len(self._edge_overrides)})"
+        )
+
+
+class ReweightedPPS(DerivedPPS):
+    """A system sharing its parent's tree with reweighted edge probabilities.
+
+    The probability twin of :class:`DerivedPPS`: the reweighted system
+    and its parent agree on tree shape, states, and action labels, and
+    differ only in the probabilities of the edges named by
+    ``reweight`` (a :class:`ProbabilityOverlay`):
+
+    * ``reweighted.root is parent.root`` — no node is copied; ``uid``\\ s,
+      depths, states, and labels are literally the parent's;
+    * ``reweighted.runs`` are :class:`OverlayRun`\\ s reusing the parent
+      runs' node tuples, with probabilities recomputed through the
+      flattened override table (run indices unchanged);
+    * :meth:`PPS.edge_probability` resolves through the flattened
+      table, so materialization and chained transforms see the new
+      probabilities while ``node.prob_from_parent`` keeps showing the
+      tree's;
+    * :meth:`index` derives the engine index from the parent's via
+      :meth:`repro.core.engine.SystemIndex.derived`, which inherits
+      every *shape-dependent* structure by reference and rebuilds only
+      the weight vector, prefix table, and array kernels (see
+      ``docs/transforms.md``).
+
+    Reweighting composes with relabelling in either order: an optional
+    ``overlay`` carries action overrides alongside the reweight, and
+    deriving from an already-derived parent flattens both tables, so
+    lookups stay O(1) regardless of chaining depth.
+
+    Zero-probability overrides are legal — that is how
+    :func:`~repro.core.reweight.condition_on` removes runs — but the
+    run space as a whole must remain a probability measure:
+
+    Raises:
+        ValueError: when the reweighted run-space probability totals
+            zero (the message names an offending zeroed edge), instead
+            of a downstream ``ZeroDivisionError`` once the engine
+            normalizes by the dead total.
+        NotStochasticError: when the total is neither zero nor one.
+    """
+
+    def __init__(
+        self,
+        parent: PPS,
+        reweight: ProbabilityOverlay,
+        *,
+        overlay: Optional[ActionOverlay] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            parent,
+            overlay if overlay is not None else ActionOverlay(),
+            name=name or f"{parent.name}-reweighted",
+        )
+        self.reweight = reweight
+        for node, prob in reweight.items():
+            # Same foreign-tree probe as the action overlay path: uids
+            # are per-tree, so an overlay built against a different
+            # tree would silently bind to unrelated nodes.
+            probe = node
+            while probe.parent is not None:
+                probe = probe.parent
+            if probe is not parent.root:
+                raise InvalidSystemError(
+                    f"reweight node {node.uid} does not belong to the "
+                    f"parent tree of {parent.name!r}"
+                )
+            self._prob_overrides[node.uid] = prob
+        self._check_total()
+
+    def _check_total(self) -> None:
+        """Reject reweights that break the run-space probability measure.
+
+        The check forces :attr:`runs` (cached — the derived index
+        rebuild consumes the same tuple), so malformed reweights fail
+        at construction with a message naming an edge, not deep inside
+        the engine's prefix-table normalization.
+        """
+        total = sum((run.prob for run in self.runs), start=Fraction(0))
+        if total == 0:
+            culprit = next(
+                (
+                    node.uid
+                    for node, prob in self.reweight.items()
+                    if prob == 0
+                ),
+                None,
+            )
+            where = (
+                f"e.g. the edge into node {culprit} overridden to 0"
+                if culprit is not None
+                else "no single zeroed edge; the per-run products vanish"
+            )
+            raise ValueError(
+                f"reweight of {self.parent.name!r} drives the total "
+                f"run-space probability to zero ({where}); a reweighted "
+                "system must keep at least one run with positive "
+                "probability"
+            )
+        if total != 1:
+            raise NotStochasticError(
+                f"reweighted run-space probability of {self.name!r} sums "
+                f"to {total}, expected 1; rescale sibling edges (or use "
+                "condition_on, which renormalizes) so the overrides "
+                "preserve the measure"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"ReweightedPPS(name={self.name!r}, parent={self.parent.name!r}, "
+            f"reweighted_edges={len(self.reweight)}, "
             f"overridden_edges={len(self._edge_overrides)})"
         )

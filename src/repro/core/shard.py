@@ -50,6 +50,18 @@ through the engine's own cache discipline
 ``_action_free`` records included), and each worker returns a counter
 delta that the parent folds into the global stats via
 :func:`~repro.core.lazyprob.absorb_stats`.
+
+Result masks are arbitrary-precision ints one bit per run; pickling
+them through the result pipe re-serializes ``run_count / 8`` bytes per
+fact per shard.  Workers therefore ship mask payloads out-of-band as
+packed little-endian byte arrays in a ``multiprocessing.shared_memory``
+segment (one segment per task, unlinked by the parent after
+reassembly) and send only the segment name and lengths through the
+pipe; where shared memory is unavailable or refuses allocation the
+masks fall back to in-band pickling, and any reassembly failure falls
+back to the serial scan — both transports reconstruct the identical
+integers (the ``tests/parity.py`` grid runs the sharded executor over
+every numeric tier).
 """
 
 from __future__ import annotations
@@ -405,15 +417,77 @@ def _picklable_error(error: Optional[Exception]) -> Optional[Exception]:
         return RuntimeError(f"{type(error).__name__}: {error}")
 
 
+def _pack_masks(masks: Sequence[int]):
+    """Ship run masks out-of-band: ``("shm", name, sizes)`` when possible.
+
+    Each mask is packed as its minimal little-endian byte array and the
+    packed blobs concatenated into one shared-memory segment, so the
+    result pipe carries only the segment name and per-mask lengths.
+    The segment is *not* unlinked here — ownership passes to the parent
+    (:func:`_unpack_masks`), and the worker-side resource tracker is
+    told to forget it so worker shutdown does not reclaim (or warn
+    about) a segment the parent still reads.  Falls back to the in-band
+    form ``("pickle", masks)`` when shared memory is unavailable or
+    refuses the allocation.
+    """
+    try:
+        from multiprocessing import shared_memory
+    except ImportError:  # pragma: no cover - minimal builds
+        return ("pickle", list(masks))
+    blobs = [
+        mask.to_bytes((mask.bit_length() + 7) // 8, "little") for mask in masks
+    ]
+    total = sum(len(blob) for blob in blobs)
+    try:
+        segment = shared_memory.SharedMemory(create=True, size=max(1, total))
+    except (OSError, ValueError):  # pragma: no cover - /dev/shm exhausted
+        return ("pickle", list(masks))
+    offset = 0
+    for blob in blobs:
+        segment.buf[offset : offset + len(blob)] = blob
+        offset += len(blob)
+    name = segment.name
+    segment.close()
+    try:  # pragma: no cover - tracker layout is an implementation detail
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister("/" + name, "shared_memory")
+    except Exception:
+        pass
+    return ("shm", name, [len(blob) for blob in blobs])
+
+
+def _unpack_masks(packed) -> List[int]:
+    """Reassemble masks from :func:`_pack_masks`, unlinking the segment."""
+    if packed[0] == "pickle":
+        return list(packed[1])
+    from multiprocessing import shared_memory
+
+    _, name, sizes = packed
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        masks: List[int] = []
+        offset = 0
+        for size in sizes:
+            masks.append(
+                int.from_bytes(segment.buf[offset : offset + size], "little")
+            )
+            offset += size
+    finally:
+        segment.close()
+        segment.unlink()
+    return masks
+
+
 def _scan_shard_task(
     shard: int, fact_refs: Sequence[Tuple[str, object]], t: Optional[int]
 ):
     """Worker task: scan one shard's run range for the referenced facts.
 
-    Returns ``(masks, errors, stats_delta)``; the counters are reset on
-    entry so the delta covers exactly this task's numeric work (workers
-    are forked with the parent's counters, which must not be re-counted
-    on merge).
+    Returns ``(packed_masks, errors, stats_delta)`` — masks travel via
+    :func:`_pack_masks`; the counters are reset on entry so the delta
+    covers exactly this task's numeric work (workers are forked with
+    the parent's counters, which must not be re-counted on merge).
     """
     state = _WORKER_STATE
     if state is None:  # pragma: no cover - defensive: task outside a pool
@@ -426,7 +500,11 @@ def _scan_shard_task(
     reset_numeric_stats()
     lo, hi = plan.ranges[shard]
     masks, errors = index._scan_batch_range(facts, t, lo, hi)
-    return masks, [_picklable_error(error) for error in errors], numeric_stats()
+    return (
+        _pack_masks(masks),
+        [_picklable_error(error) for error in errors],
+        numeric_stats(),
+    )
 
 
 class ShardedExecutor:
@@ -561,9 +639,18 @@ class ShardedExecutor:
                     pool.submit(_scan_shard_task, shard, refs, t)
                     for shard in range(self.plan.shard_count)
                 ]
-                try:
-                    parts = [future.result() for future in futures]
-                except Exception:
+                # Unpack every delivered result, even after a failure,
+                # so no delivered shared-memory segment is left
+                # unconsumed (unpacking unlinks it).
+                parts = []
+                failed = False
+                for future in futures:
+                    try:
+                        packed, errs, delta = future.result()
+                        parts.append((_unpack_masks(packed), errs, delta))
+                    except Exception:
+                        failed = True
+                if failed:
                     # Broken pool / unpicklable result: the serial path
                     # answers every query the parallel path answers.
                     self._pool_failed = True

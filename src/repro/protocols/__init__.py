@@ -6,7 +6,13 @@ fixing for nondeterministic choices, and the bounded-horizon compiler
 that turns a joint protocol into a purely probabilistic system.
 """
 
-from .adversary import Adversary, compile_under_adversaries, enumerate_adversaries
+from .adversary import (
+    Adversary,
+    compile_under_adversaries,
+    drift_under_adversaries,
+    enumerate_adversaries,
+    scale_adversary,
+)
 from .compiler import ENV, Config, ProtocolSystem, compile_system
 from .distribution import Distribution, product
 from .environment import (
@@ -42,7 +48,9 @@ __all__ = [
     "compile_system",
     "compile_under_adversaries",
     "copy_tree",
+    "drift_under_adversaries",
     "enumerate_adversaries",
+    "scale_adversary",
     "product",
     "refrain_below_threshold",
     "relabel_actions",

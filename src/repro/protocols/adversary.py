@@ -12,6 +12,14 @@ adversaries; :func:`compile_under_adversaries` builds one pps per
 adversary from a system factory.  Analyses (beliefs, constraints,
 theorems) are then run per-adversary, matching the paper's
 "probabilities are only defined once the adversary is fixed".
+
+Once compiled, an adversary family can *drift* without recompiling:
+:func:`scale_adversary` (re-exported from :mod:`repro.core.reweight`)
+scales the probability of marked adversarial branches inside one
+system, and :func:`drift_under_adversaries` applies it across a whole
+compiled family, producing tree-sharing
+:class:`~repro.core.pps.ReweightedPPS` children whose engine indices
+inherit every shape-dependent table from the originals.
 """
 
 from __future__ import annotations
@@ -20,10 +28,18 @@ from dataclasses import dataclass
 from itertools import product as iter_product
 from typing import Callable, Dict, Hashable, List, Mapping, Sequence, Tuple
 
-from ..core.pps import PPS
+from ..core.numeric import ProbabilityLike
+from ..core.pps import PPS, Node
+from ..core.reweight import scale_adversary
 from .compiler import ProtocolSystem, compile_system
 
-__all__ = ["Adversary", "enumerate_adversaries", "compile_under_adversaries"]
+__all__ = [
+    "Adversary",
+    "compile_under_adversaries",
+    "drift_under_adversaries",
+    "enumerate_adversaries",
+    "scale_adversary",
+]
 
 
 @dataclass(frozen=True)
@@ -101,3 +117,42 @@ def compile_under_adversaries(
             system, name=f"{name_prefix}[{adversary.describe()}]"
         )
     return systems
+
+
+def drift_under_adversaries(
+    compiled: Mapping[Adversary, PPS],
+    select: Callable[[Adversary, Node], bool],
+    factor: ProbabilityLike,
+    *,
+    materialize: bool = False,
+) -> Dict[Adversary, PPS]:
+    """Scale the adversarial branches of every system in a compiled family.
+
+    The family-level drift knob: for each ``(adversary, pps)`` pair of
+    ``compiled``, applies :func:`scale_adversary` with the selection
+    ``node -> select(adversary, node)``, so the marking may depend on
+    which nondeterministic choices that system was compiled under.
+    Systems whose selection marks no edge come back unchanged-measure
+    (but still as cheap derived children, keeping the return type
+    uniform).
+
+    Args:
+        compiled: an adversary family, e.g. from
+            :func:`compile_under_adversaries`.
+        select: marks adversarial outcome edges, given the adversary
+            the system was compiled under and the node the edge leads
+            into.
+        factor: the common scale applied to every selected edge.
+        materialize: bake each drifted system into a standalone copy
+            instead of a tree-sharing derived child.
+    """
+    return {
+        adversary: scale_adversary(
+            pps,
+            lambda node, _adv=adversary: select(_adv, node),
+            factor,
+            name=f"{pps.name}-drift({factor})",
+            materialize=materialize,
+        )
+        for adversary, pps in compiled.items()
+    }

@@ -161,6 +161,45 @@ class Distribution(Generic[T]):
             table[image] = table.get(image, Fraction(0)) + weight
         return Distribution(table)
 
+    def reweight(
+        self,
+        factor: Callable[[T], ProbabilityLike],
+    ) -> "Distribution[T]":
+        """The distribution with each weight scaled by ``factor(outcome)``.
+
+        Weights are multiplied pointwise and renormalized, dropping
+        outcomes whose factor is zero — the reweighting analogue of
+        :meth:`condition` (which is ``reweight`` with a 0/1 factor).
+
+        Raises:
+            ValueError: when a factor is negative, or when every
+                reweighted outcome has weight zero (the message names
+                the first zeroed outcome, rather than letting the zero
+                total surface as a ``ZeroDivisionError`` downstream).
+        """
+        scaled: Dict[T, Probability] = {}
+        zeroed: Dict[T, None] = {}
+        for outcome, weight in self._table.items():
+            f = as_fraction(factor(outcome))
+            if f < 0:
+                raise ValueError(
+                    f"reweight factor for outcome {outcome!r} is negative "
+                    f"({f})"
+                )
+            if f == 0:
+                zeroed.setdefault(outcome)
+                continue
+            scaled[outcome] = weight * f
+        total = sum(scaled.values(), start=Fraction(0))
+        if total == 0:
+            culprit = next(iter(zeroed))
+            raise ValueError(
+                "reweight drives the total probability to zero (every "
+                f"outcome zeroed, e.g. {culprit!r}); scale at least one "
+                "outcome by a positive factor"
+            )
+        return Distribution({o: w / total for o, w in scaled.items()})
+
     def condition(self, predicate: Callable[[T], bool]) -> "Distribution[T]":
         """The conditional distribution given ``predicate``.
 

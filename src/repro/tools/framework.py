@@ -219,6 +219,27 @@ class CheckConfig:
     # over a set or an identity-keyed sort (docs/sharding.md).
     shard_modules: Tuple[str, ...] = ("src/repro/core/shard.py",)
 
+    # RP009: the weight-split layer (docs/transforms.md).  In these
+    # modules, every instance attribute assigned inside the class that
+    # declares the dependency tables must be classified in one of them
+    # (shape-/weight-dependent or bookkeeping), and functions on the
+    # derived-inheritance / reweight-invalidation paths (matched by
+    # name marker) must not iterate sets or sort by id() — cache
+    # drop/copy order must be deterministic.
+    weight_split_modules: Tuple[str, ...] = (
+        "src/repro/core/engine.py",
+        "src/repro/core/reweight.py",
+    )
+    dependency_tables: Tuple[str, ...] = ("DEPENDENCY_CLASS",)
+    bookkeeping_tables: Tuple[str, ...] = ("BOOKKEEPING_ATTRS",)
+    invalidation_markers: Tuple[str, ...] = (
+        "derived",
+        "inherit",
+        "invalidat",
+        "reweight",
+        "materialize",
+    )
+
     def is_exact_core(self, rel_path: str) -> bool:
         return _matches(rel_path, self.exact_core) and not _matches(
             rel_path, self.numeric_tiers

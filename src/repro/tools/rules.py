@@ -1,4 +1,4 @@
-"""The invariant rules of ``repro.tools.check`` (RP001–RP008).
+"""The invariant rules of ``repro.tools.check`` (RP001–RP009).
 
 Each rule enforces one hand-maintained invariant the layered engine
 depends on; the catalogue with rationale lives in
@@ -25,6 +25,7 @@ __all__ = [
     "BareAssert",
     "NumericKnobDropped",
     "ShardCombineOrder",
+    "WeightSplitDiscipline",
 ]
 
 
@@ -726,3 +727,181 @@ class ShardCombineOrder(Rule):
                         "so the fold order is nondeterministic; key on "
                         "the shard index instead",
                     )
+
+
+# ---------------------------------------------------------------------------
+# RP009
+# ---------------------------------------------------------------------------
+
+
+@register
+class WeightSplitDiscipline(Rule):
+    """Engine state must carry a dependency class; reweight paths fold fixed.
+
+    The weight-split layer (``docs/transforms.md``) derives a
+    reweighted index by consulting ``DEPENDENCY_CLASS``: every
+    shape-dependent structure is inherited by reference, every
+    weight-dependent one rebuilt or dropped.  That is sound only while
+    the classification is *exhaustive* — an instance attribute the
+    table does not mention is invisible to ``derived()`` and silently
+    inherited with stale weights.  So (a) every attribute assigned on
+    the index inside the class that declares the tables must appear in
+    a dependency table or the bookkeeping set, and (b) the
+    derived-inheritance / reweight-invalidation functions (matched by
+    name marker) must never iterate a set or sort by ``id()`` — which
+    caches are dropped, and in what order entries are copied, must not
+    depend on hash seeds or allocation addresses.
+    """
+
+    id = "RP009"
+    title = "engine state without dependency class / unordered reweight path"
+    interests = (ast.Assign, ast.AnnAssign, ast.For, ast.comprehension, ast.Call)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.matches(ctx.config.weight_split_modules)
+
+    # -- table discovery (per file) -------------------------------------
+
+    def begin_file(self, ctx: FileContext) -> None:
+        table_names = set(ctx.config.dependency_tables) | set(
+            ctx.config.bookkeeping_tables
+        )
+        self._classified: Set[str] = set()
+        self._table_classes: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id in table_names:
+                    self._classified |= self._declared_attrs(node.value)
+                    owner = self._enclosing_class(node, ctx)
+                    if owner is not None:
+                        self._table_classes.add(id(owner))
+
+    @staticmethod
+    def _declared_attrs(expr: ast.AST) -> Set[str]:
+        """The attribute names a table literal classifies.
+
+        Dict tables classify their *keys* (values are the class
+        labels); set/frozenset/tuple tables classify every string
+        element.
+        """
+        if isinstance(expr, ast.Dict):
+            return {
+                key.value
+                for key in expr.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            }
+        return {
+            sub.value
+            for sub in ast.walk(expr)
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, str)
+        }
+
+    @staticmethod
+    def _enclosing_class(node: ast.AST, ctx: FileContext) -> Optional[ast.ClassDef]:
+        current: Optional[ast.AST] = node
+        while current is not None:
+            current = ctx.parent(current)
+            if isinstance(current, ast.ClassDef):
+                return current
+        return None
+
+    # -- half (b): fixed-order inheritance/invalidation folds -----------
+
+    @staticmethod
+    def _invalidation_scope(node: ast.AST, ctx: FileContext) -> Optional[str]:
+        """Name of an enclosing invalidation-marked function, if any."""
+        markers = ctx.config.invalidation_markers
+        current: Optional[ast.AST] = node
+        while current is not None:
+            current = ctx.parent(current)
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = current.name.lower()
+                if any(marker in name for marker in markers):
+                    return current.name
+        return None
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            yield from self._check_attr_assign(node, ctx)
+        if isinstance(node, ast.For):
+            scope = self._invalidation_scope(node, ctx)
+            if scope is not None and ShardCombineOrder._unordered_iterable(
+                node.iter
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{scope}() iterates a set on a derived-inheritance/"
+                    "reweight-invalidation path: which caches are touched, "
+                    "and in what order, becomes hash-seed dependent; "
+                    "iterate the dependency table or a dict/list instead",
+                )
+        elif isinstance(node, ast.comprehension):
+            scope = self._invalidation_scope(node.iter, ctx)
+            if scope is not None and ShardCombineOrder._unordered_iterable(
+                node.iter
+            ):
+                yield self.finding(
+                    ctx,
+                    node.iter,
+                    f"{scope}() iterates a set on a derived-inheritance/"
+                    "reweight-invalidation path: which caches are touched, "
+                    "and in what order, becomes hash-seed dependent; "
+                    "iterate the dependency table or a dict/list instead",
+                )
+        elif isinstance(node, ast.Call):
+            if _call_name(node) not in ("sorted", "sort"):
+                return
+            scope = self._invalidation_scope(node, ctx)
+            if scope is None:
+                return
+            for keyword in node.keywords:
+                if keyword.arg != "key":
+                    continue
+                value = keyword.value
+                uses_id = (
+                    isinstance(value, ast.Name) and value.id == "id"
+                ) or any(
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and sub.func.id == "id"
+                    for sub in ast.walk(value)
+                )
+                if uses_id:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{scope}() orders cache entries by id() on a "
+                        "derived-inheritance/reweight-invalidation path — "
+                        "allocation addresses differ across processes; key "
+                        "on the attribute name or a stable uid instead",
+                    )
+
+    def _check_attr_assign(self, node, ctx: FileContext) -> Iterator[Finding]:
+        owner = self._enclosing_class(node, ctx)
+        if owner is None or id(owner) not in self._table_classes:
+            return
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+            ):
+                continue
+            receiver = target.value.id
+            if receiver not in ("self", "index"):
+                continue
+            if target.attr not in self._classified:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"attribute {receiver}.{target.attr} assigned in "
+                    f"{owner.name} without a dependency class: add it to "
+                    "DEPENDENCY_CLASS (shape/weight) or BOOKKEEPING_ATTRS "
+                    "so derived()/reweight invalidation can see it "
+                    "(docs/transforms.md)",
+                )

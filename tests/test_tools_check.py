@@ -58,7 +58,7 @@ def rule_ids(result):
 # ---------------------------------------------------------------------------
 
 
-def test_all_eight_rules_registered():
+def test_all_nine_rules_registered():
     assert {
         "RP001",
         "RP002",
@@ -68,8 +68,9 @@ def test_all_eight_rules_registered():
         "RP006",
         "RP007",
         "RP008",
+        "RP009",
     } <= set(REGISTRY)
-    assert len(REGISTRY) >= 8
+    assert len(REGISTRY) >= 9
 
 
 def test_active_rules_rejects_unknown_ids():
@@ -767,6 +768,128 @@ def test_rp008_suppressed_by_allow_comment():
 
 
 # ---------------------------------------------------------------------------
+# RP009: weight-split dependency classification and invalidation order
+# ---------------------------------------------------------------------------
+
+
+def weight_split_config():
+    return CheckConfig(weight_split_modules=("snippet.py",))
+
+
+WEIGHT_SPLIT_TABLES = """
+class SystemIndex:
+    DEPENDENCY_CLASS = {"_weights": "weight", "run_count": "shape"}
+    BOOKKEEPING_ATTRS = frozenset({"pps"})
+"""
+
+
+def test_rp009_fires_on_unclassified_attribute():
+    result = run_rule(
+        WEIGHT_SPLIT_TABLES
+        + textwrap.dedent("""
+            def __init__(self, pps):
+                self.pps = pps
+                self._weights = [1]
+                self._mystery_cache = {}
+        """).replace("\n", "\n    "),
+        "RP009",
+        weight_split_config(),
+    )
+    assert rule_ids(result) == ["RP009"]
+    assert "_mystery_cache" in result.findings[0].message
+
+
+def test_rp009_fires_on_set_iteration_in_derived_path():
+    result = run_rule(
+        WEIGHT_SPLIT_TABLES
+        + textwrap.dedent("""
+            def derived(cls, pps, parent):
+                for attr in {"_weights", "run_count"}:
+                    pass
+        """).replace("\n", "\n    "),
+        "RP009",
+        weight_split_config(),
+    )
+    assert rule_ids(result) == ["RP009"]
+    assert "derived()" in result.findings[0].message
+
+
+def test_rp009_fires_on_id_sort_in_invalidation_path():
+    result = run_rule(
+        """
+        def invalidate_measures(index, caches):
+            for cache in sorted(caches, key=id):
+                cache.clear()
+        """,
+        "RP009",
+        weight_split_config(),
+    )
+    assert rule_ids(result) == ["RP009"]
+    assert "invalidate_measures()" in result.findings[0].message
+
+
+def test_rp009_clean_on_classified_attrs_and_table_iteration():
+    result = run_rule(
+        WEIGHT_SPLIT_TABLES
+        + textwrap.dedent("""
+            def __init__(self, pps):
+                self.pps = pps
+                self._weights = [1]
+
+            def derived(cls, pps, parent):
+                for attr, kind in cls.DEPENDENCY_CLASS.items():
+                    pass
+        """).replace("\n", "\n    "),
+        "RP009",
+        weight_split_config(),
+    )
+    assert result.findings == []
+
+
+def test_rp009_attr_check_needs_the_declaring_class():
+    # A class without the dependency tables (another module's helper)
+    # is outside half (a)'s claim; only marked functions are checked.
+    result = run_rule(
+        """
+        class Helper:
+            def __init__(self):
+                self._scratch = {}
+        """,
+        "RP009",
+        weight_split_config(),
+    )
+    assert result.findings == []
+
+
+def test_rp009_silent_outside_weight_split_modules():
+    result = run_rule(
+        WEIGHT_SPLIT_TABLES
+        + textwrap.dedent("""
+            def __init__(self, pps):
+                self._mystery_cache = {}
+        """).replace("\n", "\n    "),
+        "RP009",
+        CheckConfig(),
+    )
+    assert result.findings == []
+
+
+def test_rp009_suppressed_by_allow_comment():
+    result = run_rule(
+        WEIGHT_SPLIT_TABLES
+        + textwrap.dedent("""
+            def __init__(self, pps):
+                # repro: allow[RP009] scratch slot, never seen by derived()
+                self._scratch = {}
+        """).replace("\n", "\n    "),
+        "RP009",
+        weight_split_config(),
+    )
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
 # Suppression machinery
 # ---------------------------------------------------------------------------
 
@@ -956,7 +1079,7 @@ def test_live_tree_passes_strict_analyzer(capsys):
     output = capsys.readouterr().out
     assert exit_code == 0, output
     assert "0 finding(s)" in output
-    assert "8 rule(s) active" in output
+    assert "9 rule(s) active" in output
 
 
 def test_committed_baseline_ships_empty():

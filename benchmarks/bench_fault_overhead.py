@@ -1,0 +1,226 @@
+"""Benchmark: fault-injection probes must be free when injection is off.
+
+PR 10 threaded deterministic fault-injection probes
+(:func:`repro.core.faults.maybe_fire`, ``docs/robustness.md``) through
+the hot execution stack: the shared-memory mask transport and worker
+tasks in ``core/shard.py``, the lazy NumPy import gate in
+``core/arraykernel.py`` (hit on every ``dot_bounds`` call and kernel
+build in ``numeric="auto"`` mode), and pool submission in
+``analysis/sweep.py``.  The probes buy reproducible chaos testing; the
+contract is that with **no plan installed** each probe costs one
+module-global read, so production runs do not pay for the test
+machinery.
+
+This benchmark measures that contract two ways:
+
+* a **probe microbench** — ``maybe_fire`` called in a tight loop, live
+  (no plan) vs replaced by a no-op lambda — reporting nanoseconds per
+  call, informational;
+* the **workload gate** — the ``bench_shard_scaling`` family's dense
+  refrain-threshold sweep in ``numeric="auto"`` (the mode whose kernel
+  guards call through the probe on every reduction), timed with the
+  live ``maybe_fire`` vs with the probe stubbed out of all three
+  consuming modules.  The bar: live must be within **2%** of stubbed
+  (ratio <= 1.02) on the largest family member, best-of-5 per leg.
+
+The bar is enforced on a full run and advisory in ``--smoke`` (smoke
+grids are too small for a 2% resolution against container noise).
+Fraction parity of the two legs' rows is asserted unconditionally —
+stubbing the probe may never change an answer.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fault_overhead.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, List, Tuple
+
+sys.path.insert(0, "src")  # allow `python benchmarks/bench_fault_overhead.py`
+
+from bench_numeric_fastpath import fs_chain
+from bench_shard_scaling import sweep_workload
+
+from importlib import import_module
+
+from repro.analysis.sweep import format_table
+from repro.core import arraykernel
+from repro.core import shard as shard_module
+from repro.core.faults import maybe_fire, set_fault_plan
+
+# ``repro.analysis`` re-exports the ``sweep`` *function*, shadowing the
+# submodule attribute — resolve the module itself for patching.
+sweep_module = import_module("repro.analysis.sweep")
+
+#: The enforced bar: live maybe_fire within 2% of a stubbed no-op.
+OVERHEAD_BAR = 1.02
+
+#: Modules that imported ``maybe_fire`` at top level; stubbing the
+#: probe means patching each module's own binding, not ``faults``'.
+_CONSUMERS = (shard_module, arraykernel, sweep_module)
+
+
+def _noop_probe(site, key=None, attempt=None):
+    return False
+
+
+def _with_probe(stub: bool, fn):
+    """Run ``fn`` with the live probe or with it stubbed everywhere."""
+    if not stub:
+        return fn()
+    saved = [(module, module.maybe_fire) for module in _CONSUMERS]
+    try:
+        for module, _ in saved:
+            module.maybe_fire = _noop_probe
+        return fn()
+    finally:
+        for module, original in saved:
+            module.maybe_fire = original
+
+
+def probe_microbench(calls: int) -> Dict[str, float]:
+    """Nanoseconds per ``maybe_fire`` call, live (no plan) vs no-op."""
+    def timed(fn) -> float:
+        best = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            for pos in range(calls):
+                fn("shm-alloc", pos, 0)
+            best = min(best, time.perf_counter() - start)
+        return best / calls * 1e9
+
+    return {
+        "live_ns": timed(maybe_fire),
+        "noop_ns": timed(_noop_probe),
+    }
+
+
+def _timed_leg(
+    rounds: int, t_refrain: int, *, stub: bool, repetitions: int
+) -> Tuple[float, List[Tuple[object, object, object]]]:
+    """Best-of wall seconds + rows for one (live|stubbed) sweep leg."""
+    best = float("inf")
+    rows = None
+    for _ in range(repetitions):
+        base = fs_chain(rounds=rounds)
+        start = time.perf_counter()
+        rows = _with_probe(
+            stub, lambda: sweep_workload(base, None, "auto", t_refrain)
+        )
+        best = min(best, time.perf_counter() - start)
+    return best, rows
+
+
+def overhead_rows(*, smoke: bool = False) -> List[Dict[str, object]]:
+    """One row per FS-family member; the last (largest) carries the gate."""
+    if smoke:
+        members: List[Tuple[int, int]] = [(2, 11)]
+        repetitions = 2
+    else:
+        members = [(2, 41), (4, 41), (6, 41)]
+        repetitions = 5
+    previous_plan = set_fault_plan(None)  # the disabled-injection contract
+    out: List[Dict[str, object]] = []
+    try:
+        for rounds, t_refrain in members:
+            live_s, live_rows = _timed_leg(
+                rounds, t_refrain, stub=False, repetitions=repetitions
+            )
+            stub_s, stub_rows = _timed_leg(
+                rounds, t_refrain, stub=True, repetitions=repetitions
+            )
+            assert live_rows == stub_rows, (
+                f"fs-chain[{rounds}]: stubbing maybe_fire changed the rows"
+            )
+            out.append(
+                {
+                    "family": f"fs-chain[{rounds}]",
+                    "rows": t_refrain,
+                    "live_s": live_s,
+                    "stub_s": stub_s,
+                    "overhead": live_s / stub_s,
+                }
+            )
+    finally:
+        set_fault_plan(previous_plan)
+    return out
+
+
+def _display(rows: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    rounding = {"live_s": 4, "stub_s": 4, "overhead": 3}
+    return [
+        {
+            key: round(value, rounding[key]) if key in rounding else value
+            for key, value in row.items()
+        }
+        for row in rows
+    ]
+
+
+def _gate_overhead(rows: List[Dict[str, object]], *, smoke: bool) -> int:
+    """Enforce live/stub <= 1.02 on the largest member (advisory in smoke)."""
+    largest = rows[-1]
+    ratio = float(largest["overhead"])
+    if ratio <= OVERHEAD_BAR:
+        print(
+            f"OK: {largest['family']} disabled-injection overhead "
+            f"{(ratio - 1) * 100:+.2f}% <= {(OVERHEAD_BAR - 1) * 100:.0f}%"
+        )
+        return 0
+    message = (
+        f"{largest['family']} disabled-injection overhead "
+        f"{(ratio - 1) * 100:+.2f}% > {(OVERHEAD_BAR - 1) * 100:.0f}%"
+    )
+    if smoke:
+        print(
+            f"WARNING (informational): {message} (smoke grids are too "
+            "small for a 2% resolution)",
+            file=sys.stderr,
+        )
+        return 0
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main(argv: List[str]) -> int:
+    smoke = "--smoke" in argv
+    mode = "(smoke)" if smoke else "(full)"
+    micro = probe_microbench(calls=10_000 if smoke else 200_000)
+    print(
+        f"maybe_fire probe: {micro['live_ns']:.0f} ns/call live (no plan), "
+        f"{micro['noop_ns']:.0f} ns/call no-op stub"
+    )
+    rows = overhead_rows(smoke=smoke)
+    print(
+        format_table(
+            _display(rows),
+            title=f"fault probes: live vs stubbed maybe_fire {mode}",
+        )
+    )
+    return _gate_overhead(rows, smoke=smoke)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (collected by the benchmark session)
+# ----------------------------------------------------------------------
+
+
+def test_fault_overhead_table(benchmark):
+    rows = benchmark.pedantic(overhead_rows, rounds=1, iterations=1)
+    from conftest import emit
+
+    emit(
+        format_table(
+            _display(rows), title="fault probes (live vs stubbed)"
+        )
+    )
+    # Parity is asserted inside overhead_rows; the 2% bar stays a
+    # script-mode gate (pytest-benchmark containers are too noisy).
+    assert rows
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

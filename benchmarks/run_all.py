@@ -9,11 +9,11 @@ The repo's benchmarks come in two flavours:
   paper-table reproductions, run through pytest directly.
 
 ``run_all.py`` discovers every ``benchmarks/bench_*.py``, runs each in
-its own subprocess, and writes ``BENCH_PR9.json`` next to the repo
+its own subprocess, and writes ``BENCH_PR10.json`` next to the repo
 root: per-bench status (``pass``/``fail``/``timeout``), wall seconds,
 and every speedup ratio the bench printed (best-effort: any ``<x.y>x``
 figure on a line mentioning "speedup").  When a baseline report from
-the previous PR exists (``--baseline``, default ``BENCH_PR8.json``),
+the previous PR exists (``--baseline``, default ``BENCH_PR9.json``),
 a wall-seconds delta table is printed and embedded in the output
 JSON, flagging every bench that got more than 20% slower — the
 cross-PR perf tripwire without re-deriving each bench's own output
@@ -21,8 +21,8 @@ format.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR9.json]
-                                                [--baseline BENCH_PR8.json]
+    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR10.json]
+                                                [--baseline BENCH_PR9.json]
                                                 [--timeout SECONDS]
                                                 [--only SUBSTRING]
 
@@ -160,8 +160,8 @@ def print_delta_table(rows: List[Dict[str, object]], baseline_path: Path) -> Non
 
 def main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR9.json"))
-    parser.add_argument("--baseline", default=str(REPO_ROOT / "BENCH_PR8.json"))
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR10.json"))
+    parser.add_argument("--baseline", default=str(REPO_ROOT / "BENCH_PR9.json"))
     parser.add_argument("--timeout", type=float, default=600.0)
     parser.add_argument(
         "--only", default="", help="run only benches whose name contains this"

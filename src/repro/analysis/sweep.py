@@ -20,6 +20,7 @@ index's shape-dependent tables and rebuilding only weights
 
 from __future__ import annotations
 
+import time
 from fractions import Fraction
 from itertools import product as iter_product
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
@@ -27,6 +28,12 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 from ..core.constraints import achieved_probability
 from ..core.engine import SystemIndex
 from ..core.facts import Fact
+from ..core.faults import (
+    absorb_events,
+    maybe_fire,
+    record_degradation,
+    record_retry,
+)
 from ..core.lazyprob import LazyProb, check_numeric_mode
 from ..core.numeric import ProbabilityLike, as_fraction
 from ..core.pps import PPS, Action, ActionOverlay, AgentId, DerivedPPS
@@ -416,13 +423,42 @@ def _decode_cell(encoded) -> object:
     return encoded[1]
 
 
+def _submit_with_retry(
+    pool, task, chunk, *, key: int, retries: int = 2, backoff: float = 0.02
+):
+    """Submit one chunk to the pool, retrying transient submission errors.
+
+    Task submission can fail transiently (saturated pipe, fd pressure)
+    with ``OSError``; the ``task-submit`` fault site simulates exactly
+    that, keyed by chunk index and attempt so a spec like
+    ``task-submit:2`` fails the first two attempts and succeeds on the
+    third.  Every retry is recorded on the resilience report; an
+    exhausted budget re-raises, which the caller turns into the
+    recorded serial fallback.
+    """
+    attempt = 0
+    while True:
+        try:
+            if maybe_fire("task-submit", key=key, attempt=attempt):
+                raise OSError("injected task-submit fault")
+            return pool.submit(task, chunk)
+        except (OSError, RuntimeError) as error:
+            record_retry("submit", key, attempt, error)
+            attempt += 1
+            if attempt > retries:
+                raise
+            time.sleep(backoff * (2 ** (attempt - 1)))
+
+
 def _sweep_chunk_task(chunk: Sequence[int]):
     """Worker task: build the rows for one contiguous chunk of bounds.
 
     Returns encoded rows in chunk order plus this task's
-    ``numeric_stats()`` delta (counters are reset on entry — the forked
-    copy of the parent's counters must not be re-counted on absorb).
+    ``numeric_stats()`` and resilience-report deltas (both are reset on
+    entry — the forked copies of the parent's counters and events must
+    not be re-counted on absorb).
     """
+    from ..core.faults import report_delta, reset_resilience_report
     from ..core.lazyprob import numeric_stats, reset_numeric_stats
 
     state = _SWEEP_STATE
@@ -431,6 +467,7 @@ def _sweep_chunk_task(chunk: Sequence[int]):
     (pps, agent, phi, action, distinct, replacement, materialize,
      numeric, make_row) = state
     reset_numeric_stats()
+    reset_resilience_report()
     rows = []
     for pos in chunk:
         row = _threshold_row(
@@ -445,7 +482,7 @@ def _sweep_chunk_task(chunk: Sequence[int]):
             make_row=make_row,
         )
         rows.append({key: _encode_cell(value) for key, value in row.items()})
-    return rows, numeric_stats()
+    return rows, numeric_stats(), report_delta()
 
 
 def _parallel_rows(
@@ -478,6 +515,10 @@ def _parallel_rows(
     try:
         context = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
+        record_degradation(
+            "execution", "parallel", "serial", "no-fork",
+            "fork start method unavailable on this platform",
+        )
         return None
     workers = min(parallel, len(distinct))
     chunks: List[List[int]] = [[] for _ in range(workers)]
@@ -492,18 +533,33 @@ def _parallel_rows(
         with ProcessPoolExecutor(
             max_workers=workers, mp_context=context
         ) as pool:
-            futures = [pool.submit(_sweep_chunk_task, chunk) for chunk in chunks]
+            futures = [
+                _submit_with_retry(pool, _sweep_chunk_task, chunk, key=pos)
+                for pos, chunk in enumerate(chunks)
+            ]
             try:
                 parts = [future.result() for future in futures]
-            except Exception:
+            except Exception as error:
+                # Workers run arbitrary row functions; any result that
+                # cannot be computed or shipped degrades the whole
+                # sweep to the serial path (identical rows).
+                record_degradation(
+                    "execution", "parallel", "serial", "worker-failed",
+                    repr(error),
+                )
                 return None
-    except (OSError, ValueError):  # pragma: no cover - resource limits
+    except (OSError, ValueError) as error:
+        record_degradation(
+            "execution", "parallel", "serial", "pool-or-submit-failed",
+            repr(error),
+        )
         return None
     finally:
         _SWEEP_STATE = saved
     computed: Dict[Fraction, Row] = {}
-    for chunk, (rows, delta) in zip(chunks, parts):
+    for chunk, (rows, delta, events) in zip(chunks, parts):
         absorb_stats(delta)
+        absorb_events(events)
         for pos, encoded in zip(chunk, rows):
             computed[distinct[pos]] = {
                 key: _decode_cell(value) for key, value in encoded.items()
@@ -515,9 +571,11 @@ def _reweight_chunk_task(chunk: Sequence[int]):
     """Worker task: build the reweight rows for one contiguous chunk.
 
     Returns encoded rows in chunk order plus this task's
-    ``numeric_stats()`` delta (counters are reset on entry — the forked
-    copy of the parent's counters must not be re-counted on absorb).
+    ``numeric_stats()`` and resilience-report deltas (both are reset on
+    entry — the forked copies of the parent's counters and events must
+    not be re-counted on absorb).
     """
+    from ..core.faults import report_delta, reset_resilience_report
     from ..core.lazyprob import numeric_stats, reset_numeric_stats
 
     state = _REWEIGHT_STATE
@@ -525,6 +583,7 @@ def _reweight_chunk_task(chunk: Sequence[int]):
         raise RuntimeError("reweight sweep worker has no inherited state")
     pps, transform, measure, distinct, param, materialize, numeric = state
     reset_numeric_stats()
+    reset_resilience_report()
     rows = []
     for pos in chunk:
         row = _reweight_row(
@@ -537,7 +596,7 @@ def _reweight_chunk_task(chunk: Sequence[int]):
             numeric=numeric,
         )
         rows.append({key: _encode_cell(value) for key, value in row.items()})
-    return rows, numeric_stats()
+    return rows, numeric_stats(), report_delta()
 
 
 def _parallel_reweight_rows(
@@ -566,6 +625,10 @@ def _parallel_reweight_rows(
     try:
         context = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
+        record_degradation(
+            "execution", "parallel", "serial", "no-fork",
+            "fork start method unavailable on this platform",
+        )
         return None
     workers = min(parallel, len(distinct))
     chunks: List[List[int]] = [[] for _ in range(workers)]
@@ -581,19 +644,31 @@ def _parallel_reweight_rows(
             max_workers=workers, mp_context=context
         ) as pool:
             futures = [
-                pool.submit(_reweight_chunk_task, chunk) for chunk in chunks
+                _submit_with_retry(pool, _reweight_chunk_task, chunk, key=pos)
+                for pos, chunk in enumerate(chunks)
             ]
             try:
                 parts = [future.result() for future in futures]
-            except Exception:
+            except Exception as error:
+                # Same contract as _parallel_rows: any worker failure
+                # degrades to the serial path with identical rows.
+                record_degradation(
+                    "execution", "parallel", "serial", "worker-failed",
+                    repr(error),
+                )
                 return None
-    except (OSError, ValueError):  # pragma: no cover - resource limits
+    except (OSError, ValueError) as error:
+        record_degradation(
+            "execution", "parallel", "serial", "pool-or-submit-failed",
+            repr(error),
+        )
         return None
     finally:
         _REWEIGHT_STATE = saved
     computed: Dict[Fraction, Row] = {}
-    for chunk, (rows, delta) in zip(chunks, parts):
+    for chunk, (rows, delta, events) in zip(chunks, parts):
         absorb_stats(delta)
+        absorb_events(events)
         for pos, encoded in zip(chunk, rows):
             computed[distinct[pos]] = {
                 key: _decode_cell(value) for key, value in encoded.items()

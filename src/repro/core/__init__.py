@@ -57,16 +57,30 @@ from .engine import SystemIndex
 from .errors import (
     CompilationError,
     ConditioningOnNullEventError,
+    FaultExhaustedError,
+    FaultSpecError,
     FormulaError,
     ImproperActionError,
     IndependenceError,
     InvalidSystemError,
     NotStochasticError,
     ReproError,
+    ShmIntegrityError,
     SynchronyViolationError,
     UnknownAgentError,
     UnknownLocalStateError,
     ZeroProbabilityError,
+)
+from .faults import (
+    DegradationEvent,
+    FaultPlan,
+    ResilienceReport,
+    RetryEvent,
+    fault_plan,
+    record_degradation,
+    reset_resilience_report,
+    resilience_report,
+    set_fault_plan,
 )
 from .expectation import (
     BeliefCell,

@@ -53,6 +53,7 @@ from bisect import bisect_left, bisect_right
 from fractions import Fraction
 from typing import List, Optional, Sequence, Tuple
 
+from .faults import maybe_fire, record_degradation
 from .lazyprob import ABS_EPS, REL_EPS
 
 __all__ = [
@@ -91,11 +92,37 @@ _np = None
 
 def _numpy():
     global _np
+    # The fault site fires even when numpy is already cached: a chaos
+    # spec must be able to exercise the degradation path on any query,
+    # not only the process's very first vectorized kernel.
+    if maybe_fire("backend-import"):
+        raise ImportError("injected backend-import fault")
     if _np is None:
         import numpy
 
         _np = numpy
     return _np
+
+
+def _numpy_or_degrade():
+    """:func:`_numpy`, degrading to the pure-Python backend on failure.
+
+    A NumPy import that raises (broken installation, or the
+    ``backend-import`` fault site) flips the active backend to
+    ``"python"`` for every *subsequently built* kernel, records the
+    numpy→python downgrade on the resilience report, and returns
+    ``None`` — the caller takes the pure-Python path, whose verdicts
+    are identical by construction.
+    """
+    global _backend
+    try:
+        return _numpy()
+    except ImportError as error:
+        _backend = "python"
+        record_degradation(
+            "backend", "numpy", "python", "numpy-import-failed", repr(error)
+        )
+        return None
 
 # The active backend: "numpy" when available, else "python".  Kernels
 # consult this at *construction* time, so tests can build one kernel
@@ -230,8 +257,7 @@ def dot_bounds(
     n = len(xs)
     if n == 0:
         return 0.0, 0.0
-    if _backend == "numpy" and n >= 2:
-        _numpy()
+    if _backend == "numpy" and n >= 2 and _numpy_or_degrade() is not None:
         xa = _np.array([x[0] for x in xs], dtype=_np.float64)
         xe = _np.array([x[1] for x in xs], dtype=_np.float64)
         ya = _np.array([y[0] for y in ys], dtype=_np.float64)
@@ -277,9 +303,8 @@ class WeightKernel:
     def __init__(self, weights: Sequence[int]) -> None:
         self.size = len(weights)
         pairs = [float_with_err(w) for w in weights]
-        self.vectorized = _backend == "numpy"
+        self.vectorized = _backend == "numpy" and _numpy_or_degrade() is not None
         if self.vectorized:
-            _numpy()
             self._approx = _np.array([p[0] for p in pairs], dtype=_np.float64)
             self._err = _np.array([p[1] for p in pairs], dtype=_np.float64)
         else:
@@ -395,9 +420,8 @@ class ThresholdKernel:
         for j in range(m - 2, -1, -1):
             if lo[j] > lo[j + 1]:
                 lo[j] = lo[j + 1]
-        self._numpy = _backend == "numpy"
+        self._numpy = _backend == "numpy" and _numpy_or_degrade() is not None
         if self._numpy:
-            _numpy()
             self.lo_env = _np.array(lo, dtype=_np.float64)
             self.hi_env = _np.array(hi, dtype=_np.float64)
         else:

@@ -22,6 +22,9 @@ __all__ = [
     "IndependenceError",
     "CompilationError",
     "FormulaError",
+    "FaultSpecError",
+    "ShmIntegrityError",
+    "FaultExhaustedError",
 ]
 
 
@@ -90,3 +93,32 @@ class CompilationError(ReproError):
 
 class FormulaError(ReproError):
     """A logic-layer formula is malformed or cannot be parsed."""
+
+
+class FaultSpecError(ReproError):
+    """A ``REPRO_FAULTS`` specification string could not be parsed.
+
+    The grammar is documented in :mod:`repro.core.faults` and
+    ``docs/robustness.md``; unknown injection sites, malformed hit
+    counts, and bad option values all land here so a typo'd chaos spec
+    fails loudly instead of silently injecting nothing.
+    """
+
+
+class ShmIntegrityError(ReproError):
+    """A shared-memory mask segment failed its length/checksum header.
+
+    Raised by the shard-result transport when the bytes read back from
+    a ``multiprocessing.shared_memory`` segment do not match the
+    length+CRC header the worker wrote.  The supervisor treats this as
+    a retryable shard failure.
+    """
+
+
+class FaultExhaustedError(ReproError):
+    """A sharded task kept failing after every retry was spent.
+
+    The message names the failing shard, the attempt budget, and the
+    last underlying error, so chaos-test assertions (and operators) can
+    see exactly which unit of work could not be completed.
+    """

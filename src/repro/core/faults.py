@@ -1,0 +1,478 @@
+"""Deterministic fault injection + the execution degradation ladder.
+
+This module is the control plane for the robustness story
+(``docs/robustness.md``): a seeded, deterministic :class:`FaultPlan`
+decides *when* the execution stack pretends to fail, and a process-wide
+:class:`ResilienceReport` records *every* downgrade the stack performs
+in response — so no fallback is ever silent, and chaos runs are exactly
+reproducible.
+
+Fault spec grammar (``REPRO_FAULTS`` env knob or :meth:`FaultPlan.parse`)::
+
+    spec    = clause (";" clause)*
+    clause  = option | fault
+    option  = "seed=" INT | "hang=" FLOAT
+    fault   = site ["@" key ("," key)*] [":" hits] ["~" prob]
+    hits    = positive INT | "*"          (default 1)
+    prob    = float in (0, 1]             (default 1.0 = always)
+
+``site`` names one of the registered injection points (:data:`SITES`).
+``key`` restricts the fault to particular units of work (shard indices,
+chunk indices); without keys the fault applies to every unit.  ``hits``
+bounds how many *attempts* fire: ``site:2`` fires on attempts 0 and 1,
+so a supervisor with three tries recovers on the third — the idiom for
+"transient" faults.  ``prob`` makes firing probabilistic but still
+deterministic: the decision hashes ``(seed, site, key, attempt)``
+through :func:`zlib.crc32`, never :func:`hash` (which is randomized per
+process) and never a live RNG (which would differ across forks).
+
+Examples::
+
+    REPRO_FAULTS="shm-alloc:*"                  # every shm pack fails -> pickle
+    REPRO_FAULTS="worker-crash@0"               # shard 0 dies on first attempt
+    REPRO_FAULTS="task-submit:2;seed=7"         # first two submits of each chunk fail
+    REPRO_FAULTS="shm-corrupt~0.5;seed=3"       # half the segments corrupted
+
+Decisions are *attempt-keyed* wherever the caller can supply an attempt
+number: a respawned worker re-running shard 3 on attempt 1 asks
+``maybe_fire("worker-crash", key=3, attempt=1)`` and gets the same
+answer the parent would predict, regardless of fork-copied counter
+state.  Sites that have no natural retry (pure arrivals) fall back to a
+per-``(site, key)`` arrival counter.
+
+The degradation ladder (:data:`DEGRADATION_LADDER`) names the only
+legal downgrades; :func:`record_degradation` rejects anything else, so
+"degrade" can never quietly mean "change the answer":
+
+    execution   parallel -> serial      (sharded pool -> in-process scan)
+    transport   shm -> pickle           (shared-memory masks -> pickled bigints)
+    backend     numpy -> python         (vectorized kernel -> pure-Python)
+
+Every rung preserves Fraction-bit-identical measures, beliefs, and
+theorem verdicts — ``tests/parity.py`` enforces this under injected
+faults.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .errors import FaultSpecError
+
+__all__ = [
+    "SITES",
+    "DEGRADATION_LADDER",
+    "FaultRule",
+    "FaultEvent",
+    "FaultPlan",
+    "DegradationEvent",
+    "RetryEvent",
+    "ResilienceReport",
+    "maybe_fire",
+    "fault_plan",
+    "set_fault_plan",
+    "record_degradation",
+    "record_retry",
+    "resilience_report",
+    "reset_resilience_report",
+    "report_delta",
+    "absorb_events",
+]
+
+#: Registered injection points, keyed by the module that honours them.
+#:
+#: ``core/shard.py``: ``worker-crash`` (worker process exits hard),
+#: ``worker-hang`` (worker sleeps ``hang`` seconds), ``shm-alloc``
+#: (shared-memory allocation raises ``OSError``), ``shm-corrupt``
+#: (a byte of the packed segment is flipped after the header is
+#: written).  ``core/arraykernel.py``: ``backend-import`` (the lazy
+#: NumPy import raises ``ImportError``).  ``analysis/sweep.py``:
+#: ``task-submit`` (submitting a chunk to the pool raises ``OSError``).
+SITES = frozenset(
+    {
+        "worker-crash",
+        "worker-hang",
+        "shm-alloc",
+        "shm-corrupt",
+        "backend-import",
+        "task-submit",
+    }
+)
+
+#: The only legal downgrades, ``area -> (from_mode, to_mode)``.
+DEGRADATION_LADDER: Dict[str, Tuple[str, str]] = {
+    "execution": ("parallel", "serial"),
+    "transport": ("shm", "pickle"),
+    "backend": ("numpy", "python"),
+}
+
+_UNBOUNDED = None  # hits value meaning "fire on every attempt"
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One parsed fault clause: which site, which keys, how often."""
+
+    site: str
+    keys: Optional[Tuple[str, ...]] = None  # None = all keys
+    hits: Optional[int] = 1  # None = unbounded ("*")
+    prob: float = 1.0
+
+    def matches_key(self, key: object) -> bool:
+        return self.keys is None or str(key) in self.keys
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A fault that actually fired (recorded on :attr:`FaultPlan.fired`)."""
+
+    site: str
+    key: Optional[str]
+    attempt: int
+
+
+class FaultPlan:
+    """A parsed, seeded fault specification.
+
+    Instances are deterministic pure functions of ``(spec, seed)``: the
+    same plan asked the same ``(site, key, attempt)`` question always
+    answers the same way.  The only mutable state is the per-site
+    arrival counter used when the caller cannot supply an ``attempt``,
+    and the :attr:`fired` log.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[FaultRule] = (),
+        *,
+        seed: int = 0,
+        hang_seconds: float = 5.0,
+    ) -> None:
+        for rule in rules:
+            if rule.site not in SITES:
+                raise FaultSpecError(
+                    f"unknown fault site {rule.site!r}; known sites: "
+                    + ", ".join(sorted(SITES))
+                )
+        self.rules: Tuple[FaultRule, ...] = tuple(rules)
+        self.seed = int(seed)
+        self.hang_seconds = float(hang_seconds)
+        self.fired: List[FaultEvent] = []
+        self._counters: Dict[Tuple[str, str], int] = {}
+
+    # -- parsing -----------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a ``REPRO_FAULTS`` spec string (grammar in module docs)."""
+        rules: List[FaultRule] = []
+        seed = 0
+        hang = 5.0
+        for raw in spec.split(";"):
+            clause = raw.strip()
+            if not clause:
+                continue
+            if "=" in clause:
+                name, _, value = clause.partition("=")
+                name = name.strip()
+                value = value.strip()
+                if name == "seed":
+                    try:
+                        seed = int(value)
+                    except ValueError:
+                        raise FaultSpecError(
+                            f"seed must be an integer, got {value!r}"
+                        ) from None
+                elif name == "hang":
+                    try:
+                        hang = float(value)
+                    except ValueError:
+                        raise FaultSpecError(
+                            f"hang must be a float, got {value!r}"
+                        ) from None
+                    if hang < 0:
+                        raise FaultSpecError("hang must be non-negative")
+                else:
+                    raise FaultSpecError(
+                        f"unknown option {name!r} (expected seed= or hang=)"
+                    )
+                continue
+            rules.append(cls._parse_fault(clause))
+        return cls(rules, seed=seed, hang_seconds=hang)
+
+    @staticmethod
+    def _parse_fault(clause: str) -> FaultRule:
+        prob = 1.0
+        if "~" in clause:
+            clause, _, prob_text = clause.partition("~")
+            try:
+                prob = float(prob_text)
+            except ValueError:
+                raise FaultSpecError(
+                    f"probability must be a float, got {prob_text!r}"
+                ) from None
+            if not 0.0 < prob <= 1.0:
+                raise FaultSpecError(
+                    f"probability must be in (0, 1], got {prob}"
+                )
+        hits: Optional[int] = 1
+        if ":" in clause:
+            clause, _, hits_text = clause.partition(":")
+            hits_text = hits_text.strip()
+            if hits_text == "*":
+                hits = _UNBOUNDED
+            else:
+                try:
+                    hits = int(hits_text)
+                except ValueError:
+                    raise FaultSpecError(
+                        f"hit count must be a positive integer or '*', "
+                        f"got {hits_text!r}"
+                    ) from None
+                if hits <= 0:
+                    raise FaultSpecError(
+                        f"hit count must be positive, got {hits}"
+                    )
+        keys: Optional[Tuple[str, ...]] = None
+        if "@" in clause:
+            clause, _, keys_text = clause.partition("@")
+            keys = tuple(
+                key.strip() for key in keys_text.split(",") if key.strip()
+            )
+            if not keys:
+                raise FaultSpecError(f"empty key list in {clause!r}@")
+        site = clause.strip()
+        if site not in SITES:
+            raise FaultSpecError(
+                f"unknown fault site {site!r}; known sites: "
+                + ", ".join(sorted(SITES))
+            )
+        return FaultRule(site=site, keys=keys, hits=hits, prob=prob)
+
+    # -- decisions ---------------------------------------------------
+
+    def should_fire(
+        self,
+        site: str,
+        key: object = None,
+        attempt: Optional[int] = None,
+    ) -> bool:
+        """Deterministically decide whether ``site`` fails this time.
+
+        ``attempt`` is the retry ordinal of the unit of work (0 on the
+        first try).  Supply it whenever the caller knows it — decisions
+        become pure functions of ``(site, key, attempt)``, immune to
+        fork-copied counter state.  Without it, a per-``(site, key)``
+        arrival counter stands in.
+        """
+        if site not in SITES:
+            raise FaultSpecError(f"unknown fault site {site!r}")
+        rule = self._rule_for(site, key)
+        if rule is None:
+            return False
+        if attempt is None:
+            counter_key = (site, str(key))
+            attempt = self._counters.get(counter_key, 0)
+            self._counters[counter_key] = attempt + 1
+        if rule.hits is not _UNBOUNDED and attempt >= rule.hits:
+            return False
+        if rule.prob < 1.0 and not self._coin(site, key, attempt, rule.prob):
+            return False
+        self.fired.append(
+            FaultEvent(site=site, key=None if key is None else str(key), attempt=attempt)
+        )
+        return True
+
+    def _rule_for(self, site: str, key: object) -> Optional[FaultRule]:
+        for rule in self.rules:
+            if rule.site == site and rule.matches_key(key):
+                return rule
+        return None
+
+    def _coin(self, site: str, key: object, attempt: int, prob: float) -> bool:
+        token = f"{self.seed}:{site}:{key}:{attempt}".encode("utf-8")
+        return zlib.crc32(token) / 2**32 < prob
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPlan(rules={list(self.rules)!r}, seed={self.seed}, "
+            f"hang_seconds={self.hang_seconds})"
+        )
+
+
+# -- active plan (env knob + programmatic override) -------------------
+
+_active: Optional[FaultPlan] = None
+_env_loaded = False
+
+
+def _current_plan() -> Optional[FaultPlan]:
+    global _active, _env_loaded
+    if not _env_loaded:
+        _env_loaded = True
+        spec = os.environ.get("REPRO_FAULTS", "")
+        if spec.strip():
+            _active = FaultPlan.parse(spec)
+    return _active
+
+
+def fault_plan() -> Optional[FaultPlan]:
+    """The active :class:`FaultPlan`, or ``None`` when injection is off."""
+    return _current_plan()
+
+
+def set_fault_plan(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Install ``plan`` as the active plan (``None`` disables injection).
+
+    Overrides the ``REPRO_FAULTS`` env knob either way.  Returns the
+    previously active plan so callers can restore it in ``finally``.
+    """
+    global _active, _env_loaded
+    if plan is not None and not isinstance(plan, FaultPlan):
+        raise TypeError(f"expected FaultPlan or None, got {type(plan).__name__}")
+    previous = _current_plan()
+    _active = plan
+    _env_loaded = True
+    return previous
+
+
+def maybe_fire(
+    site: str, key: object = None, attempt: Optional[int] = None
+) -> bool:
+    """``True`` when the active plan wants ``site`` to fail this time.
+
+    The hot-path cost with no plan installed is one global read and an
+    ``is None`` test — ``bench_fault_overhead.py`` gates it at <2% on
+    the shard-scaling family.
+    """
+    plan = _active if _env_loaded else _current_plan()
+    if plan is None:
+        return False
+    return plan.should_fire(site, key, attempt)
+
+
+def hang_seconds() -> float:
+    """How long a ``worker-hang`` fault should sleep (plan knob)."""
+    plan = _current_plan()
+    return plan.hang_seconds if plan is not None else 0.0
+
+
+# -- degradation ladder + resilience report ---------------------------
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One recorded downgrade along :data:`DEGRADATION_LADDER`."""
+
+    area: str  # "execution" | "transport" | "backend"
+    from_mode: str
+    to_mode: str
+    reason: str  # short machine-greppable cause, e.g. "broken-pool"
+    detail: str = ""  # free-form context, e.g. the repr of the error
+
+
+@dataclass(frozen=True)
+class RetryEvent:
+    """One supervised retry (not a ladder move, but observable)."""
+
+    site: str  # what was retried, e.g. "shard" or "submit"
+    key: str  # which unit, e.g. the shard index
+    attempt: int  # the attempt that failed (0-based)
+    error: str  # repr of the failure that triggered the retry
+
+
+@dataclass
+class ResilienceReport:
+    """Queryable log of every downgrade and retry in this process."""
+
+    events: List[DegradationEvent] = field(default_factory=list)
+    retries: List[RetryEvent] = field(default_factory=list)
+
+    def degradations(self, area: Optional[str] = None) -> List[DegradationEvent]:
+        if area is None:
+            return list(self.events)
+        return [event for event in self.events if event.area == area]
+
+    def summary(self) -> str:
+        lines = [
+            f"degradations={len(self.events)} retries={len(self.retries)}"
+        ]
+        for event in self.events:
+            lines.append(
+                f"  {event.area}: {event.from_mode} -> {event.to_mode} "
+                f"[{event.reason}] {event.detail}".rstrip()
+            )
+        for retry in self.retries:
+            lines.append(
+                f"  retry {retry.site}@{retry.key} attempt={retry.attempt}: "
+                f"{retry.error}"
+            )
+        return "\n".join(lines)
+
+
+_report = ResilienceReport()
+
+
+def resilience_report() -> ResilienceReport:
+    """The process-wide report (workers reset + ship deltas back)."""
+    return _report
+
+
+def reset_resilience_report() -> ResilienceReport:
+    """Start a fresh report; returns the one being replaced."""
+    global _report
+    previous = _report
+    _report = ResilienceReport()
+    return previous
+
+
+def record_degradation(
+    area: str, from_mode: str, to_mode: str, reason: str, detail: str = ""
+) -> DegradationEvent:
+    """Record one downgrade; rejects moves not on the ladder."""
+    expected = DEGRADATION_LADDER.get(area)
+    if expected is None:
+        raise ValueError(
+            f"unknown degradation area {area!r}; known: "
+            + ", ".join(sorted(DEGRADATION_LADDER))
+        )
+    if (from_mode, to_mode) != expected:
+        raise ValueError(
+            f"illegal degradation {from_mode!r} -> {to_mode!r} for area "
+            f"{area!r}; the ladder allows {expected[0]!r} -> {expected[1]!r}"
+        )
+    event = DegradationEvent(
+        area=area,
+        from_mode=from_mode,
+        to_mode=to_mode,
+        reason=reason,
+        detail=detail,
+    )
+    _report.events.append(event)
+    return event
+
+
+def record_retry(site: str, key: object, attempt: int, error: object) -> RetryEvent:
+    """Record one supervised retry of a failed unit of work."""
+    event = RetryEvent(
+        site=site, key=str(key), attempt=int(attempt), error=repr(error)
+    )
+    _report.retries.append(event)
+    return event
+
+
+def report_delta() -> Tuple[Tuple[DegradationEvent, ...], Tuple[RetryEvent, ...]]:
+    """Picklable snapshot of the current report (worker -> parent wire)."""
+    return tuple(_report.events), tuple(_report.retries)
+
+
+def absorb_events(
+    delta: Tuple[Sequence[DegradationEvent], Sequence[RetryEvent]]
+) -> None:
+    """Merge a worker's :func:`report_delta` into this process's report."""
+    events, retries = delta
+    _report.events.extend(events)
+    _report.retries.extend(retries)

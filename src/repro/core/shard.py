@@ -56,18 +56,35 @@ them through the result pipe re-serializes ``run_count / 8`` bytes per
 fact per shard.  Workers therefore ship mask payloads out-of-band as
 packed little-endian byte arrays in a ``multiprocessing.shared_memory``
 segment (one segment per task, unlinked by the parent after
-reassembly) and send only the segment name and lengths through the
-pipe; where shared memory is unavailable or refuses allocation the
-masks fall back to in-band pickling, and any reassembly failure falls
-back to the serial scan — both transports reconstruct the identical
-integers (the ``tests/parity.py`` grid runs the sharded executor over
-every numeric tier).
+reassembly) and send only the segment name, per-mask lengths, and a CRC32 checksum through the pipe
+(the parent verifies length + checksum before trusting the bytes);
+where shared memory is unavailable or refuses allocation the masks
+fall back to in-band pickling — both transports reconstruct the
+identical integers (the ``tests/parity.py`` grid runs the sharded
+executor over every numeric tier).
+
+:class:`ShardedExecutor` is a *supervisor*, not just a dispatcher
+(``docs/robustness.md``): every task carries a per-task timeout, a
+failed shard is re-dispatched with bounded retry + exponential
+backoff, a broken pool is killed and respawned (budgeted), and
+shared-memory segments are parent-named so any segment belonging to a
+crashed or abandoned task can be reaped.  When the budget runs out the
+executor either raises :class:`~repro.core.errors.FaultExhaustedError`
+naming the failing shard or degrades to the serial scan — and *every*
+downgrade (parallel→serial, shm→pickle) is recorded as a
+:class:`~repro.core.faults.DegradationEvent` on the process's
+:func:`~repro.core.faults.resilience_report`, never swallowed.
+Deterministic fault injection for all of these paths comes from
+:mod:`repro.core.faults` (``REPRO_FAULTS``).
 """
 
 from __future__ import annotations
 
+import itertools
 import os
 import pickle
+import time
+import zlib
 from bisect import bisect_right
 from fractions import Fraction
 from typing import (
@@ -77,11 +94,25 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
 
 from .arraykernel import div_bounds, float_with_err, sum_bounds
-from .errors import ConditioningOnNullEventError
+from .errors import (
+    ConditioningOnNullEventError,
+    FaultExhaustedError,
+    ShmIntegrityError,
+)
+from .faults import (
+    absorb_events,
+    hang_seconds,
+    maybe_fire,
+    record_degradation,
+    record_retry,
+    report_delta,
+    reset_resilience_report,
+)
 from .lazyprob import (
     LazyProb,
     absorb_stats,
@@ -413,22 +444,59 @@ def _picklable_error(error: Optional[Exception]) -> Optional[Exception]:
     try:
         pickle.dumps(error)
         return error
-    except Exception:
+    except Exception:  # repro: allow[RP010] picklability probe: any failure means "summarize", the caller records nothing because no mode changed
         return RuntimeError(f"{type(error).__name__}: {error}")
 
 
-def _pack_masks(masks: Sequence[int]):
-    """Ship run masks out-of-band: ``("shm", name, sizes)`` when possible.
+#: Parent-side sequence for deterministic, reapable segment names: the
+#: parent names every segment *before* dispatch, so a crashed or
+#: abandoned task's segment can be unlinked by name even though the
+#: worker never reported back.
+_segment_counter = itertools.count()
+
+
+def _create_segment(shared_memory, name: Optional[str], size: int):
+    """Create a segment, replacing a stale leftover of the same name.
+
+    A same-named segment can only be debris from a killed worker of a
+    previous attempt (parent names are process-unique), so it is safe
+    to unlink and re-create.
+    """
+    if name is None:
+        return shared_memory.SharedMemory(create=True, size=size)
+    try:
+        return shared_memory.SharedMemory(name=name, create=True, size=size)
+    except FileExistsError:
+        stale = shared_memory.SharedMemory(name=name)
+        stale.close()
+        stale.unlink()
+        return shared_memory.SharedMemory(name=name, create=True, size=size)
+
+
+def _pack_masks(
+    masks: Sequence[int],
+    *,
+    shard: Optional[int] = None,
+    attempt: Optional[int] = None,
+    name: Optional[str] = None,
+):
+    """Ship run masks out-of-band: ``("shm", name, sizes, crc)`` when possible.
 
     Each mask is packed as its minimal little-endian byte array and the
     packed blobs concatenated into one shared-memory segment, so the
-    result pipe carries only the segment name and per-mask lengths.
-    The segment is *not* unlinked here — ownership passes to the parent
-    (:func:`_unpack_masks`), and the worker-side resource tracker is
-    told to forget it so worker shutdown does not reclaim (or warn
-    about) a segment the parent still reads.  Falls back to the in-band
-    form ``("pickle", masks)`` when shared memory is unavailable or
-    refuses the allocation.
+    result pipe carries only the segment name, the per-mask lengths,
+    and a CRC32 over the payload (:func:`_unpack_masks` verifies both
+    before trusting the bytes).  The segment is *not* unlinked here —
+    ownership passes to the parent, and the worker-side resource
+    tracker is told to forget it so worker shutdown does not reclaim
+    (or warn about) a segment the parent still reads.  Falls back to
+    the in-band form ``("pickle", masks)`` when shared memory is
+    unavailable or refuses the allocation, recording the shm→pickle
+    transport downgrade.
+
+    Fault sites: ``shm-alloc`` (keyed by ``shard``) simulates the
+    allocation failure; ``shm-corrupt`` flips a payload byte after the
+    checksum is computed, so the parent's verification must catch it.
     """
     try:
         from multiprocessing import shared_memory
@@ -439,39 +507,66 @@ def _pack_masks(masks: Sequence[int]):
     ]
     total = sum(len(blob) for blob in blobs)
     try:
-        segment = shared_memory.SharedMemory(create=True, size=max(1, total))
-    except (OSError, ValueError):  # pragma: no cover - /dev/shm exhausted
+        if maybe_fire("shm-alloc", key=shard, attempt=attempt):
+            raise OSError("injected shm-alloc fault")
+        segment = _create_segment(shared_memory, name, max(1, total))
+    except (OSError, ValueError) as error:
+        record_degradation(
+            "transport", "shm", "pickle", "shm-alloc-failed", repr(error)
+        )
         return ("pickle", list(masks))
     offset = 0
     for blob in blobs:
         segment.buf[offset : offset + len(blob)] = blob
         offset += len(blob)
-    name = segment.name
+    checksum = zlib.crc32(bytes(segment.buf[:total])) if total else zlib.crc32(b"")
+    if maybe_fire("shm-corrupt", key=shard, attempt=attempt):
+        if total:
+            segment.buf[0] = segment.buf[0] ^ 0xFF
+        else:
+            checksum ^= 0xFF
+    out_name = segment.name
     segment.close()
     try:  # pragma: no cover - tracker layout is an implementation detail
         from multiprocessing import resource_tracker
 
-        resource_tracker.unregister("/" + name, "shared_memory")
-    except Exception:
+        resource_tracker.unregister("/" + out_name, "shared_memory")
+    except Exception:  # repro: allow[RP010] best-effort tracker bookkeeping: nothing degrades, the transport mode is unchanged
         pass
-    return ("shm", name, [len(blob) for blob in blobs])
+    return ("shm", out_name, [len(blob) for blob in blobs], checksum)
 
 
 def _unpack_masks(packed) -> List[int]:
-    """Reassemble masks from :func:`_pack_masks`, unlinking the segment."""
+    """Reassemble masks from :func:`_pack_masks`, unlinking the segment.
+
+    The segment is unlinked on *every* path — including a failed
+    length or checksum verification, which raises
+    :class:`~repro.core.errors.ShmIntegrityError` naming the segment
+    (the supervisor treats that as a retryable shard failure).
+    """
     if packed[0] == "pickle":
         return list(packed[1])
     from multiprocessing import shared_memory
 
-    _, name, sizes = packed
+    _, name, sizes, checksum = packed
     segment = shared_memory.SharedMemory(name=name)
     try:
+        total = sum(sizes)
+        if segment.size < total:
+            raise ShmIntegrityError(
+                f"shared-memory segment {name!r} is shorter than its "
+                f"length header ({segment.size} < {total} bytes)"
+            )
+        payload = bytes(segment.buf[:total])
+        if zlib.crc32(payload) != checksum:
+            raise ShmIntegrityError(
+                f"shared-memory segment {name!r} failed its checksum "
+                f"({total} bytes)"
+            )
         masks: List[int] = []
         offset = 0
         for size in sizes:
-            masks.append(
-                int.from_bytes(segment.buf[offset : offset + size], "little")
-            )
+            masks.append(int.from_bytes(payload[offset : offset + size], "little"))
             offset += size
     finally:
         segment.close()
@@ -480,30 +575,46 @@ def _unpack_masks(packed) -> List[int]:
 
 
 def _scan_shard_task(
-    shard: int, fact_refs: Sequence[Tuple[str, object]], t: Optional[int]
+    shard: int,
+    fact_refs: Sequence[Tuple[str, object]],
+    t: Optional[int],
+    attempt: int = 0,
+    segment_name: Optional[str] = None,
 ):
     """Worker task: scan one shard's run range for the referenced facts.
 
-    Returns ``(packed_masks, errors, stats_delta)`` — masks travel via
-    :func:`_pack_masks`; the counters are reset on entry so the delta
-    covers exactly this task's numeric work (workers are forked with
-    the parent's counters, which must not be re-counted on merge).
+    Returns ``(packed_masks, errors, stats_delta, report_delta)`` —
+    masks travel via :func:`_pack_masks`; the numeric counters *and*
+    the resilience report are reset on entry so each delta covers
+    exactly this task's work (workers are forked with the parent's
+    state, which must not be re-counted on merge).
+
+    ``attempt`` is the supervisor's retry ordinal for this shard; all
+    worker-side fault decisions are keyed on it, so a fault spec like
+    ``worker-crash@0`` fires on the first attempt and *not* on the
+    re-dispatch, regardless of which forked process runs it.
     """
     state = _WORKER_STATE
     if state is None:  # pragma: no cover - defensive: task outside a pool
         raise RuntimeError("shard worker has no inherited state")
     index, plan, payload = state
+    if maybe_fire("worker-crash", key=shard, attempt=attempt):
+        os._exit(13)  # hard exit: simulates OOM-kill / segfault, not an exception
+    if maybe_fire("worker-hang", key=shard, attempt=attempt):
+        time.sleep(hang_seconds())
     facts = [
         payload[ref] if kind == "payload" else ref
         for kind, ref in fact_refs
     ]
     reset_numeric_stats()
+    reset_resilience_report()
     lo, hi = plan.ranges[shard]
     masks, errors = index._scan_batch_range(facts, t, lo, hi)
     return (
-        _pack_masks(masks),
+        _pack_masks(masks, shard=shard, attempt=attempt, name=segment_name),
         [_picklable_error(error) for error in errors],
         numeric_stats(),
+        report_delta(),
     )
 
 
@@ -527,6 +638,16 @@ class ShardedExecutor:
     executor after the fact universe of the workload is known, or let
     the picklability probe route novel facts through pickling.
 
+    Supervision knobs (``docs/robustness.md``): ``task_timeout`` bounds
+    each shard task's wall clock (a late task is treated as a hung
+    worker, the pool is killed and respawned); ``max_retries`` bounds
+    re-dispatches per shard; ``backoff`` seeds the exponential
+    retry delay; ``max_pool_respawns`` bounds how many times a broken
+    pool is rebuilt; ``on_exhaustion`` picks between degrading to the
+    serial scan (default — bit-identical results, recorded on the
+    resilience report) and raising
+    :class:`~repro.core.errors.FaultExhaustedError` naming the shard.
+
     Usable as a context manager; :meth:`close` is idempotent.
     """
 
@@ -537,16 +658,32 @@ class ShardedExecutor:
         shards: Optional[int] = None,
         payload: Sequence[object] = (),
         max_workers: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+        max_retries: int = 2,
+        backoff: float = 0.05,
+        max_pool_respawns: int = 2,
+        on_exhaustion: str = "degrade",
     ) -> None:
+        if on_exhaustion not in ("degrade", "raise"):
+            raise ValueError(
+                f"on_exhaustion must be 'degrade' or 'raise', got {on_exhaustion!r}"
+            )
         self.index = index
         requested = default_shards() if shards is None else int(shards)
         self.plan = index.shard_plan(requested)
         self.payload = tuple(payload)
         self._payload_ids = {id(obj): pos for pos, obj in enumerate(self.payload)}
         self._max_workers = max_workers
+        self._task_timeout = 300.0 if task_timeout is None else float(task_timeout)
+        self._max_retries = int(max_retries)
+        self._backoff = float(backoff)
+        self._max_pool_respawns = int(max_pool_respawns)
+        self._on_exhaustion = on_exhaustion
+        self._respawns = 0
         self._pool = None
         self._pool_failed = False
         self._saved_state: Optional[tuple] = None
+        self._live_segments: Set[str] = set()
 
     # -- lifecycle ------------------------------------------------------
 
@@ -557,18 +694,77 @@ class ShardedExecutor:
         self.close()
 
     def close(self) -> None:
-        """Shut the pool down and restore the module worker state."""
+        """Shut the pool down, reap stray segments, restore worker state."""
+        self._retire_pool(kill=False)
+        self._reap_segments(list(self._live_segments))
+
+    def _retire_pool(self, *, kill: bool) -> None:
+        """Drop the pool: graceful shutdown, or terminate hung workers.
+
+        ``kill=True`` is the supervision path for a broken or timed-out
+        pool — waiting for a hung worker would block forever, so the
+        worker processes are terminated outright and joined.  Either
+        way the module worker state is restored, and a later
+        :meth:`_ensure_pool` may respawn (budget permitting).
+        """
         global _WORKER_STATE
         pool = self._pool
         self._pool = None
-        if pool is not None:
+        if pool is None:
+            return
+        if kill:
+            processes = list(getattr(pool, "_processes", {}).values())
+            pool.shutdown(wait=False, cancel_futures=True)
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            for process in processes:
+                process.join(timeout=5.0)
+        else:
             pool.shutdown(wait=True, cancel_futures=True)
-            _WORKER_STATE = self._saved_state  # type: ignore[assignment]
-            self._saved_state = None
+        _WORKER_STATE = self._saved_state  # type: ignore[assignment]
+        self._saved_state = None
+
+    def _reap_segments(self, names: Sequence[str]) -> None:
+        """Unlink parent-named segments whose tasks never reported back.
+
+        Call only after the owning workers are dead or done — a live
+        worker could otherwise re-create a segment after its reap.
+        Segments the task never created (crash before pack, pickle
+        fallback) simply do not exist; that is not an error.
+        """
+        if not names:
+            return
+        try:
+            from multiprocessing import shared_memory
+        except ImportError:  # pragma: no cover - minimal builds
+            return
+        for name in names:
+            try:
+                segment = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                self._live_segments.discard(name)
+                continue
+            except OSError:  # pragma: no cover - platform-specific attach errors
+                continue
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - reaped concurrently
+                pass
+            self._live_segments.discard(name)
+
+    def _next_segment_name(self) -> str:
+        return f"repro_{os.getpid()}_{next(_segment_counter)}"
 
     @property
     def shard_count(self) -> int:
         return self.plan.shard_count
+
+    @property
+    def respawns(self) -> int:
+        """How many times the worker pool has been killed and rebuilt."""
+        return self._respawns
 
     def _ensure_pool(self):
         """The live pool, creating it on first use; ``None`` = serial.
@@ -585,6 +781,13 @@ class ShardedExecutor:
         context = _fork_context()
         if context is None:
             self._pool_failed = True
+            record_degradation(
+                "execution",
+                "parallel",
+                "serial",
+                "no-fork",
+                "fork start method unavailable on this platform",
+            )
             return None
         from concurrent.futures import ProcessPoolExecutor
 
@@ -597,10 +800,13 @@ class ShardedExecutor:
             self._pool = ProcessPoolExecutor(
                 max_workers=max(1, workers), mp_context=context
             )
-        except (OSError, ValueError):  # pragma: no cover - resource limits
+        except (OSError, ValueError) as error:  # pragma: no cover - resource limits
             _WORKER_STATE = self._saved_state
             self._saved_state = None
             self._pool_failed = True
+            record_degradation(
+                "execution", "parallel", "serial", "pool-create-failed", repr(error)
+            )
             return None
         return self._pool
 
@@ -624,40 +830,39 @@ class ShardedExecutor:
                 continue
             try:
                 pickle.dumps(fact)
-            except Exception:
+            except Exception:  # repro: allow[RP010] picklability probe: _scan_leaves records the degradation when this returns None
                 return None
             refs.append(("object", fact))
         return refs
 
     def _scan_leaves(self, leaves: Sequence["Fact"], t: Optional[int]):
-        """Per-shard parallel scan of uncached leaves, serial fallback."""
+        """Per-shard supervised parallel scan, serial fallback.
+
+        The serial path answers every query the parallel path answers
+        with bit-identical results, so every downgrade to it is safe —
+        and every downgrade is recorded (here for unshippable facts;
+        inside :meth:`_supervised_parts` for retry/respawn exhaustion;
+        in :meth:`_ensure_pool` for pool-level failures).  A plan of
+        one shard is serial *by design*, not a degradation.
+        """
         pool = self._ensure_pool()
         if pool is not None:
             refs = self._fact_refs(leaves)
-            if refs is not None:
-                futures = [
-                    pool.submit(_scan_shard_task, shard, refs, t)
-                    for shard in range(self.plan.shard_count)
-                ]
-                # Unpack every delivered result, even after a failure,
-                # so no delivered shared-memory segment is left
-                # unconsumed (unpacking unlinks it).
-                parts = []
-                failed = False
-                for future in futures:
-                    try:
-                        packed, errs, delta = future.result()
-                        parts.append((_unpack_masks(packed), errs, delta))
-                    except Exception:
-                        failed = True
-                if failed:
-                    # Broken pool / unpicklable result: the serial path
-                    # answers every query the parallel path answers.
-                    self._pool_failed = True
-                    self.close()
-                else:
-                    for _, _, delta in parts:
+            if refs is None:
+                record_degradation(
+                    "execution",
+                    "parallel",
+                    "serial",
+                    "unpicklable-fact",
+                    "a fact in the batch is neither payload nor picklable",
+                )
+            else:
+                parts = self._supervised_parts(refs, t)
+                if parts is not None:
+                    # Fold strictly in ascending shard order (RP008).
+                    for _, _, delta, events in parts:
                         absorb_stats(delta)
+                        absorb_events(events)
                     masks = [
                         combine_masks([part[0][k] for part in parts])
                         for k in range(len(leaves))
@@ -668,6 +873,107 @@ class ShardedExecutor:
                     ]
                     return masks, errors
         return self.index._scan_batch(leaves, t)
+
+    def _supervised_parts(self, refs, t: Optional[int]):
+        """Dispatch every shard with timeout/retry/respawn supervision.
+
+        Returns the per-shard ``(masks, errors, stats_delta, events)``
+        list in shard order, or ``None`` when the retry or respawn
+        budget ran out and ``on_exhaustion="degrade"`` (the exhaustion
+        is recorded as a parallel→serial :class:`DegradationEvent`
+        whose detail names the failing shard).  With
+        ``on_exhaustion="raise"`` exhaustion raises
+        :class:`~repro.core.errors.FaultExhaustedError` instead.
+
+        Each wave submits every still-pending shard, collects results
+        under the per-task timeout, then re-dispatches the failures
+        after an exponential backoff.  A broken or timed-out pool is
+        killed (hung workers terminated) and respawned within the
+        respawn budget; because segments are parent-named, every
+        segment belonging to a failed task is reaped after the kill,
+        so no ``/dev/shm`` residue survives a crashed query.
+        """
+        from concurrent.futures import TimeoutError as FuturesTimeout
+        from concurrent.futures.process import BrokenProcessPool
+
+        shard_count = self.plan.shard_count
+        results: List[Optional[tuple]] = [None] * shard_count
+        attempts = [0] * shard_count
+        pending = list(range(shard_count))
+        while pending:
+            pool = self._ensure_pool()
+            if pool is None:
+                # The latch point (_ensure_pool / exhaustion below)
+                # already recorded the degradation.
+                return None
+            names: Dict[int, str] = {}
+            futures: Dict[int, object] = {}
+            for shard in pending:
+                name = self._next_segment_name()
+                names[shard] = name
+                self._live_segments.add(name)
+                futures[shard] = pool.submit(
+                    _scan_shard_task, shard, refs, t, attempts[shard], name
+                )
+            failed: List[Tuple[int, BaseException]] = []
+            pool_broken = False
+            pool_error: Optional[BaseException] = None
+            for shard in pending:
+                future = futures[shard]
+                if pool_broken and not future.done():
+                    failed.append((shard, pool_error))
+                    continue
+                try:
+                    packed, errs, delta, events = future.result(
+                        timeout=self._task_timeout
+                    )
+                    results[shard] = (_unpack_masks(packed), errs, delta, events)
+                    self._live_segments.discard(names[shard])
+                except (BrokenProcessPool, FuturesTimeout) as error:
+                    pool_broken = True
+                    pool_error = error
+                    failed.append((shard, error))
+                except (ShmIntegrityError, OSError, EOFError, pickle.PickleError) as error:
+                    failed.append((shard, error))
+            if pool_broken:
+                # Kill before reaping: a live (hung) worker could
+                # otherwise re-create a segment after its reap.
+                self._retire_pool(kill=True)
+                self._respawns += 1
+            self._reap_segments([names[shard] for shard, _ in failed])
+            next_pending: List[int] = []
+            for shard, error in failed:
+                record_retry("shard", shard, attempts[shard], error)
+                attempts[shard] += 1
+                if attempts[shard] > self._max_retries:
+                    return self._exhausted(
+                        f"shard {shard} failed after {attempts[shard]} attempts "
+                        f"(last error: {error!r})",
+                        "retry-exhausted",
+                    )
+                next_pending.append(shard)
+            if pool_broken and self._respawns > self._max_pool_respawns:
+                return self._exhausted(
+                    f"worker pool respawn budget ({self._max_pool_respawns}) "
+                    f"exhausted; last error: {pool_error!r}",
+                    "respawn-exhausted",
+                )
+            if next_pending:
+                delay = self._backoff * (2 ** min(attempts[next_pending[0]] - 1, 4))
+                if delay > 0:
+                    time.sleep(delay)
+            pending = next_pending
+        return results
+
+    def _exhausted(self, message: str, reason: str):
+        """Shared exhaustion epilogue: latch serial, raise or degrade."""
+        self._pool_failed = True
+        self._retire_pool(kill=True)
+        self._reap_segments(list(self._live_segments))
+        if self._on_exhaustion == "raise":
+            raise FaultExhaustedError(message)
+        record_degradation("execution", "parallel", "serial", reason, message)
+        return None
 
     def _batch_masks(
         self, facts: Sequence["Fact"], t: Optional[int], memo: bool

@@ -141,6 +141,7 @@ class CheckConfig:
         "src/repro/core/lazyprob.py",
         "src/repro/core/arraykernel.py",
         "src/repro/core/shard.py",
+        "src/repro/core/faults.py",
     )
     # math functions that are exact on integer arguments and therefore
     # fine inside exact-core modules.
@@ -238,6 +239,22 @@ class CheckConfig:
         "invalidat",
         "reweight",
         "materialize",
+    )
+
+    # RP010: execution-stack modules whose resilience/fallback paths
+    # must never degrade silently — a broad ``except`` there has to
+    # record a degradation/retry event (docs/robustness.md), re-raise,
+    # or carry an ``allow[RP010]`` justification.
+    execution_modules: Tuple[str, ...] = (
+        "src/repro/core/shard.py",
+        "src/repro/core/arraykernel.py",
+        "src/repro/core/faults.py",
+        "src/repro/analysis/sweep.py",
+    )
+    degradation_recorders: Tuple[str, ...] = (
+        "record_degradation",
+        "record_retry",
+        "absorb_events",
     )
 
     def is_exact_core(self, rel_path: str) -> bool:

@@ -1,4 +1,4 @@
-"""The invariant rules of ``repro.tools.check`` (RP001–RP009).
+"""The invariant rules of ``repro.tools.check`` (RP001–RP010).
 
 Each rule enforces one hand-maintained invariant the layered engine
 depends on; the catalogue with rationale lives in
@@ -26,6 +26,7 @@ __all__ = [
     "NumericKnobDropped",
     "ShardCombineOrder",
     "WeightSplitDiscipline",
+    "SilentDegradation",
 ]
 
 
@@ -905,3 +906,82 @@ class WeightSplitDiscipline(Rule):
                     "so derived()/reweight invalidation can see it "
                     "(docs/transforms.md)",
                 )
+
+
+# ---------------------------------------------------------------------------
+# RP010
+# ---------------------------------------------------------------------------
+
+
+@register
+class SilentDegradation(Rule):
+    """A broad ``except`` on the execution stack that degrades silently.
+
+    The robustness contract (``docs/robustness.md``) is that every
+    fallback along the degradation ladder — parallel→serial, shm→pickle,
+    numpy→python — is *recorded* on the resilience report, never
+    swallowed.  A handler in an execution module that catches
+    ``Exception``/``BaseException`` (or is bare) and neither calls a
+    degradation recorder (``record_degradation``/``record_retry``/
+    ``absorb_events``) nor re-raises is exactly the silent-fallback
+    shape PR 10 removed; new ones need an ``allow[RP010]`` justification
+    explaining why nothing observable changed.
+    """
+
+    id = "RP010"
+    title = "broad except without a recorded degradation"
+    interests = (ast.Try,)
+
+    _BROAD = ("Exception", "BaseException")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.matches(ctx.config.execution_modules)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if not isinstance(node, ast.Try):
+            return
+        for handler in node.handlers:
+            if not self._is_broad(handler.type):
+                continue
+            if self._records_or_raises(handler, ctx):
+                continue
+            caught = (
+                "bare except"
+                if handler.type is None
+                else f"except {ast.unparse(handler.type)}"
+            )
+            yield self.finding(
+                ctx,
+                handler,
+                f"{caught} on the execution stack neither records a "
+                "degradation event nor re-raises — fallbacks must be "
+                "observable (docs/robustness.md): call "
+                f"{'/'.join(ctx.config.degradation_recorders)} or "
+                "annotate why nothing degrades",
+            )
+
+    def _is_broad(self, expr: Optional[ast.expr]) -> bool:
+        if expr is None:
+            return True  # bare except
+        names = []
+        if isinstance(expr, ast.Tuple):
+            names = list(expr.elts)
+        else:
+            names = [expr]
+        for name in names:
+            if isinstance(name, ast.Name) and name.id in self._BROAD:
+                return True
+            if isinstance(name, ast.Attribute) and name.attr in self._BROAD:
+                return True
+        return False
+
+    def _records_or_raises(
+        self, handler: ast.ExceptHandler, ctx: FileContext
+    ) -> bool:
+        recorders = set(ctx.config.degradation_recorders)
+        for sub in ast.walk(handler):
+            if isinstance(sub, ast.Raise):
+                return True
+            if isinstance(sub, ast.Call) and _call_name(sub) in recorders:
+                return True
+        return False

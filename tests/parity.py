@@ -2,8 +2,10 @@
 
 The engine has accumulated several "must never change the answer"
 axes: shard scheduling (``REPRO_SHARDS`` / ``core.shard``), the
-numeric tier (``exact``/``auto``/``float``), and the array backend
-(NumPy vs pure Python).  :func:`assert_fraction_parity` runs an
+numeric tier (``exact``/``auto``/``float``), the array backend
+(NumPy vs pure Python), and injected faults (``core.faults`` — any
+non-exhausting fault combination must degrade, never drift).
+:func:`assert_fraction_parity` runs an
 arbitrary query under a grid of those configurations and asserts
 Fraction-exact equality of everything the query returns — events,
 measures, verdicts, whole sweep tables — against a single reference,
@@ -28,13 +30,16 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Callable, NamedTuple, Optional, Sequence
 
+from repro.core import arraykernel
 from repro.core.arraykernel import HAVE_NUMPY, set_backend
+from repro.core.faults import FaultPlan, set_fault_plan
 from repro.core.lazyprob import LazyProb
 from repro.core.shard import set_default_shards
 
 __all__ = [
     "ParityConfig",
     "DEFAULT_CONFIGS",
+    "FAULT_CONFIGS",
     "QUICK_CONFIGS",
     "assert_fraction_parity",
     "canonical",
@@ -48,11 +53,15 @@ class ParityConfig(NamedTuple):
     shards: int = 0
     numeric: str = "exact"
     backend: Optional[str] = None  # None = leave the active backend
+    faults: Optional[str] = None  # REPRO_FAULTS spec; None = no injection
 
     @property
     def label(self) -> str:
         backend = self.backend or "default"
-        return f"shards={self.shards}/numeric={self.numeric}/backend={backend}"
+        label = f"shards={self.shards}/numeric={self.numeric}/backend={backend}"
+        if self.faults is not None:
+            label += f"/faults={self.faults}"
+        return label
 
 
 def _grid() -> Sequence[ParityConfig]:
@@ -64,12 +73,28 @@ def _grid() -> Sequence[ParityConfig]:
         for numeric in ("exact", "auto", "float"):
             for shards in (0, 2, 3, 8):
                 configs.append(ParityConfig(shards, numeric, backend))
-    return tuple(configs)
+    return tuple(configs) + FAULT_CONFIGS
 
+
+# Non-exhausting fault legs of the robustness invariant (ISSUE 10):
+# every downgrade these force — shm→pickle transport, numpy→python
+# backend, supervised worker-crash recovery — must leave each answer
+# Fraction-bit-identical to the clean legs above.  The sharded-executor
+# sites (worker-crash/shm-*) only fire for queries that actually route
+# through ShardedExecutor; backend-import fires anywhere a vectorized
+# kernel is built.  Float mode stays out: its comparisons are bitwise
+# among float legs, and a degraded backend is allowed to change float
+# *timing*, never exact values.
+FAULT_CONFIGS: Sequence[ParityConfig] = (
+    ParityConfig(3, "exact", None, "shm-alloc:*;worker-crash@0"),
+    ParityConfig(2, "auto", None, "shm-corrupt@0;task-submit:1"),
+    ParityConfig(3, "auto", None, "backend-import:1;seed=7"),
+)
 
 # The full grid of the ISSUE's differential matrix: serial vs K∈{2,3,8}
 # shards × exact/auto/float × both backends (NumPy legs only where
-# installed).  Heavy — use on sampled seeds.
+# installed), plus the injected-fault legs.  Heavy — use on sampled
+# seeds.
 DEFAULT_CONFIGS: Sequence[ParityConfig] = _grid()
 
 # The cheap sub-grid for wide seed sweeps: the shard axis under exact
@@ -83,16 +108,26 @@ QUICK_CONFIGS: Sequence[ParityConfig] = (
 
 @contextmanager
 def parity_config(config: ParityConfig):
-    """Apply one grid point's knobs, restoring them afterwards."""
+    """Apply one grid point's knobs, restoring them afterwards.
+
+    The backend is snapshot unconditionally: an injected
+    ``backend-import`` fault degrades the process-wide backend to
+    ``"python"`` mid-configuration, and that must not leak into the
+    next grid point.  Likewise the fault plan (including one loaded
+    from ``REPRO_FAULTS``) is saved and restored around every point.
+    """
     previous_shards = set_default_shards(config.shards)
-    previous_backend = (
-        set_backend(config.backend) if config.backend is not None else None
+    previous_backend = arraykernel.backend()
+    if config.backend is not None:
+        set_backend(config.backend)
+    previous_plan = set_fault_plan(
+        FaultPlan.parse(config.faults) if config.faults is not None else None
     )
     try:
         yield
     finally:
-        if previous_backend is not None:
-            set_backend(previous_backend)
+        set_fault_plan(previous_plan)
+        set_backend(previous_backend)
         set_default_shards(previous_shards)
 
 

@@ -58,7 +58,7 @@ def rule_ids(result):
 # ---------------------------------------------------------------------------
 
 
-def test_all_nine_rules_registered():
+def test_all_ten_rules_registered():
     assert {
         "RP001",
         "RP002",
@@ -69,8 +69,9 @@ def test_all_nine_rules_registered():
         "RP007",
         "RP008",
         "RP009",
+        "RP010",
     } <= set(REGISTRY)
-    assert len(REGISTRY) >= 9
+    assert len(REGISTRY) >= 10
 
 
 def test_active_rules_rejects_unknown_ids():
@@ -890,6 +891,131 @@ def test_rp009_suppressed_by_allow_comment():
 
 
 # ---------------------------------------------------------------------------
+# RP010: silent degradation on the execution stack
+# ---------------------------------------------------------------------------
+
+
+def execution_config():
+    return CheckConfig(execution_modules=("snippet.py",))
+
+
+def test_rp010_fires_on_silent_broad_except():
+    result = run_rule(
+        """
+        def scan_leaves(index, leaves):
+            try:
+                return parallel_scan(index, leaves)
+            except Exception:
+                return serial_scan(index, leaves)
+        """,
+        "RP010",
+        execution_config(),
+    )
+    assert rule_ids(result) == ["RP010"]
+    assert "except Exception" in result.findings[0].message
+
+
+def test_rp010_fires_on_bare_except_and_broad_tuple():
+    result = run_rule(
+        """
+        def fallback(task):
+            try:
+                return task()
+            except:
+                return None
+
+        def fallback2(task):
+            try:
+                return task()
+            except (ValueError, BaseException):
+                return None
+        """,
+        "RP010",
+        execution_config(),
+    )
+    assert rule_ids(result) == ["RP010", "RP010"]
+    assert "bare except" in result.findings[0].message
+
+
+def test_rp010_clean_when_degradation_is_recorded():
+    result = run_rule(
+        """
+        def scan_leaves(index, leaves):
+            try:
+                return parallel_scan(index, leaves)
+            except Exception as error:
+                record_degradation(
+                    "execution", "parallel", "serial", "worker-failed",
+                    repr(error),
+                )
+                return serial_scan(index, leaves)
+
+        def retried(pool, chunk):
+            try:
+                return pool.submit(chunk)
+            except Exception as error:
+                faults.record_retry("submit", 0, 0, error)
+                raise
+        """,
+        "RP010",
+        execution_config(),
+    )
+    assert result.findings == []
+
+
+def test_rp010_clean_on_reraise_and_narrow_excepts():
+    result = run_rule(
+        """
+        def narrow(task):
+            try:
+                return task()
+            except (OSError, ValueError):
+                return None
+
+        def reraised(task):
+            try:
+                return task()
+            except Exception:
+                raise RuntimeError("wrapped")
+        """,
+        "RP010",
+        execution_config(),
+    )
+    assert result.findings == []
+
+
+def test_rp010_silent_outside_execution_modules():
+    result = run_rule(
+        """
+        def helper(task):
+            try:
+                return task()
+            except Exception:
+                return None
+        """,
+        "RP010",
+        CheckConfig(),
+    )
+    assert result.findings == []
+
+
+def test_rp010_suppressed_by_allow_comment():
+    result = run_rule(
+        """
+        def probe(fact):
+            try:
+                pickle.dumps(fact)
+            except Exception:  # repro: allow[RP010] probe only, caller records
+                return None
+        """,
+        "RP010",
+        execution_config(),
+    )
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
 # Suppression machinery
 # ---------------------------------------------------------------------------
 
@@ -1079,7 +1205,7 @@ def test_live_tree_passes_strict_analyzer(capsys):
     output = capsys.readouterr().out
     assert exit_code == 0, output
     assert "0 finding(s)" in output
-    assert "9 rule(s) active" in output
+    assert "10 rule(s) active" in output
 
 
 def test_committed_baseline_ships_empty():
